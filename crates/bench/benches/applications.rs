@@ -1,0 +1,32 @@
+//! End-to-end benchmark: simulated execution of each application of the
+//! Figure-1 suite under each policy (tiny problem scale, so the whole matrix
+//! stays cheap enough for CI).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use numadag_core::{make_policy, PolicyKind};
+use numadag_kernels::{Application, ProblemScale};
+use numadag_runtime::{ExecutionConfig, Simulator};
+
+fn bench_applications(c: &mut Criterion) {
+    let mut group = c.benchmark_group("applications");
+    group.sample_size(10);
+
+    let simulator = Simulator::new(ExecutionConfig::bullion_s16());
+    for app in Application::all() {
+        let spec = app.build(ProblemScale::Tiny, 8);
+        for kind in [PolicyKind::Las, PolicyKind::RgpLas, PolicyKind::Dfifo] {
+            let id = BenchmarkId::new(app.label().replace(' ', "_"), kind.label());
+            group.bench_with_input(id, &spec, |b, spec| {
+                b.iter(|| {
+                    let mut policy = make_policy(kind, spec, 1).unwrap();
+                    simulator.run(spec, policy.as_mut())
+                });
+            });
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_applications);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Microbenchmark: cost and quality of the graph partitioner (the SCOTCH
+//! substitute RGP calls once per window).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use numadag_graph::generators;
+use numadag_graph::{partition, PartitionConfig, PartitionScheme};
+
+fn bench_partitioner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioner");
+    group.sample_size(10);
+
+    for &n in &[16usize, 32, 64] {
+        let grid = generators::grid_2d(n, n, 8);
+        group.bench_with_input(BenchmarkId::new("multilevel_grid", n * n), &grid, |b, g| {
+            b.iter(|| partition(g, &PartitionConfig::new(8)));
+        });
+        group.bench_with_input(BenchmarkId::new("bfs_grid", n * n), &grid, |b, g| {
+            b.iter(|| {
+                partition(
+                    g,
+                    &PartitionConfig::new(8).with_scheme(PartitionScheme::BfsGrowing),
+                )
+            });
+        });
+    }
+
+    let layered = generators::layered_dag_skeleton(64, 32, 2, 1 << 16);
+    group.bench_function("multilevel_layered_dag_2048", |b| {
+        b.iter(|| partition(&layered, &PartitionConfig::new(8)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioner);
+criterion_main!(benches);

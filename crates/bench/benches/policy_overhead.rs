@@ -1,0 +1,68 @@
+//! Microbenchmark: per-task scheduling cost of each policy (the `assign`
+//! call) and the one-off cost of RGP's `prepare` (window partitioning).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use numadag_core::{
+    DfifoPolicy, EpPolicy, LasPolicy, MemoryLocator, RgpConfig, RgpPolicy, SchedulingPolicy,
+};
+use numadag_kernels::{Application, ProblemScale};
+use numadag_numa::{MemoryMap, NodeId, Topology};
+
+fn bench_policy_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_overhead");
+    group.sample_size(20);
+
+    let topo = Topology::bullion_s16();
+    let spec = Application::Jacobi.build(ProblemScale::Small, topo.num_sockets());
+    // Pre-place every region so LAS exercises its weighted path.
+    let mut memory = MemoryMap::new();
+    for (i, &size) in spec.region_sizes.iter().enumerate() {
+        let r = memory.register(size);
+        memory.place(r, NodeId(i % topo.num_sockets()));
+    }
+    let tasks: Vec<_> = spec.graph.tasks().iter().take(256).cloned().collect();
+
+    group.bench_function("assign_dfifo_256_tasks", |b| {
+        b.iter(|| {
+            let mut p = DfifoPolicy::new();
+            let locator = MemoryLocator::new(&topo, &memory);
+            for t in &tasks {
+                std::hint::black_box(p.assign(t, &locator));
+            }
+        });
+    });
+
+    group.bench_function("assign_las_256_tasks", |b| {
+        b.iter(|| {
+            let mut p = LasPolicy::new(7);
+            let locator = MemoryLocator::new(&topo, &memory);
+            for t in &tasks {
+                std::hint::black_box(p.assign(t, &locator));
+            }
+        });
+    });
+
+    group.bench_function("assign_ep_256_tasks", |b| {
+        b.iter(|| {
+            let mut p = EpPolicy::from_spec(&spec).unwrap();
+            let locator = MemoryLocator::new(&topo, &memory);
+            for t in &tasks {
+                std::hint::black_box(p.assign(t, &locator));
+            }
+        });
+    });
+
+    group.bench_function("rgp_prepare_window_1024", |b| {
+        b.iter(|| {
+            let mut p = RgpPolicy::new(RgpConfig::default().with_window_size(1024));
+            let locator = MemoryLocator::new(&topo, &memory);
+            p.prepare(&spec.graph, &locator);
+            std::hint::black_box(p.window_edge_cut());
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy_overhead);
+criterion_main!(benches);

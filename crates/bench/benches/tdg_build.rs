@@ -1,0 +1,33 @@
+//! Microbenchmark: cost of building the task dependency graph (dependence
+//! analysis) and of converting a window for the partitioner. This is the
+//! runtime overhead RGP adds on the task-creation path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use numadag_kernels::{Application, ProblemScale};
+use numadag_tdg::{window_to_csr, TaskWindow, WindowConfig};
+
+fn bench_tdg_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tdg_build");
+    group.sample_size(10);
+
+    for app in [
+        Application::Jacobi,
+        Application::QrFactorization,
+        Application::ConjugateGradient,
+    ] {
+        group.bench_function(format!("build_{}", app.label().replace(' ', "_")), |b| {
+            b.iter(|| app.build(ProblemScale::Small, 8));
+        });
+    }
+
+    let spec = Application::Jacobi.build(ProblemScale::Small, 8);
+    group.bench_function("window_to_csr_1024", |b| {
+        let window = TaskWindow::initial(&spec.graph, WindowConfig::new(1024));
+        b.iter(|| window_to_csr(&spec.graph, &window));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tdg_build);
+criterion_main!(benches);

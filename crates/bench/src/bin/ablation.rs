@@ -1,0 +1,130 @@
+//! Design-choice ablations (DESIGN.md: ABL-WIN, ABL-SOCK, ABL-PART).
+//!
+//! Usage:
+//! ```text
+//! cargo run -p numadag-bench --bin ablation --release -- [window|sockets|partitioner|all]
+//! ```
+
+use numadag_core::{make_policy_with_window, LasPolicy, PolicyKind, RgpConfig, RgpPolicy};
+use numadag_graph::{partition, PartitionConfig, PartitionScheme};
+use numadag_kernels::{Application, ProblemScale};
+use numadag_numa::Topology;
+use numadag_runtime::report::geometric_mean;
+use numadag_runtime::{ExecutionConfig, Simulator};
+use numadag_tdg::{window_to_csr, TaskWindow, WindowConfig};
+
+const SCALE: ProblemScale = ProblemScale::Small;
+const SEED: u64 = 0xAB1A7E;
+
+/// ABL-WIN: RGP+LAS speedup over LAS as a function of the window size.
+fn window_ablation() {
+    println!("\n# ABL-WIN — RGP+LAS speedup over LAS vs window size ({SCALE:?} scale)\n");
+    let topo = Topology::bullion_s16();
+    let simulator = Simulator::new(ExecutionConfig::new(topo.clone()));
+    let apps = [
+        Application::Jacobi,
+        Application::QrFactorization,
+        Application::SymmetricMatrixInversion,
+    ];
+    let window_sizes = [64usize, 128, 256, 512, 1024, 2048, 4096];
+    print!("| {:<22} |", "application");
+    for w in window_sizes {
+        print!(" {w:>6} |");
+    }
+    println!();
+    for app in apps {
+        let spec = app.build(SCALE, topo.num_sockets());
+        let mut las = LasPolicy::new(SEED);
+        let baseline = simulator.run(&spec, &mut las);
+        print!("| {:<22} |", app.label());
+        for w in window_sizes {
+            let mut rgp = RgpPolicy::new(RgpConfig::default().with_seed(SEED).with_window_size(w));
+            let report = simulator.run(&spec, &mut rgp);
+            print!(" {:>6.3} |", report.speedup_over(&baseline));
+        }
+        println!();
+    }
+}
+
+/// ABL-SOCK: the gap between the policies as the socket count grows.
+fn socket_ablation() {
+    println!("\n# ABL-SOCK — geometric-mean speedup over LAS vs socket count ({SCALE:?} scale)\n");
+    println!("| sockets | DFIFO | RGP+LAS | EP |");
+    for sockets in [2usize, 4, 8, 16] {
+        let topo = Topology::symmetric(sockets, 4);
+        let simulator = Simulator::new(ExecutionConfig::new(topo.clone()));
+        let mut speedups: Vec<(PolicyKind, Vec<f64>)> = vec![
+            (PolicyKind::Dfifo, Vec::new()),
+            (PolicyKind::RgpLas, Vec::new()),
+            (PolicyKind::Ep, Vec::new()),
+        ];
+        for app in Application::all() {
+            let spec = app.build(SCALE, sockets);
+            let mut las = LasPolicy::new(SEED);
+            let baseline = simulator.run(&spec, &mut las);
+            for (kind, values) in &mut speedups {
+                if let Some(mut policy) = make_policy_with_window(*kind, &spec, SEED, None) {
+                    let report = simulator.run(&spec, policy.as_mut());
+                    values.push(report.speedup_over(&baseline));
+                }
+            }
+        }
+        print!("| {sockets:>7} |");
+        for (_, values) in &speedups {
+            print!(" {:>5.3} |", geometric_mean(values));
+        }
+        println!();
+    }
+}
+
+/// ABL-PART: multilevel FM vs the naive BFS partitioner — cut quality on the
+/// first window of real TDGs.
+fn partitioner_ablation() {
+    println!("\n# ABL-PART — multilevel k-way vs naive BFS growing ({SCALE:?} scale)\n");
+    let topo = Topology::bullion_s16();
+    let k = topo.num_sockets();
+    println!(
+        "| {:<22} | {:>14} | {:>14} | {:>8} |",
+        "application", "ML cut (bytes)", "BFS cut (bytes)", "ratio"
+    );
+    for app in [
+        Application::Jacobi,
+        Application::QrFactorization,
+        Application::ConjugateGradient,
+        Application::IntegralHistogram,
+    ] {
+        let spec = app.build(SCALE, k);
+        let window = TaskWindow::initial(&spec.graph, WindowConfig::new(1024));
+        let wg = window_to_csr(&spec.graph, &window);
+        let ml = partition(&wg.graph, &PartitionConfig::new(k).with_seed(SEED));
+        let naive = partition(
+            &wg.graph,
+            &PartitionConfig::new(k)
+                .with_seed(SEED)
+                .with_scheme(PartitionScheme::BfsGrowing),
+        );
+        let ml_cut = ml.edge_cut(&wg.graph);
+        let naive_cut = naive.edge_cut(&wg.graph);
+        println!(
+            "| {:<22} | {:>14} | {:>14} | {:>8.2} |",
+            app.label(),
+            ml_cut,
+            naive_cut,
+            naive_cut as f64 / ml_cut.max(1) as f64
+        );
+    }
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match which.as_str() {
+        "window" => window_ablation(),
+        "sockets" => socket_ablation(),
+        "partitioner" => partitioner_ablation(),
+        _ => {
+            window_ablation();
+            socket_ablation();
+            partitioner_ablation();
+        }
+    }
+}

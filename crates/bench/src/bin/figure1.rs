@@ -1,0 +1,127 @@
+//! Regenerates the paper's Figure 1: speedup of DFIFO, EP and RGP+LAS over
+//! the LAS baseline on eight task-based applications, simulated on an
+//! 8-socket × 4-core bullion S16, plus the geometric mean.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p numadag-bench --bin figure1 --release [-- --scale tiny|small|full] [--json PATH]
+//! ```
+
+use numadag_bench::{geometric_mean_row, paper_reference, run_figure1, HarnessConfig};
+use numadag_kernels::ProblemScale;
+
+fn parse_args() -> (HarnessConfig, Option<String>) {
+    let mut config = HarnessConfig::default();
+    let mut json_path = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                config.scale = match args.get(i).map(String::as_str) {
+                    Some("tiny") => ProblemScale::Tiny,
+                    Some("small") => ProblemScale::Small,
+                    Some("full") | None => ProblemScale::Full,
+                    Some(other) => {
+                        eprintln!("unknown scale {other}, using full");
+                        ProblemScale::Full
+                    }
+                };
+            }
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).cloned();
+            }
+            "--seed" => {
+                i += 1;
+                if let Some(seed) = args.get(i).and_then(|s| s.parse().ok()) {
+                    config.seed = seed;
+                }
+            }
+            other => eprintln!("ignoring unknown argument {other}"),
+        }
+        i += 1;
+    }
+    (config, json_path)
+}
+
+fn main() {
+    let (config, json_path) = parse_args();
+    println!(
+        "# Figure 1 — speedup over LAS on {} ({:?} scale)\n",
+        config.topology.name(),
+        config.scale
+    );
+
+    let rows = run_figure1(&config);
+    let policies = ["DFIFO", "RGP+LAS", "EP", "LAS"];
+
+    println!(
+        "| {:<22} | {:>6} | {:>8} | {:>8} | {:>8} | {:>8} | {:>10} |",
+        "application", "tasks", "DFIFO", "RGP+LAS", "EP", "LAS", "LAS local%"
+    );
+    println!(
+        "|{}|{}|{}|{}|{}|{}|{}|",
+        "-".repeat(24),
+        "-".repeat(8),
+        "-".repeat(10),
+        "-".repeat(10),
+        "-".repeat(10),
+        "-".repeat(10),
+        "-".repeat(12)
+    );
+    for row in &rows {
+        print!("| {:<22} | {:>6} |", row.application, row.tasks);
+        for p in &policies {
+            match row.speedup_of(p) {
+                Some(s) => print!(" {s:>8.3} |"),
+                None => print!(" {:>8} |", "n/a"),
+            }
+        }
+        println!(" {:>9.1}% |", 100.0 * row.las_local_fraction);
+    }
+
+    let gm = geometric_mean_row(&rows);
+    print!("| {:<22} | {:>6} |", "Geometric mean", "");
+    for p in &policies {
+        match gm.iter().find(|(label, _)| label == p) {
+            Some((_, v)) => print!(" {v:>8.3} |"),
+            None => print!(" {:>8} |", "n/a"),
+        }
+    }
+    println!(" {:>10} |", "");
+
+    println!("\n## Paper reference points (read off the published Figure 1)\n");
+    for (policy, app, value) in paper_reference() {
+        println!("  {policy:<8} {app:<22} {value:.2}x");
+    }
+
+    println!("\n## Detailed per-policy metrics\n");
+    for row in &rows {
+        for r in &row.results {
+            println!(
+                "  {:<22} {:<8} makespan={:>14.0} ns  speedup={:>6.3}  local={:>5.1}%  imbalance={:>5.2}  stolen={:>5.1}%",
+                row.application,
+                r.policy,
+                r.makespan_ns,
+                r.speedup_vs_las,
+                100.0 * r.local_fraction,
+                r.load_imbalance,
+                100.0 * r.steal_fraction
+            );
+        }
+    }
+
+    if let Some(path) = json_path {
+        let payload = serde_json::json!({
+            "machine": config.topology.name(),
+            "scale": format!("{:?}", config.scale),
+            "rows": rows,
+            "geometric_mean": gm.iter().map(|(l, v)| (l.clone(), v)).collect::<Vec<_>>(),
+        });
+        std::fs::write(&path, serde_json::to_string_pretty(&payload).unwrap())
+            .unwrap_or_else(|e| eprintln!("could not write {path}: {e}"));
+        println!("\nwrote {path}");
+    }
+}

@@ -1,0 +1,213 @@
+//! Shared harness: build the suite, run every policy, compute speedups.
+
+use numadag_core::{make_policy_with_window, PolicyKind};
+use numadag_kernels::{Application, ProblemScale};
+use numadag_numa::Topology;
+use numadag_runtime::report::geometric_mean;
+use numadag_runtime::{ExecutionConfig, ExecutionReport, Simulator};
+use serde::Serialize;
+
+/// Configuration of a harness run.
+#[derive(Clone, Debug)]
+pub struct HarnessConfig {
+    /// Machine topology (default: the paper's bullion S16).
+    pub topology: Topology,
+    /// Problem scale for the suite.
+    pub scale: ProblemScale,
+    /// Seed for all seeded components.
+    pub seed: u64,
+    /// RGP window size (`None` = default 1024).
+    pub window_size: Option<usize>,
+    /// Policies to evaluate (the baseline LAS is always run).
+    pub policies: Vec<PolicyKind>,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            topology: Topology::bullion_s16(),
+            scale: ProblemScale::Full,
+            seed: 0xF1617E,
+            window_size: None,
+            policies: vec![PolicyKind::Dfifo, PolicyKind::RgpLas, PolicyKind::Ep],
+        }
+    }
+}
+
+/// The result of one policy on one application.
+#[derive(Clone, Debug, Serialize)]
+pub struct ApplicationResult {
+    /// Policy label.
+    pub policy: String,
+    /// Simulated makespan (ns).
+    pub makespan_ns: f64,
+    /// Speedup over the LAS baseline.
+    pub speedup_vs_las: f64,
+    /// Fraction of bytes served from the local NUMA node.
+    pub local_fraction: f64,
+    /// Load imbalance (max/mean busy time over sockets).
+    pub load_imbalance: f64,
+    /// Fraction of tasks stolen across sockets.
+    pub steal_fraction: f64,
+}
+
+/// One row of Figure 1: an application and the results of every policy.
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure1Row {
+    /// Application label (as in the paper).
+    pub application: String,
+    /// Number of tasks in the instance.
+    pub tasks: usize,
+    /// LAS baseline makespan (ns).
+    pub las_makespan_ns: f64,
+    /// LAS local fraction (for the traffic analysis).
+    pub las_local_fraction: f64,
+    /// Per-policy results.
+    pub results: Vec<ApplicationResult>,
+}
+
+impl Figure1Row {
+    /// The speedup of `policy` over LAS in this row, if that policy was run.
+    pub fn speedup_of(&self, policy: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|r| r.policy == policy)
+            .map(|r| r.speedup_vs_las)
+    }
+}
+
+fn result_from(report: &ExecutionReport, baseline: &ExecutionReport) -> ApplicationResult {
+    ApplicationResult {
+        policy: report.policy.clone(),
+        makespan_ns: report.makespan_ns,
+        speedup_vs_las: report.speedup_over(baseline),
+        local_fraction: report.local_fraction(),
+        load_imbalance: report.load_imbalance(),
+        steal_fraction: report.steal_fraction(),
+    }
+}
+
+/// Runs the Figure-1 experiment: every application under LAS (baseline) and
+/// the configured policies, returning one row per application.
+pub fn run_figure1(config: &HarnessConfig) -> Vec<Figure1Row> {
+    let num_sockets = config.topology.num_sockets();
+    let simulator = Simulator::new(ExecutionConfig::new(config.topology.clone()));
+    let mut rows = Vec::new();
+    for app in Application::all() {
+        let spec = app.build(config.scale, num_sockets);
+        let mut las = make_policy_with_window(PolicyKind::Las, &spec, config.seed, None)
+            .expect("LAS always builds");
+        let baseline = simulator.run(&spec, las.as_mut());
+        let mut results = Vec::new();
+        for &kind in &config.policies {
+            let Some(mut policy) =
+                make_policy_with_window(kind, &spec, config.seed, config.window_size)
+            else {
+                continue;
+            };
+            let report = simulator.run(&spec, policy.as_mut());
+            results.push(result_from(&report, &baseline));
+        }
+        // The baseline itself is reported last (speedup 1.0), as in the plot.
+        results.push(result_from(&baseline, &baseline));
+        rows.push(Figure1Row {
+            application: app.label().to_string(),
+            tasks: spec.num_tasks(),
+            las_makespan_ns: baseline.makespan_ns,
+            las_local_fraction: baseline.local_fraction(),
+            results,
+        });
+    }
+    rows
+}
+
+/// The geometric-mean row of Figure 1 for a set of rows: for every policy
+/// label appearing in the rows, the geometric mean of its speedups.
+pub fn geometric_mean_row(rows: &[Figure1Row]) -> Vec<(String, f64)> {
+    let mut labels: Vec<String> = Vec::new();
+    for row in rows {
+        for r in &row.results {
+            if !labels.contains(&r.policy) {
+                labels.push(r.policy.clone());
+            }
+        }
+    }
+    labels
+        .into_iter()
+        .map(|label| {
+            let speedups: Vec<f64> = rows
+                .iter()
+                .filter_map(|row| row.speedup_of(&label))
+                .collect();
+            (label, geometric_mean(&speedups))
+        })
+        .collect()
+}
+
+/// The values the paper reports (read off Figure 1) where they are legible:
+/// returns `(policy, application, speedup)` triples. The geometric mean of
+/// RGP+LAS is the headline 1.12×.
+pub fn paper_reference() -> Vec<(&'static str, &'static str, f64)> {
+    vec![
+        ("DFIFO", "Integral histogram", 0.40),
+        ("DFIFO", "Jacobi", 0.42),
+        ("DFIFO", "NStream", 0.49),
+        ("DFIFO", "Symm. mat. inv.", 0.68),
+        ("RGP+LAS", "NStream", 1.75),
+        ("EP", "NStream", 1.74),
+        ("RGP+LAS", "geometric mean", 1.12),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> HarnessConfig {
+        HarnessConfig {
+            topology: Topology::bullion_s16(),
+            scale: ProblemScale::Tiny,
+            ..HarnessConfig::default()
+        }
+    }
+
+    #[test]
+    fn figure1_produces_eight_rows_with_all_policies() {
+        let rows = run_figure1(&tiny_config());
+        assert_eq!(rows.len(), 8);
+        for row in &rows {
+            assert!(row.tasks > 0);
+            assert!(row.las_makespan_ns > 0.0);
+            // DFIFO, RGP+LAS, EP + the LAS baseline itself.
+            assert_eq!(row.results.len(), 4);
+            let las = row.results.last().unwrap();
+            assert_eq!(las.policy, "LAS");
+            assert!((las.speedup_vs_las - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_row_covers_every_policy() {
+        let rows = run_figure1(&tiny_config());
+        let gm = geometric_mean_row(&rows);
+        let labels: Vec<&str> = gm.iter().map(|(l, _)| l.as_str()).collect();
+        assert!(labels.contains(&"DFIFO"));
+        assert!(labels.contains(&"RGP+LAS"));
+        assert!(labels.contains(&"EP"));
+        assert!(labels.contains(&"LAS"));
+        for (label, value) in &gm {
+            assert!(*value > 0.0, "{label} has non-positive geomean");
+        }
+        // LAS against itself is exactly 1.
+        let las = gm.iter().find(|(l, _)| l == "LAS").unwrap();
+        assert!((las.1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_reference_contains_headline_number() {
+        let refs = paper_reference();
+        assert!(refs
+            .iter()
+            .any(|(p, a, v)| *p == "RGP+LAS" && *a == "geometric mean" && (*v - 1.12).abs() < 1e-9));
+    }
+}

@@ -1,0 +1,18 @@
+//! # numadag-bench — the benchmark harness
+//!
+//! Reproduces the paper's evaluation:
+//!
+//! * the `figure1` binary regenerates Figure 1 (speedup of DFIFO, EP and
+//!   RGP+LAS over the LAS baseline on the eight applications, plus the
+//!   geometric mean) on the simulated bullion S16;
+//! * the `ablation` binary runs the design-choice studies listed in
+//!   DESIGN.md (window size, socket count, partitioner quality);
+//! * the Criterion benches in `benches/` measure the cost of the runtime
+//!   mechanisms themselves (partitioner, TDG construction, policy overhead,
+//!   end-to-end simulation).
+
+pub mod harness;
+
+pub use harness::{
+    geometric_mean_row, paper_reference, run_figure1, ApplicationResult, Figure1Row, HarnessConfig,
+};

@@ -1,0 +1,123 @@
+//! Expert programmer (EP): the placement hard-coded in the benchmark source.
+//!
+//! Each kernel in `numadag-kernels` knows its natural owner-computes
+//! distribution (e.g. "block row `i` of the matrix belongs to socket
+//! `i mod S`") and records it in the [`numadag_tdg::TaskGraphSpec`]. The EP
+//! policy simply replays that placement.
+
+use numadag_numa::SocketId;
+use numadag_tdg::{TaskDescriptor, TaskGraphSpec};
+
+use crate::policy::{DataLocator, SchedulingPolicy};
+
+/// The EP policy: a fixed task → socket map.
+#[derive(Clone, Debug)]
+pub struct EpPolicy {
+    placement: Vec<usize>,
+}
+
+impl EpPolicy {
+    /// Builds the policy from an explicit per-task socket index vector.
+    pub fn new(placement: Vec<usize>) -> Self {
+        EpPolicy { placement }
+    }
+
+    /// Builds the policy from a workload spec.
+    ///
+    /// Returns `None` if the spec has no expert placement (the harness then
+    /// skips the EP bar for that application, as a real study would).
+    pub fn from_spec(spec: &TaskGraphSpec) -> Option<Self> {
+        spec.ep_socket.clone().map(EpPolicy::new)
+    }
+
+    /// Number of tasks covered by the placement.
+    pub fn len(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// True if the placement covers no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.placement.is_empty()
+    }
+}
+
+impl SchedulingPolicy for EpPolicy {
+    fn name(&self) -> &str {
+        "EP"
+    }
+
+    fn assign(&mut self, task: &TaskDescriptor, locator: &dyn DataLocator) -> SocketId {
+        let num_sockets = locator.topology().num_sockets();
+        let raw = self
+            .placement
+            .get(task.id.index())
+            .copied()
+            .unwrap_or(task.id.index());
+        SocketId(raw % num_sockets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::MemoryLocator;
+    use numadag_numa::{MemoryMap, Topology};
+    use numadag_tdg::{TaskDescriptor, TaskId, TdgBuilder, TaskSpec};
+
+    fn dummy_task(id: usize) -> TaskDescriptor {
+        TaskDescriptor {
+            id: TaskId(id),
+            kind: "t".into(),
+            work_units: 1.0,
+            accesses: vec![],
+        }
+    }
+
+    #[test]
+    fn replays_recorded_placement() {
+        let topo = Topology::four_socket(2);
+        let mem = MemoryMap::new();
+        let loc = MemoryLocator::new(&topo, &mem);
+        let mut p = EpPolicy::new(vec![3, 1, 0, 2]);
+        assert_eq!(p.assign(&dummy_task(0), &loc), SocketId(3));
+        assert_eq!(p.assign(&dummy_task(1), &loc), SocketId(1));
+        assert_eq!(p.assign(&dummy_task(3), &loc), SocketId(2));
+        assert_eq!(p.name(), "EP");
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn placement_wraps_around_socket_count() {
+        let topo = Topology::two_socket(2);
+        let mem = MemoryMap::new();
+        let loc = MemoryLocator::new(&topo, &mem);
+        // Placement written for an 8-socket machine but run on 2 sockets.
+        let mut p = EpPolicy::new(vec![7, 6]);
+        assert_eq!(p.assign(&dummy_task(0), &loc), SocketId(1));
+        assert_eq!(p.assign(&dummy_task(1), &loc), SocketId(0));
+    }
+
+    #[test]
+    fn missing_entry_falls_back_to_task_id() {
+        let topo = Topology::four_socket(2);
+        let mem = MemoryMap::new();
+        let loc = MemoryLocator::new(&topo, &mem);
+        let mut p = EpPolicy::new(vec![0]);
+        assert_eq!(p.assign(&dummy_task(5), &loc), SocketId(1));
+    }
+
+    #[test]
+    fn from_spec_uses_recorded_placement() {
+        let mut b = TdgBuilder::new();
+        let r = b.region(8);
+        b.submit(TaskSpec::new("a").writes(r, 8));
+        b.submit(TaskSpec::new("b").reads(r, 8));
+        let (g, sizes) = b.finish();
+        let spec = numadag_tdg::TaskGraphSpec::new("toy", g, sizes);
+        assert!(EpPolicy::from_spec(&spec).is_none());
+        let spec = spec.with_ep_placement(vec![1, 1]);
+        let p = EpPolicy::from_spec(&spec).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+}

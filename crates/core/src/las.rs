@@ -1,0 +1,208 @@
+//! Locality-aware scheduling (LAS) — the baseline of the paper, following
+//! Drebes et al. (PACT'16).
+//!
+//! Two mechanisms:
+//!
+//! * **Deferred allocation** — the memory backing a task's output data is not
+//!   placed until the task itself is scheduled; the executor then first-
+//!   touches it on the socket that runs the task. (The allocation mechanics
+//!   live in the executors; the policy only relies on unallocated regions
+//!   showing up as such in the [`DataLocator`].)
+//! * **Enhanced work pushing** — when a task becomes ready, the sockets are
+//!   weighted by the bytes of the task's already-allocated input and output
+//!   dependences, and the task is pushed to the heaviest socket. If most of
+//!   the data is unallocated the socket is chosen uniformly at random, and
+//!   ties are also broken randomly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use numadag_numa::SocketId;
+use numadag_tdg::TaskDescriptor;
+
+use crate::policy::{DataLocator, SchedulingPolicy};
+use crate::weights::socket_weights;
+
+/// Fraction of a task's dependence bytes that must already be allocated for
+/// the weighted decision to be used; below this the placement is considered
+/// "mostly unallocated" and a random socket is chosen, as in the paper.
+const ALLOCATED_FRACTION_THRESHOLD: f64 = 0.5;
+
+/// The LAS policy.
+#[derive(Clone, Debug)]
+pub struct LasPolicy {
+    rng: StdRng,
+    random_assignments: usize,
+    weighted_assignments: usize,
+}
+
+impl LasPolicy {
+    /// Creates a LAS policy with the given random seed (used for the random
+    /// placement of tasks whose data has no home yet and for tie-breaking).
+    pub fn new(seed: u64) -> Self {
+        LasPolicy {
+            rng: StdRng::seed_from_u64(seed),
+            random_assignments: 0,
+            weighted_assignments: 0,
+        }
+    }
+
+    /// Number of tasks that were placed randomly (no usable locality
+    /// information at scheduling time).
+    pub fn random_assignments(&self) -> usize {
+        self.random_assignments
+    }
+
+    /// Number of tasks that were placed by the socket-weighting rule.
+    pub fn weighted_assignments(&self) -> usize {
+        self.weighted_assignments
+    }
+}
+
+impl Default for LasPolicy {
+    fn default() -> Self {
+        LasPolicy::new(0xA11C)
+    }
+}
+
+impl SchedulingPolicy for LasPolicy {
+    fn name(&self) -> &str {
+        "LAS"
+    }
+
+    fn assign(&mut self, task: &TaskDescriptor, locator: &dyn DataLocator) -> SocketId {
+        let num_sockets = locator.topology().num_sockets();
+        let w = socket_weights(task, locator);
+        let total = w.total_allocated() + w.unallocated;
+        let allocated_fraction = if total == 0 {
+            0.0
+        } else {
+            w.total_allocated() as f64 / total as f64
+        };
+        if w.all_unallocated() || allocated_fraction < ALLOCATED_FRACTION_THRESHOLD {
+            // "If most of the data is unallocated, the final socket is
+            // randomly chosen among all sockets available to the runtime."
+            self.random_assignments += 1;
+            return SocketId(self.rng.gen_range(0..num_sockets));
+        }
+        let heaviest = w.heaviest();
+        self.weighted_assignments += 1;
+        if heaviest.len() == 1 {
+            heaviest[0]
+        } else {
+            // "In case of a tie, the socket is chosen randomly among the
+            // tied ones."
+            heaviest[self.rng.gen_range(0..heaviest.len())]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::MemoryLocator;
+    use numadag_numa::{MemoryMap, NodeId, Topology};
+    use numadag_tdg::{DataAccess, TaskDescriptor, TaskId};
+
+    fn task_with(accesses: Vec<DataAccess>) -> TaskDescriptor {
+        TaskDescriptor {
+            id: TaskId(0),
+            kind: "t".into(),
+            work_units: 1.0,
+            accesses,
+        }
+    }
+
+    #[test]
+    fn follows_the_data() {
+        let topo = Topology::bullion_s16();
+        let mut mem = MemoryMap::new();
+        let a = mem.register(1000);
+        let b = mem.register(100);
+        mem.place(a, NodeId(5));
+        mem.place(b, NodeId(2));
+        let loc = MemoryLocator::new(&topo, &mem);
+        let mut p = LasPolicy::new(1);
+        let t = task_with(vec![DataAccess::read(a, 1000), DataAccess::read(b, 100)]);
+        // Socket 5 holds 10x more data: always chosen.
+        for _ in 0..10 {
+            assert_eq!(p.assign(&t, &loc), SocketId(5));
+        }
+        assert_eq!(p.weighted_assignments(), 10);
+        assert_eq!(p.random_assignments(), 0);
+    }
+
+    #[test]
+    fn random_when_nothing_is_allocated() {
+        let topo = Topology::bullion_s16();
+        let mut mem = MemoryMap::new();
+        let out = mem.register(4096);
+        let _ = out;
+        let loc = MemoryLocator::new(&topo, &mem);
+        let mut p = LasPolicy::new(7);
+        let t = task_with(vec![DataAccess::write(out, 4096)]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            seen.insert(p.assign(&t, &loc).index());
+        }
+        // With 64 draws over 8 sockets we expect to see several different ones.
+        assert!(seen.len() >= 4, "random placement looks degenerate: {seen:?}");
+        assert_eq!(p.random_assignments(), 64);
+    }
+
+    #[test]
+    fn mostly_unallocated_uses_random_placement() {
+        let topo = Topology::four_socket(2);
+        let mut mem = MemoryMap::new();
+        let small_in = mem.register(10);
+        let big_out = mem.register(10_000);
+        mem.place(small_in, NodeId(3));
+        let loc = MemoryLocator::new(&topo, &mem);
+        let mut p = LasPolicy::new(3);
+        let t = task_with(vec![
+            DataAccess::read(small_in, 10),
+            DataAccess::write(big_out, 10_000),
+        ]);
+        // Only 0.1% of the bytes are allocated — below the threshold, so the
+        // decision must be the random branch (which may of course still land
+        // on socket 3 occasionally).
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..32 {
+            distinct.insert(p.assign(&t, &loc).index());
+        }
+        assert!(distinct.len() > 1);
+        assert_eq!(p.weighted_assignments(), 0);
+    }
+
+    #[test]
+    fn ties_are_broken_among_tied_sockets_only() {
+        let topo = Topology::four_socket(2);
+        let mut mem = MemoryMap::new();
+        let a = mem.register(100);
+        let b = mem.register(100);
+        mem.place(a, NodeId(1));
+        mem.place(b, NodeId(2));
+        let loc = MemoryLocator::new(&topo, &mem);
+        let mut p = LasPolicy::new(11);
+        let t = task_with(vec![DataAccess::read(a, 100), DataAccess::read(b, 100)]);
+        for _ in 0..32 {
+            let s = p.assign(&t, &loc);
+            assert!(s == SocketId(1) || s == SocketId(2), "chose untied socket {s}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let topo = Topology::bullion_s16();
+        let mut mem = MemoryMap::new();
+        let out = mem.register(64);
+        let _ = out;
+        let loc = MemoryLocator::new(&topo, &mem);
+        let t = task_with(vec![DataAccess::write(out, 64)]);
+        let run = |seed| {
+            let mut p = LasPolicy::new(seed);
+            (0..16).map(|_| p.assign(&t, &loc).index()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

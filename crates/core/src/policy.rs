@@ -1,0 +1,97 @@
+//! The scheduling-policy abstraction and the runtime-facing data-location
+//! interface.
+
+use numadag_numa::memory::NodeBytes;
+use numadag_numa::{MemoryMap, RegionId, SocketId, Topology};
+use numadag_tdg::{TaskDescriptor, TaskGraph};
+
+/// What a policy is allowed to ask about the machine and the current
+/// placement of data. Implemented by the executors in `numadag-runtime`
+/// (backed by their [`MemoryMap`]) and by [`MemoryLocator`] for direct use.
+pub trait DataLocator {
+    /// The machine topology.
+    fn topology(&self) -> &Topology;
+    /// How the bytes of `region` are currently distributed over NUMA nodes.
+    fn region_location(&self, region: RegionId) -> NodeBytes;
+    /// Size of `region` in bytes.
+    fn region_size(&self, region: RegionId) -> u64;
+}
+
+/// A scheduling policy: decides, for every task that becomes ready, which
+/// socket it should be pushed to.
+///
+/// The runtime calls [`SchedulingPolicy::prepare`] once with the TDG it has
+/// accumulated (the paper's runtime builds this graph on the fly; in the
+/// reproduction the graph of the whole execution is available up front, and
+/// the policy itself decides how much of it to look at — RGP only uses the
+/// first window), and then [`SchedulingPolicy::assign`] every time a task's
+/// dependences are satisfied.
+pub trait SchedulingPolicy: Send {
+    /// Short name used in reports (`"LAS"`, `"RGP+LAS"`, ...).
+    fn name(&self) -> &str;
+
+    /// Called once before execution starts with the task graph.
+    fn prepare(&mut self, _graph: &TaskGraph, _locator: &dyn DataLocator) {}
+
+    /// Called when `task` becomes ready; returns the socket to run it on.
+    fn assign(&mut self, task: &TaskDescriptor, locator: &dyn DataLocator) -> SocketId;
+}
+
+/// A [`DataLocator`] backed directly by a [`Topology`] and a [`MemoryMap`].
+/// The executors wrap their internal state in this; tests use it directly.
+pub struct MemoryLocator<'a> {
+    topology: &'a Topology,
+    memory: &'a MemoryMap,
+}
+
+impl<'a> MemoryLocator<'a> {
+    /// Creates a locator over the given topology and memory state.
+    pub fn new(topology: &'a Topology, memory: &'a MemoryMap) -> Self {
+        MemoryLocator { topology, memory }
+    }
+}
+
+impl DataLocator for MemoryLocator<'_> {
+    fn topology(&self) -> &Topology {
+        self.topology
+    }
+
+    fn region_location(&self, region: RegionId) -> NodeBytes {
+        self.memory.bytes_per_node(region)
+    }
+
+    fn region_size(&self, region: RegionId) -> u64 {
+        self.memory.size_of(region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numadag_numa::NodeId;
+
+    #[test]
+    fn memory_locator_reports_placement() {
+        let topo = Topology::two_socket(4);
+        let mut mem = MemoryMap::new();
+        let r = mem.register(4096);
+        mem.place(r, NodeId(1));
+        let loc = MemoryLocator::new(&topo, &mem);
+        assert_eq!(loc.topology().num_sockets(), 2);
+        assert_eq!(loc.region_size(r), 4096);
+        let nb = loc.region_location(r);
+        assert_eq!(nb.per_node, vec![(NodeId(1), 4096)]);
+        assert_eq!(nb.unallocated, 0);
+    }
+
+    #[test]
+    fn memory_locator_reports_unallocated() {
+        let topo = Topology::uma(2);
+        let mut mem = MemoryMap::new();
+        let r = mem.register(100);
+        let loc = MemoryLocator::new(&topo, &mem);
+        let nb = loc.region_location(r);
+        assert!(nb.per_node.is_empty());
+        assert_eq!(nb.unallocated, 100);
+    }
+}

@@ -1,0 +1,298 @@
+//! Runtime graph partitioning (RGP) — the paper's proposed technique.
+//!
+//! The TDG is accumulated as tasks are instantiated. Once the window size
+//! limit is reached (or a barrier is hit), the subgraph formed by the first
+//! window of tasks is handed to a graph partitioner with one part per NUMA
+//! socket; edge weights are the bytes the dependences represent and vertex
+//! weights are the task compute costs, so the partitioner simultaneously
+//! minimises the data shared across sockets and balances work.
+//!
+//! Tasks inside the window are scheduled on the socket of their part. Tasks
+//! beyond the window are handled by a *propagation* policy:
+//!
+//! * [`Propagation::Las`] — the paper's `RGP+LAS`: locality-aware scheduling
+//!   naturally extends the partition, because the data written by window
+//!   tasks is already resident on "their" socket.
+//! * [`Propagation::RoundRobin`] — an ablation that shows the partition alone
+//!   is not enough without locality-aware propagation.
+
+use numadag_graph::{partition as gp, PartitionConfig};
+use numadag_numa::SocketId;
+use numadag_tdg::{window_to_csr, TaskDescriptor, TaskGraph, TaskId, TaskWindow, WindowConfig};
+
+use crate::las::LasPolicy;
+use crate::policy::{DataLocator, SchedulingPolicy};
+
+/// How tasks beyond the partitioned window are scheduled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Propagation {
+    /// Propagate with locality-aware scheduling (the paper's RGP+LAS).
+    #[default]
+    Las,
+    /// Propagate with a locality-blind round robin (ablation).
+    RoundRobin,
+}
+
+/// Configuration of the RGP policy.
+#[derive(Clone, Debug)]
+pub struct RgpConfig {
+    /// Window size limit: how many tasks are captured and partitioned.
+    pub window: WindowConfig,
+    /// Allowed load imbalance of the partition.
+    pub imbalance: f64,
+    /// Seed for the partitioner and for the propagation policy.
+    pub seed: u64,
+    /// Propagation used beyond the window.
+    pub propagation: Propagation,
+}
+
+impl Default for RgpConfig {
+    fn default() -> Self {
+        RgpConfig {
+            window: WindowConfig::default(),
+            imbalance: 0.10,
+            seed: 0x56F1,
+            propagation: Propagation::Las,
+        }
+    }
+}
+
+impl RgpConfig {
+    /// Sets the window size.
+    pub fn with_window_size(mut self, size: usize) -> Self {
+        self.window = WindowConfig::new(size);
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the propagation mode.
+    pub fn with_propagation(mut self, propagation: Propagation) -> Self {
+        self.propagation = propagation;
+        self
+    }
+}
+
+/// The RGP policy (RGP+LAS by default).
+pub struct RgpPolicy {
+    config: RgpConfig,
+    /// Socket decided by the partitioner for each window task.
+    window_assignment: Vec<Option<SocketId>>,
+    /// Fallback policy for tasks outside the window.
+    las: LasPolicy,
+    rr_next: usize,
+    /// Statistics: edge cut of the window partition (bytes).
+    window_edge_cut: i64,
+    window_size_used: usize,
+}
+
+impl RgpPolicy {
+    /// Creates an RGP policy with the given configuration.
+    pub fn new(config: RgpConfig) -> Self {
+        let las = LasPolicy::new(config.seed ^ 0x1A5);
+        RgpPolicy {
+            config,
+            window_assignment: Vec::new(),
+            las,
+            rr_next: 0,
+            window_edge_cut: 0,
+            window_size_used: 0,
+        }
+    }
+
+    /// Creates the paper's RGP+LAS with default parameters.
+    pub fn rgp_las() -> Self {
+        RgpPolicy::new(RgpConfig::default())
+    }
+
+    /// Edge cut (in bytes) of the partition of the initial window, available
+    /// after [`SchedulingPolicy::prepare`].
+    pub fn window_edge_cut(&self) -> i64 {
+        self.window_edge_cut
+    }
+
+    /// Number of tasks captured in the partitioned window.
+    pub fn window_size_used(&self) -> usize {
+        self.window_size_used
+    }
+
+    /// The socket the partitioner chose for `task`, if it was in the window.
+    pub fn window_socket_of(&self, task: TaskId) -> Option<SocketId> {
+        self.window_assignment.get(task.index()).copied().flatten()
+    }
+}
+
+impl SchedulingPolicy for RgpPolicy {
+    fn name(&self) -> &str {
+        match self.config.propagation {
+            Propagation::Las => "RGP+LAS",
+            Propagation::RoundRobin => "RGP+RR",
+        }
+    }
+
+    fn prepare(&mut self, graph: &TaskGraph, locator: &dyn DataLocator) {
+        let num_sockets = locator.topology().num_sockets();
+        let window = TaskWindow::initial(graph, self.config.window);
+        self.window_size_used = window.len();
+        self.window_assignment = vec![None; graph.num_tasks()];
+        if window.is_empty() || num_sockets <= 1 {
+            return;
+        }
+        let wg = window_to_csr(graph, &window);
+        let cfg = PartitionConfig::new(num_sockets)
+            .with_seed(self.config.seed)
+            .with_imbalance(self.config.imbalance);
+        let partition = gp::partition(&wg.graph, &cfg);
+        self.window_edge_cut = partition.edge_cut(&wg.graph);
+        for (v, &task) in wg.tasks.iter().enumerate() {
+            let part = partition.part_of(v as u32) as usize;
+            self.window_assignment[task.index()] = Some(SocketId(part % num_sockets));
+        }
+    }
+
+    fn assign(&mut self, task: &TaskDescriptor, locator: &dyn DataLocator) -> SocketId {
+        if let Some(Some(socket)) = self.window_assignment.get(task.id.index()) {
+            return *socket;
+        }
+        match self.config.propagation {
+            Propagation::Las => self.las.assign(task, locator),
+            Propagation::RoundRobin => {
+                let num_sockets = locator.topology().num_sockets();
+                let s = SocketId(self.rr_next % num_sockets);
+                self.rr_next = (self.rr_next + 1) % num_sockets;
+                s
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::MemoryLocator;
+    use numadag_numa::{MemoryMap, Topology};
+    use numadag_tdg::{TaskSpec, TdgBuilder};
+
+    /// Builds a workload with two independent heavy chains. A partitioner
+    /// must put each chain on its own socket.
+    fn two_chains(len: usize) -> (numadag_tdg::TaskGraph, Vec<u64>) {
+        let mut b = TdgBuilder::new();
+        let ra = b.region(1 << 20);
+        let rb = b.region(1 << 20);
+        for _ in 0..len {
+            b.submit(TaskSpec::new("a").work(10.0).reads_writes(ra, 1 << 20));
+            b.submit(TaskSpec::new("b").work(10.0).reads_writes(rb, 1 << 20));
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn window_partition_separates_independent_chains() {
+        let (graph, sizes) = two_chains(20);
+        let topo = Topology::two_socket(4);
+        let mut mem = MemoryMap::new();
+        for s in &sizes {
+            mem.register(*s);
+        }
+        let loc = MemoryLocator::new(&topo, &mem);
+        let mut p = RgpPolicy::new(RgpConfig::default().with_window_size(40));
+        p.prepare(&graph, &loc);
+        assert_eq!(p.window_size_used(), 40);
+        // Independent chains: zero cut is achievable.
+        assert_eq!(p.window_edge_cut(), 0);
+        // All tasks of chain "a" (even ids) on one socket, chain "b" on the other.
+        let sa = p.window_socket_of(numadag_tdg::TaskId(0)).unwrap();
+        let sb = p.window_socket_of(numadag_tdg::TaskId(1)).unwrap();
+        assert_ne!(sa, sb);
+        for t in graph.task_ids() {
+            let expected = if t.index() % 2 == 0 { sa } else { sb };
+            assert_eq!(p.window_socket_of(t), Some(expected), "task {t}");
+        }
+    }
+
+    #[test]
+    fn assign_uses_window_then_falls_back() {
+        let (graph, sizes) = two_chains(30); // 60 tasks
+        let topo = Topology::two_socket(4);
+        let mut mem = MemoryMap::new();
+        let regions: Vec<_> = sizes.iter().map(|s| mem.register(*s)).collect();
+        let mut p = RgpPolicy::new(RgpConfig::default().with_window_size(20));
+        {
+            let loc = MemoryLocator::new(&topo, &mem);
+            p.prepare(&graph, &loc);
+        }
+        // Window tasks reuse the partition.
+        let t0 = graph.task(numadag_tdg::TaskId(0));
+        let in_window = {
+            let loc = MemoryLocator::new(&topo, &mem);
+            p.assign(t0, &loc)
+        };
+        assert_eq!(Some(in_window), p.window_socket_of(numadag_tdg::TaskId(0)));
+        // A task beyond the window whose data is by now resident follows LAS:
+        // place region a on the socket opposite to the window choice and
+        // check the fallback follows the data, not the stale window.
+        let late = graph.task(numadag_tdg::TaskId(40));
+        assert!(p.window_socket_of(numadag_tdg::TaskId(40)).is_none());
+        let other = SocketId(1 - in_window.index());
+        mem.place(regions[0], other.node());
+        mem.place(regions[1], other.node());
+        let loc = MemoryLocator::new(&topo, &mem);
+        let s = p.assign(late, &loc);
+        assert_eq!(s, other, "LAS propagation must follow the allocated data");
+    }
+
+    #[test]
+    fn round_robin_propagation_cycles() {
+        let (graph, sizes) = two_chains(5);
+        let topo = Topology::four_socket(2);
+        let mut mem = MemoryMap::new();
+        for s in &sizes {
+            mem.register(*s);
+        }
+        let loc = MemoryLocator::new(&topo, &mem);
+        let mut p = RgpPolicy::new(
+            RgpConfig::default()
+                .with_window_size(2)
+                .with_propagation(Propagation::RoundRobin),
+        );
+        assert_eq!(p.name(), "RGP+RR");
+        p.prepare(&graph, &loc);
+        // Tasks 2.. are outside the window; they cycle over sockets.
+        let s: Vec<usize> = (2..6)
+            .map(|i| p.assign(graph.task(numadag_tdg::TaskId(i)), &loc).index())
+            .collect();
+        assert_eq!(s, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_socket_machine_needs_no_partition() {
+        let (graph, sizes) = two_chains(5);
+        let topo = Topology::uma(4);
+        let mut mem = MemoryMap::new();
+        for s in &sizes {
+            mem.register(*s);
+        }
+        let loc = MemoryLocator::new(&topo, &mem);
+        let mut p = RgpPolicy::rgp_las();
+        p.prepare(&graph, &loc);
+        assert_eq!(p.name(), "RGP+LAS");
+        for t in graph.task_ids() {
+            assert_eq!(p.assign(graph.task(t), &loc), SocketId(0));
+        }
+    }
+
+    #[test]
+    fn empty_graph_prepare_is_safe() {
+        let graph = numadag_tdg::TaskGraph::new();
+        let topo = Topology::two_socket(2);
+        let mem = MemoryMap::new();
+        let loc = MemoryLocator::new(&topo, &mem);
+        let mut p = RgpPolicy::rgp_las();
+        p.prepare(&graph, &loc);
+        assert_eq!(p.window_size_used(), 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Socket weighting from a task's data dependences — the core computation of
+//! locality-aware scheduling.
+//!
+//! "At the time of scheduling a task, the runtime explores its dependencies
+//! and weights the sockets using the size of the allocated input and output
+//! data. Then, the task is scheduled to the socket with the highest weight."
+
+use numadag_numa::SocketId;
+use numadag_tdg::TaskDescriptor;
+
+use crate::policy::DataLocator;
+
+/// Per-socket byte weights for a task, plus the number of bytes whose home is
+/// still undecided (deferred allocations).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SocketWeights {
+    /// `weights[s]` = bytes of the task's dependences allocated on socket `s`.
+    pub weights: Vec<u64>,
+    /// Bytes of the task's dependences not yet allocated anywhere.
+    pub unallocated: u64,
+}
+
+impl SocketWeights {
+    /// Total allocated bytes across all sockets.
+    pub fn total_allocated(&self) -> u64 {
+        self.weights.iter().sum()
+    }
+
+    /// True if no byte of the task's dependences has a home yet.
+    pub fn all_unallocated(&self) -> bool {
+        self.total_allocated() == 0
+    }
+
+    /// The sockets with the maximum weight (more than one on ties). Empty if
+    /// nothing is allocated.
+    pub fn heaviest(&self) -> Vec<SocketId> {
+        let max = self.weights.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return Vec::new();
+        }
+        self.weights
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w == max)
+            .map(|(s, _)| SocketId(s))
+            .collect()
+    }
+
+    /// Fraction of the allocated bytes held by the heaviest socket.
+    pub fn concentration(&self) -> f64 {
+        let total = self.total_allocated();
+        if total == 0 {
+            return 0.0;
+        }
+        let max = self.weights.iter().copied().max().unwrap_or(0);
+        max as f64 / total as f64
+    }
+}
+
+/// Computes the socket weights of `task` given the current data placement.
+/// Every access (input and output alike) contributes its bytes to the sockets
+/// currently holding the region; unallocated bytes are tallied separately.
+pub fn socket_weights(task: &TaskDescriptor, locator: &dyn DataLocator) -> SocketWeights {
+    let num_sockets = locator.topology().num_sockets();
+    let mut weights = vec![0u64; num_sockets];
+    let mut unallocated = 0u64;
+    for access in &task.accesses {
+        let location = locator.region_location(access.region);
+        let region_size = locator.region_size(access.region).max(1);
+        for (node, bytes) in &location.per_node {
+            // Scale the resident bytes to the portion of the region this
+            // access touches (accesses normally cover the whole region).
+            let contribution =
+                (*bytes as f64 * access.bytes as f64 / region_size as f64).round() as u64;
+            let socket = node.socket();
+            if socket.index() < num_sockets {
+                weights[socket.index()] += contribution;
+            }
+        }
+        unallocated +=
+            (location.unallocated as f64 * access.bytes as f64 / region_size as f64).round() as u64;
+    }
+    SocketWeights {
+        weights,
+        unallocated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::MemoryLocator;
+    use numadag_numa::{MemoryMap, NodeId, Topology};
+    use numadag_tdg::{DataAccess, TaskDescriptor, TaskId};
+
+    fn task_with(accesses: Vec<DataAccess>) -> TaskDescriptor {
+        TaskDescriptor {
+            id: TaskId(0),
+            kind: "t".into(),
+            work_units: 1.0,
+            accesses,
+        }
+    }
+
+    #[test]
+    fn weights_follow_allocation() {
+        let topo = Topology::four_socket(2);
+        let mut mem = MemoryMap::new();
+        let a = mem.register(1000);
+        let b = mem.register(3000);
+        mem.place(a, NodeId(0));
+        mem.place(b, NodeId(2));
+        let loc = MemoryLocator::new(&topo, &mem);
+        let t = task_with(vec![DataAccess::read(a, 1000), DataAccess::read(b, 3000)]);
+        let w = socket_weights(&t, &loc);
+        assert_eq!(w.weights, vec![1000, 0, 3000, 0]);
+        assert_eq!(w.unallocated, 0);
+        assert_eq!(w.heaviest(), vec![SocketId(2)]);
+        assert!((w.concentration() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unallocated_output_counts_separately() {
+        let topo = Topology::two_socket(2);
+        let mut mem = MemoryMap::new();
+        let input = mem.register(500);
+        let output = mem.register(500);
+        mem.place(input, NodeId(1));
+        let loc = MemoryLocator::new(&topo, &mem);
+        let t = task_with(vec![
+            DataAccess::read(input, 500),
+            DataAccess::write(output, 500),
+        ]);
+        let w = socket_weights(&t, &loc);
+        assert_eq!(w.weights, vec![0, 500]);
+        assert_eq!(w.unallocated, 500);
+        assert!(!w.all_unallocated());
+    }
+
+    #[test]
+    fn all_unallocated_detected() {
+        let topo = Topology::two_socket(2);
+        let mut mem = MemoryMap::new();
+        let a = mem.register(100);
+        let loc = MemoryLocator::new(&topo, &mem);
+        let t = task_with(vec![DataAccess::write(a, 100)]);
+        let w = socket_weights(&t, &loc);
+        assert!(w.all_unallocated());
+        assert!(w.heaviest().is_empty());
+        assert_eq!(w.concentration(), 0.0);
+        assert_eq!(w.unallocated, 100);
+    }
+
+    #[test]
+    fn ties_report_all_heaviest_sockets() {
+        let topo = Topology::four_socket(1);
+        let mut mem = MemoryMap::new();
+        let a = mem.register(100);
+        let b = mem.register(100);
+        mem.place(a, NodeId(1));
+        mem.place(b, NodeId(3));
+        let loc = MemoryLocator::new(&topo, &mem);
+        let t = task_with(vec![DataAccess::read(a, 100), DataAccess::read(b, 100)]);
+        let w = socket_weights(&t, &loc);
+        assert_eq!(w.heaviest(), vec![SocketId(1), SocketId(3)]);
+    }
+
+    #[test]
+    fn interleaved_region_splits_weight() {
+        let topo = Topology::two_socket(2);
+        let mut mem = MemoryMap::with_page_size(100);
+        let a = mem.register(400);
+        mem.place_interleaved(a, &[NodeId(0), NodeId(1)]);
+        let loc = MemoryLocator::new(&topo, &mem);
+        let t = task_with(vec![DataAccess::read(a, 400)]);
+        let w = socket_weights(&t, &loc);
+        assert_eq!(w.weights, vec![200, 200]);
+        assert_eq!(w.heaviest().len(), 2);
+    }
+
+    #[test]
+    fn partial_access_scales_contribution() {
+        let topo = Topology::two_socket(2);
+        let mut mem = MemoryMap::new();
+        let a = mem.register(1000);
+        mem.place(a, NodeId(0));
+        let loc = MemoryLocator::new(&topo, &mem);
+        // The task only touches half of the region.
+        let t = task_with(vec![DataAccess::read(a, 500)]);
+        let w = socket_weights(&t, &loc);
+        assert_eq!(w.weights, vec![500, 0]);
+    }
+}

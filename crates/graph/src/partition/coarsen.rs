@@ -1,0 +1,229 @@
+//! Coarsening via heavy-edge matching (HEM).
+//!
+//! Vertices are visited in random order; each unmatched vertex is matched
+//! with its unmatched neighbour connected by the heaviest edge. Matched pairs
+//! collapse into a single coarse vertex whose weight is the sum of the pair's
+//! weights; parallel edges between coarse vertices are merged by adding their
+//! weights. This is the standard first phase of METIS/SCOTCH-style multilevel
+//! partitioning: it preserves heavy edges inside coarse vertices so the
+//! initial partition never has to cut them.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use crate::csr::{CsrGraph, GraphBuilder};
+
+/// One level of the coarsening hierarchy.
+#[derive(Clone, Debug)]
+pub struct CoarseLevel {
+    /// The coarser graph.
+    pub graph: CsrGraph,
+    /// For every vertex of the *finer* graph, the coarse vertex it collapsed
+    /// into.
+    pub fine_to_coarse: Vec<u32>,
+}
+
+/// Computes a heavy-edge matching of `graph`.
+///
+/// Returns `match_of[v]`, where `match_of[v] == v` means `v` stayed single.
+pub fn heavy_edge_matching(graph: &CsrGraph, rng: &mut StdRng) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut match_of: Vec<u32> = (0..n as u32).collect();
+    let mut matched = vec![false; n];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+    for &v in &order {
+        if matched[v as usize] {
+            continue;
+        }
+        // Pick the heaviest edge to an unmatched neighbour; break ties on the
+        // smaller vertex id for determinism.
+        let mut best: Option<(i64, u32)> = None;
+        for (u, w) in graph.edges_of(v) {
+            if matched[u as usize] || u == v {
+                continue;
+            }
+            let candidate = (w, u);
+            best = match best {
+                None => Some(candidate),
+                Some((bw, bu)) => {
+                    if w > bw || (w == bw && u < bu) {
+                        Some(candidate)
+                    } else {
+                        Some((bw, bu))
+                    }
+                }
+            };
+        }
+        if let Some((_, u)) = best {
+            match_of[v as usize] = u;
+            match_of[u as usize] = v;
+            matched[v as usize] = true;
+            matched[u as usize] = true;
+        } else {
+            matched[v as usize] = true;
+        }
+    }
+    match_of
+}
+
+/// Collapses a matching into a coarser graph.
+pub fn contract(graph: &CsrGraph, match_of: &[u32]) -> CoarseLevel {
+    let n = graph.num_vertices();
+    let mut fine_to_coarse = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        if fine_to_coarse[v as usize] != u32::MAX {
+            continue;
+        }
+        let m = match_of[v as usize];
+        fine_to_coarse[v as usize] = next;
+        if m != v {
+            fine_to_coarse[m as usize] = next;
+        }
+        next += 1;
+    }
+    let coarse_n = next as usize;
+    let mut builder = GraphBuilder::new(coarse_n);
+    // Vertex weights.
+    let mut cw = vec![0i64; coarse_n];
+    for v in 0..n as u32 {
+        cw[fine_to_coarse[v as usize] as usize] += graph.vertex_weight(v);
+    }
+    for (c, w) in cw.iter().enumerate() {
+        builder.set_vertex_weight(c as u32, (*w).max(1));
+    }
+    // Edges (GraphBuilder merges duplicates and drops self loops).
+    for v in 0..n as u32 {
+        let cv = fine_to_coarse[v as usize];
+        for (u, w) in graph.edges_of(v) {
+            if u > v {
+                let cu = fine_to_coarse[u as usize];
+                builder.add_edge(cv, cu, w);
+            }
+        }
+    }
+    CoarseLevel {
+        graph: builder.build(),
+        fine_to_coarse,
+    }
+}
+
+/// One full coarsening step: match then contract.
+pub fn coarsen_once(graph: &CsrGraph, rng: &mut StdRng) -> CoarseLevel {
+    let matching = heavy_edge_matching(graph, rng);
+    contract(graph, &matching)
+}
+
+/// Repeatedly coarsens `graph` until it has at most `target_vertices`
+/// vertices or coarsening stops making progress (shrink factor > 0.95).
+/// Returns the hierarchy from finest (first) to coarsest (last). The original
+/// graph is *not* included.
+pub fn coarsen_to(graph: &CsrGraph, target_vertices: usize, rng: &mut StdRng) -> Vec<CoarseLevel> {
+    let mut levels: Vec<CoarseLevel> = Vec::new();
+    let mut current = graph.clone();
+    while current.num_vertices() > target_vertices.max(2) {
+        let level = coarsen_once(&current, rng);
+        let shrink = level.graph.num_vertices() as f64 / current.num_vertices() as f64;
+        if shrink > 0.95 {
+            // Matching found almost nothing to merge (e.g. graph is mostly
+            // isolated vertices); further coarsening is pointless.
+            break;
+        }
+        current = level.graph.clone();
+        levels.push(level);
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn matching_is_symmetric_and_valid() {
+        let g = generators::grid_2d(8, 8, 1);
+        let m = heavy_edge_matching(&g, &mut rng());
+        for v in 0..g.num_vertices() as u32 {
+            let u = m[v as usize];
+            assert_eq!(m[u as usize], v, "matching must be an involution");
+            if u != v {
+                assert!(
+                    g.neighbors(v).contains(&u),
+                    "matched vertices must be adjacent"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matching_prefers_heavy_edges() {
+        // Path 0 -1- 1 -100- 2 -1- 3 : vertices 1 and 2 must match.
+        let mut b = crate::csr::GraphBuilder::new(4);
+        b.add_edge(0, 1, 1).add_edge(1, 2, 100).add_edge(2, 3, 1);
+        let g = b.build();
+        // Whatever the visit order, the heavy edge is chosen when either
+        // endpoint is visited first.
+        let m = heavy_edge_matching(&g, &mut rng());
+        assert!(m[1] == 2 || m[2] == 1);
+        assert_eq!(m[1], 2);
+    }
+
+    #[test]
+    fn contraction_preserves_total_weights() {
+        let g = generators::random_graph(200, 6, 10, 3);
+        let level = coarsen_once(&g, &mut rng());
+        assert!(level.graph.num_vertices() < g.num_vertices());
+        assert_eq!(
+            level.graph.total_vertex_weight(),
+            g.total_vertex_weight(),
+            "vertex weight is conserved by contraction"
+        );
+        // Edge weight can only decrease (self-collapsed edges disappear).
+        assert!(level.graph.total_edge_weight() <= g.total_edge_weight());
+        assert!(level.graph.validate().is_ok());
+        // Mapping covers every fine vertex and targets a valid coarse vertex.
+        for &c in &level.fine_to_coarse {
+            assert!((c as usize) < level.graph.num_vertices());
+        }
+    }
+
+    #[test]
+    fn coarsen_to_reaches_target() {
+        let g = generators::grid_2d(32, 32, 2);
+        let levels = coarsen_to(&g, 64, &mut rng());
+        assert!(!levels.is_empty());
+        let coarsest = &levels.last().unwrap().graph;
+        assert!(coarsest.num_vertices() <= 64 || levels.len() > 4);
+        // Hierarchy is strictly decreasing in size.
+        let mut prev = g.num_vertices();
+        for level in &levels {
+            assert!(level.graph.num_vertices() < prev);
+            prev = level.graph.num_vertices();
+        }
+    }
+
+    #[test]
+    fn coarsening_stops_on_isolated_vertices() {
+        let g = CsrGraph::empty(100);
+        let levels = coarsen_to(&g, 10, &mut rng());
+        assert!(levels.is_empty(), "no edges means nothing can be merged");
+    }
+
+    #[test]
+    fn contract_handles_singletons() {
+        // A triangle plus an isolated vertex: the isolated vertex survives.
+        let mut b = crate::csr::GraphBuilder::new(4);
+        b.add_edge(0, 1, 2).add_edge(1, 2, 2).add_edge(0, 2, 2);
+        let g = b.build();
+        let level = coarsen_once(&g, &mut rng());
+        assert_eq!(level.graph.total_vertex_weight(), 4);
+        assert!(level.graph.num_vertices() >= 2);
+    }
+}

@@ -1,0 +1,357 @@
+//! Initial partitioning: greedy graph growing, recursive bisection and the
+//! naive BFS baseline.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::csr::CsrGraph;
+
+/// Grows one side of a bisection of the vertex subset `vertices` until its
+/// weight reaches `target_left`, preferring at each step the candidate most
+/// strongly connected to the growing side (greedy graph growing, GGG).
+///
+/// Returns the `(left, right)` vertex sets. Both are non-empty as long as
+/// `vertices` has at least two elements and `target_left` is positive and
+/// below the subset weight.
+pub fn greedy_bisection(
+    graph: &CsrGraph,
+    vertices: &[u32],
+    target_left: i64,
+    rng: &mut StdRng,
+) -> (Vec<u32>, Vec<u32>) {
+    let n_total = graph.num_vertices();
+    if vertices.len() < 2 {
+        return (vertices.to_vec(), Vec::new());
+    }
+    let mut in_subset = vec![false; n_total];
+    for &v in vertices {
+        in_subset[v as usize] = true;
+    }
+    let total: i64 = vertices.iter().map(|&v| graph.vertex_weight(v)).sum();
+    let target_left = target_left.clamp(1, total - 1);
+
+    let mut in_left = vec![false; n_total];
+    let mut left_weight = 0i64;
+    let mut left: Vec<u32> = Vec::new();
+    // gain[v] = (weight to left) - (weight to right), only meaningful for
+    // candidates (subset vertices not yet in left).
+    let mut gain = vec![i64::MIN; n_total];
+
+    while left_weight < target_left {
+        // Pick the best candidate among subset vertices adjacent to the left
+        // side; if none exists (left is empty or its component is exhausted),
+        // seed with a pseudo-peripheral vertex of the remaining subset.
+        let candidate = best_candidate(&gain, &in_subset, &in_left);
+        let v = match candidate {
+            Some(v) => v,
+            None => match seed_vertex(graph, vertices, &in_left, &in_subset, rng) {
+                Some(v) => v,
+                None => break,
+            },
+        };
+        // Adding v to the left would overshoot badly? Accept anyway — the
+        // refinement phase restores balance; stopping early risks an empty
+        // side.
+        in_left[v as usize] = true;
+        left_weight += graph.vertex_weight(v);
+        left.push(v);
+        gain[v as usize] = i64::MIN;
+        // Update candidate gains around v.
+        for (u, w) in graph.edges_of(v) {
+            if !in_subset[u as usize] || in_left[u as usize] {
+                continue;
+            }
+            if gain[u as usize] == i64::MIN {
+                gain[u as usize] = initial_gain(graph, u, &in_left, &in_subset);
+            } else {
+                // Edge (u, v) moved from the "right" side to the "left" side
+                // of u's gain: +w for the left term, +w for removing it from
+                // the right term.
+                gain[u as usize] += 2 * w;
+            }
+        }
+    }
+    let right: Vec<u32> = vertices
+        .iter()
+        .copied()
+        .filter(|&v| !in_left[v as usize])
+        .collect();
+    (left, right)
+}
+
+fn initial_gain(graph: &CsrGraph, v: u32, in_left: &[bool], in_subset: &[bool]) -> i64 {
+    let mut g = 0i64;
+    for (u, w) in graph.edges_of(v) {
+        if !in_subset[u as usize] {
+            continue;
+        }
+        if in_left[u as usize] {
+            g += w;
+        } else {
+            g -= w;
+        }
+    }
+    g
+}
+
+fn best_candidate(gain: &[i64], in_subset: &[bool], in_left: &[bool]) -> Option<u32> {
+    let mut best: Option<(i64, u32)> = None;
+    for (v, &g) in gain.iter().enumerate() {
+        if g == i64::MIN || !in_subset[v] || in_left[v] {
+            continue;
+        }
+        match best {
+            None => best = Some((g, v as u32)),
+            Some((bg, bv)) => {
+                if g > bg || (g == bg && (v as u32) < bv) {
+                    best = Some((g, v as u32));
+                }
+            }
+        }
+    }
+    best.map(|(_, v)| v)
+}
+
+/// Picks a pseudo-peripheral seed: a random unassigned subset vertex, then
+/// the farthest vertex from it by BFS (restricted to the subset and to
+/// unassigned vertices).
+fn seed_vertex(
+    graph: &CsrGraph,
+    vertices: &[u32],
+    in_left: &[bool],
+    in_subset: &[bool],
+    rng: &mut StdRng,
+) -> Option<u32> {
+    let remaining: Vec<u32> = vertices
+        .iter()
+        .copied()
+        .filter(|&v| !in_left[v as usize])
+        .collect();
+    if remaining.is_empty() {
+        return None;
+    }
+    let start = remaining[rng.gen_range(0..remaining.len())];
+    // BFS to find the farthest reachable unassigned vertex.
+    let mut visited = vec![false; graph.num_vertices()];
+    let mut queue = std::collections::VecDeque::new();
+    visited[start as usize] = true;
+    queue.push_back(start);
+    let mut last = start;
+    while let Some(v) = queue.pop_front() {
+        last = v;
+        for &u in graph.neighbors(v) {
+            if in_subset[u as usize] && !in_left[u as usize] && !visited[u as usize] {
+                visited[u as usize] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    Some(last)
+}
+
+/// Recursive bisection into `k` parts. Part ids are contiguous from 0.
+pub fn recursive_bisection(
+    graph: &CsrGraph,
+    k: usize,
+    imbalance: f64,
+    rng: &mut StdRng,
+) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut assignment = vec![0u32; n];
+    let vertices: Vec<u32> = (0..n as u32).collect();
+    rb_recurse(graph, &vertices, k, 0, imbalance, rng, &mut assignment);
+    assignment
+}
+
+fn rb_recurse(
+    graph: &CsrGraph,
+    vertices: &[u32],
+    k: usize,
+    part_offset: u32,
+    imbalance: f64,
+    rng: &mut StdRng,
+    assignment: &mut [u32],
+) {
+    if k <= 1 || vertices.len() <= 1 {
+        for &v in vertices {
+            assignment[v as usize] = part_offset;
+        }
+        return;
+    }
+    let k_left = k.div_ceil(2);
+    let total: i64 = vertices.iter().map(|&v| graph.vertex_weight(v)).sum();
+    let target_left = ((total as f64) * (k_left as f64) / (k as f64)).round() as i64;
+    let (left, right) = greedy_bisection(graph, vertices, target_left, rng);
+    // Guard against degenerate splits on pathological graphs: fall back to a
+    // weight-balanced split of the vertex list.
+    let (left, right) = if left.is_empty() || right.is_empty() {
+        split_by_weight(graph, vertices, target_left)
+    } else {
+        (left, right)
+    };
+    rb_recurse(graph, &left, k_left, part_offset, imbalance, rng, assignment);
+    rb_recurse(
+        graph,
+        &right,
+        k - k_left,
+        part_offset + k_left as u32,
+        imbalance,
+        rng,
+        assignment,
+    );
+}
+
+fn split_by_weight(graph: &CsrGraph, vertices: &[u32], target_left: i64) -> (Vec<u32>, Vec<u32>) {
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    let mut acc = 0i64;
+    for &v in vertices {
+        if acc < target_left {
+            acc += graph.vertex_weight(v);
+            left.push(v);
+        } else {
+            right.push(v);
+        }
+    }
+    if left.is_empty() && !right.is_empty() {
+        left.push(right.remove(0));
+    }
+    if right.is_empty() && left.len() > 1 {
+        right.push(left.pop().unwrap());
+    }
+    (left, right)
+}
+
+/// Naive baseline: breadth-first growth from random seeds, ignoring edge
+/// weights entirely. Parts are contiguous chunks of the BFS order balanced by
+/// vertex weight. This is the "simple heuristic" the paper contrasts graph
+/// partitioning against, and the ABL-PART ablation baseline.
+pub fn bfs_growing(graph: &CsrGraph, k: usize, rng: &mut StdRng) -> Vec<u32> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    while order.len() < n {
+        // Start a BFS from a random unvisited vertex.
+        let unvisited: Vec<u32> = (0..n as u32).filter(|&v| !visited[v as usize]).collect();
+        let start = unvisited[rng.gen_range(0..unvisited.len())];
+        visited[start as usize] = true;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &u in graph.neighbors(v) {
+                if !visited[u as usize] {
+                    visited[u as usize] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    // Chop the order into k chunks of roughly equal vertex weight.
+    let total = graph.total_vertex_weight();
+    let ideal = total as f64 / k as f64;
+    let mut assignment = vec![0u32; n];
+    let mut acc = 0i64;
+    let mut part = 0u32;
+    for &v in &order {
+        if (acc as f64) >= ideal * (part as f64 + 1.0) && (part as usize) < k - 1 {
+            part += 1;
+        }
+        assignment[v as usize] = part;
+        acc += graph.vertex_weight(v);
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::metrics;
+    use crate::partition::Partition;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn greedy_bisection_splits_clusters() {
+        let g = generators::two_clusters(6, 20);
+        let vertices: Vec<u32> = (0..12).collect();
+        let (left, right) = greedy_bisection(&g, &vertices, 6, &mut rng());
+        assert_eq!(left.len(), 6);
+        assert_eq!(right.len(), 6);
+        // The left side must be exactly one of the clusters.
+        let mut l = left.clone();
+        l.sort_unstable();
+        assert!(l == (0..6).collect::<Vec<u32>>() || l == (6..12).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn greedy_bisection_handles_subsets() {
+        let g = generators::path(10);
+        // Bisect only the even vertices (no edges among them).
+        let vertices: Vec<u32> = (0..10).filter(|v| v % 2 == 0).collect();
+        let (left, right) = greedy_bisection(&g, &vertices, 2, &mut rng());
+        assert_eq!(left.len() + right.len(), 5);
+        assert!(!left.is_empty());
+        assert!(!right.is_empty());
+    }
+
+    #[test]
+    fn recursive_bisection_produces_k_parts() {
+        let g = generators::grid_2d(12, 12, 1);
+        for k in [2, 3, 4, 6, 8] {
+            let a = recursive_bisection(&g, k, 0.1, &mut rng());
+            let p = Partition::from_assignment(a, k);
+            let weights = metrics::part_weights(&g, &p);
+            assert_eq!(weights.len(), k);
+            assert!(weights.iter().all(|&w| w > 0), "k={k}: empty part");
+            let imb = metrics::imbalance(&g, &p);
+            assert!(imb < 1.6, "k={k}: initial imbalance {imb} is unreasonable");
+        }
+    }
+
+    #[test]
+    fn recursive_bisection_on_disconnected_graph() {
+        let mut b = crate::csr::GraphBuilder::new(8);
+        b.add_edge(0, 1, 1).add_edge(2, 3, 1);
+        b.add_edge(4, 5, 1).add_edge(6, 7, 1);
+        let g = b.build();
+        let a = recursive_bisection(&g, 4, 0.1, &mut rng());
+        let p = Partition::from_assignment(a, 4);
+        let weights = metrics::part_weights(&g, &p);
+        assert!(weights.iter().all(|&w| w > 0));
+    }
+
+    #[test]
+    fn bfs_growing_is_balanced_but_weight_oblivious() {
+        let g = generators::grid_2d(10, 10, 1);
+        let a = bfs_growing(&g, 4, &mut rng());
+        let p = Partition::from_assignment(a, 4);
+        let weights = metrics::part_weights(&g, &p);
+        assert_eq!(weights.iter().sum::<i64>(), 100);
+        let imb = metrics::imbalance(&g, &p);
+        assert!(imb < 1.3, "BFS chunks should be roughly balanced, got {imb}");
+    }
+
+    #[test]
+    fn bfs_growing_covers_disconnected_graphs() {
+        let g = crate::csr::CsrGraph::empty(17);
+        let a = bfs_growing(&g, 4, &mut rng());
+        assert_eq!(a.len(), 17);
+        assert!(a.iter().all(|&p| p < 4));
+    }
+
+    #[test]
+    fn single_vertex_subset() {
+        let g = generators::path(3);
+        let (l, r) = greedy_bisection(&g, &[1], 1, &mut rng());
+        assert_eq!(l, vec![1]);
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! The multilevel k-way driver: coarsen → initial partition → uncoarsen +
+//! refine.
+
+use rand::rngs::StdRng;
+
+use crate::csr::CsrGraph;
+use crate::partition::{coarsen, initial, refine, PartitionConfig};
+
+/// Multilevel k-way partitioning, METIS/SCOTCH style.
+pub fn multilevel_kway(graph: &CsrGraph, config: &PartitionConfig, rng: &mut StdRng) -> Vec<u32> {
+    let k = config.num_parts.max(1);
+    let target = config.coarsen_until.max(4 * k);
+
+    // Phase 1: coarsen.
+    let levels = coarsen::coarsen_to(graph, target, rng);
+
+    // Phase 2: initial partition of the coarsest graph.
+    let coarsest: &CsrGraph = levels.last().map(|l| &l.graph).unwrap_or(graph);
+    let mut assignment = initial::recursive_bisection(coarsest, k, config.imbalance, rng);
+    refine::refine_kway(coarsest, &mut assignment, config, config.refine_passes);
+
+    // Phase 3: uncoarsen and refine level by level.
+    for i in (0..levels.len()).rev() {
+        let finer: &CsrGraph = if i == 0 { graph } else { &levels[i - 1].graph };
+        let map = &levels[i].fine_to_coarse;
+        let mut projected = vec![0u32; finer.num_vertices()];
+        for (v, &c) in map.iter().enumerate() {
+            projected[v] = assignment[c as usize];
+        }
+        assignment = projected;
+        refine::refine_kway(finer, &mut assignment, config, config.refine_passes);
+    }
+
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::metrics;
+    use crate::partition::Partition;
+    use rand::SeedableRng;
+
+    #[test]
+    fn multilevel_partitions_large_grid_well() {
+        let g = generators::grid_2d(32, 32, 1);
+        let cfg = PartitionConfig::new(8);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let a = multilevel_kway(&g, &cfg, &mut rng);
+        let p = Partition::from_assignment(a, 8);
+        let q = metrics::quality(&g, &p);
+        assert_eq!(q.nonempty_parts, 8);
+        assert!(q.imbalance <= 1.0 + cfg.imbalance + 1e-9);
+        // A random 8-way split of a 32x32 grid cuts ~87.5% of the 1984 edges;
+        // a decent partitioner should stay far below that.
+        assert!(
+            q.edge_cut < 600,
+            "edge cut {} is too high for a 32x32 grid",
+            q.edge_cut
+        );
+    }
+
+    #[test]
+    fn multilevel_handles_heavy_weighted_edges() {
+        let g = generators::layered_dag_skeleton(30, 16, 2, 1 << 16);
+        let cfg = PartitionConfig::new(4);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let a = multilevel_kway(&g, &cfg, &mut rng);
+        let p = Partition::from_assignment(a, 4);
+        assert!(p.imbalance(&g) <= 1.0 + cfg.imbalance + 1e-9);
+        assert!(metrics::part_weights(&g, &p).iter().all(|&w| w > 0));
+    }
+
+    #[test]
+    fn multilevel_on_graph_smaller_than_target() {
+        // Graph already below the coarsening threshold: driver must still work.
+        let g = generators::grid_2d(4, 4, 1);
+        let cfg = PartitionConfig::new(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = multilevel_kway(&g, &cfg, &mut rng);
+        assert_eq!(a.len(), 16);
+        assert!(a.iter().all(|&p| p < 4));
+    }
+}

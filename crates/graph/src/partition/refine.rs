@@ -1,0 +1,268 @@
+//! K-way boundary refinement in the Fiduccia–Mattheyses family.
+//!
+//! After the initial partition (and after every uncoarsening step of the
+//! multilevel scheme), [`refine_kway`] performs greedy passes over the
+//! boundary vertices: each vertex may move to the neighbouring part it is
+//! most strongly connected to, provided the move does not violate the balance
+//! constraint. A separate [`rebalance`] step repairs partitions whose parts
+//! exceed the allowed maximum weight (which can happen after projecting a
+//! coarse partition onto a finer graph).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::csr::CsrGraph;
+use crate::partition::PartitionConfig;
+
+/// Connectivity of one vertex to every part.
+fn part_connectivity(graph: &CsrGraph, assignment: &[u32], v: u32, k: usize) -> Vec<i64> {
+    let mut conn = vec![0i64; k];
+    for (u, w) in graph.edges_of(v) {
+        conn[assignment[u as usize] as usize] += w;
+    }
+    conn
+}
+
+/// True if `v` has at least one neighbour in a different part.
+fn is_boundary(graph: &CsrGraph, assignment: &[u32], v: u32) -> bool {
+    let p = assignment[v as usize];
+    graph
+        .neighbors(v)
+        .iter()
+        .any(|&u| assignment[u as usize] != p)
+}
+
+/// Moves vertices out of overweight parts until every part weighs at most
+/// `max_part_weight`, choosing at each step the move that loses the least cut
+/// weight. Returns the number of vertices moved.
+pub fn rebalance(
+    graph: &CsrGraph,
+    assignment: &mut [u32],
+    k: usize,
+    max_part_weight: i64,
+) -> usize {
+    let n = graph.num_vertices();
+    let mut part_weight = vec![0i64; k];
+    for v in 0..n {
+        part_weight[assignment[v] as usize] += graph.vertex_weight(v as u32);
+    }
+    let mut moves = 0usize;
+    // Hard cap: each vertex can be moved at most twice on average.
+    let max_moves = 2 * n + k;
+    while moves < max_moves {
+        // Heaviest offending part.
+        let Some((heavy, _)) = part_weight
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w > max_part_weight)
+            .max_by_key(|(_, &w)| w)
+        else {
+            break;
+        };
+        // Best (least cut increase) move of any vertex of `heavy` to any part
+        // with spare capacity.
+        let mut best: Option<(i64, u32, u32)> = None; // (gain, vertex, target)
+        for v in 0..n as u32 {
+            if assignment[v as usize] as usize != heavy {
+                continue;
+            }
+            let vw = graph.vertex_weight(v);
+            let conn = part_connectivity(graph, assignment, v, k);
+            for target in 0..k {
+                if target == heavy || part_weight[target] + vw > max_part_weight {
+                    continue;
+                }
+                let gain = conn[target] - conn[heavy];
+                let candidate = (gain, v, target as u32);
+                best = match best {
+                    None => Some(candidate),
+                    Some(b) if candidate.0 > b.0 => Some(candidate),
+                    other => other,
+                };
+            }
+        }
+        let Some((_, v, target)) = best else {
+            // No part can absorb anything without itself going over the
+            // limit; give up (the limit may simply be infeasible, e.g. a
+            // single vertex heavier than max_part_weight).
+            break;
+        };
+        let vw = graph.vertex_weight(v);
+        part_weight[heavy] -= vw;
+        part_weight[target as usize] += vw;
+        assignment[v as usize] = target;
+        moves += 1;
+    }
+    moves
+}
+
+/// Greedy k-way refinement. Returns the resulting edge cut.
+///
+/// Guarantees: the edge cut never increases relative to the input (moves with
+/// negative gain are only made when they strictly improve balance without
+/// touching the cut, i.e. zero-gain moves), and no part exceeds the balance
+/// limit more than it did on entry.
+pub fn refine_kway(
+    graph: &CsrGraph,
+    assignment: &mut Vec<u32>,
+    config: &PartitionConfig,
+    passes: usize,
+) -> i64 {
+    let n = graph.num_vertices();
+    let k = config.num_parts.max(1);
+    if n == 0 || k <= 1 {
+        return 0;
+    }
+    let total = graph.total_vertex_weight();
+    let max_w = config.max_part_weight(total);
+
+    // First repair any gross imbalance left over from projection.
+    rebalance(graph, assignment, k, max_w);
+
+    let mut part_weight = vec![0i64; k];
+    for v in 0..n {
+        part_weight[assignment[v] as usize] += graph.vertex_weight(v as u32);
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9E3779B97F4A7C15);
+
+    for _ in 0..passes {
+        let mut boundary: Vec<u32> = (0..n as u32)
+            .filter(|&v| is_boundary(graph, assignment, v))
+            .collect();
+        boundary.shuffle(&mut rng);
+        let mut moved = 0usize;
+        for v in boundary {
+            let from = assignment[v as usize] as usize;
+            let vw = graph.vertex_weight(v);
+            let conn = part_connectivity(graph, assignment, v, k);
+            // Best admissible target.
+            let mut best: Option<(i64, usize)> = None;
+            for target in 0..k {
+                if target == from || part_weight[target] + vw > max_w {
+                    continue;
+                }
+                let gain = conn[target] - conn[from];
+                let improves_balance = part_weight[target] + vw < part_weight[from];
+                if gain > 0 || (gain == 0 && improves_balance) {
+                    match best {
+                        None => best = Some((gain, target)),
+                        Some((bg, _)) if gain > bg => best = Some((gain, target)),
+                        _ => {}
+                    }
+                }
+            }
+            if let Some((_, target)) = best {
+                part_weight[from] -= vw;
+                part_weight[target] += vw;
+                assignment[v as usize] = target as u32;
+                moved += 1;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+
+    // Edge cut of the refined assignment.
+    let mut cut = 0i64;
+    for v in 0..n as u32 {
+        for (u, w) in graph.edges_of(v) {
+            if assignment[v as usize] != assignment[u as usize] {
+                cut += w;
+            }
+        }
+    }
+    cut / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::metrics;
+    use crate::partition::Partition;
+
+    fn cut(graph: &CsrGraph, assignment: &[u32], k: usize) -> i64 {
+        metrics::edge_cut(graph, &Partition::from_assignment(assignment.to_vec(), k))
+    }
+
+    #[test]
+    fn refinement_never_increases_cut() {
+        let g = generators::grid_2d(12, 12, 3);
+        let k = 4;
+        // Terrible initial partition: stripes by vertex id modulo k.
+        let mut a: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % k as u32).collect();
+        let before = cut(&g, &a, k as usize);
+        let cfg = PartitionConfig::new(k as usize);
+        let after = refine_kway(&g, &mut a, &cfg, 8);
+        assert!(after <= before, "cut went from {before} to {after}");
+        assert_eq!(after, cut(&g, &a, k as usize), "returned cut must match");
+    }
+
+    #[test]
+    fn refinement_respects_balance() {
+        let g = generators::grid_2d(10, 10, 1);
+        let k = 4usize;
+        let mut a: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % k as u32).collect();
+        let cfg = PartitionConfig::new(k).with_imbalance(0.05);
+        refine_kway(&g, &mut a, &cfg, 8);
+        let p = Partition::from_assignment(a, k);
+        assert!(metrics::imbalance(&g, &p) <= 1.05 + 1e-9);
+    }
+
+    #[test]
+    fn rebalance_fixes_overweight_parts() {
+        let g = generators::grid_2d(8, 8, 1);
+        // Everything in part 0.
+        let mut a = vec![0u32; g.num_vertices()];
+        let max_w = 20;
+        rebalance(&g, &mut a, 4, max_w);
+        let p = Partition::from_assignment(a, 4);
+        let weights = metrics::part_weights(&g, &p);
+        assert!(
+            weights.iter().all(|&w| w <= max_w),
+            "weights after rebalance: {weights:?}"
+        );
+    }
+
+    #[test]
+    fn rebalance_gives_up_on_infeasible_limits() {
+        let mut b = crate::csr::GraphBuilder::new(2);
+        b.set_vertex_weight(0, 100).set_vertex_weight(1, 1);
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        let mut a = vec![0u32, 0u32];
+        // Limit smaller than the big vertex: must terminate without panicking.
+        let moves = rebalance(&g, &mut a, 2, 50);
+        assert!(moves <= 4);
+    }
+
+    #[test]
+    fn refinement_finds_obvious_improvement() {
+        // Two clusters wrongly split across the bridge.
+        let g = generators::two_clusters(6, 30);
+        // Initial: odd/even split — awful.
+        let mut a: Vec<u32> = (0..12u32).map(|v| v % 2).collect();
+        let cfg = PartitionConfig::new(2);
+        let after = refine_kway(&g, &mut a, &cfg, 10);
+        // Optimal cut is 1 (the bridge); refinement should get close.
+        assert!(after <= 30, "refined cut {after} still terrible");
+    }
+
+    #[test]
+    fn refine_noop_on_single_part() {
+        let g = generators::path(5);
+        let mut a = vec![0u32; 5];
+        let cfg = PartitionConfig::new(1);
+        assert_eq!(refine_kway(&g, &mut a, &cfg, 4), 0);
+    }
+
+    #[test]
+    fn refine_empty_graph() {
+        let g = CsrGraph::empty(0);
+        let mut a: Vec<u32> = Vec::new();
+        let cfg = PartitionConfig::new(4);
+        assert_eq!(refine_kway(&g, &mut a, &cfg, 4), 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Helpers shared by the kernel builders: expert placements and problem
+//! scaling.
+
+/// How large the Figure-1 problem instances should be. The paper uses inputs
+/// sized for a 32-core machine; the reproduction offers three scales so tests
+/// can run tiny instances while the benchmark harness runs the full ones.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ProblemScale {
+    /// Tiny instances for unit/integration tests (tens of tasks).
+    Tiny,
+    /// Small instances for quick local runs (hundreds of tasks).
+    Small,
+    /// The default evaluation size (one to a few thousand tasks per kernel).
+    #[default]
+    Full,
+}
+
+/// Owner-computes block distribution: block `i` of `n` blocks goes to socket
+/// `i * sockets / n` (contiguous chunks, the classic expert choice for
+/// streams and stencils).
+pub fn block_owner(i: usize, n: usize, sockets: usize) -> usize {
+    if n == 0 || sockets == 0 {
+        return 0;
+    }
+    (i * sockets / n).min(sockets - 1)
+}
+
+/// Cyclic distribution: block `i` goes to socket `i % sockets`.
+pub fn cyclic_owner(i: usize, sockets: usize) -> usize {
+    if sockets == 0 {
+        0
+    } else {
+        i % sockets
+    }
+}
+
+/// 2-D block-cyclic distribution over a near-square process grid — the
+/// placement an expert would use for tiled dense factorisations (ScaLAPACK
+/// style). Returns the socket owning tile `(i, j)`.
+pub fn block_cyclic_2d(i: usize, j: usize, sockets: usize) -> usize {
+    if sockets == 0 {
+        return 0;
+    }
+    let p = (1..=sockets)
+        .filter(|d| sockets % d == 0)
+        .min_by_key(|&d| {
+            let q = sockets / d;
+            (d as isize - q as isize).unsigned_abs()
+        })
+        .unwrap_or(1);
+    let q = sockets / p;
+    (i % p) * q + (j % q)
+}
+
+/// 2-D row-block distribution for an `nb × nb` grid of blocks: the grid is
+/// cut into `sockets` horizontal slabs.
+pub fn row_block_owner(i: usize, _j: usize, nb: usize, sockets: usize) -> usize {
+    block_owner(i, nb, sockets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_owner_is_contiguous_and_balanced() {
+        let owners: Vec<usize> = (0..16).map(|i| block_owner(i, 16, 4)).collect();
+        assert_eq!(owners, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3]);
+        // Non-divisible case still covers all sockets and is monotone.
+        let owners: Vec<usize> = (0..10).map(|i| block_owner(i, 10, 4)).collect();
+        assert!(owners.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*owners.last().unwrap(), 3);
+        assert_eq!(owners[0], 0);
+    }
+
+    #[test]
+    fn block_owner_degenerate_inputs() {
+        assert_eq!(block_owner(3, 0, 4), 0);
+        assert_eq!(block_owner(3, 10, 0), 0);
+        assert_eq!(block_owner(9, 10, 1), 0);
+    }
+
+    #[test]
+    fn cyclic_owner_wraps() {
+        assert_eq!(cyclic_owner(0, 4), 0);
+        assert_eq!(cyclic_owner(5, 4), 1);
+        assert_eq!(cyclic_owner(7, 0), 0);
+    }
+
+    #[test]
+    fn block_cyclic_grid_is_balanced() {
+        // 8 sockets → 2x4 or 4x2 grid; over an 8x8 tile grid every socket
+        // owns exactly 8 tiles.
+        let mut counts = vec![0usize; 8];
+        for i in 0..8 {
+            for j in 0..8 {
+                counts[block_cyclic_2d(i, j, 8)] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 8), "{counts:?}");
+    }
+
+    #[test]
+    fn block_cyclic_perfect_square() {
+        let mut counts = vec![0usize; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                counts[block_cyclic_2d(i, j, 4)] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 4));
+        assert_eq!(block_cyclic_2d(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn row_block_owner_splits_rows() {
+        assert_eq!(row_block_owner(0, 5, 8, 4), 0);
+        assert_eq!(row_block_owner(7, 0, 8, 4), 3);
+    }
+
+    #[test]
+    fn problem_scale_default_is_full() {
+        assert_eq!(ProblemScale::default(), ProblemScale::Full);
+    }
+}

@@ -1,0 +1,181 @@
+//! 2-D Gauss–Seidel relaxation, blocked and in place.
+//!
+//! Unlike Jacobi, Gauss–Seidel updates the grid in place: a tile update reads
+//! the *already updated* left and upper neighbours of the current sweep and
+//! the not-yet-updated right and lower neighbours of the previous sweep. The
+//! dependence analysis turns this into the classic wavefront DAG, whose
+//! limited parallelism makes placement and stealing decisions much more
+//! visible than in embarrassingly parallel kernels.
+
+use numadag_tdg::{TaskGraphSpec, TaskSpec, TdgBuilder};
+
+use crate::common::{row_block_owner, ProblemScale};
+
+/// Parameters of the Gauss–Seidel kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaussSeidelParams {
+    /// Blocks per dimension.
+    pub nb: usize,
+    /// Elements per tile.
+    pub block_elems: usize,
+    /// Number of sweeps.
+    pub iterations: usize,
+}
+
+impl GaussSeidelParams {
+    /// Parameters for a given problem scale.
+    pub fn with_scale(scale: ProblemScale) -> Self {
+        match scale {
+            ProblemScale::Tiny => GaussSeidelParams {
+                nb: 4,
+                block_elems: 64,
+                iterations: 3,
+            },
+            ProblemScale::Small => GaussSeidelParams {
+                nb: 8,
+                block_elems: 16 * 1024,
+                iterations: 6,
+            },
+            ProblemScale::Full => GaussSeidelParams {
+                nb: 12,
+                block_elems: 64 * 1024,
+                iterations: 10,
+            },
+        }
+    }
+}
+
+impl Default for GaussSeidelParams {
+    fn default() -> Self {
+        GaussSeidelParams::with_scale(ProblemScale::Full)
+    }
+}
+
+/// Builds the Gauss–Seidel task graph with expert placement.
+pub fn build(params: GaussSeidelParams, num_sockets: usize) -> TaskGraphSpec {
+    let nb = params.nb;
+    let block_bytes = (params.block_elems * std::mem::size_of::<f64>()) as u64;
+    let mut builder = TdgBuilder::new();
+    let idx = |i: usize, j: usize| i * nb + j;
+    let u: Vec<_> = (0..nb * nb)
+        .map(|k| builder.labelled_region(block_bytes, format!("u[{}][{}]", k / nb, k % nb)))
+        .collect();
+
+    let mut ep = Vec::new();
+    let owner = |i: usize, j: usize| row_block_owner(i, j, nb, num_sockets);
+
+    for i in 0..nb {
+        for j in 0..nb {
+            builder.submit(
+                TaskSpec::new("init")
+                    .work(params.block_elems as f64)
+                    .writes(u[idx(i, j)], block_bytes),
+            );
+            ep.push(owner(i, j));
+        }
+    }
+
+    for _ in 0..params.iterations {
+        for i in 0..nb {
+            for j in 0..nb {
+                let mut task = TaskSpec::new("gs_update")
+                    .work(5.0 * params.block_elems as f64)
+                    .reads_writes(u[idx(i, j)], block_bytes);
+                if i > 0 {
+                    task = task.reads(u[idx(i - 1, j)], block_bytes);
+                }
+                if i + 1 < nb {
+                    task = task.reads(u[idx(i + 1, j)], block_bytes);
+                }
+                if j > 0 {
+                    task = task.reads(u[idx(i, j - 1)], block_bytes);
+                }
+                if j + 1 < nb {
+                    task = task.reads(u[idx(i, j + 1)], block_bytes);
+                }
+                builder.submit(task);
+                ep.push(owner(i, j));
+            }
+        }
+    }
+
+    let (graph, sizes) = builder.finish();
+    TaskGraphSpec::new("Gauss-Seidel", graph, sizes).with_ep_placement(ep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_validity() {
+        let p = GaussSeidelParams::with_scale(ProblemScale::Tiny);
+        let spec = build(p, 4);
+        assert_eq!(spec.num_regions(), p.nb * p.nb);
+        assert_eq!(spec.num_tasks(), p.nb * p.nb * (1 + p.iterations));
+        assert!(spec.validate().is_ok());
+        assert!(spec.graph.is_acyclic());
+        assert!(spec.ep_socket.is_some());
+    }
+
+    #[test]
+    fn in_place_update_creates_wavefront() {
+        let p = GaussSeidelParams {
+            nb: 6,
+            block_elems: 8,
+            iterations: 1,
+        };
+        let spec = build(p, 2);
+        let jacobi_like = crate::jacobi::build(
+            crate::jacobi::JacobiParams {
+                nb: 6,
+                block_elems: 8,
+                iterations: 1,
+            },
+            2,
+        );
+        // The wavefront serialises tiles within a sweep, so Gauss–Seidel has
+        // strictly less average parallelism than Jacobi on the same grid.
+        assert!(
+            spec.graph.average_parallelism() < jacobi_like.graph.average_parallelism(),
+            "GS parallelism {} should be below Jacobi {}",
+            spec.graph.average_parallelism(),
+            jacobi_like.graph.average_parallelism()
+        );
+    }
+
+    #[test]
+    fn sweep_depends_on_previous_sweep_of_same_tile() {
+        let p = GaussSeidelParams {
+            nb: 2,
+            block_elems: 4,
+            iterations: 2,
+        };
+        let spec = build(p, 2);
+        // Task ids: 4 inits, 4 first-sweep, 4 second-sweep.
+        let second_sweep_t00 = numadag_tdg::TaskId(8);
+        assert_eq!(spec.graph.task(second_sweep_t00).kind, "gs_update");
+        let preds: Vec<usize> = spec
+            .graph
+            .predecessors(second_sweep_t00)
+            .iter()
+            .map(|(t, _)| t.index())
+            .collect();
+        // Must depend on at least one task of the first sweep (ids 4..8).
+        assert!(preds.iter().any(|&t| (4..8).contains(&t)), "{preds:?}");
+    }
+
+    #[test]
+    fn deeper_graph_than_task_count_over_blocks() {
+        let p = GaussSeidelParams {
+            nb: 4,
+            block_elems: 4,
+            iterations: 3,
+        };
+        let spec = build(p, 2);
+        let levels = spec.graph.levels();
+        let depth = levels.iter().max().copied().unwrap_or(0);
+        // Each sweep adds at least a diagonal wavefront of depth ~2*nb-1.
+        assert!(depth >= p.iterations * (p.nb - 1), "depth {depth}");
+    }
+}

@@ -1,0 +1,322 @@
+//! 2-D Jacobi heat diffusion, blocked into an `nb × nb` grid of tiles with a
+//! 5-point stencil and two grids (read the old one, write the new one,
+//! swap).
+//!
+//! Each tile update reads its own tile and its four neighbours from the
+//! "old" grid and writes its tile of the "new" grid, so the TDG couples
+//! neighbouring tiles: a good placement keeps a tile and its neighbours on
+//! the same (or a nearby) socket.
+
+use numadag_tdg::{TaskGraphSpec, TaskId, TaskSpec, TdgBuilder};
+
+use crate::common::{row_block_owner, ProblemScale};
+use crate::storage::DenseStore;
+
+/// Parameters of the Jacobi kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JacobiParams {
+    /// Blocks per dimension (the grid has `nb × nb` tiles).
+    pub nb: usize,
+    /// Elements (f64) per tile.
+    pub block_elems: usize,
+    /// Number of sweeps.
+    pub iterations: usize,
+}
+
+impl JacobiParams {
+    /// Parameters for a given problem scale.
+    pub fn with_scale(scale: ProblemScale) -> Self {
+        match scale {
+            ProblemScale::Tiny => JacobiParams {
+                nb: 4,
+                block_elems: 64,
+                iterations: 3,
+            },
+            ProblemScale::Small => JacobiParams {
+                nb: 8,
+                block_elems: 16 * 1024,
+                iterations: 6,
+            },
+            ProblemScale::Full => JacobiParams {
+                nb: 12,
+                block_elems: 64 * 1024,
+                iterations: 10,
+            },
+        }
+    }
+}
+
+impl Default for JacobiParams {
+    fn default() -> Self {
+        JacobiParams::with_scale(ProblemScale::Full)
+    }
+}
+
+/// Region layout for attaching real bodies: `u[grid][i][j]` flattened.
+#[derive(Clone, Debug)]
+pub struct JacobiLayout {
+    /// `grid[0]` and `grid[1]` region indices, row-major over tiles.
+    pub grids: [Vec<usize>; 2],
+    /// Blocks per dimension.
+    pub nb: usize,
+    /// Elements per tile.
+    pub block_elems: usize,
+    /// Number of sweeps performed.
+    pub iterations: usize,
+}
+
+/// Builds the Jacobi task graph with expert placement.
+pub fn build(params: JacobiParams, num_sockets: usize) -> TaskGraphSpec {
+    build_with_layout(params, num_sockets).0
+}
+
+/// Builds the task graph and the region layout.
+pub fn build_with_layout(
+    params: JacobiParams,
+    num_sockets: usize,
+) -> (TaskGraphSpec, JacobiLayout) {
+    let nb = params.nb;
+    let block_bytes = (params.block_elems * std::mem::size_of::<f64>()) as u64;
+    let mut builder = TdgBuilder::new();
+    let idx = |i: usize, j: usize| i * nb + j;
+    let u: Vec<_> = (0..nb * nb)
+        .map(|k| builder.labelled_region(block_bytes, format!("u[{}][{}]", k / nb, k % nb)))
+        .collect();
+    let v: Vec<_> = (0..nb * nb)
+        .map(|k| builder.labelled_region(block_bytes, format!("v[{}][{}]", k / nb, k % nb)))
+        .collect();
+    let grids = [u, v];
+
+    let mut ep = Vec::new();
+    let owner = |i: usize, j: usize| row_block_owner(i, j, nb, num_sockets);
+
+    // Initialise grid 0.
+    for i in 0..nb {
+        for j in 0..nb {
+            builder.submit(
+                TaskSpec::new("init")
+                    .work(params.block_elems as f64)
+                    .writes(grids[0][idx(i, j)], block_bytes),
+            );
+            ep.push(owner(i, j));
+        }
+    }
+
+    // Sweeps: read `src`, write `dst`, alternate.
+    for iter in 0..params.iterations {
+        let src = &grids[iter % 2];
+        let dst = &grids[(iter + 1) % 2];
+        for i in 0..nb {
+            for j in 0..nb {
+                let mut task = TaskSpec::new("sweep")
+                    .work(5.0 * params.block_elems as f64)
+                    .reads(src[idx(i, j)], block_bytes)
+                    .writes(dst[idx(i, j)], block_bytes);
+                if i > 0 {
+                    task = task.reads(src[idx(i - 1, j)], block_bytes);
+                }
+                if i + 1 < nb {
+                    task = task.reads(src[idx(i + 1, j)], block_bytes);
+                }
+                if j > 0 {
+                    task = task.reads(src[idx(i, j - 1)], block_bytes);
+                }
+                if j + 1 < nb {
+                    task = task.reads(src[idx(i, j + 1)], block_bytes);
+                }
+                builder.submit(task);
+                ep.push(owner(i, j));
+            }
+        }
+    }
+
+    let (graph, sizes) = builder.finish();
+    let layout = JacobiLayout {
+        grids: [
+            grids[0].iter().map(|r| r.index()).collect(),
+            grids[1].iter().map(|r| r.index()).collect(),
+        ],
+        nb,
+        block_elems: params.block_elems,
+        iterations: params.iterations,
+    };
+    let spec = TaskGraphSpec::new("Jacobi", graph, sizes).with_ep_placement(ep);
+    (spec, layout)
+}
+
+/// Initial tile value used by both the task body and the reference: tile
+/// `(i, j)` starts at `(i + 2 j + 1)` in every element.
+pub fn initial_value(i: usize, j: usize) -> f64 {
+    (i + 2 * j + 1) as f64
+}
+
+/// Real task bodies over a [`DenseStore`]. Each tile is kept spatially
+/// constant (all its elements hold the tile average), which preserves the
+/// communication pattern while keeping the reference computation simple.
+pub fn body<'a>(
+    spec: &'a TaskGraphSpec,
+    layout: &'a JacobiLayout,
+    store: &'a DenseStore,
+) -> impl Fn(TaskId) + Sync + 'a {
+    let nb = layout.nb;
+    move |task: TaskId| {
+        let descriptor = spec.graph.task(task);
+        match descriptor.kind.as_str() {
+            "init" => {
+                let region = descriptor.accesses[0].region.index();
+                let k = layout.grids[0]
+                    .iter()
+                    .position(|&r| r == region)
+                    .expect("init writes grid 0");
+                let value = initial_value(k / nb, k % nb);
+                store.write(region, |v| v.fill(value));
+            }
+            "sweep" => {
+                // accesses[0] = own tile (read), accesses[1] = output tile,
+                // the rest are the neighbours.
+                let own = descriptor.accesses[0].region.index();
+                let out = descriptor.accesses[1].region.index();
+                let mut sum = store.read(own, |v| v[0]);
+                let mut count = 1.0;
+                for access in &descriptor.accesses[2..] {
+                    sum += store.read(access.region.index(), |v| v[0]);
+                    count += 1.0;
+                }
+                let new = sum / count;
+                store.write(out, |v| v.fill(new));
+            }
+            other => panic!("unknown Jacobi task kind {other}"),
+        }
+    }
+}
+
+/// Sequential reference: one value per tile, same averaging rule.
+pub fn reference(params: &JacobiParams) -> Vec<f64> {
+    let nb = params.nb;
+    let mut current: Vec<f64> = (0..nb * nb)
+        .map(|k| initial_value(k / nb, k % nb))
+        .collect();
+    for _ in 0..params.iterations {
+        let mut next = vec![0.0; nb * nb];
+        for i in 0..nb {
+            for j in 0..nb {
+                let mut sum = current[i * nb + j];
+                let mut count = 1.0;
+                if i > 0 {
+                    sum += current[(i - 1) * nb + j];
+                    count += 1.0;
+                }
+                if i + 1 < nb {
+                    sum += current[(i + 1) * nb + j];
+                    count += 1.0;
+                }
+                if j > 0 {
+                    sum += current[i * nb + (j - 1)];
+                    count += 1.0;
+                }
+                if j + 1 < nb {
+                    sum += current[i * nb + (j + 1)];
+                    count += 1.0;
+                }
+                next[i * nb + j] = sum / count;
+            }
+        }
+        current = next;
+    }
+    current
+}
+
+/// Verifies the store against the sequential reference. Returns the maximum
+/// absolute error across all tiles.
+pub fn verify(layout: &JacobiLayout, store: &DenseStore, params: &JacobiParams) -> f64 {
+    let expected = reference(params);
+    let result_grid = &layout.grids[params.iterations % 2];
+    let mut max_err = 0.0f64;
+    for (k, &region) in result_grid.iter().enumerate() {
+        let got = store.read(region, |v| v[0]);
+        max_err = max_err.max((got - expected[k]).abs());
+    }
+    max_err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_and_region_counts() {
+        let p = JacobiParams::with_scale(ProblemScale::Tiny);
+        let spec = build(p, 4);
+        assert_eq!(spec.num_regions(), 2 * p.nb * p.nb);
+        assert_eq!(spec.num_tasks(), p.nb * p.nb * (1 + p.iterations));
+        assert!(spec.validate().is_ok());
+        assert!(spec.graph.is_acyclic());
+    }
+
+    #[test]
+    fn stencil_edges_exist_between_neighbours() {
+        let p = JacobiParams {
+            nb: 3,
+            block_elems: 8,
+            iterations: 1,
+        };
+        let spec = build(p, 2);
+        // First sweep task of tile (0,0) is task 9 (after 9 init tasks); it
+        // must depend on the init tasks of (0,0), (1,0) and (0,1).
+        let sweep00 = numadag_tdg::TaskId(9);
+        assert_eq!(spec.graph.task(sweep00).kind, "sweep");
+        let preds: Vec<usize> = spec
+            .graph
+            .predecessors(sweep00)
+            .iter()
+            .map(|(t, _)| t.index())
+            .collect();
+        assert!(preds.contains(&0)); // init (0,0)
+        assert!(preds.contains(&1)); // init (0,1)
+        assert!(preds.contains(&3)); // init (1,0)
+        assert_eq!(preds.len(), 3);
+    }
+
+    #[test]
+    fn ep_placement_splits_rows() {
+        let p = JacobiParams {
+            nb: 8,
+            block_elems: 8,
+            iterations: 1,
+        };
+        let spec = build(p, 4);
+        let ep = spec.ep_socket.as_ref().unwrap();
+        // Init of tile (0, *) on socket 0, tile (7, *) on socket 3.
+        assert_eq!(ep[0], 0);
+        assert_eq!(ep[7 * 8], 3);
+    }
+
+    #[test]
+    fn bodies_match_sequential_reference() {
+        let p = JacobiParams {
+            nb: 4,
+            block_elems: 16,
+            iterations: 5,
+        };
+        let (spec, layout) = build_with_layout(p, 2);
+        let store = DenseStore::uniform(spec.num_regions(), p.block_elems);
+        let run = body(&spec, &layout, &store);
+        for t in spec.graph.task_ids() {
+            run(t);
+        }
+        assert!(verify(&layout, &store, &p) < 1e-12);
+    }
+
+    #[test]
+    fn reference_converges_towards_mean() {
+        let p = JacobiParams {
+            nb: 4,
+            block_elems: 1,
+            iterations: 200,
+        };
+        let r = reference(&p);
+        let spread = r.iter().cloned().fold(f64::MIN, f64::max)
+            - r.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 0.5, "diffusion should smooth the field, spread {spread}");
+    }
+}

@@ -1,0 +1,490 @@
+//! A small dense linear-algebra substrate.
+//!
+//! The tiled QR and symmetric-inversion kernels of the paper are built on
+//! BLAS/LAPACK tile operations (GEMM, SYRK, TRSM, POTRF, GEQRT, ...). This
+//! module implements straightforward, well-tested versions of those
+//! operations on a column-major [`Matrix`] type. They are used to compute
+//! per-tile flop counts (task work units) and to verify, at small sizes, that
+//! the tile algorithms the task graphs encode are numerically sound.
+
+/// A dense column-major matrix of `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major slice (convenient in tests).
+    pub fn from_rows(rows: usize, cols: usize, values: &[f64]) -> Self {
+        assert_eq!(values.len(), rows * cols);
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = values[r * cols + c];
+            }
+        }
+        m
+    }
+
+    /// A deterministic pseudo-random symmetric positive definite matrix
+    /// (diagonally dominant), used by the factorisation tests.
+    pub fn spd(n: usize, seed: u64) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for i in 0..n {
+            for j in 0..=i {
+                let v = next() - 0.5;
+                m[(i, j)] = v;
+                m[(j, i)] = v;
+            }
+        }
+        for i in 0..n {
+            m[(i, i)] += n as f64;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// `‖self - other‖_F`.
+    pub fn distance(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[c * self.rows + r]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[c * self.rows + r]
+    }
+}
+
+/// `C = alpha * A * B + beta * C` (GEMM).
+pub fn gemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
+    assert_eq!(a.cols(), b.rows(), "gemm: inner dimensions must agree");
+    assert_eq!(c.rows(), a.rows());
+    assert_eq!(c.cols(), b.cols());
+    for j in 0..c.cols() {
+        for i in 0..c.rows() {
+            let mut acc = 0.0;
+            for k in 0..a.cols() {
+                acc += a[(i, k)] * b[(k, j)];
+            }
+            c[(i, j)] = alpha * acc + beta * c[(i, j)];
+        }
+    }
+}
+
+/// Matrix product `A * B`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm(1.0, a, b, 0.0, &mut c);
+    c
+}
+
+/// Symmetric rank-k update on the lower triangle: `C = C - A * Aᵀ`
+/// (the SYRK used by tiled Cholesky).
+pub fn syrk_lower(a: &Matrix, c: &mut Matrix) {
+    assert_eq!(c.rows(), c.cols());
+    assert_eq!(a.rows(), c.rows());
+    for j in 0..c.cols() {
+        for i in j..c.rows() {
+            let mut acc = 0.0;
+            for k in 0..a.cols() {
+                acc += a[(i, k)] * a[(j, k)];
+            }
+            c[(i, j)] -= acc;
+        }
+    }
+    // Keep the matrix symmetric for easier verification.
+    for j in 0..c.cols() {
+        for i in 0..j {
+            c[(i, j)] = c[(j, i)];
+        }
+    }
+}
+
+/// In-place Cholesky factorisation of a symmetric positive definite matrix:
+/// on return the lower triangle of `a` holds `L` with `L * Lᵀ = A`.
+/// Returns `Err` if the matrix is not positive definite.
+pub fn potrf(a: &mut Matrix) -> Result<(), String> {
+    assert_eq!(a.rows(), a.cols());
+    let n = a.rows();
+    for j in 0..n {
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            d -= a[(j, k)] * a[(j, k)];
+        }
+        if d <= 0.0 {
+            return Err(format!("matrix not positive definite at column {j}"));
+        }
+        let d = d.sqrt();
+        a[(j, j)] = d;
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= a[(i, k)] * a[(j, k)];
+            }
+            a[(i, j)] = s / d;
+        }
+        for i in 0..j {
+            a[(i, j)] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Triangular solve `X * Lᵀ = B` for `X` (right, lower-transposed — the TRSM
+/// of the tiled Cholesky panel update), overwriting `b` with `X`.
+pub fn trsm_right_lower_transposed(l: &Matrix, b: &mut Matrix) {
+    assert_eq!(l.rows(), l.cols());
+    assert_eq!(b.cols(), l.rows());
+    let n = l.rows();
+    for i in 0..b.rows() {
+        for j in 0..n {
+            let mut s = b[(i, j)];
+            for k in 0..j {
+                s -= b[(i, k)] * l[(j, k)];
+            }
+            b[(i, j)] = s / l[(j, j)];
+        }
+    }
+}
+
+/// Inverse of a lower-triangular matrix.
+pub fn trtri_lower(l: &Matrix) -> Matrix {
+    assert_eq!(l.rows(), l.cols());
+    let n = l.rows();
+    let mut inv = Matrix::zeros(n, n);
+    for j in 0..n {
+        inv[(j, j)] = 1.0 / l[(j, j)];
+        for i in (j + 1)..n {
+            let mut s = 0.0;
+            for k in j..i {
+                s += l[(i, k)] * inv[(k, j)];
+            }
+            inv[(i, j)] = -s / l[(i, i)];
+        }
+    }
+    inv
+}
+
+/// Householder QR factorisation: returns `(q, r)` with `q * r = a`,
+/// `q` orthogonal (`m × m`) and `r` upper trapezoidal (`m × n`).
+pub fn householder_qr(a: &Matrix) -> (Matrix, Matrix) {
+    let m = a.rows();
+    let n = a.cols();
+    let mut r = a.clone();
+    let mut q = Matrix::identity(m);
+    for k in 0..n.min(m.saturating_sub(1)) {
+        // Build the Householder vector for column k.
+        let mut norm = 0.0;
+        for i in k..m {
+            norm += r[(i, k)] * r[(i, k)];
+        }
+        let norm = norm.sqrt();
+        if norm < 1e-300 {
+            continue;
+        }
+        let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+        let mut v = vec![0.0; m];
+        for i in k..m {
+            v[i] = r[(i, k)];
+        }
+        v[k] -= alpha;
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 < 1e-300 {
+            continue;
+        }
+        // R = (I - 2 v vᵀ / vᵀv) R
+        for j in 0..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i] * r[(i, j)];
+            }
+            let scale = 2.0 * dot / vnorm2;
+            for i in k..m {
+                r[(i, j)] -= scale * v[i];
+            }
+        }
+        // Q = Q (I - 2 v vᵀ / vᵀv)
+        for i in 0..m {
+            let mut dot = 0.0;
+            for j in k..m {
+                dot += q[(i, j)] * v[j];
+            }
+            let scale = 2.0 * dot / vnorm2;
+            for j in k..m {
+                q[(i, j)] -= scale * v[j];
+            }
+        }
+    }
+    // Clean tiny sub-diagonal noise in R.
+    for j in 0..n {
+        for i in (j + 1)..m {
+            if r[(i, j)].abs() < 1e-12 {
+                r[(i, j)] = 0.0;
+            }
+        }
+    }
+    (q, r)
+}
+
+/// Flop count of a `b × b` GEMM tile (used as task work units).
+pub fn gemm_flops(b: usize) -> f64 {
+    2.0 * (b as f64).powi(3)
+}
+
+/// Flop count of a `b × b` POTRF tile.
+pub fn potrf_flops(b: usize) -> f64 {
+    (b as f64).powi(3) / 3.0
+}
+
+/// Flop count of a `b × b` TRSM tile.
+pub fn trsm_flops(b: usize) -> f64 {
+    (b as f64).powi(3)
+}
+
+/// Flop count of a `b × b` SYRK tile.
+pub fn syrk_flops(b: usize) -> f64 {
+    (b as f64).powi(3)
+}
+
+/// Flop count of a `b × b` GEQRT tile (Householder panel factorisation).
+pub fn geqrt_flops(b: usize) -> f64 {
+    4.0 / 3.0 * (b as f64).powi(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-9;
+
+    #[test]
+    fn index_is_column_major_consistent() {
+        let m = Matrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 1)], 5.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn gemm_matches_hand_computation() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_rows(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        let c = matmul(&a, &b);
+        let expected = Matrix::from_rows(2, 2, &[19.0, 22.0, 43.0, 50.0]);
+        assert!(c.distance(&expected) < TOL);
+    }
+
+    #[test]
+    fn gemm_alpha_beta() {
+        let a = Matrix::identity(3);
+        let b = Matrix::from_rows(3, 3, &[1.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, 3.0]);
+        let mut c = Matrix::identity(3);
+        gemm(2.0, &a, &b, -1.0, &mut c);
+        // 2*B - I
+        assert_eq!(c[(0, 0)], 1.0);
+        assert_eq!(c[(1, 1)], 3.0);
+        assert_eq!(c[(2, 2)], 5.0);
+        assert_eq!(c[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn identity_times_anything_is_identity_map() {
+        let a = Matrix::spd(5, 3);
+        let i = Matrix::identity(5);
+        assert!(matmul(&i, &a).distance(&a) < TOL);
+        assert!(matmul(&a, &i).distance(&a) < TOL);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert!(a.transpose().transpose().distance(&a) < TOL);
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn cholesky_reconstructs_the_matrix() {
+        let a = Matrix::spd(12, 7);
+        let mut l = a.clone();
+        potrf(&mut l).expect("SPD matrix must factorise");
+        let reconstructed = matmul(&l, &l.transpose());
+        assert!(
+            reconstructed.distance(&a) < 1e-8,
+            "‖LLᵀ − A‖ = {}",
+            reconstructed.distance(&a)
+        );
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let mut m = Matrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        assert!(potrf(&mut m).is_err());
+    }
+
+    #[test]
+    fn trsm_solves_right_lower_transposed() {
+        let a = Matrix::spd(6, 11);
+        let mut l = a.clone();
+        potrf(&mut l).unwrap();
+        let b0 = Matrix::spd(6, 5);
+        let mut x = b0.clone();
+        trsm_right_lower_transposed(&l, &mut x);
+        // X * Lᵀ must equal B.
+        let recovered = matmul(&x, &l.transpose());
+        assert!(recovered.distance(&b0) < 1e-8);
+    }
+
+    #[test]
+    fn trtri_inverts_lower_triangle() {
+        let a = Matrix::spd(8, 2);
+        let mut l = a.clone();
+        potrf(&mut l).unwrap();
+        let linv = trtri_lower(&l);
+        let prod = matmul(&l, &linv);
+        assert!(prod.distance(&Matrix::identity(8)) < 1e-8);
+    }
+
+    #[test]
+    fn spd_inverse_via_cholesky() {
+        // A⁻¹ = L⁻ᵀ L⁻¹ — exactly what the symmetric-matrix-inversion kernel
+        // computes tile by tile.
+        let a = Matrix::spd(10, 42);
+        let mut l = a.clone();
+        potrf(&mut l).unwrap();
+        let linv = trtri_lower(&l);
+        let ainv = matmul(&linv.transpose(), &linv);
+        let prod = matmul(&a, &ainv);
+        assert!(
+            prod.distance(&Matrix::identity(10)) < 1e-7,
+            "‖A·A⁻¹ − I‖ = {}",
+            prod.distance(&Matrix::identity(10))
+        );
+    }
+
+    #[test]
+    fn syrk_matches_gemm() {
+        let a = Matrix::spd(5, 9);
+        let b = Matrix::from_rows(5, 3, &(0..15).map(|x| x as f64 * 0.3 - 2.0).collect::<Vec<_>>());
+        let mut c1 = a.clone();
+        syrk_lower(&b, &mut c1);
+        // Reference: C - B Bᵀ.
+        let mut c2 = a.clone();
+        let bbt = matmul(&b, &b.transpose());
+        for i in 0..5 {
+            for j in 0..5 {
+                c2[(i, j)] -= bbt[(i, j)];
+            }
+        }
+        assert!(c1.distance(&c2) < TOL);
+    }
+
+    #[test]
+    fn qr_reconstructs_and_q_is_orthogonal() {
+        let a = Matrix::spd(9, 17);
+        let (q, r) = householder_qr(&a);
+        assert!(matmul(&q, &r).distance(&a) < 1e-8, "QR != A");
+        let qtq = matmul(&q.transpose(), &q);
+        assert!(qtq.distance(&Matrix::identity(9)) < 1e-8, "Q not orthogonal");
+        // R is upper triangular.
+        for j in 0..9 {
+            for i in (j + 1)..9 {
+                assert!(r[(i, j)].abs() < 1e-8, "R[{i}][{j}] = {}", r[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_of_rectangular_matrix() {
+        let a = Matrix::from_rows(4, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.5]);
+        let (q, r) = householder_qr(&a);
+        assert!(matmul(&q, &r).distance(&a) < 1e-9);
+        let qtq = matmul(&q.transpose(), &q);
+        assert!(qtq.distance(&Matrix::identity(4)) < 1e-9);
+    }
+
+    #[test]
+    fn flop_counts_scale_cubically() {
+        assert_eq!(gemm_flops(10), 2000.0);
+        assert!(potrf_flops(12) < trsm_flops(12));
+        assert!(geqrt_flops(8) > potrf_flops(8));
+        assert_eq!(syrk_flops(4), 64.0);
+    }
+
+    #[test]
+    fn frobenius_norm_and_distance() {
+        let a = Matrix::from_rows(2, 2, &[3.0, 0.0, 0.0, 4.0]);
+        assert!((a.frobenius_norm() - 5.0).abs() < TOL);
+        assert!((a.distance(&Matrix::zeros(2, 2)) - 5.0).abs() < TOL);
+    }
+}

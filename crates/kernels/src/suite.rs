@@ -1,0 +1,158 @@
+//! The application suite of the paper's Figure 1 and the entry point the
+//! benchmark harness uses to build it.
+
+use numadag_tdg::TaskGraphSpec;
+
+use crate::common::ProblemScale;
+use crate::{cg, gauss_seidel, integral_histogram, jacobi, nstream, qr, red_black, symm_inv};
+
+/// The eight applications of the paper's evaluation, in the order Figure 1
+/// plots them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Application {
+    /// Blocked conjugate gradient.
+    ConjugateGradient,
+    /// In-place Gauss–Seidel relaxation.
+    GaussSeidel,
+    /// Integral histogram over a stream of frames.
+    IntegralHistogram,
+    /// Jacobi heat diffusion (two grids).
+    Jacobi,
+    /// STREAM-triad style vector update.
+    NStream,
+    /// Tiled Householder QR factorisation.
+    QrFactorization,
+    /// Red–black Gauss–Seidel.
+    RedBlack,
+    /// Symmetric (SPD) matrix inversion via Cholesky.
+    SymmetricMatrixInversion,
+}
+
+impl Application {
+    /// All eight applications in Figure 1 order.
+    pub fn all() -> [Application; 8] {
+        [
+            Application::ConjugateGradient,
+            Application::GaussSeidel,
+            Application::IntegralHistogram,
+            Application::Jacobi,
+            Application::NStream,
+            Application::QrFactorization,
+            Application::RedBlack,
+            Application::SymmetricMatrixInversion,
+        ]
+    }
+
+    /// The display name the paper uses.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Application::ConjugateGradient => "Conjugate gradient",
+            Application::GaussSeidel => "Gauss-Seidel",
+            Application::IntegralHistogram => "Integral histogram",
+            Application::Jacobi => "Jacobi",
+            Application::NStream => "NStream",
+            Application::QrFactorization => "QR factorization",
+            Application::RedBlack => "Red-Black",
+            Application::SymmetricMatrixInversion => "Symm. mat. inv.",
+        }
+    }
+
+    /// Builds the application's task graph at the given scale for a machine
+    /// with `num_sockets` sockets.
+    pub fn build(&self, scale: ProblemScale, num_sockets: usize) -> TaskGraphSpec {
+        match self {
+            Application::ConjugateGradient => {
+                cg::build(cg::CgParams::with_scale(scale), num_sockets)
+            }
+            Application::GaussSeidel => gauss_seidel::build(
+                gauss_seidel::GaussSeidelParams::with_scale(scale),
+                num_sockets,
+            ),
+            Application::IntegralHistogram => integral_histogram::build(
+                integral_histogram::IntegralHistogramParams::with_scale(scale),
+                num_sockets,
+            ),
+            Application::Jacobi => {
+                jacobi::build(jacobi::JacobiParams::with_scale(scale), num_sockets)
+            }
+            Application::NStream => {
+                nstream::build(nstream::NStreamParams::with_scale(scale), num_sockets)
+            }
+            Application::QrFactorization => qr::build(qr::QrParams::with_scale(scale), num_sockets),
+            Application::RedBlack => {
+                red_black::build(red_black::RedBlackParams::with_scale(scale), num_sockets)
+            }
+            Application::SymmetricMatrixInversion => {
+                symm_inv::build(symm_inv::SymmInvParams::with_scale(scale), num_sockets)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Application {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Builds the whole Figure-1 suite at the given scale.
+pub fn figure1_suite(scale: ProblemScale, num_sockets: usize) -> Vec<(Application, TaskGraphSpec)> {
+    Application::all()
+        .into_iter()
+        .map(|app| (app, app.build(scale, num_sockets)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_eight_applications_build_and_validate() {
+        for (app, spec) in figure1_suite(ProblemScale::Tiny, 8) {
+            assert!(spec.validate().is_ok(), "{app}: invalid spec");
+            assert!(spec.num_tasks() > 0, "{app}: no tasks");
+            assert!(spec.graph.is_acyclic(), "{app}: cyclic graph");
+            assert!(spec.ep_socket.is_some(), "{app}: missing expert placement");
+            assert_eq!(spec.name, app.label());
+        }
+    }
+
+    #[test]
+    fn labels_match_figure_order() {
+        let labels: Vec<&str> = Application::all().iter().map(|a| a.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "Conjugate gradient",
+                "Gauss-Seidel",
+                "Integral histogram",
+                "Jacobi",
+                "NStream",
+                "QR factorization",
+                "Red-Black",
+                "Symm. mat. inv.",
+            ]
+        );
+        assert_eq!(Application::NStream.to_string(), "NStream");
+    }
+
+    #[test]
+    fn full_scale_produces_substantial_graphs() {
+        // Only build the cheapest kernels at full scale in unit tests; the
+        // dense ones are exercised by the bench harness.
+        let spec = Application::NStream.build(ProblemScale::Full, 8);
+        assert!(spec.num_tasks() > 500);
+        let spec = Application::Jacobi.build(ProblemScale::Full, 8);
+        assert!(spec.num_tasks() > 1000);
+    }
+
+    #[test]
+    fn scales_are_ordered_by_size() {
+        for app in Application::all() {
+            let tiny = app.build(ProblemScale::Tiny, 4).num_tasks();
+            let small = app.build(ProblemScale::Small, 4).num_tasks();
+            assert!(tiny < small, "{app}: tiny {tiny} not smaller than small {small}");
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! Page-granular placement of data regions onto NUMA nodes.
+//!
+//! Tasks in the modelled runtime operate on *regions*: contiguous blocks of
+//! bytes such as one tile of a blocked matrix. The operating system places
+//! memory at page granularity, and the placement is decided by whichever
+//! core *first touches* each page. The paper's *deferred allocation* policy
+//! postpones that first touch for a task's output regions until the task has
+//! been assigned to a socket, so the runtime controls where the data ends up.
+//!
+//! [`MemoryMap`] tracks, for every region, whether it has been placed and on
+//! which node(s). It supports whole-region placement (the common case for
+//! task outputs), interleaved placement (the default OS policy for large
+//! shared arrays when no NUMA policy is applied), and explicit per-page
+//! placement for finer modelling.
+
+use std::collections::HashMap;
+
+use crate::ids::{NodeId, RegionId};
+
+/// Default page size used when converting region sizes to page counts (4 KiB).
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+/// Where the bytes of a region currently live.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// The region has been registered but no page has been touched yet —
+    /// the state deferred allocation keeps output regions in until the
+    /// producing task is scheduled.
+    Unallocated,
+    /// All pages of the region live on a single node (the result of a first
+    /// touch by one socket, or of an explicit placement).
+    Node(NodeId),
+    /// Pages are interleaved round-robin across the given nodes (the OS
+    /// `MPOL_INTERLEAVE` policy); the vector lists the nodes in interleave
+    /// order and is never empty.
+    Interleaved(Vec<NodeId>),
+    /// Explicit per-page placement (one entry per page of the region).
+    Pages(Vec<NodeId>),
+}
+
+impl Placement {
+    /// True if at least one page of the region has a home node.
+    pub fn is_allocated(&self) -> bool {
+        !matches!(self, Placement::Unallocated)
+    }
+
+    /// If the whole region lives on one node, that node.
+    pub fn single_node(&self) -> Option<NodeId> {
+        match self {
+            Placement::Node(n) => Some(*n),
+            Placement::Pages(pages) => {
+                let first = *pages.first()?;
+                pages.iter().all(|&p| p == first).then_some(first)
+            }
+            Placement::Interleaved(nodes) => {
+                let first = *nodes.first()?;
+                nodes.iter().all(|&n| n == first).then_some(first)
+            }
+            Placement::Unallocated => None,
+        }
+    }
+}
+
+/// Static description of a region: its size and an optional debug label.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionInfo {
+    /// Size of the region in bytes.
+    pub size_bytes: u64,
+    /// Optional human readable label (e.g. `"A[2][3]"`).
+    pub label: Option<String>,
+}
+
+/// Per-region byte distribution over nodes, produced by
+/// [`MemoryMap::bytes_per_node`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NodeBytes {
+    /// `(node, bytes)` pairs for every node that holds at least one byte of
+    /// the region, sorted by node id.
+    pub per_node: Vec<(NodeId, u64)>,
+    /// Bytes of the region that are not yet allocated anywhere.
+    pub unallocated: u64,
+}
+
+impl NodeBytes {
+    /// Total allocated bytes.
+    pub fn allocated(&self) -> u64 {
+        self.per_node.iter().map(|(_, b)| *b).sum()
+    }
+}
+
+/// The NUMA memory state of the machine: which node holds each region.
+///
+/// The map is a pure bookkeeping structure — it never allocates real memory.
+/// Both the discrete-event simulator and the threaded executor use it as the
+/// single source of truth for data location, which is exactly the
+/// information the paper's scheduling policies consume.
+#[derive(Clone, Debug, Default)]
+pub struct MemoryMap {
+    regions: Vec<RegionInfo>,
+    placements: Vec<Placement>,
+    page_size: usize,
+    /// Bytes currently resident on each node (kept incrementally).
+    node_resident: HashMap<usize, u64>,
+}
+
+impl MemoryMap {
+    /// Creates an empty memory map with the default 4 KiB page size.
+    pub fn new() -> Self {
+        Self::with_page_size(DEFAULT_PAGE_SIZE)
+    }
+
+    /// Creates an empty memory map with a custom page size (must be > 0).
+    pub fn with_page_size(page_size: usize) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        MemoryMap {
+            regions: Vec::new(),
+            placements: Vec::new(),
+            page_size,
+            node_resident: HashMap::new(),
+        }
+    }
+
+    /// Page size used to convert region sizes into page counts.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of registered regions.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True if no region has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Registers a new region of `size_bytes` bytes and returns its id.
+    /// The region starts unallocated (deferred).
+    pub fn register(&mut self, size_bytes: u64) -> RegionId {
+        self.register_labelled(size_bytes, None::<String>)
+    }
+
+    /// Registers a new region with a debug label.
+    pub fn register_labelled(
+        &mut self,
+        size_bytes: u64,
+        label: Option<impl Into<String>>,
+    ) -> RegionId {
+        let id = RegionId(self.regions.len());
+        self.regions.push(RegionInfo {
+            size_bytes,
+            label: label.map(Into::into),
+        });
+        self.placements.push(Placement::Unallocated);
+        id
+    }
+
+    /// Static information about a region.
+    ///
+    /// # Panics
+    /// Panics if the region id was not produced by this map.
+    pub fn info(&self, region: RegionId) -> &RegionInfo {
+        &self.regions[region.index()]
+    }
+
+    /// Size of a region in bytes.
+    pub fn size_of(&self, region: RegionId) -> u64 {
+        self.regions[region.index()].size_bytes
+    }
+
+    /// Number of pages a region spans (at least 1 for non-empty regions).
+    pub fn pages_of(&self, region: RegionId) -> usize {
+        let size = self.size_of(region) as usize;
+        size.div_ceil(self.page_size).max(usize::from(size > 0))
+    }
+
+    /// Current placement of a region.
+    pub fn placement(&self, region: RegionId) -> &Placement {
+        &self.placements[region.index()]
+    }
+
+    /// True if any page of the region has been placed.
+    pub fn is_allocated(&self, region: RegionId) -> bool {
+        self.placements[region.index()].is_allocated()
+    }
+
+    /// Places the whole region on `node`, as the paper's deferred allocation
+    /// does when the producing task is finally scheduled. Overwrites any
+    /// previous placement (modelling a migration).
+    pub fn place(&mut self, region: RegionId, node: NodeId) {
+        self.remove_resident(region);
+        self.placements[region.index()] = Placement::Node(node);
+        *self.node_resident.entry(node.index()).or_default() += self.size_of(region);
+    }
+
+    /// Performs a *first touch*: places the region on `node` only if it is
+    /// still unallocated. Returns `true` if this call performed the
+    /// placement.
+    pub fn first_touch(&mut self, region: RegionId, node: NodeId) -> bool {
+        if self.is_allocated(region) {
+            false
+        } else {
+            self.place(region, node);
+            true
+        }
+    }
+
+    /// Interleaves the region round-robin across `nodes` (the behaviour of a
+    /// NUMA-oblivious initialisation of a large shared array).
+    ///
+    /// # Panics
+    /// Panics if `nodes` is empty.
+    pub fn place_interleaved(&mut self, region: RegionId, nodes: &[NodeId]) {
+        assert!(!nodes.is_empty(), "interleave set cannot be empty");
+        self.remove_resident(region);
+        self.placements[region.index()] = Placement::Interleaved(nodes.to_vec());
+        for (node, bytes) in self.interleave_bytes(region, nodes) {
+            *self.node_resident.entry(node.index()).or_default() += bytes;
+        }
+    }
+
+    /// Places each page of the region explicitly.
+    ///
+    /// # Panics
+    /// Panics if `pages.len()` does not match the page count of the region.
+    pub fn place_pages(&mut self, region: RegionId, pages: Vec<NodeId>) {
+        assert_eq!(
+            pages.len(),
+            self.pages_of(region),
+            "one node per page required"
+        );
+        self.remove_resident(region);
+        for (node, bytes) in Self::page_bytes(self.size_of(region), self.page_size, &pages) {
+            *self.node_resident.entry(node.index()).or_default() += bytes;
+        }
+        self.placements[region.index()] = Placement::Pages(pages);
+    }
+
+    /// Resets a region to the unallocated state (used by tests and by the
+    /// deferred-allocation bookkeeping when data is freed between windows).
+    pub fn deallocate(&mut self, region: RegionId) {
+        self.remove_resident(region);
+        self.placements[region.index()] = Placement::Unallocated;
+    }
+
+    /// How many bytes of `region` live on each node.
+    pub fn bytes_per_node(&self, region: RegionId) -> NodeBytes {
+        let size = self.size_of(region);
+        match &self.placements[region.index()] {
+            Placement::Unallocated => NodeBytes {
+                per_node: Vec::new(),
+                unallocated: size,
+            },
+            Placement::Node(n) => NodeBytes {
+                per_node: vec![(*n, size)],
+                unallocated: 0,
+            },
+            Placement::Interleaved(nodes) => {
+                let mut v = self.interleave_bytes(region, nodes);
+                v.sort_by_key(|(n, _)| n.index());
+                NodeBytes {
+                    per_node: v,
+                    unallocated: 0,
+                }
+            }
+            Placement::Pages(pages) => {
+                let mut v = Self::page_bytes(size, self.page_size, pages);
+                v.sort_by_key(|(n, _)| n.index());
+                NodeBytes {
+                    per_node: v,
+                    unallocated: 0,
+                }
+            }
+        }
+    }
+
+    /// Total bytes resident on `node` across all regions.
+    pub fn resident_on(&self, node: NodeId) -> u64 {
+        self.node_resident.get(&node.index()).copied().unwrap_or(0)
+    }
+
+    /// Total bytes registered (allocated or not).
+    pub fn total_registered_bytes(&self) -> u64 {
+        self.regions.iter().map(|r| r.size_bytes).sum()
+    }
+
+    /// Total bytes currently allocated on some node.
+    pub fn total_resident_bytes(&self) -> u64 {
+        self.node_resident.values().sum()
+    }
+
+    /// Iterates over all region ids.
+    pub fn regions(&self) -> impl Iterator<Item = RegionId> {
+        (0..self.regions.len()).map(RegionId)
+    }
+
+    fn remove_resident(&mut self, region: RegionId) {
+        let nb = self.bytes_per_node(region);
+        for (node, bytes) in nb.per_node {
+            if let Some(entry) = self.node_resident.get_mut(&node.index()) {
+                *entry = entry.saturating_sub(bytes);
+            }
+        }
+    }
+
+    fn interleave_bytes(&self, region: RegionId, nodes: &[NodeId]) -> Vec<(NodeId, u64)> {
+        let size = self.size_of(region);
+        let pages = self.pages_of(region);
+        let mut per: HashMap<usize, u64> = HashMap::new();
+        for p in 0..pages {
+            let node = nodes[p % nodes.len()];
+            let bytes = Self::bytes_in_page(size, self.page_size, p, pages);
+            *per.entry(node.index()).or_default() += bytes;
+        }
+        per.into_iter().map(|(n, b)| (NodeId(n), b)).collect()
+    }
+
+    fn page_bytes(size: u64, page_size: usize, pages: &[NodeId]) -> Vec<(NodeId, u64)> {
+        let mut per: HashMap<usize, u64> = HashMap::new();
+        let n = pages.len();
+        for (p, node) in pages.iter().enumerate() {
+            *per.entry(node.index()).or_default() += Self::bytes_in_page(size, page_size, p, n);
+        }
+        per.into_iter().map(|(n, b)| (NodeId(n), b)).collect()
+    }
+
+    fn bytes_in_page(size: u64, page_size: usize, page: usize, total_pages: usize) -> u64 {
+        if total_pages == 0 {
+            return 0;
+        }
+        if page + 1 < total_pages {
+            page_size as u64
+        } else {
+            // Last page holds the remainder.
+            size - (page_size as u64) * (total_pages as u64 - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_starts_unallocated() {
+        let mut m = MemoryMap::new();
+        let r = m.register(1 << 20);
+        assert_eq!(m.num_regions(), 1);
+        assert!(!m.is_allocated(r));
+        assert_eq!(*m.placement(r), Placement::Unallocated);
+        assert_eq!(m.size_of(r), 1 << 20);
+        assert_eq!(m.bytes_per_node(r).unallocated, 1 << 20);
+    }
+
+    #[test]
+    fn place_whole_region() {
+        let mut m = MemoryMap::new();
+        let r = m.register(8192);
+        m.place(r, NodeId(3));
+        assert!(m.is_allocated(r));
+        assert_eq!(m.placement(r).single_node(), Some(NodeId(3)));
+        assert_eq!(m.resident_on(NodeId(3)), 8192);
+        assert_eq!(m.resident_on(NodeId(0)), 0);
+        let nb = m.bytes_per_node(r);
+        assert_eq!(nb.per_node, vec![(NodeId(3), 8192)]);
+        assert_eq!(nb.unallocated, 0);
+    }
+
+    #[test]
+    fn first_touch_only_once() {
+        let mut m = MemoryMap::new();
+        let r = m.register(4096);
+        assert!(m.first_touch(r, NodeId(1)));
+        assert!(!m.first_touch(r, NodeId(2)));
+        assert_eq!(m.placement(r).single_node(), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn migration_updates_residency() {
+        let mut m = MemoryMap::new();
+        let r = m.register(10_000);
+        m.place(r, NodeId(0));
+        m.place(r, NodeId(5));
+        assert_eq!(m.resident_on(NodeId(0)), 0);
+        assert_eq!(m.resident_on(NodeId(5)), 10_000);
+        assert_eq!(m.total_resident_bytes(), 10_000);
+    }
+
+    #[test]
+    fn interleaved_distributes_pages() {
+        let mut m = MemoryMap::with_page_size(1000);
+        let r = m.register(4000); // 4 pages
+        m.place_interleaved(r, &[NodeId(0), NodeId(1)]);
+        let nb = m.bytes_per_node(r);
+        assert_eq!(nb.per_node, vec![(NodeId(0), 2000), (NodeId(1), 2000)]);
+        assert_eq!(m.resident_on(NodeId(0)), 2000);
+        assert_eq!(m.resident_on(NodeId(1)), 2000);
+        // 2 equal nodes is not a single-node placement unless all the same.
+        assert_eq!(m.placement(r).single_node(), None);
+    }
+
+    #[test]
+    fn interleaved_last_page_remainder() {
+        let mut m = MemoryMap::with_page_size(1000);
+        let r = m.register(2500); // 3 pages: 1000, 1000, 500
+        m.place_interleaved(r, &[NodeId(0), NodeId(1)]);
+        let nb = m.bytes_per_node(r);
+        // pages 0 and 2 on node 0 (1000 + 500), page 1 on node 1.
+        assert_eq!(nb.per_node, vec![(NodeId(0), 1500), (NodeId(1), 1000)]);
+        assert_eq!(nb.allocated(), 2500);
+    }
+
+    #[test]
+    fn explicit_pages() {
+        let mut m = MemoryMap::with_page_size(100);
+        let r = m.register(250); // 3 pages: 100, 100, 50
+        m.place_pages(r, vec![NodeId(2), NodeId(2), NodeId(4)]);
+        let nb = m.bytes_per_node(r);
+        assert_eq!(nb.per_node, vec![(NodeId(2), 200), (NodeId(4), 50)]);
+        assert_eq!(m.pages_of(r), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one node per page")]
+    fn wrong_page_count_rejected() {
+        let mut m = MemoryMap::with_page_size(100);
+        let r = m.register(250);
+        m.place_pages(r, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn deallocate_returns_to_unallocated() {
+        let mut m = MemoryMap::new();
+        let r = m.register(5000);
+        m.place(r, NodeId(2));
+        m.deallocate(r);
+        assert!(!m.is_allocated(r));
+        assert_eq!(m.total_resident_bytes(), 0);
+    }
+
+    #[test]
+    fn pages_of_rounds_up() {
+        let mut m = MemoryMap::with_page_size(4096);
+        let a = m.register(1);
+        let b = m.register(4096);
+        let c = m.register(4097);
+        let z = m.register(0);
+        assert_eq!(m.pages_of(a), 1);
+        assert_eq!(m.pages_of(b), 1);
+        assert_eq!(m.pages_of(c), 2);
+        assert_eq!(m.pages_of(z), 0);
+    }
+
+    #[test]
+    fn totals_track_all_regions() {
+        let mut m = MemoryMap::new();
+        let a = m.register(100);
+        let b = m.register(200);
+        let _c = m.register(300);
+        m.place(a, NodeId(0));
+        m.place(b, NodeId(1));
+        assert_eq!(m.total_registered_bytes(), 600);
+        assert_eq!(m.total_resident_bytes(), 300);
+        assert_eq!(m.regions().count(), 3);
+    }
+
+    #[test]
+    fn labels_are_kept() {
+        let mut m = MemoryMap::new();
+        let r = m.register_labelled(64, Some("A[0][1]"));
+        assert_eq!(m.info(r).label.as_deref(), Some("A[0][1]"));
+    }
+
+    #[test]
+    fn single_node_detects_uniform_pages() {
+        let mut m = MemoryMap::with_page_size(10);
+        let r = m.register(30);
+        m.place_pages(r, vec![NodeId(1), NodeId(1), NodeId(1)]);
+        assert_eq!(m.placement(r).single_node(), Some(NodeId(1)));
+    }
+}

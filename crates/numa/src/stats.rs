@@ -1,0 +1,179 @@
+//! Traffic accounting: how many bytes were served locally vs. remotely.
+//!
+//! The whole point of the paper's techniques is to increase the fraction of
+//! task input/output bytes that are served from the socket the task runs on.
+//! [`TrafficStats`] is the ledger both executors write to, and the quantity
+//! EXPERIMENTS.md reports next to the speedups.
+
+use std::collections::BTreeMap;
+
+use crate::ids::NodeId;
+use crate::topology::DistanceMatrix;
+
+/// Byte counters accumulated over an execution.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TrafficStats {
+    /// Bytes accessed from the node local to the executing core.
+    pub local_bytes: u64,
+    /// Bytes accessed from a remote node.
+    pub remote_bytes: u64,
+    /// Bytes whose placement happened via first touch during the execution
+    /// (deferred allocations performed). These are charged as local because
+    /// the touching socket becomes the home.
+    pub deferred_allocated_bytes: u64,
+    /// Per (source node, destination node) matrix of transferred bytes:
+    /// `link[(from, to)]` = bytes read by cores of `to` from memory of `from`.
+    link: BTreeMap<(usize, usize), u64>,
+    /// Weighted sum of bytes × SLIT distance, to compute the average access
+    /// distance.
+    distance_weighted_bytes: u128,
+}
+
+impl TrafficStats {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an access of `bytes` bytes by a core on `core_node` to data
+    /// living on `data_node`, at SLIT `distance`.
+    pub fn record_access(&mut self, core_node: NodeId, data_node: NodeId, distance: u32, bytes: u64) {
+        if core_node == data_node {
+            self.local_bytes += bytes;
+        } else {
+            self.remote_bytes += bytes;
+        }
+        *self
+            .link
+            .entry((data_node.index(), core_node.index()))
+            .or_default() += bytes;
+        self.distance_weighted_bytes += u128::from(bytes) * u128::from(distance);
+    }
+
+    /// Records a deferred allocation of `bytes` on the executing node.
+    pub fn record_deferred_allocation(&mut self, bytes: u64) {
+        self.deferred_allocated_bytes += bytes;
+    }
+
+    /// Total bytes accessed.
+    pub fn total_bytes(&self) -> u64 {
+        self.local_bytes + self.remote_bytes
+    }
+
+    /// Fraction of bytes served locally, in `[0, 1]`. Returns 1.0 when no
+    /// traffic was recorded (vacuously all-local).
+    pub fn local_fraction(&self) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            1.0
+        } else {
+            self.local_bytes as f64 / total as f64
+        }
+    }
+
+    /// Average SLIT distance of an accessed byte (10.0 = everything local).
+    pub fn mean_access_distance(&self) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            DistanceMatrix::LOCAL as f64
+        } else {
+            self.distance_weighted_bytes as f64 / total as f64
+        }
+    }
+
+    /// Bytes read by cores of `to` from memory of `from`.
+    pub fn link_bytes(&self, from: NodeId, to: NodeId) -> u64 {
+        self.link
+            .get(&(from.index(), to.index()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Bytes served by the memory of `node` (to any core).
+    pub fn served_by(&self, node: NodeId) -> u64 {
+        self.link
+            .iter()
+            .filter(|((from, _), _)| *from == node.index())
+            .map(|(_, b)| *b)
+            .sum()
+    }
+
+    /// Bytes consumed by cores of `node` (from any memory).
+    pub fn consumed_by(&self, node: NodeId) -> u64 {
+        self.link
+            .iter()
+            .filter(|((_, to), _)| *to == node.index())
+            .map(|(_, b)| *b)
+            .sum()
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        self.local_bytes += other.local_bytes;
+        self.remote_bytes += other.remote_bytes;
+        self.deferred_allocated_bytes += other.deferred_allocated_bytes;
+        self.distance_weighted_bytes += other.distance_weighted_bytes;
+        for (k, v) in &other.link {
+            *self.link.entry(*k).or_default() += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_vacuously_local() {
+        let s = TrafficStats::new();
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.local_fraction(), 1.0);
+        assert_eq!(s.mean_access_distance(), 10.0);
+    }
+
+    #[test]
+    fn local_and_remote_are_separated() {
+        let mut s = TrafficStats::new();
+        s.record_access(NodeId(0), NodeId(0), 10, 1000);
+        s.record_access(NodeId(0), NodeId(3), 27, 3000);
+        assert_eq!(s.local_bytes, 1000);
+        assert_eq!(s.remote_bytes, 3000);
+        assert_eq!(s.total_bytes(), 4000);
+        assert!((s.local_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_distance_weights_by_bytes() {
+        let mut s = TrafficStats::new();
+        s.record_access(NodeId(0), NodeId(0), 10, 100);
+        s.record_access(NodeId(0), NodeId(1), 30, 100);
+        assert!((s.mean_access_distance() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_matrix_tracks_direction() {
+        let mut s = TrafficStats::new();
+        // Core on node 2 reads from memory on node 5.
+        s.record_access(NodeId(2), NodeId(5), 27, 500);
+        assert_eq!(s.link_bytes(NodeId(5), NodeId(2)), 500);
+        assert_eq!(s.link_bytes(NodeId(2), NodeId(5)), 0);
+        assert_eq!(s.served_by(NodeId(5)), 500);
+        assert_eq!(s.consumed_by(NodeId(2)), 500);
+        assert_eq!(s.served_by(NodeId(2)), 0);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = TrafficStats::new();
+        a.record_access(NodeId(0), NodeId(0), 10, 10);
+        a.record_deferred_allocation(64);
+        let mut b = TrafficStats::new();
+        b.record_access(NodeId(1), NodeId(0), 21, 20);
+        b.record_deferred_allocation(128);
+        a.merge(&b);
+        assert_eq!(a.local_bytes, 10);
+        assert_eq!(a.remote_bytes, 20);
+        assert_eq!(a.deferred_allocated_bytes, 192);
+        assert_eq!(a.link_bytes(NodeId(0), NodeId(1)), 20);
+    }
+}

@@ -1,0 +1,437 @@
+//! Machine topology: sockets, cores and the NUMA distance matrix.
+//!
+//! The evaluation machine of the paper is an Atos Bull bullion S16 with
+//! 8 sockets and 4 cores used per socket. bullion machines are built from
+//! 2-socket modules glued together by a node controller (BCS), so the NUMA
+//! distance between two sockets depends on whether they share a module.
+//! [`Topology::bullion_s16`] models exactly that.
+
+use crate::ids::{CoreId, NodeId, SocketId};
+
+/// ACPI-SLIT style distance matrix between NUMA nodes.
+///
+/// The local distance is conventionally `10`; a value of `21` means an
+/// access is 2.1 times as expensive as a local one.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Row-major `n × n` matrix of relative distances.
+    values: Vec<u32>,
+}
+
+impl DistanceMatrix {
+    /// Local distance used by convention (ACPI SLIT).
+    pub const LOCAL: u32 = 10;
+
+    /// Builds a distance matrix from a row-major vector of `n * n` values.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != n * n`, if any diagonal element is not
+    /// [`Self::LOCAL`], or if the matrix is not symmetric.
+    pub fn from_rows(n: usize, values: Vec<u32>) -> Self {
+        assert_eq!(values.len(), n * n, "distance matrix must be n*n");
+        for i in 0..n {
+            assert_eq!(
+                values[i * n + i],
+                Self::LOCAL,
+                "diagonal of distance matrix must be the local distance"
+            );
+            for j in 0..n {
+                assert_eq!(
+                    values[i * n + j],
+                    values[j * n + i],
+                    "distance matrix must be symmetric"
+                );
+                assert!(
+                    values[i * n + j] >= Self::LOCAL,
+                    "remote distance cannot be smaller than the local distance"
+                );
+            }
+        }
+        DistanceMatrix { n, values }
+    }
+
+    /// A uniform matrix: every remote access has the same `remote` distance.
+    pub fn uniform(n: usize, remote: u32) -> Self {
+        assert!(remote >= Self::LOCAL);
+        let mut values = vec![remote; n * n];
+        for i in 0..n {
+            values[i * n + i] = Self::LOCAL;
+        }
+        DistanceMatrix { n, values }
+    }
+
+    /// Number of NUMA nodes covered by this matrix.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the matrix covers zero nodes (never the case for a valid machine).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between two nodes.
+    #[inline]
+    pub fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        self.values[a.index() * self.n + b.index()]
+    }
+
+    /// Relative cost of an access from `a` to `b` compared to a local access
+    /// (`1.0` for local).
+    #[inline]
+    pub fn relative_cost(&self, a: NodeId, b: NodeId) -> f64 {
+        self.distance(a, b) as f64 / Self::LOCAL as f64
+    }
+
+    /// Largest distance in the matrix (the "diameter" of the machine).
+    pub fn max_distance(&self) -> u32 {
+        self.values.iter().copied().max().unwrap_or(Self::LOCAL)
+    }
+
+    /// Average remote distance (excluding the diagonal). Returns the local
+    /// distance for single-node machines.
+    pub fn mean_remote_distance(&self) -> f64 {
+        if self.n <= 1 {
+            return Self::LOCAL as f64;
+        }
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    sum += u64::from(self.values[i * self.n + j]);
+                    count += 1;
+                }
+            }
+        }
+        sum as f64 / count as f64
+    }
+}
+
+/// Description of the machine: how many sockets, how many cores per socket,
+/// and how far apart the NUMA nodes are.
+///
+/// The topology is immutable once built; runtimes and policies share it by
+/// reference (it is cheap to clone as well).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Topology {
+    num_sockets: usize,
+    cores_per_socket: usize,
+    distances: DistanceMatrix,
+    name: String,
+}
+
+impl Topology {
+    /// Builds a topology with an explicit distance matrix.
+    ///
+    /// # Panics
+    /// Panics if the distance matrix size does not match `num_sockets`, or if
+    /// either dimension is zero.
+    pub fn new(
+        name: impl Into<String>,
+        num_sockets: usize,
+        cores_per_socket: usize,
+        distances: DistanceMatrix,
+    ) -> Self {
+        assert!(num_sockets > 0, "a machine needs at least one socket");
+        assert!(cores_per_socket > 0, "a socket needs at least one core");
+        assert_eq!(
+            distances.len(),
+            num_sockets,
+            "distance matrix must have one row per socket"
+        );
+        Topology {
+            num_sockets,
+            cores_per_socket,
+            distances,
+            name: name.into(),
+        }
+    }
+
+    /// The machine used in the paper's evaluation: an Atos Bull bullion S16
+    /// configured with 8 sockets and 4 cores per socket (32 workers).
+    ///
+    /// bullion systems pair sockets into modules connected by an external
+    /// node controller, so the distance is `10` locally, `15` to the sibling
+    /// socket inside the same module and `27` across modules — mirroring the
+    /// ~2.7× remote/local latency ratios reported for this class of machine.
+    pub fn bullion_s16() -> Self {
+        let n = 8;
+        let mut values = vec![0u32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                values[i * n + j] = if i == j {
+                    DistanceMatrix::LOCAL
+                } else if i / 2 == j / 2 {
+                    15
+                } else {
+                    27
+                };
+            }
+        }
+        Topology::new(
+            "bullion_s16 (8 sockets x 4 cores)",
+            n,
+            4,
+            DistanceMatrix::from_rows(n, values),
+        )
+    }
+
+    /// A commodity dual-socket server (distance 21 between the two sockets).
+    pub fn two_socket(cores_per_socket: usize) -> Self {
+        Topology::new(
+            format!("2-socket x {cores_per_socket} cores"),
+            2,
+            cores_per_socket,
+            DistanceMatrix::uniform(2, 21),
+        )
+    }
+
+    /// A four-socket, fully connected server (uniform remote distance 21).
+    pub fn four_socket(cores_per_socket: usize) -> Self {
+        Topology::new(
+            format!("4-socket x {cores_per_socket} cores"),
+            4,
+            cores_per_socket,
+            DistanceMatrix::uniform(4, 21),
+        )
+    }
+
+    /// A single-socket (UMA) machine; useful as a degenerate baseline where
+    /// every policy must behave identically.
+    pub fn uma(cores: usize) -> Self {
+        Topology::new(
+            format!("UMA x {cores} cores"),
+            1,
+            cores,
+            DistanceMatrix::uniform(1, DistanceMatrix::LOCAL),
+        )
+    }
+
+    /// A generic `sockets × cores` machine with uniform remote distance 21,
+    /// used by the socket-count ablation.
+    pub fn symmetric(sockets: usize, cores_per_socket: usize) -> Self {
+        Topology::new(
+            format!("{sockets}-socket x {cores_per_socket} cores"),
+            sockets,
+            cores_per_socket,
+            DistanceMatrix::uniform(sockets, 21),
+        )
+    }
+
+    /// Human-readable name of the preset.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of sockets (== number of NUMA nodes).
+    pub fn num_sockets(&self) -> usize {
+        self.num_sockets
+    }
+
+    /// Number of NUMA nodes (1:1 with sockets in this model).
+    pub fn num_nodes(&self) -> usize {
+        self.num_sockets
+    }
+
+    /// Cores per socket.
+    pub fn cores_per_socket(&self) -> usize {
+        self.cores_per_socket
+    }
+
+    /// Total number of cores (workers).
+    pub fn num_cores(&self) -> usize {
+        self.num_sockets * self.cores_per_socket
+    }
+
+    /// Socket that owns a core. Cores are numbered socket-major:
+    /// cores `0..cores_per_socket` live on socket 0, etc.
+    #[inline]
+    pub fn socket_of(&self, core: CoreId) -> SocketId {
+        debug_assert!(core.index() < self.num_cores());
+        SocketId(core.index() / self.cores_per_socket)
+    }
+
+    /// NUMA node local to a core.
+    #[inline]
+    pub fn node_of(&self, core: CoreId) -> NodeId {
+        self.socket_of(core).node()
+    }
+
+    /// The cores that belong to a socket, in increasing id order.
+    pub fn cores_of(&self, socket: SocketId) -> impl Iterator<Item = CoreId> + '_ {
+        debug_assert!(socket.index() < self.num_sockets);
+        let start = socket.index() * self.cores_per_socket;
+        (start..start + self.cores_per_socket).map(CoreId)
+    }
+
+    /// First core of a socket (convenient canonical representative).
+    pub fn first_core_of(&self, socket: SocketId) -> CoreId {
+        CoreId(socket.index() * self.cores_per_socket)
+    }
+
+    /// All sockets of the machine.
+    pub fn sockets(&self) -> impl Iterator<Item = SocketId> {
+        (0..self.num_sockets).map(SocketId)
+    }
+
+    /// All NUMA nodes of the machine.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_sockets).map(NodeId)
+    }
+
+    /// All cores of the machine.
+    pub fn cores(&self) -> impl Iterator<Item = CoreId> {
+        (0..self.num_cores()).map(CoreId)
+    }
+
+    /// The distance matrix.
+    pub fn distances(&self) -> &DistanceMatrix {
+        &self.distances
+    }
+
+    /// NUMA distance between two nodes.
+    #[inline]
+    pub fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        self.distances.distance(a, b)
+    }
+
+    /// Relative access cost between the node local to `core` and `data` node.
+    #[inline]
+    pub fn relative_cost(&self, core: CoreId, data: NodeId) -> f64 {
+        self.distances.relative_cost(self.node_of(core), data)
+    }
+
+    /// True if the machine has a single NUMA node (no NUMA effects possible).
+    pub fn is_uma(&self) -> bool {
+        self.num_sockets == 1
+    }
+
+    /// Nodes sorted by distance from `from` (closest first, `from` itself is
+    /// always first). Used by policies that spill work to the nearest node.
+    pub fn nodes_by_distance(&self, from: NodeId) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.nodes().collect();
+        nodes.sort_by_key(|&n| (self.distance(from, n), n.index()));
+        nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bullion_dimensions() {
+        let t = Topology::bullion_s16();
+        assert_eq!(t.num_sockets(), 8);
+        assert_eq!(t.cores_per_socket(), 4);
+        assert_eq!(t.num_cores(), 32);
+        assert!(!t.is_uma());
+    }
+
+    #[test]
+    fn bullion_distance_structure() {
+        let t = Topology::bullion_s16();
+        // Local.
+        assert_eq!(t.distance(NodeId(3), NodeId(3)), 10);
+        // Same module (sockets 0 and 1 are paired; 2 and 3; ...).
+        assert_eq!(t.distance(NodeId(0), NodeId(1)), 15);
+        assert_eq!(t.distance(NodeId(6), NodeId(7)), 15);
+        // Cross module.
+        assert_eq!(t.distance(NodeId(0), NodeId(2)), 27);
+        assert_eq!(t.distance(NodeId(1), NodeId(7)), 27);
+        // Symmetry.
+        for a in t.nodes() {
+            for b in t.nodes() {
+                assert_eq!(t.distance(a, b), t.distance(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn socket_core_mapping_is_socket_major() {
+        let t = Topology::bullion_s16();
+        assert_eq!(t.socket_of(CoreId(0)), SocketId(0));
+        assert_eq!(t.socket_of(CoreId(3)), SocketId(0));
+        assert_eq!(t.socket_of(CoreId(4)), SocketId(1));
+        assert_eq!(t.socket_of(CoreId(31)), SocketId(7));
+        let cores: Vec<_> = t.cores_of(SocketId(2)).collect();
+        assert_eq!(cores, vec![CoreId(8), CoreId(9), CoreId(10), CoreId(11)]);
+        assert_eq!(t.first_core_of(SocketId(5)), CoreId(20));
+    }
+
+    #[test]
+    fn every_core_maps_back_to_its_socket() {
+        let t = Topology::bullion_s16();
+        for s in t.sockets() {
+            for c in t.cores_of(s) {
+                assert_eq!(t.socket_of(c), s);
+                assert_eq!(t.node_of(c), s.node());
+            }
+        }
+    }
+
+    #[test]
+    fn uma_machine_has_unit_relative_cost() {
+        let t = Topology::uma(4);
+        assert!(t.is_uma());
+        assert_eq!(t.num_cores(), 4);
+        assert_eq!(t.relative_cost(CoreId(2), NodeId(0)), 1.0);
+    }
+
+    #[test]
+    fn uniform_matrix_properties() {
+        let d = DistanceMatrix::uniform(4, 21);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.distance(NodeId(0), NodeId(0)), 10);
+        assert_eq!(d.distance(NodeId(0), NodeId(3)), 21);
+        assert_eq!(d.max_distance(), 21);
+        assert!((d.relative_cost(NodeId(1), NodeId(2)) - 2.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_remote_distance_bullion() {
+        let t = Topology::bullion_s16();
+        let m = t.distances().mean_remote_distance();
+        // 1 sibling at 15 and 6 strangers at 27 per node.
+        let expected = (15.0 + 6.0 * 27.0) / 7.0;
+        assert!((m - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nodes_by_distance_orders_local_first() {
+        let t = Topology::bullion_s16();
+        let order = t.nodes_by_distance(NodeId(2));
+        assert_eq!(order[0], NodeId(2));
+        assert_eq!(order[1], NodeId(3)); // sibling in the same module
+        assert_eq!(order.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_matrix_rejected() {
+        DistanceMatrix::from_rows(2, vec![10, 21, 25, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn bad_diagonal_rejected() {
+        DistanceMatrix::from_rows(2, vec![12, 21, 21, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        Topology::new("bad", 2, 0, DistanceMatrix::uniform(2, 21));
+    }
+
+    #[test]
+    fn symmetric_preset_scales() {
+        for s in [2, 4, 8, 16] {
+            let t = Topology::symmetric(s, 4);
+            assert_eq!(t.num_sockets(), s);
+            assert_eq!(t.num_cores(), 4 * s);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Executor configuration.
+
+use numadag_numa::{CostModel, Topology};
+
+/// What an idle core does when its socket's queue is empty.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StealMode {
+    /// Steal from the nearest socket (by NUMA distance) that has queued
+    /// tasks. This is how socket-aware runtimes (Nanos++, OpenStream) behave
+    /// and is the default.
+    #[default]
+    NearestSocket,
+    /// Never steal: cores only execute tasks pushed to their own socket.
+    /// Exposes the raw load imbalance of a policy (used by ablations/tests).
+    NoStealing,
+}
+
+/// Configuration shared by the executors.
+#[derive(Clone, Debug)]
+pub struct ExecutionConfig {
+    /// Machine topology (sockets, cores, distances).
+    pub topology: Topology,
+    /// Cost model translating bytes and work units into simulated time.
+    pub cost_model: CostModel,
+    /// Work-stealing behaviour of idle cores.
+    pub steal: StealMode,
+    /// Whether to collect a per-task placement trace in the report.
+    pub collect_trace: bool,
+    /// Seed forwarded to components that need randomness (none in the
+    /// simulator itself — determinism comes from the policies' own seeds).
+    pub seed: u64,
+}
+
+impl ExecutionConfig {
+    /// Configuration for the paper's evaluation machine (bullion S16,
+    /// 8 sockets × 4 cores) with the default cost model.
+    pub fn bullion_s16() -> Self {
+        ExecutionConfig::new(Topology::bullion_s16())
+    }
+
+    /// Configuration for an arbitrary topology with the default cost model.
+    pub fn new(topology: Topology) -> Self {
+        ExecutionConfig {
+            topology,
+            cost_model: CostModel::default(),
+            steal: StealMode::default(),
+            collect_trace: false,
+            seed: 0xE0,
+        }
+    }
+
+    /// Replaces the cost model.
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// Replaces the stealing mode.
+    pub fn with_steal(mut self, steal: StealMode) -> Self {
+        self.steal = steal;
+        self
+    }
+
+    /// Enables the per-task placement trace.
+    pub fn with_trace(mut self) -> Self {
+        self.collect_trace = true;
+        self
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bullion_preset_matches_paper_machine() {
+        let cfg = ExecutionConfig::bullion_s16();
+        assert_eq!(cfg.topology.num_sockets(), 8);
+        assert_eq!(cfg.topology.num_cores(), 32);
+        assert_eq!(cfg.steal, StealMode::NearestSocket);
+        assert!(!cfg.collect_trace);
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let cfg = ExecutionConfig::new(Topology::two_socket(2))
+            .with_cost_model(CostModel::flat())
+            .with_steal(StealMode::NoStealing)
+            .with_trace()
+            .with_seed(99);
+        assert_eq!(cfg.cost_model, CostModel::flat());
+        assert_eq!(cfg.steal, StealMode::NoStealing);
+        assert!(cfg.collect_trace);
+        assert_eq!(cfg.seed, 99);
+    }
+}

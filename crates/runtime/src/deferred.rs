@@ -1,0 +1,101 @@
+//! Deferred allocation: regions written by a task that have no home NUMA
+//! node yet are first-touched on the socket the task executes on.
+//!
+//! This is one half of the LAS mechanism (Drebes et al.) and the vehicle by
+//! which the RGP window partition propagates to the rest of the execution:
+//! once window tasks have written "their" blocks on "their" sockets, LAS will
+//! keep sending consumers of those blocks to the same sockets.
+
+use numadag_numa::{MemoryMap, NodeId, TrafficStats};
+use numadag_tdg::TaskDescriptor;
+
+/// Applies deferred allocation for `task` executing on `node`: every region
+/// the task writes (or reads) that is still unallocated is placed on `node`.
+/// Returns the number of bytes placed and records them in `stats`.
+pub fn apply_deferred_allocation(
+    memory: &mut MemoryMap,
+    stats: &mut TrafficStats,
+    task: &TaskDescriptor,
+    node: NodeId,
+) -> u64 {
+    let mut placed = 0u64;
+    for access in &task.accesses {
+        if !memory.is_allocated(access.region) {
+            memory.place(access.region, node);
+            let bytes = memory.size_of(access.region);
+            stats.record_deferred_allocation(bytes);
+            placed += bytes;
+        }
+    }
+    placed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numadag_tdg::{DataAccess, TaskDescriptor, TaskId};
+
+    fn task(accesses: Vec<DataAccess>) -> TaskDescriptor {
+        TaskDescriptor {
+            id: TaskId(0),
+            kind: "t".into(),
+            work_units: 1.0,
+            accesses,
+        }
+    }
+
+    #[test]
+    fn unallocated_written_regions_are_placed_locally() {
+        let mut mem = MemoryMap::new();
+        let out = mem.register(4096);
+        let mut stats = TrafficStats::new();
+        let t = task(vec![DataAccess::write(out, 4096)]);
+        let placed = apply_deferred_allocation(&mut mem, &mut stats, &t, NodeId(3));
+        assert_eq!(placed, 4096);
+        assert_eq!(mem.placement(out).single_node(), Some(NodeId(3)));
+        assert_eq!(stats.deferred_allocated_bytes, 4096);
+    }
+
+    #[test]
+    fn already_allocated_regions_are_untouched() {
+        let mut mem = MemoryMap::new();
+        let r = mem.register(100);
+        mem.place(r, NodeId(1));
+        let mut stats = TrafficStats::new();
+        let t = task(vec![DataAccess::read_write(r, 100)]);
+        let placed = apply_deferred_allocation(&mut mem, &mut stats, &t, NodeId(5));
+        assert_eq!(placed, 0);
+        assert_eq!(mem.placement(r).single_node(), Some(NodeId(1)));
+        assert_eq!(stats.deferred_allocated_bytes, 0);
+    }
+
+    #[test]
+    fn unallocated_inputs_are_also_first_touched() {
+        // Reading a region nobody wrote yet (cold data) faults it in locally,
+        // exactly like the OS first-touch policy would.
+        let mut mem = MemoryMap::new();
+        let r = mem.register(64);
+        let mut stats = TrafficStats::new();
+        let t = task(vec![DataAccess::read(r, 64)]);
+        let placed = apply_deferred_allocation(&mut mem, &mut stats, &t, NodeId(2));
+        assert_eq!(placed, 64);
+        assert_eq!(mem.placement(r).single_node(), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn multiple_regions_accumulate() {
+        let mut mem = MemoryMap::new();
+        let a = mem.register(10);
+        let b = mem.register(20);
+        let c = mem.register(40);
+        mem.place(b, NodeId(0));
+        let mut stats = TrafficStats::new();
+        let t = task(vec![
+            DataAccess::write(a, 10),
+            DataAccess::read(b, 20),
+            DataAccess::write(c, 40),
+        ]);
+        let placed = apply_deferred_allocation(&mut mem, &mut stats, &t, NodeId(1));
+        assert_eq!(placed, 50);
+    }
+}

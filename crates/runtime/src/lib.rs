@@ -1,0 +1,35 @@
+//! # numadag-runtime — executors for NUMA-aware task scheduling
+//!
+//! The paper's techniques were implemented inside the Nanos++ runtime and
+//! measured on an 8-socket machine. This crate provides the two executors the
+//! reproduction uses instead:
+//!
+//! * [`simulator::Simulator`] — a deterministic discrete-event simulator of a
+//!   NUMA machine. Every task is charged its compute time plus the time to
+//!   move its input/output bytes between the socket it runs on and the NUMA
+//!   nodes holding them (with bandwidth contention between cores of the same
+//!   socket). This is what produces the makespans behind the figures in
+//!   EXPERIMENTS.md.
+//! * [`threaded::ThreadedExecutor`] — a real work-pushing/work-stealing
+//!   thread pool that executes actual task bodies (closures) while following
+//!   the same scheduling-policy decisions and deferred-allocation
+//!   bookkeeping. It demonstrates the public API end to end and is used by
+//!   the integration tests to check that every policy preserves the numerical
+//!   results of the kernels.
+//!
+//! Both executors implement the paper's *deferred allocation*: regions
+//! written by a task that have no home yet are first-touched on the socket
+//! the task runs on ([`deferred`]).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod deferred;
+pub mod report;
+pub mod simulator;
+pub mod threaded;
+
+pub use config::{ExecutionConfig, StealMode};
+pub use report::{ExecutionReport, TaskPlacement};
+pub use simulator::Simulator;
+pub use threaded::ThreadedExecutor;

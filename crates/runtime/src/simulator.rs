@@ -1,0 +1,497 @@
+//! Discrete-event simulator of a task-based runtime on a NUMA machine.
+//!
+//! The simulator plays the role of the Atos bullion S16 testbed of the paper:
+//! it executes the task dependency graph respecting dependences, queues,
+//! work pushing and stealing, and charges every task the time to compute and
+//! the time to move its bytes between the socket it runs on and the NUMA
+//! nodes holding them. The output is a makespan and a traffic ledger, from
+//! which the benchmark harness derives the speedups of Figure 1.
+//!
+//! The simulation is fully deterministic: the only randomness lives inside
+//! the policies (and is seeded).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use numadag_core::{DataLocator, MemoryLocator, SchedulingPolicy};
+use numadag_numa::{CoreId, MemoryMap, SocketId, TrafficStats};
+use numadag_tdg::{TaskGraphSpec, TaskId};
+
+use crate::config::{ExecutionConfig, StealMode};
+use crate::deferred::apply_deferred_allocation;
+use crate::report::{ExecutionReport, TaskPlacement};
+
+/// A task-completion event in the simulation clock.
+#[derive(Clone, Copy, Debug)]
+struct Event {
+    time: f64,
+    seq: u64,
+    task: TaskId,
+    core: CoreId,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering so the BinaryHeap becomes a min-heap on (time, seq).
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Simulator {
+    config: ExecutionConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given machine configuration.
+    pub fn new(config: ExecutionConfig) -> Self {
+        Simulator { config }
+    }
+
+    /// The configuration the simulator was built with.
+    pub fn config(&self) -> &ExecutionConfig {
+        &self.config
+    }
+
+    /// Runs `spec` under `policy` and returns the execution report.
+    ///
+    /// # Panics
+    /// Panics if the workload is invalid (see [`TaskGraphSpec::validate`]) or
+    /// if the dependence graph deadlocks (which cannot happen for graphs
+    /// produced by [`numadag_tdg::TdgBuilder`]).
+    pub fn run(&self, spec: &TaskGraphSpec, policy: &mut dyn SchedulingPolicy) -> ExecutionReport {
+        spec.validate().expect("invalid workload spec");
+        let topo = &self.config.topology;
+        let num_sockets = topo.num_sockets();
+        let n = spec.num_tasks();
+
+        // Memory state: all regions start unallocated (deferred allocation).
+        let mut memory = MemoryMap::new();
+        for &size in &spec.region_sizes {
+            memory.register(size);
+        }
+        let mut stats = TrafficStats::new();
+
+        // Let the policy look at the graph (RGP partitions its window here).
+        {
+            let locator = MemoryLocator::new(topo, &memory);
+            policy.prepare(&spec.graph, &locator);
+        }
+
+        // Per-task bookkeeping.
+        let mut indegree: Vec<usize> = (0..n)
+            .map(|t| spec.graph.in_degree(TaskId(t)))
+            .collect();
+        let mut assigned_socket: Vec<Option<SocketId>> = vec![None; n];
+
+        // Queues and cores.
+        let mut queues: Vec<VecDeque<TaskId>> = vec![VecDeque::new(); num_sockets];
+        let mut idle: Vec<Vec<CoreId>> = topo
+            .sockets()
+            .map(|s| {
+                let mut cores: Vec<CoreId> = topo.cores_of(s).collect();
+                cores.reverse(); // pop() hands out the lowest core id first
+                cores
+            })
+            .collect();
+        let mut busy_count = vec![0usize; num_sockets];
+
+        // Report accumulators.
+        let mut report = ExecutionReport {
+            workload: spec.name.clone(),
+            policy: policy.name().to_string(),
+            tasks: n,
+            tasks_per_socket: vec![0; num_sockets],
+            busy_per_socket: vec![0.0; num_sockets],
+            ..Default::default()
+        };
+
+        // Event machinery.
+        let mut events: BinaryHeap<Event> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut completed = 0usize;
+        let mut makespan = 0.0f64;
+
+        // Assign the initial ready tasks.
+        let sources: Vec<TaskId> = spec.graph.sources();
+        Self::assign_tasks(&sources, spec, policy, topo, &memory, &mut assigned_socket, &mut queues);
+
+        // Helper closure replaced by a local fn to keep borrows simple.
+        #[allow(clippy::too_many_arguments)]
+        fn start_task(
+            sim: &Simulator,
+            spec: &TaskGraphSpec,
+            task: TaskId,
+            core: CoreId,
+            now: f64,
+            stolen: bool,
+            memory: &mut MemoryMap,
+            stats: &mut TrafficStats,
+            busy_count: &mut [usize],
+            report: &mut ExecutionReport,
+            events: &mut BinaryHeap<Event>,
+            seq: &mut u64,
+        ) {
+            let topo = &sim.config.topology;
+            let cost = &sim.config.cost_model;
+            let socket = topo.socket_of(core);
+            let node = socket.node();
+            let descriptor = spec.graph.task(task);
+
+            // Deferred allocation / first touch on the executing node.
+            report.deferred_bytes +=
+                apply_deferred_allocation(memory, stats, descriptor, node);
+
+            // Memory time: move every accessed byte between its home node and
+            // the executing socket.
+            let mut memory_time = 0.0f64;
+            for access in &descriptor.accesses {
+                let region_size = memory.size_of(access.region).max(1);
+                let per_node = memory.bytes_per_node(access.region);
+                for (home, resident) in &per_node.per_node {
+                    let scaled = ((*resident as f64) * (access.bytes as f64)
+                        / (region_size as f64))
+                        .round() as u64;
+                    if scaled == 0 {
+                        continue;
+                    }
+                    let dist = topo.distance(node, *home);
+                    memory_time += cost.transfer_time(scaled, dist);
+                    stats.record_access(node, *home, dist, scaled);
+                }
+            }
+            // Bandwidth contention between the cores of this socket.
+            let concurrent = busy_count[socket.index()] + 1;
+            let duration = cost.compute_time(descriptor.work_units)
+                + memory_time * cost.contention_multiplier(concurrent);
+
+            busy_count[socket.index()] += 1;
+            report.tasks_per_socket[socket.index()] += 1;
+            report.busy_per_socket[socket.index()] += duration;
+            if stolen {
+                report.stolen_tasks += 1;
+            }
+            if sim.config.collect_trace {
+                report.trace.push(TaskPlacement {
+                    task,
+                    socket,
+                    start: now,
+                    end: now + duration,
+                    stolen,
+                });
+            }
+            *seq += 1;
+            events.push(Event {
+                time: now + duration,
+                seq: *seq,
+                task,
+                core,
+            });
+        }
+
+        // Dispatch: match idle cores with queued tasks (local first, then
+        // steal from the nearest socket).
+        macro_rules! dispatch {
+            ($now:expr) => {{
+                for s in 0..num_sockets {
+                    while !queues[s].is_empty() && !idle[s].is_empty() {
+                        let task = queues[s].pop_front().unwrap();
+                        let core = idle[s].pop().unwrap();
+                        start_task(
+                            self, spec, task, core, $now, false, &mut memory, &mut stats,
+                            &mut busy_count, &mut report, &mut events, &mut seq,
+                        );
+                    }
+                }
+                if self.config.steal == StealMode::NearestSocket {
+                    for s in 0..num_sockets {
+                        while !idle[s].is_empty() {
+                            let victim = topo
+                                .nodes_by_distance(SocketId(s).node())
+                                .into_iter()
+                                .map(|nd| nd.socket().index())
+                                .find(|&v| v != s && !queues[v].is_empty());
+                            let Some(victim) = victim else { break };
+                            let task = queues[victim].pop_back().unwrap();
+                            let core = idle[s].pop().unwrap();
+                            start_task(
+                                self, spec, task, core, $now, true, &mut memory, &mut stats,
+                                &mut busy_count, &mut report, &mut events, &mut seq,
+                            );
+                        }
+                    }
+                }
+            }};
+        }
+
+        dispatch!(0.0);
+
+        while completed < n {
+            let Some(event) = events.pop() else {
+                panic!(
+                    "simulation deadlock: {} of {} tasks completed but no task is running",
+                    completed, n
+                );
+            };
+            let now = event.time;
+            makespan = makespan.max(now);
+            completed += 1;
+
+            // Free the core.
+            let socket = topo.socket_of(event.core);
+            busy_count[socket.index()] -= 1;
+            idle[socket.index()].push(event.core);
+
+            // Release successors.
+            let mut newly_ready: Vec<TaskId> = Vec::new();
+            for &(succ, _) in spec.graph.successors(event.task) {
+                indegree[succ.index()] -= 1;
+                if indegree[succ.index()] == 0 {
+                    newly_ready.push(succ);
+                }
+            }
+            Self::assign_tasks(
+                &newly_ready,
+                spec,
+                policy,
+                topo,
+                &memory,
+                &mut assigned_socket,
+                &mut queues,
+            );
+
+            dispatch!(now);
+        }
+
+        report.makespan_ns = makespan;
+        report.traffic = stats;
+        report
+    }
+
+    /// Runs the workload under every policy in `policies` and returns the
+    /// reports in the same order. Convenience for harnesses and examples.
+    pub fn run_all(
+        &self,
+        spec: &TaskGraphSpec,
+        policies: &mut [Box<dyn SchedulingPolicy>],
+    ) -> Vec<ExecutionReport> {
+        policies
+            .iter_mut()
+            .map(|p| self.run(spec, p.as_mut()))
+            .collect()
+    }
+
+    fn assign_tasks(
+        tasks: &[TaskId],
+        spec: &TaskGraphSpec,
+        policy: &mut dyn SchedulingPolicy,
+        topo: &numadag_numa::Topology,
+        memory: &MemoryMap,
+        assigned_socket: &mut [Option<SocketId>],
+        queues: &mut [VecDeque<TaskId>],
+    ) {
+        for &task in tasks {
+            let socket = {
+                let locator = MemoryLocator::new(topo, memory);
+                let s = policy.assign(spec.graph.task(task), &locator);
+                debug_assert!(s.index() < locator.topology().num_sockets());
+                s
+            };
+            assigned_socket[task.index()] = Some(socket);
+            queues[socket.index()].push_back(task);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numadag_core::{DfifoPolicy, LasPolicy, RgpPolicy};
+    use numadag_numa::CostModel;
+    use numadag_tdg::{TaskGraphSpec, TaskSpec, TdgBuilder};
+
+    /// `blocks` independent chains of `iters` tasks, each chain repeatedly
+    /// rewriting its own 1 MiB block. The archetype of an iterative blocked
+    /// kernel.
+    fn chains(blocks: usize, iters: usize) -> TaskGraphSpec {
+        let mut b = TdgBuilder::new();
+        let block_bytes = 1 << 20;
+        let regions: Vec<_> = (0..blocks).map(|_| b.region(block_bytes)).collect();
+        for _ in 0..iters {
+            for &r in &regions {
+                b.submit(
+                    TaskSpec::new("update")
+                        .work(1000.0)
+                        .reads_writes(r, block_bytes),
+                );
+            }
+        }
+        let (g, sizes) = b.finish();
+        TaskGraphSpec::new("chains", g, sizes)
+    }
+
+    fn sim() -> Simulator {
+        Simulator::new(ExecutionConfig::bullion_s16())
+    }
+
+    #[test]
+    fn all_tasks_complete_and_accounting_is_consistent() {
+        let spec = chains(16, 4);
+        let mut policy = LasPolicy::new(3);
+        let report = sim().run(&spec, &mut policy);
+        assert_eq!(report.tasks, 64);
+        assert_eq!(report.tasks_per_socket.iter().sum::<usize>(), 64);
+        assert!(report.makespan_ns > 0.0);
+        // Conservation: every byte accessed is either local or remote.
+        assert_eq!(
+            report.traffic.total_bytes(),
+            report.traffic.local_bytes + report.traffic.remote_bytes
+        );
+        // Each task touches one 1 MiB block.
+        assert_eq!(report.traffic.total_bytes(), 64 * (1 << 20));
+        // Deferred allocation placed every block exactly once.
+        assert_eq!(report.deferred_bytes, 16 * (1 << 20));
+    }
+
+    #[test]
+    fn makespan_at_least_critical_path() {
+        let spec = chains(4, 8);
+        let cfg = ExecutionConfig::bullion_s16().with_cost_model(CostModel::flat());
+        let simulator = Simulator::new(cfg);
+        let mut policy = DfifoPolicy::new();
+        let report = simulator.run(&spec, &mut policy);
+        let cp = spec.graph.critical_path_work(); // work units == ns here
+        assert!(
+            report.makespan_ns >= cp - 1e-6,
+            "makespan {} below critical path {}",
+            report.makespan_ns,
+            cp
+        );
+    }
+
+    #[test]
+    fn locality_policy_beats_round_robin_on_numa() {
+        let spec = chains(25, 8);
+        let simulator = sim();
+        let mut las = LasPolicy::new(7);
+        let mut dfifo = DfifoPolicy::new();
+        let las_report = simulator.run(&spec, &mut las);
+        let dfifo_report = simulator.run(&spec, &mut dfifo);
+        // LAS keeps each chain on the socket that first touched its block;
+        // DFIFO moves it around every iteration.
+        assert!(
+            las_report.local_fraction() > dfifo_report.local_fraction(),
+            "LAS local {} <= DFIFO local {}",
+            las_report.local_fraction(),
+            dfifo_report.local_fraction()
+        );
+        assert!(
+            las_report.makespan_ns < dfifo_report.makespan_ns,
+            "LAS {} not faster than DFIFO {}",
+            las_report.makespan_ns,
+            dfifo_report.makespan_ns
+        );
+    }
+
+    #[test]
+    fn flat_cost_model_equalises_policies() {
+        // Without NUMA penalties and with plenty of parallel slack the
+        // policies should produce very similar makespans.
+        let spec = chains(32, 4);
+        let cfg = ExecutionConfig::bullion_s16().with_cost_model(CostModel::flat());
+        let simulator = Simulator::new(cfg);
+        let mut las = LasPolicy::new(1);
+        let mut dfifo = DfifoPolicy::new();
+        let a = simulator.run(&spec, &mut las).makespan_ns;
+        let b = simulator.run(&spec, &mut dfifo).makespan_ns;
+        let ratio = a.max(b) / a.min(b);
+        assert!(ratio < 1.10, "flat model should equalise policies, ratio {ratio}");
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let spec = chains(8, 4);
+        let simulator = sim();
+        let r1 = simulator.run(&spec, &mut LasPolicy::new(5));
+        let r2 = simulator.run(&spec, &mut LasPolicy::new(5));
+        assert_eq!(r1.makespan_ns, r2.makespan_ns);
+        assert_eq!(r1.traffic, r2.traffic);
+        assert_eq!(r1.tasks_per_socket, r2.tasks_per_socket);
+    }
+
+    #[test]
+    fn trace_collects_every_task() {
+        let spec = chains(4, 2);
+        let cfg = ExecutionConfig::bullion_s16().with_trace();
+        let simulator = Simulator::new(cfg);
+        let report = simulator.run(&spec, &mut DfifoPolicy::new());
+        assert_eq!(report.trace.len(), 8);
+        for placement in &report.trace {
+            assert!(placement.end >= placement.start);
+            assert!(placement.socket.index() < 8);
+        }
+    }
+
+    #[test]
+    fn no_stealing_mode_keeps_tasks_on_assigned_socket() {
+        let spec = chains(4, 4);
+        let cfg = ExecutionConfig::bullion_s16().with_steal(StealMode::NoStealing);
+        let simulator = Simulator::new(cfg);
+        let report = simulator.run(&spec, &mut LasPolicy::new(2));
+        assert_eq!(report.stolen_tasks, 0);
+    }
+
+    #[test]
+    fn rgp_prepare_is_invoked_by_run() {
+        let spec = chains(16, 4);
+        let mut rgp = RgpPolicy::rgp_las();
+        let report = sim().run(&spec, &mut rgp);
+        assert_eq!(report.policy, "RGP+LAS");
+        assert!(rgp.window_size_used() > 0);
+        // Independent chains: the partitioner should achieve a zero-byte cut.
+        assert_eq!(rgp.window_edge_cut(), 0);
+        // And an all-local execution (beyond unavoidable steals).
+        assert!(report.local_fraction() > 0.9);
+    }
+
+    #[test]
+    fn single_task_workload() {
+        let mut b = TdgBuilder::new();
+        let r = b.region(4096);
+        b.submit(TaskSpec::new("only").work(10.0).writes(r, 4096));
+        let (g, sizes) = b.finish();
+        let spec = TaskGraphSpec::new("single", g, sizes);
+        let report = sim().run(&spec, &mut LasPolicy::new(0));
+        assert_eq!(report.tasks, 1);
+        assert!(report.makespan_ns > 0.0);
+        assert_eq!(report.traffic.remote_bytes, 0);
+    }
+
+    #[test]
+    fn run_all_produces_one_report_per_policy() {
+        let spec = chains(8, 2);
+        let mut policies: Vec<Box<dyn SchedulingPolicy>> = vec![
+            Box::new(DfifoPolicy::new()),
+            Box::new(LasPolicy::new(1)),
+            Box::new(RgpPolicy::rgp_las()),
+        ];
+        let reports = sim().run_all(&spec, &mut policies);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].policy, "DFIFO");
+        assert_eq!(reports[2].policy, "RGP+LAS");
+    }
+}

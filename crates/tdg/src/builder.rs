@@ -1,0 +1,192 @@
+//! The TDG builder: the front door applications (and the kernels crate) use
+//! to express their computation as tasks.
+//!
+//! [`TdgBuilder`] mirrors the role of the task-creation path of Nanos++: it
+//! hands out region ids, accepts task submissions in program order, runs the
+//! dependence analysis and accumulates the [`TaskGraph`].
+
+use numadag_numa::RegionId;
+
+use crate::deps::DependencyTracker;
+use crate::graph::TaskGraph;
+use crate::task::{TaskDescriptor, TaskId, TaskSpec};
+
+/// Incrementally builds a [`TaskGraph`] (and the associated region table)
+/// from task submissions.
+#[derive(Clone, Debug, Default)]
+pub struct TdgBuilder {
+    graph: TaskGraph,
+    tracker: DependencyTracker,
+    region_sizes: Vec<u64>,
+    region_labels: Vec<Option<String>>,
+}
+
+impl TdgBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a data region of `size_bytes` bytes and returns its id.
+    pub fn region(&mut self, size_bytes: u64) -> RegionId {
+        let id = RegionId(self.region_sizes.len());
+        self.region_sizes.push(size_bytes);
+        self.region_labels.push(None);
+        id
+    }
+
+    /// Registers a labelled data region (labels show up in traces).
+    pub fn labelled_region(&mut self, size_bytes: u64, label: impl Into<String>) -> RegionId {
+        let id = self.region(size_bytes);
+        self.region_labels[id.index()] = Some(label.into());
+        id
+    }
+
+    /// Number of regions registered so far.
+    pub fn num_regions(&self) -> usize {
+        self.region_sizes.len()
+    }
+
+    /// Size in bytes of a region.
+    pub fn region_size(&self, region: RegionId) -> u64 {
+        self.region_sizes[region.index()]
+    }
+
+    /// All region sizes, indexed by region id.
+    pub fn region_sizes(&self) -> &[u64] {
+        &self.region_sizes
+    }
+
+    /// Submits a task. Dependences on earlier tasks are derived automatically
+    /// from the declared accesses. Returns the id of the new task.
+    ///
+    /// # Panics
+    /// Panics if the task accesses a region id that was not created by this
+    /// builder.
+    pub fn submit(&mut self, spec: TaskSpec) -> TaskId {
+        for access in &spec.accesses {
+            assert!(
+                access.region.index() < self.region_sizes.len(),
+                "task accesses unknown region {:?}",
+                access.region
+            );
+        }
+        let id = TaskId(self.graph.num_tasks());
+        let deps = self.tracker.register(id, &spec.accesses);
+        let dep_pairs: Vec<(TaskId, u64)> = deps
+            .iter()
+            .map(|d| (d.predecessor, d.bytes))
+            .collect();
+        let descriptor = TaskDescriptor {
+            id,
+            kind: spec.kind,
+            work_units: spec.work_units,
+            accesses: spec.accesses,
+        };
+        self.graph.push_task(descriptor, &dep_pairs);
+        id
+    }
+
+    /// Number of tasks submitted so far.
+    pub fn num_tasks(&self) -> usize {
+        self.graph.num_tasks()
+    }
+
+    /// Read-only view of the graph built so far.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    /// Finishes building and returns the graph together with the region size
+    /// table.
+    pub fn finish(self) -> (TaskGraph, Vec<u64>) {
+        (self.graph, self.region_sizes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskSpec;
+
+    #[test]
+    fn builder_derives_dependences() {
+        let mut b = TdgBuilder::new();
+        let a = b.region(4096);
+        let c = b.region(4096);
+        let t0 = b.submit(TaskSpec::new("init_a").work(1.0).writes(a, 4096));
+        let t1 = b.submit(TaskSpec::new("init_c").work(1.0).writes(c, 4096));
+        let t2 = b.submit(
+            TaskSpec::new("add")
+                .work(2.0)
+                .reads(a, 4096)
+                .reads(c, 4096)
+                .writes(a, 4096),
+        );
+        let (g, sizes) = b.finish();
+        assert_eq!(g.num_tasks(), 3);
+        assert_eq!(sizes, vec![4096, 4096]);
+        assert_eq!(g.in_degree(t2), 2);
+        // RAW (read of `a`) and WAW (write of `a`) edges from t0 are merged: 4096 + 4096.
+        assert_eq!(g.edge_bytes(t0, t2), Some(4096 + 4096));
+        assert!(g.edge_bytes(t1, t2).is_some());
+        assert_eq!(g.in_degree(t1), 0);
+        assert_eq!(g.in_degree(t0), 0);
+    }
+
+    #[test]
+    fn regions_are_sequential_and_sized() {
+        let mut b = TdgBuilder::new();
+        let r0 = b.region(100);
+        let r1 = b.labelled_region(200, "B[0]");
+        assert_eq!(r0.index(), 0);
+        assert_eq!(r1.index(), 1);
+        assert_eq!(b.num_regions(), 2);
+        assert_eq!(b.region_size(r1), 200);
+        assert_eq!(b.region_sizes(), &[100, 200]);
+    }
+
+    #[test]
+    fn independent_tasks_have_no_edges() {
+        let mut b = TdgBuilder::new();
+        let regions: Vec<_> = (0..10).map(|_| b.region(64)).collect();
+        for &r in &regions {
+            b.submit(TaskSpec::new("independent").work(1.0).writes(r, 64));
+        }
+        let (g, _) = b.finish();
+        assert_eq!(g.num_tasks(), 10);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.sources().len(), 10);
+    }
+
+    #[test]
+    fn long_chain_has_linear_critical_path() {
+        let mut b = TdgBuilder::new();
+        let r = b.region(1024);
+        for i in 0..50 {
+            b.submit(TaskSpec::new(format!("step{i}")).work(1.0).reads_writes(r, 1024));
+        }
+        let (g, _) = b.finish();
+        assert_eq!(g.num_edges(), 49);
+        assert!((g.critical_path_work() - 50.0).abs() < 1e-9);
+        assert!((g.average_parallelism() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown region")]
+    fn unknown_region_rejected() {
+        let mut b = TdgBuilder::new();
+        b.submit(TaskSpec::new("bad").writes(RegionId(3), 8));
+    }
+
+    #[test]
+    fn graph_view_is_incremental() {
+        let mut b = TdgBuilder::new();
+        let r = b.region(8);
+        b.submit(TaskSpec::new("a").writes(r, 8));
+        assert_eq!(b.graph().num_tasks(), 1);
+        b.submit(TaskSpec::new("b").reads(r, 8));
+        assert_eq!(b.graph().num_tasks(), 2);
+        assert_eq!(b.num_tasks(), 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Conversion of a (window of a) TDG into the undirected weighted graph the
+//! partitioner consumes.
+//!
+//! The direction of a dependence is irrelevant for placement — what matters
+//! is that the two tasks share data, and how much of it — so the TDG is
+//! symmetrised. Edges that leave the window are dropped (the partition of
+//! later tasks is decided by the propagation policy, not by the partitioner).
+//! Vertex weights are the task compute costs, so the balance constraint of
+//! the partitioner balances *work*, not just task counts.
+
+use numadag_graph::{CsrGraph, GraphBuilder};
+
+use crate::graph::TaskGraph;
+use crate::task::TaskId;
+use crate::window::TaskWindow;
+
+/// Result of converting a window: the undirected graph plus the mapping from
+/// graph vertex to task id (vertex `i` is `tasks[i]`).
+#[derive(Clone, Debug)]
+pub struct WindowGraph {
+    /// The symmetrised, weighted graph over the window's tasks.
+    pub graph: CsrGraph,
+    /// `tasks[v]` is the task id of vertex `v`.
+    pub tasks: Vec<TaskId>,
+}
+
+/// Converts the tasks of `window` into an undirected [`CsrGraph`].
+///
+/// * Edge weights are the dependence byte counts, clamped to at least 1 so
+///   zero-byte control dependences still keep related tasks together.
+/// * Vertex weights are the task work units rounded up to at least 1.
+pub fn window_to_csr(graph: &TaskGraph, window: &TaskWindow) -> WindowGraph {
+    let tasks: Vec<TaskId> = window.task_ids().collect();
+    let mut builder = GraphBuilder::new(tasks.len());
+    let base = window.start.index();
+    for (v, &t) in tasks.iter().enumerate() {
+        let w = graph.task(t).work_units.ceil().max(1.0) as i64;
+        builder.set_vertex_weight(v as u32, w);
+        for &(succ, bytes) in graph.successors(t) {
+            if window.contains(succ) {
+                let u = succ.index() - base;
+                builder.add_edge(v as u32, u as u32, (bytes as i64).max(1));
+            }
+        }
+    }
+    WindowGraph {
+        graph: builder.build(),
+        tasks,
+    }
+}
+
+/// Converts the entire TDG (all tasks) into an undirected [`CsrGraph`].
+pub fn full_graph_to_csr(graph: &TaskGraph) -> WindowGraph {
+    let window = TaskWindow::new(TaskId(0), TaskId(graph.num_tasks()));
+    window_to_csr(graph, &window)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TdgBuilder;
+    use crate::task::TaskSpec;
+    use crate::window::WindowConfig;
+
+    fn diamond() -> TaskGraph {
+        let mut b = TdgBuilder::new();
+        let a = b.region(1000);
+        let c = b.region(2000);
+        let d = b.region(500);
+        b.submit(TaskSpec::new("src").work(1.0).writes(a, 1000).writes(c, 2000));
+        b.submit(TaskSpec::new("l").work(2.0).reads(a, 1000).writes(d, 500));
+        b.submit(TaskSpec::new("r").work(3.0).reads(c, 2000));
+        b.submit(TaskSpec::new("sink").work(4.0).reads(d, 500).reads(c, 2000));
+        b.finish().0
+    }
+
+    #[test]
+    fn full_conversion_symmetrises_and_weights() {
+        let g = diamond();
+        let wg = full_graph_to_csr(&g);
+        assert_eq!(wg.graph.num_vertices(), 4);
+        assert_eq!(wg.tasks.len(), 4);
+        assert!(wg.graph.validate().is_ok());
+        // Edge 0-1 carries the 1000 bytes of region `a`.
+        assert_eq!(wg.graph.edge_weight(0, 1), Some(1000));
+        // Edge 0-2 carries region `c`.
+        assert_eq!(wg.graph.edge_weight(0, 2), Some(2000));
+        // Vertex weights follow work units.
+        assert_eq!(wg.graph.vertex_weight(0), 1);
+        assert_eq!(wg.graph.vertex_weight(3), 4);
+    }
+
+    #[test]
+    fn window_conversion_drops_external_edges() {
+        let g = diamond();
+        // Window with only the first two tasks: the 0-2 and *-3 edges vanish.
+        let w = TaskWindow::initial(&g, WindowConfig::new(2));
+        let wg = window_to_csr(&g, &w);
+        assert_eq!(wg.graph.num_vertices(), 2);
+        assert_eq!(wg.graph.num_edges(), 1);
+        assert_eq!(wg.graph.edge_weight(0, 1), Some(1000));
+        assert_eq!(wg.tasks, vec![TaskId(0), TaskId(1)]);
+    }
+
+    #[test]
+    fn zero_work_and_zero_bytes_are_clamped() {
+        let mut b = TdgBuilder::new();
+        let r = b.region(0);
+        b.submit(TaskSpec::new("a").work(0.0).writes(r, 0));
+        b.submit(TaskSpec::new("b").work(0.0).reads(r, 0));
+        let g = b.finish().0;
+        let wg = full_graph_to_csr(&g);
+        assert_eq!(wg.graph.vertex_weight(0), 1);
+        assert_eq!(wg.graph.edge_weight(0, 1), Some(1));
+        assert!(wg.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_window_converts_to_empty_graph() {
+        let g = diamond();
+        let w = TaskWindow::new(TaskId(1), TaskId(1));
+        let wg = window_to_csr(&g, &w);
+        assert_eq!(wg.graph.num_vertices(), 0);
+        assert!(wg.tasks.is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! Incremental dependence derivation with OpenMP/OmpSs `depend` semantics.
+//!
+//! Tasks are registered in program order. For every region the tracker keeps
+//! the last writer and the set of readers since that write, and emits:
+//!
+//! * **RAW** (read after write): reader depends on the last writer.
+//! * **WAW** (write after write): new writer depends on the last writer.
+//! * **WAR** (write after read): new writer depends on every reader since the
+//!   last write.
+//!
+//! Each emitted dependence carries the number of bytes of the access that
+//! induced it; duplicate edges between the same pair of tasks are merged by
+//! the graph with their byte counts added, matching how the paper weighs TDG
+//! edges "depending on the amount of bytes they represent".
+
+use std::collections::HashMap;
+
+use numadag_numa::RegionId;
+
+use crate::task::{DataAccess, TaskId};
+
+/// A single derived dependence: `predecessor` must finish before `successor`
+/// starts, because of `bytes` bytes of shared data.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Dependence {
+    /// The earlier task.
+    pub predecessor: TaskId,
+    /// The later task.
+    pub successor: TaskId,
+    /// Bytes of the region that induced the ordering.
+    pub bytes: u64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct RegionState {
+    last_writer: Option<TaskId>,
+    readers_since_write: Vec<TaskId>,
+}
+
+/// Incremental dependence tracker.
+#[derive(Clone, Debug, Default)]
+pub struct DependencyTracker {
+    regions: HashMap<RegionId, RegionState>,
+}
+
+impl DependencyTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the accesses of `task` (which must be submitted in program
+    /// order, i.e. with increasing ids) and returns the dependences it incurs.
+    pub fn register(&mut self, task: TaskId, accesses: &[DataAccess]) -> Vec<Dependence> {
+        let mut deps = Vec::new();
+        for access in accesses {
+            let state = self.regions.entry(access.region).or_default();
+            if access.mode.reads() {
+                if let Some(writer) = state.last_writer {
+                    if writer != task {
+                        deps.push(Dependence {
+                            predecessor: writer,
+                            successor: task,
+                            bytes: access.bytes,
+                        });
+                    }
+                }
+            }
+            if access.mode.writes() {
+                // WAR against every reader since the last write.
+                for &reader in &state.readers_since_write {
+                    if reader != task {
+                        deps.push(Dependence {
+                            predecessor: reader,
+                            successor: task,
+                            bytes: access.bytes,
+                        });
+                    }
+                }
+                // WAW against the last writer — but only when there are no
+                // intervening readers (they already order this task after the
+                // old writer transitively) and when the access did not read
+                // (a RAW edge to the same writer was emitted above).
+                if state.readers_since_write.is_empty() && !access.mode.reads() {
+                    if let Some(writer) = state.last_writer {
+                        if writer != task {
+                            deps.push(Dependence {
+                                predecessor: writer,
+                                successor: task,
+                                bytes: access.bytes,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Second pass: update region states (done separately so a task with
+        // an `inout` access does not see itself as a previous reader/writer).
+        for access in accesses {
+            let state = self.regions.entry(access.region).or_default();
+            if access.mode.writes() {
+                state.last_writer = Some(task);
+                state.readers_since_write.clear();
+            }
+            if access.mode.reads() && !access.mode.writes() {
+                state.readers_since_write.push(task);
+            }
+        }
+        deps
+    }
+
+    /// The task that last wrote `region`, if any.
+    pub fn last_writer(&self, region: RegionId) -> Option<TaskId> {
+        self.regions.get(&region).and_then(|s| s.last_writer)
+    }
+
+    /// Number of regions the tracker has seen.
+    pub fn num_regions_seen(&self) -> usize {
+        self.regions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::DataAccess;
+
+    fn r(i: usize) -> RegionId {
+        RegionId(i)
+    }
+
+    #[test]
+    fn raw_dependence() {
+        let mut t = DependencyTracker::new();
+        assert!(t.register(TaskId(0), &[DataAccess::write(r(0), 100)]).is_empty());
+        let deps = t.register(TaskId(1), &[DataAccess::read(r(0), 100)]);
+        assert_eq!(
+            deps,
+            vec![Dependence {
+                predecessor: TaskId(0),
+                successor: TaskId(1),
+                bytes: 100
+            }]
+        );
+    }
+
+    #[test]
+    fn waw_dependence() {
+        let mut t = DependencyTracker::new();
+        t.register(TaskId(0), &[DataAccess::write(r(0), 50)]);
+        let deps = t.register(TaskId(1), &[DataAccess::write(r(0), 50)]);
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].predecessor, TaskId(0));
+        assert_eq!(t.last_writer(r(0)), Some(TaskId(1)));
+    }
+
+    #[test]
+    fn war_dependence_covers_all_readers() {
+        let mut t = DependencyTracker::new();
+        t.register(TaskId(0), &[DataAccess::write(r(0), 10)]);
+        t.register(TaskId(1), &[DataAccess::read(r(0), 10)]);
+        t.register(TaskId(2), &[DataAccess::read(r(0), 10)]);
+        let deps = t.register(TaskId(3), &[DataAccess::write(r(0), 10)]);
+        let preds: Vec<TaskId> = deps.iter().map(|d| d.predecessor).collect();
+        assert!(preds.contains(&TaskId(1)));
+        assert!(preds.contains(&TaskId(2)));
+        // No WAW against task 0: the readers already order task 3 after it
+        // transitively, and OmpSs emits WAR edges in this situation.
+        assert_eq!(deps.len(), 2);
+    }
+
+    #[test]
+    fn inout_chains_serialise() {
+        let mut t = DependencyTracker::new();
+        t.register(TaskId(0), &[DataAccess::read_write(r(0), 64)]);
+        let d1 = t.register(TaskId(1), &[DataAccess::read_write(r(0), 64)]);
+        let d2 = t.register(TaskId(2), &[DataAccess::read_write(r(0), 64)]);
+        assert_eq!(d1.len(), 1);
+        assert_eq!(d1[0].predecessor, TaskId(0));
+        assert_eq!(d2.len(), 1);
+        assert_eq!(d2[0].predecessor, TaskId(1));
+    }
+
+    #[test]
+    fn independent_regions_have_no_deps() {
+        let mut t = DependencyTracker::new();
+        t.register(TaskId(0), &[DataAccess::write(r(0), 8)]);
+        let deps = t.register(TaskId(1), &[DataAccess::write(r(1), 8)]);
+        assert!(deps.is_empty());
+        assert_eq!(t.num_regions_seen(), 2);
+    }
+
+    #[test]
+    fn readers_reset_after_write() {
+        let mut t = DependencyTracker::new();
+        t.register(TaskId(0), &[DataAccess::write(r(0), 8)]);
+        t.register(TaskId(1), &[DataAccess::read(r(0), 8)]);
+        t.register(TaskId(2), &[DataAccess::write(r(0), 8)]);
+        // A new reader depends only on the latest writer, not on task 1.
+        let deps = t.register(TaskId(3), &[DataAccess::read(r(0), 8)]);
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].predecessor, TaskId(2));
+    }
+
+    #[test]
+    fn multi_access_task_emits_all_deps() {
+        let mut t = DependencyTracker::new();
+        t.register(TaskId(0), &[DataAccess::write(r(0), 100)]);
+        t.register(TaskId(1), &[DataAccess::write(r(1), 200)]);
+        let deps = t.register(
+            TaskId(2),
+            &[
+                DataAccess::read(r(0), 100),
+                DataAccess::read(r(1), 200),
+                DataAccess::write(r(2), 300),
+            ],
+        );
+        assert_eq!(deps.len(), 2);
+        let total: u64 = deps.iter().map(|d| d.bytes).sum();
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn concurrent_readers_do_not_depend_on_each_other() {
+        let mut t = DependencyTracker::new();
+        t.register(TaskId(0), &[DataAccess::write(r(0), 8)]);
+        let d1 = t.register(TaskId(1), &[DataAccess::read(r(0), 8)]);
+        let d2 = t.register(TaskId(2), &[DataAccess::read(r(0), 8)]);
+        assert_eq!(d1[0].predecessor, TaskId(0));
+        assert_eq!(d2[0].predecessor, TaskId(0));
+        assert_eq!(d2.len(), 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! # numadag-tdg — tasks, data dependences and the task dependency graph
+//!
+//! Task-based programming models (OmpSs/Nanos++, OpenMP tasks with `depend`
+//! clauses) let the programmer annotate each task with the data *regions* it
+//! reads and writes. The runtime derives the task dependency graph (TDG) from
+//! those annotations: an edge `a → b` means `b` must wait for `a`, and the
+//! edge carries the number of bytes of the region that induced it. The TDG is
+//! the metadata the paper's scheduling techniques exploit.
+//!
+//! This crate provides:
+//!
+//! * [`task`] — task descriptors and data accesses (`in`/`out`/`inout`).
+//! * [`deps`] — incremental dependence derivation with OpenMP `depend`
+//!   semantics (RAW, WAR and WAW ordering per region).
+//! * [`graph`] — the [`graph::TaskGraph`] itself with topological utilities
+//!   (sources, topological order, critical path, acyclicity checks).
+//! * [`builder`] — [`builder::TdgBuilder`], the front door: submit tasks in
+//!   program order and get the TDG.
+//! * [`window`] — task windows, the unit RGP partitions.
+//! * [`convert`] — symmetrisation of (a window of) the TDG into the weighted
+//!   undirected [`numadag_graph::CsrGraph`] the partitioner consumes.
+//! * [`spec`] — [`spec::TaskGraphSpec`], a self-contained workload
+//!   description (TDG + region sizes + optional expert placement) produced by
+//!   the kernels crate and consumed by the runtime.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod convert;
+pub mod deps;
+pub mod graph;
+pub mod spec;
+pub mod task;
+pub mod window;
+
+pub use builder::TdgBuilder;
+pub use convert::window_to_csr;
+pub use graph::TaskGraph;
+pub use spec::TaskGraphSpec;
+pub use task::{AccessMode, DataAccess, TaskDescriptor, TaskId, TaskSpec};
+pub use window::{TaskWindow, WindowConfig};

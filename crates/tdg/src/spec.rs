@@ -1,0 +1,159 @@
+//! Self-contained workload descriptions.
+//!
+//! A [`TaskGraphSpec`] bundles everything an executor needs to run (or
+//! simulate) a task-based application: the TDG, the sizes of the data regions
+//! it references and, optionally, the expert-programmer placement the paper's
+//! `EP` policy uses.
+
+use crate::graph::TaskGraph;
+use crate::task::TaskId;
+
+/// A complete workload: the task graph plus its data-region table.
+#[derive(Clone, Debug)]
+pub struct TaskGraphSpec {
+    /// Human-readable name of the application (used in reports).
+    pub name: String,
+    /// The task dependency graph.
+    pub graph: TaskGraph,
+    /// Size in bytes of every region, indexed by region id.
+    pub region_sizes: Vec<u64>,
+    /// Expert-programmer placement: for each task, the socket (by index) the
+    /// benchmark author would pin it to. `None` if the kernel does not define
+    /// an expert schedule.
+    pub ep_socket: Option<Vec<usize>>,
+}
+
+impl TaskGraphSpec {
+    /// Creates a spec without an expert placement.
+    pub fn new(name: impl Into<String>, graph: TaskGraph, region_sizes: Vec<u64>) -> Self {
+        TaskGraphSpec {
+            name: name.into(),
+            graph,
+            region_sizes,
+            ep_socket: None,
+        }
+    }
+
+    /// Attaches an expert-programmer placement (one socket index per task).
+    ///
+    /// # Panics
+    /// Panics if the placement length does not match the number of tasks.
+    pub fn with_ep_placement(mut self, placement: Vec<usize>) -> Self {
+        assert_eq!(
+            placement.len(),
+            self.graph.num_tasks(),
+            "EP placement must cover every task"
+        );
+        self.ep_socket = Some(placement);
+        self
+    }
+
+    /// Number of tasks in the workload.
+    pub fn num_tasks(&self) -> usize {
+        self.graph.num_tasks()
+    }
+
+    /// Number of data regions in the workload.
+    pub fn num_regions(&self) -> usize {
+        self.region_sizes.len()
+    }
+
+    /// Total bytes across all regions.
+    pub fn total_region_bytes(&self) -> u64 {
+        self.region_sizes.iter().sum()
+    }
+
+    /// Expert socket for a task, if an expert placement exists.
+    pub fn ep_socket_of(&self, task: TaskId) -> Option<usize> {
+        self.ep_socket.as_ref().map(|v| v[task.index()])
+    }
+
+    /// Sanity checks: every task access refers to a known region, its byte
+    /// count does not exceed the region size, and the graph is acyclic.
+    /// Returns a human readable error description on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.graph.is_acyclic() {
+            return Err("task graph has a cycle".to_string());
+        }
+        for task in self.graph.tasks() {
+            for access in &task.accesses {
+                let idx = access.region.index();
+                if idx >= self.region_sizes.len() {
+                    return Err(format!(
+                        "task {} accesses unknown region {}",
+                        task.id, access.region
+                    ));
+                }
+                if access.bytes > self.region_sizes[idx] {
+                    return Err(format!(
+                        "task {} accesses {} bytes of region {} which only has {}",
+                        task.id, access.bytes, access.region, self.region_sizes[idx]
+                    ));
+                }
+            }
+        }
+        if let Some(ep) = &self.ep_socket {
+            if ep.len() != self.graph.num_tasks() {
+                return Err("EP placement length mismatch".to_string());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TdgBuilder;
+    use crate::task::TaskSpec;
+
+    fn small_spec() -> TaskGraphSpec {
+        let mut b = TdgBuilder::new();
+        let r0 = b.region(128);
+        let r1 = b.region(256);
+        b.submit(TaskSpec::new("w0").work(1.0).writes(r0, 128));
+        b.submit(TaskSpec::new("w1").work(1.0).writes(r1, 256));
+        b.submit(TaskSpec::new("sum").work(2.0).reads(r0, 128).reads(r1, 256));
+        let (graph, sizes) = b.finish();
+        TaskGraphSpec::new("toy", graph, sizes)
+    }
+
+    #[test]
+    fn spec_accessors() {
+        let s = small_spec();
+        assert_eq!(s.name, "toy");
+        assert_eq!(s.num_tasks(), 3);
+        assert_eq!(s.num_regions(), 2);
+        assert_eq!(s.total_region_bytes(), 384);
+        assert!(s.ep_socket_of(TaskId(0)).is_none());
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn ep_placement_round_trip() {
+        let s = small_spec().with_ep_placement(vec![0, 1, 0]);
+        assert_eq!(s.ep_socket_of(TaskId(1)), Some(1));
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every task")]
+    fn wrong_ep_length_rejected() {
+        small_spec().with_ep_placement(vec![0, 1]);
+    }
+
+    #[test]
+    fn validate_catches_oversized_access() {
+        let mut s = small_spec();
+        // Corrupt the region table to be smaller than the declared access.
+        s.region_sizes[1] = 10;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_unknown_region() {
+        let mut s = small_spec();
+        s.region_sizes.pop();
+        assert!(s.validate().is_err());
+    }
+}

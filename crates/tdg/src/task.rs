@@ -1,0 +1,259 @@
+//! Task descriptors and data accesses.
+
+use numadag_numa::RegionId;
+use std::fmt;
+
+/// Identifier of a task within one [`crate::graph::TaskGraph`]. Tasks are
+/// numbered densely in submission (program) order, which the dependence
+/// analysis relies on.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct TaskId(pub usize);
+
+impl TaskId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for TaskId {
+    fn from(v: usize) -> Self {
+        TaskId(v)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// How a task accesses a data region — the OpenMP/OmpSs `depend` clause
+/// directions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessMode {
+    /// The task only reads the region (`in`).
+    In,
+    /// The task overwrites the region without reading it (`out`).
+    Out,
+    /// The task reads and writes the region (`inout`).
+    InOut,
+}
+
+impl AccessMode {
+    /// True if the access reads the previous contents of the region.
+    pub fn reads(self) -> bool {
+        matches!(self, AccessMode::In | AccessMode::InOut)
+    }
+
+    /// True if the access writes the region.
+    pub fn writes(self) -> bool {
+        matches!(self, AccessMode::Out | AccessMode::InOut)
+    }
+}
+
+/// One data access of a task.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DataAccess {
+    /// The region being accessed.
+    pub region: RegionId,
+    /// Direction of the access.
+    pub mode: AccessMode,
+    /// Number of bytes the access touches (normally the full region size).
+    pub bytes: u64,
+}
+
+impl DataAccess {
+    /// Creates an `in` access.
+    pub fn read(region: RegionId, bytes: u64) -> Self {
+        DataAccess {
+            region,
+            mode: AccessMode::In,
+            bytes,
+        }
+    }
+
+    /// Creates an `out` access.
+    pub fn write(region: RegionId, bytes: u64) -> Self {
+        DataAccess {
+            region,
+            mode: AccessMode::Out,
+            bytes,
+        }
+    }
+
+    /// Creates an `inout` access.
+    pub fn read_write(region: RegionId, bytes: u64) -> Self {
+        DataAccess {
+            region,
+            mode: AccessMode::InOut,
+            bytes,
+        }
+    }
+}
+
+/// A task: a fragment of sequential code with a compute cost estimate and a
+/// list of data accesses.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TaskDescriptor {
+    /// Dense id of the task within its graph.
+    pub id: TaskId,
+    /// Human-readable kind (e.g. `"potrf"`, `"jacobi_sweep"`). Used by
+    /// traces, the expert-programmer policy and the benchmark reports.
+    pub kind: String,
+    /// Compute cost estimate in abstract work units (translated to time by
+    /// the cost model). Must be non-negative.
+    pub work_units: f64,
+    /// Data accesses of the task.
+    pub accesses: Vec<DataAccess>,
+}
+
+impl TaskDescriptor {
+    /// Total bytes the task reads (modes `in` and `inout`).
+    pub fn bytes_read(&self) -> u64 {
+        self.accesses
+            .iter()
+            .filter(|a| a.mode.reads())
+            .map(|a| a.bytes)
+            .sum()
+    }
+
+    /// Total bytes the task writes (modes `out` and `inout`).
+    pub fn bytes_written(&self) -> u64 {
+        self.accesses
+            .iter()
+            .filter(|a| a.mode.writes())
+            .map(|a| a.bytes)
+            .sum()
+    }
+
+    /// Total bytes the task touches (each access counted once, `inout`
+    /// counted once).
+    pub fn bytes_touched(&self) -> u64 {
+        self.accesses.iter().map(|a| a.bytes).sum()
+    }
+
+    /// Iterator over the regions the task writes.
+    pub fn written_regions(&self) -> impl Iterator<Item = RegionId> + '_ {
+        self.accesses
+            .iter()
+            .filter(|a| a.mode.writes())
+            .map(|a| a.region)
+    }
+
+    /// Iterator over the regions the task reads.
+    pub fn read_regions(&self) -> impl Iterator<Item = RegionId> + '_ {
+        self.accesses
+            .iter()
+            .filter(|a| a.mode.reads())
+            .map(|a| a.region)
+    }
+}
+
+/// A task specification as submitted by the application, before an id has
+/// been assigned by the builder.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct TaskSpec {
+    /// Human readable kind.
+    pub kind: String,
+    /// Compute cost estimate in work units.
+    pub work_units: f64,
+    /// Data accesses.
+    pub accesses: Vec<DataAccess>,
+}
+
+impl TaskSpec {
+    /// Starts a task specification of the given kind.
+    pub fn new(kind: impl Into<String>) -> Self {
+        TaskSpec {
+            kind: kind.into(),
+            work_units: 0.0,
+            accesses: Vec::new(),
+        }
+    }
+
+    /// Sets the compute cost.
+    pub fn work(mut self, units: f64) -> Self {
+        assert!(units >= 0.0, "work units must be non-negative");
+        self.work_units = units;
+        self
+    }
+
+    /// Adds an `in` access covering `bytes` of `region`.
+    pub fn reads(mut self, region: RegionId, bytes: u64) -> Self {
+        self.accesses.push(DataAccess::read(region, bytes));
+        self
+    }
+
+    /// Adds an `out` access covering `bytes` of `region`.
+    pub fn writes(mut self, region: RegionId, bytes: u64) -> Self {
+        self.accesses.push(DataAccess::write(region, bytes));
+        self
+    }
+
+    /// Adds an `inout` access covering `bytes` of `region`.
+    pub fn reads_writes(mut self, region: RegionId, bytes: u64) -> Self {
+        self.accesses.push(DataAccess::read_write(region, bytes));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_mode_semantics() {
+        assert!(AccessMode::In.reads());
+        assert!(!AccessMode::In.writes());
+        assert!(!AccessMode::Out.reads());
+        assert!(AccessMode::Out.writes());
+        assert!(AccessMode::InOut.reads());
+        assert!(AccessMode::InOut.writes());
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let t = TaskDescriptor {
+            id: TaskId(0),
+            kind: "gemm".into(),
+            work_units: 10.0,
+            accesses: vec![
+                DataAccess::read(RegionId(0), 100),
+                DataAccess::read(RegionId(1), 200),
+                DataAccess::read_write(RegionId(2), 300),
+            ],
+        };
+        assert_eq!(t.bytes_read(), 600);
+        assert_eq!(t.bytes_written(), 300);
+        assert_eq!(t.bytes_touched(), 600);
+        assert_eq!(t.written_regions().collect::<Vec<_>>(), vec![RegionId(2)]);
+        assert_eq!(t.read_regions().count(), 3);
+    }
+
+    #[test]
+    fn spec_builder_chains() {
+        let s = TaskSpec::new("axpy")
+            .work(5.0)
+            .reads(RegionId(0), 64)
+            .writes(RegionId(1), 64);
+        assert_eq!(s.kind, "axpy");
+        assert_eq!(s.work_units, 5.0);
+        assert_eq!(s.accesses.len(), 2);
+        assert_eq!(s.accesses[0].mode, AccessMode::In);
+        assert_eq!(s.accesses[1].mode, AccessMode::Out);
+    }
+
+    #[test]
+    fn task_id_display() {
+        assert_eq!(TaskId(9).to_string(), "T9");
+        assert_eq!(TaskId::from(3usize).index(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_work_rejected() {
+        let _ = TaskSpec::new("bad").work(-1.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Task windows.
+//!
+//! The paper partitions the TDG "once the execution goes through a barrier
+//! point or a limit in terms of the total number of tasks contained in the
+//! graph — the *window size limit* — is reached". A window is therefore a
+//! contiguous prefix (or slice) of the submission order.
+
+use crate::graph::TaskGraph;
+use crate::task::TaskId;
+
+/// Window configuration used by runtime graph partitioning (RGP).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Maximum number of tasks accumulated before the window is closed and
+    /// partitioned.
+    pub window_size: usize,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        // The default window used throughout the reproduction: large enough
+        // to capture the structure of the first iteration of the kernels,
+        // small enough that partitioning stays cheap.
+        WindowConfig { window_size: 1024 }
+    }
+}
+
+impl WindowConfig {
+    /// A window of the given size (must be at least 1).
+    pub fn new(window_size: usize) -> Self {
+        assert!(window_size >= 1, "window size must be at least 1");
+        WindowConfig { window_size }
+    }
+}
+
+/// A contiguous slice of the submission order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskWindow {
+    /// First task id in the window (inclusive).
+    pub start: TaskId,
+    /// One past the last task id in the window.
+    pub end: TaskId,
+}
+
+impl TaskWindow {
+    /// The window covering tasks `[start, end)`.
+    pub fn new(start: TaskId, end: TaskId) -> Self {
+        assert!(start.index() <= end.index(), "window must not be inverted");
+        TaskWindow { start, end }
+    }
+
+    /// The first window (prefix) of `graph` under `config`: the first
+    /// `window_size` tasks, or all of them if there are fewer.
+    pub fn initial(graph: &TaskGraph, config: WindowConfig) -> Self {
+        let end = graph.num_tasks().min(config.window_size);
+        TaskWindow::new(TaskId(0), TaskId(end))
+    }
+
+    /// Splits the whole graph into consecutive windows of `config.window_size`.
+    pub fn split_all(graph: &TaskGraph, config: WindowConfig) -> Vec<TaskWindow> {
+        let n = graph.num_tasks();
+        let mut windows = Vec::new();
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + config.window_size).min(n);
+            windows.push(TaskWindow::new(TaskId(start), TaskId(end)));
+            start = end;
+        }
+        windows
+    }
+
+    /// Number of tasks in the window.
+    pub fn len(&self) -> usize {
+        self.end.index() - self.start.index()
+    }
+
+    /// True if the window contains no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if the window contains `task`.
+    pub fn contains(&self, task: TaskId) -> bool {
+        task.index() >= self.start.index() && task.index() < self.end.index()
+    }
+
+    /// The task ids in the window.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> {
+        (self.start.index()..self.end.index()).map(TaskId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TdgBuilder;
+    use crate::task::TaskSpec;
+
+    fn chain(n: usize) -> TaskGraph {
+        let mut b = TdgBuilder::new();
+        let r = b.region(64);
+        for _ in 0..n {
+            b.submit(TaskSpec::new("step").work(1.0).reads_writes(r, 64));
+        }
+        b.finish().0
+    }
+
+    #[test]
+    fn initial_window_is_a_prefix() {
+        let g = chain(100);
+        let w = TaskWindow::initial(&g, WindowConfig::new(32));
+        assert_eq!(w.len(), 32);
+        assert!(w.contains(TaskId(0)));
+        assert!(w.contains(TaskId(31)));
+        assert!(!w.contains(TaskId(32)));
+        assert_eq!(w.task_ids().count(), 32);
+    }
+
+    #[test]
+    fn initial_window_clamps_to_graph_size() {
+        let g = chain(10);
+        let w = TaskWindow::initial(&g, WindowConfig::new(1000));
+        assert_eq!(w.len(), 10);
+    }
+
+    #[test]
+    fn split_all_covers_every_task_once() {
+        let g = chain(103);
+        let windows = TaskWindow::split_all(&g, WindowConfig::new(25));
+        assert_eq!(windows.len(), 5);
+        let total: usize = windows.iter().map(|w| w.len()).sum();
+        assert_eq!(total, 103);
+        assert_eq!(windows.last().unwrap().len(), 3);
+        // Windows are contiguous and non-overlapping.
+        for pair in windows.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+    }
+
+    #[test]
+    fn empty_graph_has_no_windows() {
+        let g = TaskGraph::new();
+        assert!(TaskWindow::split_all(&g, WindowConfig::default()).is_empty());
+        let w = TaskWindow::initial(&g, WindowConfig::default());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_window_rejected() {
+        WindowConfig::new(0);
+    }
+
+    #[test]
+    fn default_window_size() {
+        assert_eq!(WindowConfig::default().window_size, 1024);
+    }
+}

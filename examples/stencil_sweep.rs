@@ -1,0 +1,70 @@
+//! Window-size sweep on the three stencil kernels (Jacobi, Gauss–Seidel,
+//! red–black): how much of the TDG does RGP need to see before its placement
+//! beats plain LAS?
+//!
+//! Run with:
+//! ```text
+//! cargo run --example stencil_sweep --release
+//! ```
+
+use numadag::kernels::{gauss_seidel, jacobi, red_black};
+use numadag::prelude::*;
+
+fn main() {
+    let topology = Topology::bullion_s16();
+    let sockets = topology.num_sockets();
+    let simulator = Simulator::new(ExecutionConfig::new(topology));
+
+    let specs: Vec<TaskGraphSpec> = vec![
+        jacobi::build(
+            jacobi::JacobiParams {
+                nb: 10,
+                block_elems: 32 * 1024,
+                iterations: 8,
+            },
+            sockets,
+        ),
+        gauss_seidel::build(
+            gauss_seidel::GaussSeidelParams {
+                nb: 10,
+                block_elems: 32 * 1024,
+                iterations: 8,
+            },
+            sockets,
+        ),
+        red_black::build(
+            red_black::RedBlackParams {
+                nb: 10,
+                block_elems: 32 * 1024,
+                iterations: 8,
+            },
+            sockets,
+        ),
+    ];
+
+    let windows = [32usize, 64, 128, 256, 512, 1024];
+    println!("RGP+LAS speedup over LAS as the partitioned window grows:\n");
+    print!("{:<16}", "kernel");
+    for w in windows {
+        print!("{w:>9}");
+    }
+    println!();
+
+    for spec in &specs {
+        let mut las = LasPolicy::new(11);
+        let baseline = simulator.run(spec, &mut las);
+        print!("{:<16}", spec.name);
+        for w in windows {
+            let mut rgp = RgpPolicy::new(RgpConfig::default().with_seed(11).with_window_size(w));
+            let report = simulator.run(spec, &mut rgp);
+            print!("{:>9.3}", report.speedup_over(&baseline));
+        }
+        println!();
+    }
+
+    println!(
+        "\nSmall windows only cover the initialisation tasks, so the partition has little to\n\
+         propagate; once the window spans a full sweep the neighbouring tiles get co-located\n\
+         and the halo exchanges become local."
+    );
+}

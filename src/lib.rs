@@ -1,0 +1,87 @@
+//! # numadag — graph-partitioning-based DAG scheduling to reduce NUMA effects
+//!
+//! A from-scratch Rust reproduction of *"Graph partitioning applied to DAG
+//! scheduling to reduce NUMA effects"* (Sánchez Barrera et al., PPoPP 2018).
+//!
+//! Task-based runtimes know, through the task dependency graph (TDG), which
+//! tasks share how much data. This workspace implements the paper's idea of
+//! feeding that graph to a graph partitioner (one part per NUMA socket, edge
+//! weights = bytes) and using the resulting partition to place tasks — plus
+//! everything needed around it: a NUMA machine model, the TDG machinery, the
+//! partitioner itself, the baseline scheduling policies, two executors and
+//! the eight benchmark applications of the paper's evaluation.
+//!
+//! ## Quick start
+//!
+//! ```rust
+//! use numadag::prelude::*;
+//!
+//! // The machine of the paper: 8 sockets x 4 cores.
+//! let config = ExecutionConfig::bullion_s16();
+//! let simulator = Simulator::new(config);
+//!
+//! // One of the paper's eight applications, at test size.
+//! let spec = Application::Jacobi.build(ProblemScale::Tiny, 8);
+//!
+//! // The baseline (LAS) and the paper's technique (RGP+LAS).
+//! let mut las = LasPolicy::new(42);
+//! let baseline = simulator.run(&spec, &mut las);
+//! let mut rgp = RgpPolicy::rgp_las();
+//! let report = simulator.run(&spec, &mut rgp);
+//!
+//! println!("RGP+LAS speedup over LAS: {:.3}x", report.speedup_over(&baseline));
+//! assert!(report.makespan_ns > 0.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`numa`] (`numadag-numa`) | topology, distance matrix, page placement, cost model, traffic stats |
+//! | [`graph`] (`numadag-graph`) | CSR graphs + multilevel k-way partitioner (SCOTCH substitute) |
+//! | [`tdg`] (`numadag-tdg`) | tasks, dependence analysis, the TDG, windows |
+//! | [`core`] (`numadag-core`) | the scheduling policies: DFIFO, EP, LAS, RGP(+LAS) |
+//! | [`runtime`] (`numadag-runtime`) | discrete-event simulator + threaded executor |
+//! | [`kernels`] (`numadag-kernels`) | the eight applications of Figure 1 + dense linalg |
+
+pub use numadag_core as core;
+pub use numadag_graph as graph;
+pub use numadag_kernels as kernels;
+pub use numadag_numa as numa;
+pub use numadag_runtime as runtime;
+pub use numadag_tdg as tdg;
+
+/// The most common imports for users of the library.
+pub mod prelude {
+    pub use numadag_core::{
+        make_policy, DfifoPolicy, EpPolicy, LasPolicy, PolicyKind, Propagation, RgpConfig,
+        RgpPolicy, SchedulingPolicy,
+    };
+    pub use numadag_kernels::{Application, DenseStore, ProblemScale};
+    pub use numadag_numa::{CostModel, MemoryMap, NodeId, SocketId, Topology};
+    pub use numadag_runtime::{
+        ExecutionConfig, ExecutionReport, Simulator, StealMode, ThreadedExecutor,
+    };
+    pub use numadag_tdg::{
+        AccessMode, DataAccess, TaskGraph, TaskGraphSpec, TaskId, TaskSpec, TdgBuilder,
+        WindowConfig,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_compose() {
+        let mut builder = TdgBuilder::new();
+        let r = builder.region(1024);
+        builder.submit(TaskSpec::new("producer").work(10.0).writes(r, 1024));
+        builder.submit(TaskSpec::new("consumer").work(10.0).reads(r, 1024));
+        let (graph, sizes) = builder.finish();
+        let spec = TaskGraphSpec::new("facade", graph, sizes);
+        let simulator = Simulator::new(ExecutionConfig::new(Topology::two_socket(2)));
+        let report = simulator.run(&spec, &mut LasPolicy::new(1));
+        assert_eq!(report.tasks, 2);
+    }
+}

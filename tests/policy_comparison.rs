@@ -1,0 +1,180 @@
+//! End-to-end integration tests: the whole stack (kernels → TDG → policies →
+//! simulator) composed through the public facade, checking the qualitative
+//! claims of the paper on small problem instances.
+
+use numadag::prelude::*;
+
+fn simulator() -> Simulator {
+    Simulator::new(ExecutionConfig::bullion_s16())
+}
+
+fn run(spec: &TaskGraphSpec, kind: PolicyKind, seed: u64) -> ExecutionReport {
+    let mut policy = make_policy(kind, spec, seed).expect("policy must build");
+    simulator().run(spec, policy.as_mut())
+}
+
+#[test]
+fn every_application_completes_under_every_policy() {
+    for app in Application::all() {
+        let spec = app.build(ProblemScale::Tiny, 8);
+        for kind in PolicyKind::all() {
+            let report = run(&spec, kind, 3);
+            assert_eq!(report.tasks, spec.num_tasks(), "{app} under {kind}");
+            assert_eq!(
+                report.tasks_per_socket.iter().sum::<usize>(),
+                spec.num_tasks(),
+                "{app} under {kind}: task accounting"
+            );
+            assert!(report.makespan_ns > 0.0, "{app} under {kind}: empty makespan");
+            assert!(
+                report.makespan_ns >= spec.graph.critical_path_work(),
+                "{app} under {kind}: makespan below the critical path"
+            );
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic_across_runs() {
+    for app in [Application::Jacobi, Application::QrFactorization] {
+        let spec = app.build(ProblemScale::Tiny, 8);
+        for kind in [PolicyKind::Las, PolicyKind::RgpLas, PolicyKind::Dfifo] {
+            let a = run(&spec, kind, 17);
+            let b = run(&spec, kind, 17);
+            assert_eq!(a.makespan_ns, b.makespan_ns, "{app} under {kind}");
+            assert_eq!(a.traffic, b.traffic, "{app} under {kind}");
+        }
+    }
+}
+
+#[test]
+fn traffic_conservation_holds_for_all_policies() {
+    let spec = Application::IntegralHistogram.build(ProblemScale::Tiny, 8);
+    let total_declared: u64 = spec
+        .graph
+        .tasks()
+        .iter()
+        .map(|t| t.bytes_touched())
+        .sum();
+    for kind in PolicyKind::all() {
+        let report = run(&spec, kind, 5);
+        assert_eq!(
+            report.traffic.total_bytes(),
+            total_declared,
+            "{kind}: every declared byte must be charged exactly once"
+        );
+    }
+}
+
+#[test]
+fn numa_aware_policies_have_more_local_traffic_than_dfifo() {
+    // On stencil-style kernels the locality-aware policies must serve a
+    // larger fraction of bytes from the local node than blind round robin.
+    for app in [Application::Jacobi, Application::NStream, Application::RedBlack] {
+        let spec = app.build(ProblemScale::Small, 8);
+        let dfifo = run(&spec, PolicyKind::Dfifo, 9);
+        let las = run(&spec, PolicyKind::Las, 9);
+        let rgp = run(&spec, PolicyKind::RgpLas, 9);
+        assert!(
+            las.local_fraction() > dfifo.local_fraction(),
+            "{app}: LAS local {:.3} <= DFIFO {:.3}",
+            las.local_fraction(),
+            dfifo.local_fraction()
+        );
+        assert!(
+            rgp.local_fraction() > dfifo.local_fraction(),
+            "{app}: RGP+LAS local {:.3} <= DFIFO {:.3}",
+            rgp.local_fraction(),
+            dfifo.local_fraction()
+        );
+    }
+}
+
+#[test]
+fn rgp_las_beats_the_baseline_on_the_small_suite_geomean() {
+    // The paper's headline claim, in miniature: the geometric mean speedup of
+    // RGP+LAS over LAS across the suite is above 1.
+    let mut speedups = Vec::new();
+    for app in Application::all() {
+        let spec = app.build(ProblemScale::Small, 8);
+        let las = run(&spec, PolicyKind::Las, 23);
+        let rgp = run(&spec, PolicyKind::RgpLas, 23);
+        speedups.push(las.makespan_ns / rgp.makespan_ns);
+    }
+    let geomean =
+        (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    assert!(
+        geomean > 1.0,
+        "RGP+LAS geometric-mean speedup {geomean:.3} should exceed 1.0 (per-app: {speedups:?})"
+    );
+}
+
+#[test]
+fn flat_cost_model_removes_the_policy_gap() {
+    // Control experiment: with no NUMA penalty, RGP+LAS and DFIFO perform the
+    // same to within a few percent, demonstrating the gap really is a NUMA
+    // effect and not a scheduling artefact.
+    let config = ExecutionConfig::bullion_s16().with_cost_model(CostModel::flat());
+    let simulator = Simulator::new(config);
+    let spec = Application::NStream.build(ProblemScale::Small, 8);
+    let mut rgp = make_policy(PolicyKind::RgpLas, &spec, 1).unwrap();
+    let mut dfifo = make_policy(PolicyKind::Dfifo, &spec, 1).unwrap();
+    let a = simulator.run(&spec, rgp.as_mut()).makespan_ns;
+    let b = simulator.run(&spec, dfifo.as_mut()).makespan_ns;
+    let ratio = a.max(b) / a.min(b);
+    assert!(ratio < 1.10, "flat-model ratio {ratio:.3}");
+}
+
+#[test]
+fn uma_machine_makes_all_policies_equivalent() {
+    let simulator = Simulator::new(ExecutionConfig::new(Topology::uma(8)));
+    let spec = Application::Jacobi.build(ProblemScale::Tiny, 1);
+    let mut makespans = Vec::new();
+    for kind in [PolicyKind::Las, PolicyKind::RgpLas, PolicyKind::Dfifo] {
+        let mut policy = make_policy(kind, &spec, 2).unwrap();
+        makespans.push(simulator.run(&spec, policy.as_mut()).makespan_ns);
+    }
+    let max = makespans.iter().cloned().fold(f64::MIN, f64::max);
+    let min = makespans.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        (max - min) / min < 1e-9,
+        "single-node machine: policies must be identical, got {makespans:?}"
+    );
+}
+
+#[test]
+fn ep_and_rgp_las_are_competitive_with_each_other() {
+    // The paper's figure shows EP and RGP+LAS close together (both ≥ LAS on
+    // most codes). Check they are within a factor of 2 of each other —
+    // a loose sanity bound that catches gross regressions in either policy.
+    for app in [Application::Jacobi, Application::QrFactorization] {
+        let spec = app.build(ProblemScale::Small, 8);
+        let ep = run(&spec, PolicyKind::Ep, 31);
+        let rgp = run(&spec, PolicyKind::RgpLas, 31);
+        let ratio = ep.makespan_ns.max(rgp.makespan_ns) / ep.makespan_ns.min(rgp.makespan_ns);
+        assert!(ratio < 2.0, "{app}: EP vs RGP+LAS ratio {ratio:.3}");
+    }
+}
+
+#[test]
+fn window_socket_decisions_are_respected_without_stealing() {
+    // With stealing disabled, every task of the initial window must run on
+    // the socket the partitioner chose for it.
+    let spec = Application::Jacobi.build(ProblemScale::Tiny, 8);
+    let config = ExecutionConfig::bullion_s16()
+        .with_steal(StealMode::NoStealing)
+        .with_trace();
+    let simulator = Simulator::new(config);
+    let mut rgp = RgpPolicy::rgp_las();
+    let report = simulator.run(&spec, &mut rgp);
+    assert_eq!(report.stolen_tasks, 0);
+    for placement in &report.trace {
+        if let Some(expected) = rgp.window_socket_of(placement.task) {
+            assert_eq!(
+                placement.socket, expected,
+                "task {} ran on {} instead of its partition socket {}",
+                placement.task, placement.socket, expected
+            );
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests over the core invariants of the stack: the
+//! partitioner, the dependence analysis and the simulator must hold their
+//! contracts for arbitrary (generated) inputs, not just the hand-written
+//! cases.
+
+use proptest::prelude::*;
+
+use numadag::graph::{generators, metrics, partition, PartitionConfig, PartitionScheme};
+use numadag::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every partition covers every vertex with a valid part id, respects the
+    /// balance constraint on uniform-weight graphs, and never cuts more than
+    /// the total edge weight.
+    #[test]
+    fn partition_invariants(
+        width in 3usize..20,
+        height in 3usize..20,
+        k in 2usize..9,
+        seed in 0u64..1000,
+    ) {
+        let graph = generators::grid_2d(width, height, 3);
+        let config = PartitionConfig::new(k).with_seed(seed);
+        let p = partition(&graph, &config);
+        prop_assert_eq!(p.len(), graph.num_vertices());
+        prop_assert!(p.assignment().iter().all(|&x| (x as usize) < k));
+        let cut = metrics::edge_cut(&graph, &p);
+        prop_assert!(cut >= 0);
+        prop_assert!(cut <= graph.total_edge_weight());
+        if graph.num_vertices() >= 4 * k {
+            // The heaviest part must respect the partitioner's own balance
+            // budget (which rounds the ideal weight up, so it can be slightly
+            // above (1 + imbalance) × ideal on small odd-sized graphs).
+            let weights = metrics::part_weights(&graph, &p);
+            let max_allowed = config.max_part_weight(graph.total_vertex_weight());
+            prop_assert!(
+                weights.iter().all(|&w| w <= max_allowed),
+                "part weights {:?} exceed the allowed maximum {}", weights, max_allowed
+            );
+        }
+    }
+
+    /// The multilevel partitioner never produces a worse cut than the naive
+    /// BFS baseline by more than a small slack (it is usually much better).
+    #[test]
+    fn multilevel_not_worse_than_naive(
+        layers in 4usize..16,
+        width in 4usize..16,
+        seed in 0u64..200,
+    ) {
+        let graph = generators::layered_dag_skeleton(layers, width, 2, 1024);
+        let k = 4;
+        let ml = partition(&graph, &PartitionConfig::new(k).with_seed(seed));
+        let naive = partition(
+            &graph,
+            &PartitionConfig::new(k).with_seed(seed).with_scheme(PartitionScheme::BfsGrowing),
+        );
+        let ml_cut = metrics::edge_cut(&graph, &ml);
+        let naive_cut = metrics::edge_cut(&graph, &naive);
+        prop_assert!(
+            ml_cut as f64 <= naive_cut as f64 * 1.05 + 1024.0,
+            "multilevel cut {} much worse than naive {}", ml_cut, naive_cut
+        );
+    }
+
+    /// Dependence analysis always yields an acyclic graph whose edges point
+    /// forward in submission order, no matter the access pattern.
+    #[test]
+    fn random_access_patterns_build_valid_dags(
+        num_regions in 1usize..12,
+        tasks in prop::collection::vec((0usize..12, 0usize..12, 0u8..3), 1..80),
+    ) {
+        let mut builder = TdgBuilder::new();
+        let regions: Vec<_> = (0..num_regions).map(|_| builder.region(4096)).collect();
+        for (a, b, mode) in &tasks {
+            let ra = regions[a % num_regions];
+            let rb = regions[b % num_regions];
+            let spec = match mode {
+                0 => TaskSpec::new("t").work(1.0).reads(ra, 4096).writes(rb, 4096),
+                1 => TaskSpec::new("t").work(1.0).reads_writes(ra, 4096),
+                _ => TaskSpec::new("t").work(1.0).reads(ra, 4096).reads(rb, 4096).writes(rb, 4096),
+            };
+            builder.submit(spec);
+        }
+        let (graph, sizes) = builder.finish();
+        prop_assert!(graph.is_acyclic());
+        let spec = TaskGraphSpec::new("prop", graph, sizes);
+        prop_assert!(spec.validate().is_ok());
+        // Critical path never exceeds total work.
+        prop_assert!(spec.graph.critical_path_work() <= spec.graph.total_work() + 1e-9);
+    }
+
+    /// Simulator conservation: for any generated workload and any policy,
+    /// every declared byte is charged exactly once (local + remote), all
+    /// tasks run, and the makespan is at least the critical path.
+    #[test]
+    fn simulator_conservation(
+        num_blocks in 2usize..10,
+        iterations in 1usize..5,
+        policy_idx in 0usize..5,
+        seed in 0u64..500,
+    ) {
+        let mut builder = TdgBuilder::new();
+        let block_bytes = 64 * 1024u64;
+        let regions: Vec<_> = (0..num_blocks).map(|_| builder.region(block_bytes)).collect();
+        for &r in &regions {
+            builder.submit(TaskSpec::new("init").work(100.0).writes(r, block_bytes));
+        }
+        for _ in 0..iterations {
+            for (i, &r) in regions.iter().enumerate() {
+                let mut t = TaskSpec::new("step").work(500.0).reads_writes(r, block_bytes);
+                if i > 0 {
+                    t = t.reads(regions[i - 1], block_bytes);
+                }
+                builder.submit(t);
+            }
+        }
+        let (graph, sizes) = builder.finish();
+        let declared: u64 = graph.tasks().iter().map(|t| t.bytes_touched()).sum();
+        let num_tasks = graph.num_tasks();
+        let spec = TaskGraphSpec::new("prop-sim", graph, sizes)
+            .with_ep_placement(vec![0; num_tasks]);
+        let kind = PolicyKind::all()[policy_idx % 5];
+        let mut policy = make_policy(kind, &spec, seed).unwrap();
+        let simulator = Simulator::new(ExecutionConfig::bullion_s16());
+        let report = simulator.run(&spec, policy.as_mut());
+        prop_assert_eq!(report.tasks, spec.num_tasks());
+        prop_assert_eq!(report.traffic.total_bytes(), declared);
+        prop_assert!(report.makespan_ns + 1e-6 >= spec.graph.critical_path_work());
+        prop_assert!(report.traffic.local_fraction() >= 0.0);
+        prop_assert!(report.traffic.local_fraction() <= 1.0);
+    }
+
+    /// Deferred allocation places every region on the socket of a task that
+    /// touched it: after any simulated run, no region that was accessed is
+    /// left unallocated.
+    #[test]
+    fn no_accessed_region_stays_unallocated(
+        num_blocks in 1usize..8,
+        seed in 0u64..100,
+    ) {
+        let mut builder = TdgBuilder::new();
+        let regions: Vec<_> = (0..num_blocks).map(|_| builder.region(4096)).collect();
+        for &r in &regions {
+            builder.submit(TaskSpec::new("touch").work(1.0).writes(r, 4096));
+        }
+        let (graph, sizes) = builder.finish();
+        let spec = TaskGraphSpec::new("prop-defer", graph, sizes);
+        let mut policy = LasPolicy::new(seed);
+        let simulator = Simulator::new(ExecutionConfig::bullion_s16());
+        let report = simulator.run(&spec, &mut policy);
+        // Every region was written exactly once, so all deferred allocations
+        // add up to the total data size.
+        prop_assert_eq!(report.deferred_bytes, 4096 * num_blocks as u64);
+    }
+}

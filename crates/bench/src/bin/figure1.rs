@@ -120,8 +120,9 @@ fn main() {
             "rows": rows,
             "geometric_mean": gm.iter().map(|(l, v)| (l.clone(), v)).collect::<Vec<_>>(),
         });
-        std::fs::write(&path, serde_json::to_string_pretty(&payload).unwrap())
-            .unwrap_or_else(|e| eprintln!("could not write {path}: {e}"));
-        println!("\nwrote {path}");
+        match std::fs::write(&path, serde_json::to_string_pretty(&payload).unwrap()) {
+            Ok(()) => println!("\nwrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
     }
 }

@@ -206,8 +206,8 @@ mod tests {
     #[test]
     fn paper_reference_contains_headline_number() {
         let refs = paper_reference();
-        assert!(refs
-            .iter()
-            .any(|(p, a, v)| *p == "RGP+LAS" && *a == "geometric mean" && (*v - 1.12).abs() < 1e-9));
+        assert!(refs.iter().any(|(p, a, v)| *p == "RGP+LAS"
+            && *a == "geometric mean"
+            && (*v - 1.12).abs() < 1e-9));
     }
 }

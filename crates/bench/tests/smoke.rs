@@ -1,0 +1,67 @@
+//! Smoke tests for the benchmark harness: the two binaries must run end to
+//! end on tiny inputs without panicking, the `figure1` JSON export must be
+//! well-formed, and the criterion benches must at least compile.
+
+use std::process::Command;
+
+#[test]
+fn figure1_runs_at_tiny_scale_and_writes_json() {
+    let dir = std::env::temp_dir().join(format!("numadag_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let json_path = dir.join("figure1.json");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_figure1"))
+        .args(["--scale", "tiny", "--json"])
+        .arg(&json_path)
+        .output()
+        .expect("figure1 must spawn");
+    assert!(
+        out.status.success(),
+        "figure1 exited with {:?}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Geometric mean"), "missing geomean row");
+    assert!(stdout.contains("RGP+LAS"), "missing the paper's policy");
+
+    let json = std::fs::read_to_string(&json_path).expect("--json must write the file");
+    for key in ["\"machine\"", "\"scale\"", "\"rows\"", "\"geometric_mean\""] {
+        assert!(json.contains(key), "JSON export missing {key}: {json}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ablation_partitioner_study_runs() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ablation"))
+        .arg("partitioner")
+        .output()
+        .expect("ablation must spawn");
+    assert!(
+        out.status.success(),
+        "ablation exited with {:?}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ABL-PART"), "missing study header");
+}
+
+#[test]
+fn criterion_benches_compile() {
+    // `cargo bench --no-run` from inside a test: cargo has already released
+    // its build lock by the time tests execute, so the nested invocation is
+    // safe and hits the shared target-dir cache.
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let out = Command::new(cargo)
+        .args(["bench", "--no-run", "-p", "numadag-bench"])
+        .output()
+        .expect("cargo must spawn");
+    assert!(
+        out.status.success(),
+        "cargo bench --no-run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

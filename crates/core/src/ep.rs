@@ -62,7 +62,7 @@ mod tests {
     use super::*;
     use crate::policy::MemoryLocator;
     use numadag_numa::{MemoryMap, Topology};
-    use numadag_tdg::{TaskDescriptor, TaskId, TdgBuilder, TaskSpec};
+    use numadag_tdg::{TaskDescriptor, TaskId, TaskSpec, TdgBuilder};
 
     fn dummy_task(id: usize) -> TaskDescriptor {
         TaskDescriptor {

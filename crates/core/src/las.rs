@@ -146,7 +146,10 @@ mod tests {
             seen.insert(p.assign(&t, &loc).index());
         }
         // With 64 draws over 8 sockets we expect to see several different ones.
-        assert!(seen.len() >= 4, "random placement looks degenerate: {seen:?}");
+        assert!(
+            seen.len() >= 4,
+            "random placement looks degenerate: {seen:?}"
+        );
         assert_eq!(p.random_assignments(), 64);
     }
 
@@ -187,7 +190,10 @@ mod tests {
         let t = task_with(vec![DataAccess::read(a, 100), DataAccess::read(b, 100)]);
         for _ in 0..32 {
             let s = p.assign(&t, &loc);
-            assert!(s == SocketId(1) || s == SocketId(2), "chose untied socket {s}");
+            assert!(
+                s == SocketId(1) || s == SocketId(2),
+                "chose untied socket {s}"
+            );
         }
     }
 
@@ -201,7 +207,9 @@ mod tests {
         let t = task_with(vec![DataAccess::write(out, 64)]);
         let run = |seed| {
             let mut p = LasPolicy::new(seed);
-            (0..16).map(|_| p.assign(&t, &loc).index()).collect::<Vec<_>>()
+            (0..16)
+                .map(|_| p.assign(&t, &loc).index())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(5), run(5));
     }

@@ -310,7 +310,7 @@ impl GraphBuilder {
     pub fn build(&self) -> CsrGraph {
         let n = self.num_vertices;
         let mut degree = vec![0usize; n];
-        for (&(u, v), _) in &self.edges {
+        for &(u, v) in self.edges.keys() {
             degree[u as usize] += 1;
             degree[v as usize] += 1;
         }
@@ -436,10 +436,7 @@ mod tests {
             adjwgt: vec![1, 1],
             vwgt: vec![1, 1],
         };
-        assert!(matches!(
-            g.validate(),
-            Err(GraphError::BadNeighbor { .. })
-        ));
+        assert!(matches!(g.validate(), Err(GraphError::BadNeighbor { .. })));
     }
 
     #[test]

@@ -70,7 +70,12 @@ pub fn random_graph(n: usize, avg_degree: usize, max_weight: i64, seed: u64) -> 
 /// vertices each, every vertex connected to `fanout` vertices of the next
 /// layer (wrapping), with the given edge weight. This is the shape of the
 /// task graphs produced by iterative stencil applications.
-pub fn layered_dag_skeleton(layers: usize, width: usize, fanout: usize, edge_weight: i64) -> CsrGraph {
+pub fn layered_dag_skeleton(
+    layers: usize,
+    width: usize,
+    fanout: usize,
+    edge_weight: i64,
+) -> CsrGraph {
     let n = layers * width;
     let mut b = GraphBuilder::new(n);
     for layer in 0..layers.saturating_sub(1) {

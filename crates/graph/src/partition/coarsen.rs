@@ -1,12 +1,16 @@
 //! Coarsening via heavy-edge matching (HEM).
 //!
-//! Vertices are visited in random order; each unmatched vertex is matched
-//! with its unmatched neighbour connected by the heaviest edge. Matched pairs
-//! collapse into a single coarse vertex whose weight is the sum of the pair's
-//! weights; parallel edges between coarse vertices are merged by adding their
-//! weights. This is the standard first phase of METIS/SCOTCH-style multilevel
-//! partitioning: it preserves heavy edges inside coarse vertices so the
-//! initial partition never has to cut them.
+//! Edges are considered globally from heaviest to lightest (equal-weight
+//! edges in random order), and an edge is taken into the matching whenever
+//! both endpoints are still unmatched. This greedy-by-weight variant is
+//! stronger than the classic visit-each-vertex HEM: a locally heaviest edge
+//! can never be pre-empted by a lighter edge that merely happened to be
+//! visited earlier. Matched pairs collapse into a single coarse vertex whose
+//! weight is the sum of the pair's weights; parallel edges between coarse
+//! vertices are merged by adding their weights. This is the standard first
+//! phase of METIS/SCOTCH-style multilevel partitioning: it preserves heavy
+//! edges inside coarse vertices so the initial partition never has to cut
+//! them.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -30,38 +34,24 @@ pub fn heavy_edge_matching(graph: &CsrGraph, rng: &mut StdRng) -> Vec<u32> {
     let n = graph.num_vertices();
     let mut match_of: Vec<u32> = (0..n as u32).collect();
     let mut matched = vec![false; n];
-    let mut order: Vec<u32> = (0..n as u32).collect();
-    order.shuffle(rng);
-    for &v in &order {
-        if matched[v as usize] {
-            continue;
-        }
-        // Pick the heaviest edge to an unmatched neighbour; break ties on the
-        // smaller vertex id for determinism.
-        let mut best: Option<(i64, u32)> = None;
+    let mut edges: Vec<(i64, u32, u32)> = Vec::new();
+    for v in 0..n as u32 {
         for (u, w) in graph.edges_of(v) {
-            if matched[u as usize] || u == v {
-                continue;
+            if u > v {
+                edges.push((w, v, u));
             }
-            let candidate = (w, u);
-            best = match best {
-                None => Some(candidate),
-                Some((bw, bu)) => {
-                    if w > bw || (w == bw && u < bu) {
-                        Some(candidate)
-                    } else {
-                        Some((bw, bu))
-                    }
-                }
-            };
         }
-        if let Some((_, u)) = best {
+    }
+    // Shuffle first so that the stable sort leaves equal-weight edges in
+    // random order: heavy edges always win, ties are seed-dependent.
+    edges.shuffle(rng);
+    edges.sort_by_key(|e| std::cmp::Reverse(e.0));
+    for (_, v, u) in edges {
+        if !matched[v as usize] && !matched[u as usize] {
             match_of[v as usize] = u;
             match_of[u as usize] = v;
             matched[v as usize] = true;
             matched[u as usize] = true;
-        } else {
-            matched[v as usize] = true;
         }
     }
     match_of

@@ -153,13 +153,16 @@ fn seed_vertex(
 pub fn recursive_bisection(
     graph: &CsrGraph,
     k: usize,
-    imbalance: f64,
+    // Kept in the signature so callers can pass `config.imbalance`; the
+    // greedy bisection currently balances to the exact proportional target
+    // and leaves slack enforcement to the refinement phase.
+    _imbalance: f64,
     rng: &mut StdRng,
 ) -> Vec<u32> {
     let n = graph.num_vertices();
     let mut assignment = vec![0u32; n];
     let vertices: Vec<u32> = (0..n as u32).collect();
-    rb_recurse(graph, &vertices, k, 0, imbalance, rng, &mut assignment);
+    rb_recurse(graph, &vertices, k, 0, rng, &mut assignment);
     assignment
 }
 
@@ -168,7 +171,6 @@ fn rb_recurse(
     vertices: &[u32],
     k: usize,
     part_offset: u32,
-    imbalance: f64,
     rng: &mut StdRng,
     assignment: &mut [u32],
 ) {
@@ -189,13 +191,12 @@ fn rb_recurse(
     } else {
         (left, right)
     };
-    rb_recurse(graph, &left, k_left, part_offset, imbalance, rng, assignment);
+    rb_recurse(graph, &left, k_left, part_offset, rng, assignment);
     rb_recurse(
         graph,
         &right,
         k - k_left,
         part_offset + k_left as u32,
-        imbalance,
         rng,
         assignment,
     );
@@ -336,7 +337,10 @@ mod tests {
         let weights = metrics::part_weights(&g, &p);
         assert_eq!(weights.iter().sum::<i64>(), 100);
         let imb = metrics::imbalance(&g, &p);
-        assert!(imb < 1.3, "BFS chunks should be roughly balanced, got {imb}");
+        assert!(
+            imb < 1.3,
+            "BFS chunks should be roughly balanced, got {imb}"
+        );
     }
 
     #[test]

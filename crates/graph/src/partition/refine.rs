@@ -105,7 +105,7 @@ pub fn rebalance(
 /// limit more than it did on entry.
 pub fn refine_kway(
     graph: &CsrGraph,
-    assignment: &mut Vec<u32>,
+    assignment: &mut [u32],
     config: &PartitionConfig,
     passes: usize,
 ) -> i64 {

@@ -63,10 +63,18 @@ pub fn build(params: CgParams, num_sockets: usize) -> TaskGraphSpec {
     let a: Vec<_> = (0..nb)
         .map(|i| builder.labelled_region(mat_bytes, format!("A[{i}]")))
         .collect();
-    let x: Vec<_> = (0..nb).map(|i| builder.labelled_region(vec_bytes, format!("x[{i}]"))).collect();
-    let r: Vec<_> = (0..nb).map(|i| builder.labelled_region(vec_bytes, format!("r[{i}]"))).collect();
-    let p: Vec<_> = (0..nb).map(|i| builder.labelled_region(vec_bytes, format!("p[{i}]"))).collect();
-    let q: Vec<_> = (0..nb).map(|i| builder.labelled_region(vec_bytes, format!("q[{i}]"))).collect();
+    let x: Vec<_> = (0..nb)
+        .map(|i| builder.labelled_region(vec_bytes, format!("x[{i}]")))
+        .collect();
+    let r: Vec<_> = (0..nb)
+        .map(|i| builder.labelled_region(vec_bytes, format!("r[{i}]")))
+        .collect();
+    let p: Vec<_> = (0..nb)
+        .map(|i| builder.labelled_region(vec_bytes, format!("p[{i}]")))
+        .collect();
+    let q: Vec<_> = (0..nb)
+        .map(|i| builder.labelled_region(vec_bytes, format!("q[{i}]")))
+        .collect();
     let dot_pq: Vec<_> = (0..nb)
         .map(|i| builder.labelled_region(scalar_bytes, format!("dot_pq[{i}]")))
         .collect();
@@ -82,7 +90,11 @@ pub fn build(params: CgParams, num_sockets: usize) -> TaskGraphSpec {
 
     // Initialisation of the matrix and the vectors.
     for i in 0..nb {
-        builder.submit(TaskSpec::new("init_A").work(3.0 * elems).writes(a[i], mat_bytes));
+        builder.submit(
+            TaskSpec::new("init_A")
+                .work(3.0 * elems)
+                .writes(a[i], mat_bytes),
+        );
         ep.push(owner(i));
         builder.submit(TaskSpec::new("init_x").work(elems).writes(x[i], vec_bytes));
         ep.push(owner(i));
@@ -123,8 +135,8 @@ pub fn build(params: CgParams, num_sockets: usize) -> TaskGraphSpec {
         let mut reduce_alpha = TaskSpec::new("reduce_alpha")
             .work(nb as f64)
             .writes(alpha, scalar_bytes);
-        for i in 0..nb {
-            reduce_alpha = reduce_alpha.reads(dot_pq[i], scalar_bytes);
+        for &d in &dot_pq {
+            reduce_alpha = reduce_alpha.reads(d, scalar_bytes);
         }
         builder.submit(reduce_alpha);
         ep.push(0); // the expert runs tiny reductions on socket 0
@@ -162,8 +174,8 @@ pub fn build(params: CgParams, num_sockets: usize) -> TaskGraphSpec {
         let mut reduce_beta = TaskSpec::new("reduce_beta")
             .work(nb as f64)
             .writes(beta, scalar_bytes);
-        for i in 0..nb {
-            reduce_beta = reduce_beta.reads(dot_rr[i], scalar_bytes);
+        for &d in &dot_rr {
+            reduce_beta = reduce_beta.reads(d, scalar_bytes);
         }
         builder.submit(reduce_beta);
         ep.push(0);

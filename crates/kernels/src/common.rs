@@ -42,7 +42,7 @@ pub fn block_cyclic_2d(i: usize, j: usize, sockets: usize) -> usize {
         return 0;
     }
     let p = (1..=sockets)
-        .filter(|d| sockets % d == 0)
+        .filter(|d| sockets.is_multiple_of(*d))
         .min_by_key(|&d| {
             let q = sockets / d;
             (d as isize - q as isize).unsigned_abs()
@@ -102,7 +102,7 @@ mod tests {
 
     #[test]
     fn block_cyclic_perfect_square() {
-        let mut counts = vec![0usize; 4];
+        let mut counts = [0usize; 4];
         for i in 0..4 {
             for j in 0..4 {
                 counts[block_cyclic_2d(i, j, 4)] += 1;

@@ -315,8 +315,11 @@ mod tests {
             iterations: 200,
         };
         let r = reference(&p);
-        let spread = r.iter().cloned().fold(f64::MIN, f64::max)
-            - r.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(spread < 0.5, "diffusion should smooth the field, spread {spread}");
+        let spread =
+            r.iter().cloned().fold(f64::MIN, f64::max) - r.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            spread < 0.5,
+            "diffusion should smooth the field, spread {spread}"
+        );
     }
 }

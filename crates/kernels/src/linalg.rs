@@ -435,7 +435,11 @@ mod tests {
     #[test]
     fn syrk_matches_gemm() {
         let a = Matrix::spd(5, 9);
-        let b = Matrix::from_rows(5, 3, &(0..15).map(|x| x as f64 * 0.3 - 2.0).collect::<Vec<_>>());
+        let b = Matrix::from_rows(
+            5,
+            3,
+            &(0..15).map(|x| x as f64 * 0.3 - 2.0).collect::<Vec<_>>(),
+        );
         let mut c1 = a.clone();
         syrk_lower(&b, &mut c1);
         // Reference: C - B Bᵀ.
@@ -455,7 +459,10 @@ mod tests {
         let (q, r) = householder_qr(&a);
         assert!(matmul(&q, &r).distance(&a) < 1e-8, "QR != A");
         let qtq = matmul(&q.transpose(), &q);
-        assert!(qtq.distance(&Matrix::identity(9)) < 1e-8, "Q not orthogonal");
+        assert!(
+            qtq.distance(&Matrix::identity(9)) < 1e-8,
+            "Q not orthogonal"
+        );
         // R is upper triangular.
         for j in 0..9 {
             for i in (j + 1)..9 {

@@ -11,7 +11,7 @@
 use numadag_tdg::{TaskGraphSpec, TaskSpec, TdgBuilder};
 
 use crate::common::{block_cyclic_2d, ProblemScale};
-use crate::linalg::{geqrt_flops, gemm_flops, trsm_flops};
+use crate::linalg::{gemm_flops, geqrt_flops, trsm_flops};
 
 /// Parameters of the tiled QR kernel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,7 +28,10 @@ impl QrParams {
         match scale {
             ProblemScale::Tiny => QrParams { nt: 4, tile_n: 16 },
             ProblemScale::Small => QrParams { nt: 8, tile_n: 128 },
-            ProblemScale::Full => QrParams { nt: 12, tile_n: 256 },
+            ProblemScale::Full => QrParams {
+                nt: 12,
+                tile_n: 256,
+            },
         }
     }
 }

@@ -79,7 +79,11 @@ pub fn build(params: RedBlackParams, num_sockets: usize) -> TaskGraphSpec {
                     if (i + j) % 2 != colour {
                         continue;
                     }
-                    let kind = if colour == 0 { "red_update" } else { "black_update" };
+                    let kind = if colour == 0 {
+                        "red_update"
+                    } else {
+                        "black_update"
+                    };
                     let mut task = TaskSpec::new(kind)
                         .work(5.0 * params.block_elems as f64)
                         .reads_writes(u[idx(i, j)], block_bytes);
@@ -149,16 +153,20 @@ mod tests {
             iterations: 1,
         };
         let spec = build(p, 2);
-        let kinds: Vec<&str> = spec
-            .graph
-            .tasks()
-            .iter()
-            .map(|t| t.kind.as_str())
-            .collect();
+        let kinds: Vec<&str> = spec.graph.tasks().iter().map(|t| t.kind.as_str()).collect();
         // 4 inits, then 2 red tiles ((0,0), (1,1)), then 2 black tiles.
         assert_eq!(
             kinds,
-            vec!["init", "init", "init", "init", "red_update", "red_update", "black_update", "black_update"]
+            vec![
+                "init",
+                "init",
+                "init",
+                "init",
+                "red_update",
+                "red_update",
+                "black_update",
+                "black_update"
+            ]
         );
         // A black tile depends on its red neighbours from the same sweep.
         let black = numadag_tdg::TaskId(6);

@@ -152,7 +152,10 @@ mod tests {
         for app in Application::all() {
             let tiny = app.build(ProblemScale::Tiny, 4).num_tasks();
             let small = app.build(ProblemScale::Small, 4).num_tasks();
-            assert!(tiny < small, "{app}: tiny {tiny} not smaller than small {small}");
+            assert!(
+                tiny < small,
+                "{app}: tiny {tiny} not smaller than small {small}"
+            );
         }
     }
 }

@@ -29,7 +29,10 @@ impl SymmInvParams {
         match scale {
             ProblemScale::Tiny => SymmInvParams { nt: 4, tile_n: 16 },
             ProblemScale::Small => SymmInvParams { nt: 8, tile_n: 128 },
-            ProblemScale::Full => SymmInvParams { nt: 12, tile_n: 256 },
+            ProblemScale::Full => SymmInvParams {
+                nt: 12,
+                tile_n: 256,
+            },
         }
     }
 }
@@ -217,7 +220,12 @@ mod tests {
     fn gemm_updates_read_two_panel_tiles() {
         let p = SymmInvParams { nt: 4, tile_n: 8 };
         let spec = build(p, 4);
-        let gemm = spec.graph.tasks().iter().find(|t| t.kind == "gemm").unwrap();
+        let gemm = spec
+            .graph
+            .tasks()
+            .iter()
+            .find(|t| t.kind == "gemm")
+            .unwrap();
         assert_eq!(gemm.accesses.len(), 3);
         assert_eq!(gemm.bytes_written(), (8 * 8 * 8) as u64);
     }

@@ -37,7 +37,13 @@ impl TrafficStats {
 
     /// Records an access of `bytes` bytes by a core on `core_node` to data
     /// living on `data_node`, at SLIT `distance`.
-    pub fn record_access(&mut self, core_node: NodeId, data_node: NodeId, distance: u32, bytes: u64) {
+    pub fn record_access(
+        &mut self,
+        core_node: NodeId,
+        data_node: NodeId,
+        distance: u32,
+        bytes: u64,
+    ) {
         if core_node == data_node {
             self.local_bytes += bytes;
         } else {

@@ -93,9 +93,7 @@ impl Simulator {
         }
 
         // Per-task bookkeeping.
-        let mut indegree: Vec<usize> = (0..n)
-            .map(|t| spec.graph.in_degree(TaskId(t)))
-            .collect();
+        let mut indegree: Vec<usize> = (0..n).map(|t| spec.graph.in_degree(TaskId(t))).collect();
         let mut assigned_socket: Vec<Option<SocketId>> = vec![None; n];
 
         // Queues and cores.
@@ -128,7 +126,15 @@ impl Simulator {
 
         // Assign the initial ready tasks.
         let sources: Vec<TaskId> = spec.graph.sources();
-        Self::assign_tasks(&sources, spec, policy, topo, &memory, &mut assigned_socket, &mut queues);
+        Self::assign_tasks(
+            &sources,
+            spec,
+            policy,
+            topo,
+            &memory,
+            &mut assigned_socket,
+            &mut queues,
+        );
 
         // Helper closure replaced by a local fn to keep borrows simple.
         #[allow(clippy::too_many_arguments)]
@@ -153,8 +159,7 @@ impl Simulator {
             let descriptor = spec.graph.task(task);
 
             // Deferred allocation / first touch on the executing node.
-            report.deferred_bytes +=
-                apply_deferred_allocation(memory, stats, descriptor, node);
+            report.deferred_bytes += apply_deferred_allocation(memory, stats, descriptor, node);
 
             // Memory time: move every accessed byte between its home node and
             // the executing socket.
@@ -163,8 +168,7 @@ impl Simulator {
                 let region_size = memory.size_of(access.region).max(1);
                 let per_node = memory.bytes_per_node(access.region);
                 for (home, resident) in &per_node.per_node {
-                    let scaled = ((*resident as f64) * (access.bytes as f64)
-                        / (region_size as f64))
+                    let scaled = ((*resident as f64) * (access.bytes as f64) / (region_size as f64))
                         .round() as u64;
                     if scaled == 0 {
                         continue;
@@ -212,8 +216,18 @@ impl Simulator {
                         let task = queues[s].pop_front().unwrap();
                         let core = idle[s].pop().unwrap();
                         start_task(
-                            self, spec, task, core, $now, false, &mut memory, &mut stats,
-                            &mut busy_count, &mut report, &mut events, &mut seq,
+                            self,
+                            spec,
+                            task,
+                            core,
+                            $now,
+                            false,
+                            &mut memory,
+                            &mut stats,
+                            &mut busy_count,
+                            &mut report,
+                            &mut events,
+                            &mut seq,
                         );
                     }
                 }
@@ -229,8 +243,18 @@ impl Simulator {
                             let task = queues[victim].pop_back().unwrap();
                             let core = idle[s].pop().unwrap();
                             start_task(
-                                self, spec, task, core, $now, true, &mut memory, &mut stats,
-                                &mut busy_count, &mut report, &mut events, &mut seq,
+                                self,
+                                spec,
+                                task,
+                                core,
+                                $now,
+                                true,
+                                &mut memory,
+                                &mut stats,
+                                &mut busy_count,
+                                &mut report,
+                                &mut events,
+                                &mut seq,
                             );
                         }
                     }
@@ -419,7 +443,10 @@ mod tests {
         let a = simulator.run(&spec, &mut las).makespan_ns;
         let b = simulator.run(&spec, &mut dfifo).makespan_ns;
         let ratio = a.max(b) / a.min(b);
-        assert!(ratio < 1.10, "flat model should equalise policies, ratio {ratio}");
+        assert!(
+            ratio < 1.10,
+            "flat model should equalise policies, ratio {ratio}"
+        );
     }
 
     #[test]

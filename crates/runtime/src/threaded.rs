@@ -114,9 +114,7 @@ impl ThreadedExecutor {
                 let completed = &completed;
                 let config = &self.config;
                 scope.spawn(move || {
-                    worker_loop(
-                        spec, config, my_socket, &shared, completed, body, n,
-                    );
+                    worker_loop(spec, config, my_socket, &shared, completed, body, n);
                 });
             }
         });
@@ -314,7 +312,10 @@ mod tests {
         });
         assert_eq!(counter.load(Ordering::SeqCst) as usize, spec.num_tasks());
         assert!(executed.iter().all(|e| e.load(Ordering::SeqCst) == 1));
-        assert_eq!(report.tasks_per_socket.iter().sum::<usize>(), spec.num_tasks());
+        assert_eq!(
+            report.tasks_per_socket.iter().sum::<usize>(),
+            spec.num_tasks()
+        );
     }
 
     #[test]

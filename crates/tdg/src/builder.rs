@@ -73,10 +73,7 @@ impl TdgBuilder {
         }
         let id = TaskId(self.graph.num_tasks());
         let deps = self.tracker.register(id, &spec.accesses);
-        let dep_pairs: Vec<(TaskId, u64)> = deps
-            .iter()
-            .map(|d| (d.predecessor, d.bytes))
-            .collect();
+        let dep_pairs: Vec<(TaskId, u64)> = deps.iter().map(|d| (d.predecessor, d.bytes)).collect();
         let descriptor = TaskDescriptor {
             id,
             kind: spec.kind,
@@ -164,7 +161,11 @@ mod tests {
         let mut b = TdgBuilder::new();
         let r = b.region(1024);
         for i in 0..50 {
-            b.submit(TaskSpec::new(format!("step{i}")).work(1.0).reads_writes(r, 1024));
+            b.submit(
+                TaskSpec::new(format!("step{i}"))
+                    .work(1.0)
+                    .reads_writes(r, 1024),
+            );
         }
         let (g, _) = b.finish();
         assert_eq!(g.num_edges(), 49);

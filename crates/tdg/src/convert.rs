@@ -67,7 +67,12 @@ mod tests {
         let a = b.region(1000);
         let c = b.region(2000);
         let d = b.region(500);
-        b.submit(TaskSpec::new("src").work(1.0).writes(a, 1000).writes(c, 2000));
+        b.submit(
+            TaskSpec::new("src")
+                .work(1.0)
+                .writes(a, 1000)
+                .writes(c, 2000),
+        );
         b.submit(TaskSpec::new("l").work(2.0).reads(a, 1000).writes(d, 500));
         b.submit(TaskSpec::new("r").work(3.0).reads(c, 2000));
         b.submit(TaskSpec::new("sink").work(4.0).reads(d, 500).reads(c, 2000));

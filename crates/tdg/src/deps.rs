@@ -132,7 +132,9 @@ mod tests {
     #[test]
     fn raw_dependence() {
         let mut t = DependencyTracker::new();
-        assert!(t.register(TaskId(0), &[DataAccess::write(r(0), 100)]).is_empty());
+        assert!(t
+            .register(TaskId(0), &[DataAccess::write(r(0), 100)])
+            .is_empty());
         let deps = t.register(TaskId(1), &[DataAccess::read(r(0), 100)]);
         assert_eq!(
             deps,

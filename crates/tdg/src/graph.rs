@@ -75,12 +75,16 @@ impl TaskGraph {
 
     /// Tasks with no predecessors (ready at the start of the execution).
     pub fn sources(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|&t| self.in_degree(t) == 0).collect()
+        self.task_ids()
+            .filter(|&t| self.in_degree(t) == 0)
+            .collect()
     }
 
     /// Tasks with no successors.
     pub fn sinks(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|&t| self.out_degree(t) == 0).collect()
+        self.task_ids()
+            .filter(|&t| self.out_degree(t) == 0)
+            .collect()
     }
 
     /// Appends a task and its dependence edges. `deps` is a list of

@@ -17,7 +17,10 @@ fn main() {
     let sockets = topology.num_sockets();
     let simulator = Simulator::new(ExecutionConfig::new(topology).with_trace());
 
-    let params = SymmInvParams { nt: 10, tile_n: 192 };
+    let params = SymmInvParams {
+        nt: 10,
+        tile_n: 192,
+    };
     let spec = build(params, sockets);
     println!(
         "Symmetric matrix inversion: {} tiles per dimension, {} tasks, critical path {:.0} work units\n",
@@ -62,5 +65,8 @@ fn main() {
         .filter(|t| t.kind == "potrf")
         .filter_map(|t| rgp.window_socket_of(t.id).map(|s| format!("{}→{s}", t.id)))
         .collect();
-    println!("diagonal POTRF tasks in the window: {}", panel_sockets.join(", "));
+    println!(
+        "diagonal POTRF tasks in the window: {}",
+        panel_sockets.join(", ")
+    );
 }

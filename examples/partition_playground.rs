@@ -41,7 +41,11 @@ fn main() {
         &generators::layered_dag_skeleton(40, 32, 2, 1 << 14),
         k,
     );
-    report("random graph (d=8)", &generators::random_graph(2000, 8, 64, 3), k);
+    report(
+        "random graph (d=8)",
+        &generators::random_graph(2000, 8, 64, 3),
+        k,
+    );
     report("two heavy clusters", &generators::two_clusters(64, 100), 2);
 
     println!("\nFirst window (1024 tasks) of real task graphs:\n");

@@ -12,7 +12,11 @@ use numadag::prelude::*;
 fn main() {
     // 1. The machine: the paper's Atos bullion S16 (8 sockets x 4 cores).
     let topology = Topology::bullion_s16();
-    println!("machine: {} ({} cores)\n", topology.name(), topology.num_cores());
+    println!(
+        "machine: {} ({} cores)\n",
+        topology.name(),
+        topology.num_cores()
+    );
     let simulator = Simulator::new(ExecutionConfig::new(topology));
 
     // 2. The workload: a blocked Jacobi solver from the kernels crate, small

@@ -43,6 +43,20 @@
 //! | [`core`] (`numadag-core`) | the scheduling policies: DFIFO, EP, LAS, RGP(+LAS) |
 //! | [`runtime`] (`numadag-runtime`) | discrete-event simulator + threaded executor |
 //! | [`kernels`] (`numadag-kernels`) | the eight applications of Figure 1 + dense linalg |
+//! | `numadag-bench` (not re-exported) | benchmark harness: `figure1`/`ablation` bins + criterion benches |
+//!
+//! ## Examples
+//!
+//! Four runnable examples live in `examples/` (`cargo run --example <name> --release`):
+//!
+//! * `quickstart` — every policy on a small Jacobi instance, with makespans,
+//!   locality and imbalance side by side.
+//! * `cholesky_numa` — the densest DAG of the suite (symmetric matrix
+//!   inversion) with a per-socket placement breakdown.
+//! * `partition_playground` — the multilevel partitioner vs the naive BFS
+//!   baseline on synthetic graphs and real task-graph windows.
+//! * `stencil_sweep` — how large an RGP window the three stencil kernels
+//!   need before partitioned placement beats plain LAS.
 
 pub use numadag_core as core;
 pub use numadag_graph as graph;

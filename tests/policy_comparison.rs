@@ -25,7 +25,10 @@ fn every_application_completes_under_every_policy() {
                 spec.num_tasks(),
                 "{app} under {kind}: task accounting"
             );
-            assert!(report.makespan_ns > 0.0, "{app} under {kind}: empty makespan");
+            assert!(
+                report.makespan_ns > 0.0,
+                "{app} under {kind}: empty makespan"
+            );
             assert!(
                 report.makespan_ns >= spec.graph.critical_path_work(),
                 "{app} under {kind}: makespan below the critical path"
@@ -50,12 +53,7 @@ fn simulation_is_deterministic_across_runs() {
 #[test]
 fn traffic_conservation_holds_for_all_policies() {
     let spec = Application::IntegralHistogram.build(ProblemScale::Tiny, 8);
-    let total_declared: u64 = spec
-        .graph
-        .tasks()
-        .iter()
-        .map(|t| t.bytes_touched())
-        .sum();
+    let total_declared: u64 = spec.graph.tasks().iter().map(|t| t.bytes_touched()).sum();
     for kind in PolicyKind::all() {
         let report = run(&spec, kind, 5);
         assert_eq!(
@@ -70,7 +68,11 @@ fn traffic_conservation_holds_for_all_policies() {
 fn numa_aware_policies_have_more_local_traffic_than_dfifo() {
     // On stencil-style kernels the locality-aware policies must serve a
     // larger fraction of bytes from the local node than blind round robin.
-    for app in [Application::Jacobi, Application::NStream, Application::RedBlack] {
+    for app in [
+        Application::Jacobi,
+        Application::NStream,
+        Application::RedBlack,
+    ] {
         let spec = app.build(ProblemScale::Small, 8);
         let dfifo = run(&spec, PolicyKind::Dfifo, 9);
         let las = run(&spec, PolicyKind::Las, 9);
@@ -101,8 +103,7 @@ fn rgp_las_beats_the_baseline_on_the_small_suite_geomean() {
         let rgp = run(&spec, PolicyKind::RgpLas, 23);
         speedups.push(las.makespan_ns / rgp.makespan_ns);
     }
-    let geomean =
-        (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
     assert!(
         geomean > 1.0,
         "RGP+LAS geometric-mean speedup {geomean:.3} should exceed 1.0 (per-app: {speedups:?})"

@@ -1,0 +1,256 @@
+//! A minimal, API-compatible subset of `criterion`, vendored because the
+//! build environment has no access to crates.io.
+//!
+//! It supports the surface the `numadag-bench` benches use — benchmark
+//! groups, `bench_function`, `bench_with_input`, `BenchmarkId`, `iter` —
+//! and produces simple wall-clock statistics (median over a fixed number of
+//! samples after a short warm-up) on stdout instead of criterion's HTML
+//! reports. Statistical rigor is out of scope; stable, parseable output for
+//! baseline tracking is the goal.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer identity function, re-exported for benches.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// A benchmark identifier: a function name plus a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id `"{name}/{parameter}"`, as criterion renders it.
+    pub fn new<S: Into<String>, P: Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Drives the iterations of a single benchmark.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call, in nanoseconds.
+    pub last_median_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the median per-call time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call (also forces lazy setup).
+        std_black_box(routine());
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std_black_box(routine());
+            times.push(start.elapsed().as_nanos() as f64);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.last_median_ns = times[times.len() / 2];
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            last_median_ns: 0.0,
+        };
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        f(&mut bencher);
+        println!(
+            "bench: {:<60} median {:>12}",
+            full,
+            format_ns(bencher.last_median_ns)
+        );
+        self.criterion.results.push((full, bencher.last_median_ns));
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<S: Display, F: FnMut(&mut Bencher)>(&mut self, id: S, f: F) {
+        self.run_one(id.to_string(), f);
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<S: Display, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: S,
+        input: &I,
+        mut f: F,
+    ) {
+        self.run_one(id.to_string(), |b| f(b, input));
+    }
+
+    /// Ends the group (criterion parity; all work already happened).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    /// `(full benchmark id, median ns)` for every benchmark run so far.
+    pub results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Applies command-line arguments (a name filter; flags like
+    /// `--bench`/`--noplot` that cargo or criterion CLIs pass are ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                // Flags cargo-bench/criterion pass that take no value.
+                "--bench" | "--noplot" | "--quiet" | "--verbose" => {}
+                // Flags with a value we do not use.
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
+                | "--sample-size" => {
+                    args.next();
+                }
+                s if s.starts_with("--") => {}
+                filter => self.filter = Some(filter.to_string()),
+            }
+        }
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Starts a benchmark group named `name`.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<S: Display, F: FnMut(&mut Bencher)>(&mut self, id: S, f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: 20,
+            last_median_ns: 0.0,
+        };
+        let full = id.to_string();
+        if self.matches(&full) {
+            let mut f = f;
+            f(&mut bencher);
+            println!(
+                "bench: {:<60} median {:>12}",
+                full,
+                format_ns(bencher.last_median_ns)
+            );
+            self.results.push((full, bencher.last_median_ns));
+        }
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` function running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("f", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert_eq!(c.results.len(), 2);
+        assert_eq!(c.results[0].0, "g/f");
+        assert_eq!(c.results[1].0, "g/with_input/4");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("zzz".to_string()),
+            results: Vec::new(),
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_function("f", |b| b.iter(|| 1));
+        group.finish();
+        assert!(c.results.is_empty());
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(format_ns(12.0), "12 ns");
+        assert_eq!(format_ns(1500.0), "1.500 µs");
+        assert_eq!(format_ns(2.5e6), "2.500 ms");
+        assert_eq!(format_ns(3.0e9), "3.000 s");
+    }
+}

@@ -1,0 +1,245 @@
+//! A minimal, dependency-free, API-compatible subset of the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the tiny slice of `rand` it actually uses: `StdRng` (a deterministic
+//! xoshiro256++ generator), `SeedableRng::seed_from_u64`, `Rng::gen_range`
+//! over integer ranges, and `seq::SliceRandom::shuffle`. Determinism for a
+//! fixed seed is the property the partitioner and the scheduling policies
+//! rely on; statistical quality beyond that is best-effort.
+
+/// Low-level uniform bit generation.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire stream is a function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+mod range {
+    /// Types that can describe a sampling range for [`super::Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Draws one value uniformly from the range using the given bits.
+        fn sample(&self, bits: u64) -> T;
+        /// Panics if the range is empty.
+        fn assert_nonempty(&self);
+    }
+
+    macro_rules! impl_sample_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample(&self, bits: u64) -> $t {
+                    let span = (self.end as u128) - (self.start as u128);
+                    self.start + (bits as u128 % span) as $t
+                }
+                fn assert_nonempty(&self) {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample(&self, bits: u64) -> $t {
+                    let span = (*self.end() as u128) - (*self.start() as u128) + 1;
+                    *self.start() + (bits as u128 % span) as $t
+                }
+                fn assert_nonempty(&self) {
+                    assert!(self.start() <= self.end(), "cannot sample empty range");
+                }
+            }
+        )*};
+    }
+
+    impl_sample_range!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_sample_range_signed {
+        ($($t:ty => $u:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample(&self, bits: u64) -> $t {
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (bits as u128 % span) as i128) as $t
+                }
+                fn assert_nonempty(&self) {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample(&self, bits: u64) -> $t {
+                    let span = (*self.end() as i128 - *self.start() as i128 + 1) as u128;
+                    (*self.start() as i128 + (bits as u128 % span) as i128) as $t
+                }
+                fn assert_nonempty(&self) {
+                    assert!(self.start() <= self.end(), "cannot sample empty range");
+                }
+            }
+        )*};
+    }
+
+    impl_sample_range_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+}
+
+pub use range::SampleRange;
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`. Panics on empty ranges.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.assert_nonempty();
+        range.sample(self.next_u64())
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++,
+    /// seeded through SplitMix64 exactly as the xoshiro reference code
+    /// recommends.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related sampling, mirroring `rand::seq`.
+pub mod seq {
+    use super::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly chosen element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..20);
+            assert!((3..20).contains(&x));
+            let y = rng.gen_range(1u32..=5);
+            assert!((1..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_whole_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "50 elements should not shuffle to identity"
+        );
+    }
+
+    use super::RngCore;
+}

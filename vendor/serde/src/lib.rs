@@ -1,0 +1,185 @@
+//! A minimal, API-compatible subset of `serde`, vendored because the build
+//! environment has no access to crates.io.
+//!
+//! Real serde is a visitor-based framework; this subset collapses it to one
+//! concrete data model: [`Serialize`] converts a value into a [`Value`]
+//! tree, which `serde_json` renders. `#[derive(Serialize)]` works on structs
+//! with named fields (see the vendored `serde_derive`).
+
+// Lets the `::serde::...` paths the derive generates resolve even inside
+// this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+/// The self-describing data model every serializable value maps into.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Any number (JSON does not distinguish int from float).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_number {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_number!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_values() {
+        assert_eq!(3usize.to_value(), Value::Number(3.0));
+        assert_eq!("x".to_value(), Value::String("x".to_string()));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!(None::<u8>.to_value(), Value::Null);
+        assert_eq!(
+            vec![1u8, 2].to_value(),
+            Value::Array(vec![Value::Number(1.0), Value::Number(2.0)])
+        );
+        assert_eq!(
+            ("a".to_string(), 1.5f64).to_value(),
+            Value::Array(vec![Value::String("a".to_string()), Value::Number(1.5)])
+        );
+    }
+
+    #[test]
+    fn derive_serialize_emits_object() {
+        #[derive(Serialize)]
+        struct Point {
+            x: f64,
+            label: String,
+        }
+        let v = Point {
+            x: 1.0,
+            label: "p".to_string(),
+        }
+        .to_value();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                ("x".to_string(), Value::Number(1.0)),
+                ("label".to_string(), Value::String("p".to_string())),
+            ])
+        );
+    }
+
+    #[test]
+    fn derive_handles_pub_fields_attrs_and_nesting() {
+        #[derive(Serialize)]
+        struct Inner {
+            /// Doc comments are attributes and must be skipped.
+            pub value: usize,
+        }
+        #[derive(Serialize)]
+        struct Outer {
+            pub items: Vec<Inner>,
+        }
+        let v = Outer {
+            items: vec![Inner { value: 7 }],
+        }
+        .to_value();
+        assert_eq!(
+            v,
+            Value::Object(vec![(
+                "items".to_string(),
+                Value::Array(vec![Value::Object(vec![(
+                    "value".to_string(),
+                    Value::Number(7.0)
+                )])])
+            )])
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! `#[derive(Serialize)]` for the vendored serde subset.
+//!
+//! Written against `proc_macro` directly (no `syn`/`quote` available
+//! offline). Supports structs with named fields — the only shape the
+//! workspace derives on. Attributes (including doc comments) and
+//! visibility modifiers on fields are skipped; `#[serde(...)]` renaming is
+//! not supported. Generic structs are rejected with a compile error rather
+//! than silently producing broken impls.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by mapping each named field into an entry of
+/// a `serde::Value::Object`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility before `struct`.
+    let struct_pos = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break i,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" || id.to_string() == "union" => {
+                return Err("the vendored #[derive(Serialize)] only supports structs \
+                            with named fields"
+                    .to_string());
+            }
+            Some(_) => i += 1,
+            None => return Err("expected a struct definition".to_string()),
+        }
+    };
+
+    let name = match tokens.get(struct_pos + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected a struct name".to_string()),
+    };
+
+    // Find the brace-delimited field block; anything between the name and
+    // the braces (e.g. generics) is unsupported.
+    let mut body = None;
+    for t in &tokens[struct_pos + 2..] {
+        match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                body = Some(g.stream());
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                return Err("the vendored #[derive(Serialize)] does not support \
+                            generic structs"
+                    .to_string());
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err("the vendored #[derive(Serialize)] does not support \
+                            tuple structs"
+                    .to_string());
+            }
+            _ => {}
+        }
+    }
+    let body = body.ok_or_else(|| "expected named struct fields".to_string())?;
+
+    let fields = field_names(body)?;
+    let entries: String = fields
+        .iter()
+        .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+        .collect();
+
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{entries}])\n\
+             }}\n\
+         }}"
+    );
+    out.parse()
+        .map_err(|e| format!("serde_derive generated invalid code: {e:?}"))
+}
+
+/// Extracts field names from the token stream inside the struct braces.
+///
+/// Grammar per field: `#[attr]* [pub [(..)]] name : type`, fields separated
+/// by top-level commas. Commas inside angle brackets (`HashMap<K, V>`) are
+/// not separators, so `<`/`>` depth is tracked; commas inside groups are
+/// invisible at this level because groups are single tokens.
+fn field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut angle_depth: i32 = 0;
+    // The candidate ident most recently seen before a `:` at depth 0.
+    let mut last_ident: Option<String> = None;
+    let mut expecting_name = true;
+
+    for t in body {
+        match t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ':' if angle_depth == 0 && expecting_name => {
+                    if let Some(name) = last_ident.take() {
+                        fields.push(name);
+                        expecting_name = false;
+                    }
+                }
+                ',' if angle_depth == 0 => {
+                    expecting_name = true;
+                    last_ident = None;
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if expecting_name => {
+                let s = id.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    if fields.is_empty() {
+        return Err("struct has no named fields to serialize".to_string());
+    }
+    Ok(fields)
+}

@@ -5,13 +5,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use numadag_core::{make_policy, PolicyKind};
 use numadag_kernels::{Application, ProblemScale};
-use numadag_runtime::{ExecutionConfig, Simulator};
+use numadag_runtime::{Backend, ExecutionConfig};
 
 fn bench_applications(c: &mut Criterion) {
     let mut group = c.benchmark_group("applications");
     group.sample_size(10);
 
-    let simulator = Simulator::new(ExecutionConfig::bullion_s16());
+    let executor = Backend::Simulated.executor(ExecutionConfig::bullion_s16());
     for app in Application::all() {
         let spec = app.build(ProblemScale::Tiny, 8);
         for kind in [PolicyKind::Las, PolicyKind::RgpLas, PolicyKind::Dfifo] {
@@ -19,7 +19,7 @@ fn bench_applications(c: &mut Criterion) {
             group.bench_with_input(id, &spec, |b, spec| {
                 b.iter(|| {
                     let mut policy = make_policy(kind, spec, 1).unwrap();
-                    simulator.run(spec, policy.as_mut())
+                    executor.execute(spec, policy.as_mut())
                 });
             });
         }

@@ -4,13 +4,17 @@
 //! ```text
 //! cargo run -p numadag-bench --bin ablation --release -- [window|sockets|partitioner|all]
 //! ```
+//!
+//! The execution ablations are expressed as [`Experiment`] sweeps: the
+//! window study is one sweep whose policy axis is RGP+LAS at increasing
+//! window sizes (`rgp-las:w=N` registry labels), and the socket study is one
+//! Figure-1 sweep per machine size.
 
-use numadag_core::{make_policy_with_window, LasPolicy, PolicyKind, RgpConfig, RgpPolicy};
+use numadag_core::PolicyKind;
 use numadag_graph::{partition, PartitionConfig, PartitionScheme};
 use numadag_kernels::{Application, ProblemScale};
 use numadag_numa::Topology;
-use numadag_runtime::report::geometric_mean;
-use numadag_runtime::{ExecutionConfig, Simulator};
+use numadag_runtime::Experiment;
 use numadag_tdg::{window_to_csr, TaskWindow, WindowConfig};
 
 const SCALE: ProblemScale = ProblemScale::Small;
@@ -19,28 +23,30 @@ const SEED: u64 = 0xAB1A7E;
 /// ABL-WIN: RGP+LAS speedup over LAS as a function of the window size.
 fn window_ablation() {
     println!("\n# ABL-WIN — RGP+LAS speedup over LAS vs window size ({SCALE:?} scale)\n");
-    let topo = Topology::bullion_s16();
-    let simulator = Simulator::new(ExecutionConfig::new(topo.clone()));
     let apps = [
         Application::Jacobi,
         Application::QrFactorization,
         Application::SymmetricMatrixInversion,
     ];
     let window_sizes = [64usize, 128, 256, 512, 1024, 2048, 4096];
+    let report = Experiment::new()
+        .apps(apps)
+        .scale(SCALE)
+        .policies(window_sizes.map(PolicyKind::RgpLasWindow))
+        .seed(SEED)
+        .run();
+
     print!("| {:<22} |", "application");
     for w in window_sizes {
         print!(" {w:>6} |");
     }
     println!();
     for app in apps {
-        let spec = app.build(SCALE, topo.num_sockets());
-        let mut las = LasPolicy::new(SEED);
-        let baseline = simulator.run(&spec, &mut las);
         print!("| {:<22} |", app.label());
         for w in window_sizes {
-            let mut rgp = RgpPolicy::new(RgpConfig::default().with_seed(SEED).with_window_size(w));
-            let report = simulator.run(&spec, &mut rgp);
-            print!(" {:>6.3} |", report.speedup_over(&baseline));
+            let label = PolicyKind::RgpLasWindow(w).label();
+            let s = report.speedup_of(app.label(), &label).unwrap_or(f64::NAN);
+            print!(" {s:>6.3} |");
         }
         println!();
     }
@@ -51,27 +57,16 @@ fn socket_ablation() {
     println!("\n# ABL-SOCK — geometric-mean speedup over LAS vs socket count ({SCALE:?} scale)\n");
     println!("| sockets | DFIFO | RGP+LAS | EP |");
     for sockets in [2usize, 4, 8, 16] {
-        let topo = Topology::symmetric(sockets, 4);
-        let simulator = Simulator::new(ExecutionConfig::new(topo.clone()));
-        let mut speedups: Vec<(PolicyKind, Vec<f64>)> = vec![
-            (PolicyKind::Dfifo, Vec::new()),
-            (PolicyKind::RgpLas, Vec::new()),
-            (PolicyKind::Ep, Vec::new()),
-        ];
-        for app in Application::all() {
-            let spec = app.build(SCALE, sockets);
-            let mut las = LasPolicy::new(SEED);
-            let baseline = simulator.run(&spec, &mut las);
-            for (kind, values) in &mut speedups {
-                if let Some(mut policy) = make_policy_with_window(*kind, &spec, SEED, None) {
-                    let report = simulator.run(&spec, policy.as_mut());
-                    values.push(report.speedup_over(&baseline));
-                }
-            }
-        }
+        let report = Experiment::new()
+            .topology(Topology::symmetric(sockets, 4))
+            .apps(Application::all())
+            .scale(SCALE)
+            .policies([PolicyKind::Dfifo, PolicyKind::RgpLas, PolicyKind::Ep])
+            .seed(SEED)
+            .run();
         print!("| {sockets:>7} |");
-        for (_, values) in &speedups {
-            print!(" {:>5.3} |", geometric_mean(values));
+        for label in ["DFIFO", "RGP+LAS", "EP"] {
+            print!(" {:>5.3} |", report.geomean_of(label).unwrap_or(f64::NAN));
         }
         println!();
     }

@@ -1,14 +1,21 @@
-//! Regenerates the paper's Figure 1: speedup of DFIFO, EP and RGP+LAS over
+//! Regenerates the paper's Figure 1: speedup of the selected policies over
 //! the LAS baseline on eight task-based applications, simulated on an
 //! 8-socket × 4-core bullion S16, plus the geometric mean.
 //!
 //! Usage:
 //! ```text
-//! cargo run -p numadag-bench --bin figure1 --release [-- --scale tiny|small|full] [--json PATH]
+//! cargo run -p numadag-bench --bin figure1 --release -- \
+//!     [--scale tiny|small|full] [--policies dfifo,rgp-las:w=512,ep] \
+//!     [--backend simulated|threaded] [--reps N] [--seed N] [--json PATH]
 //! ```
+//!
+//! Policies are parsed through the `PolicyKind` registry, so any registered
+//! label works, including parameterised RGP windows (`rgp-las:w=512`).
 
-use numadag_bench::{geometric_mean_row, paper_reference, run_figure1, HarnessConfig};
+use numadag_bench::{paper_reference, run_figure1, HarnessConfig};
+use numadag_core::PolicyKind;
 use numadag_kernels::ProblemScale;
+use numadag_runtime::SweepReport;
 
 fn parse_args() -> (HarnessConfig, Option<String>) {
     let mut config = HarnessConfig::default();
@@ -29,14 +36,50 @@ fn parse_args() -> (HarnessConfig, Option<String>) {
                     }
                 };
             }
+            "--policies" => {
+                i += 1;
+                match args.get(i).map(|s| PolicyKind::parse_list(s)) {
+                    Some(Ok(kinds)) if !kinds.is_empty() => config.policies = kinds,
+                    Some(Err(e)) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                    _ => eprintln!("--policies needs a comma-separated list, keeping defaults"),
+                }
+            }
+            "--backend" => {
+                i += 1;
+                match args.get(i).map(|s| s.parse()) {
+                    Some(Ok(backend)) => config.backend = backend,
+                    Some(Err(e)) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                    None => eprintln!("--backend needs a value, keeping simulated"),
+                }
+            }
+            "--reps" => {
+                i += 1;
+                match args.get(i).map(|s| s.parse()) {
+                    Some(Ok(reps)) => config.repetitions = reps,
+                    _ => {
+                        eprintln!("--reps needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--json" => {
                 i += 1;
                 json_path = args.get(i).cloned();
             }
             "--seed" => {
                 i += 1;
-                if let Some(seed) = args.get(i).and_then(|s| s.parse().ok()) {
-                    config.seed = seed;
+                match args.get(i).map(|s| s.parse()) {
+                    Some(Ok(seed)) => config.seed = seed,
+                    _ => {
+                        eprintln!("--seed needs an unsigned integer");
+                        std::process::exit(2);
+                    }
                 }
             }
             other => eprintln!("ignoring unknown argument {other}"),
@@ -46,51 +89,62 @@ fn parse_args() -> (HarnessConfig, Option<String>) {
     (config, json_path)
 }
 
-fn main() {
-    let (config, json_path) = parse_args();
-    println!(
-        "# Figure 1 — speedup over LAS on {} ({:?} scale)\n",
-        config.topology.name(),
-        config.scale
-    );
+fn print_table(report: &SweepReport) {
+    let policies = report.policy_labels();
 
-    let rows = run_figure1(&config);
-    let policies = ["DFIFO", "RGP+LAS", "EP", "LAS"];
+    print!("| {:<22} | {:>6} |", "application", "tasks");
+    for p in &policies {
+        print!(" {p:>12} |");
+    }
+    println!(" {:>10} |", "LAS local%");
+    print!("|{}|{}|", "-".repeat(24), "-".repeat(8));
+    for _ in &policies {
+        print!("{}|", "-".repeat(14));
+    }
+    println!("{}|", "-".repeat(12));
 
-    println!(
-        "| {:<22} | {:>6} | {:>8} | {:>8} | {:>8} | {:>8} | {:>10} |",
-        "application", "tasks", "DFIFO", "RGP+LAS", "EP", "LAS", "LAS local%"
-    );
-    println!(
-        "|{}|{}|{}|{}|{}|{}|{}|",
-        "-".repeat(24),
-        "-".repeat(8),
-        "-".repeat(10),
-        "-".repeat(10),
-        "-".repeat(10),
-        "-".repeat(10),
-        "-".repeat(12)
-    );
-    for row in &rows {
-        print!("| {:<22} | {:>6} |", row.application, row.tasks);
+    for app in report.application_labels() {
+        let las_cells = report.cells_of(&app, "LAS");
+        let tasks = las_cells.first().map_or(0, |c| c.tasks);
+        let las_local = las_cells.first().map_or(0.0, |c| c.local_fraction);
+        print!("| {app:<22} | {tasks:>6} |");
         for p in &policies {
-            match row.speedup_of(p) {
-                Some(s) => print!(" {s:>8.3} |"),
-                None => print!(" {:>8} |", "n/a"),
+            match report.speedup_of(&app, p) {
+                Some(s) => print!(" {s:>12.3} |"),
+                None => print!(" {:>12} |", "n/a"),
             }
         }
-        println!(" {:>9.1}% |", 100.0 * row.las_local_fraction);
+        println!(" {:>9.1}% |", 100.0 * las_local);
     }
 
-    let gm = geometric_mean_row(&rows);
     print!("| {:<22} | {:>6} |", "Geometric mean", "");
     for p in &policies {
-        match gm.iter().find(|(label, _)| label == p) {
-            Some((_, v)) => print!(" {v:>8.3} |"),
-            None => print!(" {:>8} |", "n/a"),
+        match report.geomean_of(p) {
+            Some(v) => print!(" {v:>12.3} |"),
+            None => print!(" {:>12} |", "n/a"),
         }
     }
     println!(" {:>10} |", "");
+}
+
+fn main() {
+    let (config, json_path) = parse_args();
+    println!(
+        "# Figure 1 — speedup over LAS on {} ({:?} scale, {} backend)\n",
+        config.topology.name(),
+        config.scale,
+        config.backend.label(),
+    );
+
+    let report = run_figure1(&config);
+    print_table(&report);
+
+    if !report.skipped.is_empty() {
+        println!(
+            "\nskipped (policy not applicable): {}",
+            report.skipped.join(", ")
+        );
+    }
 
     println!("\n## Paper reference points (read off the published Figure 1)\n");
     for (policy, app, value) in paper_reference() {
@@ -98,29 +152,21 @@ fn main() {
     }
 
     println!("\n## Detailed per-policy metrics\n");
-    for row in &rows {
-        for r in &row.results {
-            println!(
-                "  {:<22} {:<8} makespan={:>14.0} ns  speedup={:>6.3}  local={:>5.1}%  imbalance={:>5.2}  stolen={:>5.1}%",
-                row.application,
-                r.policy,
-                r.makespan_ns,
-                r.speedup_vs_las,
-                100.0 * r.local_fraction,
-                r.load_imbalance,
-                100.0 * r.steal_fraction
-            );
-        }
+    for cell in &report.cells {
+        println!(
+            "  {:<22} {:<14} makespan={:>14.0} ns  speedup={:>6.3}  local={:>5.1}%  imbalance={:>5.2}  stolen={:>5.1}%",
+            cell.application,
+            cell.policy,
+            cell.makespan_ns,
+            cell.speedup_vs_baseline,
+            100.0 * cell.local_fraction,
+            cell.load_imbalance,
+            100.0 * cell.steal_fraction
+        );
     }
 
     if let Some(path) = json_path {
-        let payload = serde_json::json!({
-            "machine": config.topology.name(),
-            "scale": format!("{:?}", config.scale),
-            "rows": rows,
-            "geometric_mean": gm.iter().map(|(l, v)| (l.clone(), v)).collect::<Vec<_>>(),
-        });
-        match std::fs::write(&path, serde_json::to_string_pretty(&payload).unwrap()) {
+        match std::fs::write(&path, report.to_json_string()) {
             Ok(()) => println!("\nwrote {path}"),
             Err(e) => eprintln!("could not write {path}: {e}"),
         }

@@ -1,11 +1,14 @@
-//! Shared harness: build the suite, run every policy, compute speedups.
+//! Shared harness: the Figure-1 sweep expressed as an [`Experiment`], plus
+//! the paper's reference numbers.
+//!
+//! All sweep mechanics (baseline runs, speedups, geometric means, JSON
+//! serialization) live in [`numadag_runtime::Experiment`]; this module only
+//! binds the paper's evaluation setup (machine, suite, policy set) to it.
 
-use numadag_core::{make_policy_with_window, PolicyKind};
+use numadag_core::PolicyKind;
 use numadag_kernels::{Application, ProblemScale};
 use numadag_numa::Topology;
-use numadag_runtime::report::geometric_mean;
-use numadag_runtime::{ExecutionConfig, ExecutionReport, Simulator};
-use serde::Serialize;
+use numadag_runtime::{Backend, Experiment, SweepReport};
 
 /// Configuration of a harness run.
 #[derive(Clone, Debug)]
@@ -16,10 +19,13 @@ pub struct HarnessConfig {
     pub scale: ProblemScale,
     /// Seed for all seeded components.
     pub seed: u64,
-    /// RGP window size (`None` = default 1024).
-    pub window_size: Option<usize>,
-    /// Policies to evaluate (the baseline LAS is always run).
+    /// Policies to evaluate (the baseline LAS is always run and reported
+    /// last). RGP window sizes are encoded in the kinds (`rgp-las:w=512`).
     pub policies: Vec<PolicyKind>,
+    /// Execution backend.
+    pub backend: Backend,
+    /// Repetitions per cell (only meaningful for the threaded backend).
+    pub repetitions: usize,
 }
 
 impl Default for HarnessConfig {
@@ -28,120 +34,30 @@ impl Default for HarnessConfig {
             topology: Topology::bullion_s16(),
             scale: ProblemScale::Full,
             seed: 0xF1617E,
-            window_size: None,
             policies: vec![PolicyKind::Dfifo, PolicyKind::RgpLas, PolicyKind::Ep],
+            backend: Backend::Simulated,
+            repetitions: 1,
         }
     }
 }
 
-/// The result of one policy on one application.
-#[derive(Clone, Debug, Serialize)]
-pub struct ApplicationResult {
-    /// Policy label.
-    pub policy: String,
-    /// Simulated makespan (ns).
-    pub makespan_ns: f64,
-    /// Speedup over the LAS baseline.
-    pub speedup_vs_las: f64,
-    /// Fraction of bytes served from the local NUMA node.
-    pub local_fraction: f64,
-    /// Load imbalance (max/mean busy time over sockets).
-    pub load_imbalance: f64,
-    /// Fraction of tasks stolen across sockets.
-    pub steal_fraction: f64,
+/// The Figure-1 experiment for a harness configuration: the whole suite
+/// under LAS (baseline) plus the configured policies.
+pub fn figure1_experiment(config: &HarnessConfig) -> Experiment {
+    Experiment::new()
+        .topology(config.topology.clone())
+        .apps(Application::all())
+        .scale(config.scale)
+        .policies(config.policies.iter().copied())
+        .baseline(PolicyKind::Las)
+        .backend(config.backend)
+        .repetitions(config.repetitions)
+        .seed(config.seed)
 }
 
-/// One row of Figure 1: an application and the results of every policy.
-#[derive(Clone, Debug, Serialize)]
-pub struct Figure1Row {
-    /// Application label (as in the paper).
-    pub application: String,
-    /// Number of tasks in the instance.
-    pub tasks: usize,
-    /// LAS baseline makespan (ns).
-    pub las_makespan_ns: f64,
-    /// LAS local fraction (for the traffic analysis).
-    pub las_local_fraction: f64,
-    /// Per-policy results.
-    pub results: Vec<ApplicationResult>,
-}
-
-impl Figure1Row {
-    /// The speedup of `policy` over LAS in this row, if that policy was run.
-    pub fn speedup_of(&self, policy: &str) -> Option<f64> {
-        self.results
-            .iter()
-            .find(|r| r.policy == policy)
-            .map(|r| r.speedup_vs_las)
-    }
-}
-
-fn result_from(report: &ExecutionReport, baseline: &ExecutionReport) -> ApplicationResult {
-    ApplicationResult {
-        policy: report.policy.clone(),
-        makespan_ns: report.makespan_ns,
-        speedup_vs_las: report.speedup_over(baseline),
-        local_fraction: report.local_fraction(),
-        load_imbalance: report.load_imbalance(),
-        steal_fraction: report.steal_fraction(),
-    }
-}
-
-/// Runs the Figure-1 experiment: every application under LAS (baseline) and
-/// the configured policies, returning one row per application.
-pub fn run_figure1(config: &HarnessConfig) -> Vec<Figure1Row> {
-    let num_sockets = config.topology.num_sockets();
-    let simulator = Simulator::new(ExecutionConfig::new(config.topology.clone()));
-    let mut rows = Vec::new();
-    for app in Application::all() {
-        let spec = app.build(config.scale, num_sockets);
-        let mut las = make_policy_with_window(PolicyKind::Las, &spec, config.seed, None)
-            .expect("LAS always builds");
-        let baseline = simulator.run(&spec, las.as_mut());
-        let mut results = Vec::new();
-        for &kind in &config.policies {
-            let Some(mut policy) =
-                make_policy_with_window(kind, &spec, config.seed, config.window_size)
-            else {
-                continue;
-            };
-            let report = simulator.run(&spec, policy.as_mut());
-            results.push(result_from(&report, &baseline));
-        }
-        // The baseline itself is reported last (speedup 1.0), as in the plot.
-        results.push(result_from(&baseline, &baseline));
-        rows.push(Figure1Row {
-            application: app.label().to_string(),
-            tasks: spec.num_tasks(),
-            las_makespan_ns: baseline.makespan_ns,
-            las_local_fraction: baseline.local_fraction(),
-            results,
-        });
-    }
-    rows
-}
-
-/// The geometric-mean row of Figure 1 for a set of rows: for every policy
-/// label appearing in the rows, the geometric mean of its speedups.
-pub fn geometric_mean_row(rows: &[Figure1Row]) -> Vec<(String, f64)> {
-    let mut labels: Vec<String> = Vec::new();
-    for row in rows {
-        for r in &row.results {
-            if !labels.contains(&r.policy) {
-                labels.push(r.policy.clone());
-            }
-        }
-    }
-    labels
-        .into_iter()
-        .map(|label| {
-            let speedups: Vec<f64> = rows
-                .iter()
-                .filter_map(|row| row.speedup_of(&label))
-                .collect();
-            (label, geometric_mean(&speedups))
-        })
-        .collect()
+/// Runs the Figure-1 experiment and returns the structured sweep report.
+pub fn run_figure1(config: &HarnessConfig) -> SweepReport {
+    figure1_experiment(config).run()
 }
 
 /// The values the paper reports (read off Figure 1) where they are legible:
@@ -165,42 +81,40 @@ mod tests {
 
     fn tiny_config() -> HarnessConfig {
         HarnessConfig {
-            topology: Topology::bullion_s16(),
             scale: ProblemScale::Tiny,
             ..HarnessConfig::default()
         }
     }
 
     #[test]
-    fn figure1_produces_eight_rows_with_all_policies() {
-        let rows = run_figure1(&tiny_config());
-        assert_eq!(rows.len(), 8);
-        for row in &rows {
-            assert!(row.tasks > 0);
-            assert!(row.las_makespan_ns > 0.0);
-            // DFIFO, RGP+LAS, EP + the LAS baseline itself.
-            assert_eq!(row.results.len(), 4);
-            let las = row.results.last().unwrap();
-            assert_eq!(las.policy, "LAS");
-            assert!((las.speedup_vs_las - 1.0).abs() < 1e-12);
+    fn figure1_covers_eight_applications_with_all_policies() {
+        let report = run_figure1(&tiny_config());
+        assert_eq!(report.application_labels().len(), 8);
+        // DFIFO, RGP+LAS, EP + the LAS baseline itself, baseline last.
+        assert_eq!(
+            report.policy_labels(),
+            vec!["DFIFO", "RGP+LAS", "EP", "LAS"]
+        );
+        assert!(report.skipped.is_empty());
+        for app in report.application_labels() {
+            let las = report.speedup_of(&app, "LAS").unwrap();
+            assert!((las - 1.0).abs() < 1e-12, "{app}: LAS speedup {las}");
+            for cell in report.cells_of(&app, "LAS") {
+                assert!(cell.tasks > 0);
+                assert!(cell.makespan_ns > 0.0);
+            }
         }
     }
 
     #[test]
-    fn geometric_mean_row_covers_every_policy() {
-        let rows = run_figure1(&tiny_config());
-        let gm = geometric_mean_row(&rows);
-        let labels: Vec<&str> = gm.iter().map(|(l, _)| l.as_str()).collect();
-        assert!(labels.contains(&"DFIFO"));
-        assert!(labels.contains(&"RGP+LAS"));
-        assert!(labels.contains(&"EP"));
-        assert!(labels.contains(&"LAS"));
-        for (label, value) in &gm {
-            assert!(*value > 0.0, "{label} has non-positive geomean");
+    fn geometric_means_cover_every_policy() {
+        let report = run_figure1(&tiny_config());
+        for label in ["DFIFO", "RGP+LAS", "EP", "LAS"] {
+            let gm = report.geomean_of(label).expect(label);
+            assert!(gm > 0.0, "{label} has non-positive geomean");
         }
         // LAS against itself is exactly 1.
-        let las = gm.iter().find(|(l, _)| l == "LAS").unwrap();
-        assert!((las.1 - 1.0).abs() < 1e-9);
+        assert!((report.geomean_of("LAS").unwrap() - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -13,6 +13,4 @@
 
 pub mod harness;
 
-pub use harness::{
-    geometric_mean_row, paper_reference, run_figure1, ApplicationResult, Figure1Row, HarnessConfig,
-};
+pub use harness::{figure1_experiment, paper_reference, run_figure1, HarnessConfig};

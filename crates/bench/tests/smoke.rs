@@ -27,10 +27,46 @@ fn figure1_runs_at_tiny_scale_and_writes_json() {
     assert!(stdout.contains("RGP+LAS"), "missing the paper's policy");
 
     let json = std::fs::read_to_string(&json_path).expect("--json must write the file");
-    for key in ["\"machine\"", "\"scale\"", "\"rows\"", "\"geometric_mean\""] {
+    for key in [
+        "\"machine\"",
+        "\"backend\"",
+        "\"baseline\"",
+        "\"cells\"",
+        "\"aggregates\"",
+        "\"speedup_vs_baseline\"",
+    ] {
         assert!(json.contains(key), "JSON export missing {key}: {json}");
     }
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn figure1_accepts_registry_policy_labels() {
+    // Policies come from the CLI through the PolicyKind registry, including
+    // a parameterised RGP window.
+    let out = Command::new(env!("CARGO_BIN_EXE_figure1"))
+        .args(["--scale", "tiny", "--policies", "dfifo,rgp-las:w=256"])
+        .output()
+        .expect("figure1 must spawn");
+    assert!(
+        out.status.success(),
+        "figure1 exited with {:?}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("RGP+LAS:w=256"),
+        "windowed policy column missing"
+    );
+
+    // A bogus policy must fail fast with the registry's error message.
+    let out = Command::new(env!("CARGO_BIN_EXE_figure1"))
+        .args(["--scale", "tiny", "--policies", "bogus"])
+        .output()
+        .expect("figure1 must spawn");
+    assert!(!out.status.success(), "bogus policy must be rejected");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown policy"));
 }
 
 #[test]

@@ -1,5 +1,14 @@
-//! Convenience construction of policies by name, used by the benchmark
-//! harness and the examples.
+//! The policy registry: every scheduling policy the workspace implements,
+//! addressable by a stable, string-parseable label.
+//!
+//! [`PolicyKind`] is the single source of truth for "which policies exist".
+//! Each kind has a canonical [`PolicyKind::label`] that round-trips through
+//! [`PolicyKind::from_str`], so benchmark binaries, examples and tests can
+//! select policies from CLI arguments or config files instead of hard-coded
+//! match arms. Parameterised policies encode their parameters in the label
+//! (e.g. `RGP+LAS:w=512` for RGP+LAS with a 512-task window).
+
+use std::str::FromStr;
 
 use numadag_tdg::TaskGraphSpec;
 
@@ -10,7 +19,8 @@ use crate::policy::SchedulingPolicy;
 use crate::rgp::{Propagation, RgpConfig, RgpPolicy};
 
 /// The scheduling policies evaluated in the paper (plus the RGP round-robin
-/// propagation ablation).
+/// propagation ablation). The `…Window` variants carry an explicit RGP
+/// window size; the plain `Rgp…` variants use the default window.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
     /// Distributed FIFO.
@@ -23,7 +33,28 @@ pub enum PolicyKind {
     RgpLas,
     /// Runtime graph partitioning with round-robin propagation (ablation).
     RgpRr,
+    /// RGP+LAS with an explicit window size.
+    RgpLasWindow(usize),
+    /// RGP+RR with an explicit window size.
+    RgpRrWindow(usize),
 }
+
+/// Error returned when a policy label cannot be parsed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsePolicyError(String);
+
+impl std::fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown policy {:?} (expected one of: dfifo, ep, las, rgp-las, rgp-rr, \
+             optionally with an RGP window suffix like rgp-las:w=512)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
 
 impl PolicyKind {
     /// The four policies of the paper's Figure 1, in its plotting order.
@@ -36,7 +67,8 @@ impl PolicyKind {
         ]
     }
 
-    /// All implemented policies.
+    /// All registered base policies (windowed RGP variants are parameterised
+    /// spellings of `RgpLas`/`RgpRr`, not separate registry entries).
     pub fn all() -> [PolicyKind; 5] {
         [
             PolicyKind::Dfifo,
@@ -47,25 +79,110 @@ impl PolicyKind {
         ]
     }
 
-    /// The display name used in reports (matches the paper's labels).
-    pub fn label(&self) -> &'static str {
+    /// The canonical label: the paper's display name, with any parameters
+    /// appended (`RGP+LAS:w=512`). Round-trips through [`PolicyKind::from_str`].
+    pub fn label(&self) -> String {
+        match self {
+            PolicyKind::RgpLasWindow(w) => format!("RGP+LAS:w={w}"),
+            PolicyKind::RgpRrWindow(w) => format!("RGP+RR:w={w}"),
+            other => other.base_label().to_string(),
+        }
+    }
+
+    /// The display name used in reports (matches the paper's labels); the
+    /// window parameter, if any, is dropped.
+    pub fn base_label(&self) -> &'static str {
         match self {
             PolicyKind::Dfifo => "DFIFO",
             PolicyKind::Ep => "EP",
             PolicyKind::Las => "LAS",
-            PolicyKind::RgpLas => "RGP+LAS",
-            PolicyKind::RgpRr => "RGP+RR",
+            PolicyKind::RgpLas | PolicyKind::RgpLasWindow(_) => "RGP+LAS",
+            PolicyKind::RgpRr | PolicyKind::RgpRrWindow(_) => "RGP+RR",
         }
+    }
+
+    /// The explicit RGP window size encoded in this kind, if any.
+    pub fn window(&self) -> Option<usize> {
+        match self {
+            PolicyKind::RgpLasWindow(w) | PolicyKind::RgpRrWindow(w) => Some(*w),
+            _ => None,
+        }
+    }
+
+    /// This kind with the given explicit RGP window. Returns `None` for
+    /// policies that have no window parameter.
+    pub fn with_window(&self, window: usize) -> Option<PolicyKind> {
+        match self {
+            PolicyKind::RgpLas | PolicyKind::RgpLasWindow(_) => {
+                Some(PolicyKind::RgpLasWindow(window))
+            }
+            PolicyKind::RgpRr | PolicyKind::RgpRrWindow(_) => Some(PolicyKind::RgpRrWindow(window)),
+            _ => None,
+        }
+    }
+
+    /// Parses a comma-separated list of policy labels (CLI convenience).
+    pub fn parse_list(s: &str) -> Result<Vec<PolicyKind>, ParsePolicyError> {
+        s.split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(PolicyKind::from_str)
+            .collect()
+    }
+}
+
+impl FromStr for PolicyKind {
+    type Err = ParsePolicyError;
+
+    /// Parses a policy label. Matching is case-insensitive and treats `+`,
+    /// `-`, `_` and spaces as the same separator, so `RGP+LAS`, `rgp-las` and
+    /// `rgp_las` all name the same policy. An optional `:`-separated
+    /// parameter list selects the RGP window: `rgp-las:w=512` (also
+    /// `window=512`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParsePolicyError(s.to_string());
+        let normalized = s.trim().to_ascii_lowercase().replace(['+', '_', ' '], "-");
+        let (base, params) = match normalized.split_once(':') {
+            Some((b, p)) => (b, Some(p)),
+            None => (normalized.as_str(), None),
+        };
+        let mut window = None;
+        if let Some(params) = params {
+            for param in params.split(',').filter(|p| !p.is_empty()) {
+                match param.split_once('=') {
+                    Some(("w" | "window", value)) => {
+                        let w: usize = value.parse().map_err(|_| err())?;
+                        if w == 0 {
+                            return Err(err());
+                        }
+                        window = Some(w);
+                    }
+                    _ => return Err(err()),
+                }
+            }
+        }
+        let kind = match (base, window) {
+            ("dfifo", None) => PolicyKind::Dfifo,
+            ("ep", None) => PolicyKind::Ep,
+            ("las", None) => PolicyKind::Las,
+            ("rgp-las" | "rgplas", None) => PolicyKind::RgpLas,
+            ("rgp-rr" | "rgprr", None) => PolicyKind::RgpRr,
+            ("rgp-las" | "rgplas", Some(w)) => PolicyKind::RgpLasWindow(w),
+            ("rgp-rr" | "rgprr", Some(w)) => PolicyKind::RgpRrWindow(w),
+            _ => return Err(err()),
+        };
+        Ok(kind)
     }
 }
 
 impl std::fmt::Display for PolicyKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.label())
+        f.write_str(&self.label())
     }
 }
 
-/// Instantiates a policy for a workload.
+/// Instantiates a policy for a workload. RGP kinds use the window size
+/// encoded in the kind (default window when none is encoded).
 ///
 /// Returns `None` only for [`PolicyKind::Ep`] when the workload does not
 /// define an expert placement.
@@ -74,11 +191,12 @@ pub fn make_policy(
     spec: &TaskGraphSpec,
     seed: u64,
 ) -> Option<Box<dyn SchedulingPolicy>> {
-    make_policy_with_window(kind, spec, seed, None)
+    make_policy_with_window(kind, spec, seed, kind.window())
 }
 
 /// Like [`make_policy`] but with an explicit RGP window size (ignored by the
-/// non-RGP policies). `None` uses the default window.
+/// non-RGP policies) that overrides any window encoded in `kind`. `None`
+/// uses the default window.
 pub fn make_policy_with_window(
     kind: PolicyKind,
     spec: &TaskGraphSpec,
@@ -89,7 +207,7 @@ pub fn make_policy_with_window(
         let mut cfg = RgpConfig::default()
             .with_seed(seed)
             .with_propagation(propagation);
-        if let Some(w) = window_size {
+        if let Some(w) = window_size.or(kind.window()) {
             cfg = cfg.with_window_size(w);
         }
         cfg
@@ -98,8 +216,12 @@ pub fn make_policy_with_window(
         PolicyKind::Dfifo => Box::new(DfifoPolicy::new()) as Box<dyn SchedulingPolicy>,
         PolicyKind::Ep => Box::new(EpPolicy::from_spec(spec)?),
         PolicyKind::Las => Box::new(LasPolicy::new(seed)),
-        PolicyKind::RgpLas => Box::new(RgpPolicy::new(rgp_config(Propagation::Las))),
-        PolicyKind::RgpRr => Box::new(RgpPolicy::new(rgp_config(Propagation::RoundRobin))),
+        PolicyKind::RgpLas | PolicyKind::RgpLasWindow(_) => {
+            Box::new(RgpPolicy::new(rgp_config(Propagation::Las)))
+        }
+        PolicyKind::RgpRr | PolicyKind::RgpRrWindow(_) => {
+            Box::new(RgpPolicy::new(rgp_config(Propagation::RoundRobin)))
+        }
     })
 }
 
@@ -127,8 +249,81 @@ mod tests {
         assert_eq!(PolicyKind::Dfifo.label(), "DFIFO");
         assert_eq!(PolicyKind::RgpLas.label(), "RGP+LAS");
         assert_eq!(PolicyKind::Las.to_string(), "LAS");
+        assert_eq!(PolicyKind::RgpLasWindow(512).label(), "RGP+LAS:w=512");
+        assert_eq!(PolicyKind::RgpRrWindow(64).base_label(), "RGP+RR");
         assert_eq!(PolicyKind::figure1().len(), 4);
         assert_eq!(PolicyKind::all().len(), 5);
+    }
+
+    #[test]
+    fn every_registered_label_round_trips() {
+        for kind in PolicyKind::all() {
+            assert_eq!(kind.label().parse::<PolicyKind>(), Ok(kind), "{kind}");
+        }
+        for w in [1usize, 64, 512, 4096] {
+            for kind in [PolicyKind::RgpLasWindow(w), PolicyKind::RgpRrWindow(w)] {
+                assert_eq!(kind.label().parse::<PolicyKind>(), Ok(kind), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn parsing_is_forgiving_about_case_and_separators() {
+        for s in ["rgp-las", "RGP+LAS", "Rgp_Las", " rgp las "] {
+            assert_eq!(s.parse::<PolicyKind>(), Ok(PolicyKind::RgpLas), "{s:?}");
+        }
+        assert_eq!(
+            "rgp-las:window=256".parse::<PolicyKind>(),
+            Ok(PolicyKind::RgpLasWindow(256))
+        );
+        assert_eq!(
+            "RGP+RR:w=128".parse::<PolicyKind>(),
+            Ok(PolicyKind::RgpRrWindow(128))
+        );
+        assert_eq!("dfifo".parse::<PolicyKind>(), Ok(PolicyKind::Dfifo));
+    }
+
+    #[test]
+    fn bad_labels_are_rejected() {
+        for s in [
+            "",
+            "fifo",
+            "las:w=2",
+            "rgp-las:w=0",
+            "rgp-las:w=abc",
+            "rgp-las:x=1",
+        ] {
+            assert!(s.parse::<PolicyKind>().is_err(), "{s:?} should not parse");
+        }
+        let msg = "nope".parse::<PolicyKind>().unwrap_err().to_string();
+        assert!(msg.contains("nope"));
+    }
+
+    #[test]
+    fn parse_list_splits_on_commas() {
+        let kinds = PolicyKind::parse_list("dfifo, rgp-las:w=512, ep").unwrap();
+        assert_eq!(
+            kinds,
+            vec![
+                PolicyKind::Dfifo,
+                PolicyKind::RgpLasWindow(512),
+                PolicyKind::Ep
+            ]
+        );
+        assert!(PolicyKind::parse_list("dfifo,bogus").is_err());
+    }
+
+    #[test]
+    fn with_window_parameterises_rgp_only() {
+        assert_eq!(
+            PolicyKind::RgpLas.with_window(64),
+            Some(PolicyKind::RgpLasWindow(64))
+        );
+        assert_eq!(
+            PolicyKind::RgpRrWindow(8).with_window(16),
+            Some(PolicyKind::RgpRrWindow(16))
+        );
+        assert_eq!(PolicyKind::Las.with_window(64), None);
     }
 
     #[test]
@@ -138,6 +333,9 @@ mod tests {
             let p = make_policy(kind, &s, 42).expect("policy should build");
             assert_eq!(p.name(), kind.label());
         }
+        // Windowed kinds build the same named policy with the window applied.
+        let p = make_policy(PolicyKind::RgpLasWindow(1), &s, 42).unwrap();
+        assert_eq!(p.name(), "RGP+LAS");
     }
 
     #[test]
@@ -152,6 +350,9 @@ mod tests {
         let s = spec(true);
         // Just exercises the code path; behaviour is covered in rgp tests.
         let p = make_policy_with_window(PolicyKind::RgpLas, &s, 3, Some(1)).unwrap();
+        assert_eq!(p.name(), "RGP+LAS");
+        // An explicit override wins over the kind's embedded window.
+        let p = make_policy_with_window(PolicyKind::RgpLasWindow(4096), &s, 3, Some(1)).unwrap();
         assert_eq!(p.name(), "RGP+LAS");
     }
 }

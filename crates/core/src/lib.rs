@@ -36,7 +36,7 @@ pub mod weights;
 
 pub use dfifo::DfifoPolicy;
 pub use ep::EpPolicy;
-pub use factory::{make_policy, make_policy_with_window, PolicyKind};
+pub use factory::{make_policy, make_policy_with_window, ParsePolicyError, PolicyKind};
 pub use las::LasPolicy;
 pub use policy::{DataLocator, MemoryLocator, SchedulingPolicy};
 pub use rgp::{Propagation, RgpConfig, RgpPolicy};

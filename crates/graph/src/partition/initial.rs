@@ -10,6 +10,13 @@ use crate::csr::CsrGraph;
 /// weight reaches `target_left`, preferring at each step the candidate most
 /// strongly connected to the growing side (greedy graph growing, GGG).
 ///
+/// `slack` is the fraction of `target_left` the split may deviate by: the
+/// left side always grows to at least `target_left * (1 - slack)`, and keeps
+/// growing up to `target_left * (1 + slack)` as long as the best candidate
+/// still *reduces* the cut (positive gain). A natural cluster boundary just
+/// past the proportional target is therefore respected instead of sliced
+/// through. `slack = 0.0` reproduces the exact-target behaviour.
+///
 /// Returns the `(left, right)` vertex sets. Both are non-empty as long as
 /// `vertices` has at least two elements and `target_left` is positive and
 /// below the subset weight.
@@ -17,6 +24,7 @@ pub fn greedy_bisection(
     graph: &CsrGraph,
     vertices: &[u32],
     target_left: i64,
+    slack: f64,
     rng: &mut StdRng,
 ) -> (Vec<u32>, Vec<u32>) {
     let n_total = graph.num_vertices();
@@ -29,6 +37,11 @@ pub fn greedy_bisection(
     }
     let total: i64 = vertices.iter().map(|&v| graph.vertex_weight(v)).sum();
     let target_left = target_left.clamp(1, total - 1);
+    let slack = slack.max(0.0);
+    let min_left = ((target_left as f64) * (1.0 - slack)).floor() as i64;
+    let min_left = min_left.clamp(1, target_left);
+    let max_left = ((target_left as f64) * (1.0 + slack)).ceil() as i64;
+    let max_left = max_left.clamp(target_left, total - 1);
 
     let mut in_left = vec![false; n_total];
     let mut left_weight = 0i64;
@@ -37,7 +50,7 @@ pub fn greedy_bisection(
     // candidates (subset vertices not yet in left).
     let mut gain = vec![i64::MIN; n_total];
 
-    while left_weight < target_left {
+    while left_weight < max_left {
         // Pick the best candidate among subset vertices adjacent to the left
         // side; if none exists (left is empty or its component is exhausted),
         // seed with a pseudo-peripheral vertex of the remaining subset.
@@ -49,9 +62,15 @@ pub fn greedy_bisection(
                 None => break,
             },
         };
-        // Adding v to the left would overshoot badly? Accept anyway — the
-        // refinement phase restores balance; stopping early risks an empty
-        // side.
+        // Inside the slack band the mandatory growth is done: only keep
+        // absorbing vertices that strictly reduce the cut (a fresh seed of a
+        // disconnected component never does).
+        if left_weight >= min_left && gain[v as usize] <= 0 {
+            break;
+        }
+        // Adding v to the left may overshoot the target slightly; the
+        // refinement phase restores exact balance; stopping early risks an
+        // empty side.
         in_left[v as usize] = true;
         left_weight += graph.vertex_weight(v);
         left.push(v);
@@ -150,19 +169,27 @@ fn seed_vertex(
 }
 
 /// Recursive bisection into `k` parts. Part ids are contiguous from 0.
+///
+/// The `imbalance` budget is honoured: it is split evenly across the
+/// ~`log2(k)` bisection levels, and each greedy bisection may deviate from
+/// its proportional target by that per-level slack when doing so cuts fewer
+/// edges. The product of per-level deviations stays within the overall
+/// budget (refinement then tightens balance further).
 pub fn recursive_bisection(
     graph: &CsrGraph,
     k: usize,
-    // Kept in the signature so callers can pass `config.imbalance`; the
-    // greedy bisection currently balances to the exact proportional target
-    // and leaves slack enforcement to the refinement phase.
-    _imbalance: f64,
+    imbalance: f64,
     rng: &mut StdRng,
 ) -> Vec<u32> {
     let n = graph.num_vertices();
     let mut assignment = vec![0u32; n];
     let vertices: Vec<u32> = (0..n as u32).collect();
-    rb_recurse(graph, &vertices, k, 0, rng, &mut assignment);
+    // Distribute the budget over the bisection levels so the compounded
+    // per-level deviations stay within `imbalance` overall:
+    // (1 + slack)^levels = 1 + imbalance.
+    let levels = k.next_power_of_two().trailing_zeros().max(1) as f64;
+    let slack = (1.0 + imbalance.max(0.0)).powf(1.0 / levels) - 1.0;
+    rb_recurse(graph, &vertices, k, 0, slack, rng, &mut assignment);
     assignment
 }
 
@@ -171,6 +198,7 @@ fn rb_recurse(
     vertices: &[u32],
     k: usize,
     part_offset: u32,
+    slack: f64,
     rng: &mut StdRng,
     assignment: &mut [u32],
 ) {
@@ -183,7 +211,7 @@ fn rb_recurse(
     let k_left = k.div_ceil(2);
     let total: i64 = vertices.iter().map(|&v| graph.vertex_weight(v)).sum();
     let target_left = ((total as f64) * (k_left as f64) / (k as f64)).round() as i64;
-    let (left, right) = greedy_bisection(graph, vertices, target_left, rng);
+    let (left, right) = greedy_bisection(graph, vertices, target_left, slack, rng);
     // Guard against degenerate splits on pathological graphs: fall back to a
     // weight-balanced split of the vertex list.
     let (left, right) = if left.is_empty() || right.is_empty() {
@@ -191,12 +219,13 @@ fn rb_recurse(
     } else {
         (left, right)
     };
-    rb_recurse(graph, &left, k_left, part_offset, rng, assignment);
+    rb_recurse(graph, &left, k_left, part_offset, slack, rng, assignment);
     rb_recurse(
         graph,
         &right,
         k - k_left,
         part_offset + k_left as u32,
+        slack,
         rng,
         assignment,
     );
@@ -283,7 +312,7 @@ mod tests {
     fn greedy_bisection_splits_clusters() {
         let g = generators::two_clusters(6, 20);
         let vertices: Vec<u32> = (0..12).collect();
-        let (left, right) = greedy_bisection(&g, &vertices, 6, &mut rng());
+        let (left, right) = greedy_bisection(&g, &vertices, 6, 0.0, &mut rng());
         assert_eq!(left.len(), 6);
         assert_eq!(right.len(), 6);
         // The left side must be exactly one of the clusters.
@@ -297,10 +326,63 @@ mod tests {
         let g = generators::path(10);
         // Bisect only the even vertices (no edges among them).
         let vertices: Vec<u32> = (0..10).filter(|v| v % 2 == 0).collect();
-        let (left, right) = greedy_bisection(&g, &vertices, 2, &mut rng());
+        let (left, right) = greedy_bisection(&g, &vertices, 2, 0.0, &mut rng());
         assert_eq!(left.len() + right.len(), 5);
         assert!(!left.is_empty());
         assert!(!right.is_empty());
+    }
+
+    #[test]
+    fn slack_lets_the_split_settle_on_a_cluster_boundary() {
+        // Two 6-vertex clusters joined by one light edge. An exact target of
+        // 5 forces the split through a cluster (cutting heavy edges); a 20%
+        // slack lets the left side absorb the 6th vertex and cut only the
+        // light bridge.
+        let g = generators::two_clusters(6, 20);
+        let vertices: Vec<u32> = (0..12).collect();
+        let (exact, _) = greedy_bisection(&g, &vertices, 5, 0.0, &mut rng());
+        assert_eq!(exact.len(), 5, "exact target must stop at weight 5");
+        let (loose, right) = greedy_bisection(&g, &vertices, 5, 0.2, &mut rng());
+        assert_eq!(loose.len(), 6, "slack should settle on the cluster");
+        let mut l = loose.clone();
+        l.sort_unstable();
+        assert!(l == (0..6).collect::<Vec<u32>>() || l == (6..12).collect::<Vec<u32>>());
+        assert_eq!(right.len(), 6);
+    }
+
+    #[test]
+    fn slack_does_not_absorb_cut_increasing_vertices() {
+        // A uniform path has no cluster boundary: every extra vertex beyond
+        // the target has non-positive gain, so slack must not grow the left
+        // side past the mandatory minimum.
+        let g = generators::path(10);
+        let vertices: Vec<u32> = (0..10).collect();
+        let (left, _) = greedy_bisection(&g, &vertices, 5, 0.4, &mut rng());
+        // min_left = 3, and past it only positive-gain vertices are taken;
+        // on a path the frontier vertex always has gain <= 0 once min_left
+        // is reached.
+        assert!(left.len() <= 5, "slack over-grew the left side: {left:?}");
+        assert!(!left.is_empty());
+    }
+
+    #[test]
+    fn recursive_bisection_stays_within_the_imbalance_budget() {
+        let g = generators::grid_2d(16, 16, 1);
+        for k in [2usize, 4, 8] {
+            for imbalance in [0.05f64, 0.10, 0.30] {
+                let a = recursive_bisection(&g, k, imbalance, &mut rng());
+                let p = Partition::from_assignment(a, k);
+                let weights = metrics::part_weights(&g, &p);
+                let ideal = g.total_vertex_weight() as f64 / k as f64;
+                let max = *weights.iter().max().unwrap() as f64;
+                // One unit of integer-rounding overshoot per bisection level.
+                let levels = (k.next_power_of_two().trailing_zeros().max(1)) as f64;
+                assert!(
+                    max <= ideal * (1.0 + imbalance) + levels,
+                    "k={k} imbalance={imbalance}: max part {max} vs ideal {ideal}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -354,7 +436,7 @@ mod tests {
     #[test]
     fn single_vertex_subset() {
         let g = generators::path(3);
-        let (l, r) = greedy_bisection(&g, &[1], 1, &mut rng());
+        let (l, r) = greedy_bisection(&g, &[1], 1, 0.1, &mut rng());
         assert_eq!(l, vec![1]);
         assert!(r.is_empty());
     }

@@ -1,0 +1,75 @@
+//! The [`Executor`] trait: one execution interface for every backend.
+//!
+//! The paper's claim is validated by running the same (application × scale ×
+//! policy) matrix through two backends — the deterministic discrete-event
+//! [`crate::Simulator`] and the real [`crate::ThreadedExecutor`]. Both
+//! implement this trait, so harnesses, examples and tests are written once
+//! against `dyn Executor` (usually via [`crate::Experiment`]) and choose the
+//! backend at runtime.
+
+use numadag_core::SchedulingPolicy;
+use numadag_tdg::TaskGraphSpec;
+
+use crate::config::ExecutionConfig;
+use crate::report::ExecutionReport;
+
+/// A backend that can execute a task-graph workload under a scheduling
+/// policy and measure the result.
+///
+/// Implementations must consult the policy exactly as the paper's runtime
+/// does: [`SchedulingPolicy::prepare`] once before execution with the full
+/// graph, then [`SchedulingPolicy::assign`] each time a task becomes ready.
+pub trait Executor: Sync {
+    /// Short stable backend name (`"simulator"`, `"threaded"`), used in
+    /// sweep reports and CLI arguments.
+    fn backend_name(&self) -> &'static str;
+
+    /// The machine configuration this executor runs.
+    fn config(&self) -> &ExecutionConfig;
+
+    /// Runs `spec` under `policy` and returns the execution report.
+    ///
+    /// # Panics
+    /// Panics if the workload is invalid (see [`TaskGraphSpec::validate`]).
+    fn execute(&self, spec: &TaskGraphSpec, policy: &mut dyn SchedulingPolicy) -> ExecutionReport;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Simulator, ThreadedExecutor};
+    use numadag_core::LasPolicy;
+    use numadag_numa::Topology;
+    use numadag_tdg::{TaskSpec, TdgBuilder};
+
+    fn toy_spec() -> TaskGraphSpec {
+        let mut b = TdgBuilder::new();
+        let r = b.region(4096);
+        b.submit(TaskSpec::new("w").work(10.0).writes(r, 4096));
+        b.submit(TaskSpec::new("r").work(10.0).reads(r, 4096));
+        let (g, sizes) = b.finish();
+        TaskGraphSpec::new("toy", g, sizes)
+    }
+
+    #[test]
+    fn both_backends_execute_through_the_trait_object() {
+        let spec = toy_spec();
+        let backends: Vec<Box<dyn Executor>> = vec![
+            Box::new(Simulator::new(ExecutionConfig::new(Topology::two_socket(
+                2,
+            )))),
+            Box::new(ThreadedExecutor::new(ExecutionConfig::new(
+                Topology::two_socket(2),
+            ))),
+        ];
+        let names: Vec<&str> = backends.iter().map(|b| b.backend_name()).collect();
+        assert_eq!(names, vec!["simulator", "threaded"]);
+        for backend in &backends {
+            assert_eq!(backend.config().topology.num_sockets(), 2);
+            let mut policy = LasPolicy::new(1);
+            let report = backend.execute(&spec, &mut policy);
+            assert_eq!(report.tasks, 2);
+            assert!(report.makespan_ns > 0.0);
+        }
+    }
+}

@@ -1,0 +1,670 @@
+//! The fluent [`Experiment`] API: declare an (application × scale × policy)
+//! sweep once, run it through any [`Executor`] backend, get a structured
+//! [`SweepReport`].
+//!
+//! Before this API every harness, example and test hand-rolled the same
+//! loop: build the spec, run the LAS baseline, run each policy, divide
+//! makespans, geometric-mean the speedups. `Experiment` owns that loop:
+//!
+//! ```
+//! use numadag_runtime::{Backend, Experiment};
+//! use numadag_core::PolicyKind;
+//! use numadag_kernels::{Application, ProblemScale};
+//!
+//! let report = Experiment::new()
+//!     .app(Application::Jacobi)
+//!     .scale(ProblemScale::Tiny)
+//!     .policies([PolicyKind::Dfifo, PolicyKind::RgpLas])
+//!     .backend(Backend::Simulated)
+//!     .repetitions(1)
+//!     .run();
+//! assert!(report.speedup_of("Jacobi", "RGP+LAS").unwrap() > 0.0);
+//! assert!(report.geomean_of("DFIFO").unwrap() > 0.0);
+//! ```
+//!
+//! The report serializes to JSON through the workspace's serde subset, which
+//! is how the `BENCH_*.json` perf baselines are produced.
+
+use numadag_core::{make_policy, PolicyKind};
+use numadag_kernels::{Application, ProblemScale};
+use numadag_numa::{CostModel, Topology};
+use numadag_tdg::TaskGraphSpec;
+use serde::Serialize;
+
+use crate::config::{ExecutionConfig, StealMode};
+use crate::executor::Executor;
+use crate::report::{geometric_mean, ExecutionReport};
+use crate::simulator::Simulator;
+use crate::threaded::ThreadedExecutor;
+
+/// Which [`Executor`] backend an [`Experiment`] runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The deterministic discrete-event NUMA simulator (the backend all
+    /// timing claims come from).
+    #[default]
+    Simulated,
+    /// The real work-stealing thread pool (placement and traffic statistics
+    /// only; wall-clock makespans depend on the host machine).
+    Threaded,
+}
+
+impl Backend {
+    /// Stable name, matching [`Executor::backend_name`].
+    pub fn label(&self) -> &'static str {
+        match self {
+            Backend::Simulated => "simulator",
+            Backend::Threaded => "threaded",
+        }
+    }
+
+    /// Builds the executor for this backend.
+    pub fn executor(&self, config: ExecutionConfig) -> Box<dyn Executor> {
+        match self {
+            Backend::Simulated => Box::new(Simulator::new(config)),
+            Backend::Threaded => Box::new(ThreadedExecutor::new(config)),
+        }
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "sim" | "simulated" | "simulator" => Ok(Backend::Simulated),
+            "thread" | "threads" | "threaded" => Ok(Backend::Threaded),
+            other => Err(format!(
+                "unknown backend {other:?} (expected \"simulated\" or \"threaded\")"
+            )),
+        }
+    }
+}
+
+/// One (workload × scale × policy × repetition) measurement of a sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct SweepCell {
+    /// Workload label (application name, or the spec name for custom
+    /// workloads).
+    pub application: String,
+    /// Problem-scale label (`"Tiny"`, `"Small"`, `"Full"` or `"custom"`).
+    pub scale: String,
+    /// Canonical policy label ([`PolicyKind::label`]), so windowed RGP
+    /// variants stay distinguishable in the report.
+    pub policy: String,
+    /// Repetition index (0-based).
+    pub repetition: usize,
+    /// Number of tasks in the workload instance.
+    pub tasks: usize,
+    /// Makespan of this run (simulated ns, or wall-clock ns for the threaded
+    /// backend).
+    pub makespan_ns: f64,
+    /// Speedup over the baseline policy's mean makespan on the same
+    /// workload (the metric of the paper's Figure 1).
+    pub speedup_vs_baseline: f64,
+    /// Fraction of accessed bytes served from the local NUMA node.
+    pub local_fraction: f64,
+    /// Load imbalance (max/mean busy time over sockets).
+    pub load_imbalance: f64,
+    /// Fraction of tasks stolen across sockets.
+    pub steal_fraction: f64,
+    /// Bytes placed by deferred allocation.
+    pub deferred_bytes: u64,
+}
+
+/// Geometric-mean aggregation of one policy over every workload of a scale.
+#[derive(Clone, Debug, Serialize)]
+pub struct SweepAggregate {
+    /// Problem-scale label this aggregate covers.
+    pub scale: String,
+    /// Canonical policy label.
+    pub policy: String,
+    /// Geometric mean over workloads of the per-workload mean speedup — the
+    /// "geometric mean" bar of Figure 1.
+    pub geomean_speedup: f64,
+    /// Number of workloads aggregated.
+    pub applications: usize,
+}
+
+/// The structured result of an [`Experiment`] run: every cell measurement
+/// plus the per-policy geometric-mean aggregation, serializable to JSON for
+/// the `BENCH_*.json` baselines.
+#[derive(Clone, Debug, Serialize)]
+pub struct SweepReport {
+    /// Machine (topology) name.
+    pub machine: String,
+    /// Backend that produced the measurements.
+    pub backend: String,
+    /// Canonical label of the baseline policy speedups are relative to.
+    pub baseline: String,
+    /// Seed all seeded components derived from.
+    pub seed: u64,
+    /// Repetitions per cell.
+    pub repetitions: usize,
+    /// Every measurement, in (scale, workload, policy, repetition) order.
+    pub cells: Vec<SweepCell>,
+    /// Per-(scale, policy) geometric means across workloads.
+    pub aggregates: Vec<SweepAggregate>,
+    /// `"workload/policy"` pairs that could not run (e.g. EP on a workload
+    /// without an expert placement).
+    pub skipped: Vec<String>,
+}
+
+impl SweepReport {
+    /// The distinct policy labels in cell order of first appearance.
+    pub fn policy_labels(&self) -> Vec<String> {
+        let mut labels: Vec<String> = Vec::new();
+        for cell in &self.cells {
+            if !labels.contains(&cell.policy) {
+                labels.push(cell.policy.clone());
+            }
+        }
+        labels
+    }
+
+    /// The distinct workload labels in cell order of first appearance.
+    pub fn application_labels(&self) -> Vec<String> {
+        let mut labels: Vec<String> = Vec::new();
+        for cell in &self.cells {
+            if !labels.contains(&cell.application) {
+                labels.push(cell.application.clone());
+            }
+        }
+        labels
+    }
+
+    /// The cells of one (workload, policy) pair, across scales/repetitions.
+    pub fn cells_of(&self, application: &str, policy: &str) -> Vec<&SweepCell> {
+        self.cells
+            .iter()
+            .filter(|c| c.application == application && c.policy == policy)
+            .collect()
+    }
+
+    /// Mean speedup of `policy` over the baseline on `application` (averaged
+    /// over repetitions; first scale if several were swept).
+    pub fn speedup_of(&self, application: &str, policy: &str) -> Option<f64> {
+        let cells = self.cells_of(application, policy);
+        let scale = &cells.first()?.scale;
+        let reps: Vec<f64> = cells
+            .iter()
+            .filter(|c| &c.scale == scale)
+            .map(|c| c.speedup_vs_baseline)
+            .collect();
+        Some(reps.iter().sum::<f64>() / reps.len() as f64)
+    }
+
+    /// Geometric-mean speedup of `policy` across workloads (first scale if
+    /// several were swept) — the headline metric of the paper.
+    pub fn geomean_of(&self, policy: &str) -> Option<f64> {
+        self.aggregates
+            .iter()
+            .find(|a| a.policy == policy)
+            .map(|a| a.geomean_speedup)
+    }
+
+    /// Pretty-printed JSON of the whole report.
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(self).expect("SweepReport serialization cannot fail")
+    }
+}
+
+/// A named workload of a sweep: an [`Application`] at a [`ProblemScale`], or
+/// a (borrowed) custom [`TaskGraphSpec`].
+enum Workload<'a> {
+    App(Application, ProblemScale),
+    Custom(&'a TaskGraphSpec),
+}
+
+/// Fluent builder for a policy-comparison sweep. See the [module
+/// docs](self) for an example.
+///
+/// Defaults: bullion S16 topology, default cost model, nearest-socket
+/// stealing, simulated backend, LAS baseline, Figure-1 policies
+/// (DFIFO, RGP+LAS, EP), Tiny scale, 1 repetition, a fixed seed.
+pub struct Experiment {
+    topology: Topology,
+    cost_model: CostModel,
+    steal: StealMode,
+    backend: Backend,
+    baseline: PolicyKind,
+    policies: Vec<PolicyKind>,
+    apps: Vec<Application>,
+    scales: Vec<ProblemScale>,
+    workloads: Vec<TaskGraphSpec>,
+    repetitions: usize,
+    seed: u64,
+}
+
+impl Default for Experiment {
+    fn default() -> Self {
+        Experiment {
+            topology: Topology::bullion_s16(),
+            cost_model: CostModel::default(),
+            steal: StealMode::default(),
+            backend: Backend::default(),
+            baseline: PolicyKind::Las,
+            policies: vec![PolicyKind::Dfifo, PolicyKind::RgpLas, PolicyKind::Ep],
+            apps: Vec::new(),
+            scales: Vec::new(),
+            workloads: Vec::new(),
+            repetitions: 1,
+            seed: 0xF1617E,
+        }
+    }
+}
+
+impl Experiment {
+    /// A new experiment with the defaults listed on the type.
+    pub fn new() -> Self {
+        Experiment::default()
+    }
+
+    /// Sets the machine topology (default: the paper's bullion S16).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Sets the cost model (default: the calibrated NUMA model).
+    pub fn cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// Sets the work-stealing mode (default: nearest socket).
+    pub fn steal(mut self, steal: StealMode) -> Self {
+        self.steal = steal;
+        self
+    }
+
+    /// Sets the backend (default: the discrete-event simulator).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the baseline policy speedups are computed against (default:
+    /// LAS, as in the paper). The baseline is always run and reported last
+    /// for each workload.
+    pub fn baseline(mut self, baseline: PolicyKind) -> Self {
+        self.baseline = baseline;
+        self
+    }
+
+    /// Replaces the policy list (default: DFIFO, RGP+LAS, EP).
+    pub fn policies(mut self, policies: impl IntoIterator<Item = PolicyKind>) -> Self {
+        self.policies = policies.into_iter().collect();
+        self
+    }
+
+    /// Adds one policy to the list.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.policies.push(policy);
+        self
+    }
+
+    /// Replaces the application list.
+    pub fn apps(mut self, apps: impl IntoIterator<Item = Application>) -> Self {
+        self.apps = apps.into_iter().collect();
+        self
+    }
+
+    /// Adds one application.
+    pub fn app(mut self, app: Application) -> Self {
+        self.apps.push(app);
+        self
+    }
+
+    /// Replaces the scale list (default: Tiny if any application is set).
+    pub fn scales(mut self, scales: impl IntoIterator<Item = ProblemScale>) -> Self {
+        self.scales = scales.into_iter().collect();
+        self
+    }
+
+    /// Adds one scale.
+    pub fn scale(mut self, scale: ProblemScale) -> Self {
+        self.scales.push(scale);
+        self
+    }
+
+    /// Adds a custom workload spec (reported under its spec name with scale
+    /// label `"custom"`), for task graphs outside the Figure-1 suite.
+    pub fn workload(mut self, spec: TaskGraphSpec) -> Self {
+        self.workloads.push(spec);
+        self
+    }
+
+    /// Sets repetitions per cell (default 1; meaningful for the threaded
+    /// backend, whose wall-clock makespans vary).
+    pub fn repetitions(mut self, repetitions: usize) -> Self {
+        self.repetitions = repetitions.max(1);
+        self
+    }
+
+    /// Sets the seed all seeded components derive from.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the sweep: every workload under the baseline and every
+    /// configured policy, `repetitions` times each, on the configured
+    /// backend.
+    pub fn run(self) -> SweepReport {
+        let config = ExecutionConfig::new(self.topology.clone())
+            .with_cost_model(self.cost_model.clone())
+            .with_steal(self.steal)
+            .with_seed(self.seed);
+        let executor = self.backend.executor(config);
+        self.run_on(executor.as_ref())
+    }
+
+    /// Like [`Experiment::run`] but on a caller-supplied executor (any
+    /// [`Executor`] implementation, including ones outside this crate). The
+    /// executor's own topology is used to size the workloads.
+    pub fn run_on(&self, executor: &dyn Executor) -> SweepReport {
+        let topology = &executor.config().topology;
+        let num_sockets = topology.num_sockets();
+        let scales = if self.scales.is_empty() {
+            vec![ProblemScale::Tiny]
+        } else {
+            self.scales.clone()
+        };
+
+        // The baseline is reported last, as in the paper's figure; dedupe it
+        // out of the configured policy list.
+        let mut policies: Vec<PolicyKind> = self
+            .policies
+            .iter()
+            .copied()
+            .filter(|&k| k != self.baseline)
+            .collect();
+        policies.push(self.baseline);
+
+        let mut cells = Vec::new();
+        let mut skipped = Vec::new();
+        let mut sweep: Vec<(String, Workload)> = Vec::new();
+        for &scale in &scales {
+            for &app in &self.apps {
+                sweep.push((format!("{scale:?}"), Workload::App(app, scale)));
+            }
+        }
+        for spec in &self.workloads {
+            sweep.push(("custom".to_string(), Workload::Custom(spec)));
+        }
+
+        for (scale_label, workload) in &sweep {
+            let built;
+            let (label, spec): (String, &TaskGraphSpec) = match workload {
+                Workload::App(app, scale) => {
+                    built = app.build(*scale, num_sockets);
+                    (app.label().to_string(), &built)
+                }
+                Workload::Custom(spec) => (spec.name.clone(), spec),
+            };
+
+            // Baseline first: its mean makespan anchors every speedup.
+            let baseline_reports = match self.measure(executor, spec, self.baseline) {
+                Some(reports) => reports,
+                None => {
+                    skipped.push(format!("{label}/{}", self.baseline.label()));
+                    continue;
+                }
+            };
+            let baseline_mean = mean(baseline_reports.iter().map(|r| r.makespan_ns));
+
+            for &kind in &policies {
+                let reports = if kind == self.baseline {
+                    baseline_reports.clone()
+                } else {
+                    match self.measure(executor, spec, kind) {
+                        Some(reports) => reports,
+                        None => {
+                            skipped.push(format!("{label}/{}", kind.label()));
+                            continue;
+                        }
+                    }
+                };
+                for (rep, report) in reports.iter().enumerate() {
+                    cells.push(SweepCell {
+                        application: label.clone(),
+                        scale: scale_label.clone(),
+                        policy: kind.label(),
+                        repetition: rep,
+                        tasks: report.tasks,
+                        makespan_ns: report.makespan_ns,
+                        speedup_vs_baseline: if report.makespan_ns > 0.0 {
+                            baseline_mean / report.makespan_ns
+                        } else {
+                            1.0
+                        },
+                        local_fraction: report.local_fraction(),
+                        load_imbalance: report.load_imbalance(),
+                        steal_fraction: report.steal_fraction(),
+                        deferred_bytes: report.deferred_bytes,
+                    });
+                }
+            }
+        }
+
+        let aggregates = aggregate(&cells);
+        SweepReport {
+            machine: topology.name().to_string(),
+            backend: executor.backend_name().to_string(),
+            baseline: self.baseline.label(),
+            seed: self.seed,
+            repetitions: self.repetitions,
+            cells,
+            aggregates,
+            skipped,
+        }
+    }
+
+    /// Runs one (workload, policy) cell `repetitions` times. `None` if the
+    /// policy cannot be built for this workload.
+    fn measure(
+        &self,
+        executor: &dyn Executor,
+        spec: &TaskGraphSpec,
+        kind: PolicyKind,
+    ) -> Option<Vec<ExecutionReport>> {
+        (0..self.repetitions)
+            .map(|rep| {
+                let mut policy = make_policy(kind, spec, self.seed.wrapping_add(rep as u64))?;
+                Some(executor.execute(spec, policy.as_mut()))
+            })
+            .collect()
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let values: Vec<f64> = values.collect();
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Per-(scale, policy) geometric means of the per-workload mean speedups.
+fn aggregate(cells: &[SweepCell]) -> Vec<SweepAggregate> {
+    let mut keys: Vec<(String, String)> = Vec::new();
+    for cell in cells {
+        let key = (cell.scale.clone(), cell.policy.clone());
+        if !keys.contains(&key) {
+            keys.push(key);
+        }
+    }
+    keys.into_iter()
+        .map(|(scale, policy)| {
+            let mut apps: Vec<&str> = Vec::new();
+            for c in cells {
+                if c.scale == scale && c.policy == policy && !apps.contains(&c.application.as_str())
+                {
+                    apps.push(&c.application);
+                }
+            }
+            let speedups: Vec<f64> = apps
+                .iter()
+                .map(|app| {
+                    mean(
+                        cells
+                            .iter()
+                            .filter(|c| {
+                                c.scale == scale && c.policy == policy && &c.application == app
+                            })
+                            .map(|c| c.speedup_vs_baseline),
+                    )
+                })
+                .collect();
+            SweepAggregate {
+                scale,
+                policy,
+                geomean_speedup: geometric_mean(&speedups),
+                applications: speedups.len(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numadag_tdg::{TaskSpec, TdgBuilder};
+
+    fn tiny_experiment() -> Experiment {
+        Experiment::new()
+            .apps([Application::Jacobi, Application::NStream])
+            .scale(ProblemScale::Tiny)
+            .policies([PolicyKind::Dfifo, PolicyKind::RgpLas])
+            .seed(7)
+    }
+
+    #[test]
+    fn sweep_covers_the_full_matrix_with_baseline_last() {
+        let report = tiny_experiment().run();
+        assert_eq!(report.backend, "simulator");
+        assert_eq!(report.baseline, "LAS");
+        // 2 apps × (2 policies + baseline) × 1 repetition.
+        assert_eq!(report.cells.len(), 6);
+        assert_eq!(report.policy_labels(), vec!["DFIFO", "RGP+LAS", "LAS"]);
+        assert_eq!(report.application_labels(), vec!["Jacobi", "NStream"]);
+        for app in ["Jacobi", "NStream"] {
+            let las = report.speedup_of(app, "LAS").unwrap();
+            assert!((las - 1.0).abs() < 1e-12, "{app}: baseline speedup {las}");
+        }
+        assert!(report.skipped.is_empty());
+    }
+
+    #[test]
+    fn aggregates_hold_one_geomean_per_policy() {
+        let report = tiny_experiment().run();
+        assert_eq!(report.aggregates.len(), 3);
+        for agg in &report.aggregates {
+            assert_eq!(agg.applications, 2);
+            assert!(agg.geomean_speedup > 0.0);
+        }
+        let las = report.geomean_of("LAS").unwrap();
+        assert!((las - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repetitions_multiply_cells_and_average_cleanly() {
+        let report = tiny_experiment().repetitions(2).run();
+        // 2 apps × 3 policies × 2 repetitions.
+        assert_eq!(report.cells.len(), 12);
+        // The simulator is deterministic only for identical seeds; reps use
+        // different seeds, so just check the mean is finite and positive.
+        let s = report.speedup_of("Jacobi", "DFIFO").unwrap();
+        assert!(s.is_finite() && s > 0.0);
+    }
+
+    #[test]
+    fn custom_workloads_ride_alongside_apps() {
+        let mut b = TdgBuilder::new();
+        let r = b.region(1 << 16);
+        for _ in 0..32 {
+            b.submit(TaskSpec::new("step").work(100.0).reads_writes(r, 1 << 16));
+        }
+        let (g, sizes) = b.finish();
+        let spec = TaskGraphSpec::new("custom-chain", g, sizes);
+        let report = Experiment::new()
+            .workload(spec)
+            .policies([PolicyKind::Dfifo])
+            .run();
+        assert_eq!(report.application_labels(), vec!["custom-chain"]);
+        assert_eq!(report.cells[0].scale, "custom");
+        assert_eq!(report.cells.len(), 2);
+    }
+
+    #[test]
+    fn ep_without_placement_is_skipped_not_fatal() {
+        let mut b = TdgBuilder::new();
+        let r = b.region(64);
+        b.submit(TaskSpec::new("t").work(1.0).writes(r, 64));
+        let (g, sizes) = b.finish();
+        let spec = TaskGraphSpec::new("no-ep", g, sizes);
+        let report = Experiment::new()
+            .workload(spec)
+            .policies([PolicyKind::Ep, PolicyKind::Dfifo])
+            .run();
+        assert_eq!(report.skipped, vec!["no-ep/EP"]);
+        assert_eq!(report.policy_labels(), vec!["DFIFO", "LAS"]);
+    }
+
+    #[test]
+    fn windowed_policy_kinds_are_distinct_columns() {
+        let report = Experiment::new()
+            .app(Application::Jacobi)
+            .policies([PolicyKind::RgpLasWindow(64), PolicyKind::RgpLasWindow(1024)])
+            .run();
+        assert_eq!(
+            report.policy_labels(),
+            vec!["RGP+LAS:w=64", "RGP+LAS:w=1024", "LAS"]
+        );
+    }
+
+    #[test]
+    fn threaded_backend_runs_the_same_sweep() {
+        let report = Experiment::new()
+            .topology(Topology::two_socket(2))
+            .app(Application::NStream)
+            .policies([PolicyKind::Dfifo])
+            .backend(Backend::Threaded)
+            .run();
+        assert_eq!(report.backend, "threaded");
+        assert_eq!(report.cells.len(), 2);
+        for cell in &report.cells {
+            assert!(cell.makespan_ns > 0.0);
+            assert!(cell.tasks > 0);
+        }
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let report = Experiment::new()
+            .topology(Topology::two_socket(2))
+            .app(Application::NStream)
+            .policies([PolicyKind::Dfifo])
+            .run();
+        let json = report.to_json_string();
+        for key in [
+            "\"machine\"",
+            "\"backend\"",
+            "\"baseline\"",
+            "\"cells\"",
+            "\"aggregates\"",
+            "\"speedup_vs_baseline\"",
+        ] {
+            assert!(json.contains(key), "JSON missing {key}");
+        }
+    }
+
+    #[test]
+    fn backend_labels_parse_back() {
+        for backend in [Backend::Simulated, Backend::Threaded] {
+            assert_eq!(backend.label().parse::<Backend>(), Ok(backend));
+        }
+        assert!("gpu".parse::<Backend>().is_err());
+    }
+}

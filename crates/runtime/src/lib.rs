@@ -17,6 +17,13 @@
 //!   the integration tests to check that every policy preserves the numerical
 //!   results of the kernels.
 //!
+//! Both backends implement the [`executor::Executor`] trait, so harnesses
+//! and tests are written once against `dyn Executor` and pick the backend at
+//! runtime. The usual entry point is the fluent [`experiment::Experiment`]
+//! builder, which sweeps an (application × scale × policy) matrix through
+//! either backend and returns a structured, JSON-serializable
+//! [`experiment::SweepReport`].
+//!
 //! Both executors implement the paper's *deferred allocation*: regions
 //! written by a task that have no home yet are first-touched on the socket
 //! the task runs on ([`deferred`]).
@@ -25,11 +32,15 @@
 
 pub mod config;
 pub mod deferred;
+pub mod executor;
+pub mod experiment;
 pub mod report;
 pub mod simulator;
 pub mod threaded;
 
 pub use config::{ExecutionConfig, StealMode};
+pub use executor::Executor;
+pub use experiment::{Backend, Experiment, SweepAggregate, SweepCell, SweepReport};
 pub use report::{ExecutionReport, TaskPlacement};
 pub use simulator::Simulator;
 pub use threaded::ThreadedExecutor;

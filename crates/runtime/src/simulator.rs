@@ -19,6 +19,7 @@ use numadag_tdg::{TaskGraphSpec, TaskId};
 
 use crate::config::{ExecutionConfig, StealMode};
 use crate::deferred::apply_deferred_allocation;
+use crate::executor::Executor;
 use crate::report::{ExecutionReport, TaskPlacement};
 
 /// A task-completion event in the simulation clock.
@@ -338,6 +339,20 @@ impl Simulator {
             assigned_socket[task.index()] = Some(socket);
             queues[socket.index()].push_back(task);
         }
+    }
+}
+
+impl Executor for Simulator {
+    fn backend_name(&self) -> &'static str {
+        "simulator"
+    }
+
+    fn config(&self) -> &ExecutionConfig {
+        &self.config
+    }
+
+    fn execute(&self, spec: &TaskGraphSpec, policy: &mut dyn SchedulingPolicy) -> ExecutionReport {
+        self.run(spec, policy)
     }
 }
 

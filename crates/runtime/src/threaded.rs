@@ -8,6 +8,11 @@
 //! workers first drain their own socket's queue and then *steal* from other
 //! sockets (nearest first).
 //!
+//! Idle workers block on a condition variable and are woken precisely: a
+//! completing worker notifies only when it published newly ready tasks (or
+//! when the last task finished, for termination). There is no timeout
+//! polling.
+//!
 //! The executor runs arbitrary task bodies supplied as a `Fn(TaskId)`
 //! callback, so the kernels crate can execute real numerical kernels under
 //! every policy and the integration tests can verify that scheduling does not
@@ -16,8 +21,6 @@
 //! timing claims all come from [`crate::simulator::Simulator`].
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
@@ -27,16 +30,17 @@ use numadag_tdg::{TaskGraphSpec, TaskId};
 
 use crate::config::{ExecutionConfig, StealMode};
 use crate::deferred::apply_deferred_allocation;
+use crate::executor::Executor;
 use crate::report::ExecutionReport;
 
 /// Shared scheduler state protected by one lock (contention is irrelevant at
 /// the scale of the functional tests this executor serves).
-struct Shared {
+struct Shared<'p> {
     queues: Vec<VecDeque<TaskId>>,
     indegree: Vec<usize>,
     memory: MemoryMap,
     stats: TrafficStats,
-    policy: Box<dyn SchedulingPolicy>,
+    policy: &'p mut dyn SchedulingPolicy,
     remaining: usize,
     tasks_per_socket: Vec<usize>,
     stolen: usize,
@@ -55,6 +59,11 @@ impl ThreadedExecutor {
         ThreadedExecutor { config }
     }
 
+    /// The configuration the executor was built with.
+    pub fn config(&self) -> &ExecutionConfig {
+        &self.config
+    }
+
     /// Executes the workload: `body(task_id)` is invoked exactly once per
     /// task, respecting all dependences, on whichever worker the scheduling
     /// decisions place it. Returns an [`ExecutionReport`] whose `makespan_ns`
@@ -63,7 +72,7 @@ impl ThreadedExecutor {
     pub fn run(
         &self,
         spec: &TaskGraphSpec,
-        mut policy: Box<dyn SchedulingPolicy>,
+        policy: &mut dyn SchedulingPolicy,
         body: &(dyn Fn(TaskId) + Sync),
     ) -> ExecutionReport {
         spec.validate().expect("invalid workload spec");
@@ -103,25 +112,22 @@ impl ThreadedExecutor {
             shared.queues[socket.index()].push_back(task);
         }
 
-        let shared = Arc::new((Mutex::new(shared), Condvar::new()));
-        let completed = AtomicUsize::new(0);
+        let sync = (Mutex::new(shared), Condvar::new());
         let start = std::time::Instant::now();
 
         std::thread::scope(|scope| {
             for core in topo.cores() {
                 let my_socket = topo.socket_of(core);
-                let shared = Arc::clone(&shared);
-                let completed = &completed;
+                let sync = &sync;
                 let config = &self.config;
                 scope.spawn(move || {
-                    worker_loop(spec, config, my_socket, &shared, completed, body, n);
+                    worker_loop(spec, config, my_socket, sync, body);
                 });
             }
         });
 
         let elapsed = start.elapsed();
-        let (lock, _) = &*shared;
-        let guard = lock.lock();
+        let guard = sync.0.lock();
         let mut report = ExecutionReport {
             workload: spec.name.clone(),
             policy: policy_name,
@@ -143,115 +149,127 @@ impl ThreadedExecutor {
     }
 }
 
+impl Executor for ThreadedExecutor {
+    fn backend_name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn config(&self) -> &ExecutionConfig {
+        &self.config
+    }
+
+    fn execute(&self, spec: &TaskGraphSpec, policy: &mut dyn SchedulingPolicy) -> ExecutionReport {
+        self.run(spec, policy, &|_| {})
+    }
+}
+
 fn worker_loop(
     spec: &TaskGraphSpec,
     config: &ExecutionConfig,
     my_socket: SocketId,
-    shared: &Arc<(Mutex<Shared>, Condvar)>,
-    completed: &AtomicUsize,
+    sync: &(Mutex<Shared<'_>>, Condvar),
     body: &(dyn Fn(TaskId) + Sync),
-    total: usize,
 ) {
     let topo = &config.topology;
-    let (lock, cv) = &**shared;
+    let (lock, cv) = sync;
     loop {
-        if completed.load(Ordering::SeqCst) >= total {
-            cv.notify_all();
-            return;
-        }
         // Grab a task: local queue first, then steal (nearest socket first).
         let grabbed = {
             let mut s = lock.lock();
-            if s.remaining == 0 {
-                cv.notify_all();
-                return;
-            }
-            let mut found: Option<(TaskId, bool)> = None;
-            if let Some(task) = s.queues[my_socket.index()].pop_front() {
-                found = Some((task, false));
-            } else if config.steal == StealMode::NearestSocket {
-                let order = topo.nodes_by_distance(my_socket.node());
-                for node in order {
-                    let v = node.socket().index();
-                    if v == my_socket.index() {
-                        continue;
-                    }
-                    if let Some(task) = s.queues[v].pop_back() {
-                        found = Some((task, true));
-                        break;
-                    }
+            loop {
+                if s.remaining == 0 {
+                    return;
                 }
-            }
-            match found {
-                Some((task, stolen)) => {
-                    // Deferred allocation happens when the task is picked up
-                    // by the socket that will actually run it.
-                    let node = my_socket.node();
-                    let descriptor = spec.graph.task(task);
-                    let placed = {
-                        let Shared { memory, stats, .. } = &mut *s;
-                        apply_deferred_allocation(memory, stats, descriptor, node)
-                    };
-                    s.deferred_bytes += placed;
-                    // Account traffic against the virtual NUMA map.
-                    for access in &descriptor.accesses {
-                        let region_size = s.memory.size_of(access.region).max(1);
-                        let per_node = s.memory.bytes_per_node(access.region);
-                        for (home, resident) in &per_node.per_node {
-                            let scaled = ((*resident as f64) * (access.bytes as f64)
-                                / (region_size as f64))
-                                .round() as u64;
-                            if scaled == 0 {
-                                continue;
-                            }
-                            let dist = topo.distance(node, *home);
-                            s.stats.record_access(node, *home, dist, scaled);
+                let mut found: Option<(TaskId, bool)> = None;
+                if let Some(task) = s.queues[my_socket.index()].pop_front() {
+                    found = Some((task, false));
+                } else if config.steal == StealMode::NearestSocket {
+                    let order = topo.nodes_by_distance(my_socket.node());
+                    for node in order {
+                        let v = node.socket().index();
+                        if v == my_socket.index() {
+                            continue;
+                        }
+                        if let Some(task) = s.queues[v].pop_back() {
+                            found = Some((task, true));
+                            break;
                         }
                     }
-                    s.tasks_per_socket[my_socket.index()] += 1;
-                    if stolen {
-                        s.stolen += 1;
-                    }
-                    Some(task)
                 }
-                None => {
-                    // Nothing runnable right now; wait for a completion to
-                    // publish new ready tasks (with a timeout as a safety
-                    // net against missed wakeups).
-                    let mut guard = s;
-                    cv.wait_for(&mut guard, std::time::Duration::from_millis(1));
-                    None
+                match found {
+                    Some((task, stolen)) => {
+                        // Deferred allocation happens when the task is picked
+                        // up by the socket that will actually run it.
+                        let node = my_socket.node();
+                        let descriptor = spec.graph.task(task);
+                        let placed = {
+                            let Shared { memory, stats, .. } = &mut *s;
+                            apply_deferred_allocation(memory, stats, descriptor, node)
+                        };
+                        s.deferred_bytes += placed;
+                        // Account traffic against the virtual NUMA map.
+                        for access in &descriptor.accesses {
+                            let region_size = s.memory.size_of(access.region).max(1);
+                            let per_node = s.memory.bytes_per_node(access.region);
+                            for (home, resident) in &per_node.per_node {
+                                let scaled = ((*resident as f64) * (access.bytes as f64)
+                                    / (region_size as f64))
+                                    .round() as u64;
+                                if scaled == 0 {
+                                    continue;
+                                }
+                                let dist = topo.distance(node, *home);
+                                s.stats.record_access(node, *home, dist, scaled);
+                            }
+                        }
+                        s.tasks_per_socket[my_socket.index()] += 1;
+                        if stolen {
+                            s.stolen += 1;
+                        }
+                        break task;
+                    }
+                    None => {
+                        // Nothing runnable: sleep until a completion publishes
+                        // new ready tasks or the last task finishes. `wait`
+                        // releases the lock atomically, so a notification
+                        // cannot be missed between the check and the sleep.
+                        cv.wait(&mut s);
+                    }
                 }
             }
         };
 
-        let Some(task) = grabbed else { continue };
-
         // Execute the real task body outside the lock.
-        body(task);
+        body(grabbed);
 
         // Publish completion: release successors and push newly ready tasks.
-        {
-            let mut s = lock.lock();
-            s.remaining -= 1;
-            let mut newly_ready = Vec::new();
-            for &(succ, _) in spec.graph.successors(task) {
-                s.indegree[succ.index()] -= 1;
-                if s.indegree[succ.index()] == 0 {
-                    newly_ready.push(succ);
-                }
-            }
-            for ready in newly_ready {
-                let socket = {
-                    let Shared { memory, policy, .. } = &mut *s;
-                    let locator = MemoryLocator::new(topo, memory);
-                    policy.assign(spec.graph.task(ready), &locator)
-                };
-                s.queues[socket.index()].push_back(ready);
+        let mut s = lock.lock();
+        s.remaining -= 1;
+        let mut newly_ready = Vec::new();
+        for &(succ, _) in spec.graph.successors(grabbed) {
+            s.indegree[succ.index()] -= 1;
+            if s.indegree[succ.index()] == 0 {
+                newly_ready.push(succ);
             }
         }
-        completed.fetch_add(1, Ordering::SeqCst);
-        cv.notify_all();
+        let published = !newly_ready.is_empty();
+        for ready in newly_ready {
+            let socket = {
+                let Shared { memory, policy, .. } = &mut *s;
+                let locator = MemoryLocator::new(topo, memory);
+                policy.assign(spec.graph.task(ready), &locator)
+            };
+            s.queues[socket.index()].push_back(ready);
+        }
+        let finished = s.remaining == 0;
+        drop(s);
+        // Precise wakeups: only a task-ready transition or termination can
+        // unblock a sleeping worker. `notify_all` (not `notify_one`) because
+        // with stealing disabled only the pushed-to socket's workers can take
+        // the task, and the condvar cannot target a socket.
+        if published || finished {
+            cv.notify_all();
+        }
     }
 }
 
@@ -261,7 +279,7 @@ mod tests {
     use numadag_core::{DfifoPolicy, LasPolicy, RgpPolicy};
     use numadag_numa::Topology;
     use numadag_tdg::{TaskSpec, TdgBuilder};
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     /// A reduction tree: `leaves` leaf tasks each produce a value; inner
     /// tasks sum pairs. The final task must see the sum of all leaves
@@ -306,7 +324,8 @@ mod tests {
         let counter = AtomicU64::new(0);
         let executed: Vec<AtomicU64> = (0..spec.num_tasks()).map(|_| AtomicU64::new(0)).collect();
         let exec = ThreadedExecutor::new(ExecutionConfig::new(Topology::two_socket(2)));
-        let report = exec.run(&spec, Box::new(DfifoPolicy::new()), &|t| {
+        let mut policy = DfifoPolicy::new();
+        let report = exec.run(&spec, &mut policy, &|t| {
             executed[t.index()].fetch_add(1, Ordering::SeqCst);
             counter.fetch_add(1, Ordering::SeqCst);
         });
@@ -330,7 +349,8 @@ mod tests {
         let spec = TaskGraphSpec::new("chain", g, sizes);
         let log = Mutex::new(Vec::new());
         let exec = ThreadedExecutor::new(ExecutionConfig::new(Topology::two_socket(2)));
-        exec.run(&spec, Box::new(LasPolicy::new(1)), &|t| {
+        let mut policy = LasPolicy::new(1);
+        exec.run(&spec, &mut policy, &|t| {
             log.lock().push(t.index());
         });
         let log = log.into_inner();
@@ -340,7 +360,7 @@ mod tests {
     #[test]
     fn reduction_result_is_policy_independent() {
         let (spec, _) = reduction_spec(16);
-        let run = |policy: Box<dyn SchedulingPolicy>| {
+        let run = |policy: &mut dyn SchedulingPolicy| {
             // values[r] holds the value of region r; leaves write 1.0.
             let values: Vec<Mutex<f64>> =
                 (0..spec.num_regions()).map(|_| Mutex::new(0.0)).collect();
@@ -362,19 +382,70 @@ mod tests {
             let v = *values[root].lock();
             v
         };
-        assert_eq!(run(Box::new(DfifoPolicy::new())), 16.0);
-        assert_eq!(run(Box::new(LasPolicy::new(9))), 16.0);
-        assert_eq!(run(Box::new(RgpPolicy::rgp_las())), 16.0);
+        assert_eq!(run(&mut DfifoPolicy::new()), 16.0);
+        assert_eq!(run(&mut LasPolicy::new(9)), 16.0);
+        assert_eq!(run(&mut RgpPolicy::rgp_las()), 16.0);
     }
 
     #[test]
     fn traffic_bookkeeping_matches_simulator_semantics() {
         let (spec, _) = reduction_spec(8);
         let exec = ThreadedExecutor::new(ExecutionConfig::new(Topology::two_socket(2)));
-        let report = exec.run(&spec, Box::new(LasPolicy::new(4)), &|_| {});
+        let mut policy = LasPolicy::new(4);
+        let report = exec.run(&spec, &mut policy, &|_| {});
         // Every leaf region is deferred-allocated exactly once.
         assert!(report.deferred_bytes >= 8 * 8);
         assert!(report.traffic.total_bytes() > 0);
         assert_eq!(report.tasks, spec.num_tasks());
+    }
+
+    #[test]
+    fn no_stealing_mode_terminates_with_precise_wakeups() {
+        // A chain forces repeated sleep/wake cycles: only one task is ever
+        // ready, and under NoStealing only the pushed-to socket may run it.
+        // With imprecise notifications this test would hang.
+        let mut b = TdgBuilder::new();
+        let r = b.region(8);
+        for _ in 0..128 {
+            b.submit(TaskSpec::new("link").work(1.0).reads_writes(r, 8));
+        }
+        let (g, sizes) = b.finish();
+        let spec = TaskGraphSpec::new("chain", g, sizes);
+        let config =
+            ExecutionConfig::new(Topology::four_socket(2)).with_steal(StealMode::NoStealing);
+        let exec = ThreadedExecutor::new(config);
+        let counter = AtomicU64::new(0);
+        let mut policy = DfifoPolicy::new();
+        let report = exec.run(&spec, &mut policy, &|_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 128);
+        assert_eq!(report.stolen_tasks, 0);
+    }
+
+    #[test]
+    fn empty_workload_returns_immediately() {
+        let (g, sizes) = TdgBuilder::new().finish();
+        let spec = TaskGraphSpec::new("empty", g, sizes);
+        let exec = ThreadedExecutor::new(ExecutionConfig::new(Topology::two_socket(2)));
+        let mut policy = DfifoPolicy::new();
+        let report = exec.run(&spec, &mut policy, &|_| panic!("no tasks to run"));
+        assert_eq!(report.tasks, 0);
+    }
+
+    #[test]
+    fn execute_via_trait_object_matches_run() {
+        let (spec, _) = reduction_spec(8);
+        let exec: Box<dyn Executor> = Box::new(ThreadedExecutor::new(ExecutionConfig::new(
+            Topology::two_socket(2),
+        )));
+        assert_eq!(exec.backend_name(), "threaded");
+        let mut policy = LasPolicy::new(4);
+        let report = exec.execute(&spec, &mut policy);
+        assert_eq!(report.tasks, spec.num_tasks());
+        assert_eq!(
+            report.tasks_per_socket.iter().sum::<usize>(),
+            spec.num_tasks()
+        );
     }
 }

@@ -2,7 +2,8 @@
 //! scheduling policies, with a per-socket placement breakdown.
 //!
 //! This is the densest DAG of the paper's suite and the one where the
-//! partitioner has the most structure to exploit.
+//! partitioner has the most structure to exploit. The custom-sized instance
+//! rides the `Experiment` API as a custom workload.
 //!
 //! Run with:
 //! ```text
@@ -15,7 +16,6 @@ use numadag::prelude::*;
 fn main() {
     let topology = Topology::bullion_s16();
     let sockets = topology.num_sockets();
-    let simulator = Simulator::new(ExecutionConfig::new(topology).with_trace());
 
     let params = SymmInvParams {
         nt: 10,
@@ -29,30 +29,29 @@ fn main() {
         spec.graph.critical_path_work()
     );
 
-    let mut las = LasPolicy::new(7);
-    let baseline = simulator.run(&spec, &mut las);
+    let report = Experiment::new()
+        .topology(topology.clone())
+        .workload(spec.clone())
+        .policies([PolicyKind::Dfifo, PolicyKind::RgpLas, PolicyKind::Ep])
+        .seed(7)
+        .run();
 
-    for kind in [
-        PolicyKind::Dfifo,
-        PolicyKind::RgpLas,
-        PolicyKind::Ep,
-        PolicyKind::Las,
-    ] {
-        let mut policy = make_policy(kind, &spec, 7).expect("all policies available");
-        let report = simulator.run(&spec, policy.as_mut());
+    for cell in &report.cells {
         println!(
-            "{:<8}  speedup {:>6.3}  local {:>5.1}%  stolen {:>5.1}%  tasks/socket {:?}",
-            report.policy,
-            report.speedup_over(&baseline),
-            100.0 * report.local_fraction(),
-            100.0 * report.steal_fraction(),
-            report.tasks_per_socket
+            "{:<8}  speedup {:>6.3}  local {:>5.1}%  stolen {:>5.1}%  imbalance {:>5.2}",
+            cell.policy,
+            cell.speedup_vs_baseline,
+            100.0 * cell.local_fraction,
+            100.0 * cell.steal_fraction,
+            cell.load_imbalance,
         );
     }
 
-    // Show where the partitioner put the first window's panel tasks.
+    // Show where the partitioner put the first window's panel tasks; the
+    // introspection run goes through the same Executor interface.
+    let executor = Backend::Simulated.executor(ExecutionConfig::new(topology).with_trace());
     let mut rgp = RgpPolicy::rgp_las();
-    let _ = simulator.run(&spec, &mut rgp);
+    let _ = executor.execute(&spec, &mut rgp);
     println!(
         "\nRGP window: {} tasks partitioned, window edge cut = {} bytes",
         rgp.window_size_used(),

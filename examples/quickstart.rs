@@ -1,6 +1,6 @@
-//! Quickstart: build a small task-based application, run it under the
-//! baseline (LAS) and under the paper's technique (RGP+LAS) on a simulated
-//! 8-socket machine, and compare makespans and memory traffic.
+//! Quickstart: declare a policy-comparison sweep with the fluent
+//! `Experiment` API, run it on the simulated 8-socket machine of the paper,
+//! and compare makespans, locality and balance.
 //!
 //! Run with:
 //! ```text
@@ -17,51 +17,36 @@ fn main() {
         topology.name(),
         topology.num_cores()
     );
-    let simulator = Simulator::new(ExecutionConfig::new(topology));
 
-    // 2. The workload: a blocked Jacobi solver from the kernels crate, small
-    //    enough to finish instantly.
-    let spec = Application::Jacobi.build(ProblemScale::Small, 8);
+    // 2. The sweep: one of the paper's eight applications under every policy
+    //    of Figure 1 (LAS is the baseline and is reported last).
+    let report = Experiment::new()
+        .topology(topology)
+        .app(Application::Jacobi)
+        .scale(ProblemScale::Small)
+        .policies([PolicyKind::Dfifo, PolicyKind::RgpLas, PolicyKind::Ep])
+        .backend(Backend::Simulated)
+        .seed(42)
+        .run();
+
+    // 3. The report: one cell per (application, policy) pair.
     println!(
-        "workload: {} — {} tasks, {} regions, {:.1} MiB of data, average parallelism {:.1}\n",
-        spec.name,
-        spec.num_tasks(),
-        spec.num_regions(),
-        spec.total_region_bytes() as f64 / (1024.0 * 1024.0),
-        spec.graph.average_parallelism(),
+        "workload: {} — {} tasks\n",
+        report.application_labels().join(", "),
+        report.cells.first().map_or(0, |c| c.tasks),
     );
-
-    // 3. Run every policy of the paper's Figure 1.
-    let mut las = LasPolicy::new(42);
-    let baseline = simulator.run(&spec, &mut las);
-
-    let policies: Vec<Box<dyn SchedulingPolicy>> = vec![
-        Box::new(DfifoPolicy::new()),
-        Box::new(RgpPolicy::rgp_las()),
-        Box::new(EpPolicy::from_spec(&spec).expect("kernel ships an expert placement")),
-    ];
-
     println!(
         "{:<10} {:>14} {:>10} {:>9} {:>11}",
         "policy", "makespan (ns)", "speedup", "local %", "imbalance"
     );
-    println!(
-        "{:<10} {:>14.0} {:>10.3} {:>8.1}% {:>11.2}",
-        baseline.policy,
-        baseline.makespan_ns,
-        1.0,
-        100.0 * baseline.local_fraction(),
-        baseline.load_imbalance()
-    );
-    for mut policy in policies {
-        let report = simulator.run(&spec, policy.as_mut());
+    for cell in &report.cells {
         println!(
             "{:<10} {:>14.0} {:>10.3} {:>8.1}% {:>11.2}",
-            report.policy,
-            report.makespan_ns,
-            report.speedup_over(&baseline),
-            100.0 * report.local_fraction(),
-            report.load_imbalance()
+            cell.policy,
+            cell.makespan_ns,
+            cell.speedup_vs_baseline,
+            100.0 * cell.local_fraction,
+            cell.load_imbalance
         );
     }
 

@@ -2,6 +2,9 @@
 //! red–black): how much of the TDG does RGP need to see before its placement
 //! beats plain LAS?
 //!
+//! The window axis is expressed through the policy registry: each column is
+//! the `rgp-las:w=N` policy, so the whole study is a single `Experiment`.
+//!
 //! Run with:
 //! ```text
 //! cargo run --example stencil_sweep --release
@@ -13,7 +16,6 @@ use numadag::prelude::*;
 fn main() {
     let topology = Topology::bullion_s16();
     let sockets = topology.num_sockets();
-    let simulator = Simulator::new(ExecutionConfig::new(topology));
 
     let specs: Vec<TaskGraphSpec> = vec![
         jacobi::build(
@@ -41,23 +43,30 @@ fn main() {
             sockets,
         ),
     ];
+    let names: Vec<String> = specs.iter().map(|s| s.name.clone()).collect();
 
     let windows = [32usize, 64, 128, 256, 512, 1024];
+    let mut experiment = Experiment::new()
+        .topology(topology)
+        .policies(windows.map(PolicyKind::RgpLasWindow))
+        .seed(11);
+    for spec in specs {
+        experiment = experiment.workload(spec);
+    }
+    let report = experiment.run();
+
     println!("RGP+LAS speedup over LAS as the partitioned window grows:\n");
     print!("{:<16}", "kernel");
     for w in windows {
         print!("{w:>9}");
     }
     println!();
-
-    for spec in &specs {
-        let mut las = LasPolicy::new(11);
-        let baseline = simulator.run(spec, &mut las);
-        print!("{:<16}", spec.name);
+    for name in &names {
+        print!("{name:<16}");
         for w in windows {
-            let mut rgp = RgpPolicy::new(RgpConfig::default().with_seed(11).with_window_size(w));
-            let report = simulator.run(spec, &mut rgp);
-            print!("{:>9.3}", report.speedup_over(&baseline));
+            let label = PolicyKind::RgpLasWindow(w).label();
+            let s = report.speedup_of(name, &label).unwrap_or(f64::NAN);
+            print!("{s:>9.3}");
         }
         println!();
     }

@@ -13,25 +13,57 @@
 //!
 //! ## Quick start
 //!
+//! Execution is unified behind two pieces: the [`runtime::Executor`] trait
+//! (implemented by the discrete-event [`runtime::Simulator`] and the real
+//! [`runtime::ThreadedExecutor`]) and the fluent [`runtime::Experiment`]
+//! builder, which sweeps an (application × scale × policy) matrix through
+//! either backend and returns a structured, JSON-serializable
+//! [`runtime::SweepReport`]:
+//!
 //! ```rust
 //! use numadag::prelude::*;
 //!
-//! // The machine of the paper: 8 sockets x 4 cores.
-//! let config = ExecutionConfig::bullion_s16();
-//! let simulator = Simulator::new(config);
+//! let report = Experiment::new()
+//!     .topology(Topology::bullion_s16())        // the paper's machine
+//!     .app(Application::Jacobi)                 // one of the eight apps
+//!     .scale(ProblemScale::Tiny)
+//!     .policies([PolicyKind::Dfifo, PolicyKind::RgpLas])
+//!     .backend(Backend::Simulated)              // or Backend::Threaded
+//!     .seed(42)
+//!     .run();
 //!
-//! // One of the paper's eight applications, at test size.
-//! let spec = Application::Jacobi.build(ProblemScale::Tiny, 8);
+//! // LAS is the baseline; RGP+LAS is the paper's technique.
+//! let speedup = report.speedup_of("Jacobi", "RGP+LAS").unwrap();
+//! println!("RGP+LAS speedup over LAS: {speedup:.3}x");
+//! assert!(report.geomean_of("RGP+LAS").unwrap() > 0.0);
+//! ```
 //!
-//! // The baseline (LAS) and the paper's technique (RGP+LAS).
-//! let mut las = LasPolicy::new(42);
-//! let baseline = simulator.run(&spec, &mut las);
-//! let mut rgp = RgpPolicy::rgp_las();
-//! let report = simulator.run(&spec, &mut rgp);
+//! Policies are addressed through the string-parseable [`core::PolicyKind`]
+//! registry — `"rgp-las:w=512".parse::<PolicyKind>()` selects RGP+LAS with a
+//! 512-task window — so CLI tools and configs never hard-code policy lists.
 //!
-//! println!("RGP+LAS speedup over LAS: {:.3}x", report.speedup_over(&baseline));
+//! For a single run (no sweep), use any backend through the
+//! [`runtime::Executor`] trait:
+//!
+//! ```rust
+//! use numadag::prelude::*;
+//!
+//! let spec = Application::NStream.build(ProblemScale::Tiny, 8);
+//! let executor = Backend::Simulated.executor(ExecutionConfig::bullion_s16());
+//! let mut policy = make_policy(PolicyKind::RgpLas, &spec, 42).unwrap();
+//! let report = executor.execute(&spec, policy.as_mut());
 //! assert!(report.makespan_ns > 0.0);
 //! ```
+//!
+//! ## Migrating from the pre-`Experiment` API
+//!
+//! | old | new |
+//! |-----|-----|
+//! | `Simulator::new(cfg).run(&spec, &mut policy)` | `executor.execute(&spec, &mut policy)` via `dyn Executor` (or still `Simulator::run`) |
+//! | `ThreadedExecutor::run(&spec, Box::new(policy), &body)` | `ThreadedExecutor::run(&spec, &mut policy, &body)`; `execute(..)` for a no-op body |
+//! | hand-rolled app × policy sweep + geomean loops | `Experiment::new().apps([..]).policies([..]).run()` |
+//! | `make_policy_with_window(kind, &spec, seed, Some(512))` | `make_policy("rgp-las:w=512".parse()?, &spec, seed)` |
+//! | `run_figure1(&cfg) -> Vec<Figure1Row>` + `geometric_mean_row` | `run_figure1(&cfg) -> SweepReport` (cells + aggregates) |
 //!
 //! ## Crate map
 //!
@@ -40,8 +72,8 @@
 //! | [`numa`] (`numadag-numa`) | topology, distance matrix, page placement, cost model, traffic stats |
 //! | [`graph`] (`numadag-graph`) | CSR graphs + multilevel k-way partitioner (SCOTCH substitute) |
 //! | [`tdg`] (`numadag-tdg`) | tasks, dependence analysis, the TDG, windows |
-//! | [`core`] (`numadag-core`) | the scheduling policies: DFIFO, EP, LAS, RGP(+LAS) |
-//! | [`runtime`] (`numadag-runtime`) | discrete-event simulator + threaded executor |
+//! | [`core`] (`numadag-core`) | the scheduling policies: DFIFO, EP, LAS, RGP(+LAS) + the `PolicyKind` registry |
+//! | [`runtime`] (`numadag-runtime`) | `Executor` trait, simulator + threaded backends, `Experiment`/`SweepReport` |
 //! | [`kernels`] (`numadag-kernels`) | the eight applications of Figure 1 + dense linalg |
 //! | `numadag-bench` (not re-exported) | benchmark harness: `figure1`/`ablation` bins + criterion benches |
 //!
@@ -49,14 +81,15 @@
 //!
 //! Four runnable examples live in `examples/` (`cargo run --example <name> --release`):
 //!
-//! * `quickstart` — every policy on a small Jacobi instance, with makespans,
-//!   locality and imbalance side by side.
+//! * `quickstart` — every policy on a small Jacobi instance through one
+//!   `Experiment`, with makespans, locality and imbalance side by side.
 //! * `cholesky_numa` — the densest DAG of the suite (symmetric matrix
-//!   inversion) with a per-socket placement breakdown.
+//!   inversion) as a custom `Experiment` workload, with a per-socket
+//!   placement breakdown.
 //! * `partition_playground` — the multilevel partitioner vs the naive BFS
 //!   baseline on synthetic graphs and real task-graph windows.
-//! * `stencil_sweep` — how large an RGP window the three stencil kernels
-//!   need before partitioned placement beats plain LAS.
+//! * `stencil_sweep` — the RGP window sweep as a single `Experiment` whose
+//!   policy axis is `rgp-las:w=N`.
 
 pub use numadag_core as core;
 pub use numadag_graph as graph;
@@ -68,13 +101,14 @@ pub use numadag_tdg as tdg;
 /// The most common imports for users of the library.
 pub mod prelude {
     pub use numadag_core::{
-        make_policy, DfifoPolicy, EpPolicy, LasPolicy, PolicyKind, Propagation, RgpConfig,
-        RgpPolicy, SchedulingPolicy,
+        make_policy, make_policy_with_window, DfifoPolicy, EpPolicy, LasPolicy, ParsePolicyError,
+        PolicyKind, Propagation, RgpConfig, RgpPolicy, SchedulingPolicy,
     };
     pub use numadag_kernels::{Application, DenseStore, ProblemScale};
     pub use numadag_numa::{CostModel, MemoryMap, NodeId, SocketId, Topology};
     pub use numadag_runtime::{
-        ExecutionConfig, ExecutionReport, Simulator, StealMode, ThreadedExecutor,
+        Backend, ExecutionConfig, ExecutionReport, Executor, Experiment, Simulator, StealMode,
+        SweepCell, SweepReport, ThreadedExecutor,
     };
     pub use numadag_tdg::{
         AccessMode, DataAccess, TaskGraph, TaskGraphSpec, TaskId, TaskSpec, TdgBuilder,
@@ -94,8 +128,27 @@ mod tests {
         builder.submit(TaskSpec::new("consumer").work(10.0).reads(r, 1024));
         let (graph, sizes) = builder.finish();
         let spec = TaskGraphSpec::new("facade", graph, sizes);
-        let simulator = Simulator::new(ExecutionConfig::new(Topology::two_socket(2)));
-        let report = simulator.run(&spec, &mut LasPolicy::new(1));
+        let executor = Backend::Simulated.executor(ExecutionConfig::new(Topology::two_socket(2)));
+        let mut policy = LasPolicy::new(1);
+        let report = executor.execute(&spec, &mut policy);
         assert_eq!(report.tasks, 2);
+    }
+
+    #[test]
+    fn facade_experiment_composes() {
+        let mut builder = TdgBuilder::new();
+        let r = builder.region(1024);
+        for _ in 0..8 {
+            builder.submit(TaskSpec::new("step").work(10.0).reads_writes(r, 1024));
+        }
+        let (graph, sizes) = builder.finish();
+        let spec = TaskGraphSpec::new("facade-sweep", graph, sizes);
+        let report = Experiment::new()
+            .topology(Topology::two_socket(2))
+            .workload(spec)
+            .policies(["dfifo".parse::<PolicyKind>().unwrap()])
+            .run();
+        assert_eq!(report.policy_labels(), vec!["DFIFO", "LAS"]);
+        assert!(report.to_json_string().contains("\"aggregates\""));
     }
 }

@@ -1,0 +1,100 @@
+//! Backend-parity tests: the simulator and the threaded executor implement
+//! the same `Executor` contract, consult the policies identically, and keep
+//! the same placement/traffic bookkeeping. Driven entirely through `dyn
+//! Executor` trait objects, as the harnesses use them.
+
+use numadag::prelude::*;
+
+fn backends(config: ExecutionConfig) -> Vec<Box<dyn Executor>> {
+    vec![
+        Backend::Simulated.executor(config.clone()),
+        Backend::Threaded.executor(config),
+    ]
+}
+
+#[test]
+fn both_backends_agree_on_counts_placements_and_invariants() {
+    // With stealing disabled and the deterministic EP policy, both backends
+    // must make identical placement decisions for every task.
+    let spec = Application::NStream.build(ProblemScale::Tiny, 4);
+    let config = ExecutionConfig::new(Topology::four_socket(2)).with_steal(StealMode::NoStealing);
+
+    let mut reports = Vec::new();
+    for executor in backends(config) {
+        let mut policy = make_policy(PolicyKind::Ep, &spec, 5).expect("EP placement ships");
+        let report = executor.execute(&spec, policy.as_mut());
+
+        // Report invariants that must hold on any backend.
+        assert_eq!(
+            report.tasks,
+            spec.num_tasks(),
+            "{}",
+            executor.backend_name()
+        );
+        assert_eq!(
+            report.tasks_per_socket.iter().sum::<usize>(),
+            spec.num_tasks(),
+            "{}: task accounting",
+            executor.backend_name()
+        );
+        assert_eq!(report.stolen_tasks, 0, "{}", executor.backend_name());
+        assert!(report.makespan_ns > 0.0, "{}", executor.backend_name());
+        let local = report.local_fraction();
+        assert!((0.0..=1.0).contains(&local), "{}", executor.backend_name());
+        reports.push(report);
+    }
+
+    let (sim, thr) = (&reports[0], &reports[1]);
+    assert_eq!(sim.tasks, thr.tasks);
+    assert_eq!(
+        sim.tasks_per_socket, thr.tasks_per_socket,
+        "EP placement must be identical in both executors"
+    );
+    // Same placements → same deferred allocation and same traffic ledger.
+    assert_eq!(sim.deferred_bytes, thr.deferred_bytes);
+    assert_eq!(sim.traffic.total_bytes(), thr.traffic.total_bytes());
+    assert_eq!(sim.traffic.local_bytes, thr.traffic.local_bytes);
+    assert_eq!(sim.traffic.remote_bytes, thr.traffic.remote_bytes);
+}
+
+#[test]
+fn experiment_runs_the_same_sweep_on_both_backends() {
+    for backend in [Backend::Simulated, Backend::Threaded] {
+        let report = Experiment::new()
+            .topology(Topology::two_socket(2))
+            .app(Application::NStream)
+            .scale(ProblemScale::Tiny)
+            .policies([PolicyKind::Dfifo, PolicyKind::RgpLas])
+            .backend(backend)
+            .seed(11)
+            .run();
+        assert_eq!(report.backend, backend.label());
+        assert_eq!(report.policy_labels(), vec!["DFIFO", "RGP+LAS", "LAS"]);
+        assert_eq!(report.cells.len(), 3);
+        for cell in &report.cells {
+            assert_eq!(cell.tasks, report.cells[0].tasks, "same workload instance");
+            assert!(cell.makespan_ns > 0.0);
+        }
+    }
+}
+
+#[test]
+fn every_policy_runs_through_every_backend_trait_object() {
+    let spec = Application::Jacobi.build(ProblemScale::Tiny, 2);
+    let config = ExecutionConfig::new(Topology::two_socket(2));
+    for executor in backends(config) {
+        for kind in PolicyKind::all() {
+            let Some(mut policy) = make_policy(kind, &spec, 3) else {
+                continue;
+            };
+            let report = executor.execute(&spec, policy.as_mut());
+            assert_eq!(
+                report.tasks,
+                spec.num_tasks(),
+                "{} under {kind}",
+                executor.backend_name()
+            );
+            assert_eq!(report.policy, kind.base_label(), "{kind}");
+        }
+    }
+}

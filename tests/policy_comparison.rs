@@ -1,16 +1,17 @@
 //! End-to-end integration tests: the whole stack (kernels → TDG → policies →
-//! simulator) composed through the public facade, checking the qualitative
-//! claims of the paper on small problem instances.
+//! executors) composed through the public facade, checking the qualitative
+//! claims of the paper on small problem instances. Sweeps go through the
+//! `Experiment` API; single-run invariants go through the `Executor` trait.
 
 use numadag::prelude::*;
 
-fn simulator() -> Simulator {
-    Simulator::new(ExecutionConfig::bullion_s16())
+fn executor() -> Box<dyn Executor> {
+    Backend::Simulated.executor(ExecutionConfig::bullion_s16())
 }
 
 fn run(spec: &TaskGraphSpec, kind: PolicyKind, seed: u64) -> ExecutionReport {
     let mut policy = make_policy(kind, spec, seed).expect("policy must build");
-    simulator().run(spec, policy.as_mut())
+    executor().execute(spec, policy.as_mut())
 }
 
 #[test]
@@ -68,26 +69,36 @@ fn traffic_conservation_holds_for_all_policies() {
 fn numa_aware_policies_have_more_local_traffic_than_dfifo() {
     // On stencil-style kernels the locality-aware policies must serve a
     // larger fraction of bytes from the local node than blind round robin.
-    for app in [
-        Application::Jacobi,
-        Application::NStream,
-        Application::RedBlack,
-    ] {
-        let spec = app.build(ProblemScale::Small, 8);
-        let dfifo = run(&spec, PolicyKind::Dfifo, 9);
-        let las = run(&spec, PolicyKind::Las, 9);
-        let rgp = run(&spec, PolicyKind::RgpLas, 9);
+    // One Experiment covers the whole (app × policy) matrix.
+    let report = Experiment::new()
+        .apps([
+            Application::Jacobi,
+            Application::NStream,
+            Application::RedBlack,
+        ])
+        .scale(ProblemScale::Small)
+        .policies([PolicyKind::Dfifo, PolicyKind::RgpLas])
+        .seed(9)
+        .run();
+    for app in report.application_labels() {
+        let local = |policy: &str| {
+            report
+                .cells_of(&app, policy)
+                .first()
+                .map(|c| c.local_fraction)
+                .unwrap()
+        };
         assert!(
-            las.local_fraction() > dfifo.local_fraction(),
+            local("LAS") > local("DFIFO"),
             "{app}: LAS local {:.3} <= DFIFO {:.3}",
-            las.local_fraction(),
-            dfifo.local_fraction()
+            local("LAS"),
+            local("DFIFO")
         );
         assert!(
-            rgp.local_fraction() > dfifo.local_fraction(),
+            local("RGP+LAS") > local("DFIFO"),
             "{app}: RGP+LAS local {:.3} <= DFIFO {:.3}",
-            rgp.local_fraction(),
-            dfifo.local_fraction()
+            local("RGP+LAS"),
+            local("DFIFO")
         );
     }
 }
@@ -95,18 +106,18 @@ fn numa_aware_policies_have_more_local_traffic_than_dfifo() {
 #[test]
 fn rgp_las_beats_the_baseline_on_the_small_suite_geomean() {
     // The paper's headline claim, in miniature: the geometric mean speedup of
-    // RGP+LAS over LAS across the suite is above 1.
-    let mut speedups = Vec::new();
-    for app in Application::all() {
-        let spec = app.build(ProblemScale::Small, 8);
-        let las = run(&spec, PolicyKind::Las, 23);
-        let rgp = run(&spec, PolicyKind::RgpLas, 23);
-        speedups.push(las.makespan_ns / rgp.makespan_ns);
-    }
-    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    // RGP+LAS over LAS across the suite is above 1. The aggregation is the
+    // SweepReport's own.
+    let report = Experiment::new()
+        .apps(Application::all())
+        .scale(ProblemScale::Small)
+        .policies([PolicyKind::RgpLas])
+        .seed(23)
+        .run();
+    let geomean = report.geomean_of("RGP+LAS").unwrap();
     assert!(
         geomean > 1.0,
-        "RGP+LAS geometric-mean speedup {geomean:.3} should exceed 1.0 (per-app: {speedups:?})"
+        "RGP+LAS geometric-mean speedup {geomean:.3} should exceed 1.0"
     );
 }
 
@@ -115,26 +126,35 @@ fn flat_cost_model_removes_the_policy_gap() {
     // Control experiment: with no NUMA penalty, RGP+LAS and DFIFO perform the
     // same to within a few percent, demonstrating the gap really is a NUMA
     // effect and not a scheduling artefact.
-    let config = ExecutionConfig::bullion_s16().with_cost_model(CostModel::flat());
-    let simulator = Simulator::new(config);
-    let spec = Application::NStream.build(ProblemScale::Small, 8);
-    let mut rgp = make_policy(PolicyKind::RgpLas, &spec, 1).unwrap();
-    let mut dfifo = make_policy(PolicyKind::Dfifo, &spec, 1).unwrap();
-    let a = simulator.run(&spec, rgp.as_mut()).makespan_ns;
-    let b = simulator.run(&spec, dfifo.as_mut()).makespan_ns;
+    let report = Experiment::new()
+        .cost_model(CostModel::flat())
+        .app(Application::NStream)
+        .scale(ProblemScale::Small)
+        .policies([PolicyKind::RgpLas, PolicyKind::Dfifo])
+        .seed(1)
+        .run();
+    let makespan = |policy: &str| {
+        report
+            .cells_of("NStream", policy)
+            .first()
+            .map(|c| c.makespan_ns)
+            .unwrap()
+    };
+    let (a, b) = (makespan("RGP+LAS"), makespan("DFIFO"));
     let ratio = a.max(b) / a.min(b);
     assert!(ratio < 1.10, "flat-model ratio {ratio:.3}");
 }
 
 #[test]
 fn uma_machine_makes_all_policies_equivalent() {
-    let simulator = Simulator::new(ExecutionConfig::new(Topology::uma(8)));
-    let spec = Application::Jacobi.build(ProblemScale::Tiny, 1);
-    let mut makespans = Vec::new();
-    for kind in [PolicyKind::Las, PolicyKind::RgpLas, PolicyKind::Dfifo] {
-        let mut policy = make_policy(kind, &spec, 2).unwrap();
-        makespans.push(simulator.run(&spec, policy.as_mut()).makespan_ns);
-    }
+    let report = Experiment::new()
+        .topology(Topology::uma(8))
+        .app(Application::Jacobi)
+        .scale(ProblemScale::Tiny)
+        .policies([PolicyKind::RgpLas, PolicyKind::Dfifo])
+        .seed(2)
+        .run();
+    let makespans: Vec<f64> = report.cells.iter().map(|c| c.makespan_ns).collect();
     let max = makespans.iter().cloned().fold(f64::MIN, f64::max);
     let min = makespans.iter().cloned().fold(f64::MAX, f64::min);
     assert!(
@@ -148,11 +168,22 @@ fn ep_and_rgp_las_are_competitive_with_each_other() {
     // The paper's figure shows EP and RGP+LAS close together (both ≥ LAS on
     // most codes). Check they are within a factor of 2 of each other —
     // a loose sanity bound that catches gross regressions in either policy.
-    for app in [Application::Jacobi, Application::QrFactorization] {
-        let spec = app.build(ProblemScale::Small, 8);
-        let ep = run(&spec, PolicyKind::Ep, 31);
-        let rgp = run(&spec, PolicyKind::RgpLas, 31);
-        let ratio = ep.makespan_ns.max(rgp.makespan_ns) / ep.makespan_ns.min(rgp.makespan_ns);
+    let report = Experiment::new()
+        .apps([Application::Jacobi, Application::QrFactorization])
+        .scale(ProblemScale::Small)
+        .policies([PolicyKind::Ep, PolicyKind::RgpLas])
+        .seed(31)
+        .run();
+    for app in report.application_labels() {
+        let makespan = |policy: &str| {
+            report
+                .cells_of(&app, policy)
+                .first()
+                .map(|c| c.makespan_ns)
+                .unwrap()
+        };
+        let (ep, rgp) = (makespan("EP"), makespan("RGP+LAS"));
+        let ratio = ep.max(rgp) / ep.min(rgp);
         assert!(ratio < 2.0, "{app}: EP vs RGP+LAS ratio {ratio:.3}");
     }
 }
@@ -165,10 +196,11 @@ fn window_socket_decisions_are_respected_without_stealing() {
     let config = ExecutionConfig::bullion_s16()
         .with_steal(StealMode::NoStealing)
         .with_trace();
-    let simulator = Simulator::new(config);
+    let executor = Backend::Simulated.executor(config);
     let mut rgp = RgpPolicy::rgp_las();
-    let report = simulator.run(&spec, &mut rgp);
+    let report = executor.execute(&spec, &mut rgp);
     assert_eq!(report.stolen_tasks, 0);
+    assert!(!report.trace.is_empty());
     for placement in &report.trace {
         if let Some(expected) = rgp.window_socket_of(placement.task) {
             assert_eq!(

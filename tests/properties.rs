@@ -124,13 +124,33 @@ proptest! {
             .with_ep_placement(vec![0; num_tasks]);
         let kind = PolicyKind::all()[policy_idx % 5];
         let mut policy = make_policy(kind, &spec, seed).unwrap();
-        let simulator = Simulator::new(ExecutionConfig::bullion_s16());
-        let report = simulator.run(&spec, policy.as_mut());
+        let executor = Backend::Simulated.executor(ExecutionConfig::bullion_s16());
+        let report = executor.execute(&spec, policy.as_mut());
         prop_assert_eq!(report.tasks, spec.num_tasks());
         prop_assert_eq!(report.traffic.total_bytes(), declared);
         prop_assert!(report.makespan_ns + 1e-6 >= spec.graph.critical_path_work());
         prop_assert!(report.traffic.local_fraction() >= 0.0);
         prop_assert!(report.traffic.local_fraction() <= 1.0);
+    }
+
+    /// The policy registry: every registered kind's canonical label parses
+    /// back to exactly that kind, for the base policies and for arbitrary
+    /// RGP window parameters, no matter how the label is cased or separated.
+    #[test]
+    fn policy_kind_labels_round_trip(
+        idx in 0usize..5,
+        window in 1usize..100_000,
+    ) {
+        let base = PolicyKind::all()[idx];
+        prop_assert_eq!(base.label().parse::<PolicyKind>().unwrap(), base);
+        prop_assert_eq!(base.label().to_lowercase().parse::<PolicyKind>().unwrap(), base);
+        if let Some(windowed) = base.with_window(window) {
+            prop_assert_eq!(windowed.label().parse::<PolicyKind>().unwrap(), windowed);
+            prop_assert_eq!(windowed.window(), Some(window));
+            prop_assert_eq!(windowed.base_label(), base.base_label());
+        } else {
+            prop_assert_eq!(base.window(), None);
+        }
     }
 
     /// Deferred allocation places every region on the socket of a task that
@@ -149,8 +169,8 @@ proptest! {
         let (graph, sizes) = builder.finish();
         let spec = TaskGraphSpec::new("prop-defer", graph, sizes);
         let mut policy = LasPolicy::new(seed);
-        let simulator = Simulator::new(ExecutionConfig::bullion_s16());
-        let report = simulator.run(&spec, &mut policy);
+        let executor = Backend::Simulated.executor(ExecutionConfig::bullion_s16());
+        let report = executor.execute(&spec, &mut policy);
         // Every region was written exactly once, so all deferred allocations
         // add up to the total data size.
         prop_assert_eq!(report.deferred_bytes, 4096 * num_blocks as u64);

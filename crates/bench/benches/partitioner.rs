@@ -1,5 +1,10 @@
 //! Microbenchmark: cost and quality of the graph partitioner (the SCOTCH
 //! substitute RGP calls once per window).
+//!
+//! The layered-DAG group is the shape that matters for RGP: the undirected
+//! skeleton of an iterative stencil's task window. It runs up to 500k
+//! vertices — the ROADMAP's "don't trust small-graph numbers" floor is
+//! 100k+, so the group covers 2k, 100k, 250k and 500k.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use numadag_graph::generators;
@@ -24,10 +29,29 @@ fn bench_partitioner(c: &mut Criterion) {
         });
     }
 
-    let layered = generators::layered_dag_skeleton(64, 32, 2, 1 << 16);
-    group.bench_function("multilevel_layered_dag_2048", |b| {
-        b.iter(|| partition(&layered, &PartitionConfig::new(8)));
-    });
+    // Layered-DAG windows from 2k to 500k vertices (layers × width), the
+    // 100k+ sizes being the ones RGP must survive at full problem scale.
+    for &(layers, width) in &[(64usize, 32usize), (200, 500), (500, 500), (500, 1000)] {
+        let n = layers * width;
+        let layered = generators::layered_dag_skeleton(layers, width, 2, 1 << 16);
+        group.bench_with_input(
+            BenchmarkId::new("multilevel_layered_dag", n),
+            &layered,
+            |b, g| {
+                b.iter(|| partition(g, &PartitionConfig::new(8)));
+            },
+        );
+        if n >= 100_000 {
+            group.bench_with_input(BenchmarkId::new("bfs_layered_dag", n), &layered, |b, g| {
+                b.iter(|| {
+                    partition(
+                        g,
+                        &PartitionConfig::new(8).with_scheme(PartitionScheme::BfsGrowing),
+                    )
+                });
+            });
+        }
+    }
 
     group.finish();
 }

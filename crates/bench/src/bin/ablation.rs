@@ -5,12 +5,16 @@
 //! cargo run -p numadag-bench --bin ablation --release -- [window|sockets|partitioner|all]
 //! ```
 //!
-//! The execution ablations are expressed as [`Experiment`] sweeps: the
-//! window study is one sweep whose policy axis is RGP+LAS at increasing
-//! window sizes (`rgp-las:w=N` registry labels), and the socket study is one
-//! Figure-1 sweep per machine size.
+//! All three ablations are expressed as [`Experiment`] sweeps: the window
+//! study is one sweep whose policy axis is RGP+LAS at increasing window
+//! sizes (`rgp-las:w=N` registry labels), the socket study is one Figure-1
+//! sweep per machine size, and the partitioner study is one sweep whose
+//! policy axis is RGP+LAS under each partitioning scheme
+//! (`rgp-las:scheme=ml|rb|bfs` registry labels) — every ablation therefore
+//! lands in the same `SweepReport` shape. The partitioner study additionally
+//! prints the raw window-cut comparison underlying the speedups.
 
-use numadag_core::PolicyKind;
+use numadag_core::{PolicyKind, RgpTuning};
 use numadag_graph::{partition, PartitionConfig, PartitionScheme};
 use numadag_kernels::{Application, ProblemScale};
 use numadag_numa::Topology;
@@ -32,7 +36,7 @@ fn window_ablation() {
     let report = Experiment::new()
         .apps(apps)
         .scale(SCALE)
-        .policies(window_sizes.map(PolicyKind::RgpLasWindow))
+        .policies(window_sizes.map(PolicyKind::rgp_las_window))
         .seed(SEED)
         .run();
 
@@ -44,7 +48,7 @@ fn window_ablation() {
     for app in apps {
         print!("| {:<22} |", app.label());
         for w in window_sizes {
-            let label = PolicyKind::RgpLasWindow(w).label();
+            let label = PolicyKind::rgp_las_window(w).label();
             let s = report.speedup_of(app.label(), &label).unwrap_or(f64::NAN);
             print!(" {s:>6.3} |");
         }
@@ -72,22 +76,55 @@ fn socket_ablation() {
     }
 }
 
-/// ABL-PART: multilevel FM vs the naive BFS partitioner — cut quality on the
-/// first window of real TDGs.
+/// ABL-PART: the end-to-end effect of the window partitioner — RGP+LAS
+/// speedup over LAS under each partitioning scheme, as one `Experiment`
+/// sweep (each `rgp-las:scheme=…` spelling is its own report column) —
+/// followed by the raw window-cut comparison that explains the speedups.
 fn partitioner_ablation() {
-    println!("\n# ABL-PART — multilevel k-way vs naive BFS growing ({SCALE:?} scale)\n");
+    let apps = [
+        Application::Jacobi,
+        Application::QrFactorization,
+        Application::ConjugateGradient,
+        Application::IntegralHistogram,
+    ];
+    let schemes = PartitionScheme::all();
+
+    println!("\n# ABL-PART — RGP+LAS speedup over LAS per partitioning scheme ({SCALE:?} scale)\n");
+    let report = Experiment::new()
+        .apps(apps)
+        .scale(SCALE)
+        .policies(schemes.map(|s| PolicyKind::rgp_las(RgpTuning::default().with_scheme(s))))
+        .seed(SEED)
+        .run();
+    print!("| {:<22} |", "application");
+    for scheme in schemes {
+        print!(" {:>10} |", format!("scheme={}", scheme.token()));
+    }
+    println!();
+    for app in apps {
+        print!("| {:<22} |", app.label());
+        for scheme in schemes {
+            let label = PolicyKind::rgp_las(RgpTuning::default().with_scheme(scheme)).label();
+            let s = report.speedup_of(app.label(), &label).unwrap_or(f64::NAN);
+            print!(" {s:>10.3} |");
+        }
+        println!();
+    }
+    print!("| {:<22} |", "geometric mean");
+    for scheme in schemes {
+        let label = PolicyKind::rgp_las(RgpTuning::default().with_scheme(scheme)).label();
+        print!(" {:>10.3} |", report.geomean_of(&label).unwrap_or(f64::NAN));
+    }
+    println!();
+
+    println!("\n## Window cut quality — multilevel k-way vs naive BFS growing\n");
     let topo = Topology::bullion_s16();
     let k = topo.num_sockets();
     println!(
         "| {:<22} | {:>14} | {:>14} | {:>8} |",
         "application", "ML cut (bytes)", "BFS cut (bytes)", "ratio"
     );
-    for app in [
-        Application::Jacobi,
-        Application::QrFactorization,
-        Application::ConjugateGradient,
-        Application::IntegralHistogram,
-    ] {
+    for app in apps {
         let spec = app.build(SCALE, k);
         let window = TaskWindow::initial(&spec.graph, WindowConfig::new(1024));
         let wg = window_to_csr(&spec.graph, &window);

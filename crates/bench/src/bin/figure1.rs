@@ -10,7 +10,10 @@
 //! ```
 //!
 //! Policies are parsed through the `PolicyKind` registry, so any registered
-//! label works, including parameterised RGP windows (`rgp-las:w=512`).
+//! label works, including parameterised RGP variants: window size
+//! (`rgp-las:w=512`), partitioning scheme (`rgp-las:scheme=ml|rb|bfs`) and
+//! refinement passes (`rgp-las:passes=4`), in any combination — partitioner
+//! ablations run through the same sweep as everything else.
 
 use numadag_bench::{paper_reference, run_figure1, HarnessConfig};
 use numadag_core::PolicyKind;

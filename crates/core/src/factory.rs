@@ -5,11 +5,16 @@
 //! Each kind has a canonical [`PolicyKind::label`] that round-trips through
 //! [`PolicyKind::from_str`], so benchmark binaries, examples and tests can
 //! select policies from CLI arguments or config files instead of hard-coded
-//! match arms. Parameterised policies encode their parameters in the label
-//! (e.g. `RGP+LAS:w=512` for RGP+LAS with a 512-task window).
+//! match arms. Parameterised policies encode their parameters in the label:
+//! the RGP variants accept a window size, a partitioning scheme and a
+//! refinement pass limit, e.g. `RGP+LAS:w=512,scheme=rb,passes=4` (see
+//! [`RgpTuning`]). Partitioner ablations therefore run through the exact
+//! same `Experiment`/`SweepReport` path as every other policy comparison —
+//! each tuned spelling is its own report column.
 
 use std::str::FromStr;
 
+use numadag_graph::PartitionScheme;
 use numadag_tdg::TaskGraphSpec;
 
 use crate::dfifo::DfifoPolicy;
@@ -18,9 +23,81 @@ use crate::las::LasPolicy;
 use crate::policy::SchedulingPolicy;
 use crate::rgp::{Propagation, RgpConfig, RgpPolicy};
 
+/// The tunable knobs of an RGP policy kind, as encoded in registry labels.
+///
+/// `None` means "use the default", and a tuning with every knob unset is
+/// normalised away to the plain `RgpLas`/`RgpRr` kinds by the
+/// [`PolicyKind::rgp_las`]/[`PolicyKind::rgp_rr`] constructors, so label
+/// round-trips stay exact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct RgpTuning {
+    /// RGP window size (`w=512`).
+    pub window: Option<usize>,
+    /// Partitioning scheme used on the window (`scheme=ml|rb|bfs`).
+    pub scheme: Option<PartitionScheme>,
+    /// Refinement passes per level of the window partitioner (`passes=4`).
+    pub passes: Option<usize>,
+}
+
+impl RgpTuning {
+    /// True when every knob is unset (the kind behaves like the plain
+    /// registry entry).
+    pub fn is_default(&self) -> bool {
+        *self == RgpTuning::default()
+    }
+
+    /// Sets the window size.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = Some(window);
+        self
+    }
+
+    /// Sets the partitioning scheme.
+    pub fn with_scheme(mut self, scheme: PartitionScheme) -> Self {
+        self.scheme = Some(scheme);
+        self
+    }
+
+    /// Sets the refinement pass limit.
+    pub fn with_passes(mut self, passes: usize) -> Self {
+        self.passes = Some(passes);
+        self
+    }
+
+    /// The `key=value` parameter list of the canonical label, in stable
+    /// order (`w`, `scheme`, `passes`); empty for a default tuning.
+    fn params_label(&self) -> String {
+        let mut params: Vec<String> = Vec::new();
+        if let Some(w) = self.window {
+            params.push(format!("w={w}"));
+        }
+        if let Some(scheme) = self.scheme {
+            params.push(format!("scheme={}", scheme.token()));
+        }
+        if let Some(passes) = self.passes {
+            params.push(format!("passes={passes}"));
+        }
+        params.join(",")
+    }
+
+    /// Applies the set knobs on top of an [`RgpConfig`].
+    fn apply(&self, mut config: RgpConfig) -> RgpConfig {
+        if let Some(w) = self.window {
+            config = config.with_window_size(w);
+        }
+        if let Some(scheme) = self.scheme {
+            config = config.with_scheme(scheme);
+        }
+        if let Some(passes) = self.passes {
+            config = config.with_refine_passes(passes);
+        }
+        config
+    }
+}
+
 /// The scheduling policies evaluated in the paper (plus the RGP round-robin
-/// propagation ablation). The `…Window` variants carry an explicit RGP
-/// window size; the plain `Rgp…` variants use the default window.
+/// propagation ablation). The `…Tuned` variants carry explicit RGP
+/// parameters ([`RgpTuning`]); the plain `Rgp…` variants use the defaults.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
     /// Distributed FIFO.
@@ -33,10 +110,10 @@ pub enum PolicyKind {
     RgpLas,
     /// Runtime graph partitioning with round-robin propagation (ablation).
     RgpRr,
-    /// RGP+LAS with an explicit window size.
-    RgpLasWindow(usize),
-    /// RGP+RR with an explicit window size.
-    RgpRrWindow(usize),
+    /// RGP+LAS with explicit window/partitioner parameters.
+    RgpLasTuned(RgpTuning),
+    /// RGP+RR with explicit window/partitioner parameters.
+    RgpRrTuned(RgpTuning),
 }
 
 /// Error returned when a policy label cannot be parsed.
@@ -48,7 +125,8 @@ impl std::fmt::Display for ParsePolicyError {
         write!(
             f,
             "unknown policy {:?} (expected one of: dfifo, ep, las, rgp-las, rgp-rr, \
-             optionally with an RGP window suffix like rgp-las:w=512)",
+             optionally with RGP parameters like rgp-las:w=512,scheme=rb,passes=4 \
+             where scheme is one of ml, rb, bfs)",
             self.0
         )
     }
@@ -67,7 +145,7 @@ impl PolicyKind {
         ]
     }
 
-    /// All registered base policies (windowed RGP variants are parameterised
+    /// All registered base policies (tuned RGP variants are parameterised
     /// spellings of `RgpLas`/`RgpRr`, not separate registry entries).
     pub fn all() -> [PolicyKind; 5] {
         [
@@ -79,55 +157,134 @@ impl PolicyKind {
         ]
     }
 
+    /// RGP+LAS with the given tuning, normalising a default tuning to the
+    /// plain [`PolicyKind::RgpLas`] so labels stay canonical.
+    pub fn rgp_las(tuning: RgpTuning) -> PolicyKind {
+        if tuning.is_default() {
+            PolicyKind::RgpLas
+        } else {
+            PolicyKind::RgpLasTuned(tuning)
+        }
+    }
+
+    /// RGP+RR with the given tuning (see [`PolicyKind::rgp_las`]).
+    pub fn rgp_rr(tuning: RgpTuning) -> PolicyKind {
+        if tuning.is_default() {
+            PolicyKind::RgpRr
+        } else {
+            PolicyKind::RgpRrTuned(tuning)
+        }
+    }
+
+    /// RGP+LAS with an explicit window size (shorthand for the most common
+    /// tuning).
+    pub fn rgp_las_window(window: usize) -> PolicyKind {
+        PolicyKind::RgpLasTuned(RgpTuning::default().with_window(window))
+    }
+
+    /// RGP+RR with an explicit window size.
+    pub fn rgp_rr_window(window: usize) -> PolicyKind {
+        PolicyKind::RgpRrTuned(RgpTuning::default().with_window(window))
+    }
+
     /// The canonical label: the paper's display name, with any parameters
-    /// appended (`RGP+LAS:w=512`). Round-trips through [`PolicyKind::from_str`].
+    /// appended (`RGP+LAS:w=512,scheme=rb`). Round-trips through
+    /// [`PolicyKind::from_str`].
     pub fn label(&self) -> String {
         match self {
-            PolicyKind::RgpLasWindow(w) => format!("RGP+LAS:w={w}"),
-            PolicyKind::RgpRrWindow(w) => format!("RGP+RR:w={w}"),
+            PolicyKind::RgpLasTuned(t) | PolicyKind::RgpRrTuned(t) => {
+                let params = t.params_label();
+                if params.is_empty() {
+                    // A hand-constructed Tuned variant with a default tuning
+                    // (the constructors normalise this away) still labels as
+                    // the plain kind, never as a dangling "RGP+LAS:".
+                    self.base_label().to_string()
+                } else {
+                    format!("{}:{}", self.base_label(), params)
+                }
+            }
             other => other.base_label().to_string(),
         }
     }
 
     /// The display name used in reports (matches the paper's labels); the
-    /// window parameter, if any, is dropped.
+    /// RGP parameters, if any, are dropped.
     pub fn base_label(&self) -> &'static str {
         match self {
             PolicyKind::Dfifo => "DFIFO",
             PolicyKind::Ep => "EP",
             PolicyKind::Las => "LAS",
-            PolicyKind::RgpLas | PolicyKind::RgpLasWindow(_) => "RGP+LAS",
-            PolicyKind::RgpRr | PolicyKind::RgpRrWindow(_) => "RGP+RR",
+            PolicyKind::RgpLas | PolicyKind::RgpLasTuned(_) => "RGP+LAS",
+            PolicyKind::RgpRr | PolicyKind::RgpRrTuned(_) => "RGP+RR",
+        }
+    }
+
+    /// The RGP tuning encoded in this kind (`None` for non-RGP policies; the
+    /// plain RGP kinds report the default tuning).
+    pub fn tuning(&self) -> Option<RgpTuning> {
+        match self {
+            PolicyKind::RgpLas | PolicyKind::RgpRr => Some(RgpTuning::default()),
+            PolicyKind::RgpLasTuned(t) | PolicyKind::RgpRrTuned(t) => Some(*t),
+            _ => None,
         }
     }
 
     /// The explicit RGP window size encoded in this kind, if any.
     pub fn window(&self) -> Option<usize> {
-        match self {
-            PolicyKind::RgpLasWindow(w) | PolicyKind::RgpRrWindow(w) => Some(*w),
-            _ => None,
-        }
+        self.tuning().and_then(|t| t.window)
     }
 
-    /// This kind with the given explicit RGP window. Returns `None` for
-    /// policies that have no window parameter.
+    /// This kind with the given explicit RGP window, keeping any other
+    /// encoded parameters. Returns `None` for policies that have no window
+    /// parameter.
     pub fn with_window(&self, window: usize) -> Option<PolicyKind> {
+        self.map_tuning(|t| t.with_window(window))
+    }
+
+    /// This kind with the given partitioning scheme (RGP kinds only).
+    pub fn with_scheme(&self, scheme: PartitionScheme) -> Option<PolicyKind> {
+        self.map_tuning(|t| t.with_scheme(scheme))
+    }
+
+    /// This kind with the given refinement pass limit (RGP kinds only).
+    pub fn with_passes(&self, passes: usize) -> Option<PolicyKind> {
+        self.map_tuning(|t| t.with_passes(passes))
+    }
+
+    fn map_tuning(&self, f: impl FnOnce(RgpTuning) -> RgpTuning) -> Option<PolicyKind> {
         match self {
-            PolicyKind::RgpLas | PolicyKind::RgpLasWindow(_) => {
-                Some(PolicyKind::RgpLasWindow(window))
+            PolicyKind::RgpLas | PolicyKind::RgpLasTuned(_) => {
+                Some(PolicyKind::rgp_las(f(self.tuning().unwrap())))
             }
-            PolicyKind::RgpRr | PolicyKind::RgpRrWindow(_) => Some(PolicyKind::RgpRrWindow(window)),
+            PolicyKind::RgpRr | PolicyKind::RgpRrTuned(_) => {
+                Some(PolicyKind::rgp_rr(f(self.tuning().unwrap())))
+            }
             _ => None,
         }
     }
 
     /// Parses a comma-separated list of policy labels (CLI convenience).
+    /// Commas inside a `:`-parameter list belong to the parameter list, so
+    /// `dfifo,rgp-las:w=64,scheme=rb` is two policies, not three.
     pub fn parse_list(s: &str) -> Result<Vec<PolicyKind>, ParsePolicyError> {
-        s.split(',')
-            .map(str::trim)
-            .filter(|p| !p.is_empty())
-            .map(PolicyKind::from_str)
-            .collect()
+        let mut out = Vec::new();
+        let mut current = String::new();
+        for piece in s.split(',') {
+            if !current.is_empty() && piece.contains('=') && !piece.contains(':') {
+                // Continuation of the previous policy's parameter list.
+                current.push(',');
+                current.push_str(piece.trim());
+                continue;
+            }
+            if !current.is_empty() {
+                out.push(current.parse()?);
+            }
+            current = piece.trim().to_string();
+        }
+        if !current.is_empty() {
+            out.push(current.parse()?);
+        }
+        Ok(out)
     }
 }
 
@@ -137,8 +294,9 @@ impl FromStr for PolicyKind {
     /// Parses a policy label. Matching is case-insensitive and treats `+`,
     /// `-`, `_` and spaces as the same separator, so `RGP+LAS`, `rgp-las` and
     /// `rgp_las` all name the same policy. An optional `:`-separated
-    /// parameter list selects the RGP window: `rgp-las:w=512` (also
-    /// `window=512`).
+    /// parameter list selects the RGP window, partitioning scheme and
+    /// refinement pass limit: `rgp-las:w=512,scheme=rb,passes=4` (also
+    /// `window=512`, `p=4`).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let err = || ParsePolicyError(s.to_string());
         let normalized = s.trim().to_ascii_lowercase().replace(['+', '_', ' '], "-");
@@ -146,7 +304,7 @@ impl FromStr for PolicyKind {
             Some((b, p)) => (b, Some(p)),
             None => (normalized.as_str(), None),
         };
-        let mut window = None;
+        let mut tuning = RgpTuning::default();
         if let Some(params) = params {
             for param in params.split(',').filter(|p| !p.is_empty()) {
                 match param.split_once('=') {
@@ -155,22 +313,30 @@ impl FromStr for PolicyKind {
                         if w == 0 {
                             return Err(err());
                         }
-                        window = Some(w);
+                        tuning.window = Some(w);
+                    }
+                    Some(("scheme" | "s", value)) => {
+                        tuning.scheme = Some(PartitionScheme::from_token(value).ok_or_else(err)?);
+                    }
+                    Some(("passes" | "p", value)) => {
+                        tuning.passes = Some(value.parse().map_err(|_| err())?);
                     }
                     _ => return Err(err()),
                 }
             }
         }
-        let kind = match (base, window) {
-            ("dfifo", None) => PolicyKind::Dfifo,
-            ("ep", None) => PolicyKind::Ep,
-            ("las", None) => PolicyKind::Las,
-            ("rgp-las" | "rgplas", None) => PolicyKind::RgpLas,
-            ("rgp-rr" | "rgprr", None) => PolicyKind::RgpRr,
-            ("rgp-las" | "rgplas", Some(w)) => PolicyKind::RgpLasWindow(w),
-            ("rgp-rr" | "rgprr", Some(w)) => PolicyKind::RgpRrWindow(w),
+        let kind = match base {
+            "dfifo" => PolicyKind::Dfifo,
+            "ep" => PolicyKind::Ep,
+            "las" => PolicyKind::Las,
+            "rgp-las" | "rgplas" => PolicyKind::rgp_las(tuning),
+            "rgp-rr" | "rgprr" => PolicyKind::rgp_rr(tuning),
             _ => return Err(err()),
         };
+        if !tuning.is_default() && kind.tuning().is_none() {
+            // Parameters on a non-RGP policy are a user error.
+            return Err(err());
+        }
         Ok(kind)
     }
 }
@@ -181,8 +347,8 @@ impl std::fmt::Display for PolicyKind {
     }
 }
 
-/// Instantiates a policy for a workload. RGP kinds use the window size
-/// encoded in the kind (default window when none is encoded).
+/// Instantiates a policy for a workload. RGP kinds use the parameters
+/// encoded in the kind (defaults when none are encoded).
 ///
 /// Returns `None` only for [`PolicyKind::Ep`] when the workload does not
 /// define an expert placement.
@@ -191,12 +357,12 @@ pub fn make_policy(
     spec: &TaskGraphSpec,
     seed: u64,
 ) -> Option<Box<dyn SchedulingPolicy>> {
-    make_policy_with_window(kind, spec, seed, kind.window())
+    make_policy_with_window(kind, spec, seed, None)
 }
 
 /// Like [`make_policy`] but with an explicit RGP window size (ignored by the
 /// non-RGP policies) that overrides any window encoded in `kind`. `None`
-/// uses the default window.
+/// uses the window encoded in the kind, falling back to the default.
 pub fn make_policy_with_window(
     kind: PolicyKind,
     spec: &TaskGraphSpec,
@@ -204,22 +370,24 @@ pub fn make_policy_with_window(
     window_size: Option<usize>,
 ) -> Option<Box<dyn SchedulingPolicy>> {
     let rgp_config = |propagation| {
-        let mut cfg = RgpConfig::default()
-            .with_seed(seed)
-            .with_propagation(propagation);
-        if let Some(w) = window_size.or(kind.window()) {
-            cfg = cfg.with_window_size(w);
+        let mut tuning = kind.tuning().unwrap_or_default();
+        if window_size.is_some() {
+            tuning.window = window_size;
         }
-        cfg
+        tuning.apply(
+            RgpConfig::default()
+                .with_seed(seed)
+                .with_propagation(propagation),
+        )
     };
     Some(match kind {
         PolicyKind::Dfifo => Box::new(DfifoPolicy::new()) as Box<dyn SchedulingPolicy>,
         PolicyKind::Ep => Box::new(EpPolicy::from_spec(spec)?),
         PolicyKind::Las => Box::new(LasPolicy::new(seed)),
-        PolicyKind::RgpLas | PolicyKind::RgpLasWindow(_) => {
+        PolicyKind::RgpLas | PolicyKind::RgpLasTuned(_) => {
             Box::new(RgpPolicy::new(rgp_config(Propagation::Las)))
         }
-        PolicyKind::RgpRr | PolicyKind::RgpRrWindow(_) => {
+        PolicyKind::RgpRr | PolicyKind::RgpRrTuned(_) => {
             Box::new(RgpPolicy::new(rgp_config(Propagation::RoundRobin)))
         }
     })
@@ -249,8 +417,18 @@ mod tests {
         assert_eq!(PolicyKind::Dfifo.label(), "DFIFO");
         assert_eq!(PolicyKind::RgpLas.label(), "RGP+LAS");
         assert_eq!(PolicyKind::Las.to_string(), "LAS");
-        assert_eq!(PolicyKind::RgpLasWindow(512).label(), "RGP+LAS:w=512");
-        assert_eq!(PolicyKind::RgpRrWindow(64).base_label(), "RGP+RR");
+        assert_eq!(PolicyKind::rgp_las_window(512).label(), "RGP+LAS:w=512");
+        assert_eq!(PolicyKind::rgp_rr_window(64).base_label(), "RGP+RR");
+        assert_eq!(
+            PolicyKind::rgp_las(
+                RgpTuning::default()
+                    .with_window(512)
+                    .with_scheme(PartitionScheme::RecursiveBisection)
+                    .with_passes(4)
+            )
+            .label(),
+            "RGP+LAS:w=512,scheme=rb,passes=4"
+        );
         assert_eq!(PolicyKind::figure1().len(), 4);
         assert_eq!(PolicyKind::all().len(), 5);
     }
@@ -261,8 +439,23 @@ mod tests {
             assert_eq!(kind.label().parse::<PolicyKind>(), Ok(kind), "{kind}");
         }
         for w in [1usize, 64, 512, 4096] {
-            for kind in [PolicyKind::RgpLasWindow(w), PolicyKind::RgpRrWindow(w)] {
+            for kind in [PolicyKind::rgp_las_window(w), PolicyKind::rgp_rr_window(w)] {
                 assert_eq!(kind.label().parse::<PolicyKind>(), Ok(kind), "{kind}");
+            }
+        }
+        // Every tuning combination round-trips exactly.
+        for scheme in [None, Some(PartitionScheme::BfsGrowing)] {
+            for window in [None, Some(256)] {
+                for passes in [None, Some(2)] {
+                    let tuning = RgpTuning {
+                        window,
+                        scheme,
+                        passes,
+                    };
+                    for kind in [PolicyKind::rgp_las(tuning), PolicyKind::rgp_rr(tuning)] {
+                        assert_eq!(kind.label().parse::<PolicyKind>(), Ok(kind), "{kind}");
+                    }
+                }
             }
         }
     }
@@ -274,13 +467,29 @@ mod tests {
         }
         assert_eq!(
             "rgp-las:window=256".parse::<PolicyKind>(),
-            Ok(PolicyKind::RgpLasWindow(256))
+            Ok(PolicyKind::rgp_las_window(256))
         );
         assert_eq!(
             "RGP+RR:w=128".parse::<PolicyKind>(),
-            Ok(PolicyKind::RgpRrWindow(128))
+            Ok(PolicyKind::rgp_rr_window(128))
+        );
+        assert_eq!(
+            "rgp-las:scheme=BFS".parse::<PolicyKind>(),
+            Ok(PolicyKind::RgpLasTuned(
+                RgpTuning::default().with_scheme(PartitionScheme::BfsGrowing)
+            ))
+        );
+        assert_eq!(
+            "rgp-las:p=2,s=rb".parse::<PolicyKind>(),
+            Ok(PolicyKind::RgpLasTuned(
+                RgpTuning::default()
+                    .with_scheme(PartitionScheme::RecursiveBisection)
+                    .with_passes(2)
+            ))
         );
         assert_eq!("dfifo".parse::<PolicyKind>(), Ok(PolicyKind::Dfifo));
+        // An empty parameter list is the plain kind.
+        assert_eq!("rgp-las:".parse::<PolicyKind>(), Ok(PolicyKind::RgpLas));
     }
 
     #[test]
@@ -292,6 +501,8 @@ mod tests {
             "rgp-las:w=0",
             "rgp-las:w=abc",
             "rgp-las:x=1",
+            "rgp-las:scheme=quantum",
+            "rgp-las:passes=lots",
         ] {
             assert!(s.parse::<PolicyKind>().is_err(), "{s:?} should not parse");
         }
@@ -300,14 +511,27 @@ mod tests {
     }
 
     #[test]
-    fn parse_list_splits_on_commas() {
+    fn parse_list_splits_on_policies_not_parameters() {
         let kinds = PolicyKind::parse_list("dfifo, rgp-las:w=512, ep").unwrap();
         assert_eq!(
             kinds,
             vec![
                 PolicyKind::Dfifo,
-                PolicyKind::RgpLasWindow(512),
+                PolicyKind::rgp_las_window(512),
                 PolicyKind::Ep
+            ]
+        );
+        // Parameter-list commas stay with their policy.
+        let kinds = PolicyKind::parse_list("rgp-las:w=64,scheme=rb,las").unwrap();
+        assert_eq!(
+            kinds,
+            vec![
+                PolicyKind::RgpLasTuned(
+                    RgpTuning::default()
+                        .with_window(64)
+                        .with_scheme(PartitionScheme::RecursiveBisection)
+                ),
+                PolicyKind::Las
             ]
         );
         assert!(PolicyKind::parse_list("dfifo,bogus").is_err());
@@ -317,13 +541,47 @@ mod tests {
     fn with_window_parameterises_rgp_only() {
         assert_eq!(
             PolicyKind::RgpLas.with_window(64),
-            Some(PolicyKind::RgpLasWindow(64))
+            Some(PolicyKind::rgp_las_window(64))
         );
         assert_eq!(
-            PolicyKind::RgpRrWindow(8).with_window(16),
-            Some(PolicyKind::RgpRrWindow(16))
+            PolicyKind::rgp_rr_window(8).with_window(16),
+            Some(PolicyKind::rgp_rr_window(16))
         );
         assert_eq!(PolicyKind::Las.with_window(64), None);
+        assert_eq!(
+            PolicyKind::Dfifo.with_scheme(PartitionScheme::BfsGrowing),
+            None
+        );
+        // Knobs compose without clobbering each other.
+        let kind = PolicyKind::RgpLas
+            .with_window(32)
+            .unwrap()
+            .with_scheme(PartitionScheme::RecursiveBisection)
+            .unwrap()
+            .with_passes(2)
+            .unwrap();
+        assert_eq!(kind.label(), "RGP+LAS:w=32,scheme=rb,passes=2");
+        assert_eq!(kind.window(), Some(32));
+    }
+
+    #[test]
+    fn default_tuning_normalises_to_plain_kinds() {
+        assert_eq!(
+            PolicyKind::rgp_las(RgpTuning::default()),
+            PolicyKind::RgpLas
+        );
+        assert_eq!(PolicyKind::rgp_rr(RgpTuning::default()), PolicyKind::RgpRr);
+        assert_eq!(PolicyKind::RgpLas.tuning(), Some(RgpTuning::default()));
+        assert_eq!(PolicyKind::Ep.tuning(), None);
+        // Even a hand-constructed Tuned variant with a default tuning (which
+        // bypasses the normalising constructors) labels as the plain kind —
+        // no dangling "RGP+LAS:" — and its label parses to the plain kind.
+        let denormal = PolicyKind::RgpLasTuned(RgpTuning::default());
+        assert_eq!(denormal.label(), "RGP+LAS");
+        assert_eq!(
+            denormal.label().parse::<PolicyKind>(),
+            Ok(PolicyKind::RgpLas)
+        );
     }
 
     #[test]
@@ -333,8 +591,17 @@ mod tests {
             let p = make_policy(kind, &s, 42).expect("policy should build");
             assert_eq!(p.name(), kind.label());
         }
-        // Windowed kinds build the same named policy with the window applied.
-        let p = make_policy(PolicyKind::RgpLasWindow(1), &s, 42).unwrap();
+        // Tuned kinds build the same named policy with the knobs applied.
+        let p = make_policy(PolicyKind::rgp_las_window(1), &s, 42).unwrap();
+        assert_eq!(p.name(), "RGP+LAS");
+        let p = make_policy(
+            PolicyKind::RgpLas
+                .with_scheme(PartitionScheme::BfsGrowing)
+                .unwrap(),
+            &s,
+            42,
+        )
+        .unwrap();
         assert_eq!(p.name(), "RGP+LAS");
     }
 
@@ -352,7 +619,7 @@ mod tests {
         let p = make_policy_with_window(PolicyKind::RgpLas, &s, 3, Some(1)).unwrap();
         assert_eq!(p.name(), "RGP+LAS");
         // An explicit override wins over the kind's embedded window.
-        let p = make_policy_with_window(PolicyKind::RgpLasWindow(4096), &s, 3, Some(1)).unwrap();
+        let p = make_policy_with_window(PolicyKind::rgp_las_window(4096), &s, 3, Some(1)).unwrap();
         assert_eq!(p.name(), "RGP+LAS");
     }
 }

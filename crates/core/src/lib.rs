@@ -36,7 +36,10 @@ pub mod weights;
 
 pub use dfifo::DfifoPolicy;
 pub use ep::EpPolicy;
-pub use factory::{make_policy, make_policy_with_window, ParsePolicyError, PolicyKind};
+pub use factory::{make_policy, make_policy_with_window, ParsePolicyError, PolicyKind, RgpTuning};
+// Re-exported so policy consumers can spell partitioner knobs without a
+// direct numadag-graph dependency.
 pub use las::LasPolicy;
+pub use numadag_graph::{PartitionScheme, PartitionTuning};
 pub use policy::{DataLocator, MemoryLocator, SchedulingPolicy};
 pub use rgp::{Propagation, RgpConfig, RgpPolicy};

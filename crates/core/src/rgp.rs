@@ -16,7 +16,7 @@
 //! * [`Propagation::RoundRobin`] — an ablation that shows the partition alone
 //!   is not enough without locality-aware propagation.
 
-use numadag_graph::{partition as gp, PartitionConfig};
+use numadag_graph::{partition as gp, PartitionScheme, PartitionTuning};
 use numadag_numa::SocketId;
 use numadag_tdg::{window_to_csr, TaskDescriptor, TaskGraph, TaskId, TaskWindow, WindowConfig};
 
@@ -38,8 +38,10 @@ pub enum Propagation {
 pub struct RgpConfig {
     /// Window size limit: how many tasks are captured and partitioned.
     pub window: WindowConfig,
-    /// Allowed load imbalance of the partition.
-    pub imbalance: f64,
+    /// Full partitioner configuration (scheme, imbalance, refinement
+    /// passes, coarsening threshold); the part count and seed are filled in
+    /// at [`SchedulingPolicy::prepare`] time from the machine topology.
+    pub partitioner: PartitionTuning,
     /// Seed for the partitioner and for the propagation policy.
     pub seed: u64,
     /// Propagation used beyond the window.
@@ -50,7 +52,7 @@ impl Default for RgpConfig {
     fn default() -> Self {
         RgpConfig {
             window: WindowConfig::default(),
-            imbalance: 0.10,
+            partitioner: PartitionTuning::default(),
             seed: 0x56F1,
             propagation: Propagation::Las,
         }
@@ -61,6 +63,30 @@ impl RgpConfig {
     /// Sets the window size.
     pub fn with_window_size(mut self, size: usize) -> Self {
         self.window = WindowConfig::new(size);
+        self
+    }
+
+    /// Replaces the whole partitioner tuning.
+    pub fn with_partitioner(mut self, partitioner: PartitionTuning) -> Self {
+        self.partitioner = partitioner;
+        self
+    }
+
+    /// Sets the allowed imbalance of the window partition.
+    pub fn with_imbalance(mut self, imbalance: f64) -> Self {
+        self.partitioner.imbalance = imbalance;
+        self
+    }
+
+    /// Sets the partitioning scheme used on the window.
+    pub fn with_scheme(mut self, scheme: PartitionScheme) -> Self {
+        self.partitioner.scheme = scheme;
+        self
+    }
+
+    /// Sets the refinement pass limit of the window partitioner.
+    pub fn with_refine_passes(mut self, passes: usize) -> Self {
+        self.partitioner.refine_passes = Some(passes);
         self
     }
 
@@ -143,14 +169,22 @@ impl SchedulingPolicy for RgpPolicy {
             return;
         }
         let wg = window_to_csr(graph, &window);
-        let cfg = PartitionConfig::new(num_sockets)
-            .with_seed(self.config.seed)
-            .with_imbalance(self.config.imbalance);
+        let cfg = self
+            .config
+            .partitioner
+            .config_for(num_sockets, self.config.seed);
         let partition = gp::partition(&wg.graph, &cfg);
         self.window_edge_cut = partition.edge_cut(&wg.graph);
-        for (v, &task) in wg.tasks.iter().enumerate() {
-            let part = partition.part_of(v as u32) as usize;
-            self.window_assignment[task.index()] = Some(SocketId(part % num_sockets));
+        // Placement walks the precomputed part→members index (one O(window)
+        // counting pass): the socket is resolved once per part rather than
+        // once per task, and per-part member lists are the shape a per-part
+        // consumer needs — the O(window·k) alternative of one
+        // `members_of` scan per part never enters the hot path.
+        for (part, members) in partition.members().iter() {
+            let socket = SocketId(part as usize % num_sockets);
+            for &v in members {
+                self.window_assignment[wg.tasks[v as usize].index()] = Some(socket);
+            }
         }
     }
 
@@ -266,6 +300,37 @@ mod tests {
             .map(|i| p.assign(graph.task(numadag_tdg::TaskId(i)), &loc).index())
             .collect();
         assert_eq!(s, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn partitioner_tuning_reaches_the_window_partition() {
+        // Two independent chains: the multilevel scheme finds the zero cut,
+        // while the deliberately weight-oblivious BFS scheme (same config
+        // otherwise) almost always pays a cut — and both must produce a
+        // full, valid window assignment either way.
+        let (graph, sizes) = two_chains(40);
+        let topo = Topology::two_socket(4);
+        let mut mem = MemoryMap::new();
+        for s in &sizes {
+            mem.register(*s);
+        }
+        let loc = MemoryLocator::new(&topo, &mem);
+        for scheme in numadag_graph::PartitionScheme::all() {
+            let mut p = RgpPolicy::new(
+                RgpConfig::default()
+                    .with_window_size(80)
+                    .with_scheme(scheme)
+                    .with_refine_passes(4),
+            );
+            p.prepare(&graph, &loc);
+            assert_eq!(p.window_size_used(), 80, "{scheme:?}");
+            for t in graph.task_ids() {
+                assert!(p.window_socket_of(t).is_some(), "{scheme:?}: task {t}");
+            }
+        }
+        let mut ml = RgpPolicy::new(RgpConfig::default().with_window_size(80));
+        ml.prepare(&graph, &loc);
+        assert_eq!(ml.window_edge_cut(), 0, "multilevel must find the zero cut");
     }
 
     #[test]

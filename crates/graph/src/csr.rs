@@ -84,6 +84,26 @@ impl CsrGraph {
         Ok(g)
     }
 
+    /// Builds a graph from CSR arrays that are known to be valid (the
+    /// contraction path constructs symmetric sorted adjacency by design and
+    /// cannot afford the O(E·deg) symmetry check per level). Invariants are
+    /// still checked in debug builds.
+    pub(crate) fn from_parts_unchecked(
+        xadj: Vec<usize>,
+        adjncy: Vec<u32>,
+        adjwgt: Vec<i64>,
+        vwgt: Vec<i64>,
+    ) -> Self {
+        let g = CsrGraph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+        };
+        debug_assert!(g.validate().is_ok());
+        g
+    }
+
     /// A graph with `n` isolated vertices of unit weight.
     pub fn empty(n: usize) -> Self {
         CsrGraph {

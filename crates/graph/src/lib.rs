@@ -7,10 +7,14 @@
 //! * [`csr::CsrGraph`] — an undirected, vertex- and edge-weighted graph in
 //!   compressed sparse row form, plus a convenient [`csr::GraphBuilder`].
 //! * [`partition`] — a multilevel k-way edge-cut partitioner in the
-//!   SCOTCH/METIS family: heavy-edge-matching coarsening, greedy
-//!   graph-growing / recursive-bisection initial partitioning, and
-//!   Fiduccia–Mattheyses-style boundary refinement. A deliberately naive
-//!   BFS-growing scheme is included as an ablation baseline.
+//!   SCOTCH/METIS family, structured as a pipeline of pluggable stage traits
+//!   ([`partition::pipeline::Coarsener`],
+//!   [`partition::pipeline::InitialPartitioner`],
+//!   [`partition::pipeline::Refiner`]): heavy-edge-matching coarsening,
+//!   greedy graph-growing / recursive-bisection initial partitioning, and
+//!   Fiduccia–Mattheyses-style boundary refinement over an incremental gain
+//!   table. A deliberately naive BFS-growing scheme is included as an
+//!   ablation baseline.
 //! * [`metrics`] — edge cut, communication volume and balance metrics.
 //! * [`generators`] — synthetic graphs (grids, layered DAG skeletons, random
 //!   graphs) used by tests and microbenchmarks.
@@ -26,4 +30,8 @@ pub mod metrics;
 pub mod partition;
 
 pub use csr::{CsrGraph, GraphBuilder};
-pub use partition::{partition, Partition, PartitionConfig, PartitionScheme};
+pub use partition::pipeline::MultilevelPipeline;
+pub use partition::{
+    partition, partition_with, PartMembers, Partition, PartitionConfig, PartitionScheme,
+    PartitionTuning,
+};

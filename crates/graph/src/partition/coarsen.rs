@@ -11,11 +11,16 @@
 //! phase of METIS/SCOTCH-style multilevel partitioning: it preserves heavy
 //! edges inside coarse vertices so the initial partition never has to cut
 //! them.
+//!
+//! The whole hierarchy is built through one [`CoarsenWorkspace`], so the
+//! edge list, matching flags and contraction scratch arrays are allocated
+//! once and reused across levels — on 100k+ vertex windows the allocator
+//! otherwise dominates the matching itself.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
-use crate::csr::{CsrGraph, GraphBuilder};
+use crate::csr::CsrGraph;
 
 /// One level of the coarsening hierarchy.
 #[derive(Clone, Debug)]
@@ -27,40 +32,83 @@ pub struct CoarseLevel {
     pub fine_to_coarse: Vec<u32>,
 }
 
-/// Computes a heavy-edge matching of `graph`.
-///
-/// Returns `match_of[v]`, where `match_of[v] == v` means `v` stayed single.
-pub fn heavy_edge_matching(graph: &CsrGraph, rng: &mut StdRng) -> Vec<u32> {
+/// Scratch buffers shared by every level of one coarsening run. All buffers
+/// grow to the size of the finest graph once and shrink logically (via
+/// `clear`/truncation) on the coarser levels.
+#[derive(Debug, Default)]
+pub struct CoarsenWorkspace {
+    /// `(weight, v, u)` triples of the current level, sorted heaviest-first.
+    edges: Vec<(i64, u32, u32)>,
+    /// Whether a vertex of the current level is already matched.
+    matched: Vec<bool>,
+    /// Matching of the current level (`match_of[v] == v` means unmatched).
+    match_of: Vec<u32>,
+    /// Contraction scratch: position of a coarse neighbour in `row`, or
+    /// `u32::MAX` when it has not been seen for the current coarse vertex.
+    coarse_pos: Vec<u32>,
+    /// Merged `(coarse neighbour, weight)` row of the coarse vertex under
+    /// construction.
+    row: Vec<(u32, i64)>,
+}
+
+/// Computes a heavy-edge matching of `graph` into the workspace's
+/// `match_of` buffer and returns a reference to it.
+fn heavy_edge_matching_into<'a>(
+    graph: &CsrGraph,
+    rng: &mut StdRng,
+    ws: &'a mut CoarsenWorkspace,
+) -> &'a [u32] {
     let n = graph.num_vertices();
-    let mut match_of: Vec<u32> = (0..n as u32).collect();
-    let mut matched = vec![false; n];
-    let mut edges: Vec<(i64, u32, u32)> = Vec::new();
+    ws.match_of.clear();
+    ws.match_of.extend(0..n as u32);
+    ws.matched.clear();
+    ws.matched.resize(n, false);
+    ws.edges.clear();
     for v in 0..n as u32 {
         for (u, w) in graph.edges_of(v) {
             if u > v {
-                edges.push((w, v, u));
+                ws.edges.push((w, v, u));
             }
         }
     }
     // Shuffle first so that the stable sort leaves equal-weight edges in
     // random order: heavy edges always win, ties are seed-dependent.
-    edges.shuffle(rng);
-    edges.sort_by_key(|e| std::cmp::Reverse(e.0));
-    for (_, v, u) in edges {
-        if !matched[v as usize] && !matched[u as usize] {
-            match_of[v as usize] = u;
-            match_of[u as usize] = v;
-            matched[v as usize] = true;
-            matched[u as usize] = true;
+    ws.edges.shuffle(rng);
+    ws.edges.sort_by_key(|e| std::cmp::Reverse(e.0));
+    for &(_, v, u) in ws.edges.iter() {
+        if !ws.matched[v as usize] && !ws.matched[u as usize] {
+            ws.match_of[v as usize] = u;
+            ws.match_of[u as usize] = v;
+            ws.matched[v as usize] = true;
+            ws.matched[u as usize] = true;
         }
     }
-    match_of
+    &ws.match_of
 }
 
-/// Collapses a matching into a coarser graph.
-pub fn contract(graph: &CsrGraph, match_of: &[u32]) -> CoarseLevel {
+/// Computes a heavy-edge matching of `graph`.
+///
+/// Returns `match_of[v]`, where `match_of[v] == v` means `v` stayed single.
+pub fn heavy_edge_matching(graph: &CsrGraph, rng: &mut StdRng) -> Vec<u32> {
+    let mut ws = CoarsenWorkspace::default();
+    heavy_edge_matching_into(graph, rng, &mut ws);
+    ws.match_of
+}
+
+/// Collapses a matching into a coarser graph, merging parallel edges and
+/// dropping self loops, using (and reusing) the workspace's scratch arrays.
+///
+/// The coarse graph is built straight into CSR form: coarse vertices are
+/// numbered in order of their smallest fine constituent, and each adjacency
+/// row is merged through a dense position table and then sorted, so the
+/// result is identical to what an edge-map-based builder would produce —
+/// without the per-level `O(E log E)` map churn.
+fn contract_into(graph: &CsrGraph, match_of: &[u32], ws: &mut CoarsenWorkspace) -> CoarseLevel {
     let n = graph.num_vertices();
     let mut fine_to_coarse = vec![u32::MAX; n];
+    // Representative (smallest) fine constituent of every coarse vertex; the
+    // second constituent, if any, is `match_of[rep]`.
+    let mut rep: Vec<u32> = Vec::with_capacity(n);
     let mut next = 0u32;
     for v in 0..n as u32 {
         if fine_to_coarse[v as usize] != u32::MAX {
@@ -71,38 +119,85 @@ pub fn contract(graph: &CsrGraph, match_of: &[u32]) -> CoarseLevel {
         if m != v {
             fine_to_coarse[m as usize] = next;
         }
+        rep.push(v);
         next += 1;
     }
     let coarse_n = next as usize;
-    let mut builder = GraphBuilder::new(coarse_n);
-    // Vertex weights.
-    let mut cw = vec![0i64; coarse_n];
+
+    // Vertex weights are conserved by contraction.
+    let mut cvw = vec![0i64; coarse_n];
     for v in 0..n as u32 {
-        cw[fine_to_coarse[v as usize] as usize] += graph.vertex_weight(v);
+        cvw[fine_to_coarse[v as usize] as usize] += graph.vertex_weight(v);
     }
-    for (c, w) in cw.iter().enumerate() {
-        builder.set_vertex_weight(c as u32, (*w).max(1));
+    for w in &mut cvw {
+        *w = (*w).max(1);
     }
-    // Edges (GraphBuilder merges duplicates and drops self loops).
-    for v in 0..n as u32 {
-        let cv = fine_to_coarse[v as usize];
-        for (u, w) in graph.edges_of(v) {
-            if u > v {
+
+    ws.coarse_pos.clear();
+    ws.coarse_pos.resize(coarse_n, u32::MAX);
+    ws.row.clear();
+
+    let mut xadj = Vec::with_capacity(coarse_n + 1);
+    xadj.push(0usize);
+    let mut adjncy: Vec<u32> = Vec::new();
+    let mut adjwgt: Vec<i64> = Vec::new();
+    for (c, &first) in rep.iter().enumerate() {
+        let second = match_of[first as usize];
+        let constituents = std::iter::once(first).chain((second != first).then_some(second));
+        for f in constituents {
+            for (u, w) in graph.edges_of(f) {
                 let cu = fine_to_coarse[u as usize];
-                builder.add_edge(cv, cu, w);
+                if cu == c as u32 {
+                    continue; // edge collapsed inside the coarse vertex
+                }
+                let p = ws.coarse_pos[cu as usize];
+                if p == u32::MAX {
+                    ws.coarse_pos[cu as usize] = ws.row.len() as u32;
+                    ws.row.push((cu, w));
+                } else {
+                    ws.row[p as usize].1 += w;
+                }
             }
         }
+        // Sorted adjacency keeps the coarse graph bit-identical to a
+        // map-built one, so downstream tie-breaking is order-independent.
+        ws.row.sort_unstable_by_key(|&(cu, _)| cu);
+        for &(cu, w) in ws.row.iter() {
+            adjncy.push(cu);
+            adjwgt.push(w);
+        }
+        xadj.push(adjncy.len());
+        for &(cu, _) in ws.row.iter() {
+            ws.coarse_pos[cu as usize] = u32::MAX;
+        }
+        ws.row.clear();
     }
+
     CoarseLevel {
-        graph: builder.build(),
+        graph: CsrGraph::from_parts_unchecked(xadj, adjncy, adjwgt, cvw),
         fine_to_coarse,
     }
 }
 
+/// Collapses a matching into a coarser graph.
+pub fn contract(graph: &CsrGraph, match_of: &[u32]) -> CoarseLevel {
+    let mut ws = CoarsenWorkspace::default();
+    contract_into(graph, match_of, &mut ws)
+}
+
 /// One full coarsening step: match then contract.
 pub fn coarsen_once(graph: &CsrGraph, rng: &mut StdRng) -> CoarseLevel {
-    let matching = heavy_edge_matching(graph, rng);
-    contract(graph, &matching)
+    let mut ws = CoarsenWorkspace::default();
+    coarsen_once_with(graph, rng, &mut ws)
+}
+
+/// One full coarsening step through a reusable workspace.
+fn coarsen_once_with(graph: &CsrGraph, rng: &mut StdRng, ws: &mut CoarsenWorkspace) -> CoarseLevel {
+    heavy_edge_matching_into(graph, rng, ws);
+    let match_of = std::mem::take(&mut ws.match_of);
+    let level = contract_into(graph, &match_of, ws);
+    ws.match_of = match_of;
+    level
 }
 
 /// Repeatedly coarsens `graph` until it has at most `target_vertices`
@@ -110,18 +205,24 @@ pub fn coarsen_once(graph: &CsrGraph, rng: &mut StdRng) -> CoarseLevel {
 /// Returns the hierarchy from finest (first) to coarsest (last). The original
 /// graph is *not* included.
 pub fn coarsen_to(graph: &CsrGraph, target_vertices: usize, rng: &mut StdRng) -> Vec<CoarseLevel> {
+    let mut ws = CoarsenWorkspace::default();
     let mut levels: Vec<CoarseLevel> = Vec::new();
-    let mut current = graph.clone();
-    while current.num_vertices() > target_vertices.max(2) {
-        let level = coarsen_once(&current, rng);
-        let shrink = level.graph.num_vertices() as f64 / current.num_vertices() as f64;
-        if shrink > 0.95 {
-            // Matching found almost nothing to merge (e.g. graph is mostly
-            // isolated vertices); further coarsening is pointless.
-            break;
-        }
-        current = level.graph.clone();
-        levels.push(level);
+    loop {
+        let next = {
+            let current: &CsrGraph = levels.last().map(|l| &l.graph).unwrap_or(graph);
+            if current.num_vertices() <= target_vertices.max(2) {
+                break;
+            }
+            let level = coarsen_once_with(current, rng, &mut ws);
+            let shrink = level.graph.num_vertices() as f64 / current.num_vertices() as f64;
+            if shrink > 0.95 {
+                // Matching found almost nothing to merge (e.g. graph is mostly
+                // isolated vertices); further coarsening is pointless.
+                break;
+            }
+            level
+        };
+        levels.push(next);
     }
     levels
 }
@@ -182,6 +283,35 @@ mod tests {
         for &c in &level.fine_to_coarse {
             assert!((c as usize) < level.graph.num_vertices());
         }
+    }
+
+    #[test]
+    fn contraction_matches_map_built_graph() {
+        // The CSR-direct contraction must produce exactly the graph an
+        // edge-map builder would: merged duplicate edges, sorted adjacency.
+        let g = generators::random_graph(300, 8, 50, 11);
+        let m = heavy_edge_matching(&g, &mut rng());
+        let level = contract(&g, &m);
+        let mut b = crate::csr::GraphBuilder::new(level.graph.num_vertices());
+        let mut cw = vec![0i64; level.graph.num_vertices()];
+        for v in 0..g.num_vertices() as u32 {
+            cw[level.fine_to_coarse[v as usize] as usize] += g.vertex_weight(v);
+        }
+        for (c, w) in cw.iter().enumerate() {
+            b.set_vertex_weight(c as u32, (*w).max(1));
+        }
+        for v in 0..g.num_vertices() as u32 {
+            for (u, w) in g.edges_of(v) {
+                if u > v {
+                    b.add_edge(
+                        level.fine_to_coarse[v as usize],
+                        level.fine_to_coarse[u as usize],
+                        w,
+                    );
+                }
+            }
+        }
+        assert_eq!(level.graph, b.build());
     }
 
     #[test]

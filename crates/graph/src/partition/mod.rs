@@ -1,26 +1,48 @@
 //! Graph partitioning: the SCOTCH substitute used by runtime graph
-//! partitioning (RGP).
+//! partitioning (RGP), structured as a pipeline of pluggable stages.
 //!
-//! The entry point is [`partition`], which splits a weighted undirected graph
-//! into `k` balanced parts while minimising the weight of cut edges. Three
-//! schemes are available:
+//! Every scheme is a composition of three stage traits driven by
+//! [`pipeline::MultilevelPipeline`]:
 //!
-//! * [`PartitionScheme::MultilevelKWay`] (default) — the METIS/SCOTCH recipe:
-//!   coarsen with heavy-edge matching, partition the coarsest graph with
-//!   recursive bisection, then uncoarsen and refine at every level with a
-//!   Fiduccia–Mattheyses-style boundary pass.
-//! * [`PartitionScheme::RecursiveBisection`] — direct recursive bisection on
-//!   the input graph (no multilevel), useful for small graphs and as a
-//!   reference for the multilevel implementation.
-//! * [`PartitionScheme::BfsGrowing`] — a deliberately naive, edge-weight
-//!   oblivious BFS partitioner kept as the ablation baseline (ABL-PART in
-//!   DESIGN.md): it produces balanced parts but much larger cuts.
+//! 1. a [`pipeline::Coarsener`] collapses the graph into a hierarchy of
+//!    successively smaller graphs (heavy-edge matching by default),
+//! 2. an [`pipeline::InitialPartitioner`] splits the coarsest graph
+//!    (recursive bisection with greedy graph growing, or BFS growing for the
+//!    ablation baseline),
+//! 3. a [`pipeline::Refiner`] improves the partition at every uncoarsening
+//!    step (k-way Fiduccia–Mattheyses boundary passes over an incremental
+//!    gain table).
+//!
+//! The entry point is [`partition`], which maps the configured
+//! [`PartitionScheme`] to its canonical stage combination; [`partition_with`]
+//! accepts any custom [`pipeline::MultilevelPipeline`], so a single stage can
+//! be swapped for ablation studies. Three schemes are registered:
+//!
+//! * [`PartitionScheme::MultilevelKWay`] (default, token `ml`) — the
+//!   METIS/SCOTCH recipe: coarsen, partition the coarsest graph, uncoarsen
+//!   and refine at every level.
+//! * [`PartitionScheme::RecursiveBisection`] (token `rb`) — recursive
+//!   bisection directly on the input graph (no multilevel), useful for small
+//!   graphs and as a reference for the multilevel implementation.
+//! * [`PartitionScheme::BfsGrowing`] (token `bfs`) — a deliberately naive,
+//!   edge-weight-oblivious BFS partitioner kept as the ablation baseline
+//!   (ABL-PART in DESIGN.md): it produces balanced parts but much larger
+//!   cuts.
+//!
+//! The hot paths are engineered for 100k+ vertex windows: coarsening reuses
+//! its matching and contraction buffers across levels and contracts straight
+//! into CSR form (no edge-map churn), and refinement maintains a flat
+//! vertex×part connectivity table (see [`refine::GainTable`]) updated in
+//! `O(deg)` per move instead of allocating a per-visit connectivity vector.
+//!
+//! Higher layers configure the partitioner through [`PartitionTuning`], the
+//! `num_parts`-agnostic subset of [`PartitionConfig`] that policies (RGP)
+//! carry until the socket count is known.
 
 pub mod coarsen;
 pub mod initial;
+pub mod pipeline;
 pub mod refine;
-
-mod kway;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,7 +51,7 @@ use crate::csr::CsrGraph;
 use crate::metrics;
 
 /// Which partitioning algorithm to run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum PartitionScheme {
     /// Multilevel k-way (coarsen → initial partition → refine). The default
     /// and the scheme RGP uses.
@@ -39,6 +61,40 @@ pub enum PartitionScheme {
     RecursiveBisection,
     /// Naive BFS region growing that ignores edge weights (ablation baseline).
     BfsGrowing,
+}
+
+impl PartitionScheme {
+    /// Every registered scheme, in ablation-report order.
+    pub fn all() -> [PartitionScheme; 3] {
+        [
+            PartitionScheme::MultilevelKWay,
+            PartitionScheme::RecursiveBisection,
+            PartitionScheme::BfsGrowing,
+        ]
+    }
+
+    /// The short, stable token used in policy labels and CLI arguments
+    /// (`scheme=ml`, `scheme=rb`, `scheme=bfs`). Round-trips through
+    /// [`PartitionScheme::from_token`].
+    pub fn token(&self) -> &'static str {
+        match self {
+            PartitionScheme::MultilevelKWay => "ml",
+            PartitionScheme::RecursiveBisection => "rb",
+            PartitionScheme::BfsGrowing => "bfs",
+        }
+    }
+
+    /// Parses a scheme token (short or spelled-out, case-insensitive).
+    pub fn from_token(s: &str) -> Option<PartitionScheme> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "ml" | "multilevel" | "kway" | "multilevel-kway" => {
+                Some(PartitionScheme::MultilevelKWay)
+            }
+            "rb" | "bisection" | "recursive-bisection" => Some(PartitionScheme::RecursiveBisection),
+            "bfs" | "bfs-growing" => Some(PartitionScheme::BfsGrowing),
+            _ => None,
+        }
+    }
 }
 
 /// Parameters of the partitioner.
@@ -92,6 +148,18 @@ impl PartitionConfig {
         self
     }
 
+    /// Sets the maximum number of refinement passes per level.
+    pub fn with_refine_passes(mut self, passes: usize) -> Self {
+        self.refine_passes = passes;
+        self
+    }
+
+    /// Sets the coarsening stop threshold.
+    pub fn with_coarsen_until(mut self, coarsen_until: usize) -> Self {
+        self.coarsen_until = coarsen_until;
+        self
+    }
+
     /// Maximum allowed weight of a part for a graph of total weight `total`.
     pub fn max_part_weight(&self, total: i64) -> i64 {
         if self.num_parts == 0 {
@@ -99,6 +167,77 @@ impl PartitionConfig {
         }
         let ideal = total as f64 / self.num_parts as f64;
         (ideal * (1.0 + self.imbalance)).ceil() as i64
+    }
+}
+
+/// The `num_parts`-agnostic partitioner knobs carried by higher layers
+/// (RGP holds one of these until the socket count is known at `prepare`
+/// time, when [`PartitionTuning::config_for`] turns it into a full
+/// [`PartitionConfig`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PartitionTuning {
+    /// Allowed load imbalance of the partition.
+    pub imbalance: f64,
+    /// Partitioning scheme.
+    pub scheme: PartitionScheme,
+    /// Refinement passes per level (`None` keeps the
+    /// [`PartitionConfig::new`] default).
+    pub refine_passes: Option<usize>,
+    /// Coarsening stop threshold (`None` keeps the `num_parts`-derived
+    /// default).
+    pub coarsen_until: Option<usize>,
+}
+
+impl Default for PartitionTuning {
+    fn default() -> Self {
+        PartitionTuning {
+            imbalance: 0.10,
+            scheme: PartitionScheme::default(),
+            refine_passes: None,
+            coarsen_until: None,
+        }
+    }
+}
+
+impl PartitionTuning {
+    /// Sets the allowed imbalance.
+    pub fn with_imbalance(mut self, imbalance: f64) -> Self {
+        self.imbalance = imbalance;
+        self
+    }
+
+    /// Sets the scheme.
+    pub fn with_scheme(mut self, scheme: PartitionScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Sets the refinement pass limit.
+    pub fn with_refine_passes(mut self, passes: usize) -> Self {
+        self.refine_passes = Some(passes);
+        self
+    }
+
+    /// Sets the coarsening stop threshold.
+    pub fn with_coarsen_until(mut self, coarsen_until: usize) -> Self {
+        self.coarsen_until = Some(coarsen_until);
+        self
+    }
+
+    /// Materialises a full [`PartitionConfig`] once the part count and seed
+    /// are known.
+    pub fn config_for(&self, num_parts: usize, seed: u64) -> PartitionConfig {
+        let mut config = PartitionConfig::new(num_parts)
+            .with_seed(seed)
+            .with_imbalance(self.imbalance)
+            .with_scheme(self.scheme);
+        if let Some(passes) = self.refine_passes {
+            config.refine_passes = passes;
+        }
+        if let Some(until) = self.coarsen_until {
+            config.coarsen_until = until;
+        }
+        config
     }
 }
 
@@ -152,6 +291,11 @@ impl Partition {
     }
 
     /// The vertices assigned to `part`.
+    ///
+    /// One call scans the whole assignment; callers that need the members of
+    /// *every* part (e.g. RGP placement) should build a [`PartMembers`]
+    /// index once via [`Partition::members`] instead of looping over parts,
+    /// which would be `O(n·k)`.
     pub fn members_of(&self, part: u32) -> Vec<u32> {
         self.assignment
             .iter()
@@ -159,6 +303,11 @@ impl Partition {
             .filter(|(_, &p)| p == part)
             .map(|(v, _)| v as u32)
             .collect()
+    }
+
+    /// Builds the part→members index in one `O(n + k)` pass.
+    pub fn members(&self) -> PartMembers {
+        PartMembers::build(&self.assignment, self.num_parts)
     }
 
     /// Total weight of cut edges under `graph`.
@@ -177,12 +326,74 @@ impl Partition {
     }
 }
 
-/// Partitions `graph` into `config.num_parts` parts.
+/// A CSR-shaped part→members index: every part's vertices (ascending) in one
+/// shared buffer, built in a single pass over the assignment. This replaces
+/// repeated [`Partition::members_of`] scans — `O(n)` each — on hot paths
+/// that visit every part.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartMembers {
+    offsets: Vec<usize>,
+    members: Vec<u32>,
+}
+
+impl PartMembers {
+    fn build(assignment: &[u32], num_parts: usize) -> Self {
+        let k = num_parts.max(1);
+        let mut counts = vec![0usize; k + 1];
+        for &p in assignment {
+            counts[p as usize + 1] += 1;
+        }
+        for i in 0..k {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut members = vec![0u32; assignment.len()];
+        for (v, &p) in assignment.iter().enumerate() {
+            members[cursor[p as usize]] = v as u32;
+            cursor[p as usize] += 1;
+        }
+        PartMembers { offsets, members }
+    }
+
+    /// Number of parts indexed.
+    pub fn num_parts(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The vertices of `part`, in ascending order.
+    pub fn members_of(&self, part: u32) -> &[u32] {
+        &self.members[self.offsets[part as usize]..self.offsets[part as usize + 1]]
+    }
+
+    /// Iterates over `(part, members)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[u32])> + '_ {
+        (0..self.num_parts() as u32).map(move |p| (p, self.members_of(p)))
+    }
+}
+
+/// Partitions `graph` into `config.num_parts` parts using the canonical
+/// pipeline of the configured scheme.
 ///
 /// Degenerate cases are handled explicitly: one part returns the all-zero
 /// partition, and a graph with fewer vertices than parts spreads the
 /// vertices round-robin (leaving some parts empty).
 pub fn partition(graph: &CsrGraph, config: &PartitionConfig) -> Partition {
+    partition_with(
+        graph,
+        config,
+        &pipeline::MultilevelPipeline::for_scheme(config.scheme),
+    )
+}
+
+/// [`partition`] with an explicit stage composition, for ablations that swap
+/// a single pipeline stage. Degenerate inputs short-circuit before the
+/// pipeline runs, exactly as in [`partition`].
+pub fn partition_with(
+    graph: &CsrGraph,
+    config: &PartitionConfig,
+    pipeline: &pipeline::MultilevelPipeline,
+) -> Partition {
     let n = graph.num_vertices();
     let k = config.num_parts.max(1);
     if k == 1 || n == 0 {
@@ -193,15 +404,7 @@ pub fn partition(graph: &CsrGraph, config: &PartitionConfig) -> Partition {
         return Partition::from_assignment(assignment, k);
     }
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let assignment = match config.scheme {
-        PartitionScheme::MultilevelKWay => kway::multilevel_kway(graph, config, &mut rng),
-        PartitionScheme::RecursiveBisection => {
-            let mut a = initial::recursive_bisection(graph, k, config.imbalance, &mut rng);
-            refine::refine_kway(graph, &mut a, config, config.refine_passes);
-            a
-        }
-        PartitionScheme::BfsGrowing => initial::bfs_growing(graph, k, &mut rng),
-    };
+    let assignment = pipeline.run(graph, config, &mut rng);
     Partition::from_assignment(assignment, k)
 }
 
@@ -311,6 +514,48 @@ mod tests {
         let p = Partition::from_assignment(vec![0, 1, 0, 1, 1], 2);
         assert_eq!(p.members_of(0), vec![0, 2]);
         assert_eq!(p.members_of(1), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn members_index_matches_members_of() {
+        let p = Partition::from_assignment(vec![2, 0, 1, 0, 2, 2, 1], 4);
+        let idx = p.members();
+        assert_eq!(idx.num_parts(), 4);
+        for part in 0..4u32 {
+            assert_eq!(idx.members_of(part), p.members_of(part).as_slice());
+        }
+        // Part 3 is empty.
+        assert!(idx.members_of(3).is_empty());
+        let total: usize = idx.iter().map(|(_, m)| m.len()).sum();
+        assert_eq!(total, p.len());
+    }
+
+    #[test]
+    fn scheme_tokens_round_trip() {
+        for scheme in PartitionScheme::all() {
+            assert_eq!(PartitionScheme::from_token(scheme.token()), Some(scheme));
+        }
+        assert_eq!(
+            PartitionScheme::from_token("Multilevel"),
+            Some(PartitionScheme::MultilevelKWay)
+        );
+        assert_eq!(PartitionScheme::from_token("nope"), None);
+    }
+
+    #[test]
+    fn tuning_materialises_config() {
+        let tuning = PartitionTuning::default()
+            .with_imbalance(0.05)
+            .with_scheme(PartitionScheme::RecursiveBisection)
+            .with_refine_passes(3);
+        let cfg = tuning.config_for(8, 42);
+        assert_eq!(cfg.num_parts, 8);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.imbalance, 0.05);
+        assert_eq!(cfg.scheme, PartitionScheme::RecursiveBisection);
+        assert_eq!(cfg.refine_passes, 3);
+        // Unset knobs keep the num_parts-derived defaults.
+        assert_eq!(cfg.coarsen_until, PartitionConfig::new(8).coarsen_until);
     }
 
     #[test]

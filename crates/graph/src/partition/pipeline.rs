@@ -1,0 +1,299 @@
+//! The pluggable multilevel pipeline: every partitioning scheme is a
+//! composition of three stage traits, driven by [`MultilevelPipeline`].
+//!
+//! * [`Coarsener`] — builds the hierarchy of successively smaller graphs
+//!   (heavy-edge matching by default, or nothing for flat schemes).
+//! * [`InitialPartitioner`] — partitions the coarsest graph (recursive
+//!   bisection by default, BFS growing for the ablation baseline).
+//! * [`Refiner`] — improves a partition at one level (k-way FM boundary
+//!   passes by default).
+//!
+//! [`MultilevelPipeline::for_scheme`] maps each [`PartitionScheme`] to its
+//! canonical stage combination, and [`crate::partition::partition_with`]
+//! accepts any custom composition, so experiments can swap a single stage
+//! (e.g. a different initial partitioner under the same refiner) without
+//! touching the driver.
+
+use rand::rngs::StdRng;
+
+use crate::csr::CsrGraph;
+use crate::partition::{coarsen, initial, refine, PartitionConfig, PartitionScheme};
+
+use coarsen::CoarseLevel;
+
+/// Builds the coarsening hierarchy, finest level first. An empty vector means
+/// the initial partitioner runs directly on the input graph.
+pub trait Coarsener {
+    /// Coarsens `graph` until roughly `target_vertices` remain (or progress
+    /// stalls). Implementations must be deterministic for a fixed `rng`.
+    fn coarsen(
+        &self,
+        graph: &CsrGraph,
+        target_vertices: usize,
+        rng: &mut StdRng,
+    ) -> Vec<CoarseLevel>;
+}
+
+/// Heavy-edge-matching coarsener (the METIS/SCOTCH recipe). Buffers are
+/// reused across the levels of one run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HeavyEdgeCoarsener;
+
+impl Coarsener for HeavyEdgeCoarsener {
+    fn coarsen(
+        &self,
+        graph: &CsrGraph,
+        target_vertices: usize,
+        rng: &mut StdRng,
+    ) -> Vec<CoarseLevel> {
+        coarsen::coarsen_to(graph, target_vertices, rng)
+    }
+}
+
+/// No coarsening: the initial partitioner sees the input graph directly.
+/// Used by the flat [`PartitionScheme::RecursiveBisection`] and
+/// [`PartitionScheme::BfsGrowing`] schemes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoCoarsening;
+
+impl Coarsener for NoCoarsening {
+    fn coarsen(&self, _graph: &CsrGraph, _target: usize, _rng: &mut StdRng) -> Vec<CoarseLevel> {
+        Vec::new()
+    }
+}
+
+/// Produces the first partition of the coarsest graph.
+pub trait InitialPartitioner {
+    /// Partitions `graph` into `config.num_parts` parts. The result may be
+    /// unbalanced or coarse; the refiner cleans it up.
+    fn initial_partition(
+        &self,
+        graph: &CsrGraph,
+        config: &PartitionConfig,
+        rng: &mut StdRng,
+    ) -> Vec<u32>;
+}
+
+/// Recursive bisection with greedy graph growing at every split (the
+/// default initial partitioner).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecursiveBisectionInitial;
+
+impl InitialPartitioner for RecursiveBisectionInitial {
+    fn initial_partition(
+        &self,
+        graph: &CsrGraph,
+        config: &PartitionConfig,
+        rng: &mut StdRng,
+    ) -> Vec<u32> {
+        initial::recursive_bisection(graph, config.num_parts.max(1), config.imbalance, rng)
+    }
+}
+
+/// Edge-weight-oblivious BFS region growing (the ABL-PART ablation
+/// baseline).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BfsGrowingInitial;
+
+impl InitialPartitioner for BfsGrowingInitial {
+    fn initial_partition(
+        &self,
+        graph: &CsrGraph,
+        config: &PartitionConfig,
+        rng: &mut StdRng,
+    ) -> Vec<u32> {
+        initial::bfs_growing(graph, config.num_parts.max(1), rng)
+    }
+}
+
+/// Improves the partition of one level in place.
+pub trait Refiner {
+    /// Runs up to `config.refine_passes` improvement passes on `assignment`.
+    /// Returns the resulting edge cut when the implementation tracks it as a
+    /// by-product (the FM refiner does); implementations that do not may
+    /// return 0 — the pipeline driver ignores the value, and callers that
+    /// need the final cut compute it once on the finished [`Partition`].
+    fn refine(&self, graph: &CsrGraph, assignment: &mut [u32], config: &PartitionConfig) -> i64;
+}
+
+/// K-way Fiduccia–Mattheyses boundary refinement backed by an incremental
+/// gain table (see [`refine::GainTable`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FmRefiner;
+
+impl Refiner for FmRefiner {
+    fn refine(&self, graph: &CsrGraph, assignment: &mut [u32], config: &PartitionConfig) -> i64 {
+        refine::refine_kway(graph, assignment, config, config.refine_passes)
+    }
+}
+
+/// Identity refiner: leaves the assignment untouched (used by the BFS
+/// baseline, which deliberately skips refinement). Returns 0 without
+/// walking the graph — an `O(E)` cut sweep here would be pure waste on
+/// every BFS-scheme call since the driver discards the value.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoRefinement;
+
+impl Refiner for NoRefinement {
+    fn refine(&self, _graph: &CsrGraph, _assignment: &mut [u32], _config: &PartitionConfig) -> i64 {
+        0
+    }
+}
+
+/// The multilevel driver: coarsen → initial partition → uncoarsen + refine,
+/// with every stage pluggable.
+pub struct MultilevelPipeline {
+    coarsener: Box<dyn Coarsener>,
+    initial: Box<dyn InitialPartitioner>,
+    refiner: Box<dyn Refiner>,
+}
+
+impl MultilevelPipeline {
+    /// Composes a pipeline from explicit stages.
+    pub fn new(
+        coarsener: impl Coarsener + 'static,
+        initial: impl InitialPartitioner + 'static,
+        refiner: impl Refiner + 'static,
+    ) -> Self {
+        MultilevelPipeline {
+            coarsener: Box::new(coarsener),
+            initial: Box::new(initial),
+            refiner: Box::new(refiner),
+        }
+    }
+
+    /// The canonical stage combination of a [`PartitionScheme`]:
+    ///
+    /// | scheme | coarsener | initial | refiner |
+    /// |---|---|---|---|
+    /// | `MultilevelKWay` | heavy-edge matching | recursive bisection | k-way FM |
+    /// | `RecursiveBisection` | none | recursive bisection | k-way FM |
+    /// | `BfsGrowing` | none | BFS growing | none |
+    pub fn for_scheme(scheme: PartitionScheme) -> Self {
+        match scheme {
+            PartitionScheme::MultilevelKWay => {
+                MultilevelPipeline::new(HeavyEdgeCoarsener, RecursiveBisectionInitial, FmRefiner)
+            }
+            PartitionScheme::RecursiveBisection => {
+                MultilevelPipeline::new(NoCoarsening, RecursiveBisectionInitial, FmRefiner)
+            }
+            PartitionScheme::BfsGrowing => {
+                MultilevelPipeline::new(NoCoarsening, BfsGrowingInitial, NoRefinement)
+            }
+        }
+    }
+
+    /// Runs the full pipeline and returns one part id per vertex of `graph`.
+    pub fn run(&self, graph: &CsrGraph, config: &PartitionConfig, rng: &mut StdRng) -> Vec<u32> {
+        let k = config.num_parts.max(1);
+        let target = config.coarsen_until.max(4 * k);
+
+        // Phase 1: coarsen.
+        let levels = self.coarsener.coarsen(graph, target, rng);
+
+        // Phase 2: initial partition of the coarsest graph.
+        let coarsest: &CsrGraph = levels.last().map(|l| &l.graph).unwrap_or(graph);
+        let mut assignment = self.initial.initial_partition(coarsest, config, rng);
+        self.refiner.refine(coarsest, &mut assignment, config);
+
+        // Phase 3: uncoarsen and refine level by level.
+        for i in (0..levels.len()).rev() {
+            let finer: &CsrGraph = if i == 0 { graph } else { &levels[i - 1].graph };
+            assignment = project(&levels[i].fine_to_coarse, &assignment);
+            self.refiner.refine(finer, &mut assignment, config);
+        }
+
+        assignment
+    }
+}
+
+/// Projects a coarse assignment onto the finer level through the
+/// fine→coarse vertex map.
+fn project(fine_to_coarse: &[u32], coarse_assignment: &[u32]) -> Vec<u32> {
+    fine_to_coarse
+        .iter()
+        .map(|&c| coarse_assignment[c as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::metrics;
+    use crate::partition::Partition;
+    use rand::SeedableRng;
+
+    fn run_scheme(g: &CsrGraph, cfg: &PartitionConfig) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        MultilevelPipeline::for_scheme(cfg.scheme).run(g, cfg, &mut rng)
+    }
+
+    #[test]
+    fn multilevel_partitions_large_grid_well() {
+        let g = generators::grid_2d(32, 32, 1);
+        let cfg = PartitionConfig::new(8);
+        let a = run_scheme(&g, &cfg);
+        let p = Partition::from_assignment(a, 8);
+        let q = metrics::quality(&g, &p);
+        assert_eq!(q.nonempty_parts, 8);
+        assert!(q.imbalance <= 1.0 + cfg.imbalance + 1e-9);
+        // A random 8-way split of a 32x32 grid cuts ~87.5% of the 1984 edges;
+        // a decent partitioner should stay far below that.
+        assert!(
+            q.edge_cut < 600,
+            "edge cut {} is too high for a 32x32 grid",
+            q.edge_cut
+        );
+    }
+
+    #[test]
+    fn multilevel_handles_heavy_weighted_edges() {
+        let g = generators::layered_dag_skeleton(30, 16, 2, 1 << 16);
+        let cfg = PartitionConfig::new(4);
+        let a = run_scheme(&g, &cfg);
+        let p = Partition::from_assignment(a, 4);
+        assert!(p.imbalance(&g) <= 1.0 + cfg.imbalance + 1e-9);
+        assert!(metrics::part_weights(&g, &p).iter().all(|&w| w > 0));
+    }
+
+    #[test]
+    fn multilevel_on_graph_smaller_than_target() {
+        // Graph already below the coarsening threshold: driver must still work.
+        let g = generators::grid_2d(4, 4, 1);
+        let cfg = PartitionConfig::new(4).with_seed(1);
+        let a = run_scheme(&g, &cfg);
+        assert_eq!(a.len(), 16);
+        assert!(a.iter().all(|&p| p < 4));
+    }
+
+    #[test]
+    fn custom_stage_composition_is_accepted() {
+        // Swap a single stage: multilevel coarsening with the BFS initial
+        // partitioner, refined as usual. Must still produce a valid,
+        // balanced partition (this is the kind of ablation the traits are
+        // for).
+        let g = generators::grid_2d(24, 24, 2);
+        let cfg = PartitionConfig::new(4);
+        let pipeline = MultilevelPipeline::new(HeavyEdgeCoarsener, BfsGrowingInitial, FmRefiner);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let a = pipeline.run(&g, &cfg, &mut rng);
+        let p = Partition::from_assignment(a, 4);
+        assert_eq!(metrics::quality(&g, &p).nonempty_parts, 4);
+        assert!(p.imbalance(&g) <= 1.0 + cfg.imbalance + 1e-9);
+    }
+
+    #[test]
+    fn no_coarsening_schemes_skip_the_hierarchy() {
+        let g = generators::grid_2d(16, 16, 1);
+        for scheme in [
+            PartitionScheme::RecursiveBisection,
+            PartitionScheme::BfsGrowing,
+        ] {
+            let cfg = PartitionConfig::new(4).with_scheme(scheme);
+            let a = run_scheme(&g, &cfg);
+            assert_eq!(a.len(), 256);
+            assert!(a.iter().all(|&p| p < 4), "{scheme:?}");
+        }
+    }
+}

@@ -7,6 +7,15 @@
 //! constraint. A separate [`rebalance`] step repairs partitions whose parts
 //! exceed the allowed maximum weight (which can happen after projecting a
 //! coarse partition onto a finer graph).
+//!
+//! The hot path is allocation-free per vertex visit: a [`GainTable`] holds
+//! the vertex→part connectivity of the *whole* graph as one flat `n × k`
+//! array, built once in `O(E)` and updated incrementally in `O(deg)` per
+//! move. Boundary membership falls out of the same table for free (a vertex
+//! is interior exactly when all of its incident weight stays in its own
+//! part), so each refinement pass touches the table instead of re-walking
+//! adjacency lists, and the old per-visit `Vec` allocation of the seed
+//! implementation is gone entirely.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -15,22 +24,78 @@ use rand::SeedableRng;
 use crate::csr::CsrGraph;
 use crate::partition::PartitionConfig;
 
-/// Connectivity of one vertex to every part.
-fn part_connectivity(graph: &CsrGraph, assignment: &[u32], v: u32, k: usize) -> Vec<i64> {
-    let mut conn = vec![0i64; k];
-    for (u, w) in graph.edges_of(v) {
-        conn[assignment[u as usize] as usize] += w;
-    }
-    conn
+/// Incrementally-maintained vertex→part connectivity of a whole graph.
+///
+/// `conn(v, p)` is the total weight of edges from `v` into part `p`. The
+/// table is `O(n·k)` memory, built in `O(E)`, and a vertex move costs
+/// `O(deg(v))` to keep it exact.
+pub struct GainTable {
+    k: usize,
+    /// Flat row-major `n × k` connectivity.
+    conn: Vec<i64>,
+    /// Total incident edge weight per vertex (row sum, cached).
+    incident: Vec<i64>,
 }
 
-/// True if `v` has at least one neighbour in a different part.
-fn is_boundary(graph: &CsrGraph, assignment: &[u32], v: u32) -> bool {
-    let p = assignment[v as usize];
-    graph
-        .neighbors(v)
-        .iter()
-        .any(|&u| assignment[u as usize] != p)
+impl GainTable {
+    /// Builds the table for `assignment` in one edge sweep.
+    pub fn build(graph: &CsrGraph, assignment: &[u32], k: usize) -> Self {
+        let n = graph.num_vertices();
+        let mut conn = vec![0i64; n * k];
+        let mut incident = vec![0i64; n];
+        for v in 0..n as u32 {
+            let row = v as usize * k;
+            let mut total = 0i64;
+            for (u, w) in graph.edges_of(v) {
+                conn[row + assignment[u as usize] as usize] += w;
+                total += w;
+            }
+            incident[v as usize] = total;
+        }
+        GainTable { k, conn, incident }
+    }
+
+    /// Connectivity of `v` to part `p`.
+    #[inline]
+    pub fn conn(&self, v: u32, p: usize) -> i64 {
+        self.conn[v as usize * self.k + p]
+    }
+
+    /// The connectivity row of `v` across all parts.
+    #[inline]
+    pub fn row(&self, v: u32) -> &[i64] {
+        &self.conn[v as usize * self.k..(v as usize + 1) * self.k]
+    }
+
+    /// True if `v` has at least one neighbour outside its own part. Edge
+    /// weights are strictly positive, so this is exactly "some incident
+    /// weight leaves the part".
+    #[inline]
+    pub fn is_boundary(&self, assignment: &[u32], v: u32) -> bool {
+        self.conn(v, assignment[v as usize] as usize) != self.incident[v as usize]
+    }
+
+    /// Records the move of `v` from part `from` to part `to`, updating the
+    /// rows of its neighbours (its own row is unaffected: it describes the
+    /// neighbours' parts, not its own).
+    #[inline]
+    pub fn apply_move(&mut self, graph: &CsrGraph, v: u32, from: usize, to: usize) {
+        for (u, w) in graph.edges_of(v) {
+            let row = u as usize * self.k;
+            self.conn[row + from] -= w;
+            self.conn[row + to] += w;
+        }
+    }
+
+    /// Edge cut implied by the current table: half the total weight leaving
+    /// each vertex's own part. `O(n)` instead of re-walking every edge.
+    pub fn edge_cut(&self, assignment: &[u32]) -> i64 {
+        let mut external = 0i64;
+        for (v, &own) in assignment.iter().enumerate() {
+            external += self.incident[v] - self.conn[v * self.k + own as usize];
+        }
+        external / 2
+    }
 }
 
 /// Moves vertices out of overweight parts until every part weighs at most
@@ -42,11 +107,29 @@ pub fn rebalance(
     k: usize,
     max_part_weight: i64,
 ) -> usize {
+    let mut table = GainTable::build(graph, assignment, k);
+    let mut part_weight = weights_of(graph, assignment, k);
+    rebalance_with(
+        graph,
+        assignment,
+        max_part_weight,
+        &mut table,
+        &mut part_weight,
+    )
+}
+
+/// [`rebalance`] through a caller-owned gain table and part-weight vector
+/// (kept exact), so `refine_kway` can share one table across the repair and
+/// refinement phases.
+fn rebalance_with(
+    graph: &CsrGraph,
+    assignment: &mut [u32],
+    max_part_weight: i64,
+    table: &mut GainTable,
+    part_weight: &mut [i64],
+) -> usize {
     let n = graph.num_vertices();
-    let mut part_weight = vec![0i64; k];
-    for v in 0..n {
-        part_weight[assignment[v] as usize] += graph.vertex_weight(v as u32);
-    }
+    let k = part_weight.len();
     let mut moves = 0usize;
     // Hard cap: each vertex can be moved at most twice on average.
     let max_moves = 2 * n + k;
@@ -68,7 +151,7 @@ pub fn rebalance(
                 continue;
             }
             let vw = graph.vertex_weight(v);
-            let conn = part_connectivity(graph, assignment, v, k);
+            let conn = table.row(v);
             for target in 0..k {
                 if target == heavy || part_weight[target] + vw > max_part_weight {
                     continue;
@@ -92,9 +175,18 @@ pub fn rebalance(
         part_weight[heavy] -= vw;
         part_weight[target as usize] += vw;
         assignment[v as usize] = target;
+        table.apply_move(graph, v, heavy, target as usize);
         moves += 1;
     }
     moves
+}
+
+fn weights_of(graph: &CsrGraph, assignment: &[u32], k: usize) -> Vec<i64> {
+    let mut part_weight = vec![0i64; k];
+    for (v, &p) in assignment.iter().enumerate() {
+        part_weight[p as usize] += graph.vertex_weight(v as u32);
+    }
+    part_weight
 }
 
 /// Greedy k-way refinement. Returns the resulting edge cut.
@@ -117,25 +209,24 @@ pub fn refine_kway(
     let total = graph.total_vertex_weight();
     let max_w = config.max_part_weight(total);
 
-    // First repair any gross imbalance left over from projection.
-    rebalance(graph, assignment, k, max_w);
+    let mut table = GainTable::build(graph, assignment, k);
+    let mut part_weight = weights_of(graph, assignment, k);
 
-    let mut part_weight = vec![0i64; k];
-    for v in 0..n {
-        part_weight[assignment[v] as usize] += graph.vertex_weight(v as u32);
-    }
+    // First repair any gross imbalance left over from projection.
+    rebalance_with(graph, assignment, max_w, &mut table, &mut part_weight);
+
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9E3779B97F4A7C15);
+    let mut boundary: Vec<u32> = Vec::new();
 
     for _ in 0..passes {
-        let mut boundary: Vec<u32> = (0..n as u32)
-            .filter(|&v| is_boundary(graph, assignment, v))
-            .collect();
+        boundary.clear();
+        boundary.extend((0..n as u32).filter(|&v| table.is_boundary(assignment, v)));
         boundary.shuffle(&mut rng);
         let mut moved = 0usize;
-        for v in boundary {
+        for &v in &boundary {
             let from = assignment[v as usize] as usize;
             let vw = graph.vertex_weight(v);
-            let conn = part_connectivity(graph, assignment, v, k);
+            let conn = table.row(v);
             // Best admissible target.
             let mut best: Option<(i64, usize)> = None;
             for target in 0..k {
@@ -156,6 +247,7 @@ pub fn refine_kway(
                 part_weight[from] -= vw;
                 part_weight[target] += vw;
                 assignment[v as usize] = target as u32;
+                table.apply_move(graph, v, from, target);
                 moved += 1;
             }
         }
@@ -164,16 +256,7 @@ pub fn refine_kway(
         }
     }
 
-    // Edge cut of the refined assignment.
-    let mut cut = 0i64;
-    for v in 0..n as u32 {
-        for (u, w) in graph.edges_of(v) {
-            if assignment[v as usize] != assignment[u as usize] {
-                cut += w;
-            }
-        }
-    }
-    cut / 2
+    table.edge_cut(assignment)
 }
 
 #[cfg(test)]
@@ -209,6 +292,31 @@ mod tests {
         refine_kway(&g, &mut a, &cfg, 8);
         let p = Partition::from_assignment(a, k);
         assert!(metrics::imbalance(&g, &p) <= 1.05 + 1e-9);
+    }
+
+    #[test]
+    fn gain_table_tracks_moves_exactly() {
+        let g = generators::random_graph(120, 6, 12, 5);
+        let k = 4usize;
+        let mut a: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % k as u32).collect();
+        let mut table = GainTable::build(&g, &a, k);
+        // Walk a few arbitrary moves and check the table against a rebuild.
+        for v in [3u32, 17, 50, 99, 3] {
+            let from = a[v as usize] as usize;
+            let to = (from + 1) % k;
+            a[v as usize] = to as u32;
+            table.apply_move(&g, v, from, to);
+        }
+        let fresh = GainTable::build(&g, &a, k);
+        for v in 0..g.num_vertices() as u32 {
+            assert_eq!(table.row(v), fresh.row(v), "row of vertex {v} drifted");
+            assert_eq!(
+                table.is_boundary(&a, v),
+                fresh.is_boundary(&a, v),
+                "boundary flag of vertex {v} drifted"
+            );
+        }
+        assert_eq!(table.edge_cut(&a), cut(&g, &a, k));
     }
 
     #[test]

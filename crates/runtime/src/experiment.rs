@@ -616,12 +616,41 @@ mod tests {
     fn windowed_policy_kinds_are_distinct_columns() {
         let report = Experiment::new()
             .app(Application::Jacobi)
-            .policies([PolicyKind::RgpLasWindow(64), PolicyKind::RgpLasWindow(1024)])
+            .policies([
+                PolicyKind::rgp_las_window(64),
+                PolicyKind::rgp_las_window(1024),
+            ])
             .run();
         assert_eq!(
             report.policy_labels(),
             vec!["RGP+LAS:w=64", "RGP+LAS:w=1024", "LAS"]
         );
+    }
+
+    #[test]
+    fn partitioner_ablations_are_distinct_columns() {
+        // Partitioner knobs ride the same registry/sweep path as window
+        // knobs: one tuned spelling per scheme, each its own column.
+        use numadag_core::{PartitionScheme, RgpTuning};
+        let report = Experiment::new()
+            .app(Application::Jacobi)
+            .policies(
+                PartitionScheme::all()
+                    .map(|s| PolicyKind::rgp_las(RgpTuning::default().with_scheme(s))),
+            )
+            .run();
+        assert_eq!(
+            report.policy_labels(),
+            vec![
+                "RGP+LAS:scheme=ml",
+                "RGP+LAS:scheme=rb",
+                "RGP+LAS:scheme=bfs",
+                "LAS"
+            ]
+        );
+        for label in report.policy_labels() {
+            assert!(report.geomean_of(&label).unwrap() > 0.0);
+        }
     }
 
     #[test]

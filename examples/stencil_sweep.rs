@@ -48,7 +48,7 @@ fn main() {
     let windows = [32usize, 64, 128, 256, 512, 1024];
     let mut experiment = Experiment::new()
         .topology(topology)
-        .policies(windows.map(PolicyKind::RgpLasWindow))
+        .policies(windows.map(PolicyKind::rgp_las_window))
         .seed(11);
     for spec in specs {
         experiment = experiment.workload(spec);
@@ -64,7 +64,7 @@ fn main() {
     for name in &names {
         print!("{name:<16}");
         for w in windows {
-            let label = PolicyKind::RgpLasWindow(w).label();
+            let label = PolicyKind::rgp_las_window(w).label();
             let s = report.speedup_of(name, &label).unwrap_or(f64::NAN);
             print!("{s:>9.3}");
         }

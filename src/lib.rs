@@ -70,7 +70,7 @@
 //! | crate | contents |
 //! |-------|----------|
 //! | [`numa`] (`numadag-numa`) | topology, distance matrix, page placement, cost model, traffic stats |
-//! | [`graph`] (`numadag-graph`) | CSR graphs + multilevel k-way partitioner (SCOTCH substitute) |
+//! | [`graph`] (`numadag-graph`) | CSR graphs + multilevel k-way partitioner (SCOTCH substitute) built from pluggable `Coarsener`/`InitialPartitioner`/`Refiner` stages |
 //! | [`tdg`] (`numadag-tdg`) | tasks, dependence analysis, the TDG, windows |
 //! | [`core`] (`numadag-core`) | the scheduling policies: DFIFO, EP, LAS, RGP(+LAS) + the `PolicyKind` registry |
 //! | [`runtime`] (`numadag-runtime`) | `Executor` trait, simulator + threaded backends, `Experiment`/`SweepReport` |
@@ -87,7 +87,8 @@
 //!   inversion) as a custom `Experiment` workload, with a per-socket
 //!   placement breakdown.
 //! * `partition_playground` — the multilevel partitioner vs the naive BFS
-//!   baseline on synthetic graphs and real task-graph windows.
+//!   baseline on synthetic graphs and real task-graph windows, plus a
+//!   custom stage composition through `partition_with`.
 //! * `stencil_sweep` — the RGP window sweep as a single `Experiment` whose
 //!   policy axis is `rgp-las:w=N`.
 
@@ -102,7 +103,8 @@ pub use numadag_tdg as tdg;
 pub mod prelude {
     pub use numadag_core::{
         make_policy, make_policy_with_window, DfifoPolicy, EpPolicy, LasPolicy, ParsePolicyError,
-        PolicyKind, Propagation, RgpConfig, RgpPolicy, SchedulingPolicy,
+        PartitionScheme, PartitionTuning, PolicyKind, Propagation, RgpConfig, RgpPolicy, RgpTuning,
+        SchedulingPolicy,
     };
     pub use numadag_kernels::{Application, DenseStore, ProblemScale};
     pub use numadag_numa::{CostModel, MemoryMap, NodeId, SocketId, Topology};

@@ -124,8 +124,12 @@ fn rgp_las_beats_the_baseline_on_the_small_suite_geomean() {
 #[test]
 fn flat_cost_model_removes_the_policy_gap() {
     // Control experiment: with no NUMA penalty, RGP+LAS and DFIFO perform the
-    // same to within a few percent, demonstrating the gap really is a NUMA
-    // effect and not a scheduling artefact.
+    // same, demonstrating the gap really is a NUMA effect and not a
+    // scheduling artefact. The simulator charges identical compute and
+    // (flat) memory costs either way, so the measured ratio is exactly 1.0
+    // today; the 2% bound below only leaves room for benign tie-breaking
+    // drift in the schedule order, not for a real gap (the original 10%
+    // bound would have masked one).
     let report = Experiment::new()
         .cost_model(CostModel::flat())
         .app(Application::NStream)
@@ -142,7 +146,7 @@ fn flat_cost_model_removes_the_policy_gap() {
     };
     let (a, b) = (makespan("RGP+LAS"), makespan("DFIFO"));
     let ratio = a.max(b) / a.min(b);
-    assert!(ratio < 1.10, "flat-model ratio {ratio:.3}");
+    assert!(ratio < 1.02, "flat-model ratio {ratio:.3}");
 }
 
 #[test]
@@ -166,8 +170,11 @@ fn uma_machine_makes_all_policies_equivalent() {
 #[test]
 fn ep_and_rgp_las_are_competitive_with_each_other() {
     // The paper's figure shows EP and RGP+LAS close together (both ≥ LAS on
-    // most codes). Check they are within a factor of 2 of each other —
-    // a loose sanity bound that catches gross regressions in either policy.
+    // most codes). Measured today the two policies are within 1.16× of each
+    // other on these kernels (Jacobi 1.15, QR 1.01); the 1.3× bound keeps
+    // ~12% of slack for cost-model retuning while still catching the class
+    // of regression the original 2× bound was too loose to see (e.g. RGP
+    // degenerating to round-robin placement costs well over 1.3×).
     let report = Experiment::new()
         .apps([Application::Jacobi, Application::QrFactorization])
         .scale(ProblemScale::Small)
@@ -184,7 +191,7 @@ fn ep_and_rgp_las_are_competitive_with_each_other() {
         };
         let (ep, rgp) = (makespan("EP"), makespan("RGP+LAS"));
         let ratio = ep.max(rgp) / ep.min(rgp);
-        assert!(ratio < 2.0, "{app}: EP vs RGP+LAS ratio {ratio:.3}");
+        assert!(ratio < 1.3, "{app}: EP vs RGP+LAS ratio {ratio:.3}");
     }
 }
 

@@ -9,6 +9,65 @@ use numadag::graph::{generators, metrics, partition, PartitionConfig, PartitionS
 use numadag::prelude::*;
 
 proptest! {
+    // Few cases, big inputs: each case partitions a graph of up to 10k
+    // vertices under every scheme, twice (for the determinism check), in
+    // debug mode.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The partition contract, for every registered scheme × part count on
+    /// random graphs up to 10k vertices: full coverage (the part→members
+    /// index is a permutation of the vertices), in-range part ids, balance
+    /// within the scheme's budget, and bit-exact seed determinism.
+    #[test]
+    fn every_scheme_holds_the_partition_contract_at_scale(
+        n in 64usize..10_000,
+        avg_degree in 2usize..9,
+        k in 2usize..9,
+        seed in 0u64..10_000,
+    ) {
+        let graph = generators::random_graph(n, avg_degree, 1 << 12, seed);
+        for scheme in PartitionScheme::all() {
+            let config = PartitionConfig::new(k).with_seed(seed).with_scheme(scheme);
+            let p = partition(&graph, &config);
+            // Coverage and range.
+            prop_assert_eq!(p.len(), graph.num_vertices());
+            prop_assert!(p.assignment().iter().all(|&x| (x as usize) < k),
+                "{:?}: part id out of range", scheme);
+            let members = p.members();
+            let covered: usize = members.iter().map(|(_, m)| m.len()).sum();
+            prop_assert_eq!(covered, graph.num_vertices());
+            // Balance. The refined schemes enforce the partitioner's own
+            // budget (rebalance makes it a hard constraint for feasible,
+            // i.e. unit-weight, inputs); the BFS baseline only balances by
+            // chunking the BFS order, which with unit weights overshoots the
+            // ideal by at most one vertex per part.
+            let weights = metrics::part_weights(&graph, &p);
+            match scheme {
+                PartitionScheme::MultilevelKWay | PartitionScheme::RecursiveBisection => {
+                    let max_allowed = config.max_part_weight(graph.total_vertex_weight());
+                    prop_assert!(
+                        weights.iter().all(|&w| w <= max_allowed),
+                        "{:?}: part weights {:?} exceed budget {}", scheme, weights, max_allowed
+                    );
+                }
+                PartitionScheme::BfsGrowing => {
+                    let ideal = graph.total_vertex_weight() as f64 / k as f64;
+                    let max = *weights.iter().max().unwrap() as f64;
+                    prop_assert!(
+                        max <= ideal + k as f64,
+                        "BFS chunking drifted: max part {} vs ideal {}", max, ideal
+                    );
+                }
+            }
+            // Seed determinism, including the derived index.
+            let again = partition(&graph, &config);
+            prop_assert_eq!(&p, &again, "{:?}: same seed, different partition", scheme);
+            prop_assert_eq!(members, again.members());
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Every partition covers every vertex with a valid part id, respects the
@@ -43,7 +102,13 @@ proptest! {
     }
 
     /// The multilevel partitioner never produces a worse cut than the naive
-    /// BFS baseline by more than a small slack (it is usually much better).
+    /// BFS baseline — with NO slack. The original seed allowed `1.05× + 1024`
+    /// of headroom; an exhaustive sweep of this whole input domain
+    /// (12 × 12 × 200 = 28,800 combinations) puts the worst multilevel/naive
+    /// ratio at 0.885, i.e. multilevel is always at least ~11% better here,
+    /// so the qualitative claim ("the multilevel scheme earns its cost") can
+    /// be tested exactly. If this ever fires, the partitioner regressed —
+    /// do not widen the bound back.
     #[test]
     fn multilevel_not_worse_than_naive(
         layers in 4usize..16,
@@ -60,8 +125,8 @@ proptest! {
         let ml_cut = metrics::edge_cut(&graph, &ml);
         let naive_cut = metrics::edge_cut(&graph, &naive);
         prop_assert!(
-            ml_cut as f64 <= naive_cut as f64 * 1.05 + 1024.0,
-            "multilevel cut {} much worse than naive {}", ml_cut, naive_cut
+            ml_cut <= naive_cut,
+            "multilevel cut {} worse than naive {}", ml_cut, naive_cut
         );
     }
 

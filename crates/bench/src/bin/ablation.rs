@@ -1,8 +1,12 @@
-//! Design-choice ablations (DESIGN.md: ABL-WIN, ABL-SOCK, ABL-PART).
+//! Design-choice ablations (DESIGN.md: ABL-WIN, ABL-SOCK, ABL-PART) and the
+//! `bench-diff` baseline comparator.
 //!
 //! Usage:
 //! ```text
-//! cargo run -p numadag-bench --bin ablation --release -- [window|sockets|partitioner|all]
+//! cargo run -p numadag-bench --bin ablation --release -- \
+//!     [window|sockets|partitioner|all] [--jobs N]
+//! cargo run -p numadag-bench --bin ablation --release -- \
+//!     bench-diff BASELINE.json CANDIDATE.json
 //! ```
 //!
 //! All three ablations are expressed as [`Experiment`] sweeps: the window
@@ -12,20 +16,49 @@
 //! policy axis is RGP+LAS under each partitioning scheme
 //! (`rgp-las:scheme=ml|rb|bfs` registry labels) — every ablation therefore
 //! lands in the same `SweepReport` shape. The partitioner study additionally
-//! prints the raw window-cut comparison underlying the speedups.
+//! prints the raw window-cut comparison underlying the speedups. `--jobs N`
+//! shards every study's cells across N worker threads (0 = one per core);
+//! the studies share one `SpecCache`, so each workload spec is built once
+//! across all of them.
+//!
+//! `bench-diff` loads two `BENCH_*.json` sweep reports and prints the
+//! per-cell measurement deltas (timing sections are ignored), exiting 0
+//! when the reports are measurement-identical and 1 when they differ — so
+//! "regenerate and diff the baseline" is one command instead of a jq
+//! exercise. Malformed arguments exit with code 2.
 
+use std::sync::Arc;
+
+use numadag_bench::stderr_progress;
 use numadag_core::{PolicyKind, RgpTuning};
 use numadag_graph::{partition, PartitionConfig, PartitionScheme};
-use numadag_kernels::{Application, ProblemScale};
+use numadag_kernels::{Application, ProblemScale, SpecCache};
 use numadag_numa::Topology;
-use numadag_runtime::Experiment;
+use numadag_runtime::{Experiment, SweepReport};
 use numadag_tdg::{window_to_csr, TaskWindow, WindowConfig};
 
 const SCALE: ProblemScale = ProblemScale::Small;
 const SEED: u64 = 0xAB1A7E;
 
+/// How every study runs: worker count plus the spec cache they share.
+struct StudyConfig {
+    jobs: usize,
+    specs: Arc<SpecCache>,
+}
+
+impl StudyConfig {
+    /// An experiment pre-wired with this study configuration.
+    fn experiment(&self) -> Experiment {
+        Experiment::new()
+            .seed(SEED)
+            .parallelism(self.jobs)
+            .spec_cache(Arc::clone(&self.specs))
+            .on_cell_complete(stderr_progress)
+    }
+}
+
 /// ABL-WIN: RGP+LAS speedup over LAS as a function of the window size.
-fn window_ablation() {
+fn window_ablation(study: &StudyConfig) {
     println!("\n# ABL-WIN — RGP+LAS speedup over LAS vs window size ({SCALE:?} scale)\n");
     let apps = [
         Application::Jacobi,
@@ -33,11 +66,11 @@ fn window_ablation() {
         Application::SymmetricMatrixInversion,
     ];
     let window_sizes = [64usize, 128, 256, 512, 1024, 2048, 4096];
-    let report = Experiment::new()
+    let report = study
+        .experiment()
         .apps(apps)
         .scale(SCALE)
         .policies(window_sizes.map(PolicyKind::rgp_las_window))
-        .seed(SEED)
         .run();
 
     print!("| {:<22} |", "application");
@@ -57,16 +90,16 @@ fn window_ablation() {
 }
 
 /// ABL-SOCK: the gap between the policies as the socket count grows.
-fn socket_ablation() {
+fn socket_ablation(study: &StudyConfig) {
     println!("\n# ABL-SOCK — geometric-mean speedup over LAS vs socket count ({SCALE:?} scale)\n");
     println!("| sockets | DFIFO | RGP+LAS | EP |");
     for sockets in [2usize, 4, 8, 16] {
-        let report = Experiment::new()
+        let report = study
+            .experiment()
             .topology(Topology::symmetric(sockets, 4))
             .apps(Application::all())
             .scale(SCALE)
             .policies([PolicyKind::Dfifo, PolicyKind::RgpLas, PolicyKind::Ep])
-            .seed(SEED)
             .run();
         print!("| {sockets:>7} |");
         for label in ["DFIFO", "RGP+LAS", "EP"] {
@@ -80,7 +113,7 @@ fn socket_ablation() {
 /// speedup over LAS under each partitioning scheme, as one `Experiment`
 /// sweep (each `rgp-las:scheme=…` spelling is its own report column) —
 /// followed by the raw window-cut comparison that explains the speedups.
-fn partitioner_ablation() {
+fn partitioner_ablation(study: &StudyConfig) {
     let apps = [
         Application::Jacobi,
         Application::QrFactorization,
@@ -90,11 +123,11 @@ fn partitioner_ablation() {
     let schemes = PartitionScheme::all();
 
     println!("\n# ABL-PART — RGP+LAS speedup over LAS per partitioning scheme ({SCALE:?} scale)\n");
-    let report = Experiment::new()
+    let report = study
+        .experiment()
         .apps(apps)
         .scale(SCALE)
         .policies(schemes.map(|s| PolicyKind::rgp_las(RgpTuning::default().with_scheme(s))))
-        .seed(SEED)
         .run();
     print!("| {:<22} |", "application");
     for scheme in schemes {
@@ -125,7 +158,7 @@ fn partitioner_ablation() {
         "application", "ML cut (bytes)", "BFS cut (bytes)", "ratio"
     );
     for app in apps {
-        let spec = app.build(SCALE, k);
+        let spec = study.specs.get(app, SCALE, k);
         let window = TaskWindow::initial(&spec.graph, WindowConfig::new(1024));
         let wg = window_to_csr(&spec.graph, &window);
         let ml = partition(&wg.graph, &PartitionConfig::new(k).with_seed(SEED));
@@ -147,16 +180,82 @@ fn partitioner_ablation() {
     }
 }
 
+/// Prints a CLI usage error and exits with code 2.
+fn usage_error(message: String) -> ! {
+    eprintln!("error: {message}");
+    eprintln!(
+        "usage: ablation [window|sockets|partitioner|all] [--jobs N]\n\
+         \u{20}      ablation bench-diff BASELINE.json CANDIDATE.json"
+    );
+    std::process::exit(2);
+}
+
+/// Loads a sweep report from a `BENCH_*.json` file, exiting 2 on failure.
+fn load_report(path: &str) -> SweepReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| usage_error(format!("cannot read {path}: {e}")));
+    SweepReport::from_json_str(&text)
+        .unwrap_or_else(|e| usage_error(format!("cannot parse {path}: {e}")))
+}
+
+/// `bench-diff BASELINE CANDIDATE`: prints per-cell measurement deltas and
+/// exits 1 when the reports differ.
+fn bench_diff(baseline_path: &str, candidate_path: &str) -> ! {
+    let baseline = load_report(baseline_path);
+    let candidate = load_report(candidate_path);
+    let diff = baseline.diff(&candidate);
+    println!("# bench-diff {baseline_path} -> {candidate_path}\n");
+    print!("{diff}");
+    std::process::exit(if diff.is_empty() { 0 } else { 1 });
+}
+
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Option<String> = None;
+    let mut jobs = 1usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "bench-diff" => match (args.get(i + 1), args.get(i + 2), args.get(i + 3)) {
+                (Some(baseline), Some(candidate), None) => bench_diff(baseline, candidate),
+                _ => usage_error(
+                    "bench-diff needs exactly two report paths (BASELINE.json CANDIDATE.json)"
+                        .to_string(),
+                ),
+            },
+            "--jobs" => {
+                i += 1;
+                match args.get(i).map(|s| numadag_bench::parse_jobs(s)) {
+                    Some(Ok(n)) => jobs = n,
+                    Some(Err(e)) => usage_error(e),
+                    None => usage_error("--jobs needs a value".to_string()),
+                }
+            }
+            study @ ("window" | "sockets" | "partitioner" | "all") => match &which {
+                None => which = Some(study.to_string()),
+                Some(first) => usage_error(format!(
+                    "more than one study selected ({first:?} and {study:?}); pick one, \
+                     or \"all\" to run every study"
+                )),
+            },
+            other => usage_error(format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    let which = which.unwrap_or_else(|| "all".to_string());
+
+    let study = StudyConfig {
+        jobs,
+        specs: Arc::new(SpecCache::new()),
+    };
     match which.as_str() {
-        "window" => window_ablation(),
-        "sockets" => socket_ablation(),
-        "partitioner" => partitioner_ablation(),
+        "window" => window_ablation(&study),
+        "sockets" => socket_ablation(&study),
+        "partitioner" => partitioner_ablation(&study),
         _ => {
-            window_ablation();
-            socket_ablation();
-            partitioner_ablation();
+            window_ablation(&study);
+            socket_ablation(&study);
+            partitioner_ablation(&study);
         }
     }
 }

@@ -6,7 +6,8 @@
 //! ```text
 //! cargo run -p numadag-bench --bin figure1 --release -- \
 //!     [--scale tiny|small|full] [--policies dfifo,rgp-las:w=512,ep] \
-//!     [--backend simulated|threaded] [--reps N] [--seed N] [--json PATH]
+//!     [--backend simulated|threaded] [--jobs N] [--reps N] [--seed N] \
+//!     [--json PATH] [--json-timing PATH]
 //! ```
 //!
 //! Policies are parsed through the `PolicyKind` registry, so any registered
@@ -14,82 +15,93 @@
 //! (`rgp-las:w=512`), partitioning scheme (`rgp-las:scheme=ml|rb|bfs`) and
 //! refinement passes (`rgp-las:passes=4`), in any combination — partitioner
 //! ablations run through the same sweep as everything else.
+//!
+//! `--jobs N` shards the sweep's cells across N worker threads (0 = one per
+//! core); on the simulator backend the report is bit-identical for every
+//! value. Per-cell progress goes to stderr, keeping stdout tables and the
+//! JSON exports clean. `--json` writes the byte-stable measurement report
+//! (the `BENCH_*.json` baseline format); `--json-timing` additionally
+//! includes the wall-time/spec-build accounting, which varies run to run.
+//!
+//! Malformed arguments (unknown scale, unknown flag, non-integer `--jobs`/
+//! `--reps`/`--seed`, …) are hard errors with exit code 2.
 
-use numadag_bench::{paper_reference, run_figure1, HarnessConfig};
+use numadag_bench::{figure1_experiment, paper_reference, stderr_progress, HarnessConfig};
 use numadag_core::PolicyKind;
 use numadag_kernels::ProblemScale;
-use numadag_runtime::SweepReport;
+use numadag_runtime::{Backend, SweepReport};
 
-fn parse_args() -> (HarnessConfig, Option<String>) {
+/// Prints a CLI usage error and exits with code 2.
+fn usage_error(message: String) -> ! {
+    eprintln!("error: {message}");
+    eprintln!(
+        "usage: figure1 [--scale tiny|small|full] [--policies LIST] \
+         [--backend simulated|threaded] [--jobs N] [--reps N] [--seed N] \
+         [--json PATH] [--json-timing PATH]"
+    );
+    std::process::exit(2);
+}
+
+/// The value of flag `args[i]`, or a usage error naming the flag.
+fn flag_value(args: &[String], i: usize) -> &str {
+    match args.get(i + 1) {
+        Some(value) => value,
+        None => usage_error(format!("{} needs a value", args[i])),
+    }
+}
+
+fn parse_args() -> (HarnessConfig, Option<String>, Option<String>) {
     let mut config = HarnessConfig::default();
     let mut json_path = None;
+    let mut json_timing_path = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                i += 1;
-                config.scale = match args.get(i).map(String::as_str) {
-                    Some("tiny") => ProblemScale::Tiny,
-                    Some("small") => ProblemScale::Small,
-                    Some("full") | None => ProblemScale::Full,
-                    Some(other) => {
-                        eprintln!("unknown scale {other}, using full");
-                        ProblemScale::Full
-                    }
+                config.scale = match flag_value(&args, i) {
+                    "tiny" => ProblemScale::Tiny,
+                    "small" => ProblemScale::Small,
+                    "full" => ProblemScale::Full,
+                    other => usage_error(format!(
+                        "unknown scale {other:?} (expected tiny, small or full)"
+                    )),
                 };
             }
-            "--policies" => {
-                i += 1;
-                match args.get(i).map(|s| PolicyKind::parse_list(s)) {
-                    Some(Ok(kinds)) if !kinds.is_empty() => config.policies = kinds,
-                    Some(Err(e)) => {
-                        eprintln!("{e}");
-                        std::process::exit(2);
-                    }
-                    _ => eprintln!("--policies needs a comma-separated list, keeping defaults"),
-                }
-            }
-            "--backend" => {
-                i += 1;
-                match args.get(i).map(|s| s.parse()) {
-                    Some(Ok(backend)) => config.backend = backend,
-                    Some(Err(e)) => {
-                        eprintln!("{e}");
-                        std::process::exit(2);
-                    }
-                    None => eprintln!("--backend needs a value, keeping simulated"),
-                }
-            }
-            "--reps" => {
-                i += 1;
-                match args.get(i).map(|s| s.parse()) {
-                    Some(Ok(reps)) => config.repetitions = reps,
-                    _ => {
-                        eprintln!("--reps needs a positive integer");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            "--json" => {
-                i += 1;
-                json_path = args.get(i).cloned();
-            }
-            "--seed" => {
-                i += 1;
-                match args.get(i).map(|s| s.parse()) {
-                    Some(Ok(seed)) => config.seed = seed,
-                    _ => {
-                        eprintln!("--seed needs an unsigned integer");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            other => eprintln!("ignoring unknown argument {other}"),
+            "--policies" => match PolicyKind::parse_list(flag_value(&args, i)) {
+                Ok(kinds) if !kinds.is_empty() => config.policies = kinds,
+                Ok(_) => usage_error("--policies needs a non-empty list".to_string()),
+                Err(e) => usage_error(e.to_string()),
+            },
+            "--backend" => match flag_value(&args, i).parse() {
+                Ok(backend) => config.backend = backend,
+                Err(e) => usage_error(e),
+            },
+            "--jobs" => match numadag_bench::parse_jobs(flag_value(&args, i)) {
+                Ok(jobs) => config.jobs = jobs,
+                Err(e) => usage_error(e),
+            },
+            "--reps" => match flag_value(&args, i).parse() {
+                Ok(reps) if reps > 0 => config.repetitions = reps,
+                _ => usage_error(format!(
+                    "--reps needs a positive integer, got {:?}",
+                    flag_value(&args, i)
+                )),
+            },
+            "--seed" => match flag_value(&args, i).parse() {
+                Ok(seed) => config.seed = seed,
+                Err(_) => usage_error(format!(
+                    "--seed needs an unsigned integer, got {:?}",
+                    flag_value(&args, i)
+                )),
+            },
+            "--json" => json_path = Some(flag_value(&args, i).to_string()),
+            "--json-timing" => json_timing_path = Some(flag_value(&args, i).to_string()),
+            other => usage_error(format!("unknown argument {other:?}")),
         }
-        i += 1;
+        i += 2;
     }
-    (config, json_path)
+    (config, json_path, json_timing_path)
 }
 
 fn print_table(report: &SweepReport) {
@@ -131,15 +143,26 @@ fn print_table(report: &SweepReport) {
 }
 
 fn main() {
-    let (config, json_path) = parse_args();
+    let (config, json_path, json_timing_path) = parse_args();
+    if config.backend == Backend::Threaded && config.jobs != 1 {
+        eprintln!(
+            "warning: --jobs {} with the threaded backend runs that many thread \
+             pools concurrently; wall-clock makespans will contend for CPUs and \
+             come out inflated — measure the threaded backend with --jobs 1",
+            config.jobs
+        );
+    }
     println!(
-        "# Figure 1 — speedup over LAS on {} ({:?} scale, {} backend)\n",
+        "# Figure 1 — speedup over LAS on {} ({:?} scale, {} backend, {} jobs)\n",
         config.topology.name(),
         config.scale,
         config.backend.label(),
+        numadag_bench::jobs_label(config.jobs),
     );
 
-    let report = run_figure1(&config);
+    let report = figure1_experiment(&config)
+        .on_cell_complete(stderr_progress)
+        .run();
     print_table(&report);
 
     if !report.skipped.is_empty() {
@@ -168,9 +191,26 @@ fn main() {
         );
     }
 
+    println!(
+        "\n## Sweep accounting\n\n  total {:.1} ms wall ({} jobs) | cells {:.1} ms | \
+         spec builds {} ({:.1} ms, {} cache hits)",
+        report.timing.total_wall_ns / 1e6,
+        report.timing.jobs,
+        report.timing.run_wall_ns / 1e6,
+        report.timing.spec_builds,
+        report.timing.build_wall_ns / 1e6,
+        report.timing.spec_cache_hits,
+    );
+
     if let Some(path) = json_path {
         match std::fs::write(&path, report.to_json_string()) {
             Ok(()) => println!("\nwrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    if let Some(path) = json_timing_path {
+        match std::fs::write(&path, report.to_json_string_with_timing()) {
+            Ok(()) => println!("\nwrote {path} (with timing)"),
             Err(e) => eprintln!("could not write {path}: {e}"),
         }
     }

@@ -8,7 +8,7 @@
 use numadag_core::PolicyKind;
 use numadag_kernels::{Application, ProblemScale};
 use numadag_numa::Topology;
-use numadag_runtime::{Backend, Experiment, SweepReport};
+use numadag_runtime::{Backend, CellProgress, Experiment, SweepReport};
 
 /// Configuration of a harness run.
 #[derive(Clone, Debug)]
@@ -26,6 +26,10 @@ pub struct HarnessConfig {
     pub backend: Backend,
     /// Repetitions per cell (only meaningful for the threaded backend).
     pub repetitions: usize,
+    /// Worker threads the sweep is sharded across (1 = serial, 0 = one per
+    /// available core). Reports are bit-identical for every value on the
+    /// simulator backend.
+    pub jobs: usize,
 }
 
 impl Default for HarnessConfig {
@@ -37,6 +41,7 @@ impl Default for HarnessConfig {
             policies: vec![PolicyKind::Dfifo, PolicyKind::RgpLas, PolicyKind::Ep],
             backend: Backend::Simulated,
             repetitions: 1,
+            jobs: 1,
         }
     }
 }
@@ -53,6 +58,54 @@ pub fn figure1_experiment(config: &HarnessConfig) -> Experiment {
         .backend(config.backend)
         .repetitions(config.repetitions)
         .seed(config.seed)
+        .parallelism(config.jobs)
+}
+
+/// Parses a `--jobs` CLI value (shared by both bins so their error handling
+/// cannot drift): any unsigned integer, where `0` means "one worker per
+/// available core".
+pub fn parse_jobs(value: &str) -> Result<usize, String> {
+    value
+        .parse()
+        .map_err(|_| format!("--jobs needs an unsigned integer, got {value:?}"))
+}
+
+/// How a `--jobs` value reads in banners: the literal count, or `"auto"`
+/// for `0` (the effective worker count is recorded in the report's timing
+/// section).
+pub fn jobs_label(jobs: usize) -> String {
+    if jobs == 0 {
+        "auto".to_string()
+    } else {
+        jobs.to_string()
+    }
+}
+
+/// Per-cell progress line on stderr — install with
+/// `Experiment::on_cell_complete(stderr_progress)` so long sweeps report
+/// live progress instead of going dark (stderr keeps stdout tables and
+/// `--json` output clean).
+pub fn stderr_progress(progress: &CellProgress) {
+    if progress.skipped {
+        eprintln!(
+            "[{:>3}/{}] {} / {} / rep {}: skipped (policy not applicable)",
+            progress.completed,
+            progress.total,
+            progress.application,
+            progress.policy,
+            progress.repetition,
+        );
+    } else {
+        eprintln!(
+            "[{:>3}/{}] {} / {} / rep {}: {:.1} ms",
+            progress.completed,
+            progress.total,
+            progress.application,
+            progress.policy,
+            progress.repetition,
+            progress.wall_ns / 1e6,
+        );
+    }
 }
 
 /// Runs the Figure-1 experiment and returns the structured sweep report.

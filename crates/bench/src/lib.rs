@@ -13,4 +13,7 @@
 
 pub mod harness;
 
-pub use harness::{figure1_experiment, paper_reference, run_figure1, HarnessConfig};
+pub use harness::{
+    figure1_experiment, jobs_label, paper_reference, parse_jobs, run_figure1, stderr_progress,
+    HarnessConfig,
+};

@@ -70,6 +70,157 @@ fn figure1_accepts_registry_policy_labels() {
 }
 
 #[test]
+fn malformed_arguments_exit_2() {
+    // Unknown scales, unknown flags and malformed integers must be hard
+    // errors (exit code 2) in both binaries, never silent fallbacks.
+    let figure1_cases: &[&[&str]] = &[
+        &["--scale", "bogus"],
+        &["--scale"],
+        &["--jobs", "abc"],
+        &["--jobs"],
+        &["--reps", "0"],
+        &["--reps", "-3"],
+        &["--seed", "1.5"],
+        &["--no-such-flag"],
+        &["--policies", ""],
+    ];
+    for args in figure1_cases {
+        let out = Command::new(env!("CARGO_BIN_EXE_figure1"))
+            .args(*args)
+            .output()
+            .expect("figure1 must spawn");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "figure1 {args:?} must exit 2, stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("error:"),
+            "figure1 {args:?} must explain the error"
+        );
+    }
+
+    let ablation_cases: &[&[&str]] = &[
+        &["--jobs", "x"],
+        &["--jobs"],
+        &["no-such-study"],
+        &["window", "sockets"],
+        &["bench-diff", "only-one.json"],
+        &["bench-diff", "a.json", "b.json", "c.json"],
+        &["bench-diff", "/nonexistent/a.json", "/nonexistent/b.json"],
+    ];
+    for args in ablation_cases {
+        let out = Command::new(env!("CARGO_BIN_EXE_ablation"))
+            .args(*args)
+            .output()
+            .expect("ablation must spawn");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "ablation {args:?} must exit 2, stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn sharded_sweep_writes_identical_json_and_reports_progress() {
+    let dir = std::env::temp_dir().join(format!("numadag_jobs_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let serial_path = dir.join("serial.json");
+    let sharded_path = dir.join("sharded.json");
+
+    let serial = Command::new(env!("CARGO_BIN_EXE_figure1"))
+        .args(["--scale", "tiny", "--jobs", "1", "--json"])
+        .arg(&serial_path)
+        .output()
+        .expect("figure1 must spawn");
+    assert!(serial.status.success());
+
+    let sharded = Command::new(env!("CARGO_BIN_EXE_figure1"))
+        .args(["--scale", "tiny", "--jobs", "4", "--json"])
+        .arg(&sharded_path)
+        .output()
+        .expect("figure1 must spawn");
+    assert!(sharded.status.success());
+
+    // Sharding must not change a single byte of the measurement JSON.
+    assert_eq!(
+        std::fs::read(&serial_path).unwrap(),
+        std::fs::read(&sharded_path).unwrap(),
+        "jobs=4 and jobs=1 must serialize identically"
+    );
+
+    // Live per-cell progress goes to stderr: one line per cell (8 apps × 4
+    // policies), none of it polluting stdout.
+    let progress = String::from_utf8_lossy(&sharded.stderr);
+    assert_eq!(
+        progress.lines().filter(|l| l.contains("/ rep 0:")).count(),
+        32,
+        "expected one progress line per cell: {progress}"
+    );
+    assert!(progress.contains("[ 32/32]"), "{progress}");
+
+    // bench-diff agrees the reports are identical (exit 0)…
+    let same = Command::new(env!("CARGO_BIN_EXE_ablation"))
+        .arg("bench-diff")
+        .args([&serial_path, &sharded_path])
+        .output()
+        .expect("ablation must spawn");
+    assert_eq!(same.status.code(), Some(0), "identical reports must exit 0");
+    assert!(String::from_utf8_lossy(&same.stdout).contains("measurement-identical"));
+
+    // …and flags a seed change as a difference (exit 1) with per-cell deltas.
+    let other_path = dir.join("other-seed.json");
+    let other = Command::new(env!("CARGO_BIN_EXE_figure1"))
+        .args(["--scale", "tiny", "--seed", "99", "--json"])
+        .arg(&other_path)
+        .output()
+        .expect("figure1 must spawn");
+    assert!(other.status.success());
+    let differs = Command::new(env!("CARGO_BIN_EXE_ablation"))
+        .arg("bench-diff")
+        .args([&serial_path, &other_path])
+        .output()
+        .expect("ablation must spawn");
+    assert_eq!(
+        differs.status.code(),
+        Some(1),
+        "differing reports must exit 1"
+    );
+    let stdout = String::from_utf8_lossy(&differs.stdout);
+    assert!(stdout.contains("seed: 15819134 -> 99"), "{stdout}");
+    assert!(stdout.contains("makespan_ns"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn json_timing_export_carries_wall_time_accounting() {
+    let dir = std::env::temp_dir().join(format!("numadag_timing_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("timing.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_figure1"))
+        .args(["--scale", "tiny", "--jobs", "2", "--json-timing"])
+        .arg(&path)
+        .output()
+        .expect("figure1 must spawn");
+    assert!(out.status.success());
+    let json = std::fs::read_to_string(&path).unwrap();
+    for key in [
+        "\"timing\"",
+        "\"total_wall_ns\"",
+        "\"build_wall_ns\"",
+        "\"spec_builds\": 8",
+        "\"cell_wall_ns\"",
+    ] {
+        assert!(json.contains(key), "timing export missing {key}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn ablation_partitioner_study_runs() {
     let out = Command::new(env!("CARGO_BIN_EXE_ablation"))
         .arg("partitioner")

@@ -352,6 +352,12 @@ impl std::fmt::Display for PolicyKind {
 ///
 /// Returns `None` only for [`PolicyKind::Ep`] when the workload does not
 /// define an expert placement.
+///
+/// The returned box is [`Send`] ([`SchedulingPolicy`] has `Send` as a
+/// supertrait), and `PolicyKind` is `Copy + Send + Sync` — so sweep drivers
+/// can hand a kind to each worker thread and build the policy instance
+/// inside the shard that runs it. The static assertion below keeps that
+/// contract from regressing silently.
 pub fn make_policy(
     kind: PolicyKind,
     spec: &TaskGraphSpec,
@@ -392,6 +398,16 @@ pub fn make_policy_with_window(
         }
     })
 }
+
+// Compile-time contract of the sharded sweep driver: policy kinds can be
+// shared with worker threads, and built policy instances can live on them.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send + ?Sized>() {}
+    assert_send_sync::<PolicyKind>();
+    assert_send_sync::<RgpTuning>();
+    assert_send::<Box<dyn SchedulingPolicy>>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,147 @@
+//! Memoized workload building: [`SpecCache`] builds each (application ×
+//! scale × socket-count) task graph exactly once and hands out shared
+//! [`Arc<TaskGraphSpec>`] handles.
+//!
+//! Sweeps run the same workload under many policies and repetitions; at Full
+//! scale building a spec means generating thousands of tasks and their
+//! dependence edges, so rebuilding per cell would dominate the sweep. The
+//! cache is internally synchronized and can be shared across experiments
+//! (and across sweep worker threads) behind an `Arc`. The build/hit counters
+//! feed the sweep report's build-count accounting, which is how tests verify
+//! that specs really are built once per app×scale.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use numadag_tdg::TaskGraphSpec;
+
+use crate::common::ProblemScale;
+use crate::suite::Application;
+
+/// Key of one cached workload instance.
+pub type SpecKey = (Application, ProblemScale, usize);
+
+/// A thread-safe memo of built task-graph specs, keyed by
+/// (application, scale, socket count).
+#[derive(Debug, Default)]
+pub struct SpecCache {
+    specs: Mutex<HashMap<SpecKey, Arc<TaskGraphSpec>>>,
+    builds: AtomicUsize,
+    hits: AtomicUsize,
+}
+
+impl SpecCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SpecCache::default()
+    }
+
+    /// The spec of `app` at `scale` for a `num_sockets`-socket machine,
+    /// building it on first use and returning the shared handle afterwards.
+    pub fn get(
+        &self,
+        app: Application,
+        scale: ProblemScale,
+        num_sockets: usize,
+    ) -> Arc<TaskGraphSpec> {
+        self.get_with_stats(app, scale, num_sockets).0
+    }
+
+    /// Like [`SpecCache::get`], but also reports whether *this* call built
+    /// the spec (`true`) or was served from the cache (`false`) — so callers
+    /// sharing the cache across threads can account their own builds/hits
+    /// without racing on the global counters.
+    pub fn get_with_stats(
+        &self,
+        app: Application,
+        scale: ProblemScale,
+        num_sockets: usize,
+    ) -> (Arc<TaskGraphSpec>, bool) {
+        let key = (app, scale, num_sockets);
+        // Fast path: already built.
+        if let Some(spec) = self.specs.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(spec), false);
+        }
+        // Build outside the lock: Full-scale builds take real time and other
+        // workloads' lookups should not serialize behind them. Two threads
+        // racing on the same key both build; the first insert wins and the
+        // loser's copy is dropped (counted as a build, not a hit — the work
+        // did happen).
+        let built = Arc::new(app.build(scale, num_sockets));
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        let mut specs = self.specs.lock().unwrap();
+        (Arc::clone(specs.entry(key).or_insert(built)), true)
+    }
+
+    /// How many specs were actually built (cache misses, including both
+    /// sides of a racing build).
+    pub fn builds(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// How many lookups were served from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct workload instances currently cached.
+    pub fn len(&self) -> usize {
+        self.specs.lock().unwrap().len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_one_build_per_key() {
+        let cache = SpecCache::new();
+        let a = cache.get(Application::NStream, ProblemScale::Tiny, 4);
+        let b = cache.get(Application::NStream, ProblemScale::Tiny, 4);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must share the build");
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_build_distinct_specs() {
+        let cache = SpecCache::new();
+        let tiny = cache.get(Application::Jacobi, ProblemScale::Tiny, 4);
+        let small = cache.get(Application::Jacobi, ProblemScale::Small, 4);
+        let other_sockets = cache.get(Application::Jacobi, ProblemScale::Tiny, 8);
+        assert!(tiny.num_tasks() < small.num_tasks());
+        assert!(!Arc::ptr_eq(&tiny, &other_sockets));
+        assert_eq!(cache.builds(), 3);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.len(), 3);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_lookups_share_one_entry() {
+        let cache = Arc::new(SpecCache::new());
+        let specs: Vec<Arc<TaskGraphSpec>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    s.spawn(move || cache.get(Application::NStream, ProblemScale::Tiny, 2))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(cache.len(), 1);
+        for spec in &specs[1..] {
+            assert!(Arc::ptr_eq(&specs[0], spec));
+        }
+        assert_eq!(cache.builds() + cache.hits(), 4);
+    }
+}

@@ -4,7 +4,7 @@
 /// How large the Figure-1 problem instances should be. The paper uses inputs
 /// sized for a 32-core machine; the reproduction offers three scales so tests
 /// can run tiny instances while the benchmark harness runs the full ones.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum ProblemScale {
     /// Tiny instances for unit/integration tests (tens of tasks).
     Tiny,

@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cg;
 pub mod common;
 pub mod gauss_seidel;
@@ -42,6 +43,7 @@ pub mod storage;
 pub mod suite;
 pub mod symm_inv;
 
+pub use cache::SpecCache;
 pub use common::ProblemScale;
 pub use storage::DenseStore;
 pub use suite::{figure1_suite, Application};

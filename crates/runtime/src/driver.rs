@@ -1,0 +1,699 @@
+//! Plan/execute sweep engine: [`SweepPlan`] materializes a sweep as an
+//! explicit list of independent cell jobs, and [`SweepDriver`] executes the
+//! plan serially or sharded across worker threads.
+//!
+//! [`crate::Experiment`] used to run its (workload × policy × repetition)
+//! matrix as one monolithic serial loop. The plan/execute split pulls that
+//! apart:
+//!
+//! * **Plan** ([`Experiment::plan`](crate::Experiment::plan)): every
+//!   workload spec is built exactly once (memoized through a
+//!   [`numadag_kernels::SpecCache`], shared as `Arc<TaskGraphSpec>`), and the
+//!   sweep is flattened into keyed [`SweepJob`]s — one per
+//!   (workload, policy, repetition) cell, including the baseline's cells.
+//! * **Execute** ([`SweepDriver::execute`]): jobs are independent, so the
+//!   driver runs them either in order on one executor, or sharded across N
+//!   worker threads (each worker owns its own `Box<dyn Executor>` and builds
+//!   its own policy instances). Baseline-relative speedups are computed in a
+//!   deterministic keyed post-pass, so the report — cells, aggregates,
+//!   skip list, serialization — is **bit-identical** for every `jobs` value
+//!   on the deterministic simulator backend, and identical to what the old
+//!   serial loop produced.
+//!
+//! The driver also reports progress ([`SweepDriver::on_cell_complete`]) and
+//! accounts wall time per cell plus spec-build totals in the report's
+//! [`SweepTiming`] section, which is how sweep runtimes are characterized
+//! and how tests verify that specs are built once per app×scale.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use numadag_core::{make_policy, PolicyKind};
+use numadag_tdg::TaskGraphSpec;
+use serde::Serialize;
+
+use crate::config::ExecutionConfig;
+use crate::executor::Executor;
+use crate::experiment::{aggregate, mean, Backend, SweepCell, SweepReport};
+
+/// One workload of a [`SweepPlan`]: a label, a scale label and the shared,
+/// memoized spec every cell of this workload runs.
+#[derive(Clone, Debug)]
+pub struct PlannedWorkload {
+    /// Workload label (application name, or the spec name for custom
+    /// workloads).
+    pub label: String,
+    /// Problem-scale label (`"Tiny"`, `"Small"`, `"Full"` or `"custom"`).
+    pub scale_label: String,
+    /// Whether the sweep's baseline policy can be built for this workload
+    /// (probed at plan time). When `false` the whole workload lands in the
+    /// report's skip list, so the driver never runs its cells — speedups
+    /// would have no anchor and the measurements would be discarded.
+    pub baseline_available: bool,
+    /// The workload spec, built once and shared by every job.
+    pub spec: Arc<TaskGraphSpec>,
+}
+
+/// One independent cell job of a [`SweepPlan`]: run one policy once on one
+/// workload. Jobs are keyed by (workload, policy slot, repetition), so
+/// results can be assembled in canonical order no matter which worker
+/// finished them when.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepJob {
+    /// Index into [`SweepPlan::workloads`].
+    pub workload: usize,
+    /// Index into [`SweepPlan::policies`] (the baseline is the last slot).
+    pub policy_slot: usize,
+    /// Repetition index (0-based); the policy seed is derived from it.
+    pub repetition: usize,
+}
+
+/// A fully materialized sweep: shared workload specs plus the flat list of
+/// independent cell jobs. Built by [`Experiment::plan`](crate::Experiment::plan),
+/// executed by a [`SweepDriver`].
+#[derive(Debug)]
+pub struct SweepPlan {
+    pub(crate) config: ExecutionConfig,
+    pub(crate) backend: Backend,
+    pub(crate) baseline: PolicyKind,
+    /// Deduped policy list in report order; the baseline is always last.
+    pub(crate) policies: Vec<PolicyKind>,
+    pub(crate) workloads: Vec<PlannedWorkload>,
+    pub(crate) jobs: Vec<SweepJob>,
+    pub(crate) repetitions: usize,
+    pub(crate) seed: u64,
+    /// Wall time spent building specs while planning (ns).
+    pub(crate) build_wall_ns: f64,
+    /// Specs actually built (cache misses) while planning.
+    pub(crate) spec_builds: usize,
+    /// Spec lookups served from the cache while planning.
+    pub(crate) spec_cache_hits: usize,
+}
+
+impl SweepPlan {
+    /// The workloads of the plan, in report order.
+    pub fn workloads(&self) -> &[PlannedWorkload] {
+        &self.workloads
+    }
+
+    /// The flat job list, in canonical (workload, policy, repetition) order.
+    pub fn jobs(&self) -> &[SweepJob] {
+        &self.jobs
+    }
+
+    /// The policy list in report order (baseline last).
+    pub fn policies(&self) -> &[PolicyKind] {
+        &self.policies
+    }
+
+    /// Number of cell jobs in the plan.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Specs actually built while planning (cache misses).
+    pub fn spec_builds(&self) -> usize {
+        self.spec_builds
+    }
+
+    /// The backend the plan will execute on.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The job at `index`, resolved to its labels (handy for progress UIs).
+    fn job_labels(&self, job: &SweepJob) -> (String, String, String) {
+        let wl = &self.workloads[job.workload];
+        (
+            wl.label.clone(),
+            wl.scale_label.clone(),
+            self.policies[job.policy_slot].label(),
+        )
+    }
+}
+
+/// Wall-time and build accounting of one sweep execution, serialized in the
+/// report's optional `timing` section
+/// ([`SweepReport::to_json_string_with_timing`]).
+///
+/// Timings are real wall-clock measurements and therefore vary run to run;
+/// they are kept out of the default measurement serialization
+/// ([`SweepReport::to_json_string`]) so perf baselines stay byte-stable, and
+/// [`SweepReport::diff`](crate::SweepReport::diff) ignores them.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct SweepTiming {
+    /// Worker threads the driver used.
+    pub jobs: usize,
+    /// Wall time of the whole execute phase (ns).
+    pub total_wall_ns: f64,
+    /// Wall time spent building workload specs during planning (ns).
+    pub build_wall_ns: f64,
+    /// Sum of per-cell wall times across all workers (ns); with `jobs`
+    /// workers this exceeds `total_wall_ns` up to `jobs`-fold.
+    pub run_wall_ns: f64,
+    /// Workload specs actually built (once per app×scale on a cold cache).
+    pub spec_builds: usize,
+    /// Workload spec lookups served from the cache.
+    pub spec_cache_hits: usize,
+    /// Per-cell wall time (ns), parallel to the report's `cells` array.
+    pub cell_wall_ns: Vec<f64>,
+}
+
+/// Progress report passed to [`SweepDriver::on_cell_complete`] after each
+/// cell job finishes (from the worker that ran it, when sharded).
+#[derive(Clone, Debug)]
+pub struct CellProgress {
+    /// Jobs completed so far, including this one.
+    pub completed: usize,
+    /// Total jobs in the plan.
+    pub total: usize,
+    /// Workload label of the finished cell.
+    pub application: String,
+    /// Scale label of the finished cell.
+    pub scale: String,
+    /// Policy label of the finished cell.
+    pub policy: String,
+    /// Repetition index of the finished cell.
+    pub repetition: usize,
+    /// Wall time of this cell (ns).
+    pub wall_ns: f64,
+    /// True if the policy could not be built for this workload (the cell
+    /// will appear in the report's skip list, not in its cells).
+    pub skipped: bool,
+}
+
+/// Shared handle to a progress callback (invoked concurrently by workers).
+pub type ProgressCallback = Arc<dyn Fn(&CellProgress) + Send + Sync>;
+
+/// What one job produced: a measurement, or a skip marker when the policy
+/// cannot be built for the workload (e.g. EP without an expert placement).
+enum JobOutcome {
+    Measured(JobMeasurement),
+    Skipped,
+}
+
+/// The per-cell measurements a job extracts from its execution report.
+struct JobMeasurement {
+    makespan_ns: f64,
+    tasks: usize,
+    local_fraction: f64,
+    load_imbalance: f64,
+    steal_fraction: f64,
+    deferred_bytes: u64,
+    wall_ns: f64,
+}
+
+/// Executes a [`SweepPlan`], serially or sharded across worker threads.
+///
+/// ```
+/// use numadag_runtime::{Experiment, SweepDriver};
+/// use numadag_kernels::{Application, ProblemScale};
+///
+/// let plan = Experiment::new()
+///     .app(Application::NStream)
+///     .scale(ProblemScale::Tiny)
+///     .plan();
+/// let report = SweepDriver::new().parallelism(2).execute(&plan);
+/// assert_eq!(report.timing.jobs, 2);
+/// // Sharded execution is bit-identical to serial on the simulator backend.
+/// let serial = SweepDriver::new().execute(&plan);
+/// assert_eq!(report.to_json_string(), serial.to_json_string());
+/// ```
+#[derive(Default)]
+pub struct SweepDriver {
+    parallelism: usize,
+    on_cell_complete: Option<ProgressCallback>,
+}
+
+impl SweepDriver {
+    /// A serial driver (parallelism 1, no progress callback).
+    pub fn new() -> Self {
+        SweepDriver::default()
+    }
+
+    /// Sets the number of worker threads. `0` means "one per available
+    /// core"; `1` (the default) executes in order on the calling thread.
+    ///
+    /// **Threaded-backend caveat:** every worker constructs its own
+    /// executor, so sharding a [`Backend::Threaded`] plan runs that many
+    /// complete thread pools at once; their wall-clock makespans contend
+    /// for CPUs and come out inflated. Measure the threaded backend
+    /// serially; shard the simulator freely (its reports are bit-identical
+    /// for any worker count).
+    pub fn parallelism(mut self, jobs: usize) -> Self {
+        self.parallelism = jobs;
+        self
+    }
+
+    /// Installs a callback invoked after every finished cell job. When
+    /// sharded, workers call it concurrently.
+    pub fn on_cell_complete(
+        mut self,
+        callback: impl Fn(&CellProgress) + Send + Sync + 'static,
+    ) -> Self {
+        self.on_cell_complete = Some(Arc::new(callback));
+        self
+    }
+
+    /// Installs an already-shared progress callback (see
+    /// [`SweepDriver::on_cell_complete`]).
+    pub fn on_cell_complete_shared(mut self, callback: ProgressCallback) -> Self {
+        self.on_cell_complete = Some(callback);
+        self
+    }
+
+    /// The effective worker count for a plan of `num_jobs` jobs.
+    fn effective_parallelism(&self, num_jobs: usize) -> usize {
+        let requested = if self.parallelism == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.parallelism
+        };
+        requested.clamp(1, num_jobs.max(1))
+    }
+
+    /// Executes every job of the plan and assembles the report.
+    ///
+    /// Results are keyed, not order-dependent: whichever worker finishes a
+    /// cell, the post-pass recomputes baseline means and speedups in the
+    /// plan's canonical order, so the report is identical for any worker
+    /// count (bit-identical on the deterministic simulator backend).
+    pub fn execute(&self, plan: &SweepPlan) -> SweepReport {
+        let t0 = Instant::now();
+        let workers = self.effective_parallelism(plan.num_jobs());
+        let outcomes = if workers <= 1 {
+            self.execute_serial(plan)
+        } else {
+            self.execute_sharded(plan, workers)
+        };
+        let machine = plan.config.topology.name().to_string();
+        assemble(
+            plan,
+            outcomes,
+            &machine,
+            plan.backend.label(),
+            workers,
+            t0.elapsed(),
+        )
+    }
+
+    /// Like [`SweepDriver::execute`] but serially on a caller-supplied
+    /// executor (any [`Executor`] implementation, including ones outside
+    /// this crate). The plan's backend/config are ignored in favour of the
+    /// executor's own.
+    pub fn execute_on(&self, plan: &SweepPlan, executor: &dyn Executor) -> SweepReport {
+        let t0 = Instant::now();
+        let completed = AtomicUsize::new(0);
+        let outcomes = plan
+            .jobs
+            .iter()
+            .map(|job| self.run_and_notify(plan, job, executor, &completed))
+            .collect();
+        let machine = executor.config().topology.name().to_string();
+        assemble(
+            plan,
+            outcomes,
+            &machine,
+            executor.backend_name(),
+            1,
+            t0.elapsed(),
+        )
+    }
+
+    /// In-order execution on one owned executor.
+    fn execute_serial(&self, plan: &SweepPlan) -> Vec<JobOutcome> {
+        let executor = plan.backend.executor(plan.config.clone());
+        let completed = AtomicUsize::new(0);
+        plan.jobs
+            .iter()
+            .map(|job| self.run_and_notify(plan, job, executor.as_ref(), &completed))
+            .collect()
+    }
+
+    /// Sharded execution: `workers` threads pull jobs from a shared cursor;
+    /// each owns its own executor and policy instances.
+    fn execute_sharded(&self, plan: &SweepPlan, workers: usize) -> Vec<JobOutcome> {
+        let n = plan.num_jobs();
+        let cursor = AtomicUsize::new(0);
+        let completed = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<JobOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let executor = plan.backend.executor(plan.config.clone());
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::SeqCst);
+                        if i >= n {
+                            break;
+                        }
+                        let outcome =
+                            self.run_and_notify(plan, &plan.jobs[i], executor.as_ref(), &completed);
+                        *slots[i].lock().unwrap() = Some(outcome);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every planned job must have been executed")
+            })
+            .collect()
+    }
+
+    /// Runs one job and fires the progress callback.
+    fn run_and_notify(
+        &self,
+        plan: &SweepPlan,
+        job: &SweepJob,
+        executor: &dyn Executor,
+        completed: &AtomicUsize,
+    ) -> JobOutcome {
+        let outcome = run_job(plan, job, executor);
+        let done = completed.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(callback) = &self.on_cell_complete {
+            let (application, scale, policy) = plan.job_labels(job);
+            let (wall_ns, skipped) = match &outcome {
+                JobOutcome::Measured(m) => (m.wall_ns, false),
+                JobOutcome::Skipped => (0.0, true),
+            };
+            callback(&CellProgress {
+                completed: done,
+                total: plan.num_jobs(),
+                application,
+                scale,
+                policy,
+                repetition: job.repetition,
+                wall_ns,
+                skipped,
+            });
+        }
+        outcome
+    }
+}
+
+/// Builds the job's policy and runs its cell on the given executor.
+fn run_job(plan: &SweepPlan, job: &SweepJob, executor: &dyn Executor) -> JobOutcome {
+    let workload = &plan.workloads[job.workload];
+    // A workload whose baseline cannot be built is skipped wholesale: its
+    // speedups would have no anchor and `assemble` would discard the
+    // measurements, so don't spend executor time producing them.
+    if !workload.baseline_available {
+        return JobOutcome::Skipped;
+    }
+    let kind = plan.policies[job.policy_slot];
+    let seed = plan.seed.wrapping_add(job.repetition as u64);
+    let t = Instant::now();
+    let Some(mut policy) = make_policy(kind, &workload.spec, seed) else {
+        return JobOutcome::Skipped;
+    };
+    let report = executor.execute(&workload.spec, policy.as_mut());
+    JobOutcome::Measured(JobMeasurement {
+        makespan_ns: report.makespan_ns,
+        tasks: report.tasks,
+        local_fraction: report.local_fraction(),
+        load_imbalance: report.load_imbalance(),
+        steal_fraction: report.steal_fraction(),
+        deferred_bytes: report.deferred_bytes,
+        wall_ns: t.elapsed().as_nanos() as f64,
+    })
+}
+
+/// The deterministic post-pass: walks workloads and policy slots in the
+/// plan's canonical order, anchors every speedup on the baseline's mean
+/// makespan, and emits cells, skip list, aggregates and timing — exactly the
+/// shapes (and, on a deterministic backend, bytes) the old serial loop
+/// produced.
+fn assemble(
+    plan: &SweepPlan,
+    outcomes: Vec<JobOutcome>,
+    machine: &str,
+    backend_name: &str,
+    workers: usize,
+    total_wall: std::time::Duration,
+) -> SweepReport {
+    let reps = plan.repetitions;
+    let num_policies = plan.policies.len();
+    let baseline_slot = num_policies - 1; // the plan puts the baseline last
+    let job_index =
+        |workload: usize, slot: usize, rep: usize| (workload * num_policies + slot) * reps + rep;
+
+    let mut cells = Vec::new();
+    let mut cell_wall_ns = Vec::new();
+    let mut skipped = Vec::new();
+    for (w, workload) in plan.workloads.iter().enumerate() {
+        // The baseline anchors every speedup of this workload; if it cannot
+        // run, the whole workload is skipped (matching the serial loop).
+        let baseline: Vec<&JobMeasurement> = (0..reps)
+            .filter_map(|rep| match &outcomes[job_index(w, baseline_slot, rep)] {
+                JobOutcome::Measured(m) => Some(m),
+                JobOutcome::Skipped => None,
+            })
+            .collect();
+        if baseline.len() < reps {
+            skipped.push(format!("{}/{}", workload.label, plan.baseline.label()));
+            continue;
+        }
+        let baseline_mean = mean(baseline.iter().map(|m| m.makespan_ns));
+
+        for (slot, &kind) in plan.policies.iter().enumerate() {
+            let measurements: Vec<&JobMeasurement> = if slot == baseline_slot {
+                baseline.clone()
+            } else {
+                let runs: Vec<&JobMeasurement> = (0..reps)
+                    .filter_map(|rep| match &outcomes[job_index(w, slot, rep)] {
+                        JobOutcome::Measured(m) => Some(m),
+                        JobOutcome::Skipped => None,
+                    })
+                    .collect();
+                if runs.len() < reps {
+                    skipped.push(format!("{}/{}", workload.label, kind.label()));
+                    continue;
+                }
+                runs
+            };
+            for (rep, m) in measurements.iter().enumerate() {
+                cells.push(SweepCell {
+                    application: workload.label.clone(),
+                    scale: workload.scale_label.clone(),
+                    policy: kind.label(),
+                    repetition: rep,
+                    tasks: m.tasks,
+                    makespan_ns: m.makespan_ns,
+                    speedup_vs_baseline: if m.makespan_ns > 0.0 {
+                        baseline_mean / m.makespan_ns
+                    } else {
+                        1.0
+                    },
+                    local_fraction: m.local_fraction,
+                    load_imbalance: m.load_imbalance,
+                    steal_fraction: m.steal_fraction,
+                    deferred_bytes: m.deferred_bytes,
+                });
+                cell_wall_ns.push(m.wall_ns);
+            }
+        }
+    }
+
+    let run_wall_ns = outcomes
+        .iter()
+        .map(|o| match o {
+            JobOutcome::Measured(m) => m.wall_ns,
+            JobOutcome::Skipped => 0.0,
+        })
+        .sum();
+    let aggregates = aggregate(&cells);
+    SweepReport {
+        machine: machine.to_string(),
+        backend: backend_name.to_string(),
+        baseline: plan.baseline.label(),
+        seed: plan.seed,
+        repetitions: reps,
+        cells,
+        aggregates,
+        skipped,
+        timing: SweepTiming {
+            jobs: workers,
+            total_wall_ns: total_wall.as_nanos() as f64,
+            build_wall_ns: plan.build_wall_ns,
+            run_wall_ns,
+            spec_builds: plan.spec_builds,
+            spec_cache_hits: plan.spec_cache_hits,
+            cell_wall_ns,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Experiment;
+    use numadag_kernels::{Application, ProblemScale, SpecCache};
+
+    fn tiny_experiment() -> Experiment {
+        Experiment::new()
+            .apps([Application::Jacobi, Application::NStream])
+            .scale(ProblemScale::Tiny)
+            .policies([PolicyKind::Dfifo, PolicyKind::RgpLas])
+            .seed(7)
+    }
+
+    #[test]
+    fn plan_materializes_the_full_job_matrix() {
+        let plan = tiny_experiment().repetitions(2).plan();
+        assert_eq!(plan.workloads().len(), 2);
+        // DFIFO, RGP+LAS + the LAS baseline, last.
+        assert_eq!(plan.policies().len(), 3);
+        assert_eq!(*plan.policies().last().unwrap(), PolicyKind::Las);
+        // 2 workloads × 3 policies × 2 repetitions.
+        assert_eq!(plan.num_jobs(), 12);
+        // Jobs are in canonical (workload, policy, repetition) order.
+        let first = plan.jobs()[0];
+        assert_eq!(
+            (first.workload, first.policy_slot, first.repetition),
+            (0, 0, 0)
+        );
+        let last = plan.jobs()[11];
+        assert_eq!(
+            (last.workload, last.policy_slot, last.repetition),
+            (1, 2, 1)
+        );
+        // Specs were built once per workload, no hits on a private cache.
+        assert_eq!(plan.spec_builds(), 2);
+        assert_eq!(plan.spec_cache_hits, 0);
+    }
+
+    #[test]
+    fn sharded_execution_is_bit_identical_to_serial() {
+        let plan = tiny_experiment().plan();
+        let serial = SweepDriver::new().execute(&plan);
+        for jobs in [2, 3, 8] {
+            let sharded = SweepDriver::new().parallelism(jobs).execute(&plan);
+            assert_eq!(
+                serial.to_json_string(),
+                sharded.to_json_string(),
+                "jobs={jobs} must not change the report"
+            );
+            assert_eq!(sharded.timing.jobs, jobs.min(plan.num_jobs()));
+        }
+    }
+
+    #[test]
+    fn driver_matches_the_experiment_front_door() {
+        let via_run = tiny_experiment().run();
+        let via_driver = SweepDriver::new().execute(&tiny_experiment().plan());
+        assert_eq!(via_run.to_json_string(), via_driver.to_json_string());
+    }
+
+    #[test]
+    fn timing_accounts_every_cell_and_build() {
+        let report = tiny_experiment().run();
+        assert_eq!(report.timing.cell_wall_ns.len(), report.cells.len());
+        assert!(report.timing.cell_wall_ns.iter().all(|&ns| ns > 0.0));
+        assert!(report.timing.total_wall_ns > 0.0);
+        assert!(report.timing.run_wall_ns > 0.0);
+        assert!(report.timing.build_wall_ns > 0.0);
+        assert_eq!(report.timing.spec_builds, 2);
+        assert_eq!(report.timing.jobs, 1);
+    }
+
+    #[test]
+    fn shared_spec_cache_skips_rebuilds_across_experiments() {
+        let cache = Arc::new(SpecCache::new());
+        let first = tiny_experiment().spec_cache(Arc::clone(&cache)).run();
+        assert_eq!(first.timing.spec_builds, 2);
+        assert_eq!(first.timing.spec_cache_hits, 0);
+        let second = tiny_experiment().spec_cache(Arc::clone(&cache)).run();
+        assert_eq!(second.timing.spec_builds, 0);
+        assert_eq!(second.timing.spec_cache_hits, 2);
+        // Cached specs change cost, not results.
+        assert_eq!(first.to_json_string(), second.to_json_string());
+    }
+
+    #[test]
+    fn progress_callback_sees_every_cell() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let report = tiny_experiment()
+            .parallelism(2)
+            .on_cell_complete(move |p: &CellProgress| {
+                sink.lock()
+                    .unwrap()
+                    .push((p.completed, p.policy.clone(), p.skipped));
+            })
+            .run();
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 6);
+        assert_eq!(report.cells.len(), 6);
+        // `completed` counts every job exactly once, in completion order.
+        let mut counts: Vec<usize> = seen.iter().map(|(c, _, _)| *c).collect();
+        counts.sort_unstable();
+        assert_eq!(counts, (1..=6).collect::<Vec<_>>());
+        assert!(seen.iter().all(|(_, _, skipped)| !skipped));
+    }
+
+    #[test]
+    fn skipped_policies_are_reported_not_fatal() {
+        use numadag_tdg::{TaskSpec, TdgBuilder};
+        let mut b = TdgBuilder::new();
+        let r = b.region(64);
+        b.submit(TaskSpec::new("t").work(1.0).writes(r, 64));
+        let (g, sizes) = b.finish();
+        let spec = TaskGraphSpec::new("no-ep", g, sizes);
+        let plan = Experiment::new()
+            .workload(spec)
+            .policies([PolicyKind::Ep, PolicyKind::Dfifo])
+            .plan();
+        for jobs in [1, 4] {
+            let report = SweepDriver::new().parallelism(jobs).execute(&plan);
+            assert_eq!(report.skipped, vec!["no-ep/EP"], "jobs={jobs}");
+            assert_eq!(report.policy_labels(), vec!["DFIFO", "LAS"]);
+        }
+    }
+
+    #[test]
+    fn unbuildable_baseline_short_circuits_the_whole_workload() {
+        use numadag_tdg::{TaskSpec, TdgBuilder};
+        let mut b = TdgBuilder::new();
+        let r = b.region(64);
+        b.submit(TaskSpec::new("t").work(1.0).writes(r, 64));
+        let (g, sizes) = b.finish();
+        let spec = TaskGraphSpec::new("no-ep", g, sizes);
+        // EP as baseline on a workload without an expert placement: the plan
+        // marks the workload dead, and the driver must not spend executor
+        // time on its other policies (their speedups would have no anchor).
+        let plan = Experiment::new()
+            .workload(spec)
+            .baseline(PolicyKind::Ep)
+            .policies([PolicyKind::Dfifo, PolicyKind::Las])
+            .plan();
+        assert!(!plan.workloads()[0].baseline_available);
+        let skipped_cells = Arc::new(AtomicUsize::new(0));
+        let sink = Arc::clone(&skipped_cells);
+        let report = SweepDriver::new()
+            .on_cell_complete(move |p: &CellProgress| {
+                assert!(
+                    p.skipped,
+                    "{}/{} must not have run",
+                    p.application, p.policy
+                );
+                sink.fetch_add(1, Ordering::SeqCst);
+            })
+            .execute(&plan);
+        // Matches the old serial loop: one skip entry for the baseline, no
+        // cells, nothing else attempted.
+        assert_eq!(report.skipped, vec!["no-ep/EP"]);
+        assert!(report.cells.is_empty());
+        assert_eq!(skipped_cells.load(Ordering::SeqCst), plan.num_jobs());
+    }
+
+    #[test]
+    fn parallelism_zero_means_available_cores() {
+        let report = tiny_experiment().parallelism(0).run();
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(report.timing.jobs, cores.clamp(1, 6));
+    }
+}

@@ -19,7 +19,10 @@ use crate::report::ExecutionReport;
 /// Implementations must consult the policy exactly as the paper's runtime
 /// does: [`SchedulingPolicy::prepare`] once before execution with the full
 /// graph, then [`SchedulingPolicy::assign`] each time a task becomes ready.
-pub trait Executor: Sync {
+///
+/// `Send + Sync` are supertraits so executors can be constructed and owned
+/// per worker thread by the sharded [`crate::SweepDriver`].
+pub trait Executor: Send + Sync {
     /// Short stable backend name (`"simulator"`, `"threaded"`), used in
     /// sweep reports and CLI arguments.
     fn backend_name(&self) -> &'static str;

@@ -4,7 +4,12 @@
 //!
 //! Before this API every harness, example and test hand-rolled the same
 //! loop: build the spec, run the LAS baseline, run each policy, divide
-//! makespans, geometric-mean the speedups. `Experiment` owns that loop:
+//! makespans, geometric-mean the speedups. `Experiment` owns that loop, and
+//! since the plan/execute split it runs in two phases: [`Experiment::plan`]
+//! materializes a [`crate::SweepPlan`] (independent keyed cell jobs over
+//! shared, memoized `Arc<TaskGraphSpec>` workloads), and a
+//! [`crate::SweepDriver`] executes the plan — serially, or sharded across
+//! worker threads via [`Experiment::parallelism`]:
 //!
 //! ```
 //! use numadag_runtime::{Backend, Experiment};
@@ -16,6 +21,7 @@
 //!     .scale(ProblemScale::Tiny)
 //!     .policies([PolicyKind::Dfifo, PolicyKind::RgpLas])
 //!     .backend(Backend::Simulated)
+//!     .parallelism(2) // shard cells over 2 worker threads
 //!     .repetitions(1)
 //!     .run();
 //! assert!(report.speedup_of("Jacobi", "RGP+LAS").unwrap() > 0.0);
@@ -23,17 +29,27 @@
 //! ```
 //!
 //! The report serializes to JSON through the workspace's serde subset, which
-//! is how the `BENCH_*.json` perf baselines are produced.
+//! is how the `BENCH_*.json` perf baselines are produced:
+//! [`SweepReport::to_json_string`] emits only the deterministic measurement
+//! fields (byte-stable across runs and worker counts on the simulator
+//! backend), while [`SweepReport::to_json_string_with_timing`] appends the
+//! wall-time accounting ([`crate::SweepTiming`]).
+
+use std::sync::Arc;
+use std::time::Instant;
 
 use numadag_core::{make_policy, PolicyKind};
-use numadag_kernels::{Application, ProblemScale};
+use numadag_kernels::{Application, ProblemScale, SpecCache};
 use numadag_numa::{CostModel, Topology};
 use numadag_tdg::TaskGraphSpec;
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 use crate::config::{ExecutionConfig, StealMode};
+use crate::driver::{
+    CellProgress, PlannedWorkload, ProgressCallback, SweepDriver, SweepJob, SweepPlan, SweepTiming,
+};
 use crate::executor::Executor;
-use crate::report::{geometric_mean, ExecutionReport};
+use crate::report::geometric_mean;
 use crate::simulator::Simulator;
 use crate::threaded::ThreadedExecutor;
 
@@ -129,7 +145,12 @@ pub struct SweepAggregate {
 /// The structured result of an [`Experiment`] run: every cell measurement
 /// plus the per-policy geometric-mean aggregation, serializable to JSON for
 /// the `BENCH_*.json` baselines.
-#[derive(Clone, Debug, Serialize)]
+///
+/// The `timing` section is wall-clock accounting and therefore varies run to
+/// run; it is excluded from the default [`SweepReport::to_json_string`]
+/// serialization (keeping perf baselines byte-stable) and included by
+/// [`SweepReport::to_json_string_with_timing`].
+#[derive(Clone, Debug)]
 pub struct SweepReport {
     /// Machine (topology) name.
     pub machine: String,
@@ -148,6 +169,27 @@ pub struct SweepReport {
     /// `"workload/policy"` pairs that could not run (e.g. EP on a workload
     /// without an expert placement).
     pub skipped: Vec<String>,
+    /// Wall-time and spec-build accounting of the run (not part of the
+    /// measurement serialization).
+    pub timing: SweepTiming,
+}
+
+impl Serialize for SweepReport {
+    // Hand-written (not derived) so `timing` stays out of the measurement
+    // serialization: the field order below must match the struct exactly,
+    // because the `BENCH_*.json` baselines are compared byte for byte.
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("machine".to_string(), self.machine.to_value()),
+            ("backend".to_string(), self.backend.to_value()),
+            ("baseline".to_string(), self.baseline.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("repetitions".to_string(), self.repetitions.to_value()),
+            ("cells".to_string(), self.cells.to_value()),
+            ("aggregates".to_string(), self.aggregates.to_value()),
+            ("skipped".to_string(), self.skipped.to_value()),
+        ])
+    }
 }
 
 impl SweepReport {
@@ -203,17 +245,22 @@ impl SweepReport {
             .map(|a| a.geomean_speedup)
     }
 
-    /// Pretty-printed JSON of the whole report.
+    /// Pretty-printed JSON of the measurement fields (no timing section):
+    /// deterministic on the simulator backend, used for the byte-compared
+    /// `BENCH_*.json` baselines.
     pub fn to_json_string(&self) -> String {
         serde_json::to_string_pretty(self).expect("SweepReport serialization cannot fail")
     }
-}
 
-/// A named workload of a sweep: an [`Application`] at a [`ProblemScale`], or
-/// a (borrowed) custom [`TaskGraphSpec`].
-enum Workload<'a> {
-    App(Application, ProblemScale),
-    Custom(&'a TaskGraphSpec),
+    /// Pretty-printed JSON including the wall-time accounting as a trailing
+    /// `"timing"` section.
+    pub fn to_json_string_with_timing(&self) -> String {
+        let mut value = self.to_value();
+        if let Value::Object(entries) = &mut value {
+            entries.push(("timing".to_string(), self.timing.to_value()));
+        }
+        serde_json::to_string_pretty(&value).expect("SweepReport serialization cannot fail")
+    }
 }
 
 /// Fluent builder for a policy-comparison sweep. See the [module
@@ -221,7 +268,8 @@ enum Workload<'a> {
 ///
 /// Defaults: bullion S16 topology, default cost model, nearest-socket
 /// stealing, simulated backend, LAS baseline, Figure-1 policies
-/// (DFIFO, RGP+LAS, EP), Tiny scale, 1 repetition, a fixed seed.
+/// (DFIFO, RGP+LAS, EP), Tiny scale, 1 repetition, a fixed seed, serial
+/// execution (parallelism 1), a private spec cache, no progress callback.
 pub struct Experiment {
     topology: Topology,
     cost_model: CostModel,
@@ -234,6 +282,9 @@ pub struct Experiment {
     workloads: Vec<TaskGraphSpec>,
     repetitions: usize,
     seed: u64,
+    parallelism: usize,
+    spec_cache: Option<Arc<SpecCache>>,
+    progress: Option<ProgressCallback>,
 }
 
 impl Default for Experiment {
@@ -250,6 +301,9 @@ impl Default for Experiment {
             workloads: Vec::new(),
             repetitions: 1,
             seed: 0xF1617E,
+            parallelism: 1,
+            spec_cache: None,
+            progress: None,
         }
     }
 }
@@ -348,24 +402,53 @@ impl Experiment {
         self
     }
 
-    /// Runs the sweep: every workload under the baseline and every
-    /// configured policy, `repetitions` times each, on the configured
-    /// backend.
-    pub fn run(self) -> SweepReport {
-        let config = ExecutionConfig::new(self.topology.clone())
-            .with_cost_model(self.cost_model.clone())
-            .with_steal(self.steal)
-            .with_seed(self.seed);
-        let executor = self.backend.executor(config);
-        self.run_on(executor.as_ref())
+    /// Sets how many worker threads the sweep is sharded across (default 1,
+    /// i.e. serial; `0` means one per available core). On the deterministic
+    /// simulator backend the report is bit-identical for every value.
+    ///
+    /// **Threaded-backend caveat:** each worker owns a full
+    /// [`ThreadedExecutor`] (one OS thread per core of the topology), so
+    /// `parallelism(n)` runs `n` complete thread pools concurrently. The
+    /// threaded backend's makespans *are* wall-clock, so they then contend
+    /// for CPUs and come out inflated versus a serial sweep — shard the
+    /// simulator freely, but measure the threaded backend with
+    /// `parallelism(1)`.
+    pub fn parallelism(mut self, jobs: usize) -> Self {
+        self.parallelism = jobs;
+        self
     }
 
-    /// Like [`Experiment::run`] but on a caller-supplied executor (any
-    /// [`Executor`] implementation, including ones outside this crate). The
-    /// executor's own topology is used to size the workloads.
-    pub fn run_on(&self, executor: &dyn Executor) -> SweepReport {
-        let topology = &executor.config().topology;
-        let num_sockets = topology.num_sockets();
+    /// Shares a [`SpecCache`] with this experiment, so workload specs built
+    /// by earlier experiments (same app × scale × socket count) are reused
+    /// instead of rebuilt. Each experiment otherwise uses a private cache.
+    pub fn spec_cache(mut self, cache: Arc<SpecCache>) -> Self {
+        self.spec_cache = Some(cache);
+        self
+    }
+
+    /// Installs a progress callback invoked after every finished cell (see
+    /// [`SweepDriver::on_cell_complete`]); long sweeps use it to report live
+    /// progress instead of going dark.
+    pub fn on_cell_complete(
+        mut self,
+        callback: impl Fn(&CellProgress) + Send + Sync + 'static,
+    ) -> Self {
+        self.progress = Some(Arc::new(callback));
+        self
+    }
+
+    /// Materializes the sweep as a [`SweepPlan`]: builds every workload spec
+    /// exactly once (memoized through the experiment's [`SpecCache`]) and
+    /// flattens the (workload × policy × repetition) matrix into independent
+    /// keyed cell jobs for a [`SweepDriver`].
+    pub fn plan(&self) -> SweepPlan {
+        self.plan_for_sockets(self.topology.num_sockets())
+    }
+
+    /// Plans the sweep for a machine with `num_sockets` sockets (used by
+    /// [`Experiment::run_on`], where the executor's topology sizes the
+    /// workloads).
+    fn plan_for_sockets(&self, num_sockets: usize) -> SweepPlan {
         let scales = if self.scales.is_empty() {
             vec![ProblemScale::Tiny]
         } else {
@@ -382,103 +465,102 @@ impl Experiment {
             .collect();
         policies.push(self.baseline);
 
-        let mut cells = Vec::new();
-        let mut skipped = Vec::new();
-        let mut sweep: Vec<(String, Workload)> = Vec::new();
+        let cache = self
+            .spec_cache
+            .clone()
+            .unwrap_or_else(|| Arc::new(SpecCache::new()));
+        // Builds/hits are counted per lookup of *this* plan, not as deltas of
+        // the cache's global counters: a cache shared across concurrently
+        // planning experiments would otherwise misattribute their work.
+        let mut spec_builds = 0;
+        let mut spec_cache_hits = 0;
+        let build_start = Instant::now();
+        let mut workloads = Vec::new();
         for &scale in &scales {
             for &app in &self.apps {
-                sweep.push((format!("{scale:?}"), Workload::App(app, scale)));
+                let (spec, built) = cache.get_with_stats(app, scale, num_sockets);
+                if built {
+                    spec_builds += 1;
+                } else {
+                    spec_cache_hits += 1;
+                }
+                workloads.push(PlannedWorkload {
+                    label: app.label().to_string(),
+                    scale_label: format!("{scale:?}"),
+                    baseline_available: make_policy(self.baseline, &spec, self.seed).is_some(),
+                    spec,
+                });
             }
         }
         for spec in &self.workloads {
-            sweep.push(("custom".to_string(), Workload::Custom(spec)));
+            let spec = Arc::new(spec.clone());
+            workloads.push(PlannedWorkload {
+                label: spec.name.clone(),
+                scale_label: "custom".to_string(),
+                baseline_available: make_policy(self.baseline, &spec, self.seed).is_some(),
+                spec,
+            });
         }
+        let build_wall_ns = build_start.elapsed().as_nanos() as f64;
 
-        for (scale_label, workload) in &sweep {
-            let built;
-            let (label, spec): (String, &TaskGraphSpec) = match workload {
-                Workload::App(app, scale) => {
-                    built = app.build(*scale, num_sockets);
-                    (app.label().to_string(), &built)
-                }
-                Workload::Custom(spec) => (spec.name.clone(), spec),
-            };
-
-            // Baseline first: its mean makespan anchors every speedup.
-            let baseline_reports = match self.measure(executor, spec, self.baseline) {
-                Some(reports) => reports,
-                None => {
-                    skipped.push(format!("{label}/{}", self.baseline.label()));
-                    continue;
-                }
-            };
-            let baseline_mean = mean(baseline_reports.iter().map(|r| r.makespan_ns));
-
-            for &kind in &policies {
-                let reports = if kind == self.baseline {
-                    baseline_reports.clone()
-                } else {
-                    match self.measure(executor, spec, kind) {
-                        Some(reports) => reports,
-                        None => {
-                            skipped.push(format!("{label}/{}", kind.label()));
-                            continue;
-                        }
-                    }
-                };
-                for (rep, report) in reports.iter().enumerate() {
-                    cells.push(SweepCell {
-                        application: label.clone(),
-                        scale: scale_label.clone(),
-                        policy: kind.label(),
-                        repetition: rep,
-                        tasks: report.tasks,
-                        makespan_ns: report.makespan_ns,
-                        speedup_vs_baseline: if report.makespan_ns > 0.0 {
-                            baseline_mean / report.makespan_ns
-                        } else {
-                            1.0
-                        },
-                        local_fraction: report.local_fraction(),
-                        load_imbalance: report.load_imbalance(),
-                        steal_fraction: report.steal_fraction(),
-                        deferred_bytes: report.deferred_bytes,
+        let mut jobs = Vec::with_capacity(workloads.len() * policies.len() * self.repetitions);
+        for workload in 0..workloads.len() {
+            for policy_slot in 0..policies.len() {
+                for repetition in 0..self.repetitions {
+                    jobs.push(SweepJob {
+                        workload,
+                        policy_slot,
+                        repetition,
                     });
                 }
             }
         }
 
-        let aggregates = aggregate(&cells);
-        SweepReport {
-            machine: topology.name().to_string(),
-            backend: executor.backend_name().to_string(),
-            baseline: self.baseline.label(),
-            seed: self.seed,
+        SweepPlan {
+            config: ExecutionConfig::new(self.topology.clone())
+                .with_cost_model(self.cost_model.clone())
+                .with_steal(self.steal)
+                .with_seed(self.seed),
+            backend: self.backend,
+            baseline: self.baseline,
+            policies,
+            workloads,
+            jobs,
             repetitions: self.repetitions,
-            cells,
-            aggregates,
-            skipped,
+            seed: self.seed,
+            build_wall_ns,
+            spec_builds,
+            spec_cache_hits,
         }
     }
 
-    /// Runs one (workload, policy) cell `repetitions` times. `None` if the
-    /// policy cannot be built for this workload.
-    fn measure(
-        &self,
-        executor: &dyn Executor,
-        spec: &TaskGraphSpec,
-        kind: PolicyKind,
-    ) -> Option<Vec<ExecutionReport>> {
-        (0..self.repetitions)
-            .map(|rep| {
-                let mut policy = make_policy(kind, spec, self.seed.wrapping_add(rep as u64))?;
-                Some(executor.execute(spec, policy.as_mut()))
-            })
-            .collect()
+    /// The driver configured by this experiment (parallelism + progress).
+    fn driver(&self) -> SweepDriver {
+        let mut driver = SweepDriver::new().parallelism(self.parallelism);
+        if let Some(progress) = self.progress.clone() {
+            driver = driver.on_cell_complete_shared(progress);
+        }
+        driver
+    }
+
+    /// Runs the sweep: every workload under the baseline and every
+    /// configured policy, `repetitions` times each, on the configured
+    /// backend — serially, or sharded across [`Experiment::parallelism`]
+    /// worker threads (each owning its own executor and policy instances).
+    pub fn run(self) -> SweepReport {
+        self.driver().execute(&self.plan())
+    }
+
+    /// Like [`Experiment::run`] but serially on a caller-supplied executor
+    /// (any [`Executor`] implementation, including ones outside this
+    /// crate). The executor's own topology is used to size the workloads.
+    pub fn run_on(&self, executor: &dyn Executor) -> SweepReport {
+        let plan = self.plan_for_sockets(executor.config().topology.num_sockets());
+        self.driver().execute_on(&plan, executor)
     }
 }
 
-fn mean(values: impl Iterator<Item = f64>) -> f64 {
+pub(crate) fn mean(values: impl Iterator<Item = f64>) -> f64 {
     let values: Vec<f64> = values.collect();
     if values.is_empty() {
         return 0.0;
@@ -487,7 +569,7 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
 }
 
 /// Per-(scale, policy) geometric means of the per-workload mean speedups.
-fn aggregate(cells: &[SweepCell]) -> Vec<SweepAggregate> {
+pub(crate) fn aggregate(cells: &[SweepCell]) -> Vec<SweepAggregate> {
     let mut keys: Vec<(String, String)> = Vec::new();
     for cell in cells {
         let key = (cell.scale.clone(), cell.policy.clone());

@@ -1,4 +1,4 @@
-//! # numadag-runtime — executors for NUMA-aware task scheduling
+//! # numadag-runtime — executors and the plan/execute sweep engine
 //!
 //! The paper's techniques were implemented inside the Nanos++ runtime and
 //! measured on an 8-socket machine. This crate provides the two executors the
@@ -19,10 +19,27 @@
 //!
 //! Both backends implement the [`executor::Executor`] trait, so harnesses
 //! and tests are written once against `dyn Executor` and pick the backend at
-//! runtime. The usual entry point is the fluent [`experiment::Experiment`]
-//! builder, which sweeps an (application × scale × policy) matrix through
-//! either backend and returns a structured, JSON-serializable
-//! [`experiment::SweepReport`].
+//! runtime.
+//!
+//! Sweeps run through a **plan/execute** split on top of that trait:
+//!
+//! 1. The fluent [`experiment::Experiment`] builder declares the
+//!    (application × scale × policy × repetition) matrix;
+//!    [`Experiment::plan`](experiment::Experiment::plan) materializes it as
+//!    a [`driver::SweepPlan`] — a flat list of independent, keyed cell jobs
+//!    over workload specs built exactly once (memoized through a
+//!    [`numadag_kernels::SpecCache`] and shared as `Arc<TaskGraphSpec>`).
+//! 2. A [`driver::SweepDriver`] executes the plan, serially or sharded
+//!    across N worker threads (each owning its own `Box<dyn Executor>` and
+//!    policy instances), reports per-cell progress, and assembles the
+//!    structured, JSON-serializable [`experiment::SweepReport`] in a
+//!    deterministic keyed post-pass — so the report is bit-identical for
+//!    every worker count on the simulator backend.
+//!
+//! `Experiment::new()…​.parallelism(n).run()` is the one-call front door;
+//! reports carry wall-time and spec-build accounting ([`driver::SweepTiming`])
+//! and diff against each other ([`experiment::SweepReport::diff`]) for the
+//! `BENCH_*.json` perf baselines.
 //!
 //! Both executors implement the paper's *deferred allocation*: regions
 //! written by a task that have no home yet are first-touched on the socket
@@ -32,6 +49,8 @@
 
 pub mod config;
 pub mod deferred;
+pub mod diff;
+pub mod driver;
 pub mod executor;
 pub mod experiment;
 pub mod report;
@@ -39,6 +58,10 @@ pub mod simulator;
 pub mod threaded;
 
 pub use config::{ExecutionConfig, StealMode};
+pub use diff::{CellDelta, FieldDelta, SweepDiff};
+pub use driver::{
+    CellProgress, PlannedWorkload, ProgressCallback, SweepDriver, SweepJob, SweepPlan, SweepTiming,
+};
 pub use executor::Executor;
 pub use experiment::{Backend, Experiment, SweepAggregate, SweepCell, SweepReport};
 pub use report::{ExecutionReport, TaskPlacement};

@@ -3,7 +3,10 @@
 //! beats plain LAS?
 //!
 //! The window axis is expressed through the policy registry: each column is
-//! the `rgp-las:w=N` policy, so the whole study is a single `Experiment`.
+//! the `rgp-las:w=N` policy, so the whole study is a single `Experiment` —
+//! sharded across two worker threads here (`parallelism`), with live
+//! per-cell progress on stderr (`on_cell_complete`). On the simulator
+//! backend the sharded report is bit-identical to a serial run.
 //!
 //! Run with:
 //! ```text
@@ -49,11 +52,28 @@ fn main() {
     let mut experiment = Experiment::new()
         .topology(topology)
         .policies(windows.map(PolicyKind::rgp_las_window))
-        .seed(11);
+        .seed(11)
+        .parallelism(2)
+        .on_cell_complete(|p: &CellProgress| {
+            eprintln!(
+                "[{}/{}] {} under {} done in {:.1} ms",
+                p.completed,
+                p.total,
+                p.application,
+                p.policy,
+                p.wall_ns / 1e6
+            );
+        });
     for spec in specs {
         experiment = experiment.workload(spec);
     }
     let report = experiment.run();
+    println!(
+        "sweep: {} cells in {:.1} ms wall on {} worker threads\n",
+        report.cells.len(),
+        report.timing.total_wall_ns / 1e6,
+        report.timing.jobs
+    );
 
     println!("RGP+LAS speedup over LAS as the partitioned window grows:\n");
     print!("{:<16}", "kernel");

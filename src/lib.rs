@@ -18,7 +18,12 @@
 //! [`runtime::ThreadedExecutor`]) and the fluent [`runtime::Experiment`]
 //! builder, which sweeps an (application × scale × policy) matrix through
 //! either backend and returns a structured, JSON-serializable
-//! [`runtime::SweepReport`]:
+//! [`runtime::SweepReport`]. Under the hood a sweep is plan/execute:
+//! [`runtime::Experiment::plan`] materializes a [`runtime::SweepPlan`] of
+//! independent keyed cell jobs (workload specs built once, memoized in a
+//! [`kernels::SpecCache`]), and a [`runtime::SweepDriver`] executes it
+//! serially or sharded across worker threads (`.parallelism(n)`) — with
+//! bit-identical reports on the simulator backend either way:
 //!
 //! ```rust
 //! use numadag::prelude::*;
@@ -73,7 +78,7 @@
 //! | [`graph`] (`numadag-graph`) | CSR graphs + multilevel k-way partitioner (SCOTCH substitute) built from pluggable `Coarsener`/`InitialPartitioner`/`Refiner` stages |
 //! | [`tdg`] (`numadag-tdg`) | tasks, dependence analysis, the TDG, windows |
 //! | [`core`] (`numadag-core`) | the scheduling policies: DFIFO, EP, LAS, RGP(+LAS) + the `PolicyKind` registry |
-//! | [`runtime`] (`numadag-runtime`) | `Executor` trait, simulator + threaded backends, `Experiment`/`SweepReport` |
+//! | [`runtime`] (`numadag-runtime`) | `Executor` trait, simulator + threaded backends, plan/execute sweep engine (`Experiment` → `SweepPlan` → `SweepDriver` → `SweepReport` + `bench-diff`) |
 //! | [`kernels`] (`numadag-kernels`) | the eight applications of Figure 1 + dense linalg |
 //! | `numadag-bench` (not re-exported) | benchmark harness: `figure1`/`ablation` bins + criterion benches |
 //!
@@ -106,11 +111,12 @@ pub mod prelude {
         PartitionScheme, PartitionTuning, PolicyKind, Propagation, RgpConfig, RgpPolicy, RgpTuning,
         SchedulingPolicy,
     };
-    pub use numadag_kernels::{Application, DenseStore, ProblemScale};
+    pub use numadag_kernels::{Application, DenseStore, ProblemScale, SpecCache};
     pub use numadag_numa::{CostModel, MemoryMap, NodeId, SocketId, Topology};
     pub use numadag_runtime::{
-        Backend, ExecutionConfig, ExecutionReport, Executor, Experiment, Simulator, StealMode,
-        SweepCell, SweepReport, ThreadedExecutor,
+        Backend, CellProgress, ExecutionConfig, ExecutionReport, Executor, Experiment, Simulator,
+        StealMode, SweepCell, SweepDiff, SweepDriver, SweepPlan, SweepReport, SweepTiming,
+        ThreadedExecutor,
     };
     pub use numadag_tdg::{
         AccessMode, DataAccess, TaskGraph, TaskGraphSpec, TaskId, TaskSpec, TdgBuilder,

@@ -1,20 +1,21 @@
 //! A minimal, API-compatible subset of `serde_json` over the vendored serde
 //! data model, vendored because the build environment has no access to
 //! crates.io. Provides the `json!` macro (object/array/expression forms),
-//! `to_value`, `to_string` and `to_string_pretty`.
+//! `to_value`, `to_string`, `to_string_pretty` and a `from_str` parser into
+//! [`Value`].
 
 use serde::Serialize;
 pub use serde::Value;
 
-/// Serialization error. The vendored data model is infallible, so this is
-/// never produced; it exists so `.unwrap()` call sites type-check against
-/// the real serde_json signatures.
+/// Serialization or parse error. Serialization through the vendored data
+/// model is infallible; parsing ([`from_str`]) reports the byte offset and a
+/// short description of the first syntax error.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("serde_json error")
+        f.write_str(&self.0)
     }
 }
 
@@ -124,6 +125,200 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Parses JSON text into a [`Value`] tree. Numbers parse as `f64` (the data
+/// model's only numeric type), matching how [`to_string`] wrote them, so a
+/// serialize → parse round trip reproduces the original values exactly for
+/// every finite number Rust's shortest-round-trip formatting emitted.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after the JSON document"));
+    }
+    Ok(value)
+}
+
+/// Recursive-descent JSON parser over the input bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> Error {
+        Error(format!("{message} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes `literal` (e.g. `null`) or errors without advancing.
+    fn expect_literal(&mut self, literal: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {literal:?}")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.expect_literal("null").map(|()| Value::Null),
+            Some(b't') => self.expect_literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| Error(format!("invalid number {text:?} at byte {start}")))
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let Some(&byte) = rest.first() else {
+                return Err(self.error("unterminated string"));
+            };
+            match byte {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    let escape = rest.get(1).copied();
+                    self.pos += 2;
+                    match escape {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs (and lone surrogates) are not
+                            // produced by the vendored writer; map them to
+                            // the replacement character instead of erroring.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                }
+                _ => {
+                    // Copy one UTF-8 scalar (multi-byte sequences are passed
+                    // through unchanged; the input is a &str, so it is valid
+                    // UTF-8 by construction).
+                    let text = std::str::from_utf8(rest).expect("input was a &str");
+                    let ch = text.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        debug_assert_eq!(self.peek(), Some(b'['));
+        self.pos += 1;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        debug_assert_eq!(self.peek(), Some(b'{'));
+        self.pos += 1;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            if self.peek() != Some(b'"') {
+                return Err(self.error("expected a string object key"));
+            }
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            if self.peek() != Some(b':') {
+                return Err(self.error("expected ':' after object key"));
+            }
+            self.pos += 1;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+}
+
 /// Builds a [`Value`] from JSON-like syntax. Supports objects with literal
 /// string keys, arrays, and arbitrary serializable expressions as values.
 #[macro_export]
@@ -179,5 +374,63 @@ mod tests {
     fn empty_containers() {
         assert_eq!(to_string_pretty(&Value::Array(vec![])).unwrap(), "[]");
         assert_eq!(to_string_pretty(&Value::Object(vec![])).unwrap(), "{}");
+    }
+
+    #[test]
+    fn from_str_parses_every_value_kind() {
+        let v = from_str(
+            r#"{ "s": "a\"b\\c\ndA", "n": -1.25e2, "i": 42, "b": true,
+                 "nul": null, "arr": [1, [], {}], "empty": "" }"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a\"b\\c\ndA"));
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(-125.0));
+        assert_eq!(v.get("i").unwrap().as_u64(), Some(42));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("nul"), Some(&Value::Null));
+        let arr = v.get("arr").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[1], Value::Array(vec![]));
+        assert_eq!(arr[2], Value::Object(vec![]));
+        assert_eq!(v.get("empty").unwrap().as_str(), Some(""));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn serialize_parse_round_trips_exactly() {
+        let original = json!({
+            "name": "sweep",
+            "seed": 15819134u64,
+            "makespan": 43754.600000000006f64,
+            "cells": vec![0.6349926636285097f64, 1.0373970991126455],
+            "skipped": Vec::<String>::new(),
+            "unicode": "héllo ∑",
+        });
+        for text in [
+            to_string(&original).unwrap(),
+            to_string_pretty(&original).unwrap(),
+        ] {
+            let reparsed = from_str(&text).unwrap();
+            assert_eq!(reparsed, original, "round trip through {text}");
+        }
+    }
+
+    #[test]
+    fn from_str_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "{\"a\": 1} x",
+            "tru",
+            "\"unterminated",
+            "{1: 2}",
+            "[1 2]",
+            "nan",
+        ] {
+            let err = from_str(bad).expect_err(&format!("{bad:?} must not parse"));
+            assert!(err.to_string().contains("at byte"), "{bad:?}: {err}");
+        }
     }
 }

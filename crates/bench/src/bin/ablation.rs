@@ -1,10 +1,12 @@
-//! Design-choice ablations (DESIGN.md: ABL-WIN, ABL-SOCK, ABL-PART) and the
-//! `bench-diff` baseline comparator.
+//! Design-choice ablations (DESIGN.md: ABL-WIN, ABL-SOCK, ABL-PART), the
+//! `trace` divergence study and the `bench-diff` baseline comparator.
 //!
 //! Usage:
 //! ```text
 //! cargo run -p numadag-bench --bin ablation --release -- \
 //!     [window|sockets|partitioner|all] [--jobs N]
+//! cargo run -p numadag-bench --bin ablation --release -- \
+//!     trace [--scale tiny|small|full] [--jobs N]
 //! cargo run -p numadag-bench --bin ablation --release -- \
 //!     bench-diff BASELINE.json CANDIDATE.json
 //! ```
@@ -21,6 +23,14 @@
 //! the studies share one `SpecCache`, so each workload spec is built once
 //! across all of them.
 //!
+//! `trace` runs the apps whose Figure-1 numbers diverge the most from the
+//! paper (Integral histogram, Symm. mat. inv., NStream) under RGP+LAS and
+//! LAS with full execution tracing, then prints a per-app divergence
+//! report from the `numadag-trace` comparison: makespan and critical-path
+//! composition side by side, the tasks where RGP+LAS loses the most time,
+//! and the regions whose traffic went farthest. `--scale` (trace only)
+//! picks the problem scale, default small.
+//!
 //! `bench-diff` loads two `BENCH_*.json` sweep reports and prints the
 //! per-cell measurement deltas (timing sections are ignored), exiting 0
 //! when the reports are measurement-identical and 1 when they differ — so
@@ -36,6 +46,7 @@ use numadag_kernels::{Application, ProblemScale, SpecCache};
 use numadag_numa::Topology;
 use numadag_runtime::{Experiment, SweepReport};
 use numadag_tdg::{window_to_csr, TaskWindow, WindowConfig};
+use numadag_trace::TraceCollector;
 
 const SCALE: ProblemScale = ProblemScale::Small;
 const SEED: u64 = 0xAB1A7E;
@@ -180,11 +191,73 @@ fn partitioner_ablation(study: &StudyConfig) {
     }
 }
 
+/// ABL-TRACE: trace the divergent Figure-1 apps under RGP+LAS and LAS, and
+/// report per app where RGP+LAS wins or loses time — the tasks whose
+/// durations moved the most, the regions whose traffic went farthest, and
+/// how the two critical paths decompose into dependence-bound vs
+/// core-busy time.
+fn trace_study(study: &StudyConfig, scale: ProblemScale) {
+    println!("\n# ABL-TRACE — RGP+LAS vs LAS execution-trace divergence ({scale:?} scale)\n");
+    let apps = [
+        Application::IntegralHistogram,
+        Application::SymmetricMatrixInversion,
+        Application::NStream,
+    ];
+    // One explicit topology for both the traced sweep and the spec lookup,
+    // so the SpecCache key always matches the graph the traces ran.
+    let topology = Topology::bullion_s16();
+    let collector = Arc::new(TraceCollector::new());
+    study
+        .experiment()
+        .topology(topology.clone())
+        .apps(apps)
+        .scale(scale)
+        .policies([PolicyKind::RgpLas])
+        .trace(Arc::clone(&collector))
+        .run();
+
+    for app in apps {
+        let rgp = collector
+            .find(app.label(), "RGP+LAS")
+            .expect("RGP+LAS trace collected");
+        let las = collector
+            .find(app.label(), "LAS")
+            .expect("LAS trace collected");
+        let spec = study.specs.get(app, scale, topology.num_sockets());
+        let comparison = rgp
+            .compare(&las, &spec.graph)
+            .expect("traces of the same workload are comparable");
+        println!("{comparison}");
+        let (rgp_locality, las_locality) = (
+            rgp.locality_histogram(10).mean,
+            las.locality_histogram(10).mean,
+        );
+        println!(
+            "  mean per-task locality: {:.1}% vs {:.1}%; max queue depth {} vs {}\n",
+            100.0 * rgp_locality,
+            100.0 * las_locality,
+            rgp.queue_depth_timeline()
+                .max_depth
+                .iter()
+                .max()
+                .copied()
+                .unwrap_or(0),
+            las.queue_depth_timeline()
+                .max_depth
+                .iter()
+                .max()
+                .copied()
+                .unwrap_or(0),
+        );
+    }
+}
+
 /// Prints a CLI usage error and exits with code 2.
 fn usage_error(message: String) -> ! {
     eprintln!("error: {message}");
     eprintln!(
         "usage: ablation [window|sockets|partitioner|all] [--jobs N]\n\
+         \u{20}      ablation trace [--scale tiny|small|full] [--jobs N]\n\
          \u{20}      ablation bench-diff BASELINE.json CANDIDATE.json"
     );
     std::process::exit(2);
@@ -213,6 +286,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Option<String> = None;
     let mut jobs = 1usize;
+    let mut trace_scale: Option<ProblemScale> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -231,7 +305,19 @@ fn main() {
                     None => usage_error("--jobs needs a value".to_string()),
                 }
             }
-            study @ ("window" | "sockets" | "partitioner" | "all") => match &which {
+            "--scale" => {
+                i += 1;
+                trace_scale = Some(match args.get(i).map(String::as_str) {
+                    Some("tiny") => ProblemScale::Tiny,
+                    Some("small") => ProblemScale::Small,
+                    Some("full") => ProblemScale::Full,
+                    Some(other) => usage_error(format!(
+                        "unknown scale {other:?} (expected tiny, small or full)"
+                    )),
+                    None => usage_error("--scale needs a value".to_string()),
+                });
+            }
+            study @ ("window" | "sockets" | "partitioner" | "trace" | "all") => match &which {
                 None => which = Some(study.to_string()),
                 Some(first) => usage_error(format!(
                     "more than one study selected ({first:?} and {study:?}); pick one, \
@@ -243,6 +329,12 @@ fn main() {
         i += 1;
     }
     let which = which.unwrap_or_else(|| "all".to_string());
+    if trace_scale.is_some() && which != "trace" {
+        usage_error(format!(
+            "--scale only applies to the trace study (selected {which:?}); the classic \
+             ablations are fixed at {SCALE:?} scale"
+        ));
+    }
 
     let study = StudyConfig {
         jobs,
@@ -252,10 +344,12 @@ fn main() {
         "window" => window_ablation(&study),
         "sockets" => socket_ablation(&study),
         "partitioner" => partitioner_ablation(&study),
+        "trace" => trace_study(&study, trace_scale.unwrap_or(SCALE)),
         _ => {
             window_ablation(&study);
             socket_ablation(&study);
             partitioner_ablation(&study);
+            trace_study(&study, SCALE);
         }
     }
 }

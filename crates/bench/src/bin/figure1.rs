@@ -7,7 +7,7 @@
 //! cargo run -p numadag-bench --bin figure1 --release -- \
 //!     [--scale tiny|small|full] [--policies dfifo,rgp-las:w=512,ep] \
 //!     [--backend simulated|threaded] [--jobs N] [--reps N] [--seed N] \
-//!     [--json PATH] [--json-timing PATH]
+//!     [--json PATH] [--json-timing PATH] [--trace-dir DIR]
 //! ```
 //!
 //! Policies are parsed through the `PolicyKind` registry, so any registered
@@ -23,13 +23,26 @@
 //! (the `BENCH_*.json` baseline format); `--json-timing` additionally
 //! includes the wall-time/spec-build accounting, which varies run to run.
 //!
+//! `--trace-dir DIR` records a full execution trace for every cell (policy
+//! assign decisions, task start/finish with socket and timestamp, steals,
+//! deferred placements, per-access traffic with NUMA distance) and writes
+//! one pretty-printed `<app>_<scale>_<policy>_rep<N>.trace.json` per cell
+//! into DIR — the input to the `numadag-trace` analytics and the
+//! `ablation trace` divergence reports. Tracing never changes the
+//! measurements on the simulator backend.
+//!
 //! Malformed arguments (unknown scale, unknown flag, non-integer `--jobs`/
 //! `--reps`/`--seed`, …) are hard errors with exit code 2.
 
-use numadag_bench::{figure1_experiment, paper_reference, stderr_progress, HarnessConfig};
+use std::sync::Arc;
+
+use numadag_bench::{
+    figure1_experiment, paper_reference, stderr_progress, write_trace_dir, HarnessConfig,
+};
 use numadag_core::PolicyKind;
 use numadag_kernels::ProblemScale;
 use numadag_runtime::{Backend, SweepReport};
+use numadag_trace::TraceCollector;
 
 /// Prints a CLI usage error and exits with code 2.
 fn usage_error(message: String) -> ! {
@@ -37,7 +50,7 @@ fn usage_error(message: String) -> ! {
     eprintln!(
         "usage: figure1 [--scale tiny|small|full] [--policies LIST] \
          [--backend simulated|threaded] [--jobs N] [--reps N] [--seed N] \
-         [--json PATH] [--json-timing PATH]"
+         [--json PATH] [--json-timing PATH] [--trace-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -50,10 +63,16 @@ fn flag_value(args: &[String], i: usize) -> &str {
     }
 }
 
-fn parse_args() -> (HarnessConfig, Option<String>, Option<String>) {
+fn parse_args() -> (
+    HarnessConfig,
+    Option<String>,
+    Option<String>,
+    Option<String>,
+) {
     let mut config = HarnessConfig::default();
     let mut json_path = None;
     let mut json_timing_path = None;
+    let mut trace_dir = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -97,11 +116,12 @@ fn parse_args() -> (HarnessConfig, Option<String>, Option<String>) {
             },
             "--json" => json_path = Some(flag_value(&args, i).to_string()),
             "--json-timing" => json_timing_path = Some(flag_value(&args, i).to_string()),
+            "--trace-dir" => trace_dir = Some(flag_value(&args, i).to_string()),
             other => usage_error(format!("unknown argument {other:?}")),
         }
         i += 2;
     }
-    (config, json_path, json_timing_path)
+    (config, json_path, json_timing_path, trace_dir)
 }
 
 fn print_table(report: &SweepReport) {
@@ -143,7 +163,7 @@ fn print_table(report: &SweepReport) {
 }
 
 fn main() {
-    let (config, json_path, json_timing_path) = parse_args();
+    let (config, json_path, json_timing_path, trace_dir) = parse_args();
     if config.backend == Backend::Threaded && config.jobs != 1 {
         eprintln!(
             "warning: --jobs {} with the threaded backend runs that many thread \
@@ -160,9 +180,12 @@ fn main() {
         numadag_bench::jobs_label(config.jobs),
     );
 
-    let report = figure1_experiment(&config)
-        .on_cell_complete(stderr_progress)
-        .run();
+    let collector = trace_dir.as_ref().map(|_| Arc::new(TraceCollector::new()));
+    let mut experiment = figure1_experiment(&config).on_cell_complete(stderr_progress);
+    if let Some(collector) = &collector {
+        experiment = experiment.trace(Arc::clone(collector));
+    }
+    let report = experiment.run();
     print_table(&report);
 
     if !report.skipped.is_empty() {
@@ -212,6 +235,16 @@ fn main() {
         match std::fs::write(&path, report.to_json_string_with_timing()) {
             Ok(()) => println!("\nwrote {path} (with timing)"),
             Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    if let (Some(dir), Some(collector)) = (trace_dir, collector) {
+        let traces = collector.take();
+        match write_trace_dir(std::path::Path::new(&dir), &traces) {
+            Ok(n) => println!("\nwrote {n} execution traces to {dir}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

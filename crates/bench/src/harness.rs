@@ -5,10 +5,13 @@
 //! serialization) live in [`numadag_runtime::Experiment`]; this module only
 //! binds the paper's evaluation setup (machine, suite, policy set) to it.
 
+use std::path::Path;
+
 use numadag_core::PolicyKind;
 use numadag_kernels::{Application, ProblemScale};
 use numadag_numa::Topology;
 use numadag_runtime::{Backend, CellProgress, Experiment, SweepReport};
+use numadag_trace::Trace;
 
 /// Configuration of a harness run.
 #[derive(Clone, Debug)]
@@ -113,6 +116,47 @@ pub fn run_figure1(config: &HarnessConfig) -> SweepReport {
     figure1_experiment(config).run()
 }
 
+/// File-system-safe spelling of a workload/policy label: alphanumerics,
+/// `-`, `=` and `.` pass through, everything else becomes `-`.
+pub fn sanitize_label(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '=' | '.') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+/// Writes one pretty-printed JSON file per trace into `dir` (created if
+/// missing), named `<app>_<scale>_<policy>_rep<N>.trace.json`. Returns the
+/// number of files written.
+pub fn write_trace_dir(dir: &Path, traces: &[Trace]) -> Result<usize, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    for trace in traces {
+        let name = format!(
+            "{}_{}_{}_rep{}.trace.json",
+            sanitize_label(&trace.workload),
+            sanitize_label(&trace.scale),
+            sanitize_label(&trace.policy),
+            trace.repetition,
+        );
+        let path = dir.join(name);
+        let file = std::fs::File::create(&path)
+            .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+        let mut writer = std::io::BufWriter::new(file);
+        trace
+            .to_json_writer(&mut writer)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        std::io::Write::flush(&mut writer)
+            .map_err(|e| format!("cannot flush {}: {e}", path.display()))?;
+    }
+    Ok(traces.len())
+}
+
 /// The values the paper reports (read off Figure 1) where they are legible:
 /// returns `(policy, application, speedup)` triples. The geometric mean of
 /// RGP+LAS is the headline 1.12×.
@@ -168,6 +212,37 @@ mod tests {
         }
         // LAS against itself is exactly 1.
         assert!((report.geomean_of("LAS").unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_dir_writes_one_round_trippable_file_per_cell() {
+        use numadag_trace::TraceCollector;
+        use std::sync::Arc;
+        let collector = Arc::new(TraceCollector::new());
+        let config = HarnessConfig {
+            policies: vec![PolicyKind::RgpLas],
+            ..tiny_config()
+        };
+        figure1_experiment(&config)
+            .trace(Arc::clone(&collector))
+            .run();
+        let traces = collector.take();
+        assert_eq!(traces.len(), 16); // 8 apps × (RGP+LAS + LAS)
+        let dir = std::env::temp_dir().join(format!("numadag_tracedir_{}", std::process::id()));
+        let written = write_trace_dir(&dir, &traces).unwrap();
+        assert_eq!(written, 16);
+        let sample = dir.join("NStream_Tiny_RGP-LAS_rep0.trace.json");
+        let text = std::fs::read_to_string(&sample).expect("sample trace file exists");
+        let trace = Trace::from_json_str(&text).unwrap();
+        assert_eq!(trace.workload, "NStream");
+        trace.validate().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sanitize_label_keeps_registry_spellings_distinct() {
+        assert_eq!(sanitize_label("RGP+LAS:w=512"), "RGP-LAS-w=512");
+        assert_eq!(sanitize_label("Symm. mat. inv."), "Symm.-mat.-inv.");
     }
 
     #[test]

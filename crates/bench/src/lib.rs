@@ -14,6 +14,6 @@
 pub mod harness;
 
 pub use harness::{
-    figure1_experiment, jobs_label, paper_reference, parse_jobs, run_figure1, stderr_progress,
-    HarnessConfig,
+    figure1_experiment, jobs_label, paper_reference, parse_jobs, run_figure1, sanitize_label,
+    stderr_progress, write_trace_dir, HarnessConfig,
 };

@@ -83,6 +83,7 @@ fn malformed_arguments_exit_2() {
         &["--seed", "1.5"],
         &["--no-such-flag"],
         &["--policies", ""],
+        &["--trace-dir"],
     ];
     for args in figure1_cases {
         let out = Command::new(env!("CARGO_BIN_EXE_figure1"))
@@ -106,6 +107,10 @@ fn malformed_arguments_exit_2() {
         &["--jobs"],
         &["no-such-study"],
         &["window", "sockets"],
+        &["trace", "window"],
+        &["trace", "--scale", "bogus"],
+        &["trace", "--scale"],
+        &["window", "--scale", "small"],
         &["bench-diff", "only-one.json"],
         &["bench-diff", "a.json", "b.json", "c.json"],
         &["bench-diff", "/nonexistent/a.json", "/nonexistent/b.json"],
@@ -218,6 +223,77 @@ fn json_timing_export_carries_wall_time_accounting() {
         assert!(json.contains(key), "timing export missing {key}");
     }
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn figure1_trace_dir_writes_round_trippable_traces() {
+    let dir = std::env::temp_dir().join(format!("numadag_trace_smoke_{}", std::process::id()));
+    let trace_dir = dir.join("traces");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_figure1"))
+        .args([
+            "--scale",
+            "tiny",
+            "--policies",
+            "rgp-las",
+            "--jobs",
+            "2",
+            "--trace-dir",
+        ])
+        .arg(&trace_dir)
+        .output()
+        .expect("figure1 must spawn");
+    assert!(
+        out.status.success(),
+        "figure1 exited with {:?}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("wrote 16 execution traces"),
+        "missing trace-dir summary: {stdout}"
+    );
+
+    // One file per cell (8 apps × rgp-las + LAS baseline), each parseable.
+    let files: Vec<_> = std::fs::read_dir(&trace_dir)
+        .expect("trace dir created")
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(files.len(), 16, "{files:?}");
+    let sample = trace_dir.join("NStream_Tiny_RGP-LAS_rep0.trace.json");
+    let text = std::fs::read_to_string(&sample).expect("sample trace exists");
+    for key in ["\"events\"", "\"assign\"", "\"traffic\"", "\"makespan_ns\""] {
+        assert!(text.contains(key), "trace file missing {key}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ablation_trace_study_prints_divergence_reports() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ablation"))
+        .args(["trace", "--scale", "tiny"])
+        .output()
+        .expect("ablation must spawn");
+    assert!(
+        out.status.success(),
+        "ablation exited with {:?}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ABL-TRACE"), "missing study header");
+    for app in ["Integral histogram", "Symm. mat. inv.", "NStream"] {
+        assert!(stdout.contains(app), "missing app {app}: {stdout}");
+    }
+    assert!(
+        stdout.contains("loses the most time"),
+        "missing ranked task report"
+    );
+    assert!(
+        stdout.contains("critical path"),
+        "missing critical-path comparison"
+    );
 }
 
 #[test]

@@ -1,6 +1,9 @@
 //! Executor configuration.
 
+use std::sync::Arc;
+
 use numadag_numa::{CostModel, Topology};
+use numadag_trace::{NullSink, TraceSink};
 
 /// What an idle core does when its socket's queue is empty.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -16,7 +19,7 @@ pub enum StealMode {
 }
 
 /// Configuration shared by the executors.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ExecutionConfig {
     /// Machine topology (sockets, cores, distances).
     pub topology: Topology,
@@ -29,6 +32,25 @@ pub struct ExecutionConfig {
     /// Seed forwarded to components that need randomness (none in the
     /// simulator itself — determinism comes from the policies' own seeds).
     pub seed: u64,
+    /// Where executors emit [`numadag_trace::TraceEvent`]s. The default
+    /// [`NullSink`] reports itself disabled, so both executors skip event
+    /// construction entirely — tracing is zero-cost unless a real sink
+    /// (e.g. a [`numadag_trace::MemorySink`]) is installed via
+    /// [`ExecutionConfig::with_trace_sink`].
+    pub trace_sink: Arc<dyn TraceSink>,
+}
+
+impl std::fmt::Debug for ExecutionConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutionConfig")
+            .field("topology", &self.topology)
+            .field("cost_model", &self.cost_model)
+            .field("steal", &self.steal)
+            .field("collect_trace", &self.collect_trace)
+            .field("seed", &self.seed)
+            .field("trace_sink_enabled", &self.trace_sink.is_enabled())
+            .finish()
+    }
 }
 
 impl ExecutionConfig {
@@ -46,6 +68,7 @@ impl ExecutionConfig {
             steal: StealMode::default(),
             collect_trace: false,
             seed: 0xE0,
+            trace_sink: Arc::new(NullSink),
         }
     }
 
@@ -70,6 +93,14 @@ impl ExecutionConfig {
     /// Replaces the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Installs a trace sink both executors emit
+    /// [`numadag_trace::TraceEvent`]s into (default: the disabled
+    /// [`NullSink`]).
+    pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace_sink = sink;
         self
     }
 }
@@ -98,5 +129,15 @@ mod tests {
         assert_eq!(cfg.steal, StealMode::NoStealing);
         assert!(cfg.collect_trace);
         assert_eq!(cfg.seed, 99);
+    }
+
+    #[test]
+    fn trace_sink_defaults_disabled_and_installs() {
+        use numadag_trace::MemorySink;
+        let cfg = ExecutionConfig::new(Topology::two_socket(2));
+        assert!(!cfg.trace_sink.is_enabled());
+        assert!(format!("{cfg:?}").contains("trace_sink_enabled: false"));
+        let cfg = cfg.with_trace_sink(Arc::new(MemorySink::new()));
+        assert!(cfg.trace_sink.is_enabled());
     }
 }

@@ -31,6 +31,7 @@ use std::time::Instant;
 
 use numadag_core::{make_policy, PolicyKind};
 use numadag_tdg::TaskGraphSpec;
+use numadag_trace::{MemorySink, Trace, TraceCollector};
 use serde::Serialize;
 
 use crate::config::ExecutionConfig;
@@ -89,6 +90,12 @@ pub struct SweepPlan {
     pub(crate) spec_builds: usize,
     /// Spec lookups served from the cache while planning.
     pub(crate) spec_cache_hits: usize,
+    /// When set, every executed cell is traced into this collector (see
+    /// [`crate::Experiment::trace`]). Traced cells run on a dedicated
+    /// executor whose config carries a fresh
+    /// [`numadag_trace::MemorySink`]; on the deterministic simulator the
+    /// measurements are identical to the untraced path.
+    pub(crate) trace: Option<Arc<TraceCollector>>,
 }
 
 impl SweepPlan {
@@ -301,14 +308,17 @@ impl SweepDriver {
     /// Like [`SweepDriver::execute`] but serially on a caller-supplied
     /// executor (any [`Executor`] implementation, including ones outside
     /// this crate). The plan's backend/config are ignored in favour of the
-    /// executor's own.
+    /// executor's own — which is why a plan's trace collector is also
+    /// ignored here (tracing hooks into the plan's own executor
+    /// construction; install a sink on the supplied executor's config to
+    /// trace this path).
     pub fn execute_on(&self, plan: &SweepPlan, executor: &dyn Executor) -> SweepReport {
         let t0 = Instant::now();
         let completed = AtomicUsize::new(0);
         let outcomes = plan
             .jobs
             .iter()
-            .map(|job| self.run_and_notify(plan, job, executor, &completed))
+            .map(|job| self.run_and_notify(plan, job, executor, false, &completed))
             .collect();
         let machine = executor.config().topology.name().to_string();
         assemble(
@@ -327,7 +337,7 @@ impl SweepDriver {
         let completed = AtomicUsize::new(0);
         plan.jobs
             .iter()
-            .map(|job| self.run_and_notify(plan, job, executor.as_ref(), &completed))
+            .map(|job| self.run_and_notify(plan, job, executor.as_ref(), true, &completed))
             .collect()
     }
 
@@ -347,8 +357,13 @@ impl SweepDriver {
                         if i >= n {
                             break;
                         }
-                        let outcome =
-                            self.run_and_notify(plan, &plan.jobs[i], executor.as_ref(), &completed);
+                        let outcome = self.run_and_notify(
+                            plan,
+                            &plan.jobs[i],
+                            executor.as_ref(),
+                            true,
+                            &completed,
+                        );
                         *slots[i].lock().unwrap() = Some(outcome);
                     }
                 });
@@ -370,9 +385,10 @@ impl SweepDriver {
         plan: &SweepPlan,
         job: &SweepJob,
         executor: &dyn Executor,
+        allow_trace: bool,
         completed: &AtomicUsize,
     ) -> JobOutcome {
-        let outcome = run_job(plan, job, executor);
+        let outcome = run_job(plan, job, executor, allow_trace);
         let done = completed.fetch_add(1, Ordering::SeqCst) + 1;
         if let Some(callback) = &self.on_cell_complete {
             let (application, scale, policy) = plan.job_labels(job);
@@ -396,7 +412,12 @@ impl SweepDriver {
 }
 
 /// Builds the job's policy and runs its cell on the given executor.
-fn run_job(plan: &SweepPlan, job: &SweepJob, executor: &dyn Executor) -> JobOutcome {
+fn run_job(
+    plan: &SweepPlan,
+    job: &SweepJob,
+    executor: &dyn Executor,
+    allow_trace: bool,
+) -> JobOutcome {
     let workload = &plan.workloads[job.workload];
     // A workload whose baseline cannot be built is skipped wholesale: its
     // speedups would have no anchor and `assemble` would discard the
@@ -410,7 +431,32 @@ fn run_job(plan: &SweepPlan, job: &SweepJob, executor: &dyn Executor) -> JobOutc
     let Some(mut policy) = make_policy(kind, &workload.spec, seed) else {
         return JobOutcome::Skipped;
     };
-    let report = executor.execute(&workload.spec, policy.as_mut());
+    let report = match plan.trace.as_ref().filter(|_| allow_trace) {
+        Some(collector) => {
+            // Traced cells run on a dedicated executor whose config carries
+            // a fresh memory sink, so events of concurrent cells never mix.
+            // The simulator is deterministic, so the measurements are
+            // identical to the untraced path.
+            let sink = Arc::new(MemorySink::new());
+            let traced = plan
+                .backend
+                .executor(plan.config.clone().with_trace_sink(sink.clone()));
+            let report = traced.execute(&workload.spec, policy.as_mut());
+            collector.record(Trace {
+                workload: workload.label.clone(),
+                policy: kind.label(),
+                backend: plan.backend.label().to_string(),
+                scale: workload.scale_label.clone(),
+                repetition: job.repetition,
+                tasks: report.tasks,
+                num_sockets: plan.config.topology.num_sockets(),
+                makespan_ns: report.makespan_ns,
+                events: sink.take(),
+            });
+            report
+        }
+        None => executor.execute(&workload.spec, policy.as_mut()),
+    };
     JobOutcome::Measured(JobMeasurement {
         makespan_ns: report.makespan_ns,
         tasks: report.tasks,
@@ -688,6 +734,61 @@ mod tests {
         assert_eq!(report.skipped, vec!["no-ep/EP"]);
         assert!(report.cells.is_empty());
         assert_eq!(skipped_cells.load(Ordering::SeqCst), plan.num_jobs());
+    }
+
+    #[test]
+    fn traced_sweeps_collect_one_trace_per_cell_without_changing_results() {
+        let untraced = tiny_experiment().run();
+        let collector = Arc::new(TraceCollector::new());
+        for jobs in [1, 3] {
+            let traced = tiny_experiment()
+                .parallelism(jobs)
+                .trace(Arc::clone(&collector))
+                .run();
+            // Tracing observes; it must not move a single measurement byte.
+            assert_eq!(
+                untraced.to_json_string(),
+                traced.to_json_string(),
+                "jobs={jobs}"
+            );
+            let traces = collector.take();
+            assert_eq!(traces.len(), traced.cells.len(), "jobs={jobs}");
+            for trace in &traces {
+                trace.validate().expect("sweep trace must be complete");
+                assert_eq!(trace.backend, "simulator");
+                assert_eq!(trace.scale, "Tiny");
+                let cell = traced
+                    .cells
+                    .iter()
+                    .find(|c| {
+                        c.application == trace.workload
+                            && c.policy == trace.policy
+                            && c.repetition == trace.repetition
+                    })
+                    .expect("every trace matches a cell");
+                assert_eq!(cell.makespan_ns, trace.makespan_ns);
+                assert_eq!(cell.tasks, trace.tasks);
+            }
+        }
+    }
+
+    #[test]
+    fn skipped_cells_leave_no_trace() {
+        use numadag_tdg::{TaskSpec, TdgBuilder};
+        let mut b = TdgBuilder::new();
+        let r = b.region(64);
+        b.submit(TaskSpec::new("t").work(1.0).writes(r, 64));
+        let (g, sizes) = b.finish();
+        let spec = TaskGraphSpec::new("no-ep", g, sizes);
+        let collector = Arc::new(TraceCollector::new());
+        let report = Experiment::new()
+            .workload(spec)
+            .policies([PolicyKind::Ep, PolicyKind::Dfifo])
+            .trace(Arc::clone(&collector))
+            .run();
+        assert_eq!(report.skipped, vec!["no-ep/EP"]);
+        // DFIFO + LAS traced, EP skipped.
+        assert_eq!(collector.len(), 2);
     }
 
     #[test]

@@ -42,6 +42,7 @@ use numadag_core::{make_policy, PolicyKind};
 use numadag_kernels::{Application, ProblemScale, SpecCache};
 use numadag_numa::{CostModel, Topology};
 use numadag_tdg::TaskGraphSpec;
+use numadag_trace::TraceCollector;
 use serde::{Serialize, Value};
 
 use crate::config::{ExecutionConfig, StealMode};
@@ -285,6 +286,7 @@ pub struct Experiment {
     parallelism: usize,
     spec_cache: Option<Arc<SpecCache>>,
     progress: Option<ProgressCallback>,
+    trace: Option<Arc<TraceCollector>>,
 }
 
 impl Default for Experiment {
@@ -304,6 +306,7 @@ impl Default for Experiment {
             parallelism: 1,
             spec_cache: None,
             progress: None,
+            trace: None,
         }
     }
 }
@@ -437,6 +440,22 @@ impl Experiment {
         self
     }
 
+    /// Traces every cell of the sweep into `collector`: each cell's
+    /// execution emits [`numadag_trace::TraceEvent`]s into a fresh
+    /// [`numadag_trace::MemorySink`], and the finished
+    /// [`numadag_trace::Trace`] (labelled with the cell's workload, scale,
+    /// policy and repetition) is recorded in the collector. Drain it after
+    /// [`Experiment::run`] with [`TraceCollector::take`].
+    ///
+    /// Tracing never changes the measurements on the deterministic
+    /// simulator backend — it only observes. It is ignored by
+    /// [`Experiment::run_on`], whose caller-supplied executor owns its own
+    /// configuration (install a sink there instead).
+    pub fn trace(mut self, collector: Arc<TraceCollector>) -> Self {
+        self.trace = Some(collector);
+        self
+    }
+
     /// Materializes the sweep as a [`SweepPlan`]: builds every workload spec
     /// exactly once (memoized through the experiment's [`SpecCache`]) and
     /// flattens the (workload × policy × repetition) matrix into independent
@@ -531,6 +550,7 @@ impl Experiment {
             build_wall_ns,
             spec_builds,
             spec_cache_hits,
+            trace: self.trace.clone(),
         }
     }
 

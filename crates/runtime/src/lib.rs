@@ -44,6 +44,18 @@
 //! Both executors implement the paper's *deferred allocation*: regions
 //! written by a task that have no home yet are first-touched on the socket
 //! the task runs on ([`deferred`]).
+//!
+//! Executions are **observable** through the `numadag-trace` subsystem:
+//! both executors emit [`numadag_trace::TraceEvent`]s (assign decisions,
+//! task start/finish with socket and timestamp, steals, deferred
+//! placements, per-access traffic with NUMA distance) into the sink carried
+//! by [`config::ExecutionConfig::trace_sink`]. The default
+//! [`numadag_trace::NullSink`] is disabled and the emission sites guard on
+//! it, so tracing is zero-cost unless requested. Sweeps trace per cell via
+//! [`experiment::Experiment::trace`], which records one labelled
+//! [`numadag_trace::Trace`] per cell into a
+//! [`numadag_trace::TraceCollector`] for the analytics layer (critical
+//! paths, traffic matrices, two-policy divergence reports).
 
 #![warn(missing_docs)]
 

@@ -16,6 +16,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use numadag_core::{DataLocator, MemoryLocator, SchedulingPolicy};
 use numadag_numa::{CoreId, MemoryMap, SocketId, TrafficStats};
 use numadag_tdg::{TaskGraphSpec, TaskId};
+use numadag_trace::{TraceEvent, TraceSink};
 
 use crate::config::{ExecutionConfig, StealMode};
 use crate::deferred::apply_deferred_allocation;
@@ -135,6 +136,8 @@ impl Simulator {
             &memory,
             &mut assigned_socket,
             &mut queues,
+            self.config.trace_sink.as_ref(),
+            0.0,
         );
 
         // Helper closure replaced by a local fn to keep borrows simple.
@@ -155,12 +158,33 @@ impl Simulator {
         ) {
             let topo = &sim.config.topology;
             let cost = &sim.config.cost_model;
+            let sink = sim.config.trace_sink.as_ref();
+            let tracing = sink.is_enabled();
             let socket = topo.socket_of(core);
             let node = socket.node();
             let descriptor = spec.graph.task(task);
 
+            if tracing {
+                sink.record(TraceEvent::Start {
+                    task,
+                    socket,
+                    core,
+                    time: now,
+                    stolen,
+                });
+            }
+
             // Deferred allocation / first touch on the executing node.
-            report.deferred_bytes += apply_deferred_allocation(memory, stats, descriptor, node);
+            let placed = apply_deferred_allocation(memory, stats, descriptor, node);
+            report.deferred_bytes += placed;
+            if tracing && placed > 0 {
+                sink.record(TraceEvent::DeferredAlloc {
+                    task,
+                    node,
+                    bytes: placed,
+                    time: now,
+                });
+            }
 
             // Memory time: move every accessed byte between its home node and
             // the executing socket.
@@ -177,6 +201,17 @@ impl Simulator {
                     let dist = topo.distance(node, *home);
                     memory_time += cost.transfer_time(scaled, dist);
                     stats.record_access(node, *home, dist, scaled);
+                    if tracing {
+                        sink.record(TraceEvent::Traffic {
+                            task,
+                            region: access.region.index(),
+                            from: *home,
+                            to: node,
+                            distance: dist,
+                            bytes: scaled,
+                            time: now,
+                        });
+                    }
                 }
             }
             // Bandwidth contention between the cores of this socket.
@@ -280,6 +315,14 @@ impl Simulator {
             let socket = topo.socket_of(event.core);
             busy_count[socket.index()] -= 1;
             idle[socket.index()].push(event.core);
+            if self.config.trace_sink.is_enabled() {
+                self.config.trace_sink.record(TraceEvent::Finish {
+                    task: event.task,
+                    socket,
+                    core: event.core,
+                    time: now,
+                });
+            }
 
             // Release successors.
             let mut newly_ready: Vec<TaskId> = Vec::new();
@@ -297,6 +340,8 @@ impl Simulator {
                 &memory,
                 &mut assigned_socket,
                 &mut queues,
+                self.config.trace_sink.as_ref(),
+                now,
             );
 
             dispatch!(now);
@@ -320,6 +365,7 @@ impl Simulator {
             .collect()
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn assign_tasks(
         tasks: &[TaskId],
         spec: &TaskGraphSpec,
@@ -328,6 +374,8 @@ impl Simulator {
         memory: &MemoryMap,
         assigned_socket: &mut [Option<SocketId>],
         queues: &mut [VecDeque<TaskId>],
+        sink: &dyn TraceSink,
+        now: f64,
     ) {
         for &task in tasks {
             let socket = {
@@ -338,6 +386,13 @@ impl Simulator {
             };
             assigned_socket[task.index()] = Some(socket);
             queues[socket.index()].push_back(task);
+            if sink.is_enabled() {
+                sink.record(TraceEvent::Assign {
+                    task,
+                    socket,
+                    time: now,
+                });
+            }
         }
     }
 }
@@ -486,6 +541,55 @@ mod tests {
             assert!(placement.end >= placement.start);
             assert!(placement.socket.index() < 8);
         }
+    }
+
+    #[test]
+    fn trace_sink_sees_one_assign_start_finish_per_task() {
+        use numadag_trace::{MemorySink, Trace};
+        use std::sync::Arc;
+        let spec = chains(4, 2);
+        let sink = Arc::new(MemorySink::new());
+        let cfg = ExecutionConfig::bullion_s16().with_trace_sink(sink.clone());
+        let report = Simulator::new(cfg).run(&spec, &mut LasPolicy::new(3));
+        let trace = Trace {
+            workload: spec.name.clone(),
+            policy: report.policy.clone(),
+            backend: "simulator".to_string(),
+            scale: "custom".to_string(),
+            repetition: 0,
+            tasks: spec.num_tasks(),
+            num_sockets: 8,
+            makespan_ns: report.makespan_ns,
+            events: sink.take(),
+        };
+        trace.validate().expect("simulator trace must be complete");
+        // The traffic ledger and the trace agree byte for byte.
+        let matrix = trace.traffic_matrix();
+        assert_eq!(matrix.total_bytes(), report.traffic.total_bytes());
+        assert_eq!(matrix.local_bytes(), report.traffic.local_bytes);
+        // Deferred placements in the trace match the report.
+        let deferred: u64 = trace
+            .events_tagged("deferred_alloc")
+            .map(|e| match e {
+                numadag_trace::TraceEvent::DeferredAlloc { bytes, .. } => *bytes,
+                _ => unreachable!(),
+            })
+            .sum();
+        assert_eq!(deferred, report.deferred_bytes);
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_simulation() {
+        use numadag_trace::MemorySink;
+        use std::sync::Arc;
+        let spec = chains(8, 4);
+        let plain = sim().run(&spec, &mut LasPolicy::new(5));
+        let traced_cfg =
+            ExecutionConfig::bullion_s16().with_trace_sink(Arc::new(MemorySink::new()));
+        let traced = Simulator::new(traced_cfg).run(&spec, &mut LasPolicy::new(5));
+        assert_eq!(plain.makespan_ns, traced.makespan_ns);
+        assert_eq!(plain.traffic, traced.traffic);
+        assert_eq!(plain.tasks_per_socket, traced.tasks_per_socket);
     }
 
     #[test]

@@ -25,8 +25,9 @@ use std::collections::VecDeque;
 use parking_lot::{Condvar, Mutex};
 
 use numadag_core::{MemoryLocator, SchedulingPolicy};
-use numadag_numa::{MemoryMap, SocketId, TrafficStats};
+use numadag_numa::{CoreId, MemoryMap, SocketId, TrafficStats};
 use numadag_tdg::{TaskGraphSpec, TaskId};
+use numadag_trace::TraceEvent;
 
 use crate::config::{ExecutionConfig, StealMode};
 use crate::deferred::apply_deferred_allocation;
@@ -102,7 +103,10 @@ impl ThreadedExecutor {
             deferred_bytes: 0,
         };
 
-        // Seed the queues with the source tasks.
+        // Seed the queues with the source tasks. Seeding happens before the
+        // makespan clock starts (the parallel section is what is measured),
+        // so the seeding `Assign` events are stamped 0.0.
+        let sink = self.config.trace_sink.as_ref();
         let sources = spec.graph.sources();
         for &task in &sources {
             let socket = {
@@ -110,6 +114,13 @@ impl ThreadedExecutor {
                 shared.policy.assign(spec.graph.task(task), &locator)
             };
             shared.queues[socket.index()].push_back(task);
+            if sink.is_enabled() {
+                sink.record(TraceEvent::Assign {
+                    task,
+                    socket,
+                    time: 0.0,
+                });
+            }
         }
 
         let sync = (Mutex::new(shared), Condvar::new());
@@ -121,7 +132,7 @@ impl ThreadedExecutor {
                 let sync = &sync;
                 let config = &self.config;
                 scope.spawn(move || {
-                    worker_loop(spec, config, my_socket, sync, body);
+                    worker_loop(spec, config, my_socket, core, start, sync, body);
                 });
             }
         });
@@ -167,10 +178,14 @@ fn worker_loop(
     spec: &TaskGraphSpec,
     config: &ExecutionConfig,
     my_socket: SocketId,
+    my_core: CoreId,
+    t0: std::time::Instant,
     sync: &(Mutex<Shared<'_>>, Condvar),
     body: &(dyn Fn(TaskId) + Sync),
 ) {
     let topo = &config.topology;
+    let sink = config.trace_sink.as_ref();
+    let tracing = sink.is_enabled();
     let (lock, cv) = sync;
     loop {
         // Grab a task: local queue first, then steal (nearest socket first).
@@ -198,6 +213,16 @@ fn worker_loop(
                 }
                 match found {
                     Some((task, stolen)) => {
+                        let now = t0.elapsed().as_nanos() as f64;
+                        if tracing {
+                            sink.record(TraceEvent::Start {
+                                task,
+                                socket: my_socket,
+                                core: my_core,
+                                time: now,
+                                stolen,
+                            });
+                        }
                         // Deferred allocation happens when the task is picked
                         // up by the socket that will actually run it.
                         let node = my_socket.node();
@@ -207,6 +232,14 @@ fn worker_loop(
                             apply_deferred_allocation(memory, stats, descriptor, node)
                         };
                         s.deferred_bytes += placed;
+                        if tracing && placed > 0 {
+                            sink.record(TraceEvent::DeferredAlloc {
+                                task,
+                                node,
+                                bytes: placed,
+                                time: now,
+                            });
+                        }
                         // Account traffic against the virtual NUMA map.
                         for access in &descriptor.accesses {
                             let region_size = s.memory.size_of(access.region).max(1);
@@ -220,6 +253,17 @@ fn worker_loop(
                                 }
                                 let dist = topo.distance(node, *home);
                                 s.stats.record_access(node, *home, dist, scaled);
+                                if tracing {
+                                    sink.record(TraceEvent::Traffic {
+                                        task,
+                                        region: access.region.index(),
+                                        from: *home,
+                                        to: node,
+                                        distance: dist,
+                                        bytes: scaled,
+                                        time: now,
+                                    });
+                                }
                             }
                         }
                         s.tasks_per_socket[my_socket.index()] += 1;
@@ -244,6 +288,15 @@ fn worker_loop(
 
         // Publish completion: release successors and push newly ready tasks.
         let mut s = lock.lock();
+        let now = t0.elapsed().as_nanos() as f64;
+        if tracing {
+            sink.record(TraceEvent::Finish {
+                task: grabbed,
+                socket: my_socket,
+                core: my_core,
+                time: now,
+            });
+        }
         s.remaining -= 1;
         let mut newly_ready = Vec::new();
         for &(succ, _) in spec.graph.successors(grabbed) {
@@ -260,6 +313,13 @@ fn worker_loop(
                 policy.assign(spec.graph.task(ready), &locator)
             };
             s.queues[socket.index()].push_back(ready);
+            if tracing {
+                sink.record(TraceEvent::Assign {
+                    task: ready,
+                    socket,
+                    time: now,
+                });
+            }
         }
         let finished = s.remaining == 0;
         drop(s);
@@ -421,6 +481,38 @@ mod tests {
         });
         assert_eq!(counter.load(Ordering::SeqCst), 128);
         assert_eq!(report.stolen_tasks, 0);
+    }
+
+    #[test]
+    fn trace_sink_sees_a_complete_wall_clock_trace() {
+        use numadag_trace::{MemorySink, Trace};
+        use std::sync::Arc;
+        let (spec, _) = reduction_spec(16);
+        let sink = Arc::new(MemorySink::new());
+        let cfg = ExecutionConfig::new(Topology::two_socket(2)).with_trace_sink(sink.clone());
+        let exec = ThreadedExecutor::new(cfg);
+        let mut policy = LasPolicy::new(4);
+        let report = exec.run(&spec, &mut policy, &|_| {});
+        let trace = Trace {
+            workload: spec.name.clone(),
+            policy: report.policy.clone(),
+            backend: "threaded".to_string(),
+            scale: "custom".to_string(),
+            repetition: 0,
+            tasks: spec.num_tasks(),
+            num_sockets: 2,
+            makespan_ns: report.makespan_ns,
+            events: sink.take(),
+        };
+        trace.validate().expect("threaded trace must be complete");
+        assert_eq!(
+            trace.traffic_matrix().total_bytes(),
+            report.traffic.total_bytes()
+        );
+        // Wall-clock ordering: every task finishes no earlier than it starts.
+        for interval in trace.task_intervals().into_iter().flatten() {
+            assert!(interval.end >= interval.start);
+        }
     }
 
     #[test]

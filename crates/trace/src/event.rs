@@ -1,0 +1,265 @@
+//! The trace event model and the sinks executors emit into.
+//!
+//! Executors record [`TraceEvent`]s through a [`TraceSink`] carried on their
+//! configuration. The default sink is [`NullSink`], which reports itself
+//! disabled so the executors skip event construction entirely (tracing is
+//! zero-cost unless a real sink is installed); [`MemorySink`] buffers events
+//! in memory for the analytics layer.
+
+use parking_lot::Mutex;
+
+use numadag_numa::{CoreId, NodeId, SocketId};
+use numadag_tdg::TaskId;
+
+/// One observation of the runtime, timestamped in nanoseconds (simulated
+/// time for the simulator, wall-clock time since execution start for the
+/// threaded executor).
+///
+/// A complete execution trace contains exactly one `Assign`, one `Start` and
+/// one `Finish` per task, plus any number of `DeferredAlloc` and `Traffic`
+/// events.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// The scheduling policy decided which socket a ready task goes to.
+    Assign {
+        /// The task that became ready.
+        task: TaskId,
+        /// The socket the policy pushed it to.
+        socket: SocketId,
+        /// When the decision was made (ns).
+        time: f64,
+    },
+    /// A core picked the task up and began executing it.
+    Start {
+        /// The task.
+        task: TaskId,
+        /// Socket the task actually runs on (differs from the assigned
+        /// socket when `stolen` is true).
+        socket: SocketId,
+        /// Core the task runs on.
+        core: CoreId,
+        /// Execution start time (ns).
+        time: f64,
+        /// True if an idle core of another socket stole the task.
+        stolen: bool,
+    },
+    /// The task completed.
+    Finish {
+        /// The task.
+        task: TaskId,
+        /// Socket the task ran on.
+        socket: SocketId,
+        /// Core the task ran on.
+        core: CoreId,
+        /// Completion time (ns).
+        time: f64,
+    },
+    /// Deferred allocation: regions first-touched by this task were placed
+    /// on the executing node.
+    DeferredAlloc {
+        /// The task whose execution placed the bytes.
+        task: TaskId,
+        /// The node the bytes now live on.
+        node: NodeId,
+        /// Total bytes placed for this task.
+        bytes: u64,
+        /// When the placement happened (ns).
+        time: f64,
+    },
+    /// Bytes of one region access moved between a home node and the
+    /// executing node, at the topology's SLIT distance.
+    Traffic {
+        /// The task performing the access.
+        task: TaskId,
+        /// Region index of the access (see
+        /// [`numadag_tdg::TaskGraphSpec::region_sizes`]).
+        region: usize,
+        /// Node holding the bytes.
+        from: NodeId,
+        /// Node of the executing core.
+        to: NodeId,
+        /// SLIT distance of the transfer (10 = local).
+        distance: u32,
+        /// Bytes moved.
+        bytes: u64,
+        /// When the access happened (ns).
+        time: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp (ns).
+    pub fn time(&self) -> f64 {
+        match self {
+            TraceEvent::Assign { time, .. }
+            | TraceEvent::Start { time, .. }
+            | TraceEvent::Finish { time, .. }
+            | TraceEvent::DeferredAlloc { time, .. }
+            | TraceEvent::Traffic { time, .. } => *time,
+        }
+    }
+
+    /// The task the event concerns.
+    pub fn task(&self) -> TaskId {
+        match self {
+            TraceEvent::Assign { task, .. }
+            | TraceEvent::Start { task, .. }
+            | TraceEvent::Finish { task, .. }
+            | TraceEvent::DeferredAlloc { task, .. }
+            | TraceEvent::Traffic { task, .. } => *task,
+        }
+    }
+
+    /// Stable lowercase tag used in the JSON serialization.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceEvent::Assign { .. } => "assign",
+            TraceEvent::Start { .. } => "start",
+            TraceEvent::Finish { .. } => "finish",
+            TraceEvent::DeferredAlloc { .. } => "deferred_alloc",
+            TraceEvent::Traffic { .. } => "traffic",
+        }
+    }
+}
+
+/// Where executors send trace events.
+///
+/// Sinks are shared (`Arc<dyn TraceSink>`) between an execution's worker
+/// threads, so implementations must be `Send + Sync` and use interior
+/// mutability.
+pub trait TraceSink: Send + Sync {
+    /// Whether events should be produced at all. Executors check this once
+    /// per emission site and skip event construction when it returns
+    /// `false`, which is what makes the disabled path zero-cost.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event.
+    fn record(&self, event: TraceEvent);
+}
+
+/// The default sink: disabled, drops everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: TraceEvent) {}
+}
+
+/// A sink that buffers every event in memory, in arrival order.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Removes and returns everything recorded so far.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock())
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, event: TraceEvent) {
+        self.events.lock().push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assign(task: usize, time: f64) -> TraceEvent {
+        TraceEvent::Assign {
+            task: TaskId(task),
+            socket: SocketId(0),
+            time,
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled_and_silent() {
+        let sink = NullSink;
+        assert!(!sink.is_enabled());
+        sink.record(assign(0, 1.0)); // must not panic
+    }
+
+    #[test]
+    fn memory_sink_buffers_in_order() {
+        let sink = MemorySink::new();
+        assert!(sink.is_enabled());
+        assert!(sink.is_empty());
+        sink.record(assign(0, 1.0));
+        sink.record(assign(1, 2.0));
+        assert_eq!(sink.len(), 2);
+        let events = sink.take();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].task(), TaskId(0));
+        assert_eq!(events[1].time(), 2.0);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn event_accessors_cover_every_variant() {
+        let events = [
+            assign(3, 1.0),
+            TraceEvent::Start {
+                task: TaskId(3),
+                socket: SocketId(1),
+                core: CoreId(4),
+                time: 2.0,
+                stolen: true,
+            },
+            TraceEvent::Finish {
+                task: TaskId(3),
+                socket: SocketId(1),
+                core: CoreId(4),
+                time: 3.0,
+            },
+            TraceEvent::DeferredAlloc {
+                task: TaskId(3),
+                node: NodeId(1),
+                bytes: 64,
+                time: 2.0,
+            },
+            TraceEvent::Traffic {
+                task: TaskId(3),
+                region: 0,
+                from: NodeId(0),
+                to: NodeId(1),
+                distance: 21,
+                bytes: 128,
+                time: 2.0,
+            },
+        ];
+        let tags: Vec<&str> = events.iter().map(|e| e.tag()).collect();
+        assert_eq!(
+            tags,
+            vec!["assign", "start", "finish", "deferred_alloc", "traffic"]
+        );
+        for e in &events {
+            assert_eq!(e.task(), TaskId(3));
+            assert!(e.time() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # numadag-trace — execution traces and the analytics that explain them
+//!
+//! The sweep reports of `numadag-runtime` are end-of-run aggregates: a
+//! makespan, a locality fraction, a geomean. When a per-application number
+//! diverges from the paper's Figure 1, aggregates cannot say *where* in the
+//! schedule a policy lost its locality advantage. This crate makes
+//! executions observable:
+//!
+//! * [`TraceEvent`] — the event model both executors emit: policy `assign`
+//!   decisions, task `start`/`finish` with socket, core and timestamp
+//!   (steals flagged), deferred-allocation placements, and per-access
+//!   traffic with NUMA distance.
+//! * [`TraceSink`] — where events go. The default [`NullSink`] reports
+//!   itself disabled, so executors skip event construction entirely and
+//!   tracing is zero-cost unless requested; [`MemorySink`] buffers events
+//!   for analysis, and [`TraceCollector`] accumulates one [`Trace`] per
+//!   cell of a traced sweep.
+//! * [`Trace`] — the container: metadata + events, with a pretty-printed
+//!   JSON serialization that round-trips through [`Trace::from_json_str`]
+//!   (and streams to disk via [`Trace::to_json_writer`]).
+//! * [`analytics`] — post-processing: schedule critical-path extraction
+//!   (dependence-bound vs core-busy links), socket × socket and
+//!   per-distance traffic matrices, per-task locality histograms, and
+//!   queue-depth timelines.
+//! * [`compare`] — the two-policy comparison ([`Trace::compare`]): given
+//!   the same workload traced under two policies, rank the tasks and data
+//!   flows where one loses time to the other — the tool for localizing the
+//!   per-app Figure 1 divergences.
+//!
+//! The runtime wires sinks through `ExecutionConfig::with_trace_sink` and
+//! sweeps through `Experiment::trace`; the `figure1 --trace-dir` and
+//! `ablation trace` CLI modes expose both end to end.
+
+#![warn(missing_docs)]
+
+pub mod analytics;
+pub mod compare;
+pub mod event;
+pub mod trace;
+
+pub use analytics::{
+    CpBound, CpLink, CriticalPath, LocalityHistogram, QueueSample, QueueTimeline, TrafficMatrix,
+};
+pub use compare::{FlowDelta, TaskDelta, TraceComparison};
+pub use event::{MemorySink, NullSink, TraceEvent, TraceSink};
+pub use trace::{TaskInterval, Trace, TraceCollector};

@@ -1,0 +1,556 @@
+//! The [`Trace`] container: one execution's events plus the metadata needed
+//! to interpret them, with a JSON serialization that round-trips through
+//! [`Trace::from_json_str`].
+
+use parking_lot::Mutex;
+use serde::{Serialize, Value};
+
+use numadag_numa::{CoreId, NodeId, SocketId};
+use numadag_tdg::TaskId;
+
+use crate::event::TraceEvent;
+
+/// A complete execution trace: which workload ran under which policy on
+/// which backend, and every event the executor emitted.
+///
+/// Traces are produced by the executors in `numadag-runtime` (through a
+/// [`crate::MemorySink`] installed on the execution configuration) and by
+/// the sweep driver for every cell of a traced `Experiment`. The analytics
+/// layer ([`crate::analytics`], [`crate::compare`]) works on this type.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    /// Workload label (application name or spec name).
+    pub workload: String,
+    /// Canonical policy label.
+    pub policy: String,
+    /// Backend that produced the trace (`"simulator"` or `"threaded"`).
+    pub backend: String,
+    /// Problem-scale label (`"Tiny"`, `"Small"`, `"Full"` or `"custom"`).
+    pub scale: String,
+    /// Repetition index of the sweep cell this trace came from.
+    pub repetition: usize,
+    /// Number of tasks in the workload.
+    pub tasks: usize,
+    /// Number of sockets of the machine the trace was recorded on.
+    pub num_sockets: usize,
+    /// Makespan of the traced execution (ns).
+    pub makespan_ns: f64,
+    /// Every event, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Per-task execution interval extracted from a trace's `Start`/`Finish`
+/// events (`None` for tasks the trace never saw run).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TaskInterval {
+    /// Execution start (ns).
+    pub start: f64,
+    /// Execution end (ns).
+    pub end: f64,
+    /// Socket the task ran on.
+    pub socket: SocketId,
+    /// Core the task ran on.
+    pub core: CoreId,
+    /// Socket the policy originally assigned (equals `socket` unless the
+    /// task was stolen).
+    pub assigned: SocketId,
+    /// True if the task was stolen.
+    pub stolen: bool,
+}
+
+impl TaskInterval {
+    /// Execution duration (ns).
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+impl Trace {
+    /// Events of one kind, by their serialization tag.
+    pub fn events_tagged<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.tag() == tag)
+    }
+
+    /// Per-task execution intervals, indexed by task id. A well-formed trace
+    /// has an interval for every task.
+    pub fn task_intervals(&self) -> Vec<Option<TaskInterval>> {
+        let mut assigned: Vec<Option<SocketId>> = vec![None; self.tasks];
+        let mut intervals: Vec<Option<TaskInterval>> = vec![None; self.tasks];
+        for event in &self.events {
+            match event {
+                TraceEvent::Assign { task, socket, .. } => {
+                    assigned[task.index()] = Some(*socket);
+                }
+                TraceEvent::Start {
+                    task,
+                    socket,
+                    core,
+                    time,
+                    stolen,
+                } => {
+                    intervals[task.index()] = Some(TaskInterval {
+                        start: *time,
+                        end: *time,
+                        socket: *socket,
+                        core: *core,
+                        assigned: assigned[task.index()].unwrap_or(*socket),
+                        stolen: *stolen,
+                    });
+                }
+                TraceEvent::Finish { task, time, .. } => {
+                    if let Some(interval) = intervals[task.index()].as_mut() {
+                        interval.end = *time;
+                    }
+                }
+                _ => {}
+            }
+        }
+        intervals
+    }
+
+    /// Checks the structural invariants every complete trace satisfies:
+    /// exactly one `Assign`, `Start` and `Finish` per task, `Finish` never
+    /// before `Start`, and timestamps within `[0, makespan]` (with a small
+    /// tolerance for the threaded backend's wall-clock measurement skew).
+    /// Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut counts = vec![[0usize; 3]; self.tasks];
+        for event in &self.events {
+            let t = event.task().index();
+            if t >= self.tasks {
+                return Err(format!("{} event for out-of-range task {t}", event.tag()));
+            }
+            let slot = match event {
+                TraceEvent::Assign { .. } => 0,
+                TraceEvent::Start { .. } => 1,
+                TraceEvent::Finish { .. } => 2,
+                _ => continue,
+            };
+            counts[t][slot] += 1;
+        }
+        for (t, c) in counts.iter().enumerate() {
+            if *c != [1, 1, 1] {
+                return Err(format!(
+                    "task {t}: expected 1 assign/start/finish, saw {c:?}"
+                ));
+            }
+        }
+        let tolerance = 1e-6 * self.makespan_ns.max(1.0);
+        for interval in self.task_intervals().iter().flatten() {
+            if interval.end < interval.start {
+                return Err(format!("interval ends before it starts: {interval:?}"));
+            }
+            if interval.start < 0.0 || interval.end > self.makespan_ns + tolerance {
+                return Err(format!(
+                    "interval {interval:?} outside [0, makespan {}]",
+                    self.makespan_ns
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Pretty-printed JSON of the whole trace.
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serialization cannot fail")
+    }
+
+    /// Streams the pretty-printed JSON into `writer` without materializing
+    /// the document as one string (trace files grow with event count).
+    pub fn to_json_writer(&self, writer: &mut dyn std::io::Write) -> Result<(), String> {
+        serde_json::to_writer_pretty(writer, self).map_err(|e| e.to_string())
+    }
+
+    /// Parses a trace previously serialized by [`Trace::to_json_string`].
+    pub fn from_json_str(text: &str) -> Result<Trace, String> {
+        let value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let events = value
+            .get("events")
+            .and_then(Value::as_array)
+            .ok_or("missing array field \"events\"")?
+            .iter()
+            .map(parse_event)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Trace {
+            workload: get_str(&value, "workload")?,
+            policy: get_str(&value, "policy")?,
+            backend: get_str(&value, "backend")?,
+            scale: get_str(&value, "scale")?,
+            repetition: get_u64(&value, "repetition")? as usize,
+            tasks: get_u64(&value, "tasks")? as usize,
+            num_sockets: get_u64(&value, "num_sockets")? as usize,
+            makespan_ns: get_f64(&value, "makespan_ns")?,
+            events,
+        })
+    }
+}
+
+impl Serialize for Trace {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("workload".to_string(), self.workload.to_value()),
+            ("policy".to_string(), self.policy.to_value()),
+            ("backend".to_string(), self.backend.to_value()),
+            ("scale".to_string(), self.scale.to_value()),
+            ("repetition".to_string(), self.repetition.to_value()),
+            ("tasks".to_string(), self.tasks.to_value()),
+            ("num_sockets".to_string(), self.num_sockets.to_value()),
+            ("makespan_ns".to_string(), self.makespan_ns.to_value()),
+            ("events".to_string(), self.events.to_value()),
+        ])
+    }
+}
+
+impl Serialize for TraceEvent {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![("type".to_string(), self.tag().to_value())];
+        match self {
+            TraceEvent::Assign { task, socket, time } => {
+                entries.push(("task".to_string(), task.index().to_value()));
+                entries.push(("socket".to_string(), socket.index().to_value()));
+                entries.push(("time".to_string(), time.to_value()));
+            }
+            TraceEvent::Start {
+                task,
+                socket,
+                core,
+                time,
+                stolen,
+            } => {
+                entries.push(("task".to_string(), task.index().to_value()));
+                entries.push(("socket".to_string(), socket.index().to_value()));
+                entries.push(("core".to_string(), core.index().to_value()));
+                entries.push(("time".to_string(), time.to_value()));
+                entries.push(("stolen".to_string(), stolen.to_value()));
+            }
+            TraceEvent::Finish {
+                task,
+                socket,
+                core,
+                time,
+            } => {
+                entries.push(("task".to_string(), task.index().to_value()));
+                entries.push(("socket".to_string(), socket.index().to_value()));
+                entries.push(("core".to_string(), core.index().to_value()));
+                entries.push(("time".to_string(), time.to_value()));
+            }
+            TraceEvent::DeferredAlloc {
+                task,
+                node,
+                bytes,
+                time,
+            } => {
+                entries.push(("task".to_string(), task.index().to_value()));
+                entries.push(("node".to_string(), node.index().to_value()));
+                entries.push(("bytes".to_string(), bytes.to_value()));
+                entries.push(("time".to_string(), time.to_value()));
+            }
+            TraceEvent::Traffic {
+                task,
+                region,
+                from,
+                to,
+                distance,
+                bytes,
+                time,
+            } => {
+                entries.push(("task".to_string(), task.index().to_value()));
+                entries.push(("region".to_string(), region.to_value()));
+                entries.push(("from".to_string(), from.index().to_value()));
+                entries.push(("to".to_string(), to.index().to_value()));
+                entries.push(("distance".to_string(), distance.to_value()));
+                entries.push(("bytes".to_string(), bytes.to_value()));
+                entries.push(("time".to_string(), time.to_value()));
+            }
+        }
+        Value::Object(entries)
+    }
+}
+
+fn get_str(value: &Value, key: &str) -> Result<String, String> {
+    value
+        .get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn get_f64(value: &Value, key: &str) -> Result<f64, String> {
+    value
+        .get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+fn get_u64(value: &Value, key: &str) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing integer field {key:?}"))
+}
+
+fn parse_event(value: &Value) -> Result<TraceEvent, String> {
+    let tag = get_str(value, "type")?;
+    let task = TaskId(get_u64(value, "task")? as usize);
+    let time = get_f64(value, "time")?;
+    match tag.as_str() {
+        "assign" => Ok(TraceEvent::Assign {
+            task,
+            socket: SocketId(get_u64(value, "socket")? as usize),
+            time,
+        }),
+        "start" => Ok(TraceEvent::Start {
+            task,
+            socket: SocketId(get_u64(value, "socket")? as usize),
+            core: CoreId(get_u64(value, "core")? as usize),
+            time,
+            stolen: value
+                .get("stolen")
+                .and_then(Value::as_bool)
+                .ok_or("missing boolean field \"stolen\"")?,
+        }),
+        "finish" => Ok(TraceEvent::Finish {
+            task,
+            socket: SocketId(get_u64(value, "socket")? as usize),
+            core: CoreId(get_u64(value, "core")? as usize),
+            time,
+        }),
+        "deferred_alloc" => Ok(TraceEvent::DeferredAlloc {
+            task,
+            node: NodeId(get_u64(value, "node")? as usize),
+            bytes: get_u64(value, "bytes")?,
+            time,
+        }),
+        "traffic" => Ok(TraceEvent::Traffic {
+            task,
+            region: get_u64(value, "region")? as usize,
+            from: NodeId(get_u64(value, "from")? as usize),
+            to: NodeId(get_u64(value, "to")? as usize),
+            distance: get_u64(value, "distance")? as u32,
+            bytes: get_u64(value, "bytes")?,
+            time,
+        }),
+        other => Err(format!("unknown event type {other:?}")),
+    }
+}
+
+/// Thread-safe accumulator for the traces of a sweep: the sweep driver
+/// records one [`Trace`] per executed cell, and harnesses drain it after the
+/// run (to write trace files or feed the comparison analytics).
+#[derive(Debug, Default)]
+pub struct TraceCollector {
+    traces: Mutex<Vec<Trace>>,
+}
+
+impl TraceCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        TraceCollector::default()
+    }
+
+    /// Records one cell's trace.
+    pub fn record(&self, trace: Trace) {
+        self.traces.lock().push(trace);
+    }
+
+    /// Number of traces collected.
+    pub fn len(&self) -> usize {
+        self.traces.lock().len()
+    }
+
+    /// True if nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.traces.lock().is_empty()
+    }
+
+    /// Removes and returns every collected trace.
+    pub fn take(&self) -> Vec<Trace> {
+        std::mem::take(&mut *self.traces.lock())
+    }
+
+    /// A clone of the lowest-repetition trace matching `(workload, policy)`.
+    /// Cells of a sharded sweep are recorded in completion order, so "first
+    /// recorded" would be nondeterministic; keying on the repetition index
+    /// keeps multi-rep comparisons anchored on matching repetitions.
+    pub fn find(&self, workload: &str, policy: &str) -> Option<Trace> {
+        self.traces
+            .lock()
+            .iter()
+            .filter(|t| t.workload == workload && t.policy == policy)
+            .min_by_key(|t| t.repetition)
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    pub(crate) fn toy_trace() -> Trace {
+        // Two tasks on a 2-socket machine: task 0 local on S0, task 1
+        // assigned to S0 but stolen by S1, reading task 0's region remotely.
+        Trace {
+            workload: "toy".to_string(),
+            policy: "LAS".to_string(),
+            backend: "simulator".to_string(),
+            scale: "custom".to_string(),
+            repetition: 0,
+            tasks: 2,
+            num_sockets: 2,
+            makespan_ns: 30.0,
+            events: vec![
+                TraceEvent::Assign {
+                    task: TaskId(0),
+                    socket: SocketId(0),
+                    time: 0.0,
+                },
+                TraceEvent::Start {
+                    task: TaskId(0),
+                    socket: SocketId(0),
+                    core: CoreId(0),
+                    time: 0.0,
+                    stolen: false,
+                },
+                TraceEvent::DeferredAlloc {
+                    task: TaskId(0),
+                    node: NodeId(0),
+                    bytes: 256,
+                    time: 0.0,
+                },
+                TraceEvent::Traffic {
+                    task: TaskId(0),
+                    region: 0,
+                    from: NodeId(0),
+                    to: NodeId(0),
+                    distance: 10,
+                    bytes: 256,
+                    time: 0.0,
+                },
+                TraceEvent::Finish {
+                    task: TaskId(0),
+                    socket: SocketId(0),
+                    core: CoreId(0),
+                    time: 10.0,
+                },
+                TraceEvent::Assign {
+                    task: TaskId(1),
+                    socket: SocketId(0),
+                    time: 10.0,
+                },
+                TraceEvent::Start {
+                    task: TaskId(1),
+                    socket: SocketId(1),
+                    core: CoreId(1),
+                    time: 10.0,
+                    stolen: true,
+                },
+                TraceEvent::Traffic {
+                    task: TaskId(1),
+                    region: 0,
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    distance: 21,
+                    bytes: 256,
+                    time: 10.0,
+                },
+                TraceEvent::Finish {
+                    task: TaskId(1),
+                    socket: SocketId(1),
+                    core: CoreId(1),
+                    time: 30.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn intervals_capture_placement_and_steals() {
+        let trace = toy_trace();
+        let intervals = trace.task_intervals();
+        let t0 = intervals[0].unwrap();
+        assert_eq!(t0.socket, SocketId(0));
+        assert_eq!(t0.assigned, SocketId(0));
+        assert!(!t0.stolen);
+        assert_eq!(t0.duration(), 10.0);
+        let t1 = intervals[1].unwrap();
+        assert_eq!(t1.socket, SocketId(1));
+        assert_eq!(t1.assigned, SocketId(0));
+        assert!(t1.stolen);
+        assert_eq!(t1.duration(), 20.0);
+    }
+
+    #[test]
+    fn validation_accepts_complete_traces_and_rejects_broken_ones() {
+        let trace = toy_trace();
+        assert!(trace.validate().is_ok());
+
+        let mut missing = trace.clone();
+        missing.events.pop(); // drop task 1's finish
+        assert!(missing.validate().unwrap_err().contains("task 1"));
+
+        let mut out_of_range = trace.clone();
+        out_of_range.tasks = 1;
+        assert!(out_of_range
+            .validate()
+            .unwrap_err()
+            .contains("out-of-range"));
+
+        // Traffic/deferred events are bounds-checked too: a complete
+        // assign/start/finish set must not mask a rogue analytics event.
+        let mut rogue_traffic = trace.clone();
+        rogue_traffic.events.push(TraceEvent::Traffic {
+            task: TaskId(9),
+            region: 0,
+            from: NodeId(0),
+            to: NodeId(0),
+            distance: 10,
+            bytes: 1,
+            time: 0.0,
+        });
+        let err = rogue_traffic.validate().unwrap_err();
+        assert!(
+            err.contains("traffic") && err.contains("out-of-range"),
+            "{err}"
+        );
+
+        let mut late = trace;
+        late.makespan_ns = 5.0;
+        assert!(late.validate().is_err());
+    }
+
+    #[test]
+    fn json_round_trips_every_event_kind() {
+        let trace = toy_trace();
+        let text = trace.to_json_string();
+        let reparsed = Trace::from_json_str(&text).unwrap();
+        assert_eq!(reparsed, trace);
+        // Streaming writer produces the same bytes.
+        let mut buffer = Vec::new();
+        trace.to_json_writer(&mut buffer).unwrap();
+        assert_eq!(String::from_utf8(buffer).unwrap(), text);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected_with_context() {
+        assert!(Trace::from_json_str("not json").is_err());
+        assert!(Trace::from_json_str("{}").unwrap_err().contains("events"));
+        let bad_event = r#"{"workload":"w","policy":"p","backend":"b","scale":"s",
+            "repetition":0,"tasks":1,"num_sockets":1,"makespan_ns":1,
+            "events":[{"type":"warp","task":0,"time":0}]}"#;
+        assert!(Trace::from_json_str(bad_event)
+            .unwrap_err()
+            .contains("unknown event type"));
+    }
+
+    #[test]
+    fn collector_records_and_finds() {
+        let collector = TraceCollector::new();
+        assert!(collector.is_empty());
+        collector.record(toy_trace());
+        assert_eq!(collector.len(), 1);
+        assert!(collector.find("toy", "LAS").is_some());
+        assert!(collector.find("toy", "DFIFO").is_none());
+        assert_eq!(collector.take().len(), 1);
+        assert!(collector.is_empty());
+    }
+}

@@ -80,7 +80,34 @@
 //! | [`core`] (`numadag-core`) | the scheduling policies: DFIFO, EP, LAS, RGP(+LAS) + the `PolicyKind` registry |
 //! | [`runtime`] (`numadag-runtime`) | `Executor` trait, simulator + threaded backends, plan/execute sweep engine (`Experiment` → `SweepPlan` → `SweepDriver` → `SweepReport` + `bench-diff`) |
 //! | [`kernels`] (`numadag-kernels`) | the eight applications of Figure 1 + dense linalg |
+//! | [`trace`] (`numadag-trace`) | execution traces: event model + sinks, critical-path/traffic/locality/queue analytics, two-policy divergence comparison |
 //! | `numadag-bench` (not re-exported) | benchmark harness: `figure1`/`ablation` bins + criterion benches |
+//!
+//! ## Observability
+//!
+//! Every execution can emit a full event trace (policy assign decisions,
+//! task start/finish with socket and timestamp, steals, deferred
+//! placements, per-access traffic with NUMA distance) through the
+//! [`trace`] subsystem — zero-cost unless a sink is installed. Sweeps trace
+//! per cell:
+//!
+//! ```rust
+//! use std::sync::Arc;
+//! use numadag::prelude::*;
+//!
+//! let collector = Arc::new(TraceCollector::new());
+//! Experiment::new()
+//!     .app(Application::IntegralHistogram)
+//!     .policies([PolicyKind::RgpLas])
+//!     .trace(Arc::clone(&collector))
+//!     .run();
+//!
+//! let rgp = collector.find("Integral histogram", "RGP+LAS").unwrap();
+//! let las = collector.find("Integral histogram", "LAS").unwrap();
+//! let spec = Application::IntegralHistogram.build(ProblemScale::Tiny, 8);
+//! let diverging = rgp.compare(&las, &spec.graph).unwrap();
+//! println!("{diverging}"); // ranked tasks/regions where RGP+LAS loses time
+//! ```
 //!
 //! ## Examples
 //!
@@ -103,6 +130,7 @@ pub use numadag_kernels as kernels;
 pub use numadag_numa as numa;
 pub use numadag_runtime as runtime;
 pub use numadag_tdg as tdg;
+pub use numadag_trace as trace;
 
 /// The most common imports for users of the library.
 pub mod prelude {
@@ -121,6 +149,10 @@ pub mod prelude {
     pub use numadag_tdg::{
         AccessMode, DataAccess, TaskGraph, TaskGraphSpec, TaskId, TaskSpec, TdgBuilder,
         WindowConfig,
+    };
+    pub use numadag_trace::{
+        CriticalPath, MemorySink, NullSink, Trace, TraceCollector, TraceComparison, TraceEvent,
+        TraceSink,
     };
 }
 

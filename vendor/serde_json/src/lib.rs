@@ -1,15 +1,16 @@
 //! A minimal, API-compatible subset of `serde_json` over the vendored serde
 //! data model, vendored because the build environment has no access to
 //! crates.io. Provides the `json!` macro (object/array/expression forms),
-//! `to_value`, `to_string`, `to_string_pretty` and a `from_str` parser into
-//! [`Value`].
+//! `to_value`, `to_string`, `to_string_pretty`, the streaming
+//! `to_writer`/`to_writer_pretty` and a `from_str` parser into [`Value`].
 
 use serde::Serialize;
 pub use serde::Value;
 
-/// Serialization or parse error. Serialization through the vendored data
-/// model is infallible; parsing ([`from_str`]) reports the byte offset and a
-/// short description of the first syntax error.
+/// Serialization or parse error. Serialization into a string through the
+/// vendored data model is infallible; the `to_writer` variants surface I/O
+/// errors, and parsing ([`from_str`]) reports the byte offset and a short
+/// description of the first syntax error.
 #[derive(Debug)]
 pub struct Error(String);
 
@@ -26,36 +27,41 @@ pub fn to_value<T: Serialize>(value: &T) -> Value {
     value.to_value()
 }
 
-fn escape_into(s: &str, out: &mut String) {
-    out.push('"');
+fn escape_into<W: std::fmt::Write>(s: &str, out: &mut W) -> std::fmt::Result {
+    out.write_char('"')?;
     for c in s.chars() {
         match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
         }
     }
-    out.push('"');
+    out.write_char('"')
 }
 
-fn write_number(n: f64, out: &mut String) {
+fn write_number<W: std::fmt::Write>(n: f64, out: &mut W) -> std::fmt::Result {
     if n.is_finite() {
         if n == n.trunc() && n.abs() < 9.0e15 {
-            out.push_str(&format!("{}", n as i64));
+            write!(out, "{}", n as i64)
         } else {
-            out.push_str(&format!("{n}"));
+            write!(out, "{n}")
         }
     } else {
         // JSON has no NaN/Infinity; serde_json emits null.
-        out.push_str("null");
+        out.write_str("null")
     }
 }
 
-fn write_value(v: &Value, indent: Option<usize>, level: usize, out: &mut String) {
+fn write_value<W: std::fmt::Write>(
+    v: &Value,
+    indent: Option<usize>,
+    level: usize,
+    out: &mut W,
+) -> std::fmt::Result {
     let (nl, pad, pad_close, colon) = match indent {
         Some(w) => (
             "\n",
@@ -66,47 +72,45 @@ fn write_value(v: &Value, indent: Option<usize>, level: usize, out: &mut String)
         None => ("", String::new(), String::new(), ":"),
     };
     match v {
-        Value::Null => out.push_str("null"),
-        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Null => out.write_str("null"),
+        Value::Bool(b) => out.write_str(if *b { "true" } else { "false" }),
         Value::Number(n) => write_number(*n, out),
         Value::String(s) => escape_into(s, out),
         Value::Array(items) => {
             if items.is_empty() {
-                out.push_str("[]");
-                return;
+                return out.write_str("[]");
             }
-            out.push('[');
+            out.write_char('[')?;
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_char(',')?;
                 }
-                out.push_str(nl);
-                out.push_str(&pad);
-                write_value(item, indent, level + 1, out);
+                out.write_str(nl)?;
+                out.write_str(&pad)?;
+                write_value(item, indent, level + 1, out)?;
             }
-            out.push_str(nl);
-            out.push_str(&pad_close);
-            out.push(']');
+            out.write_str(nl)?;
+            out.write_str(&pad_close)?;
+            out.write_char(']')
         }
         Value::Object(entries) => {
             if entries.is_empty() {
-                out.push_str("{}");
-                return;
+                return out.write_str("{}");
             }
-            out.push('{');
+            out.write_char('{')?;
             for (i, (k, val)) in entries.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_char(',')?;
                 }
-                out.push_str(nl);
-                out.push_str(&pad);
-                escape_into(k, out);
-                out.push_str(colon);
-                write_value(val, indent, level + 1, out);
+                out.write_str(nl)?;
+                out.write_str(&pad)?;
+                escape_into(k, out)?;
+                out.write_str(colon)?;
+                write_value(val, indent, level + 1, out)?;
             }
-            out.push_str(nl);
-            out.push_str(&pad_close);
-            out.push('}');
+            out.write_str(nl)?;
+            out.write_str(&pad_close)?;
+            out.write_char('}')
         }
     }
 }
@@ -114,15 +118,63 @@ fn write_value(v: &Value, indent: Option<usize>, level: usize, out: &mut String)
 /// Renders `value` as compact JSON.
 pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_value(&value.to_value(), None, 0, &mut out);
+    write_value(&value.to_value(), None, 0, &mut out).expect("writing to a String cannot fail");
     Ok(out)
 }
 
 /// Renders `value` as two-space-indented JSON.
 pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_value(&value.to_value(), Some(2), 0, &mut out);
+    write_value(&value.to_value(), Some(2), 0, &mut out).expect("writing to a String cannot fail");
     Ok(out)
+}
+
+/// Adapts an [`std::io::Write`] to the `fmt::Write` the serializer streams
+/// into, capturing the first I/O error (`fmt::Error` carries no payload).
+struct IoAdapter<'a> {
+    inner: &'a mut dyn std::io::Write,
+    error: Option<std::io::Error>,
+}
+
+impl std::fmt::Write for IoAdapter<'_> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.inner.write_all(s.as_bytes()).map_err(|e| {
+            self.error = Some(e);
+            std::fmt::Error
+        })
+    }
+}
+
+fn write_to_io<T: Serialize>(
+    writer: &mut dyn std::io::Write,
+    value: &T,
+    indent: Option<usize>,
+) -> Result<(), Error> {
+    let mut adapter = IoAdapter {
+        inner: writer,
+        error: None,
+    };
+    write_value(&value.to_value(), indent, 0, &mut adapter).map_err(|_| {
+        let io = adapter
+            .error
+            .take()
+            .expect("fmt::Error only arises from a captured io::Error");
+        Error(format!("I/O error while writing JSON: {io}"))
+    })
+}
+
+/// Streams `value` as compact JSON into `writer` without materializing the
+/// document as one string (large exports — execution traces — stay cheap).
+pub fn to_writer<T: Serialize>(writer: &mut dyn std::io::Write, value: &T) -> Result<(), Error> {
+    write_to_io(writer, value, None)
+}
+
+/// Streams `value` as two-space-indented JSON into `writer`.
+pub fn to_writer_pretty<T: Serialize>(
+    writer: &mut dyn std::io::Write,
+    value: &T,
+) -> Result<(), Error> {
+    write_to_io(writer, value, Some(2))
 }
 
 /// Parses JSON text into a [`Value`] tree. Numbers parse as `f64` (the data
@@ -413,6 +465,39 @@ mod tests {
             let reparsed = from_str(&text).unwrap();
             assert_eq!(reparsed, original, "round trip through {text}");
         }
+    }
+
+    #[test]
+    fn writer_output_matches_string_output() {
+        let v = json!({
+            "name": "trace",
+            "events": vec![1u32, 2, 3],
+            "nested": json!({ "ok": true }),
+        });
+        let mut compact = Vec::new();
+        to_writer(&mut compact, &v).unwrap();
+        assert_eq!(String::from_utf8(compact).unwrap(), to_string(&v).unwrap());
+        let mut pretty = Vec::new();
+        to_writer_pretty(&mut pretty, &v).unwrap();
+        assert_eq!(
+            String::from_utf8(pretty).unwrap(),
+            to_string_pretty(&v).unwrap()
+        );
+    }
+
+    #[test]
+    fn writer_surfaces_io_errors() {
+        struct Broken;
+        impl std::io::Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = to_writer(&mut Broken, &json!({ "k": 1u8 })).expect_err("must fail");
+        assert!(err.to_string().contains("disk on fire"), "{err}");
     }
 
     #[test]

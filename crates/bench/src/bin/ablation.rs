@@ -4,7 +4,7 @@
 //! Usage:
 //! ```text
 //! cargo run -p numadag-bench --bin ablation --release -- \
-//!     [window|sockets|partitioner|all] [--jobs N]
+//!     [window|sockets|partitioner|propagation|all] [--jobs N]
 //! cargo run -p numadag-bench --bin ablation --release -- \
 //!     trace [--scale tiny|small|full] [--jobs N]
 //! cargo run -p numadag-bench --bin ablation --release -- \
@@ -24,12 +24,15 @@
 //! across all of them.
 //!
 //! `trace` runs the apps whose Figure-1 numbers diverge the most from the
-//! paper (Integral histogram, Symm. mat. inv., NStream) under RGP+LAS and
-//! LAS with full execution tracing, then prints a per-app divergence
-//! report from the `numadag-trace` comparison: makespan and critical-path
-//! composition side by side, the tasks where RGP+LAS loses the most time,
-//! and the regions whose traffic went farthest. `--scale` (trace only)
-//! picks the problem scale, default small.
+//! paper (Integral histogram, Symm. mat. inv., NStream) under RGP+LAS,
+//! anchored repartitioning (`rgp-las:prop=repart`) and LAS with full
+//! execution tracing, then prints two per-app divergence reports from the
+//! `numadag-trace` comparison: one-shot RGP+LAS vs the LAS baseline, and
+//! repartitioning vs one-shot RGP+LAS (the before/after evidence for the
+//! re-anchored Figure-1 deltas) — each with makespan and critical-path
+//! composition side by side, the tasks where the first policy loses the
+//! most time, and the regions whose traffic went farthest. `--scale`
+//! (trace only) picks the problem scale, default small.
 //!
 //! `bench-diff` loads two `BENCH_*.json` sweep reports and prints the
 //! per-cell measurement deltas (timing sections are ignored), exiting 0
@@ -40,7 +43,7 @@
 use std::sync::Arc;
 
 use numadag_bench::stderr_progress;
-use numadag_core::{PolicyKind, RgpTuning};
+use numadag_core::{PolicyKind, Propagation, RgpTuning};
 use numadag_graph::{partition, PartitionConfig, PartitionScheme};
 use numadag_kernels::{Application, ProblemScale, SpecCache};
 use numadag_numa::Topology;
@@ -191,6 +194,109 @@ fn partitioner_ablation(study: &StudyConfig) {
     }
 }
 
+/// ABL-PROP: what propagating the partition forward buys — RGP speedup
+/// over LAS for one-shot windowing (`prop=las`), round-robin propagation
+/// (`prop=rr`) and anchored multi-window re-partitioning (`prop=repart`)
+/// under each anchoring mode, plus the partitioning cost each variant paid
+/// (windows partitioned and partitioner wall time, from the sweep's timing
+/// section).
+fn propagation_ablation(study: &StudyConfig) {
+    use numadag_core::{AnchorMode, Propagation};
+    let apps = [
+        Application::Jacobi,
+        Application::NStream,
+        Application::IntegralHistogram,
+        Application::SymmetricMatrixInversion,
+    ];
+    let anchors = [
+        AnchorMode::None,
+        AnchorMode::Deps,
+        AnchorMode::Homes,
+        AnchorMode::Both,
+    ];
+    // A window well below the Small-scale task counts, so every variant
+    // actually has multiple windows to propagate across (the 1024 default
+    // covers these apps whole, which would reduce the study to the
+    // window-0 partition).
+    let w = 256usize;
+    let mut policies = vec![
+        PolicyKind::rgp_las(RgpTuning::default().with_window(w)),
+        PolicyKind::rgp_rr(RgpTuning::default().with_window(w)),
+    ];
+    policies.extend(anchors.iter().map(|&a| {
+        PolicyKind::rgp_las(
+            RgpTuning::default()
+                .with_window(w)
+                .with_prop(Propagation::Repartition)
+                .with_anchor(a),
+        )
+    }));
+
+    println!("\n# ABL-PROP — RGP speedup over LAS per propagation mode ({SCALE:?} scale, w={w})\n");
+    let report = study
+        .experiment()
+        .apps(apps)
+        .scale(SCALE)
+        .policies(policies.clone())
+        .run();
+    print!("| {:<22} |", "application");
+    for kind in &policies {
+        let short = kind
+            .label()
+            .replace(&format!("RGP+LAS:w={w},prop=repart,"), "repart:")
+            .replace(&format!("RGP+LAS:w={w}"), "one-shot")
+            .replace(&format!("RGP+RR:w={w}"), "rr");
+        print!(" {short:>12} |");
+    }
+    println!();
+    for app in apps {
+        print!("| {:<22} |", app.label());
+        for kind in &policies {
+            let s = report
+                .speedup_of(app.label(), &kind.label())
+                .unwrap_or(f64::NAN);
+            print!(" {s:>12.3} |");
+        }
+        println!();
+    }
+    print!("| {:<22} |", "geometric mean");
+    for kind in &policies {
+        print!(
+            " {:>12.3} |",
+            report.geomean_of(&kind.label()).unwrap_or(f64::NAN)
+        );
+    }
+    println!();
+
+    println!("\n## Partitioning cost per propagation mode (mean over cells)\n");
+    println!(
+        "| {:<28} | {:>8} | {:>12} |",
+        "policy", "windows", "wall (ms)"
+    );
+    for kind in &policies {
+        let label = kind.label();
+        let mut windows = 0usize;
+        let mut wall_ns = 0.0f64;
+        let mut n = 0usize;
+        for (i, cell) in report.cells.iter().enumerate() {
+            if cell.policy == label {
+                windows += report.timing.cell_partition_windows[i];
+                wall_ns += report.timing.cell_partition_wall_ns[i];
+                n += 1;
+            }
+        }
+        if n == 0 {
+            continue;
+        }
+        println!(
+            "| {:<28} | {:>8.1} | {:>12.3} |",
+            label,
+            windows as f64 / n as f64,
+            wall_ns / n as f64 / 1e6
+        );
+    }
+}
+
 /// ABL-TRACE: trace the divergent Figure-1 apps under RGP+LAS and LAS, and
 /// report per app where RGP+LAS wins or loses time — the tasks whose
 /// durations moved the most, the regions whose traffic went farthest, and
@@ -207,12 +313,14 @@ fn trace_study(study: &StudyConfig, scale: ProblemScale) {
     // so the SpecCache key always matches the graph the traces ran.
     let topology = Topology::bullion_s16();
     let collector = Arc::new(TraceCollector::new());
+    let repart = PolicyKind::RgpLasTuned(RgpTuning::default().with_prop(Propagation::Repartition));
+    let repart_label = repart.label();
     study
         .experiment()
         .topology(topology.clone())
         .apps(apps)
         .scale(scale)
-        .policies([PolicyKind::RgpLas])
+        .policies([PolicyKind::RgpLas, repart])
         .trace(Arc::clone(&collector))
         .run();
 
@@ -249,6 +357,22 @@ fn trace_study(study: &StudyConfig, scale: ProblemScale) {
                 .copied()
                 .unwrap_or(0),
         );
+
+        // Before/after the propagation refactor: the same app under anchored
+        // multi-window repartitioning vs the one-shot RGP+LAS above. This is
+        // the evidence trail for the re-anchored Figure-1 deltas.
+        let repart_trace = collector
+            .find(app.label(), &repart_label)
+            .expect("repartition trace collected");
+        let delta = repart_trace
+            .compare(&rgp, &spec.graph)
+            .expect("traces of the same workload are comparable");
+        println!("{delta}");
+        println!(
+            "  mean per-task locality: {:.1}% vs {:.1}%\n",
+            100.0 * repart_trace.locality_histogram(10).mean,
+            100.0 * rgp.locality_histogram(10).mean,
+        );
     }
 }
 
@@ -256,7 +380,7 @@ fn trace_study(study: &StudyConfig, scale: ProblemScale) {
 fn usage_error(message: String) -> ! {
     eprintln!("error: {message}");
     eprintln!(
-        "usage: ablation [window|sockets|partitioner|all] [--jobs N]\n\
+        "usage: ablation [window|sockets|partitioner|propagation|all] [--jobs N]\n\
          \u{20}      ablation trace [--scale tiny|small|full] [--jobs N]\n\
          \u{20}      ablation bench-diff BASELINE.json CANDIDATE.json"
     );
@@ -317,13 +441,15 @@ fn main() {
                     None => usage_error("--scale needs a value".to_string()),
                 });
             }
-            study @ ("window" | "sockets" | "partitioner" | "trace" | "all") => match &which {
-                None => which = Some(study.to_string()),
-                Some(first) => usage_error(format!(
-                    "more than one study selected ({first:?} and {study:?}); pick one, \
+            study @ ("window" | "sockets" | "partitioner" | "propagation" | "trace" | "all") => {
+                match &which {
+                    None => which = Some(study.to_string()),
+                    Some(first) => usage_error(format!(
+                        "more than one study selected ({first:?} and {study:?}); pick one, \
                      or \"all\" to run every study"
-                )),
-            },
+                    )),
+                }
+            }
             other => usage_error(format!("unknown argument {other:?}")),
         }
         i += 1;
@@ -344,11 +470,13 @@ fn main() {
         "window" => window_ablation(&study),
         "sockets" => socket_ablation(&study),
         "partitioner" => partitioner_ablation(&study),
+        "propagation" => propagation_ablation(&study),
         "trace" => trace_study(&study, trace_scale.unwrap_or(SCALE)),
         _ => {
             window_ablation(&study);
             socket_ablation(&study);
             partitioner_ablation(&study);
+            propagation_ablation(&study);
             trace_study(&study, SCALE);
         }
     }

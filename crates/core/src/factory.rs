@@ -6,11 +6,12 @@
 //! [`PolicyKind::from_str`], so benchmark binaries, examples and tests can
 //! select policies from CLI arguments or config files instead of hard-coded
 //! match arms. Parameterised policies encode their parameters in the label:
-//! the RGP variants accept a window size, a partitioning scheme and a
-//! refinement pass limit, e.g. `RGP+LAS:w=512,scheme=rb,passes=4` (see
-//! [`RgpTuning`]). Partitioner ablations therefore run through the exact
-//! same `Experiment`/`SweepReport` path as every other policy comparison —
-//! each tuned spelling is its own report column.
+//! the RGP variants accept a window size, a partitioning scheme, a
+//! refinement pass limit, a propagation mode and an anchoring mode, e.g.
+//! `RGP+LAS:w=512,scheme=rb,passes=4` or `RGP+LAS:prop=repart,anchor=deps`
+//! (see [`RgpTuning`]). Partitioner ablations therefore run through the
+//! exact same `Experiment`/`SweepReport` path as every other policy
+//! comparison — each tuned spelling is its own report column.
 
 use std::str::FromStr;
 
@@ -21,7 +22,7 @@ use crate::dfifo::DfifoPolicy;
 use crate::ep::EpPolicy;
 use crate::las::LasPolicy;
 use crate::policy::SchedulingPolicy;
-use crate::rgp::{Propagation, RgpConfig, RgpPolicy};
+use crate::rgp::{AnchorMode, Propagation, RgpConfig, RgpPolicy};
 
 /// The tunable knobs of an RGP policy kind, as encoded in registry labels.
 ///
@@ -37,6 +38,13 @@ pub struct RgpTuning {
     pub scheme: Option<PartitionScheme>,
     /// Refinement passes per level of the window partitioner (`passes=4`).
     pub passes: Option<usize>,
+    /// Propagation beyond the partitioned window
+    /// (`prop=las|rr|repart`); overrides the propagation implied by the
+    /// base kind.
+    pub prop: Option<Propagation>,
+    /// Anchoring mode for repartition propagation
+    /// (`anchor=none|deps|homes|both`).
+    pub anchor: Option<AnchorMode>,
 }
 
 impl RgpTuning {
@@ -64,8 +72,21 @@ impl RgpTuning {
         self
     }
 
+    /// Sets the propagation mode.
+    pub fn with_prop(mut self, prop: Propagation) -> Self {
+        self.prop = Some(prop);
+        self
+    }
+
+    /// Sets the anchoring mode.
+    pub fn with_anchor(mut self, anchor: AnchorMode) -> Self {
+        self.anchor = Some(anchor);
+        self
+    }
+
     /// The `key=value` parameter list of the canonical label, in stable
-    /// order (`w`, `scheme`, `passes`); empty for a default tuning.
+    /// order (`w`, `scheme`, `passes`, `prop`, `anchor`); empty for a
+    /// default tuning.
     fn params_label(&self) -> String {
         let mut params: Vec<String> = Vec::new();
         if let Some(w) = self.window {
@@ -76,6 +97,12 @@ impl RgpTuning {
         }
         if let Some(passes) = self.passes {
             params.push(format!("passes={passes}"));
+        }
+        if let Some(prop) = self.prop {
+            params.push(format!("prop={}", prop.token()));
+        }
+        if let Some(anchor) = self.anchor {
+            params.push(format!("anchor={}", anchor.token()));
         }
         params.join(",")
     }
@@ -90,6 +117,12 @@ impl RgpTuning {
         }
         if let Some(passes) = self.passes {
             config = config.with_refine_passes(passes);
+        }
+        if let Some(prop) = self.prop {
+            config = config.with_propagation(prop);
+        }
+        if let Some(anchor) = self.anchor {
+            config = config.with_anchor(anchor);
         }
         config
     }
@@ -125,8 +158,10 @@ impl std::fmt::Display for ParsePolicyError {
         write!(
             f,
             "unknown policy {:?} (expected one of: dfifo, ep, las, rgp-las, rgp-rr, \
-             optionally with RGP parameters like rgp-las:w=512,scheme=rb,passes=4 \
-             where scheme is one of ml, rb, bfs)",
+             optionally with RGP parameters like \
+             rgp-las:w=512,scheme=rb,passes=4,prop=repart,anchor=deps \
+             where scheme is one of ml, rb, bfs; prop is one of las, rr, \
+             repart; anchor is one of none, deps, homes, both)",
             self.0
         )
     }
@@ -294,8 +329,9 @@ impl FromStr for PolicyKind {
     /// Parses a policy label. Matching is case-insensitive and treats `+`,
     /// `-`, `_` and spaces as the same separator, so `RGP+LAS`, `rgp-las` and
     /// `rgp_las` all name the same policy. An optional `:`-separated
-    /// parameter list selects the RGP window, partitioning scheme and
-    /// refinement pass limit: `rgp-las:w=512,scheme=rb,passes=4` (also
+    /// parameter list selects the RGP window, partitioning scheme,
+    /// refinement pass limit, propagation mode and anchoring mode:
+    /// `rgp-las:w=512,scheme=rb,passes=4,prop=repart,anchor=deps` (also
     /// `window=512`, `p=4`).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let err = || ParsePolicyError(s.to_string());
@@ -320,6 +356,12 @@ impl FromStr for PolicyKind {
                     }
                     Some(("passes" | "p", value)) => {
                         tuning.passes = Some(value.parse().map_err(|_| err())?);
+                    }
+                    Some(("prop" | "propagation", value)) => {
+                        tuning.prop = Some(Propagation::from_token(value).ok_or_else(err)?);
+                    }
+                    Some(("anchor", value)) => {
+                        tuning.anchor = Some(AnchorMode::from_token(value).ok_or_else(err)?);
                     }
                     _ => return Err(err()),
                 }
@@ -463,17 +505,77 @@ mod tests {
         for scheme in [None, Some(PartitionScheme::BfsGrowing)] {
             for window in [None, Some(256)] {
                 for passes in [None, Some(2)] {
-                    let tuning = RgpTuning {
-                        window,
-                        scheme,
-                        passes,
-                    };
-                    for kind in [PolicyKind::rgp_las(tuning), PolicyKind::rgp_rr(tuning)] {
-                        assert_eq!(kind.label().parse::<PolicyKind>(), Ok(kind), "{kind}");
+                    for prop in [None, Some(Propagation::Repartition)] {
+                        for anchor in [None, Some(AnchorMode::Deps)] {
+                            let tuning = RgpTuning {
+                                window,
+                                scheme,
+                                passes,
+                                prop,
+                                anchor,
+                            };
+                            for kind in [PolicyKind::rgp_las(tuning), PolicyKind::rgp_rr(tuning)] {
+                                assert_eq!(kind.label().parse::<PolicyKind>(), Ok(kind), "{kind}");
+                            }
+                        }
                     }
                 }
             }
         }
+        // Every propagation and anchor token round-trips through the label.
+        for prop in [
+            Propagation::Las,
+            Propagation::RoundRobin,
+            Propagation::Repartition,
+        ] {
+            let kind = PolicyKind::rgp_las(RgpTuning::default().with_prop(prop));
+            assert_eq!(kind.label().parse::<PolicyKind>(), Ok(kind), "{kind}");
+        }
+        for anchor in [
+            AnchorMode::None,
+            AnchorMode::Deps,
+            AnchorMode::Homes,
+            AnchorMode::Both,
+        ] {
+            let kind = PolicyKind::rgp_las(RgpTuning::default().with_anchor(anchor));
+            assert_eq!(kind.label().parse::<PolicyKind>(), Ok(kind), "{kind}");
+        }
+    }
+
+    #[test]
+    fn propagation_and_anchor_knobs_parse_and_label() {
+        assert_eq!(
+            "rgp-las:prop=repart".parse::<PolicyKind>(),
+            Ok(PolicyKind::RgpLasTuned(
+                RgpTuning::default().with_prop(Propagation::Repartition)
+            ))
+        );
+        assert_eq!(
+            "rgp-las:w=512,prop=repart,anchor=deps".parse::<PolicyKind>(),
+            Ok(PolicyKind::RgpLasTuned(
+                RgpTuning::default()
+                    .with_window(512)
+                    .with_prop(Propagation::Repartition)
+                    .with_anchor(AnchorMode::Deps)
+            ))
+        );
+        // Canonical parameter order is stable regardless of input order.
+        assert_eq!(
+            "rgp-las:anchor=both,w=64,prop=repartition"
+                .parse::<PolicyKind>()
+                .unwrap()
+                .label(),
+            "RGP+LAS:w=64,prop=repart,anchor=both"
+        );
+        // Long spellings of the tokens are accepted.
+        assert_eq!(
+            "rgp-las:propagation=repartition,anchor=dependences".parse::<PolicyKind>(),
+            Ok(PolicyKind::RgpLasTuned(
+                RgpTuning::default()
+                    .with_prop(Propagation::Repartition)
+                    .with_anchor(AnchorMode::Deps)
+            ))
+        );
     }
 
     #[test]
@@ -519,6 +621,9 @@ mod tests {
             "rgp-las:x=1",
             "rgp-las:scheme=quantum",
             "rgp-las:passes=lots",
+            "rgp-las:prop=quantum",
+            "rgp-las:anchor=elsewhere",
+            "las:prop=repart",
         ] {
             assert!(s.parse::<PolicyKind>().is_err(), "{s:?} should not parse");
         }
@@ -613,6 +718,17 @@ mod tests {
         let p = make_policy(
             PolicyKind::RgpLas
                 .with_scheme(PartitionScheme::BfsGrowing)
+                .unwrap(),
+            &s,
+            42,
+        )
+        .unwrap();
+        assert_eq!(p.name(), "RGP+LAS");
+        // Repartition propagation keeps the paper's display name: it is
+        // still RGP with LAS propagation, only applied window by window.
+        let p = make_policy(
+            "rgp-las:prop=repart,anchor=both"
+                .parse::<PolicyKind>()
                 .unwrap(),
             &s,
             42,

@@ -57,6 +57,52 @@ impl LasPolicy {
     pub fn weighted_assignments(&self) -> usize {
         self.weighted_assignments
     }
+
+    /// [`SchedulingPolicy::assign`] with an optional affinity bias (the
+    /// socket a window partition chose for the task).
+    ///
+    /// The bias replaces the two *information-free* decisions: when the
+    /// task's data is mostly unallocated the bias socket is used instead of
+    /// a uniformly random one, and when several sockets tie for the most
+    /// resident bytes the bias wins the tie if it is among them. A clear
+    /// data signal still overrides the bias — observed placements beat the
+    /// partitioner's plan. With `bias` `None` the behaviour (including the
+    /// RNG stream) is exactly [`SchedulingPolicy::assign`]'s.
+    pub fn assign_biased(
+        &mut self,
+        task: &TaskDescriptor,
+        locator: &dyn DataLocator,
+        bias: Option<SocketId>,
+    ) -> SocketId {
+        let num_sockets = locator.topology().num_sockets();
+        let w = socket_weights(task, locator);
+        let total = w.total_allocated() + w.unallocated;
+        let allocated_fraction = if total == 0 {
+            0.0
+        } else {
+            w.total_allocated() as f64 / total as f64
+        };
+        if w.all_unallocated() || allocated_fraction < ALLOCATED_FRACTION_THRESHOLD {
+            // "If most of the data is unallocated, the final socket is
+            // randomly chosen among all sockets available to the runtime."
+            self.random_assignments += 1;
+            if let Some(b) = bias {
+                return b;
+            }
+            return SocketId(self.rng.gen_range(0..num_sockets));
+        }
+        let heaviest = w.heaviest();
+        self.weighted_assignments += 1;
+        if heaviest.len() == 1 {
+            heaviest[0]
+        } else if let Some(b) = bias.filter(|b| heaviest.contains(b)) {
+            b
+        } else {
+            // "In case of a tie, the socket is chosen randomly among the
+            // tied ones."
+            heaviest[self.rng.gen_range(0..heaviest.len())]
+        }
+    }
 }
 
 impl Default for LasPolicy {
@@ -71,29 +117,7 @@ impl SchedulingPolicy for LasPolicy {
     }
 
     fn assign(&mut self, task: &TaskDescriptor, locator: &dyn DataLocator) -> SocketId {
-        let num_sockets = locator.topology().num_sockets();
-        let w = socket_weights(task, locator);
-        let total = w.total_allocated() + w.unallocated;
-        let allocated_fraction = if total == 0 {
-            0.0
-        } else {
-            w.total_allocated() as f64 / total as f64
-        };
-        if w.all_unallocated() || allocated_fraction < ALLOCATED_FRACTION_THRESHOLD {
-            // "If most of the data is unallocated, the final socket is
-            // randomly chosen among all sockets available to the runtime."
-            self.random_assignments += 1;
-            return SocketId(self.rng.gen_range(0..num_sockets));
-        }
-        let heaviest = w.heaviest();
-        self.weighted_assignments += 1;
-        if heaviest.len() == 1 {
-            heaviest[0]
-        } else {
-            // "In case of a tie, the socket is chosen randomly among the
-            // tied ones."
-            heaviest[self.rng.gen_range(0..heaviest.len())]
-        }
+        self.assign_biased(task, locator, None)
     }
 }
 
@@ -194,6 +218,56 @@ mod tests {
                 s == SocketId(1) || s == SocketId(2),
                 "chose untied socket {s}"
             );
+        }
+    }
+
+    #[test]
+    fn bias_replaces_random_and_breaks_ties_but_not_data() {
+        let topo = Topology::four_socket(2);
+        let mut mem = MemoryMap::new();
+        let out = mem.register(4096);
+        let loc = MemoryLocator::new(&topo, &mem);
+        let mut p = LasPolicy::new(9);
+        // Nothing allocated: the bias decides instead of the random draw.
+        let t = task_with(vec![DataAccess::write(out, 4096)]);
+        for _ in 0..8 {
+            assert_eq!(p.assign_biased(&t, &loc, Some(SocketId(2))), SocketId(2));
+        }
+        assert_eq!(p.random_assignments(), 8);
+        // Tied sockets: the bias wins the tie when it is among them...
+        let a = mem.register(100);
+        let b = mem.register(100);
+        mem.place(a, NodeId(1));
+        mem.place(b, NodeId(3));
+        let loc = MemoryLocator::new(&topo, &mem);
+        let tie = task_with(vec![DataAccess::read(a, 100), DataAccess::read(b, 100)]);
+        for _ in 0..8 {
+            assert_eq!(p.assign_biased(&tie, &loc, Some(SocketId(3))), SocketId(3));
+        }
+        // ...but a bias outside the tie falls back to the random tie-break.
+        for _ in 0..8 {
+            let s = p.assign_biased(&tie, &loc, Some(SocketId(0)));
+            assert!(s == SocketId(1) || s == SocketId(3), "chose {s}");
+        }
+        // A clear data signal overrides the bias entirely.
+        let heavy = task_with(vec![DataAccess::read(a, 100)]);
+        assert_eq!(
+            p.assign_biased(&heavy, &loc, Some(SocketId(0))),
+            SocketId(1)
+        );
+    }
+
+    #[test]
+    fn no_bias_is_bit_identical_to_assign() {
+        let topo = Topology::bullion_s16();
+        let mut mem = MemoryMap::new();
+        let out = mem.register(64);
+        let loc = MemoryLocator::new(&topo, &mem);
+        let t = task_with(vec![DataAccess::write(out, 64)]);
+        let mut plain = LasPolicy::new(5);
+        let mut biased = LasPolicy::new(5);
+        for _ in 0..32 {
+            assert_eq!(plain.assign(&t, &loc), biased.assign_biased(&t, &loc, None));
         }
     }
 

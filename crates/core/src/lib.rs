@@ -41,5 +41,5 @@ pub use factory::{make_policy, make_policy_with_window, ParsePolicyError, Policy
 // direct numadag-graph dependency.
 pub use las::LasPolicy;
 pub use numadag_graph::{PartitionScheme, PartitionTuning};
-pub use policy::{DataLocator, MemoryLocator, SchedulingPolicy};
-pub use rgp::{Propagation, RgpConfig, RgpPolicy};
+pub use policy::{DataLocator, MemoryLocator, PartitionStats, SchedulingPolicy};
+pub use rgp::{AnchorMode, Propagation, RgpConfig, RgpPolicy};

@@ -17,6 +17,16 @@ pub trait DataLocator {
     fn region_size(&self, region: RegionId) -> u64;
 }
 
+/// Cost accounting of a partitioning policy: how many windows it partitioned
+/// and how long the partitioner ran, summed over the whole execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PartitionStats {
+    /// Number of windows handed to the graph partitioner.
+    pub windows: usize,
+    /// Total wall time spent inside the partitioner, in nanoseconds.
+    pub wall_ns: f64,
+}
+
 /// A scheduling policy: decides, for every task that becomes ready, which
 /// socket it should be pushed to.
 ///
@@ -35,6 +45,12 @@ pub trait SchedulingPolicy: Send {
 
     /// Called when `task` becomes ready; returns the socket to run it on.
     fn assign(&mut self, task: &TaskDescriptor, locator: &dyn DataLocator) -> SocketId;
+
+    /// Partitioning cost accounting, if this policy partitions windows.
+    /// `None` (the default) means the policy never runs a partitioner.
+    fn partition_stats(&self) -> Option<PartitionStats> {
+        None
+    }
 }
 
 /// A [`DataLocator`] backed directly by a [`Topology`] and a [`MemoryMap`].

@@ -15,22 +15,109 @@
 //!   tasks is already resident on "their" socket.
 //! * [`Propagation::RoundRobin`] — an ablation that shows the partition alone
 //!   is not enough without locality-aware propagation.
+//! * [`Propagation::Repartition`] — *every* window is partitioned, lazily,
+//!   as execution first crosses its boundary (a [`WindowCursor`] tracks the
+//!   frontier). Each window is *anchored* to the placement already fixed by
+//!   windows `0..k` — per-vertex socket-affinity terms built from
+//!   cross-window dependences and/or the [`DataLocator`]-observed data homes
+//!   (see [`AnchorMode`]) — and the resulting plan is fed to
+//!   [`LasPolicy::assign_biased`] as the tie-break, so observed placements
+//!   can still override it.
 
-use numadag_graph::{partition as gp, PartitionScheme, PartitionTuning};
+use std::time::Instant;
+
+use numadag_graph::{partition as gp, AffinityCosts, PartitionScheme, PartitionTuning};
 use numadag_numa::SocketId;
-use numadag_tdg::{window_to_csr, TaskDescriptor, TaskGraph, TaskId, TaskWindow, WindowConfig};
+use numadag_tdg::{
+    window_to_csr, TaskDescriptor, TaskGraph, TaskId, TaskWindow, WindowConfig, WindowCursor,
+};
 
 use crate::las::LasPolicy;
-use crate::policy::{DataLocator, SchedulingPolicy};
+use crate::policy::{DataLocator, PartitionStats, SchedulingPolicy};
+use crate::weights::socket_weights;
 
 /// How tasks beyond the partitioned window are scheduled.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum Propagation {
     /// Propagate with locality-aware scheduling (the paper's RGP+LAS).
     #[default]
     Las,
     /// Propagate with a locality-blind round robin (ablation).
     RoundRobin,
+    /// Re-partition every window as execution reaches it, anchored to the
+    /// placements fixed by earlier windows.
+    Repartition,
+}
+
+impl Propagation {
+    /// The short, stable token used in policy labels (`prop=las`,
+    /// `prop=rr`, `prop=repart`). Round-trips through
+    /// [`Propagation::from_token`].
+    pub fn token(&self) -> &'static str {
+        match self {
+            Propagation::Las => "las",
+            Propagation::RoundRobin => "rr",
+            Propagation::Repartition => "repart",
+        }
+    }
+
+    /// Parses a propagation token (short or spelled-out, case-insensitive).
+    pub fn from_token(s: &str) -> Option<Propagation> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "las" => Some(Propagation::Las),
+            "rr" | "round-robin" | "roundrobin" => Some(Propagation::RoundRobin),
+            "repart" | "repartition" => Some(Propagation::Repartition),
+            _ => None,
+        }
+    }
+}
+
+/// Which anchors tie a re-partitioned window to the placements already made
+/// (only used by [`Propagation::Repartition`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum AnchorMode {
+    /// No anchors: every window is partitioned independently.
+    None,
+    /// Cross-window dependences into tasks whose socket is already decided.
+    Deps,
+    /// [`DataLocator`]-observed homes of each window task's data regions.
+    Homes,
+    /// Both dependence and observed-home anchors (the default).
+    #[default]
+    Both,
+}
+
+impl AnchorMode {
+    /// The short, stable token used in policy labels (`anchor=none`,
+    /// `anchor=deps`, `anchor=homes`, `anchor=both`). Round-trips through
+    /// [`AnchorMode::from_token`].
+    pub fn token(&self) -> &'static str {
+        match self {
+            AnchorMode::None => "none",
+            AnchorMode::Deps => "deps",
+            AnchorMode::Homes => "homes",
+            AnchorMode::Both => "both",
+        }
+    }
+
+    /// Parses an anchor-mode token (case-insensitive).
+    pub fn from_token(s: &str) -> Option<AnchorMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "none" | "off" => Some(AnchorMode::None),
+            "deps" | "dependences" | "dependencies" => Some(AnchorMode::Deps),
+            "homes" | "data" => Some(AnchorMode::Homes),
+            "both" | "all" => Some(AnchorMode::Both),
+            _ => None,
+        }
+    }
+
+    fn uses_deps(&self) -> bool {
+        matches!(self, AnchorMode::Deps | AnchorMode::Both)
+    }
+
+    fn uses_homes(&self) -> bool {
+        matches!(self, AnchorMode::Homes | AnchorMode::Both)
+    }
 }
 
 /// Configuration of the RGP policy.
@@ -46,6 +133,8 @@ pub struct RgpConfig {
     pub seed: u64,
     /// Propagation used beyond the window.
     pub propagation: Propagation,
+    /// Anchors used by [`Propagation::Repartition`] (ignored otherwise).
+    pub anchor: AnchorMode,
 }
 
 impl Default for RgpConfig {
@@ -55,6 +144,7 @@ impl Default for RgpConfig {
             partitioner: PartitionTuning::default(),
             seed: 0x56F1,
             propagation: Propagation::Las,
+            anchor: AnchorMode::default(),
         }
     }
 }
@@ -101,6 +191,12 @@ impl RgpConfig {
         self.propagation = propagation;
         self
     }
+
+    /// Sets the anchor mode used by [`Propagation::Repartition`].
+    pub fn with_anchor(mut self, anchor: AnchorMode) -> Self {
+        self.anchor = anchor;
+        self
+    }
 }
 
 /// The RGP policy (RGP+LAS by default).
@@ -111,9 +207,19 @@ pub struct RgpPolicy {
     /// Fallback policy for tasks outside the window.
     las: LasPolicy,
     rr_next: usize,
-    /// Statistics: edge cut of the window partition (bytes).
+    /// Statistics: edge cut of the window partition(s) (bytes; summed over
+    /// all partitioned windows in repartition mode).
     window_edge_cut: i64,
     window_size_used: usize,
+    /// Repartition mode: the graph the cursor walks (cloned at `prepare`;
+    /// `assign` receives only single tasks, but closing a later window needs
+    /// the whole TDG back).
+    graph: Option<TaskGraph>,
+    /// Repartition mode: the streaming window frontier.
+    cursor: Option<WindowCursor>,
+    /// Cost accounting: windows partitioned and partitioner wall time.
+    partition_windows: usize,
+    partition_wall_ns: f64,
 }
 
 impl RgpPolicy {
@@ -127,6 +233,10 @@ impl RgpPolicy {
             rr_next: 0,
             window_edge_cut: 0,
             window_size_used: 0,
+            graph: None,
+            cursor: None,
+            partition_windows: 0,
+            partition_wall_ns: 0.0,
         }
     }
 
@@ -135,46 +245,78 @@ impl RgpPolicy {
         RgpPolicy::new(RgpConfig::default())
     }
 
-    /// Edge cut (in bytes) of the partition of the initial window, available
-    /// after [`SchedulingPolicy::prepare`].
+    /// Edge cut (in bytes) of the partition of the initial window — summed
+    /// over every partitioned window in repartition mode — available after
+    /// [`SchedulingPolicy::prepare`].
     pub fn window_edge_cut(&self) -> i64 {
         self.window_edge_cut
     }
 
-    /// Number of tasks captured in the partitioned window.
+    /// Number of tasks captured in the (first) partitioned window.
     pub fn window_size_used(&self) -> usize {
         self.window_size_used
     }
 
-    /// The socket the partitioner chose for `task`, if it was in the window.
+    /// The socket the partitioner chose for `task`, if its window has been
+    /// partitioned.
     pub fn window_socket_of(&self, task: TaskId) -> Option<SocketId> {
         self.window_assignment.get(task.index()).copied().flatten()
     }
-}
 
-impl SchedulingPolicy for RgpPolicy {
-    fn name(&self) -> &str {
-        match self.config.propagation {
-            Propagation::Las => "RGP+LAS",
-            Propagation::RoundRobin => "RGP+RR",
-        }
+    /// Number of windows handed to the partitioner so far.
+    pub fn windows_partitioned(&self) -> usize {
+        self.partition_windows
     }
 
-    fn prepare(&mut self, graph: &TaskGraph, locator: &dyn DataLocator) {
+    /// Partitions one window and records its plan into `window_assignment`.
+    /// In repartition mode the window is anchored per [`RgpConfig::anchor`]:
+    /// dependence anchors point at the recorded plan of earlier windows,
+    /// home anchors at the observed placement of each task's data.
+    fn partition_window_on(
+        &mut self,
+        graph: &TaskGraph,
+        window: &TaskWindow,
+        locator: &dyn DataLocator,
+    ) {
         let num_sockets = locator.topology().num_sockets();
-        let window = TaskWindow::initial(graph, self.config.window);
-        self.window_size_used = window.len();
-        self.window_assignment = vec![None; graph.num_tasks()];
         if window.is_empty() || num_sockets <= 1 {
             return;
         }
-        let wg = window_to_csr(graph, &window);
-        let cfg = self
-            .config
-            .partitioner
-            .config_for(num_sockets, self.config.seed);
-        let partition = gp::partition(&wg.graph, &cfg);
-        self.window_edge_cut = partition.edge_cut(&wg.graph);
+        let started = Instant::now();
+        let wg = window_to_csr(graph, window);
+        // One seed per window keeps later windows decorrelated from the
+        // first without losing determinism.
+        let seed = self.config.seed.wrapping_add(self.partition_windows as u64);
+        let cfg = self.config.partitioner.config_for(num_sockets, seed);
+        let anchor = if self.config.propagation == Propagation::Repartition {
+            self.config.anchor
+        } else {
+            AnchorMode::None
+        };
+        let partition = if anchor == AnchorMode::None {
+            gp::partition(&wg.graph, &cfg)
+        } else {
+            let mut affinity = AffinityCosts::zeros(wg.graph.num_vertices(), num_sockets);
+            if anchor.uses_deps() {
+                for ce in &wg.cross_edges {
+                    if let Some(socket) = self.window_assignment[ce.predecessor.index()] {
+                        affinity.add(ce.vertex, socket.index() as u32, ce.bytes);
+                    }
+                }
+            }
+            if anchor.uses_homes() {
+                for (v, &t) in wg.tasks.iter().enumerate() {
+                    let w = socket_weights(graph.task(t), locator);
+                    for (s, &bytes) in w.weights.iter().enumerate() {
+                        if bytes > 0 && s < num_sockets {
+                            affinity.add(v as u32, s as u32, bytes as i64);
+                        }
+                    }
+                }
+            }
+            gp::partition_anchored(&wg.graph, &cfg, &affinity)
+        };
+        self.window_edge_cut += partition.edge_cut(&wg.graph);
         // Placement walks the precomputed part→members index (one O(window)
         // counting pass): the socket is resolved once per part rather than
         // once per task, and per-part member lists are the shape a per-part
@@ -186,14 +328,77 @@ impl SchedulingPolicy for RgpPolicy {
                 self.window_assignment[wg.tasks[v as usize].index()] = Some(socket);
             }
         }
+        self.partition_windows += 1;
+        self.partition_wall_ns += started.elapsed().as_nanos() as f64;
+    }
+
+    /// Repartition mode: advances the cursor (partitioning each window it
+    /// closes) until `task` is covered.
+    fn ensure_covered(&mut self, task: TaskId, locator: &dyn DataLocator) {
+        let Some(graph) = self.graph.take() else {
+            return;
+        };
+        let Some(mut cursor) = self.cursor.take() else {
+            self.graph = Some(graph);
+            return;
+        };
+        while !cursor.covers(task) {
+            match cursor.advance() {
+                Some(window) => self.partition_window_on(&graph, &window, locator),
+                None => break,
+            }
+        }
+        self.cursor = Some(cursor);
+        self.graph = Some(graph);
+    }
+}
+
+impl SchedulingPolicy for RgpPolicy {
+    fn name(&self) -> &str {
+        match self.config.propagation {
+            Propagation::Las | Propagation::Repartition => "RGP+LAS",
+            Propagation::RoundRobin => "RGP+RR",
+        }
+    }
+
+    fn prepare(&mut self, graph: &TaskGraph, locator: &dyn DataLocator) {
+        self.window_assignment = vec![None; graph.num_tasks()];
+        match self.config.propagation {
+            Propagation::Repartition => {
+                let mut cursor = WindowCursor::new(graph, self.config.window);
+                if let Some(window) = cursor.advance() {
+                    self.window_size_used = window.len();
+                    self.partition_window_on(graph, &window, locator);
+                }
+                self.cursor = Some(cursor);
+                self.graph = Some(graph.clone());
+            }
+            Propagation::Las | Propagation::RoundRobin => {
+                let window = TaskWindow::initial(graph, self.config.window);
+                self.window_size_used = window.len();
+                self.partition_window_on(graph, &window, locator);
+            }
+        }
     }
 
     fn assign(&mut self, task: &TaskDescriptor, locator: &dyn DataLocator) -> SocketId {
+        if self.config.propagation == Propagation::Repartition {
+            // Close (and partition) every window up to the one holding this
+            // task, then let biased LAS arbitrate between the window plan
+            // and the data homes actually observed at this point.
+            self.ensure_covered(task.id, locator);
+            let bias = self
+                .window_assignment
+                .get(task.id.index())
+                .copied()
+                .flatten();
+            return self.las.assign_biased(task, locator, bias);
+        }
         if let Some(Some(socket)) = self.window_assignment.get(task.id.index()) {
             return *socket;
         }
         match self.config.propagation {
-            Propagation::Las => self.las.assign(task, locator),
+            Propagation::Las | Propagation::Repartition => self.las.assign(task, locator),
             Propagation::RoundRobin => {
                 let num_sockets = locator.topology().num_sockets();
                 let s = SocketId(self.rr_next % num_sockets);
@@ -201,6 +406,13 @@ impl SchedulingPolicy for RgpPolicy {
                 s
             }
         }
+    }
+
+    fn partition_stats(&self) -> Option<PartitionStats> {
+        Some(PartitionStats {
+            windows: self.partition_windows,
+            wall_ns: self.partition_wall_ns,
+        })
     }
 }
 
@@ -359,5 +571,128 @@ mod tests {
         let mut p = RgpPolicy::rgp_las();
         p.prepare(&graph, &loc);
         assert_eq!(p.window_size_used(), 0);
+        assert_eq!(p.partition_stats().unwrap().windows, 0);
+    }
+
+    #[test]
+    fn propagation_and_anchor_tokens_round_trip() {
+        for prop in [
+            Propagation::Las,
+            Propagation::RoundRobin,
+            Propagation::Repartition,
+        ] {
+            assert_eq!(Propagation::from_token(prop.token()), Some(prop));
+        }
+        assert_eq!(
+            Propagation::from_token("Repartition"),
+            Some(Propagation::Repartition)
+        );
+        assert_eq!(Propagation::from_token("nope"), None);
+        for anchor in [
+            AnchorMode::None,
+            AnchorMode::Deps,
+            AnchorMode::Homes,
+            AnchorMode::Both,
+        ] {
+            assert_eq!(AnchorMode::from_token(anchor.token()), Some(anchor));
+        }
+        assert_eq!(AnchorMode::from_token("data"), Some(AnchorMode::Homes));
+        assert_eq!(AnchorMode::from_token("nope"), None);
+    }
+
+    #[test]
+    fn repartition_covers_every_window_lazily() {
+        let (graph, sizes) = two_chains(30); // 60 tasks, window 20 → 3 windows
+        let topo = Topology::two_socket(4);
+        let mut mem = MemoryMap::new();
+        for s in &sizes {
+            mem.register(*s);
+        }
+        let loc = MemoryLocator::new(&topo, &mem);
+        let mut p = RgpPolicy::new(
+            RgpConfig::default()
+                .with_window_size(20)
+                .with_propagation(Propagation::Repartition),
+        );
+        assert_eq!(p.name(), "RGP+LAS");
+        p.prepare(&graph, &loc);
+        // Only the first window is partitioned up front.
+        assert_eq!(p.windows_partitioned(), 1);
+        assert!(p.window_socket_of(numadag_tdg::TaskId(0)).is_some());
+        assert!(p.window_socket_of(numadag_tdg::TaskId(25)).is_none());
+        // Assigning a task in the last window closes the middle one too.
+        p.assign(graph.task(numadag_tdg::TaskId(45)), &loc);
+        assert_eq!(p.windows_partitioned(), 3);
+        for t in graph.task_ids() {
+            assert!(p.window_socket_of(t).is_some(), "task {t} uncovered");
+        }
+        let stats = p.partition_stats().unwrap();
+        assert_eq!(stats.windows, 3);
+        assert!(stats.wall_ns > 0.0);
+    }
+
+    #[test]
+    fn repartition_anchors_later_windows_to_fixed_homes() {
+        // Two independent chains: whatever sockets the first window picks,
+        // dependence anchors must keep each chain on its socket in every
+        // later window (zero affinity to the other socket, heavy affinity to
+        // its own), even with nothing allocated yet.
+        let (graph, sizes) = two_chains(40); // 80 tasks
+        let topo = Topology::two_socket(4);
+        let mut mem = MemoryMap::new();
+        for s in &sizes {
+            mem.register(*s);
+        }
+        let loc = MemoryLocator::new(&topo, &mem);
+        let mut p = RgpPolicy::new(
+            RgpConfig::default()
+                .with_window_size(16)
+                .with_propagation(Propagation::Repartition)
+                .with_anchor(AnchorMode::Deps),
+        );
+        p.prepare(&graph, &loc);
+        p.assign(graph.task(numadag_tdg::TaskId(79)), &loc);
+        assert_eq!(p.windows_partitioned(), 5);
+        let sa = p.window_socket_of(numadag_tdg::TaskId(0)).unwrap();
+        let sb = p.window_socket_of(numadag_tdg::TaskId(1)).unwrap();
+        assert_ne!(sa, sb);
+        for t in graph.task_ids() {
+            let expected = if t.index() % 2 == 0 { sa } else { sb };
+            assert_eq!(
+                p.window_socket_of(t),
+                Some(expected),
+                "task {t} strayed from its chain's socket"
+            );
+        }
+    }
+
+    #[test]
+    fn repartition_home_anchors_follow_observed_placement() {
+        // Place both regions on one socket before the second window closes:
+        // home anchors must pull the second window there.
+        let (graph, sizes) = two_chains(20); // 40 tasks
+        let topo = Topology::two_socket(4);
+        let mut mem = MemoryMap::new();
+        let regions: Vec<_> = sizes.iter().map(|s| mem.register(*s)).collect();
+        let mut p = RgpPolicy::new(
+            RgpConfig::default()
+                .with_window_size(20)
+                .with_propagation(Propagation::Repartition)
+                .with_anchor(AnchorMode::Homes),
+        );
+        {
+            let loc = MemoryLocator::new(&topo, &mem);
+            p.prepare(&graph, &loc);
+        }
+        let target = SocketId(1);
+        mem.place(regions[0], target.node());
+        mem.place(regions[1], target.node());
+        let loc = MemoryLocator::new(&topo, &mem);
+        let s = p.assign(graph.task(numadag_tdg::TaskId(39)), &loc);
+        assert_eq!(p.windows_partitioned(), 2);
+        // The balance constraint caps how much of the window the anchors can
+        // pull to one socket, but the final assignment must follow the
+        // observed homes: biased LAS sees every byte resident on `target`.
+        assert_eq!(s, target, "assignment must follow the observed homes");
     }
 }

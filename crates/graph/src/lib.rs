@@ -32,6 +32,6 @@ pub mod partition;
 pub use csr::{CsrGraph, GraphBuilder};
 pub use partition::pipeline::MultilevelPipeline;
 pub use partition::{
-    partition, partition_with, PartMembers, Partition, PartitionConfig, PartitionScheme,
-    PartitionTuning,
+    partition, partition_anchored, partition_with, partition_with_anchored, AffinityCosts,
+    PartMembers, Partition, PartitionConfig, PartitionScheme, PartitionTuning,
 };

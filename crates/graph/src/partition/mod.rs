@@ -38,7 +38,16 @@
 //! Higher layers configure the partitioner through [`PartitionTuning`], the
 //! `num_parts`-agnostic subset of [`PartitionConfig`] that policies (RGP)
 //! carry until the socket count is known.
+//!
+//! *Anchored* partitioning ([`partition_anchored`]) extends every scheme
+//! with per-vertex socket-affinity terms ([`AffinityCosts`]): bytes a vertex
+//! pulls from data whose home is already fixed by earlier windows. The
+//! affinity rows are summed through the coarsening hierarchy and added to
+//! the FM refiner's move gains, so refinement trades edge cut against
+//! affinity to fixed data. Without anchors every entry point — including the
+//! RNG streams — behaves exactly as before.
 
+pub mod affinity;
 pub mod coarsen;
 pub mod initial;
 pub mod pipeline;
@@ -49,6 +58,8 @@ use rand::SeedableRng;
 
 use crate::csr::CsrGraph;
 use crate::metrics;
+
+pub use affinity::AffinityCosts;
 
 /// Which partitioning algorithm to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -408,6 +419,70 @@ pub fn partition_with(
     Partition::from_assignment(assignment, k)
 }
 
+/// [`partition`] with per-vertex socket-affinity anchors: refinement trades
+/// edge cut against the bytes each vertex pulls from data already fixed on a
+/// part (see [`AffinityCosts`]). `affinity` must cover every vertex of
+/// `graph` with `config.num_parts` parts per row.
+pub fn partition_anchored(
+    graph: &CsrGraph,
+    config: &PartitionConfig,
+    affinity: &AffinityCosts,
+) -> Partition {
+    partition_with_anchored(
+        graph,
+        config,
+        &pipeline::MultilevelPipeline::for_scheme(config.scheme),
+        affinity,
+    )
+}
+
+/// [`partition_anchored`] with an explicit stage composition.
+///
+/// Degenerate inputs short-circuit like [`partition_with`], except that a
+/// graph with no more vertices than parts follows the anchors instead of the
+/// identity spread: each vertex goes to its strongest-affinity part (its own
+/// index — the unanchored choice — when the row is uniform). Small tail
+/// windows are exactly where anchoring matters most, so they must not fall
+/// back to anchor-oblivious placement.
+pub fn partition_with_anchored(
+    graph: &CsrGraph,
+    config: &PartitionConfig,
+    pipeline: &pipeline::MultilevelPipeline,
+    affinity: &AffinityCosts,
+) -> Partition {
+    let n = graph.num_vertices();
+    let k = config.num_parts.max(1);
+    assert_eq!(
+        affinity.num_vertices(),
+        n,
+        "affinity must cover every vertex"
+    );
+    assert_eq!(affinity.num_parts(), k, "affinity must cover every part");
+    if k == 1 || n == 0 {
+        return Partition::from_assignment(vec![0; n], k);
+    }
+    if n <= k {
+        let assignment = (0..n as u32)
+            .map(|v| {
+                let row = affinity.row(v);
+                let mut best = v;
+                let mut best_aff = row[v as usize];
+                for (p, &c) in row.iter().enumerate() {
+                    if c > best_aff {
+                        best = p as u32;
+                        best_aff = c;
+                    }
+                }
+                best
+            })
+            .collect();
+        return Partition::from_assignment(assignment, k);
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let assignment = pipeline.run_anchored(graph, config, &mut rng, Some(affinity));
+    Partition::from_assignment(assignment, k)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -562,5 +637,60 @@ mod tests {
     #[should_panic(expected = "part id out of range")]
     fn from_assignment_validates_range() {
         Partition::from_assignment(vec![0, 5], 2);
+    }
+
+    #[test]
+    fn zero_affinity_partition_matches_unanchored_for_every_scheme() {
+        let g = generators::random_graph(300, 8, 16, 9);
+        for scheme in PartitionScheme::all() {
+            let cfg = PartitionConfig::new(4).with_seed(123).with_scheme(scheme);
+            let plain = partition(&g, &cfg);
+            let aff = AffinityCosts::zeros(g.num_vertices(), 4);
+            let anchored = partition_anchored(&g, &cfg, &aff);
+            assert_eq!(plain, anchored, "{scheme:?} diverged under zero affinity");
+        }
+    }
+
+    #[test]
+    fn strong_anchor_attracts_a_cluster_vertex() {
+        // Two 6-vertex clusters joined by one bridge edge. Unanchored, each
+        // cluster is one part; anchor a vertex of cluster A to cluster B's
+        // part with far more bytes than its internal edges and it must move.
+        let g = generators::two_clusters(6, 30);
+        let cfg = PartitionConfig::new(2).with_imbalance(0.25);
+        let base = partition(&g, &cfg);
+        let (a_part, b_part) = (base.part_of(0), base.part_of(6));
+        assert_ne!(a_part, b_part);
+        let mut aff = AffinityCosts::zeros(g.num_vertices(), 2);
+        aff.add(0, b_part, 1_000_000);
+        let anchored = partition_anchored(&g, &cfg, &aff);
+        assert_eq!(
+            anchored.part_of(0),
+            b_part,
+            "vertex 0 must follow its anchor to part {b_part}"
+        );
+    }
+
+    #[test]
+    fn anchored_degenerate_small_window_follows_anchors() {
+        // Fewer vertices than parts: the unanchored path spreads by identity;
+        // the anchored path must honour the anchors instead.
+        let g = generators::path(3);
+        let cfg = PartitionConfig::new(8);
+        let mut aff = AffinityCosts::zeros(3, 8);
+        aff.add(0, 5, 1000);
+        aff.add(2, 3, 64);
+        let p = partition_anchored(&g, &cfg, &aff);
+        assert_eq!(p.part_of(0), 5);
+        assert_eq!(p.part_of(1), 1, "uniform row keeps the identity spread");
+        assert_eq!(p.part_of(2), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "affinity must cover every vertex")]
+    fn anchored_rejects_mismatched_affinity() {
+        let g = generators::path(3);
+        let aff = AffinityCosts::zeros(2, 4);
+        partition_anchored(&g, &PartitionConfig::new(4), &aff);
     }
 }

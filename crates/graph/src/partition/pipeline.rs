@@ -17,6 +17,7 @@
 use rand::rngs::StdRng;
 
 use crate::csr::CsrGraph;
+use crate::partition::affinity::AffinityCosts;
 use crate::partition::{coarsen, initial, refine, PartitionConfig, PartitionScheme};
 
 use coarsen::CoarseLevel;
@@ -114,6 +115,21 @@ pub trait Refiner {
     /// return 0 — the pipeline driver ignores the value, and callers that
     /// need the final cut compute it once on the finished [`Partition`].
     fn refine(&self, graph: &CsrGraph, assignment: &mut [u32], config: &PartitionConfig) -> i64;
+
+    /// [`Refiner::refine`] with per-vertex socket-affinity anchors for this
+    /// level. The default ignores the anchors, so affinity-oblivious
+    /// refiners participate in anchored runs unchanged; the FM refiner
+    /// overrides it to fold the anchors into its move gains.
+    fn refine_anchored(
+        &self,
+        graph: &CsrGraph,
+        assignment: &mut [u32],
+        config: &PartitionConfig,
+        affinity: &AffinityCosts,
+    ) -> i64 {
+        let _ = affinity;
+        self.refine(graph, assignment, config)
+    }
 }
 
 /// K-way Fiduccia–Mattheyses boundary refinement backed by an incremental
@@ -124,6 +140,22 @@ pub struct FmRefiner;
 impl Refiner for FmRefiner {
     fn refine(&self, graph: &CsrGraph, assignment: &mut [u32], config: &PartitionConfig) -> i64 {
         refine::refine_kway(graph, assignment, config, config.refine_passes)
+    }
+
+    fn refine_anchored(
+        &self,
+        graph: &CsrGraph,
+        assignment: &mut [u32],
+        config: &PartitionConfig,
+        affinity: &AffinityCosts,
+    ) -> i64 {
+        refine::refine_kway_anchored(
+            graph,
+            assignment,
+            config,
+            config.refine_passes,
+            Some(affinity),
+        )
     }
 }
 
@@ -185,25 +217,130 @@ impl MultilevelPipeline {
 
     /// Runs the full pipeline and returns one part id per vertex of `graph`.
     pub fn run(&self, graph: &CsrGraph, config: &PartitionConfig, rng: &mut StdRng) -> Vec<u32> {
+        self.run_anchored(graph, config, rng, None)
+    }
+
+    /// [`MultilevelPipeline::run`] with optional per-vertex socket-affinity
+    /// anchors: the affinity rows are summed through every coarsening level
+    /// (so the coarsest graph still feels the anchors of the vertices it
+    /// absorbed) and handed to the refiner at each uncoarsening step. With
+    /// `affinity` `None` the run — including its RNG stream — is exactly
+    /// [`MultilevelPipeline::run`].
+    pub fn run_anchored(
+        &self,
+        graph: &CsrGraph,
+        config: &PartitionConfig,
+        rng: &mut StdRng,
+        affinity: Option<&AffinityCosts>,
+    ) -> Vec<u32> {
         let k = config.num_parts.max(1);
         let target = config.coarsen_until.max(4 * k);
 
-        // Phase 1: coarsen.
+        // Phase 1: coarsen. Affinity rows follow the hierarchy: entry `i`
+        // is the table for `levels[i].graph`.
         let levels = self.coarsener.coarsen(graph, target, rng);
+        let mut level_affinity: Vec<AffinityCosts> = Vec::new();
+        if let Some(aff) = affinity {
+            for (i, level) in levels.iter().enumerate() {
+                let projected = {
+                    let finer = if i == 0 { aff } else { &level_affinity[i - 1] };
+                    finer.project_to_coarse(&level.fine_to_coarse, level.graph.num_vertices())
+                };
+                level_affinity.push(projected);
+            }
+        }
+        let affinity_at = |i: usize| -> Option<&AffinityCosts> {
+            affinity?;
+            if i == 0 {
+                affinity
+            } else {
+                Some(&level_affinity[i - 1])
+            }
+        };
 
-        // Phase 2: initial partition of the coarsest graph.
+        // Phase 2: initial partition of the coarsest graph. The initial
+        // partitioner's part labels are arbitrary, but anchors name
+        // *specific* parts — so first relabel the parts to maximise anchor
+        // agreement (a pure permutation: the cut is label-invariant, the
+        // affinity term is not), then refine.
         let coarsest: &CsrGraph = levels.last().map(|l| &l.graph).unwrap_or(graph);
         let mut assignment = self.initial.initial_partition(coarsest, config, rng);
-        self.refiner.refine(coarsest, &mut assignment, config);
+        match affinity_at(levels.len()) {
+            Some(aff) => {
+                align_parts_to_anchors(&mut assignment, aff, k);
+                self.refiner
+                    .refine_anchored(coarsest, &mut assignment, config, aff)
+            }
+            None => self.refiner.refine(coarsest, &mut assignment, config),
+        };
 
         // Phase 3: uncoarsen and refine level by level.
         for i in (0..levels.len()).rev() {
             let finer: &CsrGraph = if i == 0 { graph } else { &levels[i - 1].graph };
             assignment = project(&levels[i].fine_to_coarse, &assignment);
-            self.refiner.refine(finer, &mut assignment, config);
+            match affinity_at(i) {
+                Some(aff) => self
+                    .refiner
+                    .refine_anchored(finer, &mut assignment, config, aff),
+                None => self.refiner.refine(finer, &mut assignment, config),
+            };
         }
 
         assignment
+    }
+}
+
+/// Relabels the parts of `assignment` to maximise agreement with the
+/// affinity anchors. Part labels coming out of an initial partitioner are
+/// arbitrary, but anchors name specific parts; since the edge cut is
+/// invariant under a permutation of the labels, matching each part to the
+/// anchor label its vertices pull towards is free cut-wise and lets the
+/// refiner start from an anchor-consistent labelling instead of fighting a
+/// wholesale flip one vertex at a time. Greedy maximum-weight matching,
+/// deterministic; a zero affinity table yields the identity permutation.
+fn align_parts_to_anchors(assignment: &mut [u32], affinity: &AffinityCosts, k: usize) {
+    // agreement[p * k + q] = total affinity towards label q of the vertices
+    // currently in part p.
+    let mut agreement = vec![0i64; k * k];
+    for (v, &p) in assignment.iter().enumerate() {
+        for (q, &c) in affinity.row(v as u32).iter().enumerate() {
+            agreement[p as usize * k + q] += c;
+        }
+    }
+    let mut entries: Vec<(i64, usize, usize)> = Vec::with_capacity(k * k);
+    for p in 0..k {
+        for q in 0..k {
+            entries.push((agreement[p * k + q], p, q));
+        }
+    }
+    // Highest agreement first; ties resolve towards the identity mapping
+    // (diagonal entries first, then lowest indices) so an anchor-free part
+    // keeps its label.
+    entries.sort_by(|a, b| {
+        b.0.cmp(&a.0)
+            .then_with(|| (a.1 != a.2).cmp(&(b.1 != b.2)))
+            .then_with(|| a.1.cmp(&b.1))
+            .then_with(|| a.2.cmp(&b.2))
+    });
+    let mut label_of = vec![usize::MAX; k];
+    let mut label_taken = vec![false; k];
+    let mut matched = 0;
+    for &(_, p, q) in &entries {
+        if label_of[p] != usize::MAX || label_taken[q] {
+            continue;
+        }
+        label_of[p] = q;
+        label_taken[q] = true;
+        matched += 1;
+        if matched == k {
+            break;
+        }
+    }
+    if label_of.iter().enumerate().all(|(p, &q)| p == q) {
+        return;
+    }
+    for a in assignment.iter_mut() {
+        *a = label_of[*a as usize] as u32;
     }
 }
 

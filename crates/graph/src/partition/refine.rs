@@ -22,6 +22,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::csr::CsrGraph;
+use crate::partition::affinity::AffinityCosts;
 use crate::partition::PartitionConfig;
 
 /// Incrementally-maintained vertex→part connectivity of a whole graph.
@@ -29,12 +30,22 @@ use crate::partition::PartitionConfig;
 /// `conn(v, p)` is the total weight of edges from `v` into part `p`. The
 /// table is `O(n·k)` memory, built in `O(E)`, and a vertex move costs
 /// `O(deg(v))` to keep it exact.
+///
+/// When built via [`GainTable::build_anchored`] the table additionally holds
+/// the per-vertex socket-affinity rows of an [`AffinityCosts`] input:
+/// [`GainTable::gain`] then values a move by connectivity *plus* affinity
+/// delta, and [`GainTable::is_movable`] extends the boundary with vertices
+/// whose anchors pull them elsewhere. Without anchors both reduce exactly to
+/// the connectivity-only quantities, so the unanchored path is unchanged.
 pub struct GainTable {
     k: usize,
     /// Flat row-major `n × k` connectivity.
     conn: Vec<i64>,
     /// Total incident edge weight per vertex (row sum, cached).
     incident: Vec<i64>,
+    /// Flat row-major `n × k` affinity anchors added to move gains. Unlike
+    /// `conn` this is constant under moves (anchors point at *fixed* data).
+    anchor: Option<Vec<i64>>,
 }
 
 impl GainTable {
@@ -52,7 +63,27 @@ impl GainTable {
             }
             incident[v as usize] = total;
         }
-        GainTable { k, conn, incident }
+        GainTable {
+            k,
+            conn,
+            incident,
+            anchor: None,
+        }
+    }
+
+    /// [`GainTable::build`] plus the affinity anchors of `affinity` (one row
+    /// per vertex, `affinity.num_parts()` must equal `k`).
+    pub fn build_anchored(
+        graph: &CsrGraph,
+        assignment: &[u32],
+        k: usize,
+        affinity: &AffinityCosts,
+    ) -> Self {
+        assert_eq!(affinity.num_vertices(), graph.num_vertices());
+        assert_eq!(affinity.num_parts(), k);
+        let mut table = GainTable::build(graph, assignment, k);
+        table.anchor = Some(affinity.flat().to_vec());
+        table
     }
 
     /// Connectivity of `v` to part `p`.
@@ -73,6 +104,35 @@ impl GainTable {
     #[inline]
     pub fn is_boundary(&self, assignment: &[u32], v: u32) -> bool {
         self.conn(v, assignment[v as usize] as usize) != self.incident[v as usize]
+    }
+
+    /// Gain of moving `v` from part `from` to part `to`: connectivity delta
+    /// plus, when the table is anchored, the affinity delta.
+    #[inline]
+    pub fn gain(&self, v: u32, from: usize, to: usize) -> i64 {
+        let row = v as usize * self.k;
+        let mut gain = self.conn[row + to] - self.conn[row + from];
+        if let Some(anchor) = &self.anchor {
+            gain += anchor[row + to] - anchor[row + from];
+        }
+        gain
+    }
+
+    /// True if `v` is a candidate for refinement: on the edge boundary, or
+    /// anchored more strongly to some other part than to its own.
+    #[inline]
+    pub fn is_movable(&self, assignment: &[u32], v: u32) -> bool {
+        if self.is_boundary(assignment, v) {
+            return true;
+        }
+        match &self.anchor {
+            Some(anchor) => {
+                let row = v as usize * self.k;
+                let own = anchor[row + assignment[v as usize] as usize];
+                anchor[row..row + self.k].iter().any(|&c| c > own)
+            }
+            None => false,
+        }
     }
 
     /// Records the move of `v` from part `from` to part `to`, updating the
@@ -151,12 +211,11 @@ fn rebalance_with(
                 continue;
             }
             let vw = graph.vertex_weight(v);
-            let conn = table.row(v);
-            for target in 0..k {
-                if target == heavy || part_weight[target] + vw > max_part_weight {
+            for (target, &tw) in part_weight.iter().enumerate() {
+                if target == heavy || tw + vw > max_part_weight {
                     continue;
                 }
-                let gain = conn[target] - conn[heavy];
+                let gain = table.gain(v, heavy, target);
                 let candidate = (gain, v, target as u32);
                 best = match best {
                     None => Some(candidate),
@@ -201,6 +260,22 @@ pub fn refine_kway(
     config: &PartitionConfig,
     passes: usize,
 ) -> i64 {
+    refine_kway_anchored(graph, assignment, config, passes, None)
+}
+
+/// [`refine_kway`] with optional per-vertex socket-affinity anchors: move
+/// gains become connectivity delta *plus* affinity delta, and interior
+/// vertices whose anchors pull them elsewhere join the candidate set. With
+/// `affinity` `None` the behaviour (including the RNG stream) is exactly
+/// [`refine_kway`]'s. The returned value is always the pure edge cut — the
+/// affinity term is an objective, not a metric.
+pub fn refine_kway_anchored(
+    graph: &CsrGraph,
+    assignment: &mut [u32],
+    config: &PartitionConfig,
+    passes: usize,
+    affinity: Option<&AffinityCosts>,
+) -> i64 {
     let n = graph.num_vertices();
     let k = config.num_parts.max(1);
     if n == 0 || k <= 1 {
@@ -209,7 +284,10 @@ pub fn refine_kway(
     let total = graph.total_vertex_weight();
     let max_w = config.max_part_weight(total);
 
-    let mut table = GainTable::build(graph, assignment, k);
+    let mut table = match affinity {
+        Some(aff) => GainTable::build_anchored(graph, assignment, k, aff),
+        None => GainTable::build(graph, assignment, k),
+    };
     let mut part_weight = weights_of(graph, assignment, k);
 
     // First repair any gross imbalance left over from projection.
@@ -220,20 +298,19 @@ pub fn refine_kway(
 
     for _ in 0..passes {
         boundary.clear();
-        boundary.extend((0..n as u32).filter(|&v| table.is_boundary(assignment, v)));
+        boundary.extend((0..n as u32).filter(|&v| table.is_movable(assignment, v)));
         boundary.shuffle(&mut rng);
         let mut moved = 0usize;
         for &v in &boundary {
             let from = assignment[v as usize] as usize;
             let vw = graph.vertex_weight(v);
-            let conn = table.row(v);
             // Best admissible target.
             let mut best: Option<(i64, usize)> = None;
             for target in 0..k {
                 if target == from || part_weight[target] + vw > max_w {
                     continue;
                 }
-                let gain = conn[target] - conn[from];
+                let gain = table.gain(v, from, target);
                 let improves_balance = part_weight[target] + vw < part_weight[from];
                 if gain > 0 || (gain == 0 && improves_balance) {
                     match best {
@@ -372,5 +449,62 @@ mod tests {
         let mut a: Vec<u32> = Vec::new();
         let cfg = PartitionConfig::new(4);
         assert_eq!(refine_kway(&g, &mut a, &cfg, 4), 0);
+    }
+
+    #[test]
+    fn zero_affinity_refinement_is_bit_identical() {
+        let g = generators::random_graph(150, 5, 10, 3);
+        let k = 4usize;
+        let start: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % k as u32).collect();
+        let cfg = PartitionConfig::new(k);
+        let mut plain = start.clone();
+        let plain_cut = refine_kway(&g, &mut plain, &cfg, 8);
+        let mut anchored = start;
+        let aff = AffinityCosts::zeros(g.num_vertices(), k);
+        let anchored_cut = refine_kway_anchored(&g, &mut anchored, &cfg, 8, Some(&aff));
+        assert_eq!(plain, anchored);
+        assert_eq!(plain_cut, anchored_cut);
+    }
+
+    #[test]
+    fn strong_anchor_pulls_an_interior_vertex() {
+        // 2x(3x3) grid components: vertices 0..9 and 9..18, no edges between
+        // them, so every vertex is interior after a component-per-part split.
+        let g = generators::grid_2d(3, 3, 1);
+        let mut b = crate::csr::GraphBuilder::new(18);
+        for v in 0..9u32 {
+            b.set_vertex_weight(v, 1).set_vertex_weight(v + 9, 1);
+            for (u, w) in g.edges_of(v) {
+                if u > v {
+                    b.add_edge(v, u, w).add_edge(v + 9, u + 9, w);
+                }
+            }
+        }
+        let g2 = b.build();
+        let mut a: Vec<u32> = (0..18).map(|v| if v < 9 { 0 } else { 1 }).collect();
+        let cfg = PartitionConfig::new(2).with_imbalance(0.25);
+        // Vertex 4 (centre of component 0) is not on any part boundary, but
+        // its data lives on part 1: the anchor must still move it.
+        let mut aff = AffinityCosts::zeros(18, 2);
+        aff.add(4, 1, 10_000);
+        refine_kway_anchored(&g2, &mut a, &cfg, 8, Some(&aff));
+        assert_eq!(a[4], 1, "anchored vertex must follow its fixed data");
+    }
+
+    #[test]
+    fn anchored_gain_table_reports_combined_gains() {
+        let g = generators::path(3);
+        let a = vec![0u32, 0, 1];
+        let mut aff = AffinityCosts::zeros(3, 2);
+        aff.add(0, 1, 5);
+        let table = GainTable::build_anchored(&g, &a, 2, &aff);
+        // Moving vertex 0 from part 0 to 1: loses the 0-1 edge (conn delta
+        // -w) but gains 5 bytes of affinity.
+        let edge_w = g.edges_of(0).next().unwrap().1;
+        assert_eq!(table.gain(0, 0, 1), -edge_w + 5);
+        // Vertex 0 is interior edge-wise only if its sole neighbour shares
+        // its part — it does — yet the anchor makes it movable.
+        assert!(!table.is_boundary(&a, 0));
+        assert!(table.is_movable(&a, 0));
     }
 }

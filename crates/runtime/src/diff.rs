@@ -346,6 +346,29 @@ fn parse_timing(value: &Value) -> Result<SweepTiming, String> {
                     .ok_or_else(|| "cell_wall_ns entries must be numbers".to_string())
             })
             .collect::<Result<Vec<_>, _>>()?,
+        // Partition-cost vectors arrived after the first timed reports were
+        // written; older files simply have none.
+        cell_partition_windows: match get_array(value, "cell_partition_windows") {
+            Ok(values) => values
+                .iter()
+                .map(|v| {
+                    v.as_u64().map(|n| n as usize).ok_or_else(|| {
+                        "cell_partition_windows entries must be integers".to_string()
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            Err(_) => Vec::new(),
+        },
+        cell_partition_wall_ns: match get_array(value, "cell_partition_wall_ns") {
+            Ok(values) => values
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .ok_or_else(|| "cell_partition_wall_ns entries must be numbers".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            Err(_) => Vec::new(),
+        },
     })
 }
 

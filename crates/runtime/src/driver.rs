@@ -165,6 +165,12 @@ pub struct SweepTiming {
     pub spec_cache_hits: usize,
     /// Per-cell wall time (ns), parallel to the report's `cells` array.
     pub cell_wall_ns: Vec<f64>,
+    /// Per-cell count of windows the policy handed to the graph
+    /// partitioner, parallel to `cells` (0 for non-partitioning policies).
+    pub cell_partition_windows: Vec<usize>,
+    /// Per-cell wall time spent inside the graph partitioner (ns),
+    /// parallel to `cells`.
+    pub cell_partition_wall_ns: Vec<f64>,
 }
 
 /// Progress report passed to [`SweepDriver::on_cell_complete`] after each
@@ -209,6 +215,11 @@ struct JobMeasurement {
     steal_fraction: f64,
     deferred_bytes: u64,
     wall_ns: f64,
+    /// Windows the cell's policy handed to the graph partitioner (0 for
+    /// non-partitioning policies).
+    partition_windows: usize,
+    /// Wall time the cell's policy spent inside the partitioner (ns).
+    partition_wall_ns: f64,
 }
 
 /// Executes a [`SweepPlan`], serially or sharded across worker threads.
@@ -457,6 +468,7 @@ fn run_job(
         }
         None => executor.execute(&workload.spec, policy.as_mut()),
     };
+    let partition_stats = policy.partition_stats().unwrap_or_default();
     JobOutcome::Measured(JobMeasurement {
         makespan_ns: report.makespan_ns,
         tasks: report.tasks,
@@ -465,6 +477,8 @@ fn run_job(
         steal_fraction: report.steal_fraction(),
         deferred_bytes: report.deferred_bytes,
         wall_ns: t.elapsed().as_nanos() as f64,
+        partition_windows: partition_stats.windows,
+        partition_wall_ns: partition_stats.wall_ns,
     })
 }
 
@@ -489,6 +503,8 @@ fn assemble(
 
     let mut cells = Vec::new();
     let mut cell_wall_ns = Vec::new();
+    let mut cell_partition_windows = Vec::new();
+    let mut cell_partition_wall_ns = Vec::new();
     let mut skipped = Vec::new();
     for (w, workload) in plan.workloads.iter().enumerate() {
         // The baseline anchors every speedup of this workload; if it cannot
@@ -540,6 +556,8 @@ fn assemble(
                     deferred_bytes: m.deferred_bytes,
                 });
                 cell_wall_ns.push(m.wall_ns);
+                cell_partition_windows.push(m.partition_windows);
+                cell_partition_wall_ns.push(m.partition_wall_ns);
             }
         }
     }
@@ -569,6 +587,8 @@ fn assemble(
             spec_builds: plan.spec_builds,
             spec_cache_hits: plan.spec_cache_hits,
             cell_wall_ns,
+            cell_partition_windows,
+            cell_partition_wall_ns,
         },
     }
 }
@@ -644,6 +664,28 @@ mod tests {
         assert!(report.timing.build_wall_ns > 0.0);
         assert_eq!(report.timing.spec_builds, 2);
         assert_eq!(report.timing.jobs, 1);
+        // Partitioning cost is accounted per cell: RGP cells partitioned at
+        // least one window and spent measurable time doing so, non-RGP
+        // cells report zero.
+        assert_eq!(
+            report.timing.cell_partition_windows.len(),
+            report.cells.len()
+        );
+        assert_eq!(
+            report.timing.cell_partition_wall_ns.len(),
+            report.cells.len()
+        );
+        for (i, cell) in report.cells.iter().enumerate() {
+            let windows = report.timing.cell_partition_windows[i];
+            let wall = report.timing.cell_partition_wall_ns[i];
+            if cell.policy.starts_with("RGP") {
+                assert!(windows >= 1, "{}: windows={windows}", cell.policy);
+                assert!(wall > 0.0, "{}: wall={wall}", cell.policy);
+            } else {
+                assert_eq!(windows, 0, "{}", cell.policy);
+                assert_eq!(wall, 0.0, "{}", cell.policy);
+            }
+        }
     }
 
     #[test]

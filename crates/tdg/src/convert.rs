@@ -3,8 +3,11 @@
 //!
 //! The direction of a dependence is irrelevant for placement — what matters
 //! is that the two tasks share data, and how much of it — so the TDG is
-//! symmetrised. Edges that leave the window are dropped (the partition of
-//! later tasks is decided by the propagation policy, not by the partitioner).
+//! symmetrised. Edges into *later* windows are dropped (the partition of
+//! later tasks is decided by the propagation policy, not by the partitioner),
+//! but dependences from *earlier* windows — tasks whose placement is already
+//! fixed — are reported as [`CrossEdge`]s so an anchored partitioner can
+//! trade edge cut against affinity to the fixed data homes.
 //! Vertex weights are the task compute costs, so the balance constraint of
 //! the partitioner balances *work*, not just task counts.
 
@@ -22,6 +25,22 @@ pub struct WindowGraph {
     pub graph: CsrGraph,
     /// `tasks[v]` is the task id of vertex `v`.
     pub tasks: Vec<TaskId>,
+    /// Dependences from tasks *before* the window (already placed by earlier
+    /// windows) into this window's vertices. Empty when the window starts at
+    /// the first task.
+    pub cross_edges: Vec<CrossEdge>,
+}
+
+/// A dependence crossing into the window from a task placed by an earlier
+/// window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrossEdge {
+    /// The window-local vertex on the receiving end.
+    pub vertex: u32,
+    /// The already-placed predecessor task (its id is below `window.start`).
+    pub predecessor: TaskId,
+    /// Dependence byte count, clamped to at least 1 like in-window edges.
+    pub bytes: i64,
 }
 
 /// Converts the tasks of `window` into an undirected [`CsrGraph`].
@@ -29,10 +48,14 @@ pub struct WindowGraph {
 /// * Edge weights are the dependence byte counts, clamped to at least 1 so
 ///   zero-byte control dependences still keep related tasks together.
 /// * Vertex weights are the task work units rounded up to at least 1.
+/// * Dependences from tasks before the window are returned as
+///   [`CrossEdge`]s rather than graph edges: their endpoints are already
+///   placed, so they are anchors, not free vertices.
 pub fn window_to_csr(graph: &TaskGraph, window: &TaskWindow) -> WindowGraph {
     let tasks: Vec<TaskId> = window.task_ids().collect();
     let mut builder = GraphBuilder::new(tasks.len());
     let base = window.start.index();
+    let mut cross_edges = Vec::new();
     for (v, &t) in tasks.iter().enumerate() {
         let w = graph.task(t).work_units.ceil().max(1.0) as i64;
         builder.set_vertex_weight(v as u32, w);
@@ -42,10 +65,20 @@ pub fn window_to_csr(graph: &TaskGraph, window: &TaskWindow) -> WindowGraph {
                 builder.add_edge(v as u32, u as u32, (bytes as i64).max(1));
             }
         }
+        for &(pred, bytes) in graph.predecessors(t) {
+            if pred.index() < base {
+                cross_edges.push(CrossEdge {
+                    vertex: v as u32,
+                    predecessor: pred,
+                    bytes: (bytes as i64).max(1),
+                });
+            }
+        }
     }
     WindowGraph {
         graph: builder.build(),
         tasks,
+        cross_edges,
     }
 }
 
@@ -127,5 +160,49 @@ mod tests {
         let wg = window_to_csr(&g, &w);
         assert_eq!(wg.graph.num_vertices(), 0);
         assert!(wg.tasks.is_empty());
+        assert!(wg.cross_edges.is_empty());
+    }
+
+    #[test]
+    fn full_conversion_has_no_cross_edges() {
+        let wg = full_graph_to_csr(&diamond());
+        assert!(wg.cross_edges.is_empty());
+    }
+
+    #[test]
+    fn later_window_reports_cross_edges_into_placed_tasks() {
+        let g = diamond();
+        // Second window: tasks 2 ("r") and 3 ("sink"). Task 2 reads region
+        // `c` written by task 0; task 3 reads `d` from task 1 and `c` from
+        // task 0 — all three dependences cross the window boundary.
+        let w = TaskWindow::new(TaskId(2), TaskId(4));
+        let wg = window_to_csr(&g, &w);
+        assert_eq!(wg.graph.num_vertices(), 2);
+        let mut crossings = wg.cross_edges.clone();
+        crossings.sort_by_key(|c| (c.vertex, c.predecessor.index()));
+        assert_eq!(
+            crossings,
+            vec![
+                CrossEdge {
+                    vertex: 0,
+                    predecessor: TaskId(0),
+                    bytes: 2000
+                },
+                CrossEdge {
+                    vertex: 1,
+                    predecessor: TaskId(0),
+                    bytes: 2000
+                },
+                CrossEdge {
+                    vertex: 1,
+                    predecessor: TaskId(1),
+                    bytes: 500
+                },
+            ]
+        );
+        // Every cross edge points at an already-placed task.
+        for c in &wg.cross_edges {
+            assert!(c.predecessor.index() < w.start.index());
+        }
     }
 }

@@ -34,8 +34,8 @@ pub mod task;
 pub mod window;
 
 pub use builder::TdgBuilder;
-pub use convert::window_to_csr;
+pub use convert::{window_to_csr, CrossEdge, WindowGraph};
 pub use graph::TaskGraph;
 pub use spec::TaskGraphSpec;
 pub use task::{AccessMode, DataAccess, TaskDescriptor, TaskId, TaskSpec};
-pub use window::{TaskWindow, WindowConfig};
+pub use window::{TaskWindow, WindowConfig, WindowCursor};

@@ -57,16 +57,11 @@ impl TaskWindow {
     }
 
     /// Splits the whole graph into consecutive windows of `config.window_size`.
+    ///
+    /// Materialises every window up front; [`WindowCursor`] is the streaming
+    /// equivalent for policies that advance window by window.
     pub fn split_all(graph: &TaskGraph, config: WindowConfig) -> Vec<TaskWindow> {
-        let n = graph.num_tasks();
-        let mut windows = Vec::new();
-        let mut start = 0usize;
-        while start < n {
-            let end = (start + config.window_size).min(n);
-            windows.push(TaskWindow::new(TaskId(start), TaskId(end)));
-            start = end;
-        }
-        windows
+        WindowCursor::new(graph, config).collect()
     }
 
     /// Number of tasks in the window.
@@ -87,6 +82,79 @@ impl TaskWindow {
     /// The task ids in the window.
     pub fn task_ids(&self) -> impl Iterator<Item = TaskId> {
         (self.start.index()..self.end.index()).map(TaskId)
+    }
+}
+
+/// A streaming walk over the consecutive windows of a graph's submission
+/// order.
+///
+/// Where [`TaskWindow::split_all`] materialises every window up front, the
+/// cursor yields them one at a time, so a propagating policy can close and
+/// partition a window exactly when execution first crosses its boundary.
+/// The sequence of emitted windows is identical to `split_all`'s.
+#[derive(Clone, Debug)]
+pub struct WindowCursor {
+    window_size: usize,
+    num_tasks: usize,
+    next_start: usize,
+    windows_emitted: usize,
+}
+
+impl WindowCursor {
+    /// A cursor over `graph` under `config`, positioned before the first
+    /// window.
+    pub fn new(graph: &TaskGraph, config: WindowConfig) -> Self {
+        WindowCursor::over(graph.num_tasks(), config)
+    }
+
+    /// A cursor over `num_tasks` submission slots (no graph required).
+    pub fn over(num_tasks: usize, config: WindowConfig) -> Self {
+        WindowCursor {
+            window_size: config.window_size,
+            num_tasks,
+            next_start: 0,
+            windows_emitted: 0,
+        }
+    }
+
+    /// The first task id not yet covered by an emitted window.
+    pub fn frontier(&self) -> TaskId {
+        TaskId(self.next_start)
+    }
+
+    /// True if `task` lies inside a window that has already been emitted.
+    pub fn covers(&self, task: TaskId) -> bool {
+        task.index() < self.next_start
+    }
+
+    /// True once every task has been covered by an emitted window.
+    pub fn is_exhausted(&self) -> bool {
+        self.next_start >= self.num_tasks
+    }
+
+    /// Number of windows emitted so far.
+    pub fn windows_emitted(&self) -> usize {
+        self.windows_emitted
+    }
+
+    /// Emits the next window, or `None` once the graph is exhausted.
+    pub fn advance(&mut self) -> Option<TaskWindow> {
+        if self.is_exhausted() {
+            return None;
+        }
+        let end = (self.next_start + self.window_size).min(self.num_tasks);
+        let window = TaskWindow::new(TaskId(self.next_start), TaskId(end));
+        self.next_start = end;
+        self.windows_emitted += 1;
+        Some(window)
+    }
+}
+
+impl Iterator for WindowCursor {
+    type Item = TaskWindow;
+
+    fn next(&mut self) -> Option<TaskWindow> {
+        self.advance()
     }
 }
 
@@ -154,5 +222,82 @@ mod tests {
     #[test]
     fn default_window_size() {
         assert_eq!(WindowConfig::default().window_size, 1024);
+    }
+
+    #[test]
+    fn cursor_matches_split_all() {
+        let g = chain(103);
+        let cfg = WindowConfig::new(25);
+        let streamed: Vec<TaskWindow> = WindowCursor::new(&g, cfg).collect();
+        assert_eq!(streamed, TaskWindow::split_all(&g, cfg));
+    }
+
+    #[test]
+    fn cursor_on_empty_graph_is_exhausted_immediately() {
+        let g = TaskGraph::new();
+        let mut c = WindowCursor::new(&g, WindowConfig::default());
+        assert!(c.is_exhausted());
+        assert_eq!(c.advance(), None);
+        assert_eq!(c.windows_emitted(), 0);
+        assert_eq!(c.frontier(), TaskId(0));
+    }
+
+    #[test]
+    fn cursor_window_larger_than_graph_emits_one_clamped_window() {
+        let g = chain(10);
+        let mut c = WindowCursor::new(&g, WindowConfig::new(1000));
+        let w = c.advance().unwrap();
+        assert_eq!(w, TaskWindow::new(TaskId(0), TaskId(10)));
+        assert!(c.is_exhausted());
+        assert_eq!(c.advance(), None);
+        assert_eq!(c.windows_emitted(), 1);
+        // split_all agrees.
+        assert_eq!(
+            TaskWindow::split_all(&g, WindowConfig::new(1000)),
+            vec![TaskWindow::new(TaskId(0), TaskId(10))]
+        );
+    }
+
+    #[test]
+    fn cursor_window_size_one_emits_singleton_windows() {
+        let g = chain(4);
+        let cfg = WindowConfig::new(1);
+        let windows: Vec<TaskWindow> = WindowCursor::new(&g, cfg).collect();
+        assert_eq!(windows.len(), 4);
+        for (i, w) in windows.iter().enumerate() {
+            assert_eq!(w.len(), 1);
+            assert!(w.contains(TaskId(i)));
+        }
+        assert_eq!(TaskWindow::split_all(&g, cfg), windows);
+    }
+
+    #[test]
+    fn cursor_exact_multiple_boundary_has_no_trailing_window() {
+        let g = chain(100);
+        let cfg = WindowConfig::new(25);
+        let mut c = WindowCursor::new(&g, cfg);
+        let windows: Vec<TaskWindow> = c.by_ref().collect();
+        assert_eq!(windows.len(), 4);
+        assert!(windows.iter().all(|w| w.len() == 25));
+        assert_eq!(c.windows_emitted(), 4);
+        assert_eq!(c.advance(), None);
+        assert_eq!(c.windows_emitted(), 4, "exhausted advance must not count");
+    }
+
+    #[test]
+    fn cursor_covers_tracks_the_frontier() {
+        let g = chain(10);
+        let mut c = WindowCursor::new(&g, WindowConfig::new(4));
+        assert!(!c.covers(TaskId(0)));
+        c.advance();
+        assert!(c.covers(TaskId(3)));
+        assert!(!c.covers(TaskId(4)));
+        assert_eq!(c.frontier(), TaskId(4));
+        c.advance();
+        assert!(c.covers(TaskId(7)));
+        assert_eq!(c.frontier(), TaskId(8));
+        c.advance();
+        assert!(c.covers(TaskId(9)));
+        assert!(c.is_exhausted());
     }
 }

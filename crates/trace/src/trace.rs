@@ -156,9 +156,55 @@ impl Trace {
     }
 
     /// Streams the pretty-printed JSON into `writer` without materializing
-    /// the document as one string (trace files grow with event count).
+    /// the document — neither as one string nor as one `Value` tree (the
+    /// vendored `serde_json::to_writer_pretty` builds the whole tree first,
+    /// which for a trace means a copy of every event; trace files grow with
+    /// event count, so the events are rendered and written one at a time
+    /// here). The bytes are exactly [`Trace::to_json_string`]'s.
     pub fn to_json_writer(&self, writer: &mut dyn std::io::Write) -> Result<(), String> {
-        serde_json::to_writer_pretty(writer, self).map_err(|e| e.to_string())
+        let io = |e: std::io::Error| format!("I/O error while writing trace JSON: {e}");
+        let scalar = |v: &Value| serde_json::to_string(v).expect("scalar serialization is total");
+        // Header scalars, rendered through the same vendored serializer so
+        // escaping and number formatting match the all-at-once path.
+        let header: [(&str, Value); 8] = [
+            ("workload", self.workload.to_value()),
+            ("policy", self.policy.to_value()),
+            ("backend", self.backend.to_value()),
+            ("scale", self.scale.to_value()),
+            ("repetition", self.repetition.to_value()),
+            ("tasks", self.tasks.to_value()),
+            ("num_sockets", self.num_sockets.to_value()),
+            ("makespan_ns", self.makespan_ns.to_value()),
+        ];
+        writer.write_all(b"{").map_err(io)?;
+        for (key, value) in &header {
+            // The comma is correct unconditionally: "events" always follows.
+            write!(writer, "\n  \"{key}\": {},", scalar(value)).map_err(io)?;
+        }
+        writer.write_all(b"\n  \"events\": ").map_err(io)?;
+        if self.events.is_empty() {
+            writer.write_all(b"[]").map_err(io)?;
+        } else {
+            writer.write_all(b"[").map_err(io)?;
+            for (i, event) in self.events.iter().enumerate() {
+                if i > 0 {
+                    writer.write_all(b",").map_err(io)?;
+                }
+                // One event is a small flat object: render it at top level
+                // and re-indent onto the nesting depth it lives at. Event
+                // strings are escaped tags, so no line of the rendering can
+                // contain a raw newline.
+                let rendered =
+                    serde_json::to_string_pretty(event).expect("event serialization is total");
+                for line in rendered.lines() {
+                    writer.write_all(b"\n    ").map_err(io)?;
+                    writer.write_all(line.as_bytes()).map_err(io)?;
+                }
+            }
+            writer.write_all(b"\n  ]").map_err(io)?;
+        }
+        writer.write_all(b"\n}").map_err(io)?;
+        Ok(())
     }
 
     /// Parses a trace previously serialized by [`Trace::to_json_string`].
@@ -528,6 +574,42 @@ pub(crate) mod tests {
         let mut buffer = Vec::new();
         trace.to_json_writer(&mut buffer).unwrap();
         assert_eq!(String::from_utf8(buffer).unwrap(), text);
+    }
+
+    #[test]
+    fn streaming_writer_matches_string_in_the_edge_cases() {
+        // Empty event list: the one shape the streamed array can't derive
+        // from the loop.
+        let mut empty = toy_trace();
+        empty.events.clear();
+        let mut buffer = Vec::new();
+        empty.to_json_writer(&mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert_eq!(text, empty.to_json_string());
+        assert_eq!(Trace::from_json_str(&text).unwrap(), empty);
+        // Metadata needing JSON escapes streams identically too.
+        let mut quoted = toy_trace();
+        quoted.workload = "odd \"name\"\nwith\tescapes \\".to_string();
+        let mut buffer = Vec::new();
+        quoted.to_json_writer(&mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert_eq!(text, quoted.to_json_string());
+        assert_eq!(Trace::from_json_str(&text).unwrap(), quoted);
+    }
+
+    #[test]
+    fn streaming_writer_surfaces_io_errors() {
+        struct Broken;
+        impl std::io::Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = toy_trace().to_json_writer(&mut Broken).unwrap_err();
+        assert!(err.contains("disk full"), "{err}");
     }
 
     #[test]

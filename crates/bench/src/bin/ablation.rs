@@ -9,6 +9,9 @@
 //!     trace [--scale tiny|small|full] [--jobs N]
 //! cargo run -p numadag-bench --bin ablation --release -- \
 //!     bench-diff BASELINE.json CANDIDATE.json
+//! cargo run -p numadag-bench --bin ablation --release -- \
+//!     serve-load [--clients N] [--requests N] [--repeat-ratio PCT] \
+//!     [--jobs N] [--json PATH]
 //! ```
 //!
 //! All three ablations are expressed as [`Experiment`] sweeps: the window
@@ -39,6 +42,14 @@
 //! when the reports are measurement-identical and 1 when they differ — so
 //! "regenerate and diff the baseline" is one command instead of a jq
 //! exercise. Malformed arguments exit with code 2.
+//!
+//! `serve-load` is the load generator for the sweep service
+//! (`numadag-serve`): it boots an in-process daemon, drives it from
+//! `--clients` concurrent TCP clients issuing `--requests` sweeps each —
+//! `--repeat-ratio` percent aimed at one hot sweep, the rest drawn from a
+//! deterministic per-client LCG over single-app tiny sweeps — and reports
+//! throughput, p50/p90/p99 submit latency and the report-cache hit rate
+//! (`--json PATH` writes the `BENCH_serve_load.json` shape).
 
 use std::sync::Arc;
 
@@ -382,9 +393,208 @@ fn usage_error(message: String) -> ! {
     eprintln!(
         "usage: ablation [window|sockets|partitioner|propagation|all] [--jobs N]\n\
          \u{20}      ablation trace [--scale tiny|small|full] [--jobs N]\n\
-         \u{20}      ablation bench-diff BASELINE.json CANDIDATE.json"
+         \u{20}      ablation bench-diff BASELINE.json CANDIDATE.json\n\
+         \u{20}      ablation serve-load [--clients N] [--requests N] \
+         [--repeat-ratio PCT] [--jobs N] [--json PATH]"
     );
     std::process::exit(2);
+}
+
+/// `serve-load`: load-generates the sweep service and reports throughput,
+/// latency percentiles and cache effectiveness.
+fn serve_load(args: &[String]) -> ! {
+    use numadag_serve::client::ServeClient;
+    use numadag_serve::protocol::SweepSpec;
+    use numadag_serve::server::{serve, ServeConfig};
+
+    let mut clients = 4usize;
+    let mut requests = 25usize;
+    let mut repeat_pct = 50u64;
+    let mut jobs = 1usize;
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> &str {
+            args.get(i + 1)
+                .unwrap_or_else(|| usage_error(format!("{} needs a value", args[i])))
+        };
+        match args[i].as_str() {
+            "--clients" => match value(i).parse() {
+                Ok(n) if n > 0 => clients = n,
+                _ => usage_error(format!(
+                    "--clients needs a positive integer, got {:?}",
+                    value(i)
+                )),
+            },
+            "--requests" => match value(i).parse() {
+                Ok(n) if n > 0 => requests = n,
+                _ => usage_error(format!(
+                    "--requests needs a positive integer, got {:?}",
+                    value(i)
+                )),
+            },
+            "--repeat-ratio" => match value(i).parse() {
+                Ok(pct) if pct <= 100 => repeat_pct = pct,
+                _ => usage_error(format!("--repeat-ratio needs 0..=100, got {:?}", value(i))),
+            },
+            "--jobs" => match numadag_bench::parse_jobs(value(i)) {
+                Ok(n) => jobs = n,
+                Err(e) => usage_error(e),
+            },
+            "--json" => json_path = Some(value(i).to_string()),
+            other => usage_error(format!("unknown argument {other:?}")),
+        }
+        i += 2;
+    }
+
+    // The request mix: one hot sweep (the repeat-ratio target) plus one
+    // single-app tiny sweep per suite application.
+    let pool: Vec<SweepSpec> = Application::all()
+        .iter()
+        .map(|app| SweepSpec {
+            apps: app.label().to_string(),
+            ..SweepSpec::default()
+        })
+        .collect();
+
+    let handle = serve(ServeConfig {
+        jobs,
+        ..ServeConfig::default()
+    })
+    .unwrap_or_else(|e| usage_error(format!("could not start the daemon: {e}")));
+    let addr = handle.addr().to_string();
+    eprintln!(
+        "serve-load: {clients} clients x {requests} requests, {repeat_pct}% repeats, \
+         driver jobs={jobs}, daemon at {addr}"
+    );
+
+    let started = std::time::Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            let pool = pool.clone();
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(&addr).expect("connect to daemon");
+                // Deterministic per-client LCG (MMIX constants) so runs are
+                // reproducible; the measured latencies are the only
+                // run-to-run variance.
+                let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ (c as u64 + 1);
+                let mut next = move || {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    state >> 33
+                };
+                let mut latencies_ns = Vec::with_capacity(requests);
+                let mut hits = 0u64;
+                for _ in 0..requests {
+                    let spec = if next() % 100 < repeat_pct {
+                        pool[0].clone()
+                    } else {
+                        pool[next() as usize % pool.len()].clone()
+                    };
+                    let begin = std::time::Instant::now();
+                    let outcome = client.submit(spec, false, |_| ()).expect("submit sweep");
+                    latencies_ns.push(begin.elapsed().as_nanos() as u64);
+                    if outcome.cache_hit {
+                        hits += 1;
+                    }
+                }
+                (latencies_ns, hits)
+            })
+        })
+        .collect();
+
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(clients * requests);
+    let mut client_hits = 0u64;
+    for worker in workers {
+        let (lat, hits) = worker.join().expect("load client panicked");
+        latencies_ns.extend(lat);
+        client_hits += hits;
+    }
+    let wall = started.elapsed();
+
+    let mut stats_client = ServeClient::connect(&addr).expect("connect to daemon");
+    let stats = stats_client.stats().expect("fetch stats");
+    handle.shutdown();
+    handle.join();
+
+    latencies_ns.sort_unstable();
+    let total = latencies_ns.len();
+    let pct = |p: f64| -> f64 {
+        let idx = ((p / 100.0) * (total - 1) as f64).round() as usize;
+        latencies_ns[idx] as f64 / 1e6
+    };
+    let mean_ms = latencies_ns.iter().sum::<u64>() as f64 / total as f64 / 1e6;
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    let throughput = total as f64 / wall.as_secs_f64();
+    let served = stats.report_cache_hits + stats.jobs_coalesced;
+    let hit_rate = served as f64 / total as f64;
+
+    println!("\n# serve-load — {total} requests in {wall_ms:.1} ms\n");
+    println!("| metric | value |");
+    println!("| throughput (req/s) | {throughput:.1} |");
+    println!(
+        "| latency p50/p90/p99 (ms) | {:.3} / {:.3} / {:.3} |",
+        pct(50.0),
+        pct(90.0),
+        pct(99.0)
+    );
+    println!(
+        "| latency mean/max (ms) | {mean_ms:.3} / {:.3} |",
+        pct(100.0)
+    );
+    println!(
+        "| sweeps executed / served without executing | {} / {served} |",
+        stats.jobs_submitted
+    );
+    println!(
+        "| cache hit rate | {:.1}% ({client_hits} direct hits, {} coalesced) |",
+        100.0 * hit_rate,
+        stats.jobs_coalesced
+    );
+    println!(
+        "| executed cells / spec-cache builds | {} / {} |",
+        stats.executed_cells_total, stats.spec_cache_builds
+    );
+
+    if let Some(path) = json_path {
+        use serde::Serialize;
+        use serde_json::json;
+        let value = json!({
+            "bench": "serve_load",
+            "clients": clients as u64,
+            "requests_per_client": requests as u64,
+            "repeat_ratio_pct": repeat_pct,
+            "driver_jobs": jobs as u64,
+            "total_requests": total as u64,
+            "wall_ms": wall_ms,
+            "throughput_rps": throughput,
+            "latency_ms": json!({
+                "p50": pct(50.0),
+                "p90": pct(90.0),
+                "p99": pct(99.0),
+                "mean": mean_ms,
+                "max": pct(100.0),
+            }),
+            "cache": json!({
+                "hit_rate": hit_rate,
+                "report_cache_hits": stats.report_cache_hits,
+                "jobs_coalesced": stats.jobs_coalesced,
+                "jobs_submitted": stats.jobs_submitted,
+                "report_cache_evictions": stats.report_cache_evictions,
+                "executed_cells_total": stats.executed_cells_total,
+                "spec_cache_builds": stats.spec_cache_builds,
+                "spec_cache_hits": stats.spec_cache_hits,
+            }),
+        });
+        let text = serde_json::to_string_pretty(&value.to_value())
+            .expect("bench values are always encodable");
+        std::fs::write(&path, text)
+            .unwrap_or_else(|e| usage_error(format!("cannot write {path}: {e}")));
+        eprintln!("serve-load: wrote {path}");
+    }
+    std::process::exit(0);
 }
 
 /// Loads a sweep report from a `BENCH_*.json` file, exiting 2 on failure.
@@ -414,6 +624,7 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "serve-load" => serve_load(&args[i + 1..]),
             "bench-diff" => match (args.get(i + 1), args.get(i + 2), args.get(i + 3)) {
                 (Some(baseline), Some(candidate), None) => bench_diff(baseline, candidate),
                 _ => usage_error(

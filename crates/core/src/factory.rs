@@ -193,8 +193,14 @@ impl PolicyKind {
     }
 
     /// RGP+LAS with the given tuning, normalising a default tuning to the
-    /// plain [`PolicyKind::RgpLas`] so labels stay canonical.
-    pub fn rgp_las(tuning: RgpTuning) -> PolicyKind {
+    /// plain [`PolicyKind::RgpLas`] so labels stay canonical. A `prop` knob
+    /// equal to the propagation the base kind already implies (`prop=las`
+    /// here) is redundant and dropped, so `rgp-las:prop=las` and `rgp-las`
+    /// produce identical labels — and identical report-cache keys.
+    pub fn rgp_las(mut tuning: RgpTuning) -> PolicyKind {
+        if tuning.prop == Some(Propagation::Las) {
+            tuning.prop = None;
+        }
         if tuning.is_default() {
             PolicyKind::RgpLas
         } else {
@@ -202,8 +208,12 @@ impl PolicyKind {
         }
     }
 
-    /// RGP+RR with the given tuning (see [`PolicyKind::rgp_las`]).
-    pub fn rgp_rr(tuning: RgpTuning) -> PolicyKind {
+    /// RGP+RR with the given tuning (see [`PolicyKind::rgp_las`]; the
+    /// redundant knob here is `prop=rr`).
+    pub fn rgp_rr(mut tuning: RgpTuning) -> PolicyKind {
+        if tuning.prop == Some(Propagation::RoundRobin) {
+            tuning.prop = None;
+        }
         if tuning.is_default() {
             PolicyKind::RgpRr
         } else {
@@ -368,6 +378,10 @@ impl FromStr for PolicyKind {
             }
         }
         let kind = match base {
+            // Parameters on a non-RGP policy are a user error. (The RGP
+            // constructors may themselves normalise a redundant tuning back
+            // to a plain kind — e.g. `rgp-las:prop=las` — which is fine.)
+            "dfifo" | "ep" | "las" if !tuning.is_default() => return Err(err()),
             "dfifo" => PolicyKind::Dfifo,
             "ep" => PolicyKind::Ep,
             "las" => PolicyKind::Las,
@@ -375,10 +389,6 @@ impl FromStr for PolicyKind {
             "rgp-rr" | "rgprr" => PolicyKind::rgp_rr(tuning),
             _ => return Err(err()),
         };
-        if !tuning.is_default() && kind.tuning().is_none() {
-            // Parameters on a non-RGP policy are a user error.
-            return Err(err());
-        }
         Ok(kind)
     }
 }
@@ -576,6 +586,61 @@ mod tests {
                     .with_anchor(AnchorMode::Deps)
             ))
         );
+    }
+
+    #[test]
+    fn equivalent_policy_strings_canonicalize_to_one_label() {
+        // The report cache in numadag-serve keys on canonical labels, so
+        // every spelling of the same policy must collapse to one string.
+        let spellings = [
+            "rgp-las:w=512,scheme=rb,prop=repart",
+            "rgp-las:scheme=rb,w=512,prop=repart",
+            "rgp-las:prop=repartition,scheme=rb,window=512",
+            "RGP+LAS:prop=repart,w=512,scheme=rb",
+        ];
+        let labels: Vec<String> = spellings
+            .iter()
+            .map(|s| s.parse::<PolicyKind>().unwrap().label())
+            .collect();
+        for label in &labels {
+            assert_eq!(label, "RGP+LAS:w=512,scheme=rb,prop=repart");
+        }
+        // And the canonical label round-trips to the same kind.
+        let kind = spellings[0].parse::<PolicyKind>().unwrap();
+        assert_eq!(kind.label().parse::<PolicyKind>(), Ok(kind));
+    }
+
+    #[test]
+    fn redundant_prop_knobs_normalize_to_the_plain_kinds() {
+        // `prop=las` on rgp-las (and `prop=rr` on rgp-rr) restates the
+        // propagation the base kind already implies.
+        assert_eq!(
+            "rgp-las:prop=las".parse::<PolicyKind>(),
+            Ok(PolicyKind::RgpLas)
+        );
+        assert_eq!(
+            "rgp-rr:prop=rr".parse::<PolicyKind>(),
+            Ok(PolicyKind::RgpRr)
+        );
+        assert_eq!(
+            "rgp-las:w=256,prop=las"
+                .parse::<PolicyKind>()
+                .unwrap()
+                .label(),
+            "RGP+LAS:w=256"
+        );
+        // The cross combinations stay explicit: they change behaviour.
+        assert_eq!(
+            "rgp-las:prop=rr".parse::<PolicyKind>().unwrap().label(),
+            "RGP+LAS:prop=rr"
+        );
+        assert_eq!(
+            "rgp-rr:prop=las".parse::<PolicyKind>().unwrap().label(),
+            "RGP+RR:prop=las"
+        );
+        // Normalisation never weakens the params-on-non-RGP error.
+        assert!("las:prop=las".parse::<PolicyKind>().is_err());
+        assert!("dfifo:w=64".parse::<PolicyKind>().is_err());
     }
 
     #[test]

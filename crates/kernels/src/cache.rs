@@ -27,6 +27,7 @@ pub type SpecKey = (Application, ProblemScale, usize);
 #[derive(Debug, Default)]
 pub struct SpecCache {
     specs: Mutex<HashMap<SpecKey, Arc<TaskGraphSpec>>>,
+    fingerprints: Mutex<HashMap<SpecKey, u64>>,
     builds: AtomicUsize,
     hits: AtomicUsize,
 }
@@ -73,6 +74,21 @@ impl SpecCache {
         self.builds.fetch_add(1, Ordering::Relaxed);
         let mut specs = self.specs.lock().unwrap();
         (Arc::clone(specs.entry(key).or_insert(built)), true)
+    }
+
+    /// The content fingerprint (see [`TaskGraphSpec::fingerprint`]) of a
+    /// workload instance, memoized per key so repeated service requests pay
+    /// the hash at most once per distinct (app × scale × sockets). Builds the
+    /// spec on first use — subsequent `get` calls for the same key then hit
+    /// the spec cache.
+    pub fn fingerprint(&self, app: Application, scale: ProblemScale, num_sockets: usize) -> u64 {
+        let key = (app, scale, num_sockets);
+        if let Some(&fp) = self.fingerprints.lock().unwrap().get(&key) {
+            return fp;
+        }
+        let fp = self.get(app, scale, num_sockets).fingerprint();
+        self.fingerprints.lock().unwrap().insert(key, fp);
+        fp
     }
 
     /// How many specs were actually built (cache misses, including both
@@ -124,6 +140,30 @@ mod tests {
         assert_eq!(cache.hits(), 0);
         assert_eq!(cache.len(), 3);
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn fingerprints_are_memoized_and_content_stable() {
+        let cache = SpecCache::new();
+        let fp1 = cache.fingerprint(Application::NStream, ProblemScale::Tiny, 4);
+        let builds_after_first = cache.builds();
+        let fp2 = cache.fingerprint(Application::NStream, ProblemScale::Tiny, 4);
+        assert_eq!(fp1, fp2);
+        assert_eq!(
+            cache.builds(),
+            builds_after_first,
+            "memoized fingerprint must not rebuild the spec"
+        );
+        // A fresh cache (fresh build) produces the same content hash.
+        let other = SpecCache::new();
+        assert_eq!(
+            other.fingerprint(Application::NStream, ProblemScale::Tiny, 4),
+            fp1
+        );
+        assert_ne!(
+            cache.fingerprint(Application::Jacobi, ProblemScale::Tiny, 4),
+            fp1
+        );
     }
 
     #[test]

@@ -15,6 +15,38 @@ pub enum ProblemScale {
     Full,
 }
 
+impl ProblemScale {
+    /// The lower-case token the CLIs and the sweep service use on the wire.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProblemScale::Tiny => "tiny",
+            ProblemScale::Small => "small",
+            ProblemScale::Full => "full",
+        }
+    }
+}
+
+impl std::fmt::Display for ProblemScale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for ProblemScale {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "tiny" => Ok(ProblemScale::Tiny),
+            "small" => Ok(ProblemScale::Small),
+            "full" => Ok(ProblemScale::Full),
+            other => Err(format!(
+                "unknown scale '{other}' (expected tiny|small|full)"
+            )),
+        }
+    }
+}
+
 /// Owner-computes block distribution: block `i` of `n` blocks goes to socket
 /// `i * sockets / n` (contiguous chunks, the classic expert choice for
 /// streams and stencils).
@@ -121,5 +153,15 @@ mod tests {
     #[test]
     fn problem_scale_default_is_full() {
         assert_eq!(ProblemScale::default(), ProblemScale::Full);
+    }
+
+    #[test]
+    fn problem_scale_labels_round_trip() {
+        for scale in [ProblemScale::Tiny, ProblemScale::Small, ProblemScale::Full] {
+            assert_eq!(scale.label().parse::<ProblemScale>().unwrap(), scale);
+            assert_eq!(scale.to_string(), scale.label());
+        }
+        assert_eq!("FULL".parse::<ProblemScale>().unwrap(), ProblemScale::Full);
+        assert!("huge".parse::<ProblemScale>().is_err());
     }
 }

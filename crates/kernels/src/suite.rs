@@ -95,6 +95,57 @@ impl std::fmt::Display for Application {
     }
 }
 
+impl std::str::FromStr for Application {
+    type Err = String;
+
+    /// Parses either the Figure-1 display label (`"Symm. mat. inv."`,
+    /// case-insensitive, punctuation-tolerant) or a short CLI/wire token
+    /// (`cg`, `gs`, `ih`, `jacobi`, `nstream`, `qr`, `rb`, `symm`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // Normalize: drop dots, lower-case, map spaces/underscores to dashes
+        // so "Symm. mat. inv." and "symm-mat-inv" both match.
+        let mut norm = String::with_capacity(s.len());
+        for c in s.trim().chars() {
+            match c {
+                '.' => {}
+                ' ' | '_' => {
+                    if !norm.ends_with('-') {
+                        norm.push('-');
+                    }
+                }
+                c => norm.push(c.to_ascii_lowercase()),
+            }
+        }
+        match norm.trim_matches('-') {
+            "conjugate-gradient" | "cg" => Ok(Application::ConjugateGradient),
+            "gauss-seidel" | "gs" => Ok(Application::GaussSeidel),
+            "integral-histogram" | "ih" => Ok(Application::IntegralHistogram),
+            "jacobi" => Ok(Application::Jacobi),
+            "nstream" => Ok(Application::NStream),
+            "qr-factorization" | "qr" => Ok(Application::QrFactorization),
+            "red-black" | "rb" => Ok(Application::RedBlack),
+            "symm-mat-inv" | "symm" | "smi" => Ok(Application::SymmetricMatrixInversion),
+            other => Err(format!(
+                "unknown application '{other}' (expected cg|gs|ih|jacobi|nstream|qr|rb|symm or a Figure-1 label)"
+            )),
+        }
+    }
+}
+
+impl Application {
+    /// Parses a comma-separated application list; empty input or `"all"`
+    /// selects the whole Figure-1 suite in plot order.
+    pub fn parse_list(s: &str) -> Result<Vec<Application>, String> {
+        let s = s.trim();
+        if s.is_empty() || s.eq_ignore_ascii_case("all") {
+            return Ok(Application::all().to_vec());
+        }
+        s.split(',')
+            .map(|token| token.parse::<Application>())
+            .collect()
+    }
+}
+
 /// Builds the whole Figure-1 suite at the given scale.
 pub fn figure1_suite(scale: ProblemScale, num_sockets: usize) -> Vec<(Application, TaskGraphSpec)> {
     Application::all()
@@ -135,6 +186,51 @@ mod tests {
             ]
         );
         assert_eq!(Application::NStream.to_string(), "NStream");
+    }
+
+    #[test]
+    fn every_label_parses_back_to_its_application() {
+        for app in Application::all() {
+            assert_eq!(app.label().parse::<Application>().unwrap(), app);
+        }
+    }
+
+    #[test]
+    fn short_tokens_and_case_variants_parse() {
+        assert_eq!(
+            "cg".parse::<Application>().unwrap(),
+            Application::ConjugateGradient
+        );
+        assert_eq!(
+            "symm-mat-inv".parse::<Application>().unwrap(),
+            Application::SymmetricMatrixInversion
+        );
+        assert_eq!(
+            "QR".parse::<Application>().unwrap(),
+            Application::QrFactorization
+        );
+        assert_eq!(
+            "red_black".parse::<Application>().unwrap(),
+            Application::RedBlack
+        );
+        assert!("fft".parse::<Application>().is_err());
+    }
+
+    #[test]
+    fn parse_list_handles_all_and_explicit_subsets() {
+        assert_eq!(
+            Application::parse_list("all").unwrap(),
+            Application::all().to_vec()
+        );
+        assert_eq!(
+            Application::parse_list("").unwrap(),
+            Application::all().to_vec()
+        );
+        assert_eq!(
+            Application::parse_list("jacobi,nstream").unwrap(),
+            vec![Application::Jacobi, Application::NStream]
+        );
+        assert!(Application::parse_list("jacobi,bogus").is_err());
     }
 
     #[test]

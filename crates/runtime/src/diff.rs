@@ -339,6 +339,10 @@ fn parse_timing(value: &Value) -> Result<SweepTiming, String> {
         run_wall_ns: get_f64(value, "run_wall_ns")?,
         spec_builds: get_u64(value, "spec_builds")? as usize,
         spec_cache_hits: get_u64(value, "spec_cache_hits")? as usize,
+        // Global-cache counters arrived with the sweep service; reports
+        // written before then simply lack the fields.
+        spec_cache_total_builds: get_u64(value, "spec_cache_total_builds").unwrap_or(0) as usize,
+        spec_cache_total_hits: get_u64(value, "spec_cache_total_hits").unwrap_or(0) as usize,
         cell_wall_ns: get_array(value, "cell_wall_ns")?
             .iter()
             .map(|v| {

@@ -90,6 +90,14 @@ pub struct SweepPlan {
     pub(crate) spec_builds: usize,
     /// Spec lookups served from the cache while planning.
     pub(crate) spec_cache_hits: usize,
+    /// Lifetime build counter of the [`numadag_kernels::SpecCache`] this
+    /// plan drew from, snapshotted after planning. Unlike `spec_builds`
+    /// (this plan's own misses) it accumulates across every experiment and
+    /// service request sharing the cache.
+    pub(crate) spec_cache_total_builds: usize,
+    /// Lifetime hit counter of the shared spec cache (see
+    /// [`SweepPlan::spec_cache_total_builds`]).
+    pub(crate) spec_cache_total_hits: usize,
     /// When set, every executed cell is traced into this collector (see
     /// [`crate::Experiment::trace`]). Traced cells run on a dedicated
     /// executor whose config carries a fresh
@@ -163,6 +171,12 @@ pub struct SweepTiming {
     pub spec_builds: usize,
     /// Workload spec lookups served from the cache.
     pub spec_cache_hits: usize,
+    /// Lifetime builds of the shared spec cache at plan time — accumulates
+    /// across every sweep (and service request) sharing the cache, whereas
+    /// `spec_builds` counts only this plan's own misses.
+    pub spec_cache_total_builds: usize,
+    /// Lifetime cache hits of the shared spec cache at plan time.
+    pub spec_cache_total_hits: usize,
     /// Per-cell wall time (ns), parallel to the report's `cells` array.
     pub cell_wall_ns: Vec<f64>,
     /// Per-cell count of windows the policy handed to the graph
@@ -586,6 +600,8 @@ fn assemble(
             run_wall_ns,
             spec_builds: plan.spec_builds,
             spec_cache_hits: plan.spec_cache_hits,
+            spec_cache_total_builds: plan.spec_cache_total_builds,
+            spec_cache_total_hits: plan.spec_cache_total_hits,
             cell_wall_ns,
             cell_partition_windows,
             cell_partition_wall_ns,
@@ -697,6 +713,12 @@ mod tests {
         let second = tiny_experiment().spec_cache(Arc::clone(&cache)).run();
         assert_eq!(second.timing.spec_builds, 0);
         assert_eq!(second.timing.spec_cache_hits, 2);
+        // The global counters accumulate across both experiments: the first
+        // sweep's snapshot sees only its own lookups, the second sees both.
+        assert_eq!(first.timing.spec_cache_total_builds, 2);
+        assert_eq!(first.timing.spec_cache_total_hits, 0);
+        assert_eq!(second.timing.spec_cache_total_builds, 2);
+        assert_eq!(second.timing.spec_cache_total_hits, 2);
         // Cached specs change cost, not results.
         assert_eq!(first.to_json_string(), second.to_json_string());
     }

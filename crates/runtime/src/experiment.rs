@@ -550,6 +550,11 @@ impl Experiment {
             build_wall_ns,
             spec_builds,
             spec_cache_hits,
+            // Global counters of the (possibly shared) cache, after this
+            // plan's lookups: the sweep service surfaces these in `Stats`
+            // and `--json-timing` so operators can see cross-request reuse.
+            spec_cache_total_builds: cache.builds(),
+            spec_cache_total_hits: cache.hits(),
             trace: self.trace.clone(),
         }
     }

@@ -1,0 +1,212 @@
+//! `serve-client` — CLI client of the sweep service (used by CI).
+//!
+//! ```text
+//! serve-client --addr HOST:PORT submit [--apps LIST] [--scale S]
+//!              [--policies LIST] [--backend B] [--seed N] [--reps N]
+//!              [--stream] [--json PATH]
+//! serve-client --addr HOST:PORT status JOB
+//! serve-client --addr HOST:PORT stats
+//! serve-client --addr HOST:PORT cancel JOB
+//! serve-client --addr HOST:PORT shutdown
+//! ```
+//!
+//! `submit` blocks until the report arrives, prints a one-line summary
+//! (`job=1 cache_hit=true executed_cells=0`) on stdout and, with `--json`,
+//! writes the exact report bytes to disk — byte-identical to `figure1
+//! --json` output for the same sweep, so `cmp`/`bench-diff` against the
+//! committed baselines both work. `--stream` echoes per-cell progress on
+//! stderr. Malformed arguments exit 2; connection or server errors exit 1.
+
+use numadag_serve::client::ServeClient;
+use numadag_serve::protocol::{Response, SweepSpec};
+
+fn usage_error(message: String) -> ! {
+    eprintln!("error: {message}");
+    eprintln!(
+        "usage: serve-client --addr HOST:PORT \
+         submit [--apps LIST] [--scale S] [--policies LIST] [--backend B] \
+         [--seed N] [--reps N] [--stream] [--json PATH] \
+         | status JOB | stats | cancel JOB | shutdown"
+    );
+    std::process::exit(2);
+}
+
+fn flag_value(args: &[String], i: usize) -> &str {
+    match args.get(i + 1) {
+        Some(value) => value,
+        None => usage_error(format!("{} needs a value", args[i])),
+    }
+}
+
+fn connect(addr: &str) -> ServeClient {
+    match ServeClient::connect(addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("error: could not connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn fail(e: impl std::fmt::Display) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(1);
+}
+
+fn parse_job(value: &str) -> u64 {
+    match value.parse() {
+        Ok(job) => job,
+        Err(_) => usage_error(format!("job id must be an unsigned integer, got {value:?}")),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() && args[i].starts_with("--") {
+        match args[i].as_str() {
+            "--addr" => addr = Some(flag_value(&args, i).to_string()),
+            other => usage_error(format!("unknown argument {other:?}")),
+        }
+        i += 2;
+    }
+    let Some(addr) = addr else {
+        usage_error("--addr HOST:PORT is required".to_string());
+    };
+    let Some(command) = args.get(i) else {
+        usage_error("missing command".to_string());
+    };
+    let rest = &args[i + 1..];
+
+    match command.as_str() {
+        "submit" => run_submit(&addr, rest),
+        "status" => {
+            let job = parse_job(rest.first().map(String::as_str).unwrap_or_else(|| {
+                usage_error("status needs a job id".to_string());
+            }));
+            let mut client = connect(&addr);
+            match client.status(job) {
+                Ok(Response::JobStatus {
+                    job,
+                    state,
+                    completed,
+                    total,
+                }) => println!("job={job} state={state} completed={completed} total={total}"),
+                Ok(other) => fail(format!("unexpected response {other:?}")),
+                Err(e) => fail(e),
+            }
+        }
+        "stats" => {
+            let mut client = connect(&addr);
+            match client.stats() {
+                Ok(stats) => {
+                    use serde::Serialize;
+                    let pretty = serde_json::to_string_pretty(&stats.to_value())
+                        .expect("stats are always encodable");
+                    println!("{pretty}");
+                }
+                Err(e) => fail(e),
+            }
+        }
+        "cancel" => {
+            let job = parse_job(rest.first().map(String::as_str).unwrap_or_else(|| {
+                usage_error("cancel needs a job id".to_string());
+            }));
+            let mut client = connect(&addr);
+            match client.cancel(job) {
+                Ok(Response::Cancelled { job }) => println!("job={job} cancelled"),
+                Ok(other) => fail(format!("unexpected response {other:?}")),
+                Err(e) => fail(e),
+            }
+        }
+        "shutdown" => {
+            let mut client = connect(&addr);
+            match client.shutdown() {
+                Ok(()) => println!("server shutting down"),
+                Err(e) => fail(e),
+            }
+        }
+        other => usage_error(format!("unknown command {other:?}")),
+    }
+}
+
+fn run_submit(addr: &str, args: &[String]) {
+    let mut spec = SweepSpec::default();
+    let mut stream = false;
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--apps" => {
+                spec.apps = flag_value(args, i).to_string();
+            }
+            "--scale" => {
+                spec.scale = flag_value(args, i).to_string();
+            }
+            "--policies" => {
+                spec.policies = flag_value(args, i).to_string();
+            }
+            "--backend" => {
+                spec.backend = flag_value(args, i).to_string();
+            }
+            "--seed" => match flag_value(args, i).parse() {
+                Ok(seed) => spec.seed = seed,
+                Err(_) => usage_error(format!(
+                    "--seed needs an unsigned integer, got {:?}",
+                    flag_value(args, i)
+                )),
+            },
+            "--reps" => match flag_value(args, i).parse() {
+                Ok(reps) if reps > 0 => spec.reps = reps,
+                _ => usage_error(format!(
+                    "--reps needs a positive integer, got {:?}",
+                    flag_value(args, i)
+                )),
+            },
+            "--stream" => {
+                stream = true;
+                i += 1;
+                continue;
+            }
+            "--json" => json_path = Some(flag_value(args, i).to_string()),
+            other => usage_error(format!("unknown argument {other:?}")),
+        }
+        i += 2;
+    }
+
+    // Validate locally first so spelling mistakes exit 2 (usage) rather
+    // than 1 (server error) — the same errors the server would return.
+    if let Err(e) = spec.resolve() {
+        usage_error(e);
+    }
+
+    let mut client = connect(addr);
+    let outcome = client.submit(spec, stream, |progress| {
+        if let Response::Progress {
+            completed,
+            total,
+            application,
+            policy,
+            repetition,
+            ..
+        } = progress
+        {
+            eprintln!("[{completed:>3}/{total}] {application} / {policy} / rep {repetition}");
+        }
+    });
+    match outcome {
+        Ok(outcome) => {
+            println!(
+                "job={} cache_hit={} executed_cells={}",
+                outcome.job, outcome.cache_hit, outcome.executed_cells
+            );
+            if let Some(path) = json_path {
+                if let Err(e) = std::fs::write(&path, &outcome.report_json) {
+                    fail(format!("could not write {path}: {e}"));
+                }
+            }
+        }
+        Err(e) => fail(e),
+    }
+}

@@ -1,0 +1,83 @@
+//! `numadag-serve` — the sweep-service daemon.
+//!
+//! ```text
+//! numadag-serve [--addr HOST:PORT] [--jobs N] [--cache-capacity N]
+//!               [--port-file PATH]
+//! ```
+//!
+//! Binds the listener (port 0 picks an ephemeral port), prints the actual
+//! address on stdout (and into `--port-file`, which scripts can poll), then
+//! serves until a client sends `Shutdown`. Malformed arguments exit with
+//! code 2 like the other bins; a bind failure exits with code 1.
+
+use numadag_serve::server::{serve, ServeConfig};
+
+fn usage_error(message: String) -> ! {
+    eprintln!("error: {message}");
+    eprintln!(
+        "usage: numadag-serve [--addr HOST:PORT] [--jobs N] \
+         [--cache-capacity N] [--port-file PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn flag_value(args: &[String], i: usize) -> &str {
+    match args.get(i + 1) {
+        Some(value) => value,
+        None => usage_error(format!("{} needs a value", args[i])),
+    }
+}
+
+fn main() {
+    let mut config = ServeConfig::default();
+    let mut port_file: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => config.addr = flag_value(&args, i).to_string(),
+            "--jobs" => match flag_value(&args, i).parse() {
+                Ok(jobs) => config.jobs = jobs,
+                Err(_) => usage_error(format!(
+                    "--jobs needs an unsigned integer, got {:?}",
+                    flag_value(&args, i)
+                )),
+            },
+            "--cache-capacity" => match flag_value(&args, i).parse() {
+                Ok(capacity) if capacity > 0 => config.cache_capacity = capacity,
+                _ => usage_error(format!(
+                    "--cache-capacity needs a positive integer, got {:?}",
+                    flag_value(&args, i)
+                )),
+            },
+            "--port-file" => port_file = Some(flag_value(&args, i).to_string()),
+            other => usage_error(format!("unknown argument {other:?}")),
+        }
+        i += 2;
+    }
+
+    let handle = match serve(config.clone()) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("error: could not bind {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    let addr = handle.addr();
+    println!(
+        "numadag-serve listening on {addr} (jobs={}, report-cache={})",
+        config.jobs, config.cache_capacity
+    );
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, format!("{addr}\n")) {
+            eprintln!("error: could not write {path}: {e}");
+            handle.shutdown();
+            handle.join();
+            std::process::exit(1);
+        }
+    }
+    handle.join();
+    println!("numadag-serve: shutdown complete");
+}

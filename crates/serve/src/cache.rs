@@ -1,0 +1,187 @@
+//! Content-addressed LRU cache of finished sweep reports.
+//!
+//! Keys are the canonical request fingerprints
+//! ([`crate::protocol::ResolvedSweep::fingerprint`]); values are the exact
+//! serialized measurement bytes of the report. Storing bytes rather than the
+//! structured report is the point: a repeated request is answered with a
+//! byte-identical body, so clients can `cmp` cached responses against
+//! committed `BENCH_*.json` baselines and caching stays observationally
+//! invisible apart from latency.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A finished sweep report as served to clients.
+#[derive(Debug)]
+pub struct CachedReport {
+    /// The exact `SweepReport::to_json_string` bytes of the report.
+    pub bytes: String,
+    /// Cells the sweep executed to produce it (for accounting; repeats
+    /// served from cache execute zero).
+    pub executed_cells: usize,
+}
+
+#[derive(Debug)]
+struct Entry {
+    report: Arc<CachedReport>,
+    /// Logical timestamp of the last lookup or insertion; the entry with
+    /// the smallest value is the eviction victim.
+    last_used: u64,
+}
+
+/// An LRU report cache with hit/miss/eviction counters. Not internally
+/// synchronized — the server keeps it inside its state mutex.
+#[derive(Debug)]
+pub struct ReportCache {
+    entries: HashMap<u64, Entry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ReportCache {
+    /// An empty cache holding at most `capacity` reports (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        ReportCache {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up a report, counting a hit (and refreshing recency) or a miss.
+    pub fn lookup(&mut self, key: u64) -> Option<Arc<CachedReport>> {
+        self.tick += 1;
+        match self.entries.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(&entry.report))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a report, evicting the least-recently-used entry when full.
+    /// Re-inserting an existing key refreshes both value and recency.
+    pub fn insert(&mut self, key: u64, report: Arc<CachedReport>) {
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                self.entries.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                report,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Requests served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing (each corresponds to one executed sweep).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries discarded by the LRU policy.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Reports currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum resident reports before eviction.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(tag: &str) -> Arc<CachedReport> {
+        Arc::new(CachedReport {
+            bytes: format!("{{\"tag\": \"{tag}\"}}"),
+            executed_cells: 4,
+        })
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses_and_returns_exact_bytes() {
+        let mut cache = ReportCache::new(4);
+        assert!(cache.lookup(1).is_none());
+        cache.insert(1, report("a"));
+        let hit = cache.lookup(1).expect("inserted key must hit");
+        assert_eq!(hit.bytes, "{\"tag\": \"a\"}");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn evicts_least_recently_used_beyond_capacity() {
+        let mut cache = ReportCache::new(2);
+        cache.insert(1, report("a"));
+        cache.insert(2, report("b"));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.lookup(1).is_some());
+        cache.insert(3, report("c"));
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(1).is_some(), "recently used must survive");
+        assert!(cache.lookup(2).is_none(), "LRU entry must be evicted");
+        assert!(cache.lookup(3).is_some());
+    }
+
+    #[test]
+    fn reinserting_a_key_replaces_without_eviction() {
+        let mut cache = ReportCache::new(2);
+        cache.insert(1, report("a"));
+        cache.insert(2, report("b"));
+        cache.insert(1, report("a2"));
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup(1).unwrap().bytes, "{\"tag\": \"a2\"}");
+    }
+
+    #[test]
+    fn capacity_has_a_floor_of_one() {
+        let mut cache = ReportCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.insert(1, report("a"));
+        cache.insert(2, report("b"));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 1);
+    }
+}

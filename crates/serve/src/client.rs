@@ -1,0 +1,186 @@
+//! Blocking client for the sweep service, shared by the `serve-client` bin,
+//! the load-generator bench and the integration tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use crate::protocol::{Request, Response, ServerStats, SweepSpec};
+
+/// Errors a client interaction can produce.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server sent something the protocol decoder rejects.
+    Protocol(String),
+    /// The server answered with a structured `Error` response.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Outcome of a completed submission.
+#[derive(Debug)]
+pub struct SubmitOutcome {
+    /// Server-assigned job id.
+    pub job: u64,
+    /// True when the report came from the report cache without executing.
+    pub cache_hit: bool,
+    /// Cells executed for this request (0 on a cache hit).
+    pub executed_cells: u64,
+    /// The exact measurement-JSON bytes of the sweep report.
+    pub report_json: String,
+}
+
+/// One connection to the daemon. Requests are answered in order, so a
+/// client can issue any number of them over one connection.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to `addr` (`"127.0.0.1:PORT"`).
+    pub fn connect(addr: &str) -> std::io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        // One-line request/response turnarounds: Nagle + delayed ACK would
+        // add ~40 ms to every exchange.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(ServeClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request line.
+    pub fn send(&mut self, request: &Request) -> std::io::Result<()> {
+        let mut line = crate::protocol::to_line(request);
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())
+    }
+
+    /// Reads one response line.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Response::from_line(line.trim_end()).map_err(ClientError::Protocol)
+    }
+
+    /// Sends a request and reads its single response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Submits a sweep and blocks until its terminal report. `on_progress`
+    /// sees every streamed `Progress` line (pass `|_| ()` when `stream` is
+    /// false).
+    pub fn submit(
+        &mut self,
+        spec: SweepSpec,
+        stream: bool,
+        mut on_progress: impl FnMut(&Response),
+    ) -> Result<SubmitOutcome, ClientError> {
+        self.send(&Request::SubmitSweep { spec, stream })?;
+        let job = match self.recv()? {
+            Response::Submitted { job, .. } => job,
+            Response::Error { message } => return Err(ClientError::Server(message)),
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected Submitted, got {other:?}"
+                )))
+            }
+        };
+        loop {
+            match self.recv()? {
+                Response::Progress { .. } if !stream => {
+                    return Err(ClientError::Protocol(
+                        "unrequested Progress line".to_string(),
+                    ))
+                }
+                progress @ Response::Progress { .. } => on_progress(&progress),
+                Response::Report {
+                    job: report_job,
+                    cache_hit,
+                    executed_cells,
+                    report_json,
+                } => {
+                    return Ok(SubmitOutcome {
+                        job: report_job.max(job),
+                        cache_hit,
+                        executed_cells,
+                        report_json,
+                    })
+                }
+                Response::Error { message } => return Err(ClientError::Server(message)),
+                Response::Cancelled { job } => {
+                    return Err(ClientError::Server(format!("job {job} was cancelled")))
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected response {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Queries a job's state.
+    pub fn status(&mut self, job: u64) -> Result<Response, ClientError> {
+        match self.request(&Request::Status { job })? {
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Ok(other),
+        }
+    }
+
+    /// Cancels a queued job.
+    pub fn cancel(&mut self, job: u64) -> Result<Response, ClientError> {
+        match self.request(&Request::CancelJob { job })? {
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Ok(other),
+        }
+    }
+
+    /// Fetches the server counters.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Stats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the daemon to shut down.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected ShuttingDown, got {other:?}"
+            ))),
+        }
+    }
+}

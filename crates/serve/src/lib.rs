@@ -1,0 +1,45 @@
+//! Sweep-as-a-service: a persistent daemon over the plan/execute engine.
+//!
+//! The ROADMAP's "millions of users" shape: instead of re-running a ~81 ms
+//! Full sweep per query, a long-running [`server`] keeps one process-wide
+//! [`numadag_kernels::SpecCache`] hot, batches admitted jobs through one
+//! shared [`numadag_runtime::SweepDriver`], and content-addresses finished
+//! reports in an LRU [`cache::ReportCache`] keyed by the canonical request
+//! fingerprint (workload spec hashes × canonical policy labels × seed ×
+//! backend × rep count). A repeated request — however its policy strings are
+//! spelled — is answered with the byte-identical cached report without
+//! executing anything.
+//!
+//! The wire format ([`protocol`]) is newline-delimited JSON whose sweep
+//! spec reuses the CLI string grammar verbatim, so the committed
+//! `BENCH_figure1_*.json` baselines regenerate bit-exactly through the
+//! service path:
+//!
+//! ```no_run
+//! use numadag_serve::client::ServeClient;
+//! use numadag_serve::protocol::SweepSpec;
+//! use numadag_serve::server::{serve, ServeConfig};
+//!
+//! let handle = serve(ServeConfig::default()).unwrap();
+//! let mut client = ServeClient::connect(&handle.addr().to_string()).unwrap();
+//! let first = client.submit(SweepSpec::default(), false, |_| ()).unwrap();
+//! let again = client.submit(SweepSpec::default(), false, |_| ()).unwrap();
+//! assert!(again.cache_hit);
+//! assert_eq!(first.report_json, again.report_json); // byte-identical
+//! client.shutdown().unwrap();
+//! handle.join();
+//! ```
+//!
+//! Binaries: `numadag-serve` (the daemon) and `serve-client`
+//! (submit/status/stats/cancel/shutdown, used by CI); `ablation serve-load`
+//! in `numadag-bench` is the matching load generator.
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CachedReport, ReportCache};
+pub use client::{ClientError, ServeClient, SubmitOutcome};
+pub use protocol::{Request, ResolvedSweep, Response, ServerStats, SweepSpec};
+pub use server::{serve, serve_with_specs, ServeConfig, ServeHandle};

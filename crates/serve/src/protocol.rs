@@ -1,0 +1,633 @@
+//! Wire protocol of the sweep service: newline-delimited JSON envelopes.
+//!
+//! Every message is one JSON value on one line — compact serialization never
+//! emits raw newlines (string contents are escaped), so a `BufRead::lines`
+//! loop is a complete framing layer. Envelopes use serde's externally-tagged
+//! enum encoding (`"Stats"`, `{"Status": {"job": 1}}`), produced by the
+//! vendored `#[derive(Serialize)]` and parsed back by the hand-written
+//! `from_value` decoders below (the vendored serde has no Deserialize
+//! framework).
+//!
+//! The sweep spec itself reuses the CLI grammar verbatim: applications,
+//! policies, scale and backend travel as the same comma-separated strings
+//! `figure1`/`ablation` accept, so anything expressible on a command line is
+//! expressible in a request.
+
+use numadag_core::PolicyKind;
+use numadag_kernels::{Application, ProblemScale, SpecCache};
+use numadag_numa::Topology;
+use numadag_runtime::{Backend, Experiment};
+use serde::{Serialize, Value};
+
+/// Default seed of the service's sweeps — the same value the benchmark
+/// harness uses, so default service requests reproduce the committed
+/// `BENCH_figure1_*.json` baselines byte-for-byte.
+pub const DEFAULT_SEED: u64 = 0xF1617E;
+
+/// Default policy list of a sweep request (the Figure-1 column set).
+pub const DEFAULT_POLICIES: &str = "dfifo,rgp-las,ep";
+
+/// A sweep request in the CLI string grammar.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct SweepSpec {
+    /// Comma-separated applications (`"jacobi,nstream"`), or `"all"`/empty
+    /// for the whole Figure-1 suite.
+    pub apps: String,
+    /// Problem scale: `tiny`, `small` or `full`.
+    pub scale: String,
+    /// Comma-separated policy labels in registry grammar
+    /// (`"dfifo,rgp-las:w=512,ep"`). The LAS baseline always runs.
+    pub policies: String,
+    /// Execution backend: `simulated` or `threaded`.
+    pub backend: String,
+    /// Seed for all seeded components.
+    pub seed: u64,
+    /// Repetitions per cell.
+    pub reps: usize,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec {
+            apps: "all".to_string(),
+            scale: "tiny".to_string(),
+            policies: DEFAULT_POLICIES.to_string(),
+            backend: "simulated".to_string(),
+            seed: DEFAULT_SEED,
+            reps: 1,
+        }
+    }
+}
+
+impl SweepSpec {
+    /// Parses every string field through the existing registry grammars.
+    pub fn resolve(&self) -> Result<ResolvedSweep, String> {
+        let apps = Application::parse_list(&self.apps)?;
+        let scale: ProblemScale = self.scale.parse()?;
+        let policies = PolicyKind::parse_list(&self.policies).map_err(|e| e.to_string())?;
+        if policies.is_empty() {
+            return Err("policies must name at least one policy".to_string());
+        }
+        let backend: Backend = self.backend.parse()?;
+        if self.reps == 0 {
+            return Err("reps must be at least 1".to_string());
+        }
+        if apps.is_empty() {
+            return Err("apps must name at least one application".to_string());
+        }
+        Ok(ResolvedSweep {
+            apps,
+            scale,
+            policies,
+            backend,
+            seed: self.seed,
+            reps: self.reps,
+        })
+    }
+}
+
+/// A validated sweep request: every string field parsed into the registry
+/// types. The service keys its report cache on the canonical
+/// [`ResolvedSweep::fingerprint`], so two requests spelling the same sweep
+/// differently (`rgp-las:scheme=rb,w=512` vs `rgp-las:w=512,scheme=rb`)
+/// share one cache entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResolvedSweep {
+    pub apps: Vec<Application>,
+    pub scale: ProblemScale,
+    pub policies: Vec<PolicyKind>,
+    pub backend: Backend,
+    pub seed: u64,
+    pub reps: usize,
+}
+
+impl ResolvedSweep {
+    /// The policy columns in report order: the configured policies with the
+    /// LAS baseline deduplicated out and appended last — the same
+    /// normalization [`Experiment::plan`] applies, so the cache key matches
+    /// the cells the report will actually contain.
+    pub fn report_policies(&self) -> Vec<PolicyKind> {
+        let mut policies: Vec<PolicyKind> = self
+            .policies
+            .iter()
+            .copied()
+            .filter(|&k| k != PolicyKind::Las)
+            .collect();
+        policies.push(PolicyKind::Las);
+        policies
+    }
+
+    /// Total cells the sweep will execute (including skippable ones).
+    pub fn total_cells(&self) -> usize {
+        self.apps.len() * self.report_policies().len() * self.reps
+    }
+
+    /// The canonical content fingerprint of this sweep: workload spec hashes
+    /// × canonical policy labels × seed × backend × rep count. Workload
+    /// hashes come from [`SpecCache::fingerprint`], so the first request for
+    /// a workload builds it (and warms the spec cache for the run itself).
+    pub fn fingerprint(&self, specs: &SpecCache, num_sockets: usize) -> u64 {
+        // FNV-1a, same parameters as `TaskGraphSpec::fingerprint`.
+        fn mix(hash: &mut u64, value: u64) {
+            for byte in value.to_le_bytes() {
+                *hash ^= u64::from(byte);
+                *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        fn mix_str(hash: &mut u64, s: &str) {
+            for byte in s.as_bytes() {
+                *hash ^= u64::from(*byte);
+                *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            // Terminator so "ab"+"c" and "a"+"bc" hash differently.
+            *hash ^= 0xff;
+            *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        mix_str(&mut hash, self.backend.label());
+        mix(&mut hash, self.seed);
+        mix(&mut hash, self.reps as u64);
+        mix(&mut hash, num_sockets as u64);
+        mix(&mut hash, self.apps.len() as u64);
+        for &app in &self.apps {
+            mix(&mut hash, specs.fingerprint(app, self.scale, num_sockets));
+        }
+        for policy in self.report_policies() {
+            mix_str(&mut hash, &policy.label());
+        }
+        hash
+    }
+
+    /// The experiment this sweep denotes, bound to the paper's machine and
+    /// baseline exactly like the `figure1` harness — so a default request
+    /// reproduces the committed baselines byte-for-byte.
+    pub fn experiment(&self, topology: Topology, specs: std::sync::Arc<SpecCache>) -> Experiment {
+        Experiment::new()
+            .topology(topology)
+            .apps(self.apps.iter().copied())
+            .scale(self.scale)
+            .policies(self.policies.iter().copied())
+            .baseline(PolicyKind::Las)
+            .backend(self.backend)
+            .repetitions(self.reps)
+            .seed(self.seed)
+            .spec_cache(specs)
+    }
+}
+
+/// A client request. Externally tagged on the wire:
+/// `{"SubmitSweep": {"spec": {...}, "stream": false}}`, `{"Status":
+/// {"job": 1}}`, `"Stats"`, `{"CancelJob": {"job": 1}}`, `"Shutdown"`.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub enum Request {
+    /// Submit a sweep; the connection receives `Submitted`, then (with
+    /// `stream`) per-cell `Progress` lines, then a terminal `Report`.
+    SubmitSweep { spec: SweepSpec, stream: bool },
+    /// Query the state of a job submitted on any connection.
+    Status { job: u64 },
+    /// Cancel a job that is still queued.
+    CancelJob { job: u64 },
+    /// Server counters: admission, report cache, spec cache.
+    Stats,
+    /// Stop accepting work, fail queued jobs and exit the daemon.
+    Shutdown,
+}
+
+/// Server counters returned by [`Request::Stats`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct ServerStats {
+    /// Jobs admitted to the queue (cache misses that will execute).
+    pub jobs_submitted: u64,
+    /// Submissions coalesced onto an already queued/running identical job.
+    pub jobs_coalesced: u64,
+    /// Jobs that finished executing.
+    pub jobs_completed: u64,
+    /// Jobs cancelled while queued.
+    pub jobs_cancelled: u64,
+    /// Jobs failed (currently only by shutdown draining the queue).
+    pub jobs_failed: u64,
+    /// Malformed request lines answered with `Error`.
+    pub requests_malformed: u64,
+    /// Cells actually executed across all jobs — cache hits do not grow
+    /// this, which is how tests verify repeats do not re-execute.
+    pub executed_cells_total: u64,
+    /// Report-cache entries currently resident.
+    pub report_cache_entries: u64,
+    /// Report-cache capacity (LRU evicts beyond this).
+    pub report_cache_capacity: u64,
+    /// Requests served byte-identically from the report cache.
+    pub report_cache_hits: u64,
+    /// Requests that missed the report cache (and executed).
+    pub report_cache_misses: u64,
+    /// Cached reports evicted by the LRU policy.
+    pub report_cache_evictions: u64,
+    /// Lifetime workload builds of the process-wide spec cache.
+    pub spec_cache_builds: u64,
+    /// Lifetime workload lookups served by the process-wide spec cache.
+    pub spec_cache_hits: u64,
+    /// Distinct workload instances resident in the spec cache.
+    pub spec_cache_entries: u64,
+}
+
+/// A server response. One line each; `SubmitSweep` produces a `Submitted`
+/// line, optional `Progress` lines, and a terminal `Report` (or `Error` /
+/// `Cancelled`).
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub enum Response {
+    /// The job id assigned to a submission. `cached` is true when the
+    /// terminal `Report` follows immediately from the report cache.
+    Submitted { job: u64, cached: bool },
+    /// One finished cell of a streaming submission.
+    Progress {
+        job: u64,
+        completed: u64,
+        total: u64,
+        application: String,
+        policy: String,
+        repetition: u64,
+    },
+    /// Terminal response of a submission: the exact measurement-JSON bytes
+    /// of the sweep report (`SweepReport::to_json_string`), embedded as a
+    /// string so the envelope stays one line. `executed_cells` is the number
+    /// of cells executed *for this request* — 0 when served from cache.
+    Report {
+        job: u64,
+        cache_hit: bool,
+        executed_cells: u64,
+        report_json: String,
+    },
+    /// State of a job: `queued`, `running`, `done`, `cancelled` or `failed`.
+    JobStatus {
+        job: u64,
+        state: String,
+        completed: u64,
+        total: u64,
+    },
+    /// Acknowledges a successful `CancelJob`.
+    Cancelled { job: u64 },
+    /// Server counters.
+    Stats(ServerStats),
+    /// Structured failure: the connection stays open, mirroring the bins'
+    /// exit-2-on-usage-error convention without dropping the session.
+    Error { message: String },
+    /// Acknowledges `Shutdown`; the daemon exits after this line.
+    ShuttingDown,
+}
+
+/// Serializes a message to its one-line wire form (no trailing newline).
+pub fn to_line(value: &impl Serialize) -> String {
+    serde_json::to_string(&value.to_value()).expect("message values are always encodable")
+}
+
+fn field<'v>(value: &'v Value, variant: &str, name: &str) -> Result<&'v Value, String> {
+    value
+        .get(name)
+        .ok_or_else(|| format!("{variant} is missing field {name:?}"))
+}
+
+fn str_field(value: &Value, variant: &str, name: &str) -> Result<String, String> {
+    field(value, variant, name)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("{variant}.{name} must be a string"))
+}
+
+fn u64_field(value: &Value, variant: &str, name: &str) -> Result<u64, String> {
+    field(value, variant, name)?
+        .as_u64()
+        .ok_or_else(|| format!("{variant}.{name} must be an unsigned integer"))
+}
+
+fn bool_field(value: &Value, variant: &str, name: &str) -> Result<bool, String> {
+    field(value, variant, name)?
+        .as_bool()
+        .ok_or_else(|| format!("{variant}.{name} must be a boolean"))
+}
+
+/// Splits an externally-tagged envelope into `(variant, payload)`. Unit
+/// variants arrive as bare strings and yield `Value::Null` payloads.
+fn untag(value: &Value) -> Result<(String, &Value), String> {
+    match value {
+        Value::String(tag) => Ok((tag.clone(), &Value::Null)),
+        Value::Object(entries) if entries.len() == 1 => Ok((entries[0].0.clone(), &entries[0].1)),
+        _ => Err("expected a string tag or a single-key object envelope".to_string()),
+    }
+}
+
+impl SweepSpec {
+    /// Decodes a spec object. Missing fields fall back to the defaults, so
+    /// clients may send only what they override.
+    pub fn from_value(value: &Value) -> Result<SweepSpec, String> {
+        if value.as_object().is_none() {
+            return Err("SubmitSweep.spec must be an object".to_string());
+        }
+        let defaults = SweepSpec::default();
+        let str_or = |name: &str, default: &str| -> Result<String, String> {
+            match value.get(name) {
+                None => Ok(default.to_string()),
+                Some(v) => v
+                    .as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("spec.{name} must be a string")),
+            }
+        };
+        let u64_or = |name: &str, default: u64| -> Result<u64, String> {
+            match value.get(name) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| format!("spec.{name} must be an unsigned integer")),
+            }
+        };
+        Ok(SweepSpec {
+            apps: str_or("apps", &defaults.apps)?,
+            scale: str_or("scale", &defaults.scale)?,
+            policies: str_or("policies", &defaults.policies)?,
+            backend: str_or("backend", &defaults.backend)?,
+            seed: u64_or("seed", defaults.seed)?,
+            reps: u64_or("reps", defaults.reps as u64)? as usize,
+        })
+    }
+}
+
+impl Request {
+    /// Decodes a request envelope.
+    pub fn from_value(value: &Value) -> Result<Request, String> {
+        let (tag, payload) = untag(value)?;
+        match tag.as_str() {
+            "SubmitSweep" => Ok(Request::SubmitSweep {
+                spec: SweepSpec::from_value(field(payload, "SubmitSweep", "spec")?)?,
+                stream: match payload.get("stream") {
+                    None => false,
+                    Some(_) => bool_field(payload, "SubmitSweep", "stream")?,
+                },
+            }),
+            "Status" => Ok(Request::Status {
+                job: u64_field(payload, "Status", "job")?,
+            }),
+            "CancelJob" => Ok(Request::CancelJob {
+                job: u64_field(payload, "CancelJob", "job")?,
+            }),
+            "Stats" => Ok(Request::Stats),
+            "Shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown request {other:?}")),
+        }
+    }
+
+    /// Decodes one wire line.
+    pub fn from_line(line: &str) -> Result<Request, String> {
+        let value = serde_json::from_str(line).map_err(|e| format!("invalid JSON: {e}"))?;
+        Request::from_value(&value)
+    }
+}
+
+impl ServerStats {
+    fn from_value(value: &Value) -> Result<ServerStats, String> {
+        let get = |name: &str| u64_field(value, "Stats", name);
+        Ok(ServerStats {
+            jobs_submitted: get("jobs_submitted")?,
+            jobs_coalesced: get("jobs_coalesced")?,
+            jobs_completed: get("jobs_completed")?,
+            jobs_cancelled: get("jobs_cancelled")?,
+            jobs_failed: get("jobs_failed")?,
+            requests_malformed: get("requests_malformed")?,
+            executed_cells_total: get("executed_cells_total")?,
+            report_cache_entries: get("report_cache_entries")?,
+            report_cache_capacity: get("report_cache_capacity")?,
+            report_cache_hits: get("report_cache_hits")?,
+            report_cache_misses: get("report_cache_misses")?,
+            report_cache_evictions: get("report_cache_evictions")?,
+            spec_cache_builds: get("spec_cache_builds")?,
+            spec_cache_hits: get("spec_cache_hits")?,
+            spec_cache_entries: get("spec_cache_entries")?,
+        })
+    }
+}
+
+impl Response {
+    /// Decodes a response envelope.
+    pub fn from_value(value: &Value) -> Result<Response, String> {
+        let (tag, payload) = untag(value)?;
+        match tag.as_str() {
+            "Submitted" => Ok(Response::Submitted {
+                job: u64_field(payload, "Submitted", "job")?,
+                cached: bool_field(payload, "Submitted", "cached")?,
+            }),
+            "Progress" => Ok(Response::Progress {
+                job: u64_field(payload, "Progress", "job")?,
+                completed: u64_field(payload, "Progress", "completed")?,
+                total: u64_field(payload, "Progress", "total")?,
+                application: str_field(payload, "Progress", "application")?,
+                policy: str_field(payload, "Progress", "policy")?,
+                repetition: u64_field(payload, "Progress", "repetition")?,
+            }),
+            "Report" => Ok(Response::Report {
+                job: u64_field(payload, "Report", "job")?,
+                cache_hit: bool_field(payload, "Report", "cache_hit")?,
+                executed_cells: u64_field(payload, "Report", "executed_cells")?,
+                report_json: str_field(payload, "Report", "report_json")?,
+            }),
+            "JobStatus" => Ok(Response::JobStatus {
+                job: u64_field(payload, "JobStatus", "job")?,
+                state: str_field(payload, "JobStatus", "state")?,
+                completed: u64_field(payload, "JobStatus", "completed")?,
+                total: u64_field(payload, "JobStatus", "total")?,
+            }),
+            "Cancelled" => Ok(Response::Cancelled {
+                job: u64_field(payload, "Cancelled", "job")?,
+            }),
+            "Stats" => Ok(Response::Stats(ServerStats::from_value(payload)?)),
+            "Error" => Ok(Response::Error {
+                message: str_field(payload, "Error", "message")?,
+            }),
+            "ShuttingDown" => Ok(Response::ShuttingDown),
+            other => Err(format!("unknown response {other:?}")),
+        }
+    }
+
+    /// Decodes one wire line.
+    pub fn from_line(line: &str) -> Result<Response, String> {
+        let value = serde_json::from_str(line).map_err(|e| format!("invalid JSON: {e}"))?;
+        Response::from_value(&value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_the_wire_form() {
+        let requests = [
+            Request::SubmitSweep {
+                spec: SweepSpec::default(),
+                stream: true,
+            },
+            Request::Status { job: 7 },
+            Request::CancelJob { job: 2 },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in requests {
+            let line = to_line(&req);
+            assert!(!line.contains('\n'), "wire form must be one line: {line}");
+            assert_eq!(Request::from_line(&line), Ok(req.clone()), "{line}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_wire_form() {
+        let responses = [
+            Response::Submitted {
+                job: 1,
+                cached: false,
+            },
+            Response::Progress {
+                job: 1,
+                completed: 3,
+                total: 32,
+                application: "Jacobi".to_string(),
+                policy: "RGP+LAS".to_string(),
+                repetition: 0,
+            },
+            Response::Report {
+                job: 1,
+                cache_hit: true,
+                executed_cells: 0,
+                report_json: "{\n  \"machine\": \"bullion_s16\"\n}".to_string(),
+            },
+            Response::JobStatus {
+                job: 1,
+                state: "running".to_string(),
+                completed: 3,
+                total: 32,
+            },
+            Response::Cancelled { job: 2 },
+            Response::Stats(ServerStats::default()),
+            Response::Error {
+                message: "unknown scale 'huge'".to_string(),
+            },
+            Response::ShuttingDown,
+        ];
+        for resp in responses {
+            let line = to_line(&resp);
+            assert!(!line.contains('\n'), "wire form must be one line: {line}");
+            assert_eq!(Response::from_line(&line), Ok(resp.clone()), "{line}");
+        }
+    }
+
+    #[test]
+    fn report_json_bytes_survive_embedding_exactly() {
+        // The embedded report is multi-line pretty JSON; the envelope must
+        // carry it byte-exactly so clients can `cmp` against baselines.
+        let pretty = "{\n  \"a\": [1, 2],\n  \"s\": \"x\\\"y\"\n}";
+        let line = to_line(&Response::Report {
+            job: 9,
+            cache_hit: false,
+            executed_cells: 4,
+            report_json: pretty.to_string(),
+        });
+        match Response::from_line(&line).unwrap() {
+            Response::Report { report_json, .. } => assert_eq!(report_json, pretty),
+            other => panic!("expected Report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spec_resolution_reuses_the_cli_grammar() {
+        let spec = SweepSpec {
+            apps: "jacobi,nstream".to_string(),
+            scale: "small".to_string(),
+            policies: "dfifo,rgp-las:scheme=rb,w=64".to_string(),
+            backend: "sim".to_string(),
+            seed: 42,
+            reps: 2,
+        };
+        let resolved = spec.resolve().unwrap();
+        assert_eq!(
+            resolved.apps,
+            vec![Application::Jacobi, Application::NStream]
+        );
+        assert_eq!(resolved.scale, ProblemScale::Small);
+        assert_eq!(resolved.backend, Backend::Simulated);
+        // dfifo, rgp-las:..., + appended baseline LAS.
+        assert_eq!(resolved.report_policies().len(), 3);
+        assert_eq!(resolved.total_cells(), 2 * 3 * 2);
+    }
+
+    #[test]
+    fn malformed_specs_resolve_to_errors() {
+        for (field, value) in [
+            ("scale", "huge"),
+            ("policies", "bogus"),
+            ("backend", "gpu"),
+            ("apps", "fft"),
+        ] {
+            let mut spec = SweepSpec::default();
+            match field {
+                "scale" => spec.scale = value.to_string(),
+                "policies" => spec.policies = value.to_string(),
+                "backend" => spec.backend = value.to_string(),
+                _ => spec.apps = value.to_string(),
+            }
+            assert!(spec.resolve().is_err(), "{field}={value} must fail");
+        }
+        let spec = SweepSpec {
+            reps: 0,
+            ..SweepSpec::default()
+        };
+        assert!(spec.resolve().is_err());
+    }
+
+    #[test]
+    fn equivalent_policy_spellings_share_a_fingerprint() {
+        let specs = SpecCache::new();
+        let a = SweepSpec {
+            policies: "rgp-las:scheme=rb,w=512".to_string(),
+            ..SweepSpec::default()
+        };
+        let b = SweepSpec {
+            policies: "RGP+LAS:w=512,scheme=rb".to_string(),
+            ..SweepSpec::default()
+        };
+        let c = SweepSpec {
+            policies: "rgp-las:w=256".to_string(),
+            ..SweepSpec::default()
+        };
+        let fa = a.resolve().unwrap().fingerprint(&specs, 2);
+        let fb = b.resolve().unwrap().fingerprint(&specs, 2);
+        let fc = c.resolve().unwrap().fingerprint(&specs, 2);
+        assert_eq!(fa, fb, "reordered params must share a cache key");
+        assert_ne!(fa, fc, "different windows must not collide");
+    }
+
+    #[test]
+    fn fingerprint_tracks_seed_backend_reps_and_scale() {
+        let specs = SpecCache::new();
+        let base = SweepSpec::default().resolve().unwrap();
+        let fp = base.fingerprint(&specs, 2);
+        let mut seeded = base.clone();
+        seeded.seed = 1;
+        assert_ne!(fp, seeded.fingerprint(&specs, 2));
+        let mut reps = base.clone();
+        reps.reps = 3;
+        assert_ne!(fp, reps.fingerprint(&specs, 2));
+        let mut backend = base.clone();
+        backend.backend = Backend::Threaded;
+        assert_ne!(fp, backend.fingerprint(&specs, 2));
+        let mut scale = base.clone();
+        scale.scale = ProblemScale::Small;
+        assert_ne!(fp, scale.fingerprint(&specs, 2));
+        assert_ne!(fp, base.fingerprint(&specs, 4), "socket count matters");
+    }
+
+    #[test]
+    fn partial_spec_objects_fill_in_defaults() {
+        let value = serde_json::from_str(r#"{"scale": "small", "seed": 9}"#).unwrap();
+        let spec = SweepSpec::from_value(&value).unwrap();
+        assert_eq!(spec.scale, "small");
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.policies, DEFAULT_POLICIES);
+        assert_eq!(spec.apps, "all");
+    }
+}

@@ -1,0 +1,606 @@
+//! The sweep daemon: a TCP listener, an admission queue, and one worker
+//! thread draining admitted jobs through a single shared
+//! [`SweepDriver`] over the process-wide [`SpecCache`].
+//!
+//! Life of a request:
+//!
+//! 1. A connection handler parses one JSON line into a
+//!    [`Request`](crate::protocol::Request). Malformed lines are answered
+//!    with a structured `Error` and the connection survives (the service
+//!    analogue of the bins' exit-2 usage convention).
+//! 2. `SubmitSweep` resolves the spec through the CLI grammar, computes the
+//!    canonical fingerprint, and admits the job: coalesced onto an identical
+//!    queued/running job, answered instantly from the report cache, or
+//!    enqueued. The handler then blocks on the job's subscriber channel,
+//!    forwarding `Progress` lines (when streaming) until the terminal
+//!    `Report`.
+//! 3. The worker pops the queue, plans the experiment against the shared
+//!    spec cache, executes it on the shared driver (whose
+//!    `on_cell_complete` hook fans progress out to subscribers), serializes
+//!    the measurement bytes once, stores them in the LRU report cache and
+//!    hands the same bytes to every subscriber — byte-identical for all
+//!    clients, now and on every future cache hit.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use numadag_kernels::SpecCache;
+use numadag_numa::Topology;
+use numadag_runtime::{CellProgress, SweepDriver};
+
+use crate::cache::{CachedReport, ReportCache};
+use crate::protocol::{Request, ResolvedSweep, Response, ServerStats, SweepSpec};
+
+/// Configuration of a daemon instance.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address; port 0 binds an ephemeral port (read the actual one
+    /// from [`ServeHandle::addr`]).
+    pub addr: String,
+    /// Report-cache capacity (LRU evicts beyond this).
+    pub cache_capacity: usize,
+    /// Worker threads per sweep (the driver's `parallelism`; 0 = one per
+    /// core).
+    pub jobs: usize,
+    /// Machine topology every sweep runs on (the paper's bullion S16 by
+    /// default, matching the `figure1` harness).
+    pub topology: Topology,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            cache_capacity: 64,
+            jobs: 1,
+            topology: Topology::bullion_s16(),
+        }
+    }
+}
+
+/// Job lifecycle states, as reported by `Status`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+    Done,
+    Cancelled,
+    Failed,
+}
+
+impl JobState {
+    fn label(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+/// One subscriber of a job: the sending half of the handler's channel, plus
+/// whether it asked for per-cell progress.
+struct Subscriber {
+    tx: Sender<Response>,
+    wants_progress: bool,
+}
+
+struct Job {
+    key: u64,
+    spec: ResolvedSweep,
+    state: JobState,
+    completed: usize,
+    total: usize,
+    result: Option<Arc<CachedReport>>,
+    subscribers: Vec<Subscriber>,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: u64,
+    coalesced: u64,
+    completed: u64,
+    cancelled: u64,
+    failed: u64,
+    malformed: u64,
+    executed_cells: u64,
+}
+
+struct State {
+    next_job: u64,
+    queue: VecDeque<u64>,
+    jobs: HashMap<u64, Job>,
+    cache: ReportCache,
+    /// The job the worker is currently executing (routes driver progress
+    /// callbacks; the worker runs one sweep at a time).
+    current: Option<u64>,
+    counters: Counters,
+}
+
+struct Shared {
+    config: ServeConfig,
+    addr: SocketAddr,
+    specs: Arc<SpecCache>,
+    state: Mutex<State>,
+    work: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A running daemon: join it to block until shutdown.
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+    worker: JoinHandle<()>,
+}
+
+impl ServeHandle {
+    /// The actual bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The process-wide spec cache the daemon serves from.
+    pub fn specs(&self) -> Arc<SpecCache> {
+        Arc::clone(&self.shared.specs)
+    }
+
+    /// Requests shutdown without a client connection (used by tests and the
+    /// load generator; remote clients send [`Request::Shutdown`]).
+    pub fn shutdown(&self) {
+        begin_shutdown(&self.shared);
+    }
+
+    /// Blocks until the daemon has shut down.
+    pub fn join(self) {
+        self.accept.join().expect("accept thread panicked");
+        self.worker.join().expect("worker thread panicked");
+    }
+}
+
+/// Binds the listener and spawns the accept + worker threads. Returns once
+/// the address is bound, so callers can immediately connect.
+pub fn serve(config: ServeConfig) -> std::io::Result<ServeHandle> {
+    serve_with_specs(config, Arc::new(SpecCache::new()))
+}
+
+/// Like [`serve`], but over a caller-provided spec cache (so embedding
+/// processes — tests, the load generator — can share or inspect it).
+pub fn serve_with_specs(
+    config: ServeConfig,
+    specs: Arc<SpecCache>,
+) -> std::io::Result<ServeHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let cache_capacity = config.cache_capacity;
+    let shared = Arc::new(Shared {
+        config,
+        addr,
+        specs,
+        state: Mutex::new(State {
+            next_job: 1,
+            queue: VecDeque::new(),
+            jobs: HashMap::new(),
+            cache: ReportCache::new(cache_capacity),
+            current: None,
+            counters: Counters::default(),
+        }),
+        work: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || accept_loop(listener, shared))
+    };
+    let worker = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || worker_loop(shared))
+    };
+    Ok(ServeHandle {
+        shared,
+        accept,
+        worker,
+    })
+}
+
+/// Flags shutdown and wakes both the worker (condvar) and the accept loop
+/// (self-connection, since `accept` has no timeout in std).
+fn begin_shutdown(shared: &Arc<Shared>) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    shared.work.notify_all();
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(&shared);
+        // Handlers are detached: they exit when their client disconnects or
+        // after answering the terminal response of a dead daemon.
+        std::thread::spawn(move || handle_connection(stream, shared));
+    }
+}
+
+fn write_line(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut line = crate::protocol::to_line(response);
+    line.push('\n');
+    stream.write_all(line.as_bytes())
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    // See `ServeClient::connect`: without this, Nagle + delayed ACK cost
+    // ~40 ms per request/response turnaround.
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Request::from_line(&line) {
+            Ok(request) => request,
+            Err(message) => {
+                // Malformed request: structured error, connection survives.
+                shared.state.lock().unwrap().counters.malformed += 1;
+                if write_line(&mut writer, &Response::Error { message }).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let keep_going = match request {
+            Request::SubmitSweep { spec, stream } => {
+                handle_submit(&shared, &mut writer, &spec, stream)
+            }
+            Request::Status { job } => {
+                write_line(&mut writer, &status_response(&shared, job)).is_ok()
+            }
+            Request::CancelJob { job } => {
+                write_line(&mut writer, &cancel_job(&shared, job)).is_ok()
+            }
+            Request::Stats => write_line(&mut writer, &Response::Stats(stats(&shared))).is_ok(),
+            Request::Shutdown => {
+                let _ = write_line(&mut writer, &Response::ShuttingDown);
+                begin_shutdown(&shared);
+                false
+            }
+        };
+        if !keep_going {
+            break;
+        }
+    }
+}
+
+/// Admits a submission and forwards its responses; returns false when the
+/// connection died.
+fn handle_submit(
+    shared: &Arc<Shared>,
+    writer: &mut TcpStream,
+    spec: &SweepSpec,
+    wants_progress: bool,
+) -> bool {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return write_line(
+            writer,
+            &Response::Error {
+                message: "server is shutting down".to_string(),
+            },
+        )
+        .is_ok();
+    }
+    let resolved = match spec.resolve() {
+        Ok(resolved) => resolved,
+        Err(message) => {
+            return write_line(writer, &Response::Error { message }).is_ok();
+        }
+    };
+    // Fingerprinting may build workload specs (warming the shared spec
+    // cache for the run itself) — do it outside the state lock.
+    let key = resolved.fingerprint(&shared.specs, shared.config.topology.num_sockets());
+    let total = resolved.total_cells();
+
+    let (tx, rx) = channel::<Response>();
+    let (job_id, admitted) = {
+        let mut state = shared.state.lock().unwrap();
+        // 1) Coalesce onto an identical queued/running job: it executes
+        //    once, every subscriber gets the same bytes.
+        let in_flight = state
+            .jobs
+            .iter()
+            .filter(|(_, j)| {
+                j.key == key && matches!(j.state, JobState::Queued | JobState::Running)
+            })
+            .map(|(&id, _)| id)
+            .next();
+        if let Some(id) = in_flight {
+            state.counters.coalesced += 1;
+            let job = state.jobs.get_mut(&id).unwrap();
+            job.subscribers.push(Subscriber { tx, wants_progress });
+            (id, Admission::Coalesced)
+        } else {
+            let id = state.next_job;
+            state.next_job += 1;
+            // 2) Serve a repeat from the report cache without executing.
+            if let Some(report) = state.cache.lookup(key) {
+                state.jobs.insert(
+                    id,
+                    Job {
+                        key,
+                        spec: resolved,
+                        state: JobState::Done,
+                        completed: total,
+                        total,
+                        result: Some(Arc::clone(&report)),
+                        subscribers: Vec::new(),
+                    },
+                );
+                (id, Admission::CacheHit(report))
+            } else {
+                // 3) Fresh work: enqueue for the worker.
+                state.counters.submitted += 1;
+                state.jobs.insert(
+                    id,
+                    Job {
+                        key,
+                        spec: resolved,
+                        state: JobState::Queued,
+                        completed: 0,
+                        total,
+                        result: None,
+                        subscribers: vec![Subscriber { tx, wants_progress }],
+                    },
+                );
+                state.queue.push_back(id);
+                shared.work.notify_all();
+                (id, Admission::Enqueued)
+            }
+        }
+    };
+
+    let cached = matches!(admitted, Admission::CacheHit(_));
+    if write_line(
+        writer,
+        &Response::Submitted {
+            job: job_id,
+            cached,
+        },
+    )
+    .is_err()
+    {
+        return false;
+    }
+    match admitted {
+        Admission::CacheHit(report) => write_line(
+            writer,
+            &Response::Report {
+                job: job_id,
+                cache_hit: true,
+                executed_cells: 0,
+                report_json: report.bytes.clone(),
+            },
+        )
+        .is_ok(),
+        Admission::Coalesced | Admission::Enqueued => {
+            // Forward progress + terminal from the worker. The sender side
+            // is dropped once the job reaches a terminal state, ending the
+            // iteration even if we somehow miss a terminal message.
+            for response in rx {
+                let terminal = matches!(
+                    response,
+                    Response::Report { .. } | Response::Error { .. } | Response::Cancelled { .. }
+                );
+                if write_line(writer, &response).is_err() {
+                    return false;
+                }
+                if terminal {
+                    break;
+                }
+            }
+            true
+        }
+    }
+}
+
+enum Admission {
+    Enqueued,
+    Coalesced,
+    CacheHit(Arc<CachedReport>),
+}
+
+fn status_response(shared: &Arc<Shared>, job: u64) -> Response {
+    let state = shared.state.lock().unwrap();
+    match state.jobs.get(&job) {
+        Some(j) => Response::JobStatus {
+            job,
+            state: j.state.label().to_string(),
+            completed: j.completed as u64,
+            total: j.total as u64,
+        },
+        None => Response::Error {
+            message: format!("unknown job {job}"),
+        },
+    }
+}
+
+fn cancel_job(shared: &Arc<Shared>, job: u64) -> Response {
+    let mut state = shared.state.lock().unwrap();
+    let Some(j) = state.jobs.get_mut(&job) else {
+        return Response::Error {
+            message: format!("unknown job {job}"),
+        };
+    };
+    match j.state {
+        JobState::Queued => {
+            j.state = JobState::Cancelled;
+            for sub in j.subscribers.drain(..) {
+                let _ = sub.tx.send(Response::Cancelled { job });
+            }
+            state.queue.retain(|&id| id != job);
+            state.counters.cancelled += 1;
+            Response::Cancelled { job }
+        }
+        other => Response::Error {
+            message: format!(
+                "job {job} is {}; only queued jobs can be cancelled",
+                other.label()
+            ),
+        },
+    }
+}
+
+fn stats(shared: &Arc<Shared>) -> ServerStats {
+    let state = shared.state.lock().unwrap();
+    ServerStats {
+        jobs_submitted: state.counters.submitted,
+        jobs_coalesced: state.counters.coalesced,
+        jobs_completed: state.counters.completed,
+        jobs_cancelled: state.counters.cancelled,
+        jobs_failed: state.counters.failed,
+        requests_malformed: state.counters.malformed,
+        executed_cells_total: state.counters.executed_cells,
+        report_cache_entries: state.cache.len() as u64,
+        report_cache_capacity: state.cache.capacity() as u64,
+        report_cache_hits: state.cache.hits(),
+        report_cache_misses: state.cache.misses(),
+        report_cache_evictions: state.cache.evictions(),
+        spec_cache_builds: shared.specs.builds() as u64,
+        spec_cache_hits: shared.specs.hits() as u64,
+        spec_cache_entries: shared.specs.len() as u64,
+    }
+}
+
+/// The single worker: one shared driver, one sweep at a time, every plan
+/// drawn from the process-wide spec cache.
+fn worker_loop(shared: Arc<Shared>) {
+    let driver = {
+        let shared = Arc::clone(&shared);
+        SweepDriver::new()
+            .parallelism(shared.config.jobs)
+            .on_cell_complete(move |progress: &CellProgress| on_progress(&shared, progress))
+    };
+
+    loop {
+        let (job_id, spec) = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    drain_on_shutdown(&mut state);
+                    return;
+                }
+                if let Some(id) = state.queue.pop_front() {
+                    let job = state.jobs.get_mut(&id).expect("queued job must exist");
+                    job.state = JobState::Running;
+                    state.current = Some(id);
+                    let spec = state.jobs[&id].spec.clone();
+                    break (id, spec);
+                }
+                state = shared.work.wait(state).unwrap();
+            }
+        };
+
+        let plan = spec
+            .experiment(shared.config.topology.clone(), Arc::clone(&shared.specs))
+            .plan();
+        let report = driver.execute(&plan);
+        let bytes = report.to_json_string();
+        let executed = report.cells.len();
+
+        let mut state = shared.state.lock().unwrap();
+        let cached = Arc::new(CachedReport {
+            bytes,
+            executed_cells: executed,
+        });
+        let key = state.jobs[&job_id].key;
+        state.cache.insert(key, Arc::clone(&cached));
+        state.counters.completed += 1;
+        state.counters.executed_cells += executed as u64;
+        state.current = None;
+        let job = state.jobs.get_mut(&job_id).unwrap();
+        job.state = JobState::Done;
+        job.completed = job.total;
+        job.result = Some(Arc::clone(&cached));
+        for sub in job.subscribers.drain(..) {
+            let _ = sub.tx.send(Response::Report {
+                job: job_id,
+                cache_hit: false,
+                executed_cells: executed as u64,
+                report_json: cached.bytes.clone(),
+            });
+        }
+    }
+}
+
+/// Routes a driver progress callback to the running job's subscribers.
+fn on_progress(shared: &Arc<Shared>, progress: &CellProgress) {
+    let mut state = shared.state.lock().unwrap();
+    let Some(job_id) = state.current else { return };
+    let Some(job) = state.jobs.get_mut(&job_id) else {
+        return;
+    };
+    job.completed = progress.completed;
+    for sub in job.subscribers.iter().filter(|s| s.wants_progress) {
+        let _ = sub.tx.send(Response::Progress {
+            job: job_id,
+            completed: progress.completed as u64,
+            total: progress.total as u64,
+            application: progress.application.clone(),
+            policy: progress.policy.clone(),
+            repetition: progress.repetition as u64,
+        });
+    }
+}
+
+/// Fails everything still queued when the daemon stops, so blocked
+/// submitters get a terminal response instead of hanging.
+fn drain_on_shutdown(state: &mut State) {
+    while let Some(id) = state.queue.pop_front() {
+        state.counters.failed += 1;
+        let job = state.jobs.get_mut(&id).expect("queued job must exist");
+        job.state = JobState::Failed;
+        for sub in job.subscribers.drain(..) {
+            let _ = sub.tx.send(Response::Error {
+                message: "server shut down before the job ran".to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_binds_ephemeral_loopback() {
+        let config = ServeConfig::default();
+        assert_eq!(config.addr, "127.0.0.1:0");
+        assert_eq!(config.topology.num_sockets(), 8);
+        assert_eq!(config.cache_capacity, 64);
+    }
+
+    #[test]
+    fn job_states_have_stable_labels() {
+        for (state, label) in [
+            (JobState::Queued, "queued"),
+            (JobState::Running, "running"),
+            (JobState::Done, "done"),
+            (JobState::Cancelled, "cancelled"),
+            (JobState::Failed, "failed"),
+        ] {
+            assert_eq!(state.label(), label);
+        }
+    }
+}

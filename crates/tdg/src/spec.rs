@@ -68,6 +68,55 @@ impl TaskGraphSpec {
         self.ep_socket.as_ref().map(|v| v[task.index()])
     }
 
+    /// A stable 64-bit content fingerprint of the workload.
+    ///
+    /// Hashes (FNV-1a) everything that determines execution behaviour: the
+    /// name, every task's kind/work/accesses, the dependence edges with their
+    /// byte weights, the region-size table and the expert placement. Two
+    /// specs with identical content always fingerprint identically, across
+    /// processes and runs — the report cache in `numadag-serve` uses this to
+    /// content-address sweep results, so the hash must not depend on pointer
+    /// identity, hash-map iteration order or `DefaultHasher` seeding.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_str(&self.name);
+        h.write_u64(self.graph.num_tasks() as u64);
+        h.write_u64(self.graph.num_edges() as u64);
+        for task in self.graph.tasks() {
+            h.write_str(&task.kind);
+            h.write_u64(task.work_units.to_bits());
+            h.write_u64(task.accesses.len() as u64);
+            for access in &task.accesses {
+                h.write_u64(access.region.index() as u64);
+                h.write_u64(match access.mode {
+                    crate::task::AccessMode::In => 0,
+                    crate::task::AccessMode::Out => 1,
+                    crate::task::AccessMode::InOut => 2,
+                });
+                h.write_u64(access.bytes);
+            }
+        }
+        for id in self.graph.task_ids() {
+            for &(succ, bytes) in self.graph.successors(id) {
+                h.write_u64(succ.index() as u64);
+                h.write_u64(bytes);
+            }
+        }
+        for &size in &self.region_sizes {
+            h.write_u64(size);
+        }
+        match &self.ep_socket {
+            None => h.write_u64(u64::MAX),
+            Some(placement) => {
+                h.write_u64(placement.len() as u64);
+                for &socket in placement {
+                    h.write_u64(socket as u64);
+                }
+            }
+        }
+        h.finish()
+    }
+
     /// Sanity checks: every task access refers to a known region, its byte
     /// count does not exceed the region size, and the graph is acyclic.
     /// Returns a human readable error description on failure.
@@ -98,6 +147,38 @@ impl TaskGraphSpec {
             }
         }
         Ok(())
+    }
+}
+
+/// Minimal FNV-1a 64-bit hasher: deterministic across runs and platforms,
+/// unlike `std::collections::hash_map::DefaultHasher` which is seeded.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_byte(&mut self, byte: u8) {
+        self.0 ^= u64::from(byte);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.write_byte(byte);
+        }
+    }
+
+    fn write_str(&mut self, value: &str) {
+        self.write_u64(value.len() as u64);
+        for byte in value.as_bytes() {
+            self.write_byte(*byte);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -155,5 +236,50 @@ mod tests {
         let mut s = small_spec();
         s.region_sizes.pop();
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_for_equal_content() {
+        let a = small_spec();
+        let b = small_spec();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Known anchor: the fingerprint is a pure function of content, so it
+        // must not drift between runs of the same build.
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_content_dimension() {
+        let base = small_spec();
+        let fp = base.fingerprint();
+
+        let mut renamed = base.clone();
+        renamed.name = "toy2".to_string();
+        assert_ne!(fp, renamed.fingerprint(), "name must be hashed");
+
+        let mut resized = base.clone();
+        resized.region_sizes[0] += 1;
+        assert_ne!(fp, resized.fingerprint(), "region sizes must be hashed");
+
+        let placed = base.clone().with_ep_placement(vec![0, 1, 0]);
+        assert_ne!(fp, placed.fingerprint(), "EP placement must be hashed");
+        let other_placement = base.clone().with_ep_placement(vec![1, 1, 0]);
+        assert_ne!(
+            placed.fingerprint(),
+            other_placement.fingerprint(),
+            "distinct placements must differ"
+        );
+
+        let mut reworked = base.clone();
+        reworked.graph = {
+            let mut b = TdgBuilder::new();
+            let r0 = b.region(128);
+            let r1 = b.region(256);
+            b.submit(TaskSpec::new("w0").work(1.5).writes(r0, 128));
+            b.submit(TaskSpec::new("w1").work(1.0).writes(r1, 256));
+            b.submit(TaskSpec::new("sum").work(2.0).reads(r0, 128).reads(r1, 256));
+            b.finish().0
+        };
+        assert_ne!(fp, reworked.fingerprint(), "task work must be hashed");
     }
 }

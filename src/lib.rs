@@ -81,7 +81,8 @@
 //! | [`runtime`] (`numadag-runtime`) | `Executor` trait, simulator + threaded backends, plan/execute sweep engine (`Experiment` → `SweepPlan` → `SweepDriver` → `SweepReport` + `bench-diff`) |
 //! | [`kernels`] (`numadag-kernels`) | the eight applications of Figure 1 + dense linalg |
 //! | [`trace`] (`numadag-trace`) | execution traces: event model + sinks, critical-path/traffic/locality/queue analytics, two-policy divergence comparison |
-//! | `numadag-bench` (not re-exported) | benchmark harness: `figure1`/`ablation` bins + criterion benches |
+//! | [`serve`] (`numadag-serve`) | the sweep service: TCP daemon + client speaking newline-delimited JSON, content-addressed report cache, `numadag-serve`/`serve-client` bins |
+//! | `numadag-bench` (not re-exported) | benchmark harness: `figure1`/`ablation` bins (incl. `serve-load`) + criterion benches |
 //!
 //! ## Observability
 //!
@@ -109,6 +110,28 @@
 //! println!("{diverging}"); // ranked tasks/regions where RGP+LAS loses time
 //! ```
 //!
+//! ## Sweep service
+//!
+//! The [`serve`] subsystem turns the sweep engine into a long-running
+//! daemon: a TCP listener speaking newline-delimited JSON, one process-wide
+//! [`kernels::SpecCache`], one shared [`runtime::SweepDriver`], and a
+//! content-addressed LRU report cache keyed by the canonical request
+//! fingerprint — repeated requests (however their policy strings are
+//! spelled) return byte-identical reports without executing:
+//!
+//! ```rust,no_run
+//! use numadag::prelude::*;
+//! use numadag::serve::serve;
+//!
+//! let handle = serve(ServeConfig::default()).unwrap();
+//! let mut client = ServeClient::connect(&handle.addr().to_string()).unwrap();
+//! let first = client.submit(SweepSpec::default(), false, |_| ()).unwrap();
+//! let again = client.submit(SweepSpec::default(), false, |_| ()).unwrap();
+//! assert!(again.cache_hit && again.report_json == first.report_json);
+//! client.shutdown().unwrap();
+//! handle.join();
+//! ```
+//!
 //! ## Examples
 //!
 //! Four runnable examples live in `examples/` (`cargo run --example <name> --release`):
@@ -129,6 +152,7 @@ pub use numadag_graph as graph;
 pub use numadag_kernels as kernels;
 pub use numadag_numa as numa;
 pub use numadag_runtime as runtime;
+pub use numadag_serve as serve;
 pub use numadag_tdg as tdg;
 pub use numadag_trace as trace;
 
@@ -146,6 +170,7 @@ pub mod prelude {
         StealMode, SweepCell, SweepDiff, SweepDriver, SweepPlan, SweepReport, SweepTiming,
         ThreadedExecutor,
     };
+    pub use numadag_serve::{ServeClient, ServeConfig, ServeHandle, ServerStats, SweepSpec};
     pub use numadag_tdg::{
         AccessMode, DataAccess, TaskGraph, TaskGraphSpec, TaskId, TaskSpec, TdgBuilder,
         WindowConfig,

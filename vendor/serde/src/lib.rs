@@ -241,4 +241,69 @@ mod tests {
             )])
         );
     }
+
+    #[test]
+    fn derive_serializes_enums_externally_tagged() {
+        #[derive(Serialize)]
+        enum Message {
+            /// Unit variants become bare strings.
+            Ping,
+            Jump(u32),
+            Move {
+                /// Doc comments on variant fields are skipped too.
+                x: f64,
+                label: String,
+            },
+        }
+
+        assert_eq!(Message::Ping.to_value(), Value::String("Ping".to_string()));
+        assert_eq!(
+            Message::Jump(3).to_value(),
+            Value::Object(vec![("Jump".to_string(), Value::Number(3.0))])
+        );
+        assert_eq!(
+            Message::Move {
+                x: 1.5,
+                label: "a".to_string()
+            }
+            .to_value(),
+            Value::Object(vec![(
+                "Move".to_string(),
+                Value::Object(vec![
+                    ("x".to_string(), Value::Number(1.5)),
+                    ("label".to_string(), Value::String("a".to_string())),
+                ])
+            )])
+        );
+    }
+
+    #[test]
+    fn derive_enum_variants_nest_and_carry_collections() {
+        #[derive(Serialize)]
+        struct Body {
+            n: usize,
+        }
+        #[derive(Serialize)]
+        enum Envelope {
+            Wrapped(Body),
+            Batch { items: Vec<u8> },
+        }
+        assert_eq!(
+            Envelope::Wrapped(Body { n: 2 }).to_value(),
+            Value::Object(vec![(
+                "Wrapped".to_string(),
+                Value::Object(vec![("n".to_string(), Value::Number(2.0))])
+            )])
+        );
+        assert_eq!(
+            Envelope::Batch { items: vec![1, 2] }.to_value(),
+            Value::Object(vec![(
+                "Batch".to_string(),
+                Value::Object(vec![(
+                    "items".to_string(),
+                    Value::Array(vec![Value::Number(1.0), Value::Number(2.0)])
+                )])
+            )])
+        );
+    }
 }

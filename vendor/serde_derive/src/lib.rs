@@ -1,16 +1,21 @@
 //! `#[derive(Serialize)]` for the vendored serde subset.
 //!
 //! Written against `proc_macro` directly (no `syn`/`quote` available
-//! offline). Supports structs with named fields — the only shape the
-//! workspace derives on. Attributes (including doc comments) and
-//! visibility modifiers on fields are skipped; `#[serde(...)]` renaming is
-//! not supported. Generic structs are rejected with a compile error rather
-//! than silently producing broken impls.
+//! offline). Supports structs with named fields and enums in serde's
+//! externally-tagged representation: unit variants serialize as
+//! `Value::String("Variant")`, newtype variants as `{"Variant": value}`, and
+//! struct variants as `{"Variant": {field: value, ...}}` — the encoding the
+//! sweep service's request/response envelopes rely on. Attributes (including
+//! doc comments) and visibility modifiers are skipped; `#[serde(...)]`
+//! renaming is not supported. Generic types and multi-field tuple shapes are
+//! rejected with a compile error rather than silently producing broken
+//! impls.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives `serde::Serialize` by mapping each named field into an entry of
-/// a `serde::Value::Object`.
+/// a `serde::Value::Object` (structs) or the externally-tagged equivalent
+/// (enums).
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match expand(input) {
@@ -23,38 +28,37 @@ fn expand(input: TokenStream) -> Result<TokenStream, String> {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
 
-    // Skip outer attributes (`#[...]`) and visibility before `struct`.
-    let struct_pos = loop {
+    // Skip outer attributes (`#[...]`) and visibility before the keyword.
+    let (keyword, keyword_pos) = loop {
         match tokens.get(i) {
-            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break i,
-            Some(TokenTree::Ident(id)) if id.to_string() == "enum" || id.to_string() == "union" => {
-                return Err("the vendored #[derive(Serialize)] only supports structs \
-                            with named fields"
-                    .to_string());
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break ("struct", i),
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break ("enum", i),
+            Some(TokenTree::Ident(id)) if id.to_string() == "union" => {
+                return Err("the vendored #[derive(Serialize)] does not support unions".to_string());
             }
             Some(_) => i += 1,
-            None => return Err("expected a struct definition".to_string()),
+            None => return Err("expected a struct or enum definition".to_string()),
         }
     };
 
-    let name = match tokens.get(struct_pos + 1) {
+    let name = match tokens.get(keyword_pos + 1) {
         Some(TokenTree::Ident(id)) => id.to_string(),
-        _ => return Err("expected a struct name".to_string()),
+        _ => return Err(format!("expected a {keyword} name")),
     };
 
-    // Find the brace-delimited field block; anything between the name and
-    // the braces (e.g. generics) is unsupported.
+    // Find the brace-delimited body; anything between the name and the
+    // braces (e.g. generics) is unsupported.
     let mut body = None;
-    for t in &tokens[struct_pos + 2..] {
+    for t in &tokens[keyword_pos + 2..] {
         match t {
             TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
                 body = Some(g.stream());
                 break;
             }
             TokenTree::Punct(p) if p.as_char() == '<' => {
-                return Err("the vendored #[derive(Serialize)] does not support \
-                            generic structs"
-                    .to_string());
+                return Err(format!(
+                    "the vendored #[derive(Serialize)] does not support generic {keyword}s"
+                ));
             }
             TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
                 return Err("the vendored #[derive(Serialize)] does not support \
@@ -64,23 +68,167 @@ fn expand(input: TokenStream) -> Result<TokenStream, String> {
             _ => {}
         }
     }
-    let body = body.ok_or_else(|| "expected named struct fields".to_string())?;
+    let body = body.ok_or_else(|| format!("expected a braced {keyword} body"))?;
 
-    let fields = field_names(body)?;
-    let entries: String = fields
-        .iter()
-        .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})),"))
-        .collect();
-
-    let out = format!(
-        "impl ::serde::Serialize for {name} {{\n\
-             fn to_value(&self) -> ::serde::Value {{\n\
-                 ::serde::Value::Object(vec![{entries}])\n\
-             }}\n\
-         }}"
-    );
+    let out = if keyword == "struct" {
+        let fields = field_names(body)?;
+        let entries: String = fields
+            .iter()
+            .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+            .collect();
+        format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Value::Object(vec![{entries}])\n\
+                 }}\n\
+             }}"
+        )
+    } else {
+        let variants = enum_variants(body)?;
+        let arms: String = variants.iter().map(|v| variant_arm(&name, v)).collect();
+        format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     match self {{\n{arms}\n}}\n\
+                 }}\n\
+             }}"
+        )
+    };
     out.parse()
         .map_err(|e| format!("serde_derive generated invalid code: {e:?}"))
+}
+
+/// One enum variant and the shape of its payload.
+enum VariantShape {
+    /// `Variant` — serializes as `Value::String("Variant")`.
+    Unit,
+    /// `Variant(T)` — serializes as `{"Variant": value}`.
+    Newtype,
+    /// `Variant { a: A, b: B }` — serializes as `{"Variant": {"a": .., ..}}`.
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+/// The match arm serializing one variant in the externally-tagged encoding.
+fn variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.shape {
+        VariantShape::Unit => {
+            format!("{enum_name}::{vname} => ::serde::Value::String({vname:?}.to_string()),\n")
+        }
+        VariantShape::Newtype => format!(
+            "{enum_name}::{vname}(value) => ::serde::Value::Object(vec![\
+                 ({vname:?}.to_string(), ::serde::Serialize::to_value(value))]),\n"
+        ),
+        VariantShape::Struct(fields) => {
+            let bindings = fields.join(", ");
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value({f})),"))
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {bindings} }} => ::serde::Value::Object(vec![\
+                     ({vname:?}.to_string(), ::serde::Value::Object(vec![{entries}]))]),\n"
+            )
+        }
+    }
+}
+
+/// Extracts the variants from the token stream inside the enum braces.
+///
+/// Grammar per variant: `#[attr]* Name [{ fields } | ( types )] [= expr]`,
+/// separated by top-level commas. Attribute contents arrive as bracket
+/// groups and are ignored; discriminant expressions are skipped.
+fn enum_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut name: Option<String> = None;
+    let mut shape = VariantShape::Unit;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if let Some(n) = name.take() {
+                    variants.push(Variant {
+                        name: n,
+                        shape: std::mem::replace(&mut shape, VariantShape::Unit),
+                    });
+                }
+            }
+            // `#` introducing an attribute, `=` introducing a discriminant.
+            TokenTree::Punct(_) => {}
+            TokenTree::Ident(id) => {
+                // The first ident of a variant is its name; later idents can
+                // only appear inside a discriminant expression.
+                if name.is_none() {
+                    name = Some(id.to_string());
+                }
+            }
+            TokenTree::Group(g) if name.is_some() => match g.delimiter() {
+                // Bracket groups at this position belong to attributes that
+                // syntactically cannot follow the name; ignore them.
+                Delimiter::Bracket | Delimiter::None => {}
+                Delimiter::Brace => shape = VariantShape::Struct(field_names(g.stream())?),
+                Delimiter::Parenthesis => {
+                    if tuple_arity(g.stream()) != 1 {
+                        return Err(format!(
+                            "the vendored #[derive(Serialize)] only supports tuple \
+                             variants with exactly one field ({})",
+                            name.as_deref().unwrap_or("?")
+                        ));
+                    }
+                    shape = VariantShape::Newtype;
+                }
+            },
+            // Attribute contents before the variant name, literals inside
+            // discriminants.
+            TokenTree::Group(_) | TokenTree::Literal(_) => {}
+        }
+    }
+    if let Some(n) = name.take() {
+        variants.push(Variant { name: n, shape });
+    }
+    if variants.is_empty() {
+        return Err("enum has no variants to serialize".to_string());
+    }
+    Ok(variants)
+}
+
+/// Number of fields in a parenthesised tuple-variant payload: top-level
+/// commas + 1, tolerating a trailing comma; commas inside angle brackets do
+/// not separate fields.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut angle_depth: i32 = 0;
+    let mut fields = 0usize;
+    let mut saw_tokens_since_comma = false;
+    for t in stream {
+        match t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    angle_depth += 1;
+                    saw_tokens_since_comma = true;
+                }
+                '>' => {
+                    angle_depth -= 1;
+                    saw_tokens_since_comma = true;
+                }
+                ',' if angle_depth == 0 => {
+                    if saw_tokens_since_comma {
+                        fields += 1;
+                    }
+                    saw_tokens_since_comma = false;
+                }
+                _ => saw_tokens_since_comma = true,
+            },
+            _ => saw_tokens_since_comma = true,
+        }
+    }
+    if saw_tokens_since_comma {
+        fields += 1;
+    }
+    fields
 }
 
 /// Extracts field names from the token stream inside the struct braces.

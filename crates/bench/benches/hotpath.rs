@@ -1,0 +1,114 @@
+//! Hot-path regression suite: the three loops the interactive Full sweep
+//! spends its time in — the simulator event loop, the refiner's rebalance
+//! pass, and the end-to-end Figure-1 sweep itself.
+//!
+//! Run `NUMADAG_CRITERION_JSON=PATH cargo bench -p numadag-bench --bench
+//! hotpath` to export medians as JSON; `ablation hotpath-diff` compares the
+//! export against the committed `BENCH_hotpath.json` trajectory point with a
+//! relative tolerance (CI fails on >25% regression).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use numadag_bench::{run_figure1, HarnessConfig};
+use numadag_core::DfifoPolicy;
+use numadag_graph::generators;
+use numadag_graph::partition::refine::{rebalance, rebalance_reference};
+use numadag_kernels::{Application, ProblemScale};
+use numadag_runtime::{ExecutionConfig, Simulator};
+
+/// The simulator event loop in isolation: a Full-scale Jacobi under DFIFO,
+/// the cheapest policy, so pop/release/dispatch dominate over policy work.
+fn bench_simulator_event_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath");
+    group.sample_size(15);
+    let config = ExecutionConfig::bullion_s16();
+    let sockets = config.topology.num_sockets();
+    let spec = Application::Jacobi.build(ProblemScale::Full, sockets);
+    group.throughput(Throughput::Elements(spec.num_tasks() as u64));
+    let sim = Simulator::new(config);
+    group.bench_function("simulator_event_loop/jacobi_full", |b| {
+        b.iter(|| {
+            let mut policy = DfifoPolicy::new();
+            criterion::black_box(sim.run(&spec, &mut policy).makespan_ns)
+        });
+    });
+    group.finish();
+}
+
+/// The refiner's queue-driven rebalance on layered-DAG windows with one
+/// part overloaded — the shape projection actually produces, and the one
+/// the rebalance queue is built for (a single queue build, then `O(log n)`
+/// pops). The `O(n·k)`-per-move reference only runs at 2k vertices; at 100k
+/// it needs minutes per call — exactly the headroom the queue removed.
+///
+/// Deliberately NOT benchmarked: several simultaneously-overweight parts
+/// whose heaviest alternates move to move. That ping-pongs the per-part
+/// queue rebuild (`O(n)` each) and is quadratic for both implementations —
+/// recorded as remaining headroom in ROADMAP direction 4.
+fn bench_refine_rebalance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath");
+    group.sample_size(10);
+    let k = 8usize;
+    let max_weight = |graph: &numadag_graph::CsrGraph| {
+        let total: i64 = graph.vertex_weights().iter().sum();
+        (total + k as i64 - 1) / k as i64 + total / 20
+    };
+    // Balanced modulo-k assignment with every fifth vertex forced into part
+    // 0: one part at ~28% of the weight against a ~13% cap.
+    let skewed_seed = |graph: &numadag_graph::CsrGraph| -> Vec<u32> {
+        (0..graph.num_vertices() as u32)
+            .map(|v| if v % 5 == 0 { 0 } else { v % k as u32 })
+            .collect()
+    };
+
+    let large = generators::layered_dag_skeleton(200, 500, 2, 1 << 16);
+    let large_max = max_weight(&large);
+    let large_seed = skewed_seed(&large);
+    group.throughput(Throughput::Elements(large.num_vertices() as u64));
+    group.bench_function("refine_rebalance/layered_100k", |b| {
+        b.iter(|| {
+            let mut assignment = large_seed.clone();
+            criterion::black_box(rebalance(&large, &mut assignment, k, large_max))
+        });
+    });
+
+    let small = generators::layered_dag_skeleton(64, 32, 2, 1 << 16);
+    let small_max = max_weight(&small);
+    let small_seed = skewed_seed(&small);
+    group.throughput(Throughput::Elements(small.num_vertices() as u64));
+    group.bench_function("refine_rebalance/layered_2k", |b| {
+        b.iter(|| {
+            let mut assignment = small_seed.clone();
+            criterion::black_box(rebalance(&small, &mut assignment, k, small_max))
+        });
+    });
+    group.bench_function("refine_rebalance_reference/layered_2k", |b| {
+        b.iter(|| {
+            let mut assignment = small_seed.clone();
+            criterion::black_box(rebalance_reference(&small, &mut assignment, k, small_max))
+        });
+    });
+    group.finish();
+}
+
+/// The whole Figure-1 Full sweep, serial, exactly as `figure1 --jobs 1`
+/// runs it — the number the README's Performance table tracks.
+fn bench_full_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath");
+    group.sample_size(5);
+    let config = HarnessConfig {
+        jobs: 1,
+        ..HarnessConfig::default()
+    };
+    group.bench_function("full_sweep/figure1_full", |b| {
+        b.iter(|| criterion::black_box(run_figure1(&config).cells.len()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulator_event_loop,
+    bench_refine_rebalance,
+    bench_full_sweep
+);
+criterion_main!(benches);

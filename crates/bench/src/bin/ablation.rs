@@ -10,6 +10,8 @@
 //! cargo run -p numadag-bench --bin ablation --release -- \
 //!     bench-diff BASELINE.json CANDIDATE.json
 //! cargo run -p numadag-bench --bin ablation --release -- \
+//!     hotpath-diff BASELINE.json CANDIDATE.json [--tolerance FRACTION]
+//! cargo run -p numadag-bench --bin ablation --release -- \
 //!     serve-load [--clients N] [--requests N] [--repeat-ratio PCT] \
 //!     [--jobs N] [--json PATH]
 //! ```
@@ -42,6 +44,14 @@
 //! when the reports are measurement-identical and 1 when they differ — so
 //! "regenerate and diff the baseline" is one command instead of a jq
 //! exercise. Malformed arguments exit with code 2.
+//!
+//! `hotpath-diff` compares two `BENCH_hotpath.json` exports (written by the
+//! `hotpath` criterion suite under `NUMADAG_CRITERION_JSON`): every
+//! benchmark in the baseline must be present in the candidate with a median
+//! no more than `--tolerance` (default 0.25, i.e. 25%) slower. Faster is
+//! always fine — the gate is one-sided — and candidate-only benchmarks are
+//! reported but never fail, so the suite can grow without breaking older
+//! baselines. Exits 1 on regression, 2 on malformed input.
 //!
 //! `serve-load` is the load generator for the sweep service
 //! (`numadag-serve`): it boots an in-process daemon, drives it from
@@ -394,6 +404,7 @@ fn usage_error(message: String) -> ! {
         "usage: ablation [window|sockets|partitioner|propagation|all] [--jobs N]\n\
          \u{20}      ablation trace [--scale tiny|small|full] [--jobs N]\n\
          \u{20}      ablation bench-diff BASELINE.json CANDIDATE.json\n\
+         \u{20}      ablation hotpath-diff BASELINE.json CANDIDATE.json          [--tolerance FRACTION]\n\
          \u{20}      ablation serve-load [--clients N] [--requests N] \
          [--repeat-ratio PCT] [--jobs N] [--json PATH]"
     );
@@ -605,6 +616,104 @@ fn load_report(path: &str) -> SweepReport {
         .unwrap_or_else(|e| usage_error(format!("cannot parse {path}: {e}")))
 }
 
+/// Loads a `BENCH_hotpath.json`-format export as `(id, median_ns)` pairs,
+/// exiting 2 on failure.
+fn load_hotpath(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| usage_error(format!("cannot read {path}: {e}")));
+    let value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| usage_error(format!("cannot parse {path}: {e}")));
+    let benches = value
+        .get("benches")
+        .and_then(|b| b.as_array())
+        .unwrap_or_else(|| usage_error(format!("{path}: no \"benches\" array")));
+    benches
+        .iter()
+        .map(|b| {
+            let id = b.get("id").and_then(|v| v.as_str());
+            let median = b.get("median_ns").and_then(|v| v.as_f64());
+            match (id, median) {
+                (Some(id), Some(m)) => (id.to_string(), m),
+                _ => usage_error(format!("{path}: bench entry without id/median_ns")),
+            }
+        })
+        .collect()
+}
+
+/// `hotpath-diff BASELINE CANDIDATE [--tolerance F]`: one-sided hot-path
+/// regression gate. Exits 1 when any baseline benchmark's candidate median
+/// exceeds `baseline * (1 + tolerance)` or is missing from the candidate.
+fn hotpath_diff(args: &[String]) -> ! {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut tolerance = 0.25f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                tolerance = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t: &f64| *t >= 0.0)
+                    .unwrap_or_else(|| {
+                        usage_error("--tolerance needs a non-negative number".to_string())
+                    });
+            }
+            path => paths.push(path),
+        }
+        i += 1;
+    }
+    let [baseline_path, candidate_path] = paths[..] else {
+        usage_error(
+            "hotpath-diff needs exactly two export paths (BASELINE.json CANDIDATE.json)"
+                .to_string(),
+        );
+    };
+    let baseline = load_hotpath(baseline_path);
+    let candidate = load_hotpath(candidate_path);
+    println!(
+        "# hotpath-diff {baseline_path} -> {candidate_path} (tolerance {:.0}%)\n",
+        tolerance * 100.0
+    );
+    let mut regressions = 0usize;
+    for (id, base) in &baseline {
+        match candidate.iter().find(|(cid, _)| cid == id) {
+            None => {
+                regressions += 1;
+                println!("MISSING  {id}: in baseline but not in candidate");
+            }
+            Some((_, cand)) => {
+                let ratio = cand / base;
+                let verdict = if *cand > base * (1.0 + tolerance) {
+                    regressions += 1;
+                    "REGRESSED"
+                } else if ratio < 1.0 {
+                    "faster"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{verdict:<9} {id}: {:.3} ms -> {:.3} ms ({:+.1}%)",
+                    base / 1e6,
+                    cand / 1e6,
+                    (ratio - 1.0) * 100.0
+                );
+            }
+        }
+    }
+    for (id, _) in &candidate {
+        if !baseline.iter().any(|(bid, _)| bid == id) {
+            println!("NEW      {id}: not in baseline (ignored)");
+        }
+    }
+    println!(
+        "\n{} of {} gated benchmarks within tolerance",
+        baseline.len() - regressions,
+        baseline.len()
+    );
+    std::process::exit(if regressions == 0 { 0 } else { 1 });
+}
+
 /// `bench-diff BASELINE CANDIDATE`: prints per-cell measurement deltas and
 /// exits 1 when the reports differ.
 fn bench_diff(baseline_path: &str, candidate_path: &str) -> ! {
@@ -625,6 +734,7 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "serve-load" => serve_load(&args[i + 1..]),
+            "hotpath-diff" => hotpath_diff(&args[i + 1..]),
             "bench-diff" => match (args.get(i + 1), args.get(i + 2), args.get(i + 3)) {
                 (Some(baseline), Some(candidate), None) => bench_diff(baseline, candidate),
                 _ => usage_error(

@@ -181,7 +181,9 @@ fn main() {
     );
 
     let collector = trace_dir.as_ref().map(|_| Arc::new(TraceCollector::new()));
-    let mut experiment = figure1_experiment(&config).on_cell_complete(stderr_progress);
+    let mut experiment = figure1_experiment(&config)
+        .on_cell_complete(stderr_progress)
+        .stage_timing(json_timing_path.is_some());
     if let Some(collector) = &collector {
         experiment = experiment.trace(Arc::clone(collector));
     }

@@ -27,7 +27,7 @@ impl DfifoPolicy {
 }
 
 impl SchedulingPolicy for DfifoPolicy {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "DFIFO"
     }
 

@@ -42,7 +42,7 @@ impl EpPolicy {
 }
 
 impl SchedulingPolicy for EpPolicy {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "EP"
     }
 

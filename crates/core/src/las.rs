@@ -21,7 +21,7 @@ use numadag_numa::SocketId;
 use numadag_tdg::TaskDescriptor;
 
 use crate::policy::{DataLocator, SchedulingPolicy};
-use crate::weights::socket_weights;
+use crate::weights::{socket_weights_into, SocketWeights};
 
 /// Fraction of a task's dependence bytes that must already be allocated for
 /// the weighted decision to be used; below this the placement is considered
@@ -34,6 +34,12 @@ pub struct LasPolicy {
     rng: StdRng,
     random_assignments: usize,
     weighted_assignments: usize,
+    // Per-assignment scratch, reused across calls so the hot path does not
+    // allocate: socket weights, the region-location lookup buffer and the
+    // tied-heaviest-sockets list.
+    weights: SocketWeights,
+    location: numadag_numa::memory::NodeBytes,
+    heaviest: Vec<SocketId>,
 }
 
 impl LasPolicy {
@@ -44,6 +50,12 @@ impl LasPolicy {
             rng: StdRng::seed_from_u64(seed),
             random_assignments: 0,
             weighted_assignments: 0,
+            weights: SocketWeights {
+                weights: Vec::new(),
+                unallocated: 0,
+            },
+            location: numadag_numa::memory::NodeBytes::default(),
+            heaviest: Vec::new(),
         }
     }
 
@@ -75,14 +87,15 @@ impl LasPolicy {
         bias: Option<SocketId>,
     ) -> SocketId {
         let num_sockets = locator.topology().num_sockets();
-        let w = socket_weights(task, locator);
-        let total = w.total_allocated() + w.unallocated;
+        socket_weights_into(task, locator, &mut self.weights, &mut self.location);
+        let allocated = self.weights.total_allocated();
+        let total = allocated + self.weights.unallocated;
         let allocated_fraction = if total == 0 {
             0.0
         } else {
-            w.total_allocated() as f64 / total as f64
+            allocated as f64 / total as f64
         };
-        if w.all_unallocated() || allocated_fraction < ALLOCATED_FRACTION_THRESHOLD {
+        if allocated == 0 || allocated_fraction < ALLOCATED_FRACTION_THRESHOLD {
             // "If most of the data is unallocated, the final socket is
             // randomly chosen among all sockets available to the runtime."
             self.random_assignments += 1;
@@ -91,16 +104,17 @@ impl LasPolicy {
             }
             return SocketId(self.rng.gen_range(0..num_sockets));
         }
-        let heaviest = w.heaviest();
+        self.weights.heaviest_into(&mut self.heaviest);
         self.weighted_assignments += 1;
-        if heaviest.len() == 1 {
-            heaviest[0]
-        } else if let Some(b) = bias.filter(|b| heaviest.contains(b)) {
+        if self.heaviest.len() == 1 {
+            self.heaviest[0]
+        } else if let Some(b) = bias.filter(|b| self.heaviest.contains(b)) {
             b
         } else {
             // "In case of a tie, the socket is chosen randomly among the
             // tied ones."
-            heaviest[self.rng.gen_range(0..heaviest.len())]
+            let pick = self.rng.gen_range(0..self.heaviest.len());
+            self.heaviest[pick]
         }
     }
 }
@@ -112,7 +126,7 @@ impl Default for LasPolicy {
 }
 
 impl SchedulingPolicy for LasPolicy {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "LAS"
     }
 

@@ -1,6 +1,8 @@
 //! The scheduling-policy abstraction and the runtime-facing data-location
 //! interface.
 
+use std::sync::Arc;
+
 use numadag_numa::memory::NodeBytes;
 use numadag_numa::{MemoryMap, RegionId, SocketId, Topology};
 use numadag_tdg::{TaskDescriptor, TaskGraph};
@@ -13,6 +15,12 @@ pub trait DataLocator {
     fn topology(&self) -> &Topology;
     /// How the bytes of `region` are currently distributed over NUMA nodes.
     fn region_location(&self, region: RegionId) -> NodeBytes;
+    /// [`DataLocator::region_location`] into a caller-owned buffer, so hot
+    /// paths (one lookup per task access) can reuse the allocation. The
+    /// default implementation falls back to the allocating call.
+    fn region_location_into(&self, region: RegionId, out: &mut NodeBytes) {
+        *out = self.region_location(region);
+    }
     /// Size of `region` in bytes.
     fn region_size(&self, region: RegionId) -> u64;
 }
@@ -37,11 +45,15 @@ pub struct PartitionStats {
 /// first window), and then [`SchedulingPolicy::assign`] every time a task's
 /// dependences are satisfied.
 pub trait SchedulingPolicy: Send {
-    /// Short name used in reports (`"LAS"`, `"RGP+LAS"`, ...).
-    fn name(&self) -> &str;
+    /// Short name used in reports (`"LAS"`, `"RGP+LAS"`, ...). `'static`
+    /// because reports embed it by reference — policies answer with string
+    /// literals, never per-run formatted names.
+    fn name(&self) -> &'static str;
 
-    /// Called once before execution starts with the task graph.
-    fn prepare(&mut self, _graph: &TaskGraph, _locator: &dyn DataLocator) {}
+    /// Called once before execution starts with the task graph. The graph
+    /// arrives behind an [`Arc`] so window-propagating policies can retain
+    /// it across `assign` calls without cloning the task vectors.
+    fn prepare(&mut self, _graph: &Arc<TaskGraph>, _locator: &dyn DataLocator) {}
 
     /// Called when `task` becomes ready; returns the socket to run it on.
     fn assign(&mut self, task: &TaskDescriptor, locator: &dyn DataLocator) -> SocketId;
@@ -74,6 +86,10 @@ impl DataLocator for MemoryLocator<'_> {
 
     fn region_location(&self, region: RegionId) -> NodeBytes {
         self.memory.bytes_per_node(region)
+    }
+
+    fn region_location_into(&self, region: RegionId, out: &mut NodeBytes) {
+        self.memory.bytes_per_node_into(region, out);
     }
 
     fn region_size(&self, region: RegionId) -> u64 {

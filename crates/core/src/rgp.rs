@@ -24,6 +24,7 @@
 //!   [`LasPolicy::assign_biased`] as the tie-break, so observed placements
 //!   can still override it.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use numadag_graph::{partition as gp, AffinityCosts, PartitionScheme, PartitionTuning};
@@ -34,7 +35,7 @@ use numadag_tdg::{
 
 use crate::las::LasPolicy;
 use crate::policy::{DataLocator, PartitionStats, SchedulingPolicy};
-use crate::weights::socket_weights;
+use crate::weights::{socket_weights_into, SocketWeights};
 
 /// How tasks beyond the partitioned window are scheduled.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -211,15 +212,18 @@ pub struct RgpPolicy {
     /// all partitioned windows in repartition mode).
     window_edge_cut: i64,
     window_size_used: usize,
-    /// Repartition mode: the graph the cursor walks (cloned at `prepare`;
-    /// `assign` receives only single tasks, but closing a later window needs
-    /// the whole TDG back).
-    graph: Option<TaskGraph>,
+    /// Repartition mode: the graph the cursor walks (retained by `Arc` at
+    /// `prepare` — `assign` receives only single tasks, but closing a later
+    /// window needs the whole TDG back).
+    graph: Option<Arc<TaskGraph>>,
     /// Repartition mode: the streaming window frontier.
     cursor: Option<WindowCursor>,
     /// Cost accounting: windows partitioned and partitioner wall time.
     partition_windows: usize,
     partition_wall_ns: f64,
+    /// Scratch buffers reused by the partitioner across windows (repart mode
+    /// re-coarsens every window; the arenas amortize those allocations).
+    ctx: gp::PartitionCtx,
 }
 
 impl RgpPolicy {
@@ -237,6 +241,7 @@ impl RgpPolicy {
             cursor: None,
             partition_windows: 0,
             partition_wall_ns: 0.0,
+            ctx: gp::PartitionCtx::default(),
         }
     }
 
@@ -294,7 +299,7 @@ impl RgpPolicy {
             AnchorMode::None
         };
         let partition = if anchor == AnchorMode::None {
-            gp::partition(&wg.graph, &cfg)
+            gp::partition_ctx(&wg.graph, &cfg, &mut self.ctx)
         } else {
             let mut affinity = AffinityCosts::zeros(wg.graph.num_vertices(), num_sockets);
             if anchor.uses_deps() {
@@ -305,8 +310,13 @@ impl RgpPolicy {
                 }
             }
             if anchor.uses_homes() {
+                let mut w = SocketWeights {
+                    weights: Vec::new(),
+                    unallocated: 0,
+                };
+                let mut location = numadag_numa::memory::NodeBytes::default();
                 for (v, &t) in wg.tasks.iter().enumerate() {
-                    let w = socket_weights(graph.task(t), locator);
+                    socket_weights_into(graph.task(t), locator, &mut w, &mut location);
                     for (s, &bytes) in w.weights.iter().enumerate() {
                         if bytes > 0 && s < num_sockets {
                             affinity.add(v as u32, s as u32, bytes as i64);
@@ -314,7 +324,7 @@ impl RgpPolicy {
                     }
                 }
             }
-            gp::partition_anchored(&wg.graph, &cfg, &affinity)
+            gp::partition_anchored_ctx(&wg.graph, &cfg, &affinity, &mut self.ctx)
         };
         self.window_edge_cut += partition.edge_cut(&wg.graph);
         // Placement walks the precomputed part→members index (one O(window)
@@ -354,14 +364,14 @@ impl RgpPolicy {
 }
 
 impl SchedulingPolicy for RgpPolicy {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         match self.config.propagation {
             Propagation::Las | Propagation::Repartition => "RGP+LAS",
             Propagation::RoundRobin => "RGP+RR",
         }
     }
 
-    fn prepare(&mut self, graph: &TaskGraph, locator: &dyn DataLocator) {
+    fn prepare(&mut self, graph: &Arc<TaskGraph>, locator: &dyn DataLocator) {
         self.window_assignment = vec![None; graph.num_tasks()];
         match self.config.propagation {
             Propagation::Repartition => {
@@ -371,7 +381,8 @@ impl SchedulingPolicy for RgpPolicy {
                     self.partition_window_on(graph, &window, locator);
                 }
                 self.cursor = Some(cursor);
-                self.graph = Some(graph.clone());
+                // Retaining the graph is a refcount bump, not a TDG copy.
+                self.graph = Some(Arc::clone(graph));
             }
             Propagation::Las | Propagation::RoundRobin => {
                 let window = TaskWindow::initial(graph, self.config.window);
@@ -425,7 +436,7 @@ mod tests {
 
     /// Builds a workload with two independent heavy chains. A partitioner
     /// must put each chain on its own socket.
-    fn two_chains(len: usize) -> (numadag_tdg::TaskGraph, Vec<u64>) {
+    fn two_chains(len: usize) -> (Arc<numadag_tdg::TaskGraph>, Vec<u64>) {
         let mut b = TdgBuilder::new();
         let ra = b.region(1 << 20);
         let rb = b.region(1 << 20);
@@ -433,7 +444,8 @@ mod tests {
             b.submit(TaskSpec::new("a").work(10.0).reads_writes(ra, 1 << 20));
             b.submit(TaskSpec::new("b").work(10.0).reads_writes(rb, 1 << 20));
         }
-        b.finish()
+        let (graph, sizes) = b.finish();
+        (Arc::new(graph), sizes)
     }
 
     #[test]
@@ -564,7 +576,7 @@ mod tests {
 
     #[test]
     fn empty_graph_prepare_is_safe() {
-        let graph = numadag_tdg::TaskGraph::new();
+        let graph = Arc::new(numadag_tdg::TaskGraph::new());
         let topo = Topology::two_socket(2);
         let mem = MemoryMap::new();
         let loc = MemoryLocator::new(&topo, &mem);

@@ -34,16 +34,26 @@ impl SocketWeights {
     /// The sockets with the maximum weight (more than one on ties). Empty if
     /// nothing is allocated.
     pub fn heaviest(&self) -> Vec<SocketId> {
+        let mut out = Vec::new();
+        self.heaviest_into(&mut out);
+        out
+    }
+
+    /// [`SocketWeights::heaviest`] into a caller-owned buffer (ascending
+    /// socket order, exactly like the allocating call).
+    pub fn heaviest_into(&self, out: &mut Vec<SocketId>) {
+        out.clear();
         let max = self.weights.iter().copied().max().unwrap_or(0);
         if max == 0 {
-            return Vec::new();
+            return;
         }
-        self.weights
-            .iter()
-            .enumerate()
-            .filter(|(_, &w)| w == max)
-            .map(|(s, _)| SocketId(s))
-            .collect()
+        out.extend(
+            self.weights
+                .iter()
+                .enumerate()
+                .filter(|(_, &w)| w == max)
+                .map(|(s, _)| SocketId(s)),
+        );
     }
 
     /// Fraction of the allocated bytes held by the heaviest socket.
@@ -61,11 +71,32 @@ impl SocketWeights {
 /// Every access (input and output alike) contributes its bytes to the sockets
 /// currently holding the region; unallocated bytes are tallied separately.
 pub fn socket_weights(task: &TaskDescriptor, locator: &dyn DataLocator) -> SocketWeights {
+    let mut out = SocketWeights {
+        weights: Vec::new(),
+        unallocated: 0,
+    };
+    let mut scratch = numadag_numa::memory::NodeBytes::default();
+    socket_weights_into(task, locator, &mut out, &mut scratch);
+    out
+}
+
+/// [`socket_weights`] into caller-owned buffers: `out` receives the weights
+/// and `location` is the per-access region-location scratch. The executors
+/// call this once per scheduled task, so the reuse removes two allocations
+/// per access from the assignment hot path. Results are identical to
+/// [`socket_weights`] bit for bit.
+pub fn socket_weights_into(
+    task: &TaskDescriptor,
+    locator: &dyn DataLocator,
+    out: &mut SocketWeights,
+    location: &mut numadag_numa::memory::NodeBytes,
+) {
     let num_sockets = locator.topology().num_sockets();
-    let mut weights = vec![0u64; num_sockets];
-    let mut unallocated = 0u64;
+    out.weights.clear();
+    out.weights.resize(num_sockets, 0);
+    out.unallocated = 0;
     for access in &task.accesses {
-        let location = locator.region_location(access.region);
+        locator.region_location_into(access.region, location);
         let region_size = locator.region_size(access.region).max(1);
         for (node, bytes) in &location.per_node {
             // Scale the resident bytes to the portion of the region this
@@ -74,15 +105,11 @@ pub fn socket_weights(task: &TaskDescriptor, locator: &dyn DataLocator) -> Socke
                 (*bytes as f64 * access.bytes as f64 / region_size as f64).round() as u64;
             let socket = node.socket();
             if socket.index() < num_sockets {
-                weights[socket.index()] += contribution;
+                out.weights[socket.index()] += contribution;
             }
         }
-        unallocated +=
+        out.unallocated +=
             (location.unallocated as f64 * access.bytes as f64 / region_size as f64).round() as u64;
-    }
-    SocketWeights {
-        weights,
-        unallocated,
     }
 }
 

@@ -32,6 +32,7 @@ pub mod partition;
 pub use csr::{CsrGraph, GraphBuilder};
 pub use partition::pipeline::MultilevelPipeline;
 pub use partition::{
-    partition, partition_anchored, partition_with, partition_with_anchored, AffinityCosts,
-    PartMembers, Partition, PartitionConfig, PartitionScheme, PartitionTuning,
+    partition, partition_anchored, partition_anchored_ctx, partition_ctx, partition_with,
+    partition_with_anchored, partition_with_anchored_ctx, partition_with_ctx, AffinityCosts,
+    PartMembers, Partition, PartitionConfig, PartitionCtx, PartitionScheme, PartitionTuning,
 };

@@ -37,8 +37,9 @@ pub struct CoarseLevel {
 /// `clear`/truncation) on the coarser levels.
 #[derive(Debug, Default)]
 pub struct CoarsenWorkspace {
-    /// `(weight, v, u)` triples of the current level, sorted heaviest-first.
-    edges: Vec<(i64, u32, u32)>,
+    /// `(weight, v, u, shuffle position)` of the current level's edges,
+    /// sorted heaviest-first with the post-shuffle position as tie-break.
+    edges: Vec<(i64, u32, u32, u32)>,
     /// Whether a vertex of the current level is already matched.
     matched: Vec<bool>,
     /// Matching of the current level (`match_of[v] == v` means unmatched).
@@ -67,15 +68,21 @@ fn heavy_edge_matching_into<'a>(
     for v in 0..n as u32 {
         for (u, w) in graph.edges_of(v) {
             if u > v {
-                ws.edges.push((w, v, u));
+                ws.edges.push((w, v, u, 0));
             }
         }
     }
-    // Shuffle first so that the stable sort leaves equal-weight edges in
-    // random order: heavy edges always win, ties are seed-dependent.
+    // Shuffle first, then sort heaviest-first with the post-shuffle position
+    // as an explicit tie-break: equal-weight edges stay in random order
+    // (exactly what the previous stable sort produced), but the now-unique
+    // key admits an allocation-free unstable sort.
     ws.edges.shuffle(rng);
-    ws.edges.sort_by_key(|e| std::cmp::Reverse(e.0));
-    for &(_, v, u) in ws.edges.iter() {
+    for (i, e) in ws.edges.iter_mut().enumerate() {
+        e.3 = i as u32;
+    }
+    ws.edges
+        .sort_unstable_by_key(|e| (std::cmp::Reverse(e.0), e.3));
+    for &(_, v, u, _) in ws.edges.iter() {
         if !ws.matched[v as usize] && !ws.matched[u as usize] {
             ws.match_of[v as usize] = u;
             ws.match_of[u as usize] = v;
@@ -139,8 +146,9 @@ fn contract_into(graph: &CsrGraph, match_of: &[u32], ws: &mut CoarsenWorkspace) 
 
     let mut xadj = Vec::with_capacity(coarse_n + 1);
     xadj.push(0usize);
-    let mut adjncy: Vec<u32> = Vec::new();
-    let mut adjwgt: Vec<i64> = Vec::new();
+    // The coarse graph has at most as many (directed) edges as the fine one.
+    let mut adjncy: Vec<u32> = Vec::with_capacity(graph.num_edges() * 2);
+    let mut adjwgt: Vec<i64> = Vec::with_capacity(graph.num_edges() * 2);
     for (c, &first) in rep.iter().enumerate() {
         let second = match_of[first as usize];
         let constituents = std::iter::once(first).chain((second != first).then_some(second));
@@ -206,6 +214,20 @@ fn coarsen_once_with(graph: &CsrGraph, rng: &mut StdRng, ws: &mut CoarsenWorkspa
 /// graph is *not* included.
 pub fn coarsen_to(graph: &CsrGraph, target_vertices: usize, rng: &mut StdRng) -> Vec<CoarseLevel> {
     let mut ws = CoarsenWorkspace::default();
+    coarsen_to_with(graph, target_vertices, rng, &mut ws)
+}
+
+/// [`coarsen_to`] through a caller-owned workspace, so repeated partitioning
+/// runs (e.g. the per-window calls of RGP's repartitioning mode) reuse the
+/// matching and contraction buffers instead of reallocating them per window.
+/// The result is identical to [`coarsen_to`] — the workspace is scratch
+/// state only.
+pub fn coarsen_to_with(
+    graph: &CsrGraph,
+    target_vertices: usize,
+    rng: &mut StdRng,
+    ws: &mut CoarsenWorkspace,
+) -> Vec<CoarseLevel> {
     let mut levels: Vec<CoarseLevel> = Vec::new();
     loop {
         let next = {
@@ -213,7 +235,7 @@ pub fn coarsen_to(graph: &CsrGraph, target_vertices: usize, rng: &mut StdRng) ->
             if current.num_vertices() <= target_vertices.max(2) {
                 break;
             }
-            let level = coarsen_once_with(current, rng, &mut ws);
+            let level = coarsen_once_with(current, rng, ws);
             let shrink = level.graph.num_vertices() as f64 / current.num_vertices() as f64;
             if shrink > 0.95 {
                 // Matching found almost nothing to merge (e.g. graph is mostly

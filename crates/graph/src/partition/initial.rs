@@ -49,12 +49,15 @@ pub fn greedy_bisection(
     // gain[v] = (weight to left) - (weight to right), only meaningful for
     // candidates (subset vertices not yet in left).
     let mut gain = vec![i64::MIN; n_total];
+    // Compact list of vertices whose gain is set: the candidate scan walks
+    // this (boundary-sized) list instead of every vertex of the graph.
+    let mut cand: Vec<u32> = Vec::new();
 
     while left_weight < max_left {
         // Pick the best candidate among subset vertices adjacent to the left
         // side; if none exists (left is empty or its component is exhausted),
         // seed with a pseudo-peripheral vertex of the remaining subset.
-        let candidate = best_candidate(&gain, &in_subset, &in_left);
+        let candidate = best_candidate(&gain, &in_left, &mut cand);
         let v = match candidate {
             Some(v) => v,
             None => match seed_vertex(graph, vertices, &in_left, &in_subset, rng) {
@@ -82,6 +85,7 @@ pub fn greedy_bisection(
             }
             if gain[u as usize] == i64::MIN {
                 gain[u as usize] = initial_gain(graph, u, &in_left, &in_subset);
+                cand.push(u);
             } else {
                 // Edge (u, v) moved from the "right" side to the "left" side
                 // of u's gain: +w for the left term, +w for removing it from
@@ -113,20 +117,29 @@ fn initial_gain(graph: &CsrGraph, v: u32, in_left: &[bool], in_subset: &[bool]) 
     g
 }
 
-fn best_candidate(gain: &[i64], in_subset: &[bool], in_left: &[bool]) -> Option<u32> {
+/// Scans the candidate list for the best `(gain desc, vertex asc)` entry,
+/// dropping vertices that joined the left side on the way. The maximum over
+/// a set does not depend on scan order, so the swap-removals leave the
+/// selection identical to the previous full-vertex scan.
+fn best_candidate(gain: &[i64], in_left: &[bool], cand: &mut Vec<u32>) -> Option<u32> {
     let mut best: Option<(i64, u32)> = None;
-    for (v, &g) in gain.iter().enumerate() {
-        if g == i64::MIN || !in_subset[v] || in_left[v] {
+    let mut i = 0;
+    while i < cand.len() {
+        let v = cand[i];
+        if in_left[v as usize] {
+            cand.swap_remove(i);
             continue;
         }
+        let g = gain[v as usize];
         match best {
-            None => best = Some((g, v as u32)),
+            None => best = Some((g, v)),
             Some((bg, bv)) => {
-                if g > bg || (g == bg && (v as u32) < bv) {
-                    best = Some((g, v as u32));
+                if g > bg || (g == bg && v < bv) {
+                    best = Some((g, v));
                 }
             }
         }
+        i += 1;
     }
     best.map(|(_, v)| v)
 }

@@ -61,6 +61,19 @@ use crate::metrics;
 
 pub use affinity::AffinityCosts;
 
+/// Reusable scratch state for repeated partitioning runs.
+///
+/// A context carries the buffers that are expensive to rebuild per call —
+/// currently the coarsening workspace (edge list, matching flags,
+/// contraction scratch). RGP's repartitioning mode partitions one window per
+/// execution window of the same sweep cell; holding a context across those
+/// calls removes every per-window coarsening allocation. The context is pure
+/// scratch: results are bit-identical with a fresh context per call.
+#[derive(Debug, Default)]
+pub struct PartitionCtx {
+    coarsen: coarsen::CoarsenWorkspace,
+}
+
 /// Which partitioning algorithm to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum PartitionScheme {
@@ -397,6 +410,21 @@ pub fn partition(graph: &CsrGraph, config: &PartitionConfig) -> Partition {
     )
 }
 
+/// [`partition`] through a caller-owned [`PartitionCtx`], reusing scratch
+/// buffers across repeated calls (identical results).
+pub fn partition_ctx(
+    graph: &CsrGraph,
+    config: &PartitionConfig,
+    ctx: &mut PartitionCtx,
+) -> Partition {
+    partition_with_ctx(
+        graph,
+        config,
+        &pipeline::MultilevelPipeline::for_scheme(config.scheme),
+        ctx,
+    )
+}
+
 /// [`partition`] with an explicit stage composition, for ablations that swap
 /// a single pipeline stage. Degenerate inputs short-circuit before the
 /// pipeline runs, exactly as in [`partition`].
@@ -404,6 +432,17 @@ pub fn partition_with(
     graph: &CsrGraph,
     config: &PartitionConfig,
     pipeline: &pipeline::MultilevelPipeline,
+) -> Partition {
+    let mut ctx = PartitionCtx::default();
+    partition_with_ctx(graph, config, pipeline, &mut ctx)
+}
+
+/// [`partition_with`] through a caller-owned [`PartitionCtx`].
+pub fn partition_with_ctx(
+    graph: &CsrGraph,
+    config: &PartitionConfig,
+    pipeline: &pipeline::MultilevelPipeline,
+    ctx: &mut PartitionCtx,
 ) -> Partition {
     let n = graph.num_vertices();
     let k = config.num_parts.max(1);
@@ -415,7 +454,7 @@ pub fn partition_with(
         return Partition::from_assignment(assignment, k);
     }
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let assignment = pipeline.run(graph, config, &mut rng);
+    let assignment = pipeline.run_anchored_ctx(graph, config, &mut rng, None, ctx);
     Partition::from_assignment(assignment, k)
 }
 
@@ -436,6 +475,23 @@ pub fn partition_anchored(
     )
 }
 
+/// [`partition_anchored`] through a caller-owned [`PartitionCtx`], reusing
+/// scratch buffers across repeated calls (identical results).
+pub fn partition_anchored_ctx(
+    graph: &CsrGraph,
+    config: &PartitionConfig,
+    affinity: &AffinityCosts,
+    ctx: &mut PartitionCtx,
+) -> Partition {
+    partition_with_anchored_ctx(
+        graph,
+        config,
+        &pipeline::MultilevelPipeline::for_scheme(config.scheme),
+        affinity,
+        ctx,
+    )
+}
+
 /// [`partition_anchored`] with an explicit stage composition.
 ///
 /// Degenerate inputs short-circuit like [`partition_with`], except that a
@@ -449,6 +505,19 @@ pub fn partition_with_anchored(
     config: &PartitionConfig,
     pipeline: &pipeline::MultilevelPipeline,
     affinity: &AffinityCosts,
+) -> Partition {
+    let mut ctx = PartitionCtx::default();
+    partition_with_anchored_ctx(graph, config, pipeline, affinity, &mut ctx)
+}
+
+/// [`partition_with_anchored`] with an explicit stage composition and a
+/// caller-owned [`PartitionCtx`].
+pub fn partition_with_anchored_ctx(
+    graph: &CsrGraph,
+    config: &PartitionConfig,
+    pipeline: &pipeline::MultilevelPipeline,
+    affinity: &AffinityCosts,
+    ctx: &mut PartitionCtx,
 ) -> Partition {
     let n = graph.num_vertices();
     let k = config.num_parts.max(1);
@@ -479,7 +548,7 @@ pub fn partition_with_anchored(
         return Partition::from_assignment(assignment, k);
     }
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let assignment = pipeline.run_anchored(graph, config, &mut rng, Some(affinity));
+    let assignment = pipeline.run_anchored_ctx(graph, config, &mut rng, Some(affinity), ctx);
     Partition::from_assignment(assignment, k)
 }
 

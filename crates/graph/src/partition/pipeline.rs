@@ -33,6 +33,21 @@ pub trait Coarsener {
         target_vertices: usize,
         rng: &mut StdRng,
     ) -> Vec<CoarseLevel>;
+
+    /// [`Coarsener::coarsen`] through a caller-owned scratch workspace, so
+    /// repeated runs (one per RGP window) reuse the matching/contraction
+    /// buffers. The default ignores the workspace — stages without reusable
+    /// state need not care; results must be identical either way.
+    fn coarsen_with(
+        &self,
+        graph: &CsrGraph,
+        target_vertices: usize,
+        rng: &mut StdRng,
+        ws: &mut coarsen::CoarsenWorkspace,
+    ) -> Vec<CoarseLevel> {
+        let _ = ws;
+        self.coarsen(graph, target_vertices, rng)
+    }
 }
 
 /// Heavy-edge-matching coarsener (the METIS/SCOTCH recipe). Buffers are
@@ -48,6 +63,16 @@ impl Coarsener for HeavyEdgeCoarsener {
         rng: &mut StdRng,
     ) -> Vec<CoarseLevel> {
         coarsen::coarsen_to(graph, target_vertices, rng)
+    }
+
+    fn coarsen_with(
+        &self,
+        graph: &CsrGraph,
+        target_vertices: usize,
+        rng: &mut StdRng,
+        ws: &mut coarsen::CoarsenWorkspace,
+    ) -> Vec<CoarseLevel> {
+        coarsen::coarsen_to_with(graph, target_vertices, rng, ws)
     }
 }
 
@@ -233,12 +258,30 @@ impl MultilevelPipeline {
         rng: &mut StdRng,
         affinity: Option<&AffinityCosts>,
     ) -> Vec<u32> {
+        let mut ctx = crate::partition::PartitionCtx::default();
+        self.run_anchored_ctx(graph, config, rng, affinity, &mut ctx)
+    }
+
+    /// [`MultilevelPipeline::run_anchored`] through a caller-owned
+    /// [`crate::partition::PartitionCtx`]: scratch buffers (currently the
+    /// coarsening workspace) survive across calls instead of being rebuilt
+    /// per window. The context never influences the result.
+    pub fn run_anchored_ctx(
+        &self,
+        graph: &CsrGraph,
+        config: &PartitionConfig,
+        rng: &mut StdRng,
+        affinity: Option<&AffinityCosts>,
+        ctx: &mut crate::partition::PartitionCtx,
+    ) -> Vec<u32> {
         let k = config.num_parts.max(1);
         let target = config.coarsen_until.max(4 * k);
 
         // Phase 1: coarsen. Affinity rows follow the hierarchy: entry `i`
         // is the table for `levels[i].graph`.
-        let levels = self.coarsener.coarsen(graph, target, rng);
+        let levels = self
+            .coarsener
+            .coarsen_with(graph, target, rng, &mut ctx.coarsen);
         let mut level_affinity: Vec<AffinityCosts> = Vec::new();
         if let Some(aff) = affinity {
             for (i, level) in levels.iter().enumerate() {
@@ -285,7 +328,6 @@ impl MultilevelPipeline {
                 None => self.refiner.refine(finer, &mut assignment, config),
             };
         }
-
         assignment
     }
 }

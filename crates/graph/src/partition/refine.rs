@@ -158,6 +158,188 @@ impl GainTable {
     }
 }
 
+/// Priority queue of candidate moves out of one overweight part, keyed on
+/// the gain table.
+///
+/// Each vertex of the heavy part carries at most one entry: its best move
+/// `(gain, target)` — highest gain, lowest target on ties. The queue is an
+/// index-keyed binary max-heap ordered by `(gain desc, vertex asc)`, so the
+/// top entry is exactly what the previous `O(n·k)`-per-move linear scan
+/// selected: the maximum gain, with ties broken towards the smallest vertex
+/// id and then the smallest target. (A classic array-of-buckets queue does
+/// not apply here — gains are byte quantities spanning a huge sparse range —
+/// so the bucket role is played by a positional heap with the same exact
+/// selection order.)
+///
+/// Consistency protocol, exploiting that within one heavy-part phase target
+/// weights only grow and the heavy part only shrinks:
+///
+/// * gains change only when a neighbour of a moved vertex is touched by
+///   [`GainTable::apply_move`] — those entries are refreshed *eagerly*
+///   (gains can increase, which a lazy scheme would miss);
+/// * feasibility (`target weight + vertex weight <= max`) only decays, so a
+///   stale-feasibility entry can only be *over*-ranked and is revalidated
+///   *lazily* at pop time;
+/// * a vertex whose entry disappears (no feasible target) can never come
+///   back during the phase.
+struct GainQueue {
+    /// Heap of vertex ids, max on `(gain, Reverse(vertex))`.
+    heap: Vec<u32>,
+    /// `pos[v]` = heap slot of `v` plus one; zero means absent.
+    pos: Vec<u32>,
+    /// Cached best gain per vertex (valid only while `pos[v] != 0`).
+    gain: Vec<i64>,
+    /// Cached best target per vertex (valid only while `pos[v] != 0`).
+    target: Vec<u32>,
+}
+
+impl GainQueue {
+    fn new() -> Self {
+        GainQueue {
+            heap: Vec::new(),
+            pos: Vec::new(),
+            gain: Vec::new(),
+            target: Vec::new(),
+        }
+    }
+
+    /// Empties the queue and sizes the per-vertex tables for `n` vertices.
+    fn reset(&mut self, n: usize) {
+        self.heap.clear();
+        self.pos.clear();
+        self.pos.resize(n, 0);
+        self.gain.resize(n, 0);
+        self.target.resize(n, 0);
+    }
+
+    fn contains(&self, v: u32) -> bool {
+        self.pos[v as usize] != 0
+    }
+
+    fn cached(&self, v: u32) -> (i64, u32) {
+        (self.gain[v as usize], self.target[v as usize])
+    }
+
+    /// True if `a` outranks `b`: higher gain, or equal gain and lower id.
+    #[inline]
+    fn outranks(&self, a: u32, b: u32) -> bool {
+        let (ga, gb) = (self.gain[a as usize], self.gain[b as usize]);
+        ga > gb || (ga == gb && a < b)
+    }
+
+    /// Appends an entry without restoring heap order; call
+    /// [`GainQueue::heapify`] once after the bulk load.
+    fn push_unordered(&mut self, v: u32, gain: i64, target: u32) {
+        self.gain[v as usize] = gain;
+        self.target[v as usize] = target;
+        self.pos[v as usize] = self.heap.len() as u32 + 1;
+        self.heap.push(v);
+    }
+
+    /// Restores heap order after a bulk [`GainQueue::push_unordered`] load.
+    fn heapify(&mut self) {
+        for i in (0..self.heap.len() / 2).rev() {
+            self.sift_down(i);
+        }
+    }
+
+    fn peek(&self) -> Option<u32> {
+        self.heap.first().copied()
+    }
+
+    fn remove(&mut self, v: u32) {
+        let slot = self.pos[v as usize];
+        if slot == 0 {
+            return;
+        }
+        let i = (slot - 1) as usize;
+        self.pos[v as usize] = 0;
+        let last = self.heap.pop().unwrap();
+        if last != v {
+            self.heap[i] = last;
+            self.pos[last as usize] = slot;
+            self.sift_down(i);
+            self.sift_up(i);
+        }
+    }
+
+    /// Rewrites the entry of a queued vertex and restores its heap position.
+    fn update(&mut self, v: u32, gain: i64, target: u32) {
+        debug_assert!(self.contains(v));
+        let i = (self.pos[v as usize] - 1) as usize;
+        self.gain[v as usize] = gain;
+        self.target[v as usize] = target;
+        self.sift_down(i);
+        self.sift_up((self.pos[v as usize] - 1) as usize);
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if !self.outranks(self.heap[i], self.heap[parent]) {
+                break;
+            }
+            self.swap_slots(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let left = 2 * i + 1;
+            if left >= n {
+                break;
+            }
+            let right = left + 1;
+            let mut best = left;
+            if right < n && self.outranks(self.heap[right], self.heap[left]) {
+                best = right;
+            }
+            if !self.outranks(self.heap[best], self.heap[i]) {
+                break;
+            }
+            self.swap_slots(i, best);
+            i = best;
+        }
+    }
+
+    #[inline]
+    fn swap_slots(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i] as usize] = i as u32 + 1;
+        self.pos[self.heap[j] as usize] = j as u32 + 1;
+    }
+}
+
+/// Best admissible move of `v` out of `heavy`: the highest-gain target with
+/// spare capacity, lowest target index on ties. Mirrors the inner loops of
+/// the linear-scan reference exactly.
+#[inline]
+fn best_move(
+    graph: &CsrGraph,
+    table: &GainTable,
+    part_weight: &[i64],
+    heavy: usize,
+    max_part_weight: i64,
+    v: u32,
+) -> Option<(i64, u32)> {
+    let vw = graph.vertex_weight(v);
+    let mut best: Option<(i64, u32)> = None;
+    for (target, &tw) in part_weight.iter().enumerate() {
+        if target == heavy || tw + vw > max_part_weight {
+            continue;
+        }
+        let gain = table.gain(v, heavy, target);
+        match best {
+            None => best = Some((gain, target as u32)),
+            Some((bg, _)) if gain > bg => best = Some((gain, target as u32)),
+            _ => {}
+        }
+    }
+    best
+}
+
 /// Moves vertices out of overweight parts until every part weighs at most
 /// `max_part_weight`, choosing at each step the move that loses the least cut
 /// weight. Returns the number of vertices moved.
@@ -178,10 +360,119 @@ pub fn rebalance(
     )
 }
 
+/// The pre-queue `O(n·k)`-per-move implementation of [`rebalance`], retained
+/// verbatim as the oracle for the queue/linear equivalence tests. Selection
+/// order (maximum gain, then lowest vertex id, then lowest target) is the
+/// contract both implementations share; the corpus tests in the `graph`
+/// crate assert bit-identical assignments.
+pub fn rebalance_reference(
+    graph: &CsrGraph,
+    assignment: &mut [u32],
+    k: usize,
+    max_part_weight: i64,
+) -> usize {
+    let mut table = GainTable::build(graph, assignment, k);
+    let mut part_weight = weights_of(graph, assignment, k);
+    rebalance_with_linear(
+        graph,
+        assignment,
+        max_part_weight,
+        &mut table,
+        &mut part_weight,
+    )
+}
+
 /// [`rebalance`] through a caller-owned gain table and part-weight vector
 /// (kept exact), so `refine_kway` can share one table across the repair and
-/// refinement phases.
+/// refinement phases. Selection per move is driven by a [`GainQueue`] —
+/// `O(log n)` amortised instead of the reference's `O(n·k)` scan — with an
+/// identical move sequence.
 fn rebalance_with(
+    graph: &CsrGraph,
+    assignment: &mut [u32],
+    max_part_weight: i64,
+    table: &mut GainTable,
+    part_weight: &mut [i64],
+) -> usize {
+    let n = graph.num_vertices();
+    let k = part_weight.len();
+    let mut moves = 0usize;
+    // Hard cap: each vertex can be moved at most twice on average.
+    let max_moves = 2 * n + k;
+    let mut queue = GainQueue::new();
+    // The part the queue was built for; rebuilt whenever the heaviest
+    // offender changes (typically once — projection overloads one part).
+    let mut queue_heavy = usize::MAX;
+    'phases: while moves < max_moves {
+        // Heaviest offending part.
+        let Some((heavy, _)) = part_weight
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w > max_part_weight)
+            .max_by_key(|(_, &w)| w)
+        else {
+            break;
+        };
+        if heavy != queue_heavy {
+            queue.reset(n);
+            for v in 0..n as u32 {
+                if assignment[v as usize] as usize != heavy {
+                    continue;
+                }
+                if let Some((g, t)) =
+                    best_move(graph, table, part_weight, heavy, max_part_weight, v)
+                {
+                    queue.push_unordered(v, g, t);
+                }
+            }
+            queue.heapify();
+            queue_heavy = heavy;
+        }
+        // Pop the best still-admissible move. Gains are maintained eagerly,
+        // but a cached target may have filled up since the entry was scored;
+        // revalidate at the top and re-rank (always downwards) until the top
+        // entry is exact.
+        let (v, target) = loop {
+            let Some(v) = queue.peek() else {
+                // No part can absorb anything without itself going over the
+                // limit; give up (the limit may simply be infeasible, e.g. a
+                // single vertex heavier than max_part_weight).
+                break 'phases;
+            };
+            match best_move(graph, table, part_weight, heavy, max_part_weight, v) {
+                None => queue.remove(v),
+                Some((g, t)) => {
+                    if (g, t) == queue.cached(v) {
+                        break (v, t);
+                    }
+                    queue.update(v, g, t);
+                }
+            }
+        };
+        let vw = graph.vertex_weight(v);
+        part_weight[heavy] -= vw;
+        part_weight[target as usize] += vw;
+        assignment[v as usize] = target;
+        table.apply_move(graph, v, heavy, target as usize);
+        queue.remove(v);
+        // Eager refresh: the move changed every neighbour's connectivity to
+        // `heavy` and `target`; only neighbours still queued (in the heavy
+        // part, with at least one feasible target) can be affected.
+        for (u, _) in graph.edges_of(v) {
+            if queue.contains(u) {
+                match best_move(graph, table, part_weight, heavy, max_part_weight, u) {
+                    Some((g, t)) => queue.update(u, g, t),
+                    None => queue.remove(u),
+                }
+            }
+        }
+        moves += 1;
+    }
+    moves
+}
+
+/// The linear-scan body of [`rebalance_reference`].
+fn rebalance_with_linear(
     graph: &CsrGraph,
     assignment: &mut [u32],
     max_part_weight: i64,
@@ -225,9 +516,6 @@ fn rebalance_with(
             }
         }
         let Some((_, v, target)) = best else {
-            // No part can absorb anything without itself going over the
-            // limit; give up (the limit may simply be infeasible, e.g. a
-            // single vertex heavier than max_part_weight).
             break;
         };
         let vw = graph.vertex_weight(v);

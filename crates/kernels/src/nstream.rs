@@ -202,7 +202,7 @@ mod tests {
     fn task_count_and_structure() {
         let p = NStreamParams::with_scale(ProblemScale::Tiny);
         let spec = build(p, 4);
-        assert_eq!(spec.name, "NStream");
+        assert_eq!(&*spec.name, "NStream");
         // 3 init tasks per block + blocks per iteration.
         assert_eq!(spec.num_tasks(), 3 * p.blocks + p.iterations * p.blocks);
         assert_eq!(spec.num_regions(), 3 * p.blocks);

@@ -165,7 +165,7 @@ mod tests {
             assert!(spec.num_tasks() > 0, "{app}: no tasks");
             assert!(spec.graph.is_acyclic(), "{app}: cyclic graph");
             assert!(spec.ep_socket.is_some(), "{app}: missing expert placement");
-            assert_eq!(spec.name, app.label());
+            assert_eq!(&*spec.name, app.label());
         }
     }
 

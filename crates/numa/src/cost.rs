@@ -117,8 +117,24 @@ impl CostModel {
     }
 
     /// Time (ns) to execute `work_units` of pure compute.
+    #[inline]
     pub fn compute_time(&self, work_units: f64) -> f64 {
         work_units * self.time_per_work_unit
+    }
+
+    /// Precomputes a [`TransferTable`] for every distance that occurs in
+    /// `distances`. The table returns bit-identical times to
+    /// [`CostModel::transfer_time`] without the two `powf` calls per lookup
+    /// — those dominated the simulator's memory loop.
+    pub fn transfer_table(&self, distances: &DistanceMatrix) -> TransferTable {
+        let max = distances.max_distance() as usize;
+        let mut lat = vec![f64::NAN; max + 1];
+        let mut bw = vec![f64::NAN; max + 1];
+        for d in distances.distinct_distances() {
+            lat[d as usize] = self.latency(d);
+            bw[d as usize] = self.bandwidth(d);
+        }
+        TransferTable { lat, bw }
     }
 
     /// Convenience: the ratio between the remote and local transfer time for
@@ -129,6 +145,38 @@ impl CostModel {
             return 1.0;
         }
         self.transfer_time(bytes, distance) / local
+    }
+}
+
+/// Per-distance latency and bandwidth memoized from a [`CostModel`] over a
+/// concrete [`DistanceMatrix`] (see [`CostModel::transfer_table`]).
+///
+/// `transfer_time` performs the same float operations on the same cached
+/// values as the model itself — `lat(d) + bytes / bw(d)` — so results are
+/// bit-identical, which the byte-compared `BENCH_*.json` baselines rely on.
+#[derive(Clone, Debug, Default)]
+pub struct TransferTable {
+    /// `latency(d)` indexed by distance; NaN at distances absent from the
+    /// matrix the table was built for.
+    lat: Vec<f64>,
+    /// `bandwidth(d)` indexed by distance, NaN likewise.
+    bw: Vec<f64>,
+}
+
+impl TransferTable {
+    /// Time (ns) to transfer `bytes` over a path with SLIT `distance`,
+    /// ignoring contention. Exactly [`CostModel::transfer_time`] for every
+    /// distance of the matrix the table was built from.
+    ///
+    /// # Panics
+    /// Panics (index out of bounds) on a distance the matrix did not
+    /// contain.
+    #[inline]
+    pub fn transfer_time(&self, bytes: u64, distance: u32) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.lat[distance as usize] + bytes as f64 / self.bw[distance as usize]
     }
 }
 

@@ -29,7 +29,7 @@ pub mod memory;
 pub mod stats;
 pub mod topology;
 
-pub use cost::CostModel;
+pub use cost::{CostModel, TransferTable as CostTransferTable};
 pub use ids::{CoreId, NodeId, RegionId, SocketId};
 pub use memory::{MemoryMap, Placement, RegionInfo};
 pub use stats::TrafficStats;

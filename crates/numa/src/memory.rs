@@ -246,31 +246,30 @@ impl MemoryMap {
 
     /// How many bytes of `region` live on each node.
     pub fn bytes_per_node(&self, region: RegionId) -> NodeBytes {
+        let mut out = NodeBytes::default();
+        self.bytes_per_node_into(region, &mut out);
+        out
+    }
+
+    /// [`MemoryMap::bytes_per_node`] into a caller-owned buffer. The common
+    /// placements (`Unallocated`, whole-region `Node`) fill the buffer
+    /// without allocating, which matters on the executor hot path that asks
+    /// once per task access.
+    pub fn bytes_per_node_into(&self, region: RegionId, out: &mut NodeBytes) {
+        out.per_node.clear();
+        out.unallocated = 0;
         let size = self.size_of(region);
         match &self.placements[region.index()] {
-            Placement::Unallocated => NodeBytes {
-                per_node: Vec::new(),
-                unallocated: size,
-            },
-            Placement::Node(n) => NodeBytes {
-                per_node: vec![(*n, size)],
-                unallocated: 0,
-            },
+            Placement::Unallocated => out.unallocated = size,
+            Placement::Node(n) => out.per_node.push((*n, size)),
             Placement::Interleaved(nodes) => {
-                let mut v = self.interleave_bytes(region, nodes);
-                v.sort_by_key(|(n, _)| n.index());
-                NodeBytes {
-                    per_node: v,
-                    unallocated: 0,
-                }
+                out.per_node.extend(self.interleave_bytes(region, nodes));
+                out.per_node.sort_by_key(|(n, _)| n.index());
             }
             Placement::Pages(pages) => {
-                let mut v = Self::page_bytes(size, self.page_size, pages);
-                v.sort_by_key(|(n, _)| n.index());
-                NodeBytes {
-                    per_node: v,
-                    unallocated: 0,
-                }
+                out.per_node
+                    .extend(Self::page_bytes(size, self.page_size, pages));
+                out.per_node.sort_by_key(|(n, _)| n.index());
             }
         }
     }

@@ -56,6 +56,41 @@ impl TrafficStats {
         self.distance_weighted_bytes += u128::from(bytes) * u128::from(distance);
     }
 
+    /// [`TrafficStats::record_access`] minus the link-matrix update: only
+    /// the scalar counters (local/remote bytes, distance-weighted bytes) are
+    /// touched. Hot-loop variant — the per-access `BTreeMap` probe of the
+    /// full method dominated the simulator's memory loop. Callers accumulate
+    /// the link bytes densely on the side and fold them in once per run via
+    /// [`TrafficStats::add_link_matrix`].
+    #[inline]
+    pub fn record_access_unlinked(
+        &mut self,
+        core_node: NodeId,
+        data_node: NodeId,
+        distance: u32,
+        bytes: u64,
+    ) {
+        if core_node == data_node {
+            self.local_bytes += bytes;
+        } else {
+            self.remote_bytes += bytes;
+        }
+        self.distance_weighted_bytes += u128::from(bytes) * u128::from(distance);
+    }
+
+    /// Folds a dense row-major `num_nodes × num_nodes` byte matrix into the
+    /// link ledger: `matrix[from * num_nodes + to]` = bytes read by cores of
+    /// `to` from memory of `from`. Zero entries are skipped, so the ledger
+    /// ends up with exactly the keys per-access recording would have
+    /// produced (every recorded access moves at least one byte).
+    pub fn add_link_matrix(&mut self, matrix: &[u64], num_nodes: usize) {
+        for (i, &bytes) in matrix.iter().enumerate() {
+            if bytes > 0 {
+                *self.link.entry((i / num_nodes, i % num_nodes)).or_default() += bytes;
+            }
+        }
+    }
+
     /// Records a deferred allocation of `bytes` on the executing node.
     pub fn record_deferred_allocation(&mut self, bytes: u64) {
         self.deferred_allocated_bytes += bytes;

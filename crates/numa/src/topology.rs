@@ -51,6 +51,14 @@ impl DistanceMatrix {
         DistanceMatrix { n, values }
     }
 
+    /// The distinct distance values of the matrix, ascending.
+    pub fn distinct_distances(&self) -> Vec<u32> {
+        let mut distances = self.values.clone();
+        distances.sort_unstable();
+        distances.dedup();
+        distances
+    }
+
     /// A uniform matrix: every remote access has the same `remote` distance.
     pub fn uniform(n: usize, remote: u32) -> Self {
         assert!(remote >= Self::LOCAL);

@@ -32,6 +32,11 @@ pub struct ExecutionConfig {
     /// Seed forwarded to components that need randomness (none in the
     /// simulator itself — determinism comes from the policies' own seeds).
     pub seed: u64,
+    /// Whether the simulator accumulates per-stage wall time (policy vs
+    /// event loop) into the report. Costs two clock reads per assignment
+    /// batch in the hot loop, so it is off unless a timing report was asked
+    /// for (`figure1 --json-timing` turns it on).
+    pub stage_timing: bool,
     /// Where executors emit [`numadag_trace::TraceEvent`]s. The default
     /// [`NullSink`] reports itself disabled, so both executors skip event
     /// construction entirely — tracing is zero-cost unless a real sink
@@ -68,6 +73,7 @@ impl ExecutionConfig {
             steal: StealMode::default(),
             collect_trace: false,
             seed: 0xE0,
+            stage_timing: false,
             trace_sink: Arc::new(NullSink),
         }
     }
@@ -87,6 +93,13 @@ impl ExecutionConfig {
     /// Enables the per-task placement trace.
     pub fn with_trace(mut self) -> Self {
         self.collect_trace = true;
+        self
+    }
+
+    /// Enables per-stage wall-time accounting in the simulator (see
+    /// [`ExecutionConfig::stage_timing`]).
+    pub fn with_stage_timing(mut self) -> Self {
+        self.stage_timing = true;
         self
     }
 

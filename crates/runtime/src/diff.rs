@@ -363,17 +363,28 @@ fn parse_timing(value: &Value) -> Result<SweepTiming, String> {
                 .collect::<Result<Vec<_>, _>>()?,
             Err(_) => Vec::new(),
         },
-        cell_partition_wall_ns: match get_array(value, "cell_partition_wall_ns") {
-            Ok(values) => values
-                .iter()
-                .map(|v| {
-                    v.as_f64()
-                        .ok_or_else(|| "cell_partition_wall_ns entries must be numbers".to_string())
-                })
-                .collect::<Result<Vec<_>, _>>()?,
-            Err(_) => Vec::new(),
-        },
+        cell_partition_wall_ns: parse_f64_vec(value, "cell_partition_wall_ns")?,
+        // Per-stage vectors (policy vs event loop) arrived with the hot-path
+        // overhaul; older reports lack them.
+        cell_policy_wall_ns: parse_f64_vec(value, "cell_policy_wall_ns")?,
+        cell_event_loop_wall_ns: parse_f64_vec(value, "cell_event_loop_wall_ns")?,
     })
+}
+
+/// Parses an optional array of numbers from a timing section: a missing key
+/// yields an empty vector (reports written before the field existed), a
+/// present key with non-numeric entries is an error.
+fn parse_f64_vec(value: &Value, key: &str) -> Result<Vec<f64>, String> {
+    match get_array(value, key) {
+        Ok(values) => values
+            .iter()
+            .map(|v| {
+                v.as_f64()
+                    .ok_or_else(|| format!("{key} entries must be numbers"))
+            })
+            .collect(),
+        Err(_) => Ok(Vec::new()),
+    }
 }
 
 #[cfg(test)]

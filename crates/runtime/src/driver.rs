@@ -185,6 +185,15 @@ pub struct SweepTiming {
     /// Per-cell wall time spent inside the graph partitioner (ns),
     /// parallel to `cells`.
     pub cell_partition_wall_ns: Vec<f64>,
+    /// Per-cell wall time spent inside the scheduling policy (`prepare` +
+    /// `assign`, of which the partitioner time is a subset), parallel to
+    /// `cells`. All zeros unless the execution config enabled
+    /// [`crate::ExecutionConfig::stage_timing`] (assign batches are only
+    /// clocked then); `prepare` is always included.
+    pub cell_policy_wall_ns: Vec<f64>,
+    /// Per-cell wall time of the executor's run minus the policy time — the
+    /// event loop plus the memory-cost model (ns), parallel to `cells`.
+    pub cell_event_loop_wall_ns: Vec<f64>,
 }
 
 /// Progress report passed to [`SweepDriver::on_cell_complete`] after each
@@ -234,6 +243,10 @@ struct JobMeasurement {
     partition_windows: usize,
     /// Wall time the cell's policy spent inside the partitioner (ns).
     partition_wall_ns: f64,
+    /// Wall time inside the policy (prepare + assign batches), ns.
+    policy_wall_ns: f64,
+    /// Executor run wall minus policy time, ns.
+    event_loop_wall_ns: f64,
 }
 
 /// Executes a [`SweepPlan`], serially or sharded across worker threads.
@@ -493,6 +506,8 @@ fn run_job(
         wall_ns: t.elapsed().as_nanos() as f64,
         partition_windows: partition_stats.windows,
         partition_wall_ns: partition_stats.wall_ns,
+        policy_wall_ns: report.policy_wall_ns,
+        event_loop_wall_ns: report.event_loop_wall_ns,
     })
 }
 
@@ -519,6 +534,8 @@ fn assemble(
     let mut cell_wall_ns = Vec::new();
     let mut cell_partition_windows = Vec::new();
     let mut cell_partition_wall_ns = Vec::new();
+    let mut cell_policy_wall_ns = Vec::new();
+    let mut cell_event_loop_wall_ns = Vec::new();
     let mut skipped = Vec::new();
     for (w, workload) in plan.workloads.iter().enumerate() {
         // The baseline anchors every speedup of this workload; if it cannot
@@ -572,6 +589,8 @@ fn assemble(
                 cell_wall_ns.push(m.wall_ns);
                 cell_partition_windows.push(m.partition_windows);
                 cell_partition_wall_ns.push(m.partition_wall_ns);
+                cell_policy_wall_ns.push(m.policy_wall_ns);
+                cell_event_loop_wall_ns.push(m.event_loop_wall_ns);
             }
         }
     }
@@ -605,6 +624,8 @@ fn assemble(
             cell_wall_ns,
             cell_partition_windows,
             cell_partition_wall_ns,
+            cell_policy_wall_ns,
+            cell_event_loop_wall_ns,
         },
     }
 }

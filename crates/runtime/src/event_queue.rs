@@ -1,0 +1,265 @@
+//! Index-keyed min-heap of simulator events over a preallocated slab.
+//!
+//! The discrete-event simulator has at most one in-flight completion event
+//! per core, so the event "slab" is simply a vector indexed by core id and
+//! the heap orders core indices by the `(time, seq)` key of the event each
+//! slot holds. Compared to a `BinaryHeap<Event>` rebuilt per cell, this
+//! structure allocates nothing after the first run of a sweep: both the slab
+//! and the heap vector are reset (not freed) between cells.
+//!
+//! `(time, seq)` is a total order — `seq` is unique per event — so any
+//! correct min-heap pops events in exactly the same order as the previous
+//! `BinaryHeap` implementation. Determinism of the simulation therefore does
+//! not depend on heap internals, and the swap is bit-identical by
+//! construction (a property the `event_queue_equivalence` proptest pins
+//! down).
+
+use std::cmp::Ordering;
+
+use numadag_numa::CoreId;
+use numadag_tdg::TaskId;
+
+/// A task-completion event in the simulation clock.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Simulated completion time (ns).
+    pub time: f64,
+    /// Tie-breaker: monotonically increasing push sequence number. Unique,
+    /// which makes `(time, seq)` a total order.
+    pub seq: u64,
+    /// The completing task.
+    pub task: TaskId,
+    /// The core it ran on. Doubles as the slab slot index: a core has at
+    /// most one event in flight.
+    pub core: CoreId,
+}
+
+impl Event {
+    #[inline]
+    fn key_lt(&self, other: &Event) -> bool {
+        match self.time.total_cmp(&other.time) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => self.seq < other.seq,
+        }
+    }
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering so a `BinaryHeap<Event>` is a min-heap on
+        // (time, seq) — kept for the equivalence tests against the reference
+        // implementation.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Min-heap of events keyed on `(time, seq)`, storing core indices into a
+/// preallocated per-core slab. `reset` reuses both allocations across runs.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    /// One slot per core; slot `c` holds the in-flight event of core `c`
+    /// (stale once popped — the heap is the source of truth for liveness).
+    slab: Vec<Event>,
+    /// Heap of live slot indices, min on the slot's `(time, seq)`.
+    heap: Vec<u32>,
+}
+
+impl EventQueue {
+    /// An empty queue; call [`EventQueue::reset`] before use.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Clears the queue and sizes the slab for `num_cores` slots.
+    pub fn reset(&mut self, num_cores: usize) {
+        self.heap.clear();
+        let filler = Event {
+            time: 0.0,
+            seq: 0,
+            task: TaskId(0),
+            core: CoreId(0),
+        };
+        self.slab.clear();
+        self.slab.resize(num_cores, filler);
+        if self.heap.capacity() < num_cores {
+            self.heap.reserve(num_cores - self.heap.capacity());
+        }
+    }
+
+    /// Number of in-flight events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no event is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Inserts a completion event. The event's core must not already have an
+    /// event in flight (guaranteed by the simulator: a core runs one task at
+    /// a time).
+    pub fn push(&mut self, event: Event) {
+        let slot = event.core.index();
+        debug_assert!(slot < self.slab.len(), "core {slot} outside slab");
+        debug_assert!(
+            !self.heap.contains(&(slot as u32)),
+            "core {slot} already has an event in flight"
+        );
+        self.slab[slot] = event;
+        self.heap.push(slot as u32);
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Removes and returns the event with the smallest `(time, seq)`.
+    pub fn pop(&mut self) -> Option<Event> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap.swap_remove(0);
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        Some(self.slab[top as usize])
+    }
+
+    #[inline]
+    fn lt(&self, a: u32, b: u32) -> bool {
+        self.slab[a as usize].key_lt(&self.slab[b as usize])
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if !self.lt(self.heap[i], self.heap[parent]) {
+                break;
+            }
+            self.heap.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let left = 2 * i + 1;
+            if left >= n {
+                break;
+            }
+            let right = left + 1;
+            let mut best = left;
+            if right < n && self.lt(self.heap[right], self.heap[left]) {
+                best = right;
+            }
+            if !self.lt(self.heap[best], self.heap[i]) {
+                break;
+            }
+            self.heap.swap(i, best);
+            i = best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn ev(time: f64, seq: u64, core: usize) -> Event {
+        Event {
+            time,
+            seq,
+            task: TaskId(seq as usize),
+            core: CoreId(core),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = EventQueue::new();
+        q.reset(4);
+        q.push(ev(5.0, 1, 0));
+        q.push(ev(3.0, 2, 1));
+        q.push(ev(3.0, 3, 2));
+        q.push(ev(1.0, 4, 3));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        assert_eq!(order, vec![4, 2, 3, 1]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn slot_reuse_after_pop() {
+        let mut q = EventQueue::new();
+        q.reset(2);
+        q.push(ev(1.0, 1, 0));
+        q.push(ev(2.0, 2, 1));
+        assert_eq!(q.pop().unwrap().seq, 1);
+        // Core 0 finished; it can carry a new event.
+        q.push(ev(1.5, 3, 0));
+        assert_eq!(q.pop().unwrap().seq, 3);
+        assert_eq!(q.pop().unwrap().seq, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn reset_clears_previous_contents() {
+        let mut q = EventQueue::new();
+        q.reset(2);
+        q.push(ev(1.0, 1, 0));
+        q.reset(2);
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn matches_binary_heap_on_interleaved_ops() {
+        // Deterministic pseudo-random interleaving of pushes and pops with
+        // heavy timestamp ties, mirroring the simulator's access pattern
+        // (push after pop frees the same core slot).
+        let mut q = EventQueue::new();
+        let cores = 8;
+        q.reset(cores);
+        let mut reference: BinaryHeap<Event> = BinaryHeap::new();
+        let mut free: Vec<usize> = (0..cores).rev().collect();
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut seq = 0u64;
+        for _ in 0..2000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let do_push = !free.is_empty() && (reference.is_empty() || !state.is_multiple_of(3));
+            if do_push {
+                let core = free.pop().unwrap();
+                seq += 1;
+                // Coarse times force (time, seq) ties to matter.
+                let e = ev(((state >> 32) % 4) as f64, seq, core);
+                q.push(e);
+                reference.push(e);
+            } else {
+                let got = q.pop().unwrap();
+                let want = reference.pop().unwrap();
+                assert_eq!(got, want, "divergence at seq {}", want.seq);
+                free.push(got.core.index());
+            }
+        }
+        while let Some(want) = reference.pop() {
+            assert_eq!(q.pop().unwrap(), want);
+        }
+        assert!(q.is_empty());
+    }
+}

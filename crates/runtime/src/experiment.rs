@@ -287,6 +287,7 @@ pub struct Experiment {
     spec_cache: Option<Arc<SpecCache>>,
     progress: Option<ProgressCallback>,
     trace: Option<Arc<TraceCollector>>,
+    stage_timing: bool,
 }
 
 impl Default for Experiment {
@@ -307,6 +308,7 @@ impl Default for Experiment {
             spec_cache: None,
             progress: None,
             trace: None,
+            stage_timing: false,
         }
     }
 }
@@ -338,6 +340,14 @@ impl Experiment {
     /// Sets the backend (default: the discrete-event simulator).
     pub fn backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Enables per-stage wall-time accounting (policy vs event loop) in the
+    /// simulator; see [`crate::ExecutionConfig::stage_timing`]. Off by
+    /// default because it clocks every assignment batch in the hot loop.
+    pub fn stage_timing(mut self, on: bool) -> Self {
+        self.stage_timing = on;
         self
     }
 
@@ -514,7 +524,7 @@ impl Experiment {
         for spec in &self.workloads {
             let spec = Arc::new(spec.clone());
             workloads.push(PlannedWorkload {
-                label: spec.name.clone(),
+                label: spec.name.to_string(),
                 scale_label: "custom".to_string(),
                 baseline_available: make_policy(self.baseline, &spec, self.seed).is_some(),
                 spec,
@@ -536,10 +546,14 @@ impl Experiment {
         }
 
         SweepPlan {
-            config: ExecutionConfig::new(self.topology.clone())
-                .with_cost_model(self.cost_model.clone())
-                .with_steal(self.steal)
-                .with_seed(self.seed),
+            config: {
+                let mut config = ExecutionConfig::new(self.topology.clone())
+                    .with_cost_model(self.cost_model.clone())
+                    .with_steal(self.steal)
+                    .with_seed(self.seed);
+                config.stage_timing = self.stage_timing;
+                config
+            },
             backend: self.backend,
             baseline: self.baseline,
             policies,

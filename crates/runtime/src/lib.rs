@@ -63,6 +63,7 @@ pub mod config;
 pub mod deferred;
 pub mod diff;
 pub mod driver;
+pub mod event_queue;
 pub mod executor;
 pub mod experiment;
 pub mod report;
@@ -74,6 +75,7 @@ pub use diff::{CellDelta, FieldDelta, SweepDiff};
 pub use driver::{
     CellProgress, PlannedWorkload, ProgressCallback, SweepDriver, SweepJob, SweepPlan, SweepTiming,
 };
+pub use event_queue::{Event, EventQueue};
 pub use executor::Executor;
 pub use experiment::{Backend, Experiment, SweepAggregate, SweepCell, SweepReport};
 pub use report::{ExecutionReport, TaskPlacement};

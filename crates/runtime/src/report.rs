@@ -1,5 +1,7 @@
 //! Execution reports: the measurements both executors produce.
 
+use std::sync::Arc;
+
 use numadag_numa::{SocketId, TrafficStats};
 use numadag_tdg::TaskId;
 
@@ -20,12 +22,16 @@ pub struct TaskPlacement {
 }
 
 /// The result of executing a workload under one policy.
+///
+/// The labels are deliberately cheap: the workload name is shared with the
+/// spec (`Arc`) and the policy name is the policy's `'static` literal, so
+/// building a report allocates nothing for either — sweeps build thousands.
 #[derive(Clone, Debug, Default)]
 pub struct ExecutionReport {
     /// Name of the workload.
-    pub workload: String,
+    pub workload: Arc<str>,
     /// Name of the scheduling policy.
-    pub policy: String,
+    pub policy: &'static str,
     /// Simulated makespan in nanoseconds (wall-clock nanoseconds for the
     /// threaded executor).
     pub makespan_ns: f64,
@@ -42,6 +48,13 @@ pub struct ExecutionReport {
     pub stolen_tasks: usize,
     /// Bytes placed by deferred allocation.
     pub deferred_bytes: u64,
+    /// Real wall time spent inside the scheduling policy (`prepare` plus all
+    /// `assign` batches), ns. Filled by the simulator; the threaded executor
+    /// leaves it 0. Varies run to run — never part of measurement baselines.
+    pub policy_wall_ns: f64,
+    /// Real wall time of the executor's run minus `policy_wall_ns` — the
+    /// event loop plus the memory-cost model, ns. Filled by the simulator.
+    pub event_loop_wall_ns: f64,
     /// Per-task placement trace (empty unless tracing was enabled).
     pub trace: Vec<TaskPlacement>,
 }
@@ -117,7 +130,7 @@ mod tests {
     fn report(makespan: f64, busy: Vec<f64>) -> ExecutionReport {
         ExecutionReport {
             workload: "toy".into(),
-            policy: "LAS".into(),
+            policy: "LAS",
             makespan_ns: makespan,
             tasks: 10,
             busy_per_socket: busy,

@@ -10,58 +10,136 @@
 //! The simulation is fully deterministic: the only randomness lives inside
 //! the policies (and is seeded).
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
+use std::sync::Mutex;
 
 use numadag_core::{DataLocator, MemoryLocator, SchedulingPolicy};
-use numadag_numa::{CoreId, MemoryMap, SocketId, TrafficStats};
+use numadag_numa::memory::NodeBytes;
+use numadag_numa::{CoreId, CostTransferTable, MemoryMap, SocketId, TrafficStats};
 use numadag_tdg::{TaskGraphSpec, TaskId};
 use numadag_trace::{TraceEvent, TraceSink};
 
 use crate::config::{ExecutionConfig, StealMode};
 use crate::deferred::apply_deferred_allocation;
+use crate::event_queue::{Event, EventQueue};
 use crate::executor::Executor;
 use crate::report::{ExecutionReport, TaskPlacement};
 
-/// A task-completion event in the simulation clock.
-#[derive(Clone, Copy, Debug)]
-struct Event {
-    time: f64,
-    seq: u64,
-    task: TaskId,
-    core: CoreId,
+/// Per-run working state, reused across cells of a sweep.
+///
+/// A Full sweep runs hundreds of simulations on the same executor; rebuilding
+/// these vectors per cell dominated the event loop's allocation profile. All
+/// fields are reset (lengths and contents), never freed, so steady-state runs
+/// allocate nothing here.
+#[derive(Debug, Default)]
+struct SimScratch {
+    /// Remaining unfinished predecessors per task.
+    indegree: Vec<usize>,
+    /// Socket each task was pushed to by the policy.
+    assigned_socket: Vec<Option<SocketId>>,
+    /// Per-socket FIFO of assigned-but-not-started tasks.
+    queues: Vec<VecDeque<TaskId>>,
+    /// Per-socket stack of idle cores (lowest core id on top).
+    idle: Vec<Vec<CoreId>>,
+    /// Number of running tasks per socket (bandwidth contention input).
+    busy_count: Vec<usize>,
+    /// Tasks whose last dependence was just released.
+    ready: Vec<TaskId>,
+    /// In-flight completion events.
+    events: EventQueue,
+    /// Scratch for region residency lookups in the memory-time loop.
+    location: NodeBytes,
+    /// Dense per-(home node, executing node) byte matrix, folded into the
+    /// report's `TrafficStats` once at the end of the run (the per-access
+    /// `BTreeMap` probe it replaces dominated the memory loop).
+    link: Vec<u64>,
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse ordering so the BinaryHeap becomes a min-heap on (time, seq).
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl SimScratch {
+    fn reset(
+        &mut self,
+        spec: &TaskGraphSpec,
+        num_sockets: usize,
+        num_cores: usize,
+        idle_template: &[Vec<CoreId>],
+    ) {
+        let n = spec.num_tasks();
+        self.indegree.clear();
+        self.indegree
+            .extend((0..n).map(|t| spec.graph.in_degree(TaskId(t))));
+        self.assigned_socket.clear();
+        self.assigned_socket.resize(n, None);
+        self.queues.truncate(num_sockets);
+        self.queues.resize_with(num_sockets, VecDeque::new);
+        for q in &mut self.queues {
+            q.clear();
+        }
+        self.idle.truncate(num_sockets);
+        self.idle.resize_with(num_sockets, Vec::new);
+        for (stack, template) in self.idle.iter_mut().zip(idle_template) {
+            stack.clear();
+            stack.extend_from_slice(template);
+        }
+        self.busy_count.clear();
+        self.busy_count.resize(num_sockets, 0);
+        self.ready.clear();
+        self.events.reset(num_cores);
+        self.link.clear();
+        self.link.resize(num_sockets * num_sockets, 0);
     }
 }
 
 /// The discrete-event simulator.
 pub struct Simulator {
     config: ExecutionConfig,
+    /// Per-socket steal order: the other sockets' indices sorted by NUMA
+    /// distance from the stealing socket (ties by node id). Static per
+    /// topology — the previous implementation re-derived (and re-allocated)
+    /// this inside the dispatch loop via `Topology::nodes_by_distance`.
+    steal_order: Vec<Vec<u32>>,
+    /// Initial idle-core stack per socket (reversed so `pop()` hands out the
+    /// lowest core id first).
+    idle_template: Vec<Vec<CoreId>>,
+    /// Per-distance latency/bandwidth cache (bit-identical to the cost
+    /// model's `transfer_time`, minus its two `powf` calls per access).
+    transfer: CostTransferTable,
+    /// Reusable run state. A `Mutex` only to satisfy `Executor: Sync`; each
+    /// sweep worker owns its executor, so the lock is uncontended and taken
+    /// once per cell.
+    scratch: Mutex<SimScratch>,
 }
 
 impl Simulator {
     /// Creates a simulator for the given machine configuration.
     pub fn new(config: ExecutionConfig) -> Self {
-        Simulator { config }
+        let topo = &config.topology;
+        let steal_order = (0..topo.num_sockets())
+            .map(|s| {
+                topo.nodes_by_distance(SocketId(s).node())
+                    .into_iter()
+                    .map(|nd| nd.socket().index() as u32)
+                    .filter(|&v| v as usize != s)
+                    .collect()
+            })
+            .collect();
+        let idle_template = topo
+            .sockets()
+            .map(|s| {
+                let mut cores: Vec<CoreId> = topo.cores_of(s).collect();
+                cores.reverse(); // pop() hands out the lowest core id first
+                cores
+            })
+            .collect();
+        let transfer = config
+            .cost_model
+            .transfer_table(config.topology.distances());
+        Simulator {
+            config,
+            steal_order,
+            idle_template,
+            transfer,
+            scratch: Mutex::new(SimScratch::default()),
+        }
     }
 
     /// The configuration the simulator was built with.
@@ -88,32 +166,41 @@ impl Simulator {
         }
         let mut stats = TrafficStats::new();
 
+        let run_started = std::time::Instant::now();
+        let mut policy_wall_ns = 0.0f64;
+
         // Let the policy look at the graph (RGP partitions its window here).
         {
             let locator = MemoryLocator::new(topo, &memory);
+            let t = std::time::Instant::now();
             policy.prepare(&spec.graph, &locator);
+            policy_wall_ns += t.elapsed().as_nanos() as f64;
         }
 
-        // Per-task bookkeeping.
-        let mut indegree: Vec<usize> = (0..n).map(|t| spec.graph.in_degree(TaskId(t))).collect();
-        let mut assigned_socket: Vec<Option<SocketId>> = vec![None; n];
-
-        // Queues and cores.
-        let mut queues: Vec<VecDeque<TaskId>> = vec![VecDeque::new(); num_sockets];
-        let mut idle: Vec<Vec<CoreId>> = topo
-            .sockets()
-            .map(|s| {
-                let mut cores: Vec<CoreId> = topo.cores_of(s).collect();
-                cores.reverse(); // pop() hands out the lowest core id first
-                cores
-            })
-            .collect();
-        let mut busy_count = vec![0usize; num_sockets];
+        // Reusable run state (queues, indegrees, idle stacks, event slab):
+        // reset, not reallocated, between cells of a sweep.
+        let mut scratch_guard = self
+            .scratch
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let scratch = &mut *scratch_guard;
+        scratch.reset(spec, num_sockets, topo.num_cores(), &self.idle_template);
+        let SimScratch {
+            indegree,
+            assigned_socket,
+            queues,
+            idle,
+            busy_count,
+            ready,
+            events,
+            location,
+            link,
+        } = scratch;
 
         // Report accumulators.
         let mut report = ExecutionReport {
             workload: spec.name.clone(),
-            policy: policy.name().to_string(),
+            policy: policy.name(),
             tasks: n,
             tasks_per_socket: vec![0; num_sockets],
             busy_per_socket: vec![0.0; num_sockets],
@@ -121,24 +208,40 @@ impl Simulator {
         };
 
         // Event machinery.
-        let mut events: BinaryHeap<Event> = BinaryHeap::new();
         let mut seq = 0u64;
         let mut completed = 0usize;
         let mut makespan = 0.0f64;
 
-        // Assign the initial ready tasks.
-        let sources: Vec<TaskId> = spec.graph.sources();
-        Self::assign_tasks(
-            &sources,
-            spec,
-            policy,
-            topo,
-            &memory,
-            &mut assigned_socket,
-            &mut queues,
-            self.config.trace_sink.as_ref(),
-            0.0,
-        );
+        // Per-stage accounting (policy vs event loop) costs two clock reads
+        // per assignment batch — only paid when a timing report was asked
+        // for.
+        let stage_timing = self.config.stage_timing;
+
+        // Assign the initial ready tasks (the graph's sources, in ascending
+        // task order — exactly `TaskGraph::sources`, without the Vec).
+        // Tasks currently sitting in socket queues; lets the dispatcher skip
+        // its socket/steal scans entirely on the (common) events where every
+        // queue is empty.
+        let mut queued = 0usize;
+        ready.extend((0..n).filter(|&t| indegree[t] == 0).map(TaskId));
+        {
+            queued += ready.len();
+            let t = stage_timing.then(std::time::Instant::now);
+            Self::assign_tasks(
+                ready,
+                spec,
+                policy,
+                topo,
+                &memory,
+                assigned_socket,
+                queues,
+                self.config.trace_sink.as_ref(),
+                0.0,
+            );
+            if let Some(t) = t {
+                policy_wall_ns += t.elapsed().as_nanos() as f64;
+            }
+        }
 
         // Helper closure replaced by a local fn to keep borrows simple.
         #[allow(clippy::too_many_arguments)]
@@ -153,7 +256,9 @@ impl Simulator {
             stats: &mut TrafficStats,
             busy_count: &mut [usize],
             report: &mut ExecutionReport,
-            events: &mut BinaryHeap<Event>,
+            events: &mut EventQueue,
+            location: &mut NodeBytes,
+            link: &mut [u64],
             seq: &mut u64,
         ) {
             let topo = &sim.config.topology;
@@ -189,18 +294,20 @@ impl Simulator {
             // Memory time: move every accessed byte between its home node and
             // the executing socket.
             let mut memory_time = 0.0f64;
+            let num_nodes = topo.num_sockets();
             for access in &descriptor.accesses {
                 let region_size = memory.size_of(access.region).max(1);
-                let per_node = memory.bytes_per_node(access.region);
-                for (home, resident) in &per_node.per_node {
+                memory.bytes_per_node_into(access.region, location);
+                for (home, resident) in &location.per_node {
                     let scaled = ((*resident as f64) * (access.bytes as f64) / (region_size as f64))
                         .round() as u64;
                     if scaled == 0 {
                         continue;
                     }
                     let dist = topo.distance(node, *home);
-                    memory_time += cost.transfer_time(scaled, dist);
-                    stats.record_access(node, *home, dist, scaled);
+                    memory_time += sim.transfer.transfer_time(scaled, dist);
+                    stats.record_access_unlinked(node, *home, dist, scaled);
+                    link[home.index() * num_nodes + node.index()] += scaled;
                     if tracing {
                         sink.record(TraceEvent::Traffic {
                             task,
@@ -248,9 +355,13 @@ impl Simulator {
         macro_rules! dispatch {
             ($now:expr) => {{
                 for s in 0..num_sockets {
+                    if queued == 0 {
+                        break;
+                    }
                     while !queues[s].is_empty() && !idle[s].is_empty() {
                         let task = queues[s].pop_front().unwrap();
                         let core = idle[s].pop().unwrap();
+                        queued -= 1;
                         start_task(
                             self,
                             spec,
@@ -260,24 +371,29 @@ impl Simulator {
                             false,
                             &mut memory,
                             &mut stats,
-                            &mut busy_count,
+                            busy_count,
                             &mut report,
-                            &mut events,
+                            events,
+                            location,
+                            link,
                             &mut seq,
                         );
                     }
                 }
-                if self.config.steal == StealMode::NearestSocket {
+                if self.config.steal == StealMode::NearestSocket && queued > 0 {
                     for s in 0..num_sockets {
+                        if queued == 0 {
+                            break;
+                        }
                         while !idle[s].is_empty() {
-                            let victim = topo
-                                .nodes_by_distance(SocketId(s).node())
-                                .into_iter()
-                                .map(|nd| nd.socket().index())
-                                .find(|&v| v != s && !queues[v].is_empty());
+                            let victim = self.steal_order[s]
+                                .iter()
+                                .map(|&v| v as usize)
+                                .find(|&v| !queues[v].is_empty());
                             let Some(victim) = victim else { break };
                             let task = queues[victim].pop_back().unwrap();
                             let core = idle[s].pop().unwrap();
+                            queued -= 1;
                             start_task(
                                 self,
                                 spec,
@@ -287,9 +403,11 @@ impl Simulator {
                                 true,
                                 &mut memory,
                                 &mut stats,
-                                &mut busy_count,
+                                busy_count,
                                 &mut report,
-                                &mut events,
+                                events,
+                                location,
+                                link,
                                 &mut seq,
                             );
                         }
@@ -325,30 +443,43 @@ impl Simulator {
             }
 
             // Release successors.
-            let mut newly_ready: Vec<TaskId> = Vec::new();
+            ready.clear();
             for &(succ, _) in spec.graph.successors(event.task) {
                 indegree[succ.index()] -= 1;
                 if indegree[succ.index()] == 0 {
-                    newly_ready.push(succ);
+                    ready.push(succ);
                 }
             }
-            Self::assign_tasks(
-                &newly_ready,
-                spec,
-                policy,
-                topo,
-                &memory,
-                &mut assigned_socket,
-                &mut queues,
-                self.config.trace_sink.as_ref(),
-                now,
-            );
+            if ready.is_empty() {
+                // Nothing to hand to the policy; skip the batch (and its
+                // clock reads under stage timing).
+            } else {
+                queued += ready.len();
+                let t = stage_timing.then(std::time::Instant::now);
+                Self::assign_tasks(
+                    ready,
+                    spec,
+                    policy,
+                    topo,
+                    &memory,
+                    assigned_socket,
+                    queues,
+                    self.config.trace_sink.as_ref(),
+                    now,
+                );
+                if let Some(t) = t {
+                    policy_wall_ns += t.elapsed().as_nanos() as f64;
+                }
+            }
 
             dispatch!(now);
         }
 
         report.makespan_ns = makespan;
+        stats.add_link_matrix(link, num_sockets);
         report.traffic = stats;
+        report.policy_wall_ns = policy_wall_ns;
+        report.event_loop_wall_ns = run_started.elapsed().as_nanos() as f64 - policy_wall_ns;
         report
     }
 
@@ -377,9 +508,9 @@ impl Simulator {
         sink: &dyn TraceSink,
         now: f64,
     ) {
+        let locator = MemoryLocator::new(topo, memory);
         for &task in tasks {
             let socket = {
-                let locator = MemoryLocator::new(topo, memory);
                 let s = policy.assign(spec.graph.task(task), &locator);
                 debug_assert!(s.index() < locator.topology().num_sockets());
                 s
@@ -552,8 +683,8 @@ mod tests {
         let cfg = ExecutionConfig::bullion_s16().with_trace_sink(sink.clone());
         let report = Simulator::new(cfg).run(&spec, &mut LasPolicy::new(3));
         let trace = Trace {
-            workload: spec.name.clone(),
-            policy: report.policy.clone(),
+            workload: spec.name.to_string(),
+            policy: report.policy.to_string(),
             backend: "simulator".to_string(),
             scale: "custom".to_string(),
             repetition: 0,

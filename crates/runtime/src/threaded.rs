@@ -80,7 +80,7 @@ impl ThreadedExecutor {
         let topo = &self.config.topology;
         let num_sockets = topo.num_sockets();
         let n = spec.num_tasks();
-        let policy_name = policy.name().to_string();
+        let policy_name = policy.name();
 
         let mut memory = MemoryMap::new();
         for &size in &spec.region_sizes {
@@ -149,6 +149,8 @@ impl ThreadedExecutor {
             busy_per_socket: vec![0.0; num_sockets],
             stolen_tasks: guard.stolen,
             deferred_bytes: guard.deferred_bytes,
+            policy_wall_ns: 0.0,
+            event_loop_wall_ns: 0.0,
             trace: Vec::new(),
         };
         // Busy time is not meaningful for the host machine; report task
@@ -494,8 +496,8 @@ mod tests {
         let mut policy = LasPolicy::new(4);
         let report = exec.run(&spec, &mut policy, &|_| {});
         let trace = Trace {
-            workload: spec.name.clone(),
-            policy: report.policy.clone(),
+            workload: spec.name.to_string(),
+            policy: report.policy.to_string(),
             backend: "threaded".to_string(),
             scale: "custom".to_string(),
             repetition: 0,

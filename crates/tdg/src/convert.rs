@@ -11,7 +11,7 @@
 //! Vertex weights are the task compute costs, so the balance constraint of
 //! the partitioner balances *work*, not just task counts.
 
-use numadag_graph::{CsrGraph, GraphBuilder};
+use numadag_graph::CsrGraph;
 
 use crate::graph::TaskGraph;
 use crate::task::TaskId;
@@ -53,16 +53,16 @@ pub struct CrossEdge {
 ///   placed, so they are anchors, not free vertices.
 pub fn window_to_csr(graph: &TaskGraph, window: &TaskWindow) -> WindowGraph {
     let tasks: Vec<TaskId> = window.task_ids().collect();
-    let mut builder = GraphBuilder::new(tasks.len());
     let base = window.start.index();
+    let mut vwgt = Vec::with_capacity(tasks.len());
+    let mut edges: Vec<(u32, u32, i64)> = Vec::new();
     let mut cross_edges = Vec::new();
     for (v, &t) in tasks.iter().enumerate() {
-        let w = graph.task(t).work_units.ceil().max(1.0) as i64;
-        builder.set_vertex_weight(v as u32, w);
+        vwgt.push(graph.task(t).work_units.ceil().max(1.0) as i64);
         for &(succ, bytes) in graph.successors(t) {
             if window.contains(succ) {
                 let u = succ.index() - base;
-                builder.add_edge(v as u32, u as u32, (bytes as i64).max(1));
+                edges.push((v as u32, u as u32, (bytes as i64).max(1)));
             }
         }
         for &(pred, bytes) in graph.predecessors(t) {
@@ -76,7 +76,7 @@ pub fn window_to_csr(graph: &TaskGraph, window: &TaskWindow) -> WindowGraph {
         }
     }
     WindowGraph {
-        graph: builder.build(),
+        graph: CsrGraph::from_undirected_edges(tasks.len(), vwgt, &mut edges),
         tasks,
         cross_edges,
     }

@@ -5,16 +5,22 @@
 //! it references and, optionally, the expert-programmer placement the paper's
 //! `EP` policy uses.
 
+use std::sync::Arc;
+
 use crate::graph::TaskGraph;
 use crate::task::TaskId;
 
 /// A complete workload: the task graph plus its data-region table.
+///
+/// The name and the graph are held by `Arc`: specs are cloned per sweep cell
+/// (and their names copied into every execution report), so both must be
+/// refcount bumps rather than deep copies.
 #[derive(Clone, Debug)]
 pub struct TaskGraphSpec {
     /// Human-readable name of the application (used in reports).
-    pub name: String,
+    pub name: Arc<str>,
     /// The task dependency graph.
-    pub graph: TaskGraph,
+    pub graph: Arc<TaskGraph>,
     /// Size in bytes of every region, indexed by region id.
     pub region_sizes: Vec<u64>,
     /// Expert-programmer placement: for each task, the socket (by index) the
@@ -25,10 +31,14 @@ pub struct TaskGraphSpec {
 
 impl TaskGraphSpec {
     /// Creates a spec without an expert placement.
-    pub fn new(name: impl Into<String>, graph: TaskGraph, region_sizes: Vec<u64>) -> Self {
+    pub fn new(
+        name: impl Into<Arc<str>>,
+        graph: impl Into<Arc<TaskGraph>>,
+        region_sizes: Vec<u64>,
+    ) -> Self {
         TaskGraphSpec {
             name: name.into(),
-            graph,
+            graph: graph.into(),
             region_sizes,
             ep_socket: None,
         }
@@ -202,7 +212,7 @@ mod tests {
     #[test]
     fn spec_accessors() {
         let s = small_spec();
-        assert_eq!(s.name, "toy");
+        assert_eq!(&*s.name, "toy");
         assert_eq!(s.num_tasks(), 3);
         assert_eq!(s.num_regions(), 2);
         assert_eq!(s.total_region_bytes(), 384);
@@ -254,7 +264,7 @@ mod tests {
         let fp = base.fingerprint();
 
         let mut renamed = base.clone();
-        renamed.name = "toy2".to_string();
+        renamed.name = "toy2".into();
         assert_ne!(fp, renamed.fingerprint(), "name must be hashed");
 
         let mut resized = base.clone();
@@ -271,7 +281,7 @@ mod tests {
         );
 
         let mut reworked = base.clone();
-        reworked.graph = {
+        reworked.graph = Arc::new({
             let mut b = TdgBuilder::new();
             let r0 = b.region(128);
             let r1 = b.region(256);
@@ -279,7 +289,7 @@ mod tests {
             b.submit(TaskSpec::new("w1").work(1.0).writes(r1, 256));
             b.submit(TaskSpec::new("sum").work(2.0).reads(r0, 128).reads(r1, 256));
             b.finish().0
-        };
+        });
         assert_ne!(fp, reworked.fingerprint(), "task work must be hashed");
     }
 }

@@ -46,7 +46,7 @@ fn main() {
             sockets,
         ),
     ];
-    let names: Vec<String> = specs.iter().map(|s| s.name.clone()).collect();
+    let names: Vec<String> = specs.iter().map(|s| s.name.to_string()).collect();
 
     let windows = [32usize, 64, 128, 256, 512, 1024];
     let mut experiment = Experiment::new()

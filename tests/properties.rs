@@ -241,3 +241,60 @@ proptest! {
         prop_assert_eq!(report.deferred_bytes, 4096 * num_blocks as u64);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The indexed event queue (slab + index heap) agrees with a
+    /// `BinaryHeap<Event>` on arbitrary interleavings of pushes and pops,
+    /// with timestamps quantised so hard that most events tie and the `seq`
+    /// tie-breaker decides the order — the invariant the simulator's
+    /// determinism rests on (event_queue_equivalence).
+    #[test]
+    fn event_queue_equivalence(
+        cores in 1usize..16,
+        time_levels in 1u64..5,
+        ops in prop::collection::vec((0u8..4, 0u64..1000), 20..400),
+    ) {
+        use numadag::numa::CoreId;
+        use numadag::runtime::{Event, EventQueue};
+        use std::collections::BinaryHeap;
+
+        let mut queue = EventQueue::new();
+        queue.reset(cores);
+        let mut reference: BinaryHeap<Event> = BinaryHeap::new();
+        let mut free: Vec<usize> = (0..cores).rev().collect();
+        let mut seq = 0u64;
+        for (op, raw_time) in ops {
+            let push = !free.is_empty() && (reference.is_empty() || op != 0);
+            if push {
+                seq += 1;
+                let event = Event {
+                    // Coarse quantisation: collisions on `time` are the
+                    // common case, so `(time, seq)` ordering is what's
+                    // actually exercised.
+                    time: (raw_time % time_levels) as f64,
+                    seq,
+                    task: TaskId(seq as usize),
+                    core: CoreId(free.pop().unwrap()),
+                };
+                queue.push(event);
+                reference.push(event);
+            } else {
+                let got = queue.pop().unwrap();
+                let want = reference.pop().unwrap();
+                prop_assert_eq!(got, want);
+                prop_assert_eq!(got.task, want.task);
+                free.push(got.core.index());
+            }
+        }
+        // Drain: the queues must agree to the very end.
+        while let Some(want) = reference.pop() {
+            let got = queue.pop().unwrap();
+            prop_assert_eq!(got, want);
+            prop_assert_eq!(got.task, want.task);
+        }
+        prop_assert!(queue.is_empty());
+        prop_assert!(queue.pop().is_none());
+    }
+}

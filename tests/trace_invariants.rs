@@ -75,8 +75,8 @@ fn critical_path_time_never_exceeds_makespan_for_any_policy() {
         let mut policy = make_policy(kind, &spec, 3).expect("policy builds");
         let report = Simulator::new(config).run(&spec, policy.as_mut());
         let trace = Trace {
-            workload: spec.name.clone(),
-            policy: report.policy.clone(),
+            workload: spec.name.to_string(),
+            policy: report.policy.to_string(),
             backend: "simulator".to_string(),
             scale: "Tiny".to_string(),
             repetition: 0,
@@ -118,8 +118,8 @@ fn critical_path_equals_makespan_under_flat_cost_on_one_socket() {
         let mut policy = make_policy(kind, &spec, 11).expect("policy builds");
         let report = Simulator::new(config).run(&spec, policy.as_mut());
         let trace = Trace {
-            workload: spec.name.clone(),
-            policy: report.policy.clone(),
+            workload: spec.name.to_string(),
+            policy: report.policy.to_string(),
             backend: "simulator".to_string(),
             scale: "Tiny".to_string(),
             repetition: 0,

@@ -2,11 +2,18 @@
 //! build environment has no access to crates.io.
 //!
 //! It supports the surface the `numadag-bench` benches use — benchmark
-//! groups, `bench_function`, `bench_with_input`, `BenchmarkId`, `iter` —
-//! and produces simple wall-clock statistics (median over a fixed number of
-//! samples after a short warm-up) on stdout instead of criterion's HTML
-//! reports. Statistical rigor is out of scope; stable, parseable output for
-//! baseline tracking is the goal.
+//! groups, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `iter` — and produces simple wall-clock statistics (median
+//! over a fixed number of samples after a short warm-up) on stdout instead
+//! of criterion's HTML reports. Statistical rigor is out of scope; stable,
+//! parseable output for baseline tracking is the goal.
+//!
+//! Two extensions beyond stdout reporting make regression gating possible:
+//! `--sample-size N` on the command line overrides every group's sample
+//! count (criterion parity), and setting `NUMADAG_CRITERION_JSON=PATH`
+//! makes `criterion_main!` write all collected medians to `PATH` as
+//! `{"benches": [{"id", "median_ns", "throughput_per_sec"}]}` — the format
+//! the `BENCH_hotpath.json` baseline and `ablation hotpath-diff` consume.
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
@@ -15,6 +22,42 @@ use std::time::Instant;
 /// Opaque-to-the-optimizer identity function, re-exported for benches.
 pub fn black_box<T>(x: T) -> T {
     std_black_box(x)
+}
+
+/// Units processed per iteration, for derived throughput rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements (tasks, vertices, …).
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn units(self) -> u64 {
+        match self {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        }
+    }
+
+    fn unit_label(self) -> &'static str {
+        match self {
+            Throughput::Elements(_) => "elem/s",
+            Throughput::Bytes(_) => "B/s",
+        }
+    }
+}
+
+/// One collected benchmark result: the full id, its median per-iteration
+/// time, and the derived rate when the group declared a [`Throughput`].
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function[/parameter]`).
+    pub id: String,
+    /// Median wall time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Units per second (from [`Throughput`]), when declared.
+    pub throughput_per_sec: Option<f64>,
 }
 
 /// A benchmark identifier: a function name plus a parameter.
@@ -85,18 +128,30 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
 }
 
 impl<'a> BenchmarkGroup<'a> {
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples per benchmark (a `--sample-size`
+    /// command-line override wins, as in criterion).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
         self
     }
 
+    /// Declares how much work one iteration performs; subsequent benchmarks
+    /// in the group report a derived rate next to the median.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
     fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
         let mut bencher = Bencher {
-            samples: self.sample_size,
+            samples: self
+                .criterion
+                .sample_size_override
+                .unwrap_or(self.sample_size),
             last_median_ns: 0.0,
         };
         let full = format!("{}/{}", self.name, id);
@@ -104,12 +159,28 @@ impl<'a> BenchmarkGroup<'a> {
             return;
         }
         f(&mut bencher);
-        println!(
-            "bench: {:<60} median {:>12}",
-            full,
-            format_ns(bencher.last_median_ns)
-        );
-        self.criterion.results.push((full, bencher.last_median_ns));
+        let rate = self
+            .throughput
+            .map(|t| t.units() as f64 / (bencher.last_median_ns / 1e9));
+        match (rate, self.throughput) {
+            (Some(r), Some(t)) => println!(
+                "bench: {:<60} median {:>12}   {:.3e} {}",
+                full,
+                format_ns(bencher.last_median_ns),
+                r,
+                t.unit_label()
+            ),
+            _ => println!(
+                "bench: {:<60} median {:>12}",
+                full,
+                format_ns(bencher.last_median_ns)
+            ),
+        }
+        self.criterion.results.push(BenchResult {
+            id: full,
+            median_ns: bencher.last_median_ns,
+            throughput_per_sec: rate,
+        });
     }
 
     /// Benchmarks `f` under `id`.
@@ -135,8 +206,9 @@ impl<'a> BenchmarkGroup<'a> {
 #[derive(Default)]
 pub struct Criterion {
     filter: Option<String>,
-    /// `(full benchmark id, median ns)` for every benchmark run so far.
-    pub results: Vec<(String, f64)>,
+    sample_size_override: Option<usize>,
+    /// Every benchmark result collected so far, in run order.
+    pub results: Vec<BenchResult>,
 }
 
 impl Criterion {
@@ -149,9 +221,14 @@ impl Criterion {
                 // Flags cargo-bench/criterion pass that take no value.
                 "--bench" | "--noplot" | "--quiet" | "--verbose" => {}
                 // Flags with a value we do not use.
-                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
-                | "--sample-size" => {
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time" => {
                     args.next();
+                }
+                "--sample-size" => {
+                    self.sample_size_override = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .map(|n: usize| n.max(1));
                 }
                 s if s.starts_with("--") => {}
                 filter => self.filter = Some(filter.to_string()),
@@ -170,13 +247,14 @@ impl Criterion {
             criterion: self,
             name: name.into(),
             sample_size: 20,
+            throughput: None,
         }
     }
 
     /// Benchmarks `f` outside any group.
     pub fn bench_function<S: Display, F: FnMut(&mut Bencher)>(&mut self, id: S, f: F) -> &mut Self {
         let mut bencher = Bencher {
-            samples: 20,
+            samples: self.sample_size_override.unwrap_or(20),
             last_median_ns: 0.0,
         };
         let full = id.to_string();
@@ -188,9 +266,49 @@ impl Criterion {
                 full,
                 format_ns(bencher.last_median_ns)
             );
-            self.results.push((full, bencher.last_median_ns));
+            self.results.push(BenchResult {
+                id: full,
+                median_ns: bencher.last_median_ns,
+                throughput_per_sec: None,
+            });
         }
         self
+    }
+}
+
+/// Serializes collected results as the `BENCH_hotpath.json` baseline format.
+/// Hand-rolled so the stub stays dependency-free; ids contain no characters
+/// needing JSON escapes beyond `"` and `\` (escaped anyway for safety).
+pub fn results_to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n  \"benches\": [");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let id = r.id.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "\n    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"throughput_per_sec\": {}}}",
+            id,
+            r.median_ns,
+            match r.throughput_per_sec {
+                Some(t) => format!("{t:.1}"),
+                None => "null".to_string(),
+            }
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Writes `results` to the path named by the `NUMADAG_CRITERION_JSON`
+/// environment variable, if set. Called by `criterion_main!` after all
+/// groups ran; a no-op when the variable is absent (plain `cargo bench`).
+pub fn export_json_env(results: &[BenchResult]) {
+    if let Some(path) = std::env::var_os("NUMADAG_CRITERION_JSON") {
+        if let Err(e) = std::fs::write(&path, results_to_json(results)) {
+            eprintln!("criterion: cannot write {}: {e}", path.to_string_lossy());
+            std::process::exit(1);
+        }
     }
 }
 
@@ -198,9 +316,10 @@ impl Criterion {
 #[macro_export]
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
-        pub fn $group() {
+        pub fn $group() -> Vec<$crate::BenchResult> {
             let mut criterion = $crate::Criterion::default().configure_from_args();
             $( $target(&mut criterion); )+
+            criterion.results
         }
     };
 }
@@ -210,7 +329,9 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            $( $group(); )+
+            let mut all: Vec<$crate::BenchResult> = Vec::new();
+            $( all.extend($group()); )+
+            $crate::export_json_env(&all);
         }
     };
 }
@@ -230,15 +351,52 @@ mod tests {
         });
         group.finish();
         assert_eq!(c.results.len(), 2);
-        assert_eq!(c.results[0].0, "g/f");
-        assert_eq!(c.results[1].0, "g/with_input/4");
+        assert_eq!(c.results[0].id, "g/f");
+        assert_eq!(c.results[1].id, "g/with_input/4");
+    }
+
+    #[test]
+    fn throughput_yields_a_rate_and_json_round_trips() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(1000));
+        group.bench_function("t", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        assert_eq!(c.results.len(), 1);
+        let r = &c.results[0];
+        assert!(r.throughput_per_sec.is_some());
+        let json = results_to_json(&c.results);
+        assert!(json.contains("\"benches\""));
+        assert!(json.contains("\"id\": \"g/t\""));
+        assert!(json.contains("\"median_ns\""));
+    }
+
+    #[test]
+    fn sample_size_override_wins_over_group_setting() {
+        let mut c = Criterion {
+            sample_size_override: Some(2),
+            ..Criterion::default()
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(50);
+        let mut calls = 0u32;
+        let calls_ref = &mut calls;
+        group.bench_function("f", move |b| {
+            b.iter(|| {
+                *calls_ref += 1;
+            })
+        });
+        group.finish();
+        // 1 warm-up + 2 timed samples.
+        assert_eq!(calls, 3);
     }
 
     #[test]
     fn filter_skips_non_matching() {
         let mut c = Criterion {
             filter: Some("zzz".to_string()),
-            results: Vec::new(),
+            ..Criterion::default()
         };
         let mut group = c.benchmark_group("g");
         group.bench_function("f", |b| b.iter(|| 1));

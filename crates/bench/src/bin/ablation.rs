@@ -13,7 +13,7 @@
 //!     hotpath-diff BASELINE.json CANDIDATE.json [--tolerance FRACTION]
 //! cargo run -p numadag-bench --bin ablation --release -- \
 //!     serve-load [--clients N] [--requests N] [--repeat-ratio PCT] \
-//!     [--jobs N] [--json PATH]
+//!     [--pool N] [--json PATH]
 //! ```
 //!
 //! All three ablations are expressed as [`Experiment`] sweeps: the window
@@ -54,12 +54,16 @@
 //! baselines. Exits 1 on regression, 2 on malformed input.
 //!
 //! `serve-load` is the load generator for the sweep service
-//! (`numadag-serve`): it boots an in-process daemon, drives it from
-//! `--clients` concurrent TCP clients issuing `--requests` sweeps each —
-//! `--repeat-ratio` percent aimed at one hot sweep, the rest drawn from a
-//! deterministic per-client LCG over single-app tiny sweeps — and reports
-//! throughput, p50/p90/p99 submit latency and the report-cache hit rate
-//! (`--json PATH` writes the `BENCH_serve_load.json` shape).
+//! (`numadag-serve`): it boots an in-process daemon with `--pool` worker
+//! threads, drives it from `--clients` concurrent TCP clients issuing
+//! `--requests` sweeps each — `--repeat-ratio` percent aimed at the hot
+//! all-apps sweep, the rest drawn from a deterministic per-client LCG over
+//! *overlapping* shapes (a policy superset, app subsets, a reps=2 variant
+//! and per-app singles of the hot sweep), so the cell cache's cross-shape
+//! sharing is on the measured path — and reports throughput, p50/p90/p99
+//! submit latency and both cache's effectiveness (`--json PATH` writes the
+//! `BENCH_serve_load.json` shape). `--jobs N` is accepted as a deprecated
+//! alias of `--pool N`.
 
 use std::sync::Arc;
 
@@ -406,7 +410,7 @@ fn usage_error(message: String) -> ! {
          \u{20}      ablation bench-diff BASELINE.json CANDIDATE.json\n\
          \u{20}      ablation hotpath-diff BASELINE.json CANDIDATE.json          [--tolerance FRACTION]\n\
          \u{20}      ablation serve-load [--clients N] [--requests N] \
-         [--repeat-ratio PCT] [--jobs N] [--json PATH]"
+         [--repeat-ratio PCT] [--pool N] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -415,13 +419,13 @@ fn usage_error(message: String) -> ! {
 /// latency percentiles and cache effectiveness.
 fn serve_load(args: &[String]) -> ! {
     use numadag_serve::client::ServeClient;
-    use numadag_serve::protocol::SweepSpec;
+    use numadag_serve::protocol::{SweepSpec, DEFAULT_POLICIES};
     use numadag_serve::server::{serve, ServeConfig};
 
     let mut clients = 4usize;
     let mut requests = 25usize;
     let mut repeat_pct = 50u64;
-    let mut jobs = 1usize;
+    let mut pool_workers = 1usize;
     let mut json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -448,9 +452,14 @@ fn serve_load(args: &[String]) -> ! {
                 Ok(pct) if pct <= 100 => repeat_pct = pct,
                 _ => usage_error(format!("--repeat-ratio needs 0..=100, got {:?}", value(i))),
             },
-            "--jobs" => match numadag_bench::parse_jobs(value(i)) {
-                Ok(n) => jobs = n,
-                Err(e) => usage_error(e),
+            // --jobs is the pre-pool spelling; kept as an alias so older
+            // scripts keep working.
+            "--pool" | "--jobs" => match value(i).parse() {
+                Ok(n) if n > 0 => pool_workers = n,
+                _ => usage_error(format!(
+                    "--pool needs a positive integer, got {:?}",
+                    value(i)
+                )),
             },
             "--json" => json_path = Some(value(i).to_string()),
             other => usage_error(format!("unknown argument {other:?}")),
@@ -458,32 +467,51 @@ fn serve_load(args: &[String]) -> ! {
         i += 2;
     }
 
-    // The request mix: one hot sweep (the repeat-ratio target) plus one
-    // single-app tiny sweep per suite application.
-    let pool: Vec<SweepSpec> = Application::all()
-        .iter()
-        .map(|app| SweepSpec {
-            apps: app.label().to_string(),
+    // The request mix: the hot all-apps sweep (the repeat-ratio target)
+    // plus cold sweeps that *overlap* it — a policy superset, app subsets,
+    // a reps=2 variant and per-app singles — so the cell cache's
+    // cross-shape sharing, not just whole-report repeats, carries load.
+    let hot = SweepSpec::default();
+    let mut cold: Vec<SweepSpec> = vec![
+        SweepSpec {
+            policies: format!("{DEFAULT_POLICIES},rgp-las:prop=repart"),
             ..SweepSpec::default()
-        })
-        .collect();
+        },
+        SweepSpec {
+            apps: "jacobi,nstream".to_string(),
+            ..SweepSpec::default()
+        },
+        SweepSpec {
+            apps: "jacobi,qr,ih,cg".to_string(),
+            ..SweepSpec::default()
+        },
+        SweepSpec {
+            reps: 2,
+            ..SweepSpec::default()
+        },
+    ];
+    cold.extend(Application::all().iter().map(|app| SweepSpec {
+        apps: app.label().to_string(),
+        ..SweepSpec::default()
+    }));
 
     let handle = serve(ServeConfig {
-        jobs,
+        pool: pool_workers,
         ..ServeConfig::default()
     })
     .unwrap_or_else(|e| usage_error(format!("could not start the daemon: {e}")));
     let addr = handle.addr().to_string();
     eprintln!(
         "serve-load: {clients} clients x {requests} requests, {repeat_pct}% repeats, \
-         driver jobs={jobs}, daemon at {addr}"
+         pool={pool_workers}, daemon at {addr}"
     );
 
     let started = std::time::Instant::now();
     let workers: Vec<_> = (0..clients)
         .map(|c| {
             let addr = addr.clone();
-            let pool = pool.clone();
+            let hot = hot.clone();
+            let cold = cold.clone();
             std::thread::spawn(move || {
                 let mut client = ServeClient::connect(&addr).expect("connect to daemon");
                 // Deterministic per-client LCG (MMIX constants) so runs are
@@ -500,9 +528,9 @@ fn serve_load(args: &[String]) -> ! {
                 let mut hits = 0u64;
                 for _ in 0..requests {
                     let spec = if next() % 100 < repeat_pct {
-                        pool[0].clone()
+                        hot.clone()
                     } else {
-                        pool[next() as usize % pool.len()].clone()
+                        cold[next() as usize % cold.len()].clone()
                     };
                     let begin = std::time::Instant::now();
                     let outcome = client.submit(spec, false, |_| ()).expect("submit sweep");
@@ -565,8 +593,16 @@ fn serve_load(args: &[String]) -> ! {
         stats.jobs_coalesced
     );
     println!(
-        "| executed cells / spec-cache builds | {} / {} |",
-        stats.executed_cells_total, stats.spec_cache_builds
+        "| executed cells / hydrated from the cell cache | {} / {} |",
+        stats.executed_cells_total, stats.cells_hydrated_total
+    );
+    println!(
+        "| cell-cache entries / hits | {} / {} |",
+        stats.cell_cache_entries, stats.cell_cache_hits
+    );
+    println!(
+        "| pool workers / spec-cache builds | {} / {} |",
+        stats.pool_workers, stats.spec_cache_builds
     );
 
     if let Some(path) = json_path {
@@ -577,7 +613,7 @@ fn serve_load(args: &[String]) -> ! {
             "clients": clients as u64,
             "requests_per_client": requests as u64,
             "repeat_ratio_pct": repeat_pct,
-            "driver_jobs": jobs as u64,
+            "pool_workers": pool_workers as u64,
             "total_requests": total as u64,
             "wall_ms": wall_ms,
             "throughput_rps": throughput,
@@ -595,6 +631,10 @@ fn serve_load(args: &[String]) -> ! {
                 "jobs_submitted": stats.jobs_submitted,
                 "report_cache_evictions": stats.report_cache_evictions,
                 "executed_cells_total": stats.executed_cells_total,
+                "cells_hydrated_total": stats.cells_hydrated_total,
+                "cell_cache_entries": stats.cell_cache_entries,
+                "cell_cache_hits": stats.cell_cache_hits,
+                "cell_cache_misses": stats.cell_cache_misses,
                 "spec_cache_builds": stats.spec_cache_builds,
                 "spec_cache_hits": stats.spec_cache_hits,
             }),

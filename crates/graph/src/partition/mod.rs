@@ -63,15 +63,20 @@ pub use affinity::AffinityCosts;
 
 /// Reusable scratch state for repeated partitioning runs.
 ///
-/// A context carries the buffers that are expensive to rebuild per call —
-/// currently the coarsening workspace (edge list, matching flags,
-/// contraction scratch). RGP's repartitioning mode partitions one window per
+/// A context carries the buffers that are expensive to rebuild per call:
+/// the coarsening workspace (edge list, matching flags, contraction
+/// scratch), the refinement scratch (gain table, boundary list, per-part
+/// rebalance queues — see [`refine::RefineScratch`]) and the uncoarsening
+/// projection buffer. RGP's repartitioning mode partitions one window per
 /// execution window of the same sweep cell; holding a context across those
-/// calls removes every per-window coarsening allocation. The context is pure
-/// scratch: results are bit-identical with a fresh context per call.
+/// calls removes every per-window coarsening allocation *and* every
+/// per-level refinement/projection allocation. The context is pure scratch:
+/// results are bit-identical with a fresh context per call.
 #[derive(Debug, Default)]
 pub struct PartitionCtx {
     coarsen: coarsen::CoarsenWorkspace,
+    refine: refine::RefineScratch,
+    projection: Vec<u32>,
 }
 
 /// Which partitioning algorithm to run.

@@ -155,6 +155,28 @@ pub trait Refiner {
         let _ = affinity;
         self.refine(graph, assignment, config)
     }
+
+    /// [`Refiner::refine_anchored`] (or [`Refiner::refine`] when `affinity`
+    /// is `None`) through a caller-owned [`refine::RefineScratch`], so the
+    /// per-level gain-table/boundary/queue buffers are reused across the
+    /// uncoarsening levels of one run and across runs sharing a
+    /// [`crate::partition::PartitionCtx`]. The default ignores the scratch —
+    /// stages without reusable state need not care; results must be
+    /// identical either way.
+    fn refine_with(
+        &self,
+        graph: &CsrGraph,
+        assignment: &mut [u32],
+        config: &PartitionConfig,
+        affinity: Option<&AffinityCosts>,
+        scratch: &mut refine::RefineScratch,
+    ) -> i64 {
+        let _ = scratch;
+        match affinity {
+            Some(aff) => self.refine_anchored(graph, assignment, config, aff),
+            None => self.refine(graph, assignment, config),
+        }
+    }
 }
 
 /// K-way Fiduccia–Mattheyses boundary refinement backed by an incremental
@@ -180,6 +202,24 @@ impl Refiner for FmRefiner {
             config,
             config.refine_passes,
             Some(affinity),
+        )
+    }
+
+    fn refine_with(
+        &self,
+        graph: &CsrGraph,
+        assignment: &mut [u32],
+        config: &PartitionConfig,
+        affinity: Option<&AffinityCosts>,
+        scratch: &mut refine::RefineScratch,
+    ) -> i64 {
+        refine::refine_kway_anchored_with(
+            graph,
+            assignment,
+            config,
+            config.refine_passes,
+            affinity,
+            scratch,
         )
     }
 }
@@ -308,25 +348,39 @@ impl MultilevelPipeline {
         // affinity term is not), then refine.
         let coarsest: &CsrGraph = levels.last().map(|l| &l.graph).unwrap_or(graph);
         let mut assignment = self.initial.initial_partition(coarsest, config, rng);
-        match affinity_at(levels.len()) {
-            Some(aff) => {
-                align_parts_to_anchors(&mut assignment, aff, k);
-                self.refiner
-                    .refine_anchored(coarsest, &mut assignment, config, aff)
-            }
-            None => self.refiner.refine(coarsest, &mut assignment, config),
-        };
+        if let Some(aff) = affinity_at(levels.len()) {
+            align_parts_to_anchors(&mut assignment, aff, k);
+        }
+        self.refiner.refine_with(
+            coarsest,
+            &mut assignment,
+            config,
+            affinity_at(levels.len()),
+            &mut ctx.refine,
+        );
 
-        // Phase 3: uncoarsen and refine level by level.
+        // Phase 3: uncoarsen and refine level by level. The projection
+        // writes into the context's buffer and swaps it with the assignment,
+        // so the two vectors ping-pong across levels (and across runs
+        // sharing the context) instead of allocating one fresh vector per
+        // level.
         for i in (0..levels.len()).rev() {
             let finer: &CsrGraph = if i == 0 { graph } else { &levels[i - 1].graph };
-            assignment = project(&levels[i].fine_to_coarse, &assignment);
-            match affinity_at(i) {
-                Some(aff) => self
-                    .refiner
-                    .refine_anchored(finer, &mut assignment, config, aff),
-                None => self.refiner.refine(finer, &mut assignment, config),
-            };
+            ctx.projection.clear();
+            ctx.projection.extend(
+                levels[i]
+                    .fine_to_coarse
+                    .iter()
+                    .map(|&c| assignment[c as usize]),
+            );
+            std::mem::swap(&mut assignment, &mut ctx.projection);
+            self.refiner.refine_with(
+                finer,
+                &mut assignment,
+                config,
+                affinity_at(i),
+                &mut ctx.refine,
+            );
         }
         assignment
     }
@@ -384,15 +438,6 @@ fn align_parts_to_anchors(assignment: &mut [u32], affinity: &AffinityCosts, k: u
     for a in assignment.iter_mut() {
         *a = label_of[*a as usize] as u32;
     }
-}
-
-/// Projects a coarse assignment onto the finer level through the
-/// fine→coarse vertex map.
-fn project(fine_to_coarse: &[u32], coarse_assignment: &[u32]) -> Vec<u32> {
-    fine_to_coarse
-        .iter()
-        .map(|&c| coarse_assignment[c as usize])
-        .collect()
 }
 
 #[cfg(test)]

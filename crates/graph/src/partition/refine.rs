@@ -37,38 +37,27 @@ use crate::partition::PartitionConfig;
 /// delta, and [`GainTable::is_movable`] extends the boundary with vertices
 /// whose anchors pull them elsewhere. Without anchors both reduce exactly to
 /// the connectivity-only quantities, so the unanchored path is unchanged.
+#[derive(Debug, Default)]
 pub struct GainTable {
     k: usize,
     /// Flat row-major `n × k` connectivity.
     conn: Vec<i64>,
     /// Total incident edge weight per vertex (row sum, cached).
     incident: Vec<i64>,
-    /// Flat row-major `n × k` affinity anchors added to move gains. Unlike
-    /// `conn` this is constant under moves (anchors point at *fixed* data).
-    anchor: Option<Vec<i64>>,
+    /// Flat row-major `n × k` affinity anchors added to move gains (valid
+    /// only while `anchored`). Unlike `conn` this is constant under moves
+    /// (anchors point at *fixed* data).
+    anchor: Vec<i64>,
+    /// Whether the `anchor` rows participate in gains.
+    anchored: bool,
 }
 
 impl GainTable {
     /// Builds the table for `assignment` in one edge sweep.
     pub fn build(graph: &CsrGraph, assignment: &[u32], k: usize) -> Self {
-        let n = graph.num_vertices();
-        let mut conn = vec![0i64; n * k];
-        let mut incident = vec![0i64; n];
-        for v in 0..n as u32 {
-            let row = v as usize * k;
-            let mut total = 0i64;
-            for (u, w) in graph.edges_of(v) {
-                conn[row + assignment[u as usize] as usize] += w;
-                total += w;
-            }
-            incident[v as usize] = total;
-        }
-        GainTable {
-            k,
-            conn,
-            incident,
-            anchor: None,
-        }
+        let mut table = GainTable::default();
+        table.rebuild(graph, assignment, k);
+        table
     }
 
     /// [`GainTable::build`] plus the affinity anchors of `affinity` (one row
@@ -79,11 +68,48 @@ impl GainTable {
         k: usize,
         affinity: &AffinityCosts,
     ) -> Self {
+        let mut table = GainTable::default();
+        table.rebuild_anchored(graph, assignment, k, affinity);
+        table
+    }
+
+    /// Rebuilds the table in place for a (possibly different) graph and
+    /// assignment, reusing the existing buffers. Equivalent to
+    /// [`GainTable::build`] but allocation-free once the buffers have grown
+    /// to the working size.
+    pub fn rebuild(&mut self, graph: &CsrGraph, assignment: &[u32], k: usize) {
+        let n = graph.num_vertices();
+        self.k = k;
+        self.conn.clear();
+        self.conn.resize(n * k, 0);
+        self.incident.clear();
+        self.incident.resize(n, 0);
+        self.anchored = false;
+        for v in 0..n as u32 {
+            let row = v as usize * k;
+            let mut total = 0i64;
+            for (u, w) in graph.edges_of(v) {
+                self.conn[row + assignment[u as usize] as usize] += w;
+                total += w;
+            }
+            self.incident[v as usize] = total;
+        }
+    }
+
+    /// [`GainTable::rebuild`] plus the affinity anchors of `affinity`.
+    pub fn rebuild_anchored(
+        &mut self,
+        graph: &CsrGraph,
+        assignment: &[u32],
+        k: usize,
+        affinity: &AffinityCosts,
+    ) {
         assert_eq!(affinity.num_vertices(), graph.num_vertices());
         assert_eq!(affinity.num_parts(), k);
-        let mut table = GainTable::build(graph, assignment, k);
-        table.anchor = Some(affinity.flat().to_vec());
-        table
+        self.rebuild(graph, assignment, k);
+        self.anchor.clear();
+        self.anchor.extend_from_slice(affinity.flat());
+        self.anchored = true;
     }
 
     /// Connectivity of `v` to part `p`.
@@ -112,8 +138,8 @@ impl GainTable {
     pub fn gain(&self, v: u32, from: usize, to: usize) -> i64 {
         let row = v as usize * self.k;
         let mut gain = self.conn[row + to] - self.conn[row + from];
-        if let Some(anchor) = &self.anchor {
-            gain += anchor[row + to] - anchor[row + from];
+        if self.anchored {
+            gain += self.anchor[row + to] - self.anchor[row + from];
         }
         gain
     }
@@ -125,14 +151,12 @@ impl GainTable {
         if self.is_boundary(assignment, v) {
             return true;
         }
-        match &self.anchor {
-            Some(anchor) => {
-                let row = v as usize * self.k;
-                let own = anchor[row + assignment[v as usize] as usize];
-                anchor[row..row + self.k].iter().any(|&c| c > own)
-            }
-            None => false,
+        if !self.anchored {
+            return false;
         }
+        let row = v as usize * self.k;
+        let own = self.anchor[row + assignment[v as usize] as usize];
+        self.anchor[row..row + self.k].iter().any(|&c| c > own)
     }
 
     /// Records the move of `v` from part `from` to part `to`, updating the
@@ -171,8 +195,9 @@ impl GainTable {
 /// so the bucket role is played by a positional heap with the same exact
 /// selection order.)
 ///
-/// Consistency protocol, exploiting that within one heavy-part phase target
-/// weights only grow and the heavy part only shrinks:
+/// Consistency protocol, exploiting that while the *set* of overweight parts
+/// is stable, non-heavy target weights only grow and overweight parts only
+/// shrink (overweight parts are never feasible targets):
 ///
 /// * gains change only when a neighbour of a moved vertex is touched by
 ///   [`GainTable::apply_move`] — those entries are refreshed *eagerly*
@@ -181,7 +206,12 @@ impl GainTable {
 ///   stale-feasibility entry can only be *over*-ranked and is revalidated
 ///   *lazily* at pop time;
 /// * a vertex whose entry disappears (no feasible target) can never come
-///   back during the phase.
+///   back while the overweight set is stable.
+///
+/// When a part drops back under the limit the overweight set shrinks and a
+/// fresh feasible target appears; `rebalance_with` invalidates every
+/// retained queue at that point (at most `k − 1` times per run).
+#[derive(Debug, Default)]
 struct GainQueue {
     /// Heap of vertex ids, max on `(gain, Reverse(vertex))`.
     heap: Vec<u32>,
@@ -195,12 +225,7 @@ struct GainQueue {
 
 impl GainQueue {
     fn new() -> Self {
-        GainQueue {
-            heap: Vec::new(),
-            pos: Vec::new(),
-            gain: Vec::new(),
-            target: Vec::new(),
-        }
+        GainQueue::default()
     }
 
     /// Empties the queue and sizes the per-vertex tables for `n` vertices.
@@ -340,6 +365,21 @@ fn best_move(
     best
 }
 
+/// Reusable scratch for [`refine_kway_anchored_with`] and the rebalance
+/// phase: the gain table buffers, part weights, the per-pass boundary list
+/// and the per-part rebalance queues. Holding one scratch across repeated
+/// refinement calls (one per uncoarsening level per RGP window) removes
+/// every per-level allocation; the scratch is pure state — results are
+/// bit-identical with a fresh scratch per call.
+#[derive(Debug, Default)]
+pub struct RefineScratch {
+    table: GainTable,
+    part_weight: Vec<i64>,
+    boundary: Vec<u32>,
+    queues: Vec<GainQueue>,
+    queue_built: Vec<bool>,
+}
+
 /// Moves vertices out of overweight parts until every part weighs at most
 /// `max_part_weight`, choosing at each step the move that loses the least cut
 /// weight. Returns the number of vertices moved.
@@ -351,12 +391,16 @@ pub fn rebalance(
 ) -> usize {
     let mut table = GainTable::build(graph, assignment, k);
     let mut part_weight = weights_of(graph, assignment, k);
+    let mut queues = Vec::new();
+    let mut built = Vec::new();
     rebalance_with(
         graph,
         assignment,
         max_part_weight,
         &mut table,
         &mut part_weight,
+        &mut queues,
+        &mut built,
     )
 }
 
@@ -387,22 +431,40 @@ pub fn rebalance_reference(
 /// refinement phases. Selection per move is driven by a [`GainQueue`] —
 /// `O(log n)` amortised instead of the reference's `O(n·k)` scan — with an
 /// identical move sequence.
+///
+/// One queue is kept *per overweight part*, built lazily the first time a
+/// part is selected as the heaviest offender and retained across part
+/// switches. When several parts are simultaneously overweight and alternate
+/// as heaviest (common right after a degenerate projection crams everything
+/// into the low parts), the old single-queue scheme rebuilt its `O(n)` queue
+/// on every switch — the retained queues make each switch `O(1)`. Retention
+/// is sound because queues exist only for overweight parts: overweight parts
+/// are never feasible move targets, so a retained queue's membership only
+/// shrinks (explicit removals), its gains stay exact (the eager neighbour
+/// refresh spans every retained queue), and feasibility only decays (lazy
+/// revalidation at pop). The one event that *adds* feasibility — a part
+/// dropping back under the limit, which turns it into a fresh absorber —
+/// invalidates every retained queue; that happens at most `k − 1` times per
+/// run.
 fn rebalance_with(
     graph: &CsrGraph,
     assignment: &mut [u32],
     max_part_weight: i64,
     table: &mut GainTable,
     part_weight: &mut [i64],
+    queues: &mut Vec<GainQueue>,
+    built: &mut Vec<bool>,
 ) -> usize {
     let n = graph.num_vertices();
     let k = part_weight.len();
     let mut moves = 0usize;
     // Hard cap: each vertex can be moved at most twice on average.
     let max_moves = 2 * n + k;
-    let mut queue = GainQueue::new();
-    // The part the queue was built for; rebuilt whenever the heaviest
-    // offender changes (typically once — projection overloads one part).
-    let mut queue_heavy = usize::MAX;
+    if queues.len() < k {
+        queues.resize_with(k, GainQueue::new);
+    }
+    built.clear();
+    built.resize(k, false);
     'phases: while moves < max_moves {
         // Heaviest offending part.
         let Some((heavy, _)) = part_weight
@@ -413,7 +475,8 @@ fn rebalance_with(
         else {
             break;
         };
-        if heavy != queue_heavy {
+        if !built[heavy] {
+            let queue = &mut queues[heavy];
             queue.reset(n);
             for v in 0..n as u32 {
                 if assignment[v as usize] as usize != heavy {
@@ -426,26 +489,26 @@ fn rebalance_with(
                 }
             }
             queue.heapify();
-            queue_heavy = heavy;
+            built[heavy] = true;
         }
         // Pop the best still-admissible move. Gains are maintained eagerly,
         // but a cached target may have filled up since the entry was scored;
         // revalidate at the top and re-rank (always downwards) until the top
         // entry is exact.
         let (v, target) = loop {
-            let Some(v) = queue.peek() else {
+            let Some(v) = queues[heavy].peek() else {
                 // No part can absorb anything without itself going over the
                 // limit; give up (the limit may simply be infeasible, e.g. a
                 // single vertex heavier than max_part_weight).
                 break 'phases;
             };
             match best_move(graph, table, part_weight, heavy, max_part_weight, v) {
-                None => queue.remove(v),
+                None => queues[heavy].remove(v),
                 Some((g, t)) => {
-                    if (g, t) == queue.cached(v) {
+                    if (g, t) == queues[heavy].cached(v) {
                         break (v, t);
                     }
-                    queue.update(v, g, t);
+                    queues[heavy].update(v, g, t);
                 }
             }
         };
@@ -454,19 +517,29 @@ fn rebalance_with(
         part_weight[target as usize] += vw;
         assignment[v as usize] = target;
         table.apply_move(graph, v, heavy, target as usize);
-        queue.remove(v);
+        queues[heavy].remove(v);
         // Eager refresh: the move changed every neighbour's connectivity to
-        // `heavy` and `target`; only neighbours still queued (in the heavy
-        // part, with at least one feasible target) can be affected.
+        // `heavy` and `target`; a queued neighbour lives in the retained
+        // queue of its *own* part (only overweight parts have one).
         for (u, _) in graph.edges_of(v) {
-            if queue.contains(u) {
-                match best_move(graph, table, part_weight, heavy, max_part_weight, u) {
-                    Some((g, t)) => queue.update(u, g, t),
-                    None => queue.remove(u),
+            let up = assignment[u as usize] as usize;
+            if built[up] && queues[up].contains(u) {
+                match best_move(graph, table, part_weight, up, max_part_weight, u) {
+                    Some((g, t)) => queues[up].update(u, g, t),
+                    None => queues[up].remove(u),
                 }
             }
         }
         moves += 1;
+        // The shedding part crossed back under the limit: it is now a part
+        // with spare capacity, i.e. a feasible target that none of the
+        // retained queues has scored. Invalidate them all (the overweight
+        // set shrank — this fires at most k − 1 times per run).
+        if part_weight[heavy] <= max_part_weight {
+            for b in built.iter_mut() {
+                *b = false;
+            }
+        }
     }
     moves
 }
@@ -529,11 +602,18 @@ fn rebalance_with_linear(
 }
 
 fn weights_of(graph: &CsrGraph, assignment: &[u32], k: usize) -> Vec<i64> {
-    let mut part_weight = vec![0i64; k];
-    for (v, &p) in assignment.iter().enumerate() {
-        part_weight[p as usize] += graph.vertex_weight(v as u32);
-    }
+    let mut part_weight = Vec::new();
+    weights_into(graph, assignment, k, &mut part_weight);
     part_weight
+}
+
+/// [`weights_of`] into a caller-owned buffer (allocation-free once grown).
+fn weights_into(graph: &CsrGraph, assignment: &[u32], k: usize, out: &mut Vec<i64>) {
+    out.clear();
+    out.resize(k, 0);
+    for (v, &p) in assignment.iter().enumerate() {
+        out[p as usize] += graph.vertex_weight(v as u32);
+    }
 }
 
 /// Greedy k-way refinement. Returns the resulting edge cut.
@@ -564,6 +644,24 @@ pub fn refine_kway_anchored(
     passes: usize,
     affinity: Option<&AffinityCosts>,
 ) -> i64 {
+    let mut scratch = RefineScratch::default();
+    refine_kway_anchored_with(graph, assignment, config, passes, affinity, &mut scratch)
+}
+
+/// [`refine_kway_anchored`] through a caller-owned [`RefineScratch`]: the
+/// gain table, part weights, boundary list and rebalance queues are rebuilt
+/// in place instead of reallocated, so repeated calls (one per uncoarsening
+/// level, times one partition per RGP window) are allocation-free once the
+/// buffers reach the working-set size. Results are bit-identical to a fresh
+/// scratch per call.
+pub fn refine_kway_anchored_with(
+    graph: &CsrGraph,
+    assignment: &mut [u32],
+    config: &PartitionConfig,
+    passes: usize,
+    affinity: Option<&AffinityCosts>,
+    scratch: &mut RefineScratch,
+) -> i64 {
     let n = graph.num_vertices();
     let k = config.num_parts.max(1);
     if n == 0 || k <= 1 {
@@ -572,24 +670,38 @@ pub fn refine_kway_anchored(
     let total = graph.total_vertex_weight();
     let max_w = config.max_part_weight(total);
 
-    let mut table = match affinity {
-        Some(aff) => GainTable::build_anchored(graph, assignment, k, aff),
-        None => GainTable::build(graph, assignment, k),
-    };
-    let mut part_weight = weights_of(graph, assignment, k);
+    let RefineScratch {
+        table,
+        part_weight,
+        boundary,
+        queues,
+        queue_built,
+    } = scratch;
+    match affinity {
+        Some(aff) => table.rebuild_anchored(graph, assignment, k, aff),
+        None => table.rebuild(graph, assignment, k),
+    }
+    weights_into(graph, assignment, k, part_weight);
 
     // First repair any gross imbalance left over from projection.
-    rebalance_with(graph, assignment, max_w, &mut table, &mut part_weight);
+    rebalance_with(
+        graph,
+        assignment,
+        max_w,
+        table,
+        part_weight,
+        queues,
+        queue_built,
+    );
 
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9E3779B97F4A7C15);
-    let mut boundary: Vec<u32> = Vec::new();
 
     for _ in 0..passes {
         boundary.clear();
         boundary.extend((0..n as u32).filter(|&v| table.is_movable(assignment, v)));
         boundary.shuffle(&mut rng);
         let mut moved = 0usize;
-        for &v in &boundary {
+        for &v in boundary.iter() {
             let from = assignment[v as usize] as usize;
             let vw = graph.vertex_weight(v);
             // Best admissible target.

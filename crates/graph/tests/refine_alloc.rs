@@ -1,0 +1,133 @@
+//! Allocation gate for the pooled refinement scratch: once a
+//! `RefineScratch` has been warmed by one call, further
+//! `refine_kway_anchored_with` calls of the same working-set size must not
+//! allocate at all — that is the contract that makes threading the scratch
+//! through `PartitionCtx` (one partition per RGP window, several
+//! uncoarsening levels per partition) worthwhile.
+//!
+//! The gate counts every `alloc`/`realloc` through a counting global
+//! allocator armed only around the measured call, so the test is exact
+//! rather than statistical: a single reintroduced per-level or per-pass
+//! allocation fails it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use numadag_graph::generators;
+use numadag_graph::partition::refine::{refine_kway_anchored_with, RefineScratch};
+use numadag_graph::partition::{AffinityCosts, PartitionConfig};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A seed assignment that crams every vertex into the low half of the parts,
+/// so the rebalance phase (and its per-part queues) actually runs.
+fn crammed(n: usize, k: usize) -> Vec<u32> {
+    (0..n as u32).map(|v| v % (k as u32 / 2).max(1)).collect()
+}
+
+fn measured_run(
+    graph: &numadag_graph::CsrGraph,
+    cfg: &PartitionConfig,
+    affinity: Option<&AffinityCosts>,
+    scratch: &mut RefineScratch,
+    seed: &[u32],
+) -> (Vec<u32>, i64, usize) {
+    let mut assignment = seed.to_vec();
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let cut = refine_kway_anchored_with(
+        graph,
+        &mut assignment,
+        cfg,
+        cfg.refine_passes,
+        affinity,
+        scratch,
+    );
+    ARMED.store(false, Ordering::SeqCst);
+    (assignment, cut, ALLOCATIONS.load(Ordering::SeqCst))
+}
+
+#[test]
+fn warmed_refine_scratch_is_allocation_free_and_bit_identical() {
+    let graph = generators::random_graph(600, 5, 64, 11);
+    let n = graph.num_vertices();
+    let k = 8usize;
+    let cfg = PartitionConfig::new(k);
+    let seed = crammed(n, k);
+    let mut affinity = AffinityCosts::zeros(n, k);
+    for v in (0..n as u32).step_by(7) {
+        affinity.add(v, v % k as u32, 256);
+    }
+
+    for aff in [None, Some(&affinity)] {
+        // Cold call: sizes every buffer (and is the bit-identity baseline —
+        // a fresh scratch is exactly the public refine_kway_anchored path).
+        let mut scratch = RefineScratch::default();
+        let mut cold = seed.clone();
+        let cold_cut = refine_kway_anchored_with(
+            &graph,
+            &mut cold,
+            &cfg,
+            cfg.refine_passes,
+            aff,
+            &mut scratch,
+        );
+
+        // Warmed call: identical result, zero allocations.
+        let (warm, warm_cut, allocs) = measured_run(&graph, &cfg, aff, &mut scratch, &seed);
+        assert_eq!(cold, warm, "reused scratch changed the refinement result");
+        assert_eq!(cold_cut, warm_cut, "reused scratch changed the edge cut");
+        assert_eq!(
+            allocs,
+            0,
+            "warmed refinement allocated {allocs} times (anchored: {})",
+            aff.is_some()
+        );
+    }
+}
+
+#[test]
+fn warmed_scratch_absorbs_smaller_working_sets() {
+    // A scratch warmed on a large level must stay allocation-free on the
+    // smaller levels of the same hierarchy (the common multilevel pattern:
+    // coarse levels are strictly smaller than the finest one).
+    let big = generators::random_graph(600, 5, 64, 3);
+    let small = generators::grid_2d(12, 12, 4);
+    let k = 4usize;
+    let cfg = PartitionConfig::new(k);
+    let mut scratch = RefineScratch::default();
+
+    let warm_seed = crammed(big.num_vertices(), k);
+    let mut warm = warm_seed.clone();
+    refine_kway_anchored_with(&big, &mut warm, &cfg, cfg.refine_passes, None, &mut scratch);
+
+    let small_seed = crammed(small.num_vertices(), k);
+    let (_, _, allocs) = measured_run(&small, &cfg, None, &mut scratch, &small_seed);
+    assert_eq!(allocs, 0, "smaller level allocated {allocs} times");
+}

@@ -137,13 +137,79 @@ impl SweepPlan {
         self.backend
     }
 
-    /// The job at `index`, resolved to its labels (handy for progress UIs).
-    fn job_labels(&self, job: &SweepJob) -> (String, String, String) {
+    /// The job at `index`, resolved to its labels (handy for progress UIs):
+    /// `(application, scale, policy)`.
+    pub fn job_labels(&self, index: usize) -> (String, String, String) {
+        self.labels_of(&self.jobs[index])
+    }
+
+    /// The cell job at `index` (workload/policy-slot/repetition indices).
+    pub fn job_at(&self, index: usize) -> &SweepJob {
+        &self.jobs[index]
+    }
+
+    fn labels_of(&self, job: &SweepJob) -> (String, String, String) {
         let wl = &self.workloads[job.workload];
         (
             wl.label.clone(),
             wl.scale_label.clone(),
             self.policies[job.policy_slot].label(),
+        )
+    }
+
+    /// Builds an executor for the plan's backend and execution config — the
+    /// same construction the driver's serial and sharded paths use, exposed
+    /// so external schedulers (the sweep service's worker pool) can run
+    /// cells through [`SweepPlan::run_cell`] on an executor they own and
+    /// reuse across cells.
+    pub fn executor(&self) -> Box<dyn Executor> {
+        self.backend.executor(self.config.clone())
+    }
+
+    /// Runs the single cell job at `index` on `executor` and returns its
+    /// outcome — the cell-granular slice of what [`SweepDriver::execute`]
+    /// does, exposed so external schedulers can execute a plan's cells in
+    /// any order (or fetch some from a cache) and still assemble the exact
+    /// report via [`SweepPlan::assemble_report`]. Tracing is not applied on
+    /// this path (cells run exactly as the untraced driver runs them).
+    ///
+    /// # Panics
+    /// Panics if `index >= self.num_jobs()`.
+    pub fn run_cell(&self, index: usize, executor: &dyn Executor) -> CellOutcome {
+        run_job(self, &self.jobs[index], executor, false)
+    }
+
+    /// The deterministic keyed post-pass over per-cell outcomes: walks
+    /// workloads and policy slots in the plan's canonical order, anchors
+    /// every speedup on the baseline's mean makespan, and emits cells, skip
+    /// list, aggregates and timing. `outcomes` must be parallel to
+    /// [`SweepPlan::jobs`]. Because the pass is keyed, the report is
+    /// bit-identical no matter which worker (or cache) produced each
+    /// outcome — this is the same function [`SweepDriver::execute`] ends
+    /// with, exposed for external schedulers that mix freshly-executed and
+    /// cached cell outcomes.
+    ///
+    /// # Panics
+    /// Panics if `outcomes.len() != self.num_jobs()`.
+    pub fn assemble_report(
+        &self,
+        outcomes: Vec<CellOutcome>,
+        workers: usize,
+        total_wall: std::time::Duration,
+    ) -> SweepReport {
+        assert_eq!(
+            outcomes.len(),
+            self.num_jobs(),
+            "outcomes must be parallel to the plan's job list"
+        );
+        let machine = self.config.topology.name().to_string();
+        assemble(
+            self,
+            outcomes,
+            &machine,
+            self.backend.label(),
+            workers,
+            total_wall,
         )
     }
 }
@@ -222,15 +288,24 @@ pub struct CellProgress {
 /// Shared handle to a progress callback (invoked concurrently by workers).
 pub type ProgressCallback = Arc<dyn Fn(&CellProgress) + Send + Sync>;
 
-/// What one job produced: a measurement, or a skip marker when the policy
-/// cannot be built for the workload (e.g. EP without an expert placement).
-enum JobOutcome {
-    Measured(JobMeasurement),
+/// What one cell job produced: a measurement, or a skip marker when the
+/// policy cannot be built for the workload (e.g. EP without an expert
+/// placement). `Clone` because outcomes are small value bundles — external
+/// schedulers (the sweep service) cache them per cell and replay clones
+/// into [`SweepPlan::assemble_report`].
+#[derive(Clone, Debug)]
+pub enum CellOutcome {
+    /// The cell ran; its measurements.
+    Measured(CellMeasurement),
+    /// The policy (or the workload's baseline) could not be built.
     Skipped,
 }
 
 /// The per-cell measurements a job extracts from its execution report.
-struct JobMeasurement {
+/// Deliberately opaque: producers are [`SweepPlan::run_cell`] (or the
+/// driver), the consumer is [`SweepPlan::assemble_report`].
+#[derive(Clone, Debug)]
+pub struct CellMeasurement {
     makespan_ns: f64,
     tasks: usize,
     local_fraction: f64,
@@ -247,6 +322,14 @@ struct JobMeasurement {
     policy_wall_ns: f64,
     /// Executor run wall minus policy time, ns.
     event_loop_wall_ns: f64,
+}
+
+impl CellMeasurement {
+    /// Wall time this cell took to execute (ns). Exposed so external
+    /// schedulers can report per-cell progress without unpacking the rest.
+    pub fn wall_ns(&self) -> f64 {
+        self.wall_ns
+    }
 }
 
 /// Executes a [`SweepPlan`], serially or sharded across worker threads.
@@ -370,7 +453,7 @@ impl SweepDriver {
     }
 
     /// In-order execution on one owned executor.
-    fn execute_serial(&self, plan: &SweepPlan) -> Vec<JobOutcome> {
+    fn execute_serial(&self, plan: &SweepPlan) -> Vec<CellOutcome> {
         let executor = plan.backend.executor(plan.config.clone());
         let completed = AtomicUsize::new(0);
         plan.jobs
@@ -381,11 +464,11 @@ impl SweepDriver {
 
     /// Sharded execution: `workers` threads pull jobs from a shared cursor;
     /// each owns its own executor and policy instances.
-    fn execute_sharded(&self, plan: &SweepPlan, workers: usize) -> Vec<JobOutcome> {
+    fn execute_sharded(&self, plan: &SweepPlan, workers: usize) -> Vec<CellOutcome> {
         let n = plan.num_jobs();
         let cursor = AtomicUsize::new(0);
         let completed = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<JobOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<CellOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
@@ -425,14 +508,14 @@ impl SweepDriver {
         executor: &dyn Executor,
         allow_trace: bool,
         completed: &AtomicUsize,
-    ) -> JobOutcome {
+    ) -> CellOutcome {
         let outcome = run_job(plan, job, executor, allow_trace);
         let done = completed.fetch_add(1, Ordering::SeqCst) + 1;
         if let Some(callback) = &self.on_cell_complete {
-            let (application, scale, policy) = plan.job_labels(job);
+            let (application, scale, policy) = plan.labels_of(job);
             let (wall_ns, skipped) = match &outcome {
-                JobOutcome::Measured(m) => (m.wall_ns, false),
-                JobOutcome::Skipped => (0.0, true),
+                CellOutcome::Measured(m) => (m.wall_ns, false),
+                CellOutcome::Skipped => (0.0, true),
             };
             callback(&CellProgress {
                 completed: done,
@@ -455,19 +538,19 @@ fn run_job(
     job: &SweepJob,
     executor: &dyn Executor,
     allow_trace: bool,
-) -> JobOutcome {
+) -> CellOutcome {
     let workload = &plan.workloads[job.workload];
     // A workload whose baseline cannot be built is skipped wholesale: its
     // speedups would have no anchor and `assemble` would discard the
     // measurements, so don't spend executor time producing them.
     if !workload.baseline_available {
-        return JobOutcome::Skipped;
+        return CellOutcome::Skipped;
     }
     let kind = plan.policies[job.policy_slot];
     let seed = plan.seed.wrapping_add(job.repetition as u64);
     let t = Instant::now();
     let Some(mut policy) = make_policy(kind, &workload.spec, seed) else {
-        return JobOutcome::Skipped;
+        return CellOutcome::Skipped;
     };
     let report = match plan.trace.as_ref().filter(|_| allow_trace) {
         Some(collector) => {
@@ -496,7 +579,7 @@ fn run_job(
         None => executor.execute(&workload.spec, policy.as_mut()),
     };
     let partition_stats = policy.partition_stats().unwrap_or_default();
-    JobOutcome::Measured(JobMeasurement {
+    CellOutcome::Measured(CellMeasurement {
         makespan_ns: report.makespan_ns,
         tasks: report.tasks,
         local_fraction: report.local_fraction(),
@@ -518,7 +601,7 @@ fn run_job(
 /// produced.
 fn assemble(
     plan: &SweepPlan,
-    outcomes: Vec<JobOutcome>,
+    outcomes: Vec<CellOutcome>,
     machine: &str,
     backend_name: &str,
     workers: usize,
@@ -540,10 +623,10 @@ fn assemble(
     for (w, workload) in plan.workloads.iter().enumerate() {
         // The baseline anchors every speedup of this workload; if it cannot
         // run, the whole workload is skipped (matching the serial loop).
-        let baseline: Vec<&JobMeasurement> = (0..reps)
+        let baseline: Vec<&CellMeasurement> = (0..reps)
             .filter_map(|rep| match &outcomes[job_index(w, baseline_slot, rep)] {
-                JobOutcome::Measured(m) => Some(m),
-                JobOutcome::Skipped => None,
+                CellOutcome::Measured(m) => Some(m),
+                CellOutcome::Skipped => None,
             })
             .collect();
         if baseline.len() < reps {
@@ -553,13 +636,13 @@ fn assemble(
         let baseline_mean = mean(baseline.iter().map(|m| m.makespan_ns));
 
         for (slot, &kind) in plan.policies.iter().enumerate() {
-            let measurements: Vec<&JobMeasurement> = if slot == baseline_slot {
+            let measurements: Vec<&CellMeasurement> = if slot == baseline_slot {
                 baseline.clone()
             } else {
-                let runs: Vec<&JobMeasurement> = (0..reps)
+                let runs: Vec<&CellMeasurement> = (0..reps)
                     .filter_map(|rep| match &outcomes[job_index(w, slot, rep)] {
-                        JobOutcome::Measured(m) => Some(m),
-                        JobOutcome::Skipped => None,
+                        CellOutcome::Measured(m) => Some(m),
+                        CellOutcome::Skipped => None,
                     })
                     .collect();
                 if runs.len() < reps {
@@ -598,8 +681,8 @@ fn assemble(
     let run_wall_ns = outcomes
         .iter()
         .map(|o| match o {
-            JobOutcome::Measured(m) => m.wall_ns,
-            JobOutcome::Skipped => 0.0,
+            CellOutcome::Measured(m) => m.wall_ns,
+            CellOutcome::Skipped => 0.0,
         })
         .sum();
     let aggregates = aggregate(&cells);

@@ -73,7 +73,8 @@ pub mod threaded;
 pub use config::{ExecutionConfig, StealMode};
 pub use diff::{CellDelta, FieldDelta, SweepDiff};
 pub use driver::{
-    CellProgress, PlannedWorkload, ProgressCallback, SweepDriver, SweepJob, SweepPlan, SweepTiming,
+    CellMeasurement, CellOutcome, CellProgress, PlannedWorkload, ProgressCallback, SweepDriver,
+    SweepJob, SweepPlan, SweepTiming,
 };
 pub use event_queue::{Event, EventQueue};
 pub use executor::Executor;

@@ -11,7 +11,8 @@
 //! ```
 //!
 //! `submit` blocks until the report arrives, prints a one-line summary
-//! (`job=1 cache_hit=true executed_cells=0`) on stdout and, with `--json`,
+//! (`job=1 cache_hit=true executed_cells=0 hydrated_cells=0`) on stdout
+//! and, with `--json`,
 //! writes the exact report bytes to disk — byte-identical to `figure1
 //! --json` output for the same sweep, so `cmp`/`bench-diff` against the
 //! committed baselines both work. `--stream` echoes per-cell progress on
@@ -198,8 +199,8 @@ fn run_submit(addr: &str, args: &[String]) {
     match outcome {
         Ok(outcome) => {
             println!(
-                "job={} cache_hit={} executed_cells={}",
-                outcome.job, outcome.cache_hit, outcome.executed_cells
+                "job={} cache_hit={} executed_cells={} hydrated_cells={}",
+                outcome.job, outcome.cache_hit, outcome.executed_cells, outcome.hydrated_cells
             );
             if let Some(path) = json_path {
                 if let Err(e) = std::fs::write(&path, &outcome.report_json) {

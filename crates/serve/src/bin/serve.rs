@@ -1,22 +1,26 @@
 //! `numadag-serve` — the sweep-service daemon.
 //!
 //! ```text
-//! numadag-serve [--addr HOST:PORT] [--jobs N] [--cache-capacity N]
+//! numadag-serve [--addr HOST:PORT] [--pool N] [--cache-capacity N]
+//!               [--cell-capacity N] [--batch-cells N]
+//!               [--max-queued-cells N] [--max-active-jobs N]
 //!               [--port-file PATH]
 //! ```
 //!
 //! Binds the listener (port 0 picks an ephemeral port), prints the actual
 //! address on stdout (and into `--port-file`, which scripts can poll), then
-//! serves until a client sends `Shutdown`. Malformed arguments exit with
-//! code 2 like the other bins; a bind failure exits with code 1.
+//! serves until a client sends `Shutdown`. `--jobs N` is accepted as a
+//! deprecated alias of `--pool N`. Malformed arguments exit with code 2
+//! like the other bins; a bind failure exits with code 1.
 
 use numadag_serve::server::{serve, ServeConfig};
 
 fn usage_error(message: String) -> ! {
     eprintln!("error: {message}");
     eprintln!(
-        "usage: numadag-serve [--addr HOST:PORT] [--jobs N] \
-         [--cache-capacity N] [--port-file PATH]"
+        "usage: numadag-serve [--addr HOST:PORT] [--pool N] \
+         [--cache-capacity N] [--cell-capacity N] [--batch-cells N] \
+         [--max-queued-cells N] [--max-active-jobs N] [--port-file PATH]"
     );
     std::process::exit(2);
 }
@@ -28,6 +32,17 @@ fn flag_value(args: &[String], i: usize) -> &str {
     }
 }
 
+fn positive(args: &[String], i: usize) -> usize {
+    match flag_value(args, i).parse() {
+        Ok(value) if value > 0 => value,
+        _ => usage_error(format!(
+            "{} needs a positive integer, got {:?}",
+            args[i],
+            flag_value(args, i)
+        )),
+    }
+}
+
 fn main() {
     let mut config = ServeConfig::default();
     let mut port_file: Option<String> = None;
@@ -36,20 +51,14 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--addr" => config.addr = flag_value(&args, i).to_string(),
-            "--jobs" => match flag_value(&args, i).parse() {
-                Ok(jobs) => config.jobs = jobs,
-                Err(_) => usage_error(format!(
-                    "--jobs needs an unsigned integer, got {:?}",
-                    flag_value(&args, i)
-                )),
-            },
-            "--cache-capacity" => match flag_value(&args, i).parse() {
-                Ok(capacity) if capacity > 0 => config.cache_capacity = capacity,
-                _ => usage_error(format!(
-                    "--cache-capacity needs a positive integer, got {:?}",
-                    flag_value(&args, i)
-                )),
-            },
+            // --jobs is the pre-pool spelling; kept as an alias so older
+            // scripts keep working.
+            "--pool" | "--jobs" => config.pool = positive(&args, i),
+            "--cache-capacity" => config.cache_capacity = positive(&args, i),
+            "--cell-capacity" => config.cell_capacity = positive(&args, i),
+            "--batch-cells" => config.batch_cells = positive(&args, i),
+            "--max-queued-cells" => config.max_queued_cells = positive(&args, i),
+            "--max-active-jobs" => config.max_active_jobs = positive(&args, i),
             "--port-file" => port_file = Some(flag_value(&args, i).to_string()),
             other => usage_error(format!("unknown argument {other:?}")),
         }
@@ -65,8 +74,8 @@ fn main() {
     };
     let addr = handle.addr();
     println!(
-        "numadag-serve listening on {addr} (jobs={}, report-cache={})",
-        config.jobs, config.cache_capacity
+        "numadag-serve listening on {addr} (pool={}, report-cache={}, cell-cache={})",
+        config.pool, config.cache_capacity, config.cell_capacity
     );
     use std::io::Write;
     let _ = std::io::stdout().flush();

@@ -15,6 +15,13 @@ pub enum ClientError {
     Protocol(String),
     /// The server answered with a structured `Error` response.
     Server(String),
+    /// The server bounced the submission off its admission quotas.
+    Overloaded {
+        /// Cells already sitting in the server's pool queue.
+        queued_cells: u64,
+        /// The server's queued-cell quota.
+        limit: u64,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -23,6 +30,13 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Overloaded {
+                queued_cells,
+                limit,
+            } => write!(
+                f,
+                "server overloaded: {queued_cells} cells queued (limit {limit})"
+            ),
         }
     }
 }
@@ -42,6 +56,9 @@ pub struct SubmitOutcome {
     pub cache_hit: bool,
     /// Cells executed for this request (0 on a cache hit).
     pub executed_cells: u64,
+    /// Cells hydrated from the server's cell cache instead of executed
+    /// (overlap with previously executed sweeps of other shapes).
+    pub hydrated_cells: u64,
     /// The exact measurement-JSON bytes of the sweep report.
     pub report_json: String,
 }
@@ -106,6 +123,15 @@ impl ServeClient {
         let job = match self.recv()? {
             Response::Submitted { job, .. } => job,
             Response::Error { message } => return Err(ClientError::Server(message)),
+            Response::Overloaded {
+                queued_cells,
+                limit,
+            } => {
+                return Err(ClientError::Overloaded {
+                    queued_cells,
+                    limit,
+                })
+            }
             other => {
                 return Err(ClientError::Protocol(format!(
                     "expected Submitted, got {other:?}"
@@ -124,12 +150,14 @@ impl ServeClient {
                     job: report_job,
                     cache_hit,
                     executed_cells,
+                    hydrated_cells,
                     report_json,
                 } => {
                     return Ok(SubmitOutcome {
                         job: report_job.max(job),
                         cache_hit,
                         executed_cells,
+                        hydrated_cells,
                         report_json,
                     })
                 }
@@ -154,7 +182,7 @@ impl ServeClient {
         }
     }
 
-    /// Cancels a queued job.
+    /// Cancels a queued or running job.
     pub fn cancel(&mut self, job: u64) -> Result<Response, ClientError> {
         match self.request(&Request::CancelJob { job })? {
             Response::Error { message } => Err(ClientError::Server(message)),

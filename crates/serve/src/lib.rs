@@ -2,13 +2,21 @@
 //!
 //! The ROADMAP's "millions of users" shape: instead of re-running a ~81 ms
 //! Full sweep per query, a long-running [`server`] keeps one process-wide
-//! [`numadag_kernels::SpecCache`] hot, batches admitted jobs through one
-//! shared [`numadag_runtime::SweepDriver`], and content-addresses finished
-//! reports in an LRU [`cache::ReportCache`] keyed by the canonical request
-//! fingerprint (workload spec hashes × canonical policy labels × seed ×
-//! backend × rep count). A repeated request — however its policy strings are
-//! spelled — is answered with the byte-identical cached report without
-//! executing anything.
+//! [`numadag_kernels::SpecCache`] hot and caches finished work at two
+//! granularities. Whole sweeps are content-addressed in an LRU
+//! [`cache::ReportCache`] keyed by the canonical request fingerprint
+//! (workload spec hashes × canonical policy labels × seed × backend × rep
+//! count): a repeated request — however its policy strings are spelled —
+//! is answered with the byte-identical cached report without executing
+//! anything. Novel sweep *shapes* are decomposed into content-addressed
+//! cells ([`protocol::cell_fingerprint`]) backed by an LRU
+//! [`cache::CellCache`], so overlapping sweeps (added policy columns, app
+//! subsets, extra repetitions) hydrate their shared cells and execute only
+//! the genuinely new ones. The novel cells are batched onto a fair
+//! round-robin queue drained by a pool of worker threads (`--pool N`), so
+//! a tiny sweep completes while a Full sweep is in flight; admission
+//! quotas bounce excess load with a structured `Overloaded` response, and
+//! queued or running jobs can be cancelled, freeing their queued cells.
 //!
 //! The wire format ([`protocol`]) is newline-delimited JSON whose sweep
 //! spec reuses the CLI string grammar verbatim, so the committed
@@ -39,7 +47,7 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use cache::{CachedReport, ReportCache};
+pub use cache::{CachedReport, CellCache, ReportCache};
 pub use client::{ClientError, ServeClient, SubmitOutcome};
 pub use protocol::{Request, ResolvedSweep, Response, ServerStats, SweepSpec};
 pub use server::{serve, serve_with_specs, ServeConfig, ServeHandle};

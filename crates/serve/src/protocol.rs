@@ -27,6 +27,53 @@ pub const DEFAULT_SEED: u64 = 0xF1617E;
 /// Default policy list of a sweep request (the Figure-1 column set).
 pub const DEFAULT_POLICIES: &str = "dfifo,rgp-las,ep";
 
+// FNV-1a, same parameters as `TaskGraphSpec::fingerprint`.
+fn mix(hash: &mut u64, value: u64) {
+    for byte in value.to_le_bytes() {
+        *hash ^= u64::from(byte);
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+fn mix_str(hash: &mut u64, s: &str) {
+    for byte in s.as_bytes() {
+        *hash ^= u64::from(*byte);
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // Terminator so "ab"+"c" and "a"+"bc" hash differently.
+    *hash ^= 0xff;
+    *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+}
+
+/// The content fingerprint of one sweep **cell** — the unit of the server's
+/// cell cache. A cell's measurement depends only on the workload spec, the
+/// policy, the sweep seed, the repetition index, the backend and the machine
+/// topology, so two sweeps of different overall shapes (different app
+/// subsets, policy supersets, added repetitions) that contain the same cell
+/// share one entry.
+///
+/// Key schema (FNV-1a over, in order): workload spec fingerprint
+/// ([`numadag_kernels::SpecCache::fingerprint`], which already encodes
+/// application, scale and socket count) × canonical policy label × sweep
+/// seed × repetition index × backend label × socket count.
+pub fn cell_fingerprint(
+    spec_fp: u64,
+    policy_label: &str,
+    backend_label: &str,
+    seed: u64,
+    rep: u64,
+    num_sockets: u64,
+) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    mix(&mut hash, spec_fp);
+    mix_str(&mut hash, policy_label);
+    mix_str(&mut hash, backend_label);
+    mix(&mut hash, seed);
+    mix(&mut hash, rep);
+    mix(&mut hash, num_sockets);
+    hash
+}
+
 /// A sweep request in the CLI string grammar.
 #[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct SweepSpec {
@@ -127,22 +174,6 @@ impl ResolvedSweep {
     /// hashes come from [`SpecCache::fingerprint`], so the first request for
     /// a workload builds it (and warms the spec cache for the run itself).
     pub fn fingerprint(&self, specs: &SpecCache, num_sockets: usize) -> u64 {
-        // FNV-1a, same parameters as `TaskGraphSpec::fingerprint`.
-        fn mix(hash: &mut u64, value: u64) {
-            for byte in value.to_le_bytes() {
-                *hash ^= u64::from(byte);
-                *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        }
-        fn mix_str(hash: &mut u64, s: &str) {
-            for byte in s.as_bytes() {
-                *hash ^= u64::from(*byte);
-                *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-            // Terminator so "ab"+"c" and "a"+"bc" hash differently.
-            *hash ^= 0xff;
-            *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
         mix_str(&mut hash, self.backend.label());
         mix(&mut hash, self.seed);
@@ -156,6 +187,33 @@ impl ResolvedSweep {
             mix_str(&mut hash, &policy.label());
         }
         hash
+    }
+
+    /// The [`cell_fingerprint`] of every cell of this sweep, in the exact
+    /// order [`Experiment::plan`] materializes its jobs (applications outer,
+    /// then report-order policies, then repetitions) — so `cell_keys()[i]`
+    /// keys the outcome of `plan.run_cell(i, …)`.
+    pub fn cell_keys(&self, specs: &SpecCache, num_sockets: usize) -> Vec<u64> {
+        let policies = self.report_policies();
+        let backend = self.backend.label();
+        let mut keys = Vec::with_capacity(self.total_cells());
+        for &app in &self.apps {
+            let spec_fp = specs.fingerprint(app, self.scale, num_sockets);
+            for policy in &policies {
+                let label = policy.label();
+                for rep in 0..self.reps {
+                    keys.push(cell_fingerprint(
+                        spec_fp,
+                        &label,
+                        backend,
+                        self.seed,
+                        rep as u64,
+                        num_sockets as u64,
+                    ));
+                }
+            }
+        }
+        keys
     }
 
     /// The experiment this sweep denotes, bound to the paper's machine and
@@ -185,7 +243,8 @@ pub enum Request {
     SubmitSweep { spec: SweepSpec, stream: bool },
     /// Query the state of a job submitted on any connection.
     Status { job: u64 },
-    /// Cancel a job that is still queued.
+    /// Cancel a job that is still queued or running; its unexecuted cells
+    /// are freed from the pool queue.
     CancelJob { job: u64 },
     /// Server counters: admission, report cache, spec cache.
     Stats,
@@ -202,15 +261,19 @@ pub struct ServerStats {
     pub jobs_coalesced: u64,
     /// Jobs that finished executing.
     pub jobs_completed: u64,
-    /// Jobs cancelled while queued.
+    /// Jobs cancelled while queued or running.
     pub jobs_cancelled: u64,
     /// Jobs failed (currently only by shutdown draining the queue).
     pub jobs_failed: u64,
+    /// Submissions rejected by the admission quotas (`Overloaded`).
+    pub jobs_rejected: u64,
     /// Malformed request lines answered with `Error`.
     pub requests_malformed: u64,
     /// Cells actually executed across all jobs — cache hits do not grow
     /// this, which is how tests verify repeats do not re-execute.
     pub executed_cells_total: u64,
+    /// Cells hydrated from the cell cache at admission instead of executed.
+    pub cells_hydrated_total: u64,
     /// Report-cache entries currently resident.
     pub report_cache_entries: u64,
     /// Report-cache capacity (LRU evicts beyond this).
@@ -221,6 +284,18 @@ pub struct ServerStats {
     pub report_cache_misses: u64,
     /// Cached reports evicted by the LRU policy.
     pub report_cache_evictions: u64,
+    /// Cell-cache entries currently resident.
+    pub cell_cache_entries: u64,
+    /// Cell-cache capacity (LRU evicts beyond this).
+    pub cell_cache_capacity: u64,
+    /// Admission-time cell lookups served from the cell cache.
+    pub cell_cache_hits: u64,
+    /// Admission-time cell lookups that missed (novel cells).
+    pub cell_cache_misses: u64,
+    /// Cached cell outcomes evicted by the LRU policy.
+    pub cell_cache_evictions: u64,
+    /// Pool workers executing cell batches.
+    pub pool_workers: u64,
     /// Lifetime workload builds of the process-wide spec cache.
     pub spec_cache_builds: u64,
     /// Lifetime workload lookups served by the process-wide spec cache.
@@ -249,11 +324,14 @@ pub enum Response {
     /// Terminal response of a submission: the exact measurement-JSON bytes
     /// of the sweep report (`SweepReport::to_json_string`), embedded as a
     /// string so the envelope stays one line. `executed_cells` is the number
-    /// of cells executed *for this request* — 0 when served from cache.
+    /// of cells executed *for this request* — 0 when served from cache;
+    /// `hydrated_cells` is the number answered from the cell cache instead
+    /// of executed (overlap with previously executed sweeps).
     Report {
         job: u64,
         cache_hit: bool,
         executed_cells: u64,
+        hydrated_cells: u64,
         report_json: String,
     },
     /// State of a job: `queued`, `running`, `done`, `cancelled` or `failed`.
@@ -265,6 +343,9 @@ pub enum Response {
     },
     /// Acknowledges a successful `CancelJob`.
     Cancelled { job: u64 },
+    /// A submission bounced off the admission quotas: the pool queue already
+    /// holds `queued_cells` cells against a limit of `limit`. Retry later.
+    Overloaded { queued_cells: u64, limit: u64 },
     /// Server counters.
     Stats(ServerStats),
     /// Structured failure: the connection stays open, mirroring the bins'
@@ -390,13 +471,21 @@ impl ServerStats {
             jobs_completed: get("jobs_completed")?,
             jobs_cancelled: get("jobs_cancelled")?,
             jobs_failed: get("jobs_failed")?,
+            jobs_rejected: get("jobs_rejected")?,
             requests_malformed: get("requests_malformed")?,
             executed_cells_total: get("executed_cells_total")?,
+            cells_hydrated_total: get("cells_hydrated_total")?,
             report_cache_entries: get("report_cache_entries")?,
             report_cache_capacity: get("report_cache_capacity")?,
             report_cache_hits: get("report_cache_hits")?,
             report_cache_misses: get("report_cache_misses")?,
             report_cache_evictions: get("report_cache_evictions")?,
+            cell_cache_entries: get("cell_cache_entries")?,
+            cell_cache_capacity: get("cell_cache_capacity")?,
+            cell_cache_hits: get("cell_cache_hits")?,
+            cell_cache_misses: get("cell_cache_misses")?,
+            cell_cache_evictions: get("cell_cache_evictions")?,
+            pool_workers: get("pool_workers")?,
             spec_cache_builds: get("spec_cache_builds")?,
             spec_cache_hits: get("spec_cache_hits")?,
             spec_cache_entries: get("spec_cache_entries")?,
@@ -425,6 +514,7 @@ impl Response {
                 job: u64_field(payload, "Report", "job")?,
                 cache_hit: bool_field(payload, "Report", "cache_hit")?,
                 executed_cells: u64_field(payload, "Report", "executed_cells")?,
+                hydrated_cells: u64_field(payload, "Report", "hydrated_cells")?,
                 report_json: str_field(payload, "Report", "report_json")?,
             }),
             "JobStatus" => Ok(Response::JobStatus {
@@ -435,6 +525,10 @@ impl Response {
             }),
             "Cancelled" => Ok(Response::Cancelled {
                 job: u64_field(payload, "Cancelled", "job")?,
+            }),
+            "Overloaded" => Ok(Response::Overloaded {
+                queued_cells: u64_field(payload, "Overloaded", "queued_cells")?,
+                limit: u64_field(payload, "Overloaded", "limit")?,
             }),
             "Stats" => Ok(Response::Stats(ServerStats::from_value(payload)?)),
             "Error" => Ok(Response::Error {
@@ -494,6 +588,7 @@ mod tests {
                 job: 1,
                 cache_hit: true,
                 executed_cells: 0,
+                hydrated_cells: 0,
                 report_json: "{\n  \"machine\": \"bullion_s16\"\n}".to_string(),
             },
             Response::JobStatus {
@@ -503,6 +598,10 @@ mod tests {
                 total: 32,
             },
             Response::Cancelled { job: 2 },
+            Response::Overloaded {
+                queued_cells: 4096,
+                limit: 4096,
+            },
             Response::Stats(ServerStats::default()),
             Response::Error {
                 message: "unknown scale 'huge'".to_string(),
@@ -525,6 +624,7 @@ mod tests {
             job: 9,
             cache_hit: false,
             executed_cells: 4,
+            hydrated_cells: 0,
             report_json: pretty.to_string(),
         });
         match Response::from_line(&line).unwrap() {
@@ -619,6 +719,74 @@ mod tests {
         scale.scale = ProblemScale::Small;
         assert_ne!(fp, scale.fingerprint(&specs, 2));
         assert_ne!(fp, base.fingerprint(&specs, 4), "socket count matters");
+    }
+
+    #[test]
+    fn cell_keys_are_distinct_and_cover_every_cell() {
+        let specs = SpecCache::new();
+        let sweep = SweepSpec::default().resolve().unwrap();
+        let keys = sweep.cell_keys(&specs, 2);
+        assert_eq!(keys.len(), sweep.total_cells());
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), keys.len(), "cell keys must not collide");
+    }
+
+    #[test]
+    fn overlapping_sweeps_share_exactly_their_common_cells() {
+        let specs = SpecCache::new();
+        let base = SweepSpec::default().resolve().unwrap();
+        let base_keys: std::collections::HashSet<u64> =
+            base.cell_keys(&specs, 2).into_iter().collect();
+
+        // A policy superset shares every base cell; only the new column's
+        // cells (apps × reps) are novel.
+        let wider = SweepSpec {
+            policies: format!("{DEFAULT_POLICIES},rgp-las:prop=repart"),
+            ..SweepSpec::default()
+        }
+        .resolve()
+        .unwrap();
+        let wider_keys = wider.cell_keys(&specs, 2);
+        let novel = wider_keys.iter().filter(|k| !base_keys.contains(k)).count();
+        assert_eq!(novel, base.apps.len() * base.reps);
+
+        // An app subset is entirely contained in the base sweep.
+        let subset = SweepSpec {
+            apps: "jacobi,nstream".to_string(),
+            ..SweepSpec::default()
+        }
+        .resolve()
+        .unwrap();
+        assert!(subset
+            .cell_keys(&specs, 2)
+            .iter()
+            .all(|k| base_keys.contains(k)));
+
+        // Added repetitions keep rep-0 cells and add only the rep-1 ones.
+        let more_reps = SweepSpec {
+            reps: 2,
+            ..SweepSpec::default()
+        }
+        .resolve()
+        .unwrap();
+        let rep_keys = more_reps.cell_keys(&specs, 2);
+        let shared = rep_keys.iter().filter(|k| base_keys.contains(k)).count();
+        assert_eq!(shared, base.total_cells());
+        assert_eq!(rep_keys.len(), 2 * base.total_cells());
+
+        // A different seed shares nothing.
+        let reseeded = SweepSpec {
+            seed: 1,
+            ..SweepSpec::default()
+        }
+        .resolve()
+        .unwrap();
+        assert!(reseeded
+            .cell_keys(&specs, 2)
+            .iter()
+            .all(|k| !base_keys.contains(k)));
     }
 
     #[test]

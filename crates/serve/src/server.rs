@@ -1,6 +1,6 @@
-//! The sweep daemon: a TCP listener, an admission queue, and one worker
-//! thread draining admitted jobs through a single shared
-//! [`SweepDriver`] over the process-wide [`SpecCache`].
+//! The sweep daemon: a TCP listener, a cell-granular admission stage, and
+//! a pool of worker threads draining cell batches fairly (round-robin
+//! across active jobs) over the process-wide [`SpecCache`].
 //!
 //! Life of a request:
 //!
@@ -8,33 +8,45 @@
 //!    [`Request`](crate::protocol::Request). Malformed lines are answered
 //!    with a structured `Error` and the connection survives (the service
 //!    analogue of the bins' exit-2 usage convention).
-//! 2. `SubmitSweep` resolves the spec through the CLI grammar, computes the
-//!    canonical fingerprint, and admits the job: coalesced onto an identical
-//!    queued/running job, answered instantly from the report cache, or
-//!    enqueued. The handler then blocks on the job's subscriber channel,
-//!    forwarding `Progress` lines (when streaming) until the terminal
-//!    `Report`.
-//! 3. The worker pops the queue, plans the experiment against the shared
-//!    spec cache, executes it on the shared driver (whose
-//!    `on_cell_complete` hook fans progress out to subscribers), serializes
-//!    the measurement bytes once, stores them in the LRU report cache and
-//!    hands the same bytes to every subscriber — byte-identical for all
-//!    clients, now and on every future cache hit.
+//! 2. `SubmitSweep` resolves the spec through the CLI grammar and computes
+//!    the canonical sweep fingerprint. Identical in-flight jobs coalesce
+//!    and exact repeats are answered byte-identically from the sweep-level
+//!    report cache without planning anything — the fast path. Otherwise
+//!    the sweep is planned and decomposed into content-addressed cells
+//!    ([`crate::protocol::cell_fingerprint`]): cells some earlier sweep
+//!    already executed hydrate instantly from the [`CellCache`] — so
+//!    overlapping sweeps of *different* shapes (added policy columns, app
+//!    subsets, extra repetitions) share work — and only the novel cells
+//!    are batched onto the pool queue. Submissions that would blow the
+//!    admission quotas bounce with a structured `Overloaded` instead of
+//!    queueing unboundedly. The handler then blocks on the job's
+//!    subscriber channel, forwarding `Progress` lines (when streaming)
+//!    until the terminal `Report`.
+//! 3. Pool workers take one batch at a time from the job at the front of
+//!    the round-robin rotation, so a tiny sweep keeps making progress
+//!    while a Full sweep is in flight instead of starving behind it.
+//!    Executed outcomes always feed the cell cache; when a job's last
+//!    cell resolves, the resolving worker assembles the report through
+//!    the deterministic keyed post-pass — byte-identical to direct
+//!    execution no matter how many cells were hydrated, executed out of
+//!    order, or shared with other sweeps — serializes the measurement
+//!    bytes once, stores them in the LRU report cache and hands the same
+//!    bytes to every subscriber.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use numadag_kernels::SpecCache;
 use numadag_numa::Topology;
-use numadag_runtime::{CellProgress, SweepDriver};
+use numadag_runtime::{CellOutcome, Executor, SweepPlan};
 
-use crate::cache::{CachedReport, ReportCache};
-use crate::protocol::{Request, ResolvedSweep, Response, ServerStats, SweepSpec};
+use crate::cache::{CachedReport, CellCache, ReportCache};
+use crate::protocol::{Request, Response, ServerStats, SweepSpec};
 
 /// Configuration of a daemon instance.
 #[derive(Clone, Debug)]
@@ -42,11 +54,22 @@ pub struct ServeConfig {
     /// Listen address; port 0 binds an ephemeral port (read the actual one
     /// from [`ServeHandle::addr`]).
     pub addr: String,
-    /// Report-cache capacity (LRU evicts beyond this).
+    /// Sweep-level report-cache capacity (LRU evicts beyond this).
     pub cache_capacity: usize,
-    /// Worker threads per sweep (the driver's `parallelism`; 0 = one per
-    /// core).
-    pub jobs: usize,
+    /// Cell-cache capacity in cell outcomes (LRU evicts beyond this).
+    pub cell_capacity: usize,
+    /// Pool worker threads executing cell batches (minimum 1). Each worker
+    /// owns one executor, rebuilt only when it switches plans.
+    pub pool: usize,
+    /// Cells a worker takes from a job per rotation turn (minimum 1):
+    /// smaller batches are fairer, larger ones amortize locking.
+    pub batch_cells: usize,
+    /// Admission quota: a submission whose novel cells would push the pool
+    /// queue beyond this bounces with `Overloaded`.
+    pub max_queued_cells: usize,
+    /// Admission quota: maximum queued/running jobs before submissions
+    /// bounce with `Overloaded`.
+    pub max_active_jobs: usize,
     /// Machine topology every sweep runs on (the paper's bullion S16 by
     /// default, matching the `figure1` harness).
     pub topology: Topology,
@@ -57,7 +80,11 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             cache_capacity: 64,
-            jobs: 1,
+            cell_capacity: 4096,
+            pool: 1,
+            batch_cells: 4,
+            max_queued_cells: 4096,
+            max_active_jobs: 64,
             topology: Topology::bullion_s16(),
         }
     }
@@ -94,10 +121,26 @@ struct Subscriber {
 
 struct Job {
     key: u64,
-    spec: ResolvedSweep,
     state: JobState,
+    /// Cells resolved so far (hydrated at admission + executed).
     completed: usize,
     total: usize,
+    /// The materialized plan; `None` only for sweep-cache-hit jobs, which
+    /// never execute anything.
+    plan: Option<Arc<SweepPlan>>,
+    /// Per-cell content fingerprints, in plan job order.
+    cell_keys: Vec<u64>,
+    /// Per-cell outcomes; filled at admission (cell-cache hydration) and by
+    /// pool workers, drained by the finalizing post-pass.
+    outcomes: Vec<Option<CellOutcome>>,
+    /// Batches of novel cell indices still waiting for a pool worker.
+    pending: VecDeque<Vec<usize>>,
+    /// Novel cells not yet resolved; the job finalizes when this hits 0.
+    remaining: usize,
+    /// Cells this job actually executed.
+    executed: usize,
+    /// Cells hydrated from the cell cache instead of executed.
+    hydrated: usize,
     result: Option<Arc<CachedReport>>,
     subscribers: Vec<Subscriber>,
 }
@@ -109,18 +152,25 @@ struct Counters {
     completed: u64,
     cancelled: u64,
     failed: u64,
+    rejected: u64,
     malformed: u64,
     executed_cells: u64,
+    hydrated_cells: u64,
 }
 
 struct State {
     next_job: u64,
-    queue: VecDeque<u64>,
+    /// Round-robin rotation of jobs with pending batches: workers pop the
+    /// front, take one batch, and push the job back while it has more.
+    active: VecDeque<u64>,
+    /// Cells currently sitting in pending batches (the `max_queued_cells`
+    /// quota gauge).
+    queued_cells: usize,
+    /// Jobs in `Queued` or `Running` state (the `max_active_jobs` gauge).
+    active_jobs: usize,
     jobs: HashMap<u64, Job>,
     cache: ReportCache,
-    /// The job the worker is currently executing (routes driver progress
-    /// callbacks; the worker runs one sweep at a time).
-    current: Option<u64>,
+    cells: CellCache,
     counters: Counters,
 }
 
@@ -137,7 +187,7 @@ struct Shared {
 pub struct ServeHandle {
     shared: Arc<Shared>,
     accept: JoinHandle<()>,
-    worker: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl ServeHandle {
@@ -160,12 +210,14 @@ impl ServeHandle {
     /// Blocks until the daemon has shut down.
     pub fn join(self) {
         self.accept.join().expect("accept thread panicked");
-        self.worker.join().expect("worker thread panicked");
+        for worker in self.workers {
+            worker.join().expect("pool worker panicked");
+        }
     }
 }
 
-/// Binds the listener and spawns the accept + worker threads. Returns once
-/// the address is bound, so callers can immediately connect.
+/// Binds the listener and spawns the accept + pool worker threads. Returns
+/// once the address is bound, so callers can immediately connect.
 pub fn serve(config: ServeConfig) -> std::io::Result<ServeHandle> {
     serve_with_specs(config, Arc::new(SpecCache::new()))
 }
@@ -173,22 +225,28 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServeHandle> {
 /// Like [`serve`], but over a caller-provided spec cache (so embedding
 /// processes — tests, the load generator — can share or inspect it).
 pub fn serve_with_specs(
-    config: ServeConfig,
+    mut config: ServeConfig,
     specs: Arc<SpecCache>,
 ) -> std::io::Result<ServeHandle> {
+    config.pool = config.pool.max(1);
+    config.batch_cells = config.batch_cells.max(1);
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let cache_capacity = config.cache_capacity;
+    let cell_capacity = config.cell_capacity;
+    let pool = config.pool;
     let shared = Arc::new(Shared {
         config,
         addr,
         specs,
         state: Mutex::new(State {
             next_job: 1,
-            queue: VecDeque::new(),
+            active: VecDeque::new(),
+            queued_cells: 0,
+            active_jobs: 0,
             jobs: HashMap::new(),
             cache: ReportCache::new(cache_capacity),
-            current: None,
+            cells: CellCache::new(cell_capacity),
             counters: Counters::default(),
         }),
         work: Condvar::new(),
@@ -199,18 +257,20 @@ pub fn serve_with_specs(
         let shared = Arc::clone(&shared);
         std::thread::spawn(move || accept_loop(listener, shared))
     };
-    let worker = {
-        let shared = Arc::clone(&shared);
-        std::thread::spawn(move || worker_loop(shared))
-    };
+    let workers = (0..pool)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(shared))
+        })
+        .collect();
     Ok(ServeHandle {
         shared,
         accept,
-        worker,
+        workers,
     })
 }
 
-/// Flags shutdown and wakes both the worker (condvar) and the accept loop
+/// Flags shutdown and wakes both the pool (condvar) and the accept loop
 /// (self-connection, since `accept` has no timeout in std).
 fn begin_shutdown(shared: &Arc<Shared>) {
     shared.shutdown.store(true, Ordering::SeqCst);
@@ -285,6 +345,19 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     }
 }
 
+enum Admission {
+    Enqueued,
+    Coalesced,
+    CacheHit(Arc<CachedReport>),
+    /// Every cell hydrated from the cell cache: the submitting thread runs
+    /// the finalizing post-pass itself, no pool involvement.
+    Hydrated,
+    Rejected {
+        queued_cells: u64,
+        limit: u64,
+    },
+}
+
 /// Admits a submission and forwards its responses; returns false when the
 /// connection died.
 fn handle_submit(
@@ -308,117 +381,269 @@ fn handle_submit(
             return write_line(writer, &Response::Error { message }).is_ok();
         }
     };
+    let num_sockets = shared.config.topology.num_sockets();
     // Fingerprinting may build workload specs (warming the shared spec
     // cache for the run itself) — do it outside the state lock.
-    let key = resolved.fingerprint(&shared.specs, shared.config.topology.num_sockets());
-    let total = resolved.total_cells();
-
+    let key = resolved.fingerprint(&shared.specs, num_sockets);
     let (tx, rx) = channel::<Response>();
-    let (job_id, admitted) = {
+
+    // Fast path: coalesce onto an identical in-flight job or serve a
+    // repeat from the sweep-level report cache, without planning anything.
+    let fast = {
         let mut state = shared.state.lock().unwrap();
-        // 1) Coalesce onto an identical queued/running job: it executes
-        //    once, every subscriber gets the same bytes.
-        let in_flight = state
-            .jobs
-            .iter()
-            .filter(|(_, j)| {
-                j.key == key && matches!(j.state, JobState::Queued | JobState::Running)
-            })
-            .map(|(&id, _)| id)
-            .next();
-        if let Some(id) = in_flight {
-            state.counters.coalesced += 1;
-            let job = state.jobs.get_mut(&id).unwrap();
-            job.subscribers.push(Subscriber { tx, wants_progress });
-            (id, Admission::Coalesced)
+        fast_admit(&mut state, key, &tx, wants_progress)
+    };
+    if let Some((job_id, admission)) = fast {
+        return respond(shared, writer, job_id, admission, rx);
+    }
+
+    // Novel sweep shape: materialize the plan and the per-cell content
+    // fingerprints (both potentially expensive — also outside the lock).
+    let plan = Arc::new(
+        resolved
+            .experiment(shared.config.topology.clone(), Arc::clone(&shared.specs))
+            .plan(),
+    );
+    let cell_keys = resolved.cell_keys(&shared.specs, num_sockets);
+    debug_assert_eq!(cell_keys.len(), plan.num_jobs());
+
+    let (job_id, admission) = {
+        let mut state = shared.state.lock().unwrap();
+        // Close the race with an identical submission admitted while we
+        // were planning.
+        if let Some(fast) = fast_admit(&mut state, key, &tx, wants_progress) {
+            fast
+        } else if state.active_jobs >= shared.config.max_active_jobs {
+            state.counters.rejected += 1;
+            (
+                0,
+                Admission::Rejected {
+                    queued_cells: state.queued_cells as u64,
+                    limit: shared.config.max_queued_cells as u64,
+                },
+            )
         } else {
-            let id = state.next_job;
-            state.next_job += 1;
-            // 2) Serve a repeat from the report cache without executing.
-            if let Some(report) = state.cache.lookup(key) {
-                state.jobs.insert(
-                    id,
-                    Job {
-                        key,
-                        spec: resolved,
-                        state: JobState::Done,
-                        completed: total,
-                        total,
-                        result: Some(Arc::clone(&report)),
-                        subscribers: Vec::new(),
+            // Hydrate every cell some earlier sweep already produced; only
+            // the novel ones go to the pool.
+            let mut outcomes: Vec<Option<CellOutcome>> = Vec::with_capacity(cell_keys.len());
+            let mut novel: Vec<usize> = Vec::new();
+            for (index, &cell_key) in cell_keys.iter().enumerate() {
+                match state.cells.lookup(cell_key) {
+                    Some(outcome) => outcomes.push(Some(outcome)),
+                    None => {
+                        outcomes.push(None);
+                        novel.push(index);
+                    }
+                }
+            }
+            if state.queued_cells + novel.len() > shared.config.max_queued_cells {
+                state.counters.rejected += 1;
+                (
+                    0,
+                    Admission::Rejected {
+                        queued_cells: state.queued_cells as u64,
+                        limit: shared.config.max_queued_cells as u64,
                     },
-                );
-                (id, Admission::CacheHit(report))
+                )
             } else {
-                // 3) Fresh work: enqueue for the worker.
+                let hydrated = cell_keys.len() - novel.len();
+                let fully_hydrated = novel.is_empty();
+                let pending: VecDeque<Vec<usize>> = novel
+                    .chunks(shared.config.batch_cells)
+                    .map(<[usize]>::to_vec)
+                    .collect();
+                let id = state.next_job;
+                state.next_job += 1;
+                // The one report-cache miss of this submission: counted when
+                // the job actually executes, so racing identical submissions
+                // (which coalesce or hit) keep misses == executed sweeps.
+                state.cache.note_miss();
                 state.counters.submitted += 1;
+                state.counters.hydrated_cells += hydrated as u64;
+                state.active_jobs += 1;
+                state.queued_cells += novel.len();
+                let total = cell_keys.len();
                 state.jobs.insert(
                     id,
                     Job {
                         key,
-                        spec: resolved,
-                        state: JobState::Queued,
-                        completed: 0,
+                        state: if fully_hydrated {
+                            JobState::Running
+                        } else {
+                            JobState::Queued
+                        },
+                        completed: hydrated,
                         total,
+                        plan: Some(Arc::clone(&plan)),
+                        cell_keys,
+                        outcomes,
+                        pending,
+                        remaining: novel.len(),
+                        executed: 0,
+                        hydrated,
                         result: None,
                         subscribers: vec![Subscriber { tx, wants_progress }],
                     },
                 );
-                state.queue.push_back(id);
-                shared.work.notify_all();
-                (id, Admission::Enqueued)
+                if fully_hydrated {
+                    (id, Admission::Hydrated)
+                } else {
+                    state.active.push_back(id);
+                    shared.work.notify_all();
+                    (id, Admission::Enqueued)
+                }
             }
         }
     };
+    respond(shared, writer, job_id, admission, rx)
+}
 
-    let cached = matches!(admitted, Admission::CacheHit(_));
-    if write_line(
-        writer,
-        &Response::Submitted {
-            job: job_id,
-            cached,
-        },
-    )
-    .is_err()
-    {
-        return false;
+/// The lock-held fast admission paths: coalescing and the sweep-level
+/// report cache. Runs twice per novel submission (before and after the
+/// expensive planning step), so it revalidates rather than looks up — the
+/// single miss is counted where the executing job is created.
+fn fast_admit(
+    state: &mut State,
+    key: u64,
+    tx: &Sender<Response>,
+    wants_progress: bool,
+) -> Option<(u64, Admission)> {
+    // 1) Coalesce onto an identical queued/running job: it executes once,
+    //    every subscriber gets the same bytes.
+    let in_flight = state
+        .jobs
+        .iter()
+        .filter(|(_, j)| j.key == key && matches!(j.state, JobState::Queued | JobState::Running))
+        .map(|(&id, _)| id)
+        .next();
+    if let Some(id) = in_flight {
+        state.counters.coalesced += 1;
+        let job = state.jobs.get_mut(&id).unwrap();
+        job.subscribers.push(Subscriber {
+            tx: tx.clone(),
+            wants_progress,
+        });
+        return Some((id, Admission::Coalesced));
     }
-    match admitted {
-        Admission::CacheHit(report) => write_line(
+    // 2) Serve a repeat from the report cache without executing.
+    let report = state.cache.revalidate(key)?;
+    let id = state.next_job;
+    state.next_job += 1;
+    let total = report.total_cells;
+    state.jobs.insert(
+        id,
+        Job {
+            key,
+            state: JobState::Done,
+            completed: total,
+            total,
+            plan: None,
+            cell_keys: Vec::new(),
+            outcomes: Vec::new(),
+            pending: VecDeque::new(),
+            remaining: 0,
+            executed: 0,
+            hydrated: 0,
+            result: Some(Arc::clone(&report)),
+            subscribers: Vec::new(),
+        },
+    );
+    Some((id, Admission::CacheHit(report)))
+}
+
+/// Writes the admission outcome and forwards the job's responses; returns
+/// false when the connection died.
+fn respond(
+    shared: &Arc<Shared>,
+    writer: &mut TcpStream,
+    job_id: u64,
+    admission: Admission,
+    rx: Receiver<Response>,
+) -> bool {
+    match admission {
+        Admission::Rejected {
+            queued_cells,
+            limit,
+        } => write_line(
             writer,
-            &Response::Report {
-                job: job_id,
-                cache_hit: true,
-                executed_cells: 0,
-                report_json: report.bytes.clone(),
+            &Response::Overloaded {
+                queued_cells,
+                limit,
             },
         )
         .is_ok(),
-        Admission::Coalesced | Admission::Enqueued => {
-            // Forward progress + terminal from the worker. The sender side
-            // is dropped once the job reaches a terminal state, ending the
-            // iteration even if we somehow miss a terminal message.
-            for response in rx {
-                let terminal = matches!(
-                    response,
-                    Response::Report { .. } | Response::Error { .. } | Response::Cancelled { .. }
-                );
-                if write_line(writer, &response).is_err() {
-                    return false;
-                }
-                if terminal {
-                    break;
-                }
+        Admission::CacheHit(report) => {
+            if write_line(
+                writer,
+                &Response::Submitted {
+                    job: job_id,
+                    cached: true,
+                },
+            )
+            .is_err()
+            {
+                return false;
             }
-            true
+            write_line(
+                writer,
+                &Response::Report {
+                    job: job_id,
+                    cache_hit: true,
+                    executed_cells: 0,
+                    hydrated_cells: 0,
+                    report_json: report.bytes.clone(),
+                },
+            )
+            .is_ok()
+        }
+        Admission::Hydrated => {
+            let wrote = write_line(
+                writer,
+                &Response::Submitted {
+                    job: job_id,
+                    cached: false,
+                },
+            )
+            .is_ok();
+            // Finalize even if the submitter vanished, so the assembled
+            // sweep still lands in the report cache.
+            finalize_job(shared, job_id);
+            wrote && forward(writer, rx)
+        }
+        Admission::Coalesced | Admission::Enqueued => {
+            if write_line(
+                writer,
+                &Response::Submitted {
+                    job: job_id,
+                    cached: false,
+                },
+            )
+            .is_err()
+            {
+                return false;
+            }
+            forward(writer, rx)
         }
     }
 }
 
-enum Admission {
-    Enqueued,
-    Coalesced,
-    CacheHit(Arc<CachedReport>),
+/// Forwards progress + terminal responses from the job's channel. The
+/// sender side is dropped once the job reaches a terminal state, ending the
+/// iteration even if we somehow miss a terminal message.
+fn forward(writer: &mut TcpStream, rx: Receiver<Response>) -> bool {
+    for response in rx {
+        let terminal = matches!(
+            response,
+            Response::Report { .. } | Response::Error { .. } | Response::Cancelled { .. }
+        );
+        if write_line(writer, &response).is_err() {
+            return false;
+        }
+        if terminal {
+            break;
+        }
+    }
+    true
 }
 
 fn status_response(shared: &Arc<Shared>, job: u64) -> Response {
@@ -444,18 +669,25 @@ fn cancel_job(shared: &Arc<Shared>, job: u64) -> Response {
         };
     };
     match j.state {
-        JobState::Queued => {
+        JobState::Queued | JobState::Running => {
             j.state = JobState::Cancelled;
+            // Free the cells still queued; batches already taken by a
+            // worker stop at its next per-cell state check (and whatever it
+            // executed meanwhile still feeds the cell cache).
+            let freed: usize = j.pending.iter().map(Vec::len).sum();
+            j.pending.clear();
             for sub in j.subscribers.drain(..) {
                 let _ = sub.tx.send(Response::Cancelled { job });
             }
-            state.queue.retain(|&id| id != job);
+            state.queued_cells -= freed;
+            state.active.retain(|&id| id != job);
+            state.active_jobs -= 1;
             state.counters.cancelled += 1;
             Response::Cancelled { job }
         }
         other => Response::Error {
             message: format!(
-                "job {job} is {}; only queued jobs can be cancelled",
+                "job {job} is {}; only queued or running jobs can be cancelled",
                 other.label()
             ),
         },
@@ -470,107 +702,255 @@ fn stats(shared: &Arc<Shared>) -> ServerStats {
         jobs_completed: state.counters.completed,
         jobs_cancelled: state.counters.cancelled,
         jobs_failed: state.counters.failed,
+        jobs_rejected: state.counters.rejected,
         requests_malformed: state.counters.malformed,
         executed_cells_total: state.counters.executed_cells,
+        cells_hydrated_total: state.counters.hydrated_cells,
         report_cache_entries: state.cache.len() as u64,
         report_cache_capacity: state.cache.capacity() as u64,
         report_cache_hits: state.cache.hits(),
         report_cache_misses: state.cache.misses(),
         report_cache_evictions: state.cache.evictions(),
+        cell_cache_entries: state.cells.len() as u64,
+        cell_cache_capacity: state.cells.capacity() as u64,
+        cell_cache_hits: state.cells.hits(),
+        cell_cache_misses: state.cells.misses(),
+        cell_cache_evictions: state.cells.evictions(),
+        pool_workers: shared.config.pool as u64,
         spec_cache_builds: shared.specs.builds() as u64,
         spec_cache_hits: shared.specs.hits() as u64,
         spec_cache_entries: shared.specs.len() as u64,
     }
 }
 
-/// The single worker: one shared driver, one sweep at a time, every plan
-/// drawn from the process-wide spec cache.
+/// One pool worker: takes one batch of cells from the job at the front of
+/// the round-robin rotation, executes them on a worker-owned executor
+/// (rebuilt only when the plan changes), and finalizes whichever job it
+/// resolves the last cell of.
 fn worker_loop(shared: Arc<Shared>) {
-    let driver = {
-        let shared = Arc::clone(&shared);
-        SweepDriver::new()
-            .parallelism(shared.config.jobs)
-            .on_cell_complete(move |progress: &CellProgress| on_progress(&shared, progress))
-    };
-
+    let mut executor_cache: Option<(Arc<SweepPlan>, Box<dyn Executor>)> = None;
     loop {
-        let (job_id, spec) = {
+        let (job_id, plan, batch) = {
             let mut state = shared.state.lock().unwrap();
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     drain_on_shutdown(&mut state);
                     return;
                 }
-                if let Some(id) = state.queue.pop_front() {
-                    let job = state.jobs.get_mut(&id).expect("queued job must exist");
+                let Some(id) = state.active.pop_front() else {
+                    state = shared.work.wait(state).unwrap();
+                    continue;
+                };
+                let job = state.jobs.get_mut(&id).expect("active job must exist");
+                let Some(batch) = job.pending.pop_front() else {
+                    // Defensive: a job with nothing pending leaves the
+                    // rotation.
+                    continue;
+                };
+                if job.state == JobState::Queued {
                     job.state = JobState::Running;
-                    state.current = Some(id);
-                    let spec = state.jobs[&id].spec.clone();
-                    break (id, spec);
                 }
-                state = shared.work.wait(state).unwrap();
+                let plan = Arc::clone(job.plan.as_ref().expect("executable job has a plan"));
+                if !job.pending.is_empty() {
+                    // Fair rotation: one batch per turn, then back of the
+                    // line so no sweep starves behind a bigger one.
+                    state.active.push_back(id);
+                }
+                state.queued_cells -= batch.len();
+                break (id, plan, batch);
             }
         };
 
-        let plan = spec
-            .experiment(shared.config.topology.clone(), Arc::clone(&shared.specs))
-            .plan();
-        let report = driver.execute(&plan);
-        let bytes = report.to_json_string();
-        let executed = report.cells.len();
+        let stale = match &executor_cache {
+            Some((cached, _)) => !Arc::ptr_eq(cached, &plan),
+            None => true,
+        };
+        if stale {
+            executor_cache = Some((Arc::clone(&plan), plan.executor()));
+        }
+        let executor: &dyn Executor = executor_cache.as_ref().unwrap().1.as_ref();
 
-        let mut state = shared.state.lock().unwrap();
-        let cached = Arc::new(CachedReport {
-            bytes,
-            executed_cells: executed,
-        });
-        let key = state.jobs[&job_id].key;
-        state.cache.insert(key, Arc::clone(&cached));
-        state.counters.completed += 1;
-        state.counters.executed_cells += executed as u64;
-        state.current = None;
-        let job = state.jobs.get_mut(&job_id).unwrap();
-        job.state = JobState::Done;
-        job.completed = job.total;
-        job.result = Some(Arc::clone(&cached));
-        for sub in job.subscribers.drain(..) {
-            let _ = sub.tx.send(Response::Report {
-                job: job_id,
-                cache_hit: false,
-                executed_cells: executed as u64,
-                report_json: cached.bytes.clone(),
-            });
+        let mut finished = false;
+        for index in batch {
+            let labels = plan.job_labels(index);
+            let repetition = plan.job_at(index).repetition;
+            let pending_key = {
+                let mut state = shared.state.lock().unwrap();
+                let job = state.jobs.get(&job_id).expect("dispatched job must exist");
+                if job.state != JobState::Running {
+                    // Cancelled (or failed by shutdown): the rest of the
+                    // batch is moot.
+                    break;
+                }
+                let cell_key = job.cell_keys[index];
+                // Another job may have executed this very cell since
+                // admission — resolve it from the cache instead.
+                match state.cells.peek(cell_key) {
+                    Some(outcome) => {
+                        finished = record_cell(
+                            &mut state, job_id, index, outcome, false, &labels, repetition,
+                        );
+                        None
+                    }
+                    None => Some(cell_key),
+                }
+            };
+            if let Some(cell_key) = pending_key {
+                let outcome = plan.run_cell(index, executor);
+                let mut state = shared.state.lock().unwrap();
+                // Executed outcomes always feed the cell cache, even when
+                // the job was cancelled mid-cell — the work is done either
+                // way, so future sweeps may as well share it.
+                state.cells.insert(cell_key, outcome.clone());
+                let running = state
+                    .jobs
+                    .get(&job_id)
+                    .is_some_and(|j| j.state == JobState::Running);
+                if running {
+                    finished = record_cell(
+                        &mut state, job_id, index, outcome, true, &labels, repetition,
+                    );
+                }
+            }
+            if finished {
+                break;
+            }
+        }
+        if finished {
+            finalize_job(&shared, job_id);
         }
     }
 }
 
-/// Routes a driver progress callback to the running job's subscribers.
-fn on_progress(shared: &Arc<Shared>, progress: &CellProgress) {
-    let mut state = shared.state.lock().unwrap();
-    let Some(job_id) = state.current else { return };
-    let Some(job) = state.jobs.get_mut(&job_id) else {
-        return;
-    };
-    job.completed = progress.completed;
+/// Records one resolved cell of a running job under the state lock: stores
+/// the outcome, advances progress (fanning out `Progress` lines to
+/// streaming subscribers), and reports whether the job just resolved its
+/// last cell — the caller then finalizes outside the lock.
+fn record_cell(
+    state: &mut State,
+    job_id: u64,
+    index: usize,
+    outcome: CellOutcome,
+    executed: bool,
+    labels: &(String, String, String),
+    repetition: usize,
+) -> bool {
+    if executed {
+        state.counters.executed_cells += 1;
+    } else {
+        state.counters.hydrated_cells += 1;
+    }
+    let job = state
+        .jobs
+        .get_mut(&job_id)
+        .expect("recorded job must exist");
+    job.outcomes[index] = Some(outcome);
+    job.completed += 1;
+    job.remaining -= 1;
+    if executed {
+        job.executed += 1;
+    } else {
+        job.hydrated += 1;
+    }
     for sub in job.subscribers.iter().filter(|s| s.wants_progress) {
         let _ = sub.tx.send(Response::Progress {
             job: job_id,
-            completed: progress.completed as u64,
-            total: progress.total as u64,
-            application: progress.application.clone(),
-            policy: progress.policy.clone(),
-            repetition: progress.repetition as u64,
+            completed: job.completed as u64,
+            total: job.total as u64,
+            application: labels.0.clone(),
+            policy: labels.2.clone(),
+            repetition: repetition as u64,
         });
     }
+    job.remaining == 0
 }
 
-/// Fails everything still queued when the daemon stops, so blocked
-/// submitters get a terminal response instead of hanging.
+/// Assembles and publishes a finished job's report: the deterministic keyed
+/// post-pass over hydrated + executed outcomes, serialized once, stored in
+/// the sweep-level report cache and handed to every subscriber. Called by
+/// whichever thread resolves the job's last cell (a pool worker, or the
+/// submitting handler when every cell hydrated at admission).
+fn finalize_job(shared: &Arc<Shared>, job_id: u64) {
+    let (plan, outcomes, key, executed, hydrated, total) = {
+        let mut state = shared.state.lock().unwrap();
+        let Some(job) = state.jobs.get_mut(&job_id) else {
+            return;
+        };
+        if job.state != JobState::Running || job.remaining != 0 {
+            return;
+        }
+        let plan = Arc::clone(job.plan.as_ref().expect("executable job has a plan"));
+        let outcomes: Vec<CellOutcome> = job
+            .outcomes
+            .iter_mut()
+            .map(|slot| slot.take().expect("finished job has every outcome"))
+            .collect();
+        (
+            plan,
+            outcomes,
+            job.key,
+            job.executed,
+            job.hydrated,
+            job.total,
+        )
+    };
+
+    // The post-pass and serialization run outside the lock; both are
+    // deterministic functions of the keyed outcomes, so the bytes are
+    // identical to a direct `SweepDriver::execute` of the same plan.
+    let report = plan.assemble_report(outcomes, shared.config.pool, std::time::Duration::ZERO);
+    let bytes = report.to_json_string();
+
+    let mut state = shared.state.lock().unwrap();
+    let cached = Arc::new(CachedReport {
+        bytes,
+        executed_cells: executed,
+        total_cells: total,
+    });
+    state.cache.insert(key, Arc::clone(&cached));
+    let Some(job) = state.jobs.get_mut(&job_id) else {
+        return;
+    };
+    if job.state != JobState::Running {
+        // Cancelled (or failed) while assembling: the bytes still went
+        // into the report cache, but nobody is listening any more.
+        return;
+    }
+    job.state = JobState::Done;
+    job.completed = job.total;
+    job.result = Some(Arc::clone(&cached));
+    for sub in job.subscribers.drain(..) {
+        let _ = sub.tx.send(Response::Report {
+            job: job_id,
+            cache_hit: false,
+            executed_cells: executed as u64,
+            hydrated_cells: hydrated as u64,
+            report_json: cached.bytes.clone(),
+        });
+    }
+    state.counters.completed += 1;
+    state.active_jobs -= 1;
+}
+
+/// Fails everything still queued or running when the daemon stops, so
+/// blocked submitters get a terminal response instead of hanging. Safe to
+/// call from every pool worker: only non-terminal jobs are touched, so
+/// repeated calls are no-ops.
 fn drain_on_shutdown(state: &mut State) {
-    while let Some(id) = state.queue.pop_front() {
+    state.active.clear();
+    state.queued_cells = 0;
+    let doomed: Vec<u64> = state
+        .jobs
+        .iter()
+        .filter(|(_, j)| matches!(j.state, JobState::Queued | JobState::Running))
+        .map(|(&id, _)| id)
+        .collect();
+    for id in doomed {
         state.counters.failed += 1;
-        let job = state.jobs.get_mut(&id).expect("queued job must exist");
+        state.active_jobs -= 1;
+        let job = state.jobs.get_mut(&id).expect("doomed job must exist");
         job.state = JobState::Failed;
+        job.pending.clear();
         for sub in job.subscribers.drain(..) {
             let _ = sub.tx.send(Response::Error {
                 message: "server shut down before the job ran".to_string(),
@@ -589,6 +969,11 @@ mod tests {
         assert_eq!(config.addr, "127.0.0.1:0");
         assert_eq!(config.topology.num_sockets(), 8);
         assert_eq!(config.cache_capacity, 64);
+        assert_eq!(config.cell_capacity, 4096);
+        assert_eq!(config.pool, 1);
+        assert_eq!(config.batch_cells, 4);
+        assert_eq!(config.max_queued_cells, 4096);
+        assert_eq!(config.max_active_jobs, 64);
     }
 
     #[test]

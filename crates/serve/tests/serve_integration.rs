@@ -10,8 +10,8 @@ use std::sync::Arc;
 use numadag_kernels::SpecCache;
 use numadag_numa::Topology;
 use numadag_runtime::SweepDriver;
-use numadag_serve::client::ServeClient;
-use numadag_serve::protocol::{Request, Response, SweepSpec};
+use numadag_serve::client::{ClientError, ServeClient};
+use numadag_serve::protocol::{Request, Response, SweepSpec, DEFAULT_POLICIES};
 use numadag_serve::server::{serve, serve_with_specs, ServeConfig};
 
 fn tiny_spec() -> SweepSpec {
@@ -239,7 +239,7 @@ fn status_tracks_jobs_and_cancel_rejects_finished_or_unknown_ones() {
         other => panic!("expected JobStatus, got {other:?}"),
     }
     match client.cancel(outcome.job) {
-        Err(e) => assert!(e.to_string().contains("only queued jobs")),
+        Err(e) => assert!(e.to_string().contains("can be cancelled")),
         Ok(other) => panic!("expected an error, got {other:?}"),
     }
 
@@ -248,18 +248,28 @@ fn status_tracks_jobs_and_cancel_rejects_finished_or_unknown_ones() {
 }
 
 #[test]
-fn queued_jobs_can_be_cancelled_while_the_worker_is_busy() {
-    let handle = serve(ServeConfig::default()).unwrap();
+fn cancelling_a_sweep_mid_flight_frees_its_queued_cells() {
+    // A batch bigger than the busy sweep: the single worker takes the whole
+    // busy sweep as one batch, so the doomed sweep deterministically stays
+    // queued until the cancel lands.
+    let handle = serve(ServeConfig {
+        batch_cells: 1024,
+        ..ServeConfig::default()
+    })
+    .unwrap();
     let addr = handle.addr().to_string();
 
-    // Occupy the worker with a slower sweep, confirmed running by its first
+    // Occupy the pool with a slower sweep, confirmed running by its first
     // streamed Progress line.
+    let busy_spec = SweepSpec {
+        scale: "small".to_string(),
+        reps: 3,
+        ..SweepSpec::default()
+    };
+    let busy_total = busy_spec.resolve().unwrap().total_cells() as u64;
     let mut busy = ServeClient::connect(&addr).unwrap();
     busy.send(&Request::SubmitSweep {
-        spec: SweepSpec {
-            scale: "small".to_string(),
-            ..SweepSpec::default()
-        },
+        spec: busy_spec,
         stream: true,
     })
     .unwrap();
@@ -272,28 +282,35 @@ fn queued_jobs_can_be_cancelled_while_the_worker_is_busy() {
         other => panic!("expected Progress, got {other:?}"),
     }
 
-    // A different sweep now queues behind it; cancel it while queued.
-    let mut queued = ServeClient::connect(&addr).unwrap();
-    queued
+    // Another slow sweep (different seed, so no shared cells) enters the
+    // round-robin rotation; cancel it long before it can finish.
+    let doomed_spec = SweepSpec {
+        scale: "small".to_string(),
+        seed: 99,
+        ..SweepSpec::default()
+    };
+    let doomed_total = doomed_spec.resolve().unwrap().total_cells() as u64;
+    let mut doomed = ServeClient::connect(&addr).unwrap();
+    doomed
         .send(&Request::SubmitSweep {
-            spec: tiny_spec(),
+            spec: doomed_spec,
             stream: false,
         })
         .unwrap();
-    let queued_job = match queued.recv().unwrap() {
+    let doomed_job = match doomed.recv().unwrap() {
         Response::Submitted { job, .. } => job,
         other => panic!("expected Submitted, got {other:?}"),
     };
-    assert_ne!(queued_job, busy_job);
+    assert_ne!(doomed_job, busy_job);
 
     let mut canceller = ServeClient::connect(&addr).unwrap();
-    match canceller.cancel(queued_job).unwrap() {
-        Response::Cancelled { job } => assert_eq!(job, queued_job),
+    match canceller.cancel(doomed_job).unwrap() {
+        Response::Cancelled { job } => assert_eq!(job, doomed_job),
         other => panic!("expected Cancelled, got {other:?}"),
     }
     // The blocked submitter receives the terminal Cancelled response.
-    match queued.recv().unwrap() {
-        Response::Cancelled { job } => assert_eq!(job, queued_job),
+    match doomed.recv().unwrap() {
+        Response::Cancelled { job } => assert_eq!(job, doomed_job),
         other => panic!("expected Cancelled, got {other:?}"),
     }
 
@@ -312,6 +329,202 @@ fn queued_jobs_can_be_cancelled_while_the_worker_is_busy() {
     let stats = canceller.stats().unwrap();
     assert_eq!(stats.jobs_cancelled, 1);
     assert_eq!(stats.jobs_completed, 1);
+    // Cancellation freed the doomed sweep's queued cells: far fewer cells
+    // executed than the two sweeps would have taken together (the doomed
+    // job ran at most the few batches dispatched before the cancel).
+    assert!(
+        stats.executed_cells_total < busy_total + doomed_total,
+        "cancel must free queued cells ({} executed)",
+        stats.executed_cells_total
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn overlapping_sweeps_hydrate_shared_cells_and_execute_only_novel_ones() {
+    let handle = serve(ServeConfig::default()).unwrap();
+    let addr = handle.addr().to_string();
+    let mut client = ServeClient::connect(&addr).unwrap();
+
+    // Seed the cell cache with the default all-apps sweep (4 policy columns
+    // including the appended LAS baseline).
+    let base = client.submit(SweepSpec::default(), false, |_| ()).unwrap();
+    let base_resolved = SweepSpec::default().resolve().unwrap();
+    assert!(!base.cache_hit);
+    assert_eq!(base.executed_cells as usize, base_resolved.total_cells());
+    assert_eq!(base.hydrated_cells, 0);
+
+    // Adding one policy column executes exactly apps × reps novel cells;
+    // every cell of the original columns hydrates from the cell cache.
+    let wider_spec = SweepSpec {
+        policies: format!("{DEFAULT_POLICIES},rgp-las:prop=repart"),
+        ..SweepSpec::default()
+    };
+    let wider_resolved = wider_spec.resolve().unwrap();
+    let wider = client.submit(wider_spec, false, |_| ()).unwrap();
+    assert!(!wider.cache_hit, "a different sweep shape is not a repeat");
+    let novel = wider_resolved.apps.len() * wider_resolved.reps;
+    assert_eq!(wider.executed_cells as usize, novel);
+    assert_eq!(
+        wider.hydrated_cells as usize,
+        wider_resolved.total_cells() - novel
+    );
+
+    // The report reassembled from hydrated + fresh cells is byte-identical
+    // to executing the widened sweep directly.
+    let direct_plan = wider_resolved
+        .experiment(Topology::bullion_s16(), Arc::new(SpecCache::new()))
+        .plan();
+    let direct = SweepDriver::new().parallelism(1).execute(&direct_plan);
+    assert_eq!(wider.report_json, direct.to_json_string());
+
+    // An app subset of the cached sweep hydrates completely: a fresh job
+    // id and report, zero executions.
+    let subset_spec = SweepSpec {
+        apps: "jacobi,nstream".to_string(),
+        ..SweepSpec::default()
+    };
+    let subset_resolved = subset_spec.resolve().unwrap();
+    let subset = client.submit(subset_spec, false, |_| ()).unwrap();
+    assert!(!subset.cache_hit);
+    assert_eq!(subset.executed_cells, 0, "every subset cell must hydrate");
+    assert_eq!(
+        subset.hydrated_cells as usize,
+        subset_resolved.total_cells()
+    );
+    let direct_plan = subset_resolved
+        .experiment(Topology::bullion_s16(), Arc::new(SpecCache::new()))
+        .plan();
+    let direct = SweepDriver::new().parallelism(1).execute(&direct_plan);
+    assert_eq!(subset.report_json, direct.to_json_string());
+
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.executed_cells_total as usize,
+        base_resolved.total_cells() + novel
+    );
+    assert_eq!(
+        stats.cells_hydrated_total,
+        wider.hydrated_cells + subset.hydrated_cells
+    );
+    assert_eq!(
+        stats.cell_cache_entries as usize,
+        base_resolved.total_cells() + novel,
+        "each executed cell is cached exactly once"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn pool_workers_keep_a_tiny_sweep_flowing_past_a_big_one() {
+    let handle = serve(ServeConfig {
+        pool: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    // A slow sweep occupies the pool, confirmed running by its first
+    // streamed Progress line. High reps keep it in flight long enough for
+    // the tiny sweep to overtake it even in release builds.
+    let mut big = ServeClient::connect(&addr).unwrap();
+    big.send(&Request::SubmitSweep {
+        spec: SweepSpec {
+            scale: "small".to_string(),
+            reps: 8,
+            ..SweepSpec::default()
+        },
+        stream: true,
+    })
+    .unwrap();
+    let big_job = match big.recv().unwrap() {
+        Response::Submitted { job, .. } => job,
+        other => panic!("expected Submitted, got {other:?}"),
+    };
+    match big.recv().unwrap() {
+        Response::Progress { .. } => {}
+        other => panic!("expected Progress, got {other:?}"),
+    }
+
+    // A tiny sweep submitted afterwards completes while the big one is
+    // still in flight — round-robin batching, not FIFO job order.
+    let mut small = ServeClient::connect(&addr).unwrap();
+    let outcome = small.submit(tiny_spec(), false, |_| ()).unwrap();
+    assert!(!outcome.cache_hit);
+    assert!(outcome.executed_cells > 0);
+
+    let mut observer = ServeClient::connect(&addr).unwrap();
+    match observer.status(big_job).unwrap() {
+        Response::JobStatus { state, .. } => {
+            assert_eq!(
+                state, "running",
+                "the big sweep must still be in flight when the tiny one finishes"
+            );
+        }
+        other => panic!("expected JobStatus, got {other:?}"),
+    }
+    assert_eq!(observer.stats().unwrap().pool_workers, 2);
+
+    // The big sweep still completes normally.
+    loop {
+        match big.recv().unwrap() {
+            Response::Progress { .. } => continue,
+            Response::Report { cache_hit, .. } => {
+                assert!(!cache_hit);
+                break;
+            }
+            other => panic!("expected Progress or Report, got {other:?}"),
+        }
+    }
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn submissions_bounce_with_overloaded_when_the_cell_quota_is_exceeded() {
+    // A quota smaller than the default sweep's cell count: the all-apps
+    // sweep bounces, a single-app sweep still fits.
+    let handle = serve(ServeConfig {
+        max_queued_cells: 4,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+    let mut client = ServeClient::connect(&addr).unwrap();
+
+    match client.submit(SweepSpec::default(), false, |_| ()) {
+        Err(ClientError::Overloaded {
+            queued_cells,
+            limit,
+        }) => {
+            assert_eq!(queued_cells, 0);
+            assert_eq!(limit, 4);
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+
+    // The connection survives, and a sweep within the quota is admitted.
+    let ok = client
+        .submit(
+            SweepSpec {
+                apps: "jacobi".to_string(),
+                ..SweepSpec::default()
+            },
+            false,
+            |_| (),
+        )
+        .unwrap();
+    assert!(!ok.cache_hit);
+    assert_eq!(ok.executed_cells, 4);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.jobs_rejected, 1);
+    assert_eq!(stats.jobs_submitted, 1);
 
     handle.shutdown();
     handle.join();

@@ -262,16 +262,28 @@ impl Parser<'_> {
         let mut out = String::new();
         loop {
             let rest = &self.bytes[self.pos..];
-            let Some(&byte) = rest.first() else {
+            // Copy the contiguous run up to the next quote or escape in one
+            // shot. The run is valid UTF-8 by construction: the input was a
+            // &str and both run delimiters are ASCII, so the slice bounds
+            // sit on character boundaries. (Copying scalar-by-scalar would
+            // re-validate the whole tail per character — quadratic on the
+            // long embedded report strings the sweep service exchanges.)
+            let Some(run) = rest.iter().position(|&b| b == b'"' || b == b'\\') else {
                 return Err(self.error("unterminated string"));
             };
-            match byte {
+            if run > 0 {
+                let text = std::str::from_utf8(&rest[..run]).expect("input was a &str");
+                out.push_str(text);
+                self.pos += run;
+            }
+            match self.bytes[self.pos] {
                 b'"' => {
                     self.pos += 1;
                     return Ok(out);
                 }
-                b'\\' => {
-                    let escape = rest.get(1).copied();
+                _ => {
+                    // An escape sequence.
+                    let escape = self.bytes.get(self.pos + 1).copied();
                     self.pos += 2;
                     match escape {
                         Some(b'"') => out.push('"'),
@@ -297,15 +309,6 @@ impl Parser<'_> {
                         }
                         _ => return Err(self.error("invalid escape sequence")),
                     }
-                }
-                _ => {
-                    // Copy one UTF-8 scalar (multi-byte sequences are passed
-                    // through unchanged; the input is a &str, so it is valid
-                    // UTF-8 by construction).
-                    let text = std::str::from_utf8(rest).expect("input was a &str");
-                    let ch = text.chars().next().expect("non-empty");
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
                 }
             }
         }

@@ -4,7 +4,8 @@
 //! Usage:
 //! ```text
 //! cargo run -p numadag-bench --bin ablation --release -- \
-//!     [window|sockets|partitioner|propagation|all] [--jobs N]
+//!     [window|sockets|partitioner|propagation|all] [--jobs N] \
+//!     [--backend simulated|threaded|proc[:w=N]]
 //! cargo run -p numadag-bench --bin ablation --release -- \
 //!     trace [--scale tiny|small|full] [--jobs N]
 //! cargo run -p numadag-bench --bin ablation --release -- \
@@ -72,16 +73,18 @@ use numadag_core::{PolicyKind, Propagation, RgpTuning};
 use numadag_graph::{partition, PartitionConfig, PartitionScheme};
 use numadag_kernels::{Application, ProblemScale, SpecCache};
 use numadag_numa::Topology;
-use numadag_runtime::{Experiment, SweepReport};
+use numadag_runtime::{Backend, Experiment, SweepReport};
 use numadag_tdg::{window_to_csr, TaskWindow, WindowConfig};
 use numadag_trace::TraceCollector;
 
 const SCALE: ProblemScale = ProblemScale::Small;
 const SEED: u64 = 0xAB1A7E;
 
-/// How every study runs: worker count plus the spec cache they share.
+/// How every study runs: backend, worker count, and the spec cache they
+/// share.
 struct StudyConfig {
     jobs: usize,
+    backend: Backend,
     specs: Arc<SpecCache>,
 }
 
@@ -90,6 +93,7 @@ impl StudyConfig {
     fn experiment(&self) -> Experiment {
         Experiment::new()
             .seed(SEED)
+            .backend(self.backend)
             .parallelism(self.jobs)
             .spec_cache(Arc::clone(&self.specs))
             .on_cell_complete(stderr_progress)
@@ -405,7 +409,8 @@ fn trace_study(study: &StudyConfig, scale: ProblemScale) {
 fn usage_error(message: String) -> ! {
     eprintln!("error: {message}");
     eprintln!(
-        "usage: ablation [window|sockets|partitioner|propagation|all] [--jobs N]\n\
+        "usage: ablation [window|sockets|partitioner|propagation|all] [--jobs N] \
+         [--backend simulated|threaded|proc[:w=N]]\n\
          \u{20}      ablation trace [--scale tiny|small|full] [--jobs N]\n\
          \u{20}      ablation bench-diff BASELINE.json CANDIDATE.json\n\
          \u{20}      ablation hotpath-diff BASELINE.json CANDIDATE.json          [--tolerance FRACTION]\n\
@@ -766,9 +771,13 @@ fn bench_diff(baseline_path: &str, candidate_path: &str) -> ! {
 }
 
 fn main() {
+    // Worker re-entry for the proc backend (no-op unless a pool exec'd us).
+    numadag_proc::maybe_run_worker();
+    numadag_proc::install();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Option<String> = None;
     let mut jobs = 1usize;
+    let mut backend = Backend::default();
     let mut trace_scale: Option<ProblemScale> = None;
     let mut i = 0;
     while i < args.len() {
@@ -788,6 +797,14 @@ fn main() {
                     Some(Ok(n)) => jobs = n,
                     Some(Err(e)) => usage_error(e),
                     None => usage_error("--jobs needs a value".to_string()),
+                }
+            }
+            "--backend" => {
+                i += 1;
+                match args.get(i).map(|s| s.parse()) {
+                    Some(Ok(parsed)) => backend = parsed,
+                    Some(Err(e)) => usage_error(e),
+                    None => usage_error("--backend needs a value".to_string()),
                 }
             }
             "--scale" => {
@@ -825,6 +842,7 @@ fn main() {
 
     let study = StudyConfig {
         jobs,
+        backend,
         specs: Arc::new(SpecCache::new()),
     };
     match which.as_str() {

@@ -6,9 +6,15 @@
 //! ```text
 //! cargo run -p numadag-bench --bin figure1 --release -- \
 //!     [--scale tiny|small|full] [--policies dfifo,rgp-las:w=512,ep] \
-//!     [--backend simulated|threaded] [--jobs N] [--reps N] [--seed N] \
+//!     [--backend simulated|threaded|proc[:w=N]] [--jobs N] [--reps N] [--seed N] \
 //!     [--json PATH] [--json-timing PATH] [--trace-dir DIR]
 //! ```
+//!
+//! `--backend proc` runs every cell in worker *processes* (the
+//! `numadag-proc` coordinator; `proc:w=N` picks the pool size, default 2).
+//! Workers execute the same deterministic simulator, so the measurement
+//! report is byte-identical to `--backend simulated` — the pool's dispatch
+//! counters are printed after the sweep.
 //!
 //! Policies are parsed through the `PolicyKind` registry, so any registered
 //! label works, including parameterised RGP variants: window size
@@ -49,7 +55,7 @@ fn usage_error(message: String) -> ! {
     eprintln!("error: {message}");
     eprintln!(
         "usage: figure1 [--scale tiny|small|full] [--policies LIST] \
-         [--backend simulated|threaded] [--jobs N] [--reps N] [--seed N] \
+         [--backend simulated|threaded|proc[:w=N]] [--jobs N] [--reps N] [--seed N] \
          [--json PATH] [--json-timing PATH] [--trace-dir DIR]"
     );
     std::process::exit(2);
@@ -163,7 +169,25 @@ fn print_table(report: &SweepReport) {
 }
 
 fn main() {
+    // If this process was re-exec'd by a proc-backend worker pool, become
+    // the worker (never returns in that case).
+    numadag_proc::maybe_run_worker();
+    numadag_proc::install();
     let (config, json_path, json_timing_path, trace_dir) = parse_args();
+    // Spawn (and hold) the worker pool up front so it outlives the sweep's
+    // executors and its stats can be reported after the run.
+    let proc_pool = match config.backend {
+        Backend::Proc { workers } => {
+            match numadag_proc::shared_pool(numadag_proc::PoolConfig::new(workers)) {
+                Ok(pool) => Some(pool),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => None,
+    };
     if config.backend == Backend::Threaded && config.jobs != 1 {
         eprintln!(
             "warning: --jobs {} with the threaded backend runs that many thread \
@@ -214,6 +238,10 @@ fn main() {
             cell.load_imbalance,
             100.0 * cell.steal_fraction
         );
+    }
+
+    if let Some(pool) = &proc_pool {
+        println!("\n## Proc backend pool\n\n  {}", pool.stats());
     }
 
     println!(

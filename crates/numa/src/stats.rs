@@ -148,6 +148,41 @@ impl TrafficStats {
             .sum()
     }
 
+    /// Iterates the link matrix entries as `((from, to), bytes)`, in
+    /// deterministic key order. Exposed (with [`TrafficStats::from_parts`])
+    /// so a ledger can cross a process boundary and be rebuilt bit-exactly.
+    pub fn link_entries(&self) -> impl Iterator<Item = ((usize, usize), u64)> + '_ {
+        self.link.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// The distance-weighted byte sum behind
+    /// [`TrafficStats::mean_access_distance`].
+    pub fn distance_weighted(&self) -> u128 {
+        self.distance_weighted_bytes
+    }
+
+    /// Reconstructs a ledger from its exact parts — the inverse of reading
+    /// the public counters, [`TrafficStats::link_entries`] and
+    /// [`TrafficStats::distance_weighted`]. Used to ship execution reports
+    /// across process boundaries without losing the private matrix or
+    /// re-deriving counters (which would not round-trip: the recording
+    /// methods couple them).
+    pub fn from_parts(
+        local_bytes: u64,
+        remote_bytes: u64,
+        deferred_allocated_bytes: u64,
+        link: impl IntoIterator<Item = ((usize, usize), u64)>,
+        distance_weighted_bytes: u128,
+    ) -> Self {
+        TrafficStats {
+            local_bytes,
+            remote_bytes,
+            deferred_allocated_bytes,
+            link: link.into_iter().collect(),
+            distance_weighted_bytes,
+        }
+    }
+
     /// Merges another ledger into this one.
     pub fn merge(&mut self, other: &TrafficStats) {
         self.local_bytes += other.local_bytes;
@@ -201,6 +236,24 @@ mod tests {
         assert_eq!(s.served_by(NodeId(5)), 500);
         assert_eq!(s.consumed_by(NodeId(2)), 500);
         assert_eq!(s.served_by(NodeId(2)), 0);
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_recorded_ledger() {
+        let mut s = TrafficStats::new();
+        s.record_access(NodeId(0), NodeId(0), 10, 1000);
+        s.record_access(NodeId(2), NodeId(5), 27, 500);
+        s.record_access(NodeId(1), NodeId(0), 15, 300);
+        s.record_deferred_allocation(4096);
+        let rebuilt = TrafficStats::from_parts(
+            s.local_bytes,
+            s.remote_bytes,
+            s.deferred_allocated_bytes,
+            s.link_entries(),
+            s.distance_weighted(),
+        );
+        assert_eq!(rebuilt, s);
+        assert_eq!(rebuilt.mean_access_distance(), s.mean_access_distance());
     }
 
     #[test]

@@ -228,6 +228,57 @@ impl Topology {
         )
     }
 
+    /// A distributed machine of `nodes` cluster nodes, each a shared-memory
+    /// NUMA box of `sockets_per_node` sockets: distance is `10` locally,
+    /// `15` between sockets of the same node and `far` between sockets of
+    /// different nodes.
+    ///
+    /// This is ROADMAP direction 2's "remote node is just a socket at a
+    /// (configurable) large distance" model: the distance matrix is the only
+    /// thing that changes, so every placement policy works across the
+    /// cluster unmodified. `far` around `100` (10× local) approximates an
+    /// RDMA-class interconnect; larger values push toward message-passing
+    /// cost ratios.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero or `far < 15` (a cluster link cannot
+    /// beat the intra-node interconnect in this model).
+    pub fn multi_node(
+        nodes: usize,
+        sockets_per_node: usize,
+        cores_per_socket: usize,
+        far: u32,
+    ) -> Self {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        assert!(sockets_per_node > 0, "a node needs at least one socket");
+        assert!(
+            far >= 15,
+            "cross-node distance cannot be smaller than the intra-node distance"
+        );
+        let n = nodes * sockets_per_node;
+        let mut values = vec![0u32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                values[i * n + j] = if i == j {
+                    DistanceMatrix::LOCAL
+                } else if i / sockets_per_node == j / sockets_per_node {
+                    15
+                } else {
+                    far
+                };
+            }
+        }
+        Topology::new(
+            format!(
+                "{nodes}-node cluster ({sockets_per_node} sockets x {cores_per_socket} cores, \
+                 far={far})"
+            ),
+            n,
+            cores_per_socket,
+            DistanceMatrix::from_rows(n, values),
+        )
+    }
+
     /// Human-readable name of the preset.
     pub fn name(&self) -> &str {
         &self.name
@@ -441,5 +492,42 @@ mod tests {
             assert_eq!(t.num_sockets(), s);
             assert_eq!(t.num_cores(), 4 * s);
         }
+    }
+
+    #[test]
+    fn multi_node_distance_structure() {
+        // 2 cluster nodes of 2 sockets each, far link at 100.
+        let t = Topology::multi_node(2, 2, 4, 100);
+        assert_eq!(t.num_sockets(), 4);
+        assert_eq!(t.num_cores(), 16);
+        assert_eq!(t.distance(NodeId(0), NodeId(0)), 10);
+        assert_eq!(t.distance(NodeId(0), NodeId(1)), 15); // same cluster node
+        assert_eq!(t.distance(NodeId(0), NodeId(2)), 100); // cross node
+        assert_eq!(t.distance(NodeId(1), NodeId(3)), 100);
+        assert_eq!(t.distance(NodeId(2), NodeId(3)), 15);
+        assert!(t.name().contains("far=100"));
+        // The matrix passes from_rows' symmetry/diagonal validation by
+        // construction; nodes_by_distance keeps the sibling ahead of the
+        // far nodes.
+        let order = t.nodes_by_distance(NodeId(2));
+        assert_eq!(&order[..2], &[NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn multi_node_with_one_socket_per_node_is_uniformly_far() {
+        let t = Topology::multi_node(4, 1, 2, 200);
+        assert_eq!(t.num_sockets(), 4);
+        for a in t.nodes() {
+            for b in t.nodes() {
+                let expected = if a == b { 10 } else { 200 };
+                assert_eq!(t.distance(a, b), expected);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cross-node distance")]
+    fn multi_node_rejects_far_below_intra_node() {
+        Topology::multi_node(2, 2, 1, 12);
     }
 }

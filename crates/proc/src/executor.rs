@@ -1,0 +1,131 @@
+//! [`ProcExecutor`]: the [`Executor`] implementation backed by the worker
+//! pool.
+
+use std::sync::{Arc, Mutex};
+
+use numadag_core::SchedulingPolicy;
+use numadag_runtime::{CellContext, ExecutionConfig, ExecutionReport, Executor, Simulator};
+use numadag_tdg::TaskGraphSpec;
+
+use crate::pool::{shared_pool, PoolConfig, PoolStats, ProcError, WorkerPool};
+
+/// The multi-process backend: ships sweep cells to worker processes and
+/// re-labels the reports they send back.
+///
+/// Workers run the deterministic in-process [`Simulator`] over the same
+/// spec, policy and seed, so a proc-backend report is byte-identical to a
+/// simulator report of the same cell — which is why the backend reports
+/// its measurements under the `"simulator"` label (see
+/// `numadag_runtime::Backend::report_label`).
+pub struct ProcExecutor {
+    config: ExecutionConfig,
+    workers: usize,
+    pool: Mutex<Option<Arc<WorkerPool>>>,
+}
+
+impl ProcExecutor {
+    /// An executor that lazily attaches to the process-wide shared pool
+    /// (spawning `workers` worker processes on first use).
+    pub fn new(config: ExecutionConfig, workers: usize) -> Self {
+        ProcExecutor {
+            config,
+            workers,
+            pool: Mutex::new(None),
+        }
+    }
+
+    /// An executor bound to an explicit pool (tests use this to inject
+    /// fault-configured pools).
+    pub fn with_pool(config: ExecutionConfig, pool: Arc<WorkerPool>) -> Self {
+        let workers = pool.num_slots();
+        ProcExecutor {
+            config,
+            workers,
+            pool: Mutex::new(Some(pool)),
+        }
+    }
+
+    fn pool(&self) -> Result<Arc<WorkerPool>, ProcError> {
+        let mut guard = match self.pool.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(pool) = guard.as_ref() {
+            return Ok(pool.clone());
+        }
+        let pool = shared_pool(PoolConfig::new(self.workers))?;
+        *guard = Some(pool.clone());
+        Ok(pool)
+    }
+
+    /// Counter snapshot of the attached pool (`None` before first use).
+    pub fn stats(&self) -> Option<PoolStats> {
+        let guard = match self.pool.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.as_ref().map(|pool| pool.stats())
+    }
+
+    /// The fallible twin of [`Executor::execute_cell`]: runs the cell on the
+    /// pool and returns structured [`ProcError`]s instead of panicking.
+    pub fn try_execute_cell(
+        &self,
+        spec: &TaskGraphSpec,
+        policy: &mut dyn SchedulingPolicy,
+        ctx: &CellContext<'_>,
+    ) -> Result<ExecutionReport, ProcError> {
+        let pool = self.pool()?;
+        let events = self.config.trace_sink.is_enabled();
+        let placements = self.config.collect_trace;
+        let (report, collected) = pool.run_cell(
+            spec,
+            ctx.policy_label,
+            policy.name(),
+            ctx.seed,
+            &self.config,
+            events,
+            placements,
+        )?;
+        for event in collected {
+            self.config.trace_sink.record(event);
+        }
+        Ok(report)
+    }
+}
+
+impl Executor for ProcExecutor {
+    fn backend_name(&self) -> &'static str {
+        "proc"
+    }
+
+    fn config(&self) -> &ExecutionConfig {
+        &self.config
+    }
+
+    /// Without a [`CellContext`] there is no policy provenance to ship, so
+    /// this runs the cell in-process through the same [`Simulator`] the
+    /// workers use — identical results, no IPC.
+    fn execute(&self, spec: &TaskGraphSpec, policy: &mut dyn SchedulingPolicy) -> ExecutionReport {
+        Simulator::new(self.config.clone()).run(spec, policy)
+    }
+
+    /// # Panics
+    /// Panics with the [`ProcError`] rendered into the message when the pool
+    /// cannot produce the cell (spawn failure, every worker dead, or a
+    /// worker-side structured error) — a loud fast exit instead of a hang.
+    fn execute_cell(
+        &self,
+        spec: &TaskGraphSpec,
+        policy: &mut dyn SchedulingPolicy,
+        ctx: Option<&CellContext<'_>>,
+    ) -> ExecutionReport {
+        match ctx {
+            None => self.execute(spec, policy),
+            Some(ctx) => match self.try_execute_cell(spec, policy, ctx) {
+                Ok(report) => report,
+                Err(e) => panic!("proc backend failed: {e}"),
+            },
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Multi-process message-passing executor: the third backend behind
+//! [`numadag_runtime::Executor`].
+//!
+//! The simulator and the threaded executor both live inside one address
+//! space; this crate runs sweep cells in **separate OS processes**. The
+//! coordinator (the process that owns the sweep) re-execs its own
+//! executable once per worker with a `--proc-worker` flag, and the
+//! processes speak newline-delimited JSON over local TCP sockets — the same
+//! framing the `numadag-serve` daemon uses, hoisted into
+//! [`numadag_runtime::framing`].
+//!
+//! Messages cover the whole lifecycle: `config`/`config_ack` (execution
+//! config sync, fingerprint-keyed), `spec` (workload transfer, shipped once
+//! per worker and referenced by fingerprint after), `assign`/`done` (one
+//! sweep cell), `data_home` and `steal` notifications (deferred-allocation
+//! bytes and stolen-task counts, cross-checked against the report),
+//! `barrier`/`barrier_ack` (oneCCL-style non-blocking collectives at
+//! startup and shutdown) and `shutdown`.
+//!
+//! Determinism: a worker rebuilds the policy from the `(label, seed)` in
+//! the assignment and runs the in-process [`numadag_runtime::Simulator`],
+//! so a cell's report is byte-identical to the same cell executed locally —
+//! `figure1 --backend proc` regenerates the committed simulator baseline
+//! exactly. Worker crashes are detected as framing failures, the worker is
+//! killed and the cell redispatched; if every worker dies the sweep fails
+//! with a structured error instead of hanging.
+//!
+//! # Wiring
+//!
+//! Call [`install`] once at startup to register the backend behind
+//! `numadag_runtime::Backend::Proc` (`--backend proc` on the CLI), and
+//! [`maybe_run_worker`] first thing in `main` so the re-exec'd children
+//! take the worker path instead of re-running the tool.
+
+#![warn(missing_docs)]
+
+mod executor;
+pub mod pool;
+pub mod protocol;
+pub mod worker;
+
+pub use executor::ProcExecutor;
+pub use pool::{shared_pool, PoolConfig, PoolStats, ProcError, WorkerPool};
+pub use worker::{run_worker_from_env, CONNECT_ENV, WORKER_ENV, WORKER_FLAG};
+
+/// Registers [`ProcExecutor`] as the factory behind
+/// `numadag_runtime::Backend::Proc`. Idempotent (first registration wins).
+pub fn install() {
+    numadag_runtime::register_proc_backend(Box::new(|config, workers| {
+        Box::new(ProcExecutor::new(config, workers))
+    }));
+}
+
+/// Re-enters the process as a worker when launched by a pool: if the
+/// argv contains [`WORKER_FLAG`] and [`CONNECT_ENV`] is set, runs the
+/// worker loop and exits the process. Call this before argument parsing in
+/// every binary that can host the proc backend.
+pub fn maybe_run_worker() {
+    let flagged = std::env::args().any(|arg| arg == WORKER_FLAG);
+    if flagged && std::env::var(CONNECT_ENV).is_ok() {
+        match run_worker_from_env() {
+            Ok(()) => std::process::exit(0),
+            Err(e) => {
+                eprintln!("numadag-proc worker: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,739 @@
+//! Coordinator side: the worker-process pool.
+//!
+//! [`WorkerPool::spawn`] re-execs the current executable once per worker
+//! (passing the rendezvous socket through the environment), collects each
+//! worker's `hello`, and then runs a startup barrier so every later
+//! dispatch starts from a known-good collective state. Barriers follow the
+//! oneCCL shape — a non-blocking state machine with an explicit
+//! [`CollectiveBarrier::start`] and repeated [`CollectiveBarrier::update`]
+//! polls — rather than one blocking wait per worker, so a dead worker
+//! surfaces as a killed slot instead of a hang.
+//!
+//! Per-cell dispatch is a short serial conversation on one worker's socket:
+//! config sync (only when the worker's last-acked config fingerprint
+//! differs), spec transfer (only the first time this worker sees the spec),
+//! `assign`, then `data_home` / `steal` / `done` replies. Any framing
+//! failure or timeout on that conversation kills the worker and redispatches
+//! the cell to a live one; a structured `error` reply is deterministic
+//! (bad policy, bad spec) and propagates instead of retrying.
+
+use std::collections::{HashMap, HashSet};
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, Weak};
+use std::time::{Duration, Instant};
+
+use numadag_runtime::framing::{read_frame, to_line, untag, write_frame, FrameError};
+use numadag_runtime::{ExecutionConfig, ExecutionReport};
+use numadag_tdg::TaskGraphSpec;
+use numadag_trace::TraceEvent;
+use serde::Value;
+
+use crate::protocol::{
+    decode_data_home, decode_done, decode_epoch, decode_error, decode_hello, decode_steal,
+    encode_assign, encode_barrier, encode_config, encode_shutdown, encode_spec, Assignment,
+};
+use crate::worker::{CONNECT_ENV, WORKER_ENV, WORKER_FLAG};
+
+/// How a worker pool is launched.
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Number of worker processes.
+    pub workers: usize,
+    /// Arguments passed to the re-exec'd executable. The default,
+    /// `["--proc-worker"]`, is what [`crate::maybe_run_worker`] looks for;
+    /// test binaries override this to re-enter through a libtest filter.
+    pub worker_args: Vec<String>,
+    /// Extra environment for the workers (fault injection in tests).
+    pub worker_env: Vec<(String, String)>,
+    /// Deadline for all workers to connect and pass the startup barrier.
+    pub spawn_timeout: Duration,
+    /// Deadline for one cell's conversation; a worker quiet for longer is
+    /// treated as lost and its cell redispatched.
+    pub cell_timeout: Duration,
+}
+
+impl PoolConfig {
+    /// A pool of `workers` processes with default timeouts.
+    pub fn new(workers: usize) -> Self {
+        PoolConfig {
+            workers: workers.max(1),
+            worker_args: vec![WORKER_FLAG.to_string()],
+            worker_env: Vec::new(),
+            spawn_timeout: Duration::from_secs(30),
+            cell_timeout: Duration::from_secs(120),
+        }
+    }
+
+    /// Replaces the worker argv (see [`PoolConfig::worker_args`]).
+    pub fn with_worker_args(mut self, args: Vec<String>) -> Self {
+        self.worker_args = args;
+        self
+    }
+
+    /// Adds one environment variable to every worker.
+    pub fn with_env(mut self, key: &str, value: &str) -> Self {
+        self.worker_env.push((key.to_string(), value.to_string()));
+        self
+    }
+}
+
+/// Failures of the multi-process backend.
+#[derive(Debug)]
+pub enum ProcError {
+    /// The pool could not be brought up (exec, bind, or startup barrier).
+    Spawn(String),
+    /// A worker reported a structured, deterministic failure — retrying on
+    /// another worker would fail identically.
+    Worker {
+        /// The reporting worker's id.
+        worker: u64,
+        /// Its error message.
+        message: String,
+    },
+    /// Workers kept dying until none were left to run the cell.
+    AllWorkersDead {
+        /// The cell that could not be placed.
+        cell: u64,
+    },
+    /// A reply decoded but contradicted itself (e.g. `data_home` bytes
+    /// disagreeing with the report it accompanies).
+    Protocol {
+        /// The offending worker's id.
+        worker: u64,
+        /// What was inconsistent.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ProcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcError::Spawn(m) => write!(f, "worker pool spawn failed: {m}"),
+            ProcError::Worker { worker, message } => {
+                write!(f, "worker {worker} reported: {message}")
+            }
+            ProcError::AllWorkersDead { cell } => {
+                write!(f, "no live workers left to execute cell {cell}")
+            }
+            ProcError::Protocol { worker, message } => {
+                write!(f, "protocol violation by worker {worker}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProcError {}
+
+/// Point-in-time snapshot of the pool's counters (see
+/// [`WorkerPool::stats`]). `Display` renders the `key=value` line the
+/// `figure1` bin prints for CI to grep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker processes launched over the pool's lifetime.
+    pub workers_spawned: u64,
+    /// Workers currently alive.
+    pub workers_alive: u64,
+    /// Cells handed to [`WorkerPool::run_cell`].
+    pub cells_dispatched: u64,
+    /// Cells re-sent to another worker after their first worker was lost.
+    pub redispatches: u64,
+    /// `config` messages sent (one per worker per distinct config).
+    pub config_broadcasts: u64,
+    /// `spec` messages sent (one per worker per distinct workload).
+    pub spec_transfers: u64,
+    /// Collective barriers completed (startup + shutdown drains).
+    pub barriers: u64,
+}
+
+impl std::fmt::Display for PoolStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "workers_spawned={} workers_alive={} cells_dispatched={} redispatches={} \
+             config_broadcasts={} spec_transfers={} barriers={}",
+            self.workers_spawned,
+            self.workers_alive,
+            self.cells_dispatched,
+            self.redispatches,
+            self.config_broadcasts,
+            self.spec_transfers,
+            self.barriers,
+        )
+    }
+}
+
+struct SlotState {
+    child: Child,
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// Fingerprints of specs this worker already holds.
+    specs: HashSet<u64>,
+    /// Fingerprint of the config this worker last acknowledged.
+    config_fp: Option<u64>,
+}
+
+struct WorkerSlot {
+    id: u64,
+    alive: AtomicBool,
+    state: Mutex<SlotState>,
+}
+
+impl WorkerSlot {
+    fn lock(&self) -> MutexGuard<'_, SlotState> {
+        // A panic while holding the lock leaves the worker in an unknown
+        // protocol state; the slot is killed below either way, so the
+        // poisoned state is safe to take over.
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn kill(&self, state: &mut SlotState) {
+        self.alive.store(false, Ordering::SeqCst);
+        let _ = state.child.kill();
+        let _ = state.child.wait();
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    cells_dispatched: AtomicU64,
+    redispatches: AtomicU64,
+    config_broadcasts: AtomicU64,
+    spec_transfers: AtomicU64,
+    barriers: AtomicU64,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Stable fingerprint of an [`ExecutionConfig`]'s wire form, used both as
+/// the config's epoch tag and as the "has this worker seen it" key.
+fn config_fingerprint(config: &ExecutionConfig) -> u64 {
+    fnv1a(to_line(&encode_config(0, config)).as_bytes())
+}
+
+enum DispatchFailure {
+    /// The worker died or corrupted its stream: killed, cell redispatchable.
+    WorkerLost,
+    /// Deterministic failure; retrying elsewhere would reproduce it.
+    Fatal(ProcError),
+}
+
+/// A pool of worker processes executing sweep cells over newline-JSON IPC.
+pub struct WorkerPool {
+    slots: Vec<Arc<WorkerSlot>>,
+    next_slot: AtomicU64,
+    next_cell: AtomicU64,
+    next_epoch: AtomicU64,
+    cell_timeout: Duration,
+    counters: Counters,
+}
+
+impl WorkerPool {
+    /// Launches the workers and runs the startup barrier.
+    pub fn spawn(config: PoolConfig) -> Result<Arc<WorkerPool>, ProcError> {
+        let spawn_err = |m: String| ProcError::Spawn(m);
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| spawn_err(format!("cannot bind rendezvous socket: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| spawn_err(format!("cannot read rendezvous address: {e}")))?;
+        let exe = std::env::current_exe()
+            .map_err(|e| spawn_err(format!("cannot locate own executable: {e}")))?;
+
+        let mut unmatched: HashMap<u64, Child> = HashMap::new();
+        for id in 0..config.workers {
+            let mut cmd = Command::new(&exe);
+            cmd.args(&config.worker_args)
+                .env(CONNECT_ENV, addr.to_string())
+                .env(WORKER_ENV, id.to_string())
+                .stdin(Stdio::null())
+                // Workers of a test binary re-enter through libtest, which
+                // chats on stdout; none of it is protocol (IPC is TCP).
+                .stdout(Stdio::null());
+            for (key, value) in &config.worker_env {
+                cmd.env(key, value);
+            }
+            let child = cmd
+                .spawn()
+                .map_err(|e| spawn_err(format!("cannot spawn worker {id}: {e}")))?;
+            unmatched.insert(id as u64, child);
+        }
+
+        // Rendezvous: accept until every worker said hello. Non-blocking
+        // accept so a worker that dies before connecting trips the deadline
+        // instead of blocking forever.
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| spawn_err(format!("cannot configure rendezvous socket: {e}")))?;
+        let deadline = Instant::now() + config.spawn_timeout;
+        let mut slots: Vec<Arc<WorkerSlot>> = Vec::new();
+        while slots.len() < config.workers {
+            if Instant::now() > deadline {
+                for (_, mut child) in unmatched {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                return Err(spawn_err(format!(
+                    "only {}/{} workers connected within {:?}",
+                    slots.len(),
+                    config.workers,
+                    config.spawn_timeout
+                )));
+            }
+            let (stream, _) = match listener.accept() {
+                Ok(accepted) => accepted,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                    continue;
+                }
+                Err(e) => return Err(spawn_err(format!("rendezvous accept failed: {e}"))),
+            };
+            stream
+                .set_nonblocking(false)
+                .and_then(|_| stream.set_nodelay(true))
+                .and_then(|_| stream.set_read_timeout(Some(config.spawn_timeout)))
+                .map_err(|e| spawn_err(format!("cannot configure worker socket: {e}")))?;
+            let reader_stream = stream
+                .try_clone()
+                .map_err(|e| spawn_err(format!("cannot clone worker socket: {e}")))?;
+            let mut reader = BufReader::new(reader_stream);
+            let hello = read_frame(&mut reader)
+                .map_err(|e| spawn_err(format!("bad hello frame: {e}")))?
+                .ok_or_else(|| spawn_err("worker closed before hello".to_string()))?;
+            let value: Value = serde_json::from_str(&hello)
+                .map_err(|e| spawn_err(format!("hello is not JSON: {e}")))?;
+            let (tag, payload) =
+                untag(&value).map_err(|e| spawn_err(format!("bad hello envelope: {e}")))?;
+            if tag != "hello" {
+                return Err(spawn_err(format!("expected hello, got {tag:?}")));
+            }
+            let (worker, _pid) =
+                decode_hello(payload).map_err(|e| spawn_err(format!("bad hello: {e}")))?;
+            let child = unmatched
+                .remove(&worker)
+                .ok_or_else(|| spawn_err(format!("unexpected hello from worker {worker}")))?;
+            slots.push(Arc::new(WorkerSlot {
+                id: worker,
+                alive: AtomicBool::new(true),
+                state: Mutex::new(SlotState {
+                    child,
+                    reader,
+                    writer: stream,
+                    specs: HashSet::new(),
+                    config_fp: None,
+                }),
+            }));
+        }
+        slots.sort_by_key(|slot| slot.id);
+
+        let pool = Arc::new(WorkerPool {
+            slots,
+            next_slot: AtomicU64::new(0),
+            next_cell: AtomicU64::new(0),
+            next_epoch: AtomicU64::new(0),
+            cell_timeout: config.cell_timeout,
+            counters: Counters::default(),
+        });
+        // Startup collective: every worker must answer the epoch-0 barrier
+        // before any cell is dispatched.
+        pool.barrier(config.spawn_timeout);
+        if pool.alive_workers() == 0 {
+            return Err(spawn_err(
+                "all workers died during the startup barrier".to_string(),
+            ));
+        }
+        Ok(pool)
+    }
+
+    /// Number of worker slots (dead or alive).
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of workers still alive.
+    pub fn alive_workers(&self) -> u64 {
+        self.slots
+            .iter()
+            .filter(|slot| slot.alive.load(Ordering::SeqCst))
+            .count() as u64
+    }
+
+    /// Snapshot of the pool's counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers_spawned: self.slots.len() as u64,
+            workers_alive: self.alive_workers(),
+            cells_dispatched: self.counters.cells_dispatched.load(Ordering::Relaxed),
+            redispatches: self.counters.redispatches.load(Ordering::Relaxed),
+            config_broadcasts: self.counters.config_broadcasts.load(Ordering::Relaxed),
+            spec_transfers: self.counters.spec_transfers.load(Ordering::Relaxed),
+            barriers: self.counters.barriers.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs a full collective barrier (start + update polls) against every
+    /// live worker, killing any that fail to answer before `timeout`.
+    fn barrier(&self, timeout: Duration) {
+        let epoch = self.next_epoch.fetch_add(1, Ordering::SeqCst);
+        let mut collective = CollectiveBarrier::new(self, epoch);
+        collective.start();
+        let deadline = Instant::now() + timeout;
+        while !collective.update() {
+            if Instant::now() > deadline {
+                for slot in &collective.pending {
+                    let mut state = slot.lock();
+                    slot.kill(&mut state);
+                }
+                break;
+            }
+        }
+        self.counters.barriers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn acquire_slot(&self) -> Option<Arc<WorkerSlot>> {
+        let n = self.slots.len();
+        let start = self.next_slot.fetch_add(1, Ordering::Relaxed) as usize;
+        for offset in 0..n {
+            let slot = &self.slots[(start + offset) % n];
+            if slot.alive.load(Ordering::SeqCst) {
+                return Some(slot.clone());
+            }
+        }
+        None
+    }
+
+    /// Executes one sweep cell on some live worker, redispatching on worker
+    /// loss. `policy_label` must parse back to the policy that produced
+    /// `policy_name` (its `'static` display name, re-attached to the report
+    /// on this side of the wire — labels never travel).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_cell(
+        &self,
+        spec: &TaskGraphSpec,
+        policy_label: &str,
+        policy_name: &'static str,
+        policy_seed: u64,
+        config: &ExecutionConfig,
+        events: bool,
+        placements: bool,
+    ) -> Result<(ExecutionReport, Vec<TraceEvent>), ProcError> {
+        let cell = self.next_cell.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .cells_dispatched
+            .fetch_add(1, Ordering::Relaxed);
+        let config_fp = config_fingerprint(config);
+        let assignment = Assignment {
+            cell,
+            spec_fp: spec.fingerprint(),
+            policy: policy_label.to_string(),
+            policy_seed,
+            events,
+            placements,
+        };
+        loop {
+            let slot = self
+                .acquire_slot()
+                .ok_or(ProcError::AllWorkersDead { cell })?;
+            match self.dispatch_on(&slot, &assignment, spec, policy_name, config, config_fp) {
+                Ok(result) => return Ok(result),
+                Err(DispatchFailure::WorkerLost) => {
+                    self.counters.redispatches.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(DispatchFailure::Fatal(e)) => return Err(e),
+            }
+        }
+    }
+
+    fn dispatch_on(
+        &self,
+        slot: &WorkerSlot,
+        assignment: &Assignment,
+        spec: &TaskGraphSpec,
+        policy_name: &'static str,
+        config: &ExecutionConfig,
+        config_fp: u64,
+    ) -> Result<(ExecutionReport, Vec<TraceEvent>), DispatchFailure> {
+        let mut state = slot.lock();
+        if !slot.alive.load(Ordering::SeqCst) {
+            return Err(DispatchFailure::WorkerLost);
+        }
+        let lost = |slot: &WorkerSlot, state: &mut SlotState| {
+            slot.kill(state);
+            DispatchFailure::WorkerLost
+        };
+        if state
+            .reader
+            .get_ref()
+            .set_read_timeout(Some(self.cell_timeout))
+            .is_err()
+        {
+            return Err(lost(slot, &mut state));
+        }
+
+        // Config sync: only when this worker's acked fingerprint differs.
+        if state.config_fp != Some(config_fp) {
+            if write_frame(&mut state.writer, &encode_config(config_fp, config)).is_err() {
+                return Err(lost(slot, &mut state));
+            }
+            self.counters
+                .config_broadcasts
+                .fetch_add(1, Ordering::Relaxed);
+            // The conversation is serial under the slot lock, so the next
+            // frame must be the ack (or a structured rejection).
+            match read_tagged(&mut state.reader) {
+                Ok((tag, payload)) if tag == "config_ack" => {
+                    match decode_epoch(&payload, "config_ack") {
+                        Ok(epoch) if epoch == config_fp => state.config_fp = Some(config_fp),
+                        _ => return Err(lost(slot, &mut state)),
+                    }
+                }
+                Ok((tag, payload)) if tag == "error" => {
+                    let message =
+                        decode_error(&payload).unwrap_or_else(|e| format!("unreadable error: {e}"));
+                    return Err(DispatchFailure::Fatal(ProcError::Worker {
+                        worker: slot.id,
+                        message,
+                    }));
+                }
+                _ => return Err(lost(slot, &mut state)),
+            }
+        }
+
+        // Spec transfer: ship once per worker, reference by fingerprint after.
+        if !state.specs.contains(&assignment.spec_fp) {
+            if write_frame(&mut state.writer, &encode_spec(spec)).is_err() {
+                return Err(lost(slot, &mut state));
+            }
+            state.specs.insert(assignment.spec_fp);
+            self.counters.spec_transfers.fetch_add(1, Ordering::Relaxed);
+        }
+
+        if write_frame(&mut state.writer, &encode_assign(assignment)).is_err() {
+            return Err(lost(slot, &mut state));
+        }
+
+        // Await data_home / steal / done (in that order from a correct
+        // worker, but only `done` is load-bearing — the notifications are
+        // cross-checked against the report they precede).
+        let mut deferred: Option<u64> = None;
+        let mut stolen: Option<u64> = None;
+        loop {
+            let (tag, payload) = match read_tagged(&mut state.reader) {
+                Ok(parts) => parts,
+                Err(_) => return Err(lost(slot, &mut state)),
+            };
+            match tag.as_str() {
+                "data_home" => match decode_data_home(&payload) {
+                    Ok((cell, bytes)) if cell == assignment.cell => deferred = Some(bytes),
+                    _ => return Err(lost(slot, &mut state)),
+                },
+                "steal" => match decode_steal(&payload) {
+                    Ok((cell, count)) if cell == assignment.cell => stolen = Some(count),
+                    _ => return Err(lost(slot, &mut state)),
+                },
+                "done" => {
+                    let (cell, report, events) =
+                        match decode_done(&payload, spec.name.clone(), policy_name) {
+                            Ok(done) => done,
+                            Err(_) => return Err(lost(slot, &mut state)),
+                        };
+                    if cell != assignment.cell {
+                        return Err(lost(slot, &mut state));
+                    }
+                    if deferred != Some(report.deferred_bytes)
+                        || stolen != Some(report.stolen_tasks as u64)
+                    {
+                        return Err(DispatchFailure::Fatal(ProcError::Protocol {
+                            worker: slot.id,
+                            message: format!(
+                                "done for cell {cell} contradicts its notifications \
+                                 (data_home {deferred:?} vs {}, steal {stolen:?} vs {})",
+                                report.deferred_bytes, report.stolen_tasks
+                            ),
+                        }));
+                    }
+                    return Ok((report, events));
+                }
+                "error" => {
+                    let message =
+                        decode_error(&payload).unwrap_or_else(|e| format!("unreadable error: {e}"));
+                    return Err(DispatchFailure::Fatal(ProcError::Worker {
+                        worker: slot.id,
+                        message,
+                    }));
+                }
+                _ => return Err(lost(slot, &mut state)),
+            }
+        }
+    }
+}
+
+/// Reads and untags one frame; any failure (EOF, timeout, framing, JSON)
+/// collapses to `Err` — the caller kills the worker for all of them.
+fn read_tagged(reader: &mut BufReader<TcpStream>) -> Result<(String, Value), String> {
+    let line = match read_frame(reader) {
+        Ok(Some(line)) => line,
+        Ok(None) => return Err("worker closed the connection".to_string()),
+        Err(e) => return Err(format!("bad frame: {e}")),
+    };
+    let value: Value = serde_json::from_str(&line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let (tag, payload) = untag(&value)?;
+    Ok((tag, payload.clone()))
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Drain barrier: prove every channel is quiet, then dismiss the
+        // workers and reap them.
+        self.barrier(Duration::from_secs(5));
+        for slot in &self.slots {
+            if !slot.alive.load(Ordering::SeqCst) {
+                continue;
+            }
+            let mut state = slot.lock();
+            let _ = write_frame(&mut state.writer, &encode_shutdown());
+        }
+        for slot in &self.slots {
+            let mut state = slot.lock();
+            let deadline = Instant::now() + Duration::from_secs(5);
+            loop {
+                match state.child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(10))
+                    }
+                    _ => {
+                        let _ = state.child.kill();
+                        let _ = state.child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// oneCCL-style non-blocking barrier: `start()` posts the barrier message to
+/// every live worker, `update()` polls each pending worker with a short read
+/// deadline and reports completion. Workers that fail mid-barrier are killed
+/// and dropped from the pending set (a dead worker cannot hold a barrier).
+struct CollectiveBarrier<'p> {
+    pool: &'p WorkerPool,
+    epoch: u64,
+    pending: Vec<Arc<WorkerSlot>>,
+    started: bool,
+}
+
+impl<'p> CollectiveBarrier<'p> {
+    fn new(pool: &'p WorkerPool, epoch: u64) -> Self {
+        CollectiveBarrier {
+            pool,
+            epoch,
+            pending: pool
+                .slots
+                .iter()
+                .filter(|slot| slot.alive.load(Ordering::SeqCst))
+                .cloned()
+                .collect(),
+            started: false,
+        }
+    }
+
+    fn start(&mut self) {
+        let epoch = self.epoch;
+        self.pending.retain(|slot| {
+            let mut state = slot.lock();
+            if write_frame(&mut state.writer, &encode_barrier(epoch)).is_err() {
+                slot.kill(&mut state);
+                return false;
+            }
+            true
+        });
+        self.started = true;
+        let _ = self.pool; // pool is the lifetime anchor; counters live there
+    }
+
+    /// One poll round; returns true when every pending worker has answered.
+    fn update(&mut self) -> bool {
+        assert!(self.started, "update() before start()");
+        let epoch = self.epoch;
+        self.pending.retain(|slot| {
+            let mut state = slot.lock();
+            if state
+                .reader
+                .get_ref()
+                .set_read_timeout(Some(Duration::from_millis(25)))
+                .is_err()
+            {
+                slot.kill(&mut state);
+                return false;
+            }
+            match read_frame(&mut state.reader) {
+                Ok(Some(line)) => {
+                    let acked = serde_json::from_str(&line).ok().and_then(|value| {
+                        untag(&value).ok().and_then(|(tag, payload)| {
+                            if tag == "barrier_ack" {
+                                decode_epoch(payload, "barrier_ack").ok()
+                            } else {
+                                None
+                            }
+                        })
+                    }) == Some(epoch);
+                    if acked {
+                        false // answered: out of the pending set
+                    } else {
+                        // Anything else on a quiesced channel is corruption.
+                        slot.kill(&mut state);
+                        false
+                    }
+                }
+                Err(FrameError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    true // still pending
+                }
+                Ok(None) | Err(_) => {
+                    slot.kill(&mut state);
+                    false
+                }
+            }
+        });
+        self.pending.is_empty()
+    }
+}
+
+static SHARED: OnceLock<Mutex<Weak<WorkerPool>>> = OnceLock::new();
+
+/// Returns the process-wide shared pool, spawning one if none is live or
+/// the live one is smaller than `config.workers`. Executors hold `Arc`s;
+/// the pool shuts its workers down when the last executor drops.
+pub fn shared_pool(config: PoolConfig) -> Result<Arc<WorkerPool>, ProcError> {
+    let cell = SHARED.get_or_init(|| Mutex::new(Weak::new()));
+    let mut guard = match cell.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(pool) = guard.upgrade() {
+        if pool.num_slots() >= config.workers && pool.alive_workers() > 0 {
+            return Ok(pool);
+        }
+    }
+    let pool = WorkerPool::spawn(config)?;
+    *guard = Arc::downgrade(&pool);
+    Ok(pool)
+}

@@ -1,0 +1,257 @@
+//! Worker-process side of the proc backend.
+//!
+//! A worker is the same executable as the coordinator, re-entered through
+//! [`crate::maybe_run_worker`]: the pool self-execs `current_exe()` with a
+//! `--proc-worker` argument and passes the coordinator's socket address via
+//! the environment. The worker connects back, introduces itself with
+//! `hello`, and then serves a simple request loop — `config`, `spec`,
+//! `assign`, `barrier`, `shutdown` — until the coordinator closes the
+//! conversation. All randomness comes from the seeds in the messages, so a
+//! cell executed here is byte-identical to the same cell executed by an
+//! in-process [`Simulator`].
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use numadag_core::{make_policy, PolicyKind};
+use numadag_runtime::framing::{read_frame, untag, write_frame, FrameError};
+use numadag_runtime::{ExecutionConfig, Simulator};
+use numadag_tdg::TaskGraphSpec;
+use numadag_trace::MemorySink;
+use serde::Value;
+
+use crate::protocol::{
+    decode_assign, decode_config, decode_epoch, decode_spec, encode_barrier_ack, encode_config_ack,
+    encode_data_home, encode_done, encode_error, encode_hello, encode_steal,
+};
+
+/// Environment variable carrying the coordinator's `host:port`.
+pub const CONNECT_ENV: &str = "NUMADAG_PROC_CONNECT";
+/// Environment variable carrying this worker's numeric id.
+pub const WORKER_ENV: &str = "NUMADAG_PROC_WORKER";
+/// The argv flag the pool appends to re-enter the executable as a worker.
+pub const WORKER_FLAG: &str = "--proc-worker";
+
+/// Fault injection (tests only): exit the process hard on assignment
+/// `N + 1`, before any reply, simulating a mid-cell crash.
+pub const CRASH_AFTER_ENV: &str = "NUMADAG_PROC_CRASH_AFTER";
+/// Fault injection (tests only): restrict [`CRASH_AFTER_ENV`] /
+/// [`GARBAGE_AFTER_ENV`] to the worker with this id.
+pub const CRASH_WORKER_ENV: &str = "NUMADAG_PROC_CRASH_WORKER";
+/// Fault injection (tests only): on assignment `N + 1`, write a line that is
+/// not valid JSON instead of the `done` reply.
+pub const GARBAGE_AFTER_ENV: &str = "NUMADAG_PROC_GARBAGE_AFTER";
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+struct FaultPlan {
+    crash_after: Option<u64>,
+    garbage_after: Option<u64>,
+}
+
+impl FaultPlan {
+    fn from_env(worker: u64) -> FaultPlan {
+        let applies = match env_u64(CRASH_WORKER_ENV) {
+            Some(target) => target == worker,
+            None => true,
+        };
+        FaultPlan {
+            crash_after: env_u64(CRASH_AFTER_ENV).filter(|_| applies),
+            garbage_after: env_u64(GARBAGE_AFTER_ENV).filter(|_| applies),
+        }
+    }
+}
+
+/// Runs the worker loop, connecting to the address in [`CONNECT_ENV`].
+/// Returns when the coordinator sends `shutdown` or closes the socket;
+/// errors are connection-level failures (protocol-level problems are
+/// reported back to the coordinator as `error` messages instead).
+pub fn run_worker_from_env() -> Result<(), String> {
+    let addr = std::env::var(CONNECT_ENV)
+        .map_err(|_| format!("{CONNECT_ENV} is not set: not launched by a worker pool"))?;
+    let worker =
+        env_u64(WORKER_ENV).ok_or_else(|| format!("{WORKER_ENV} is not set or not a number"))?;
+    let stream = TcpStream::connect(&addr)
+        .map_err(|e| format!("worker {worker}: cannot connect to coordinator {addr}: {e}"))?;
+    stream
+        .set_nodelay(true)
+        .map_err(|e| format!("worker {worker}: set_nodelay failed: {e}"))?;
+    let writer = stream
+        .try_clone()
+        .map_err(|e| format!("worker {worker}: cannot clone socket: {e}"))?;
+    run_worker(
+        worker,
+        BufReader::new(stream),
+        writer,
+        FaultPlan::from_env(worker),
+    )
+    .map_err(|e| format!("worker {worker}: {e}"))
+}
+
+fn run_worker(
+    worker: u64,
+    mut reader: BufReader<TcpStream>,
+    mut writer: TcpStream,
+    faults: FaultPlan,
+) -> Result<(), String> {
+    use std::io::Write as _;
+
+    let send = |writer: &mut TcpStream, value: &Value| -> Result<(), String> {
+        write_frame(writer, value).map_err(|e| format!("write to coordinator failed: {e}"))
+    };
+
+    send(
+        &mut writer,
+        &encode_hello(worker, std::process::id() as u64),
+    )?;
+
+    let mut base_config: Option<ExecutionConfig> = None;
+    let mut specs: HashMap<u64, TaskGraphSpec> = HashMap::new();
+    let mut assigns_seen: u64 = 0;
+
+    loop {
+        let line = match read_frame(&mut reader) {
+            Ok(Some(line)) => line,
+            // Coordinator gone (clean close either way): nothing left to do.
+            Ok(None) | Err(FrameError::Io(_)) => return Ok(()),
+            Err(e) => {
+                // A malformed frame *from the coordinator* is unrecoverable
+                // (framing is lost), but say so before going.
+                let _ = write_frame(&mut writer, &encode_error(&format!("bad frame: {e}")));
+                return Err(format!("coordinator sent an unreadable frame: {e}"));
+            }
+        };
+        let value: Value = match serde_json::from_str(&line) {
+            Ok(value) => value,
+            Err(e) => {
+                let _ = write_frame(&mut writer, &encode_error(&format!("bad frame: {e}")));
+                return Err(format!("coordinator sent invalid JSON: {e}"));
+            }
+        };
+        let (tag, payload) = match untag(&value) {
+            Ok(parts) => parts,
+            Err(e) => {
+                send(&mut writer, &encode_error(&format!("bad envelope: {e}")))?;
+                continue;
+            }
+        };
+        match tag.as_str() {
+            "config" => match decode_config(payload) {
+                Ok((epoch, config)) => {
+                    base_config = Some(config);
+                    send(&mut writer, &encode_config_ack(epoch))?;
+                }
+                Err(e) => send(&mut writer, &encode_error(&format!("bad config: {e}")))?,
+            },
+            "spec" => match decode_spec(payload) {
+                Ok((fp, spec)) => {
+                    specs.insert(fp, spec);
+                }
+                Err(e) => send(&mut writer, &encode_error(&format!("bad spec: {e}")))?,
+            },
+            "assign" => {
+                assigns_seen += 1;
+                if matches!(faults.crash_after, Some(n) if assigns_seen > n) {
+                    // Simulated crash: die without a word, mid-cell.
+                    std::process::exit(3);
+                }
+                let assign = match decode_assign(payload) {
+                    Ok(assign) => assign,
+                    Err(e) => {
+                        send(&mut writer, &encode_error(&format!("bad assign: {e}")))?;
+                        continue;
+                    }
+                };
+                let config = match &base_config {
+                    Some(config) => config,
+                    None => {
+                        send(
+                            &mut writer,
+                            &encode_error("assign before any config was shipped"),
+                        )?;
+                        continue;
+                    }
+                };
+                let spec = match specs.get(&assign.spec_fp) {
+                    Some(spec) => spec,
+                    None => {
+                        send(
+                            &mut writer,
+                            &encode_error(&format!(
+                                "assign references unknown spec {:#x}",
+                                assign.spec_fp
+                            )),
+                        )?;
+                        continue;
+                    }
+                };
+                let kind = match assign.policy.parse::<PolicyKind>() {
+                    Ok(kind) => kind,
+                    Err(e) => {
+                        send(&mut writer, &encode_error(&format!("bad policy: {e}")))?;
+                        continue;
+                    }
+                };
+                let mut policy = match make_policy(kind, spec, assign.policy_seed) {
+                    Some(policy) => policy,
+                    None => {
+                        send(
+                            &mut writer,
+                            &encode_error(&format!(
+                                "policy {:?} is unavailable for workload {:?} \
+                                 (no expert placement?)",
+                                assign.policy, spec.name
+                            )),
+                        )?;
+                        continue;
+                    }
+                };
+                let mut cell_config = config.clone();
+                if assign.placements {
+                    cell_config = cell_config.with_trace();
+                }
+                let sink = if assign.events {
+                    let sink = Arc::new(MemorySink::new());
+                    cell_config = cell_config.with_trace_sink(sink.clone());
+                    Some(sink)
+                } else {
+                    None
+                };
+                let report = Simulator::new(cell_config).run(spec, policy.as_mut());
+                let events = sink.map(|s| s.take()).unwrap_or_default();
+                if matches!(faults.garbage_after, Some(n) if assigns_seen > n) {
+                    // Simulated corruption: an unparseable line where the
+                    // replies should be.
+                    writer
+                        .write_all(b"{this is not json\n")
+                        .map_err(|e| format!("write to coordinator failed: {e}"))?;
+                    continue;
+                }
+                send(
+                    &mut writer,
+                    &encode_data_home(assign.cell, report.deferred_bytes),
+                )?;
+                send(
+                    &mut writer,
+                    &encode_steal(assign.cell, report.stolen_tasks as u64),
+                )?;
+                send(&mut writer, &encode_done(assign.cell, &report, &events))?;
+            }
+            "barrier" => match decode_epoch(payload, "barrier") {
+                Ok(epoch) => send(&mut writer, &encode_barrier_ack(epoch))?,
+                Err(e) => send(&mut writer, &encode_error(&format!("bad barrier: {e}")))?,
+            },
+            "shutdown" => return Ok(()),
+            other => {
+                send(
+                    &mut writer,
+                    &encode_error(&format!("unknown message {other:?}")),
+                )?;
+            }
+        }
+    }
+}

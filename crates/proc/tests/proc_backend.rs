@@ -1,0 +1,290 @@
+//! End-to-end tests of the multi-process backend: real worker processes,
+//! real sockets, fault injection.
+//!
+//! The worker processes are this very test binary, re-entered through the
+//! [`proc_worker_entry`] test (the pool passes `proc_worker_entry --exact`
+//! as the worker argv). IPC runs over TCP, so libtest's stdout chatter in
+//! the children is harmless.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use numadag_core::{make_policy, PolicyKind};
+use numadag_numa::Topology;
+use numadag_proc::worker::{CRASH_AFTER_ENV, CRASH_WORKER_ENV, GARBAGE_AFTER_ENV};
+use numadag_proc::{PoolConfig, ProcError, ProcExecutor, WorkerPool, CONNECT_ENV};
+use numadag_runtime::{CellContext, ExecutionConfig, ExecutionReport, Executor, Simulator};
+use numadag_tdg::{TaskGraphSpec, TaskSpec, TdgBuilder};
+use numadag_trace::MemorySink;
+
+/// Worker re-entry point: when the pool launches this binary with the
+/// rendezvous environment set, this "test" becomes the worker loop. Run
+/// normally (no environment), it is an instant no-op pass.
+#[test]
+fn proc_worker_entry() {
+    if std::env::var(CONNECT_ENV).is_ok() {
+        numadag_proc::run_worker_from_env().expect("worker loop failed");
+    }
+}
+
+fn test_pool(workers: usize, env: &[(&str, &str)]) -> Arc<WorkerPool> {
+    let mut config = PoolConfig::new(workers)
+        .with_worker_args(vec!["proc_worker_entry".to_string(), "--exact".to_string()]);
+    config.spawn_timeout = Duration::from_secs(60);
+    config.cell_timeout = Duration::from_secs(60);
+    for (key, value) in env {
+        config = config.with_env(key, value);
+    }
+    WorkerPool::spawn(config).expect("worker pool spawns")
+}
+
+fn sample_spec() -> TaskGraphSpec {
+    let mut b = TdgBuilder::new();
+    let regions: Vec<_> = (0..6).map(|_| b.region(1 << 16)).collect();
+    for r in &regions {
+        b.submit(TaskSpec::new("init").work(50.0).writes(*r, 1 << 16));
+    }
+    for pair in regions.windows(2) {
+        b.submit(
+            TaskSpec::new("mix")
+                .work(120.0)
+                .reads(pair[0], 1 << 14)
+                .reads_writes(pair[1], 1 << 14),
+        );
+    }
+    let (graph, sizes) = b.finish();
+    TaskGraphSpec::new("proc-e2e", graph, sizes)
+}
+
+fn local_report(
+    spec: &TaskGraphSpec,
+    kind: PolicyKind,
+    seed: u64,
+    config: &ExecutionConfig,
+) -> ExecutionReport {
+    let mut policy = make_policy(kind, spec, seed).expect("policy builds");
+    Simulator::new(config.clone()).run(spec, policy.as_mut())
+}
+
+fn assert_reports_identical(got: &ExecutionReport, want: &ExecutionReport) {
+    assert_eq!(got.workload, want.workload);
+    assert_eq!(got.policy, want.policy);
+    assert_eq!(got.makespan_ns.to_bits(), want.makespan_ns.to_bits());
+    assert_eq!(got.tasks, want.tasks);
+    assert_eq!(got.traffic, want.traffic);
+    assert_eq!(got.tasks_per_socket, want.tasks_per_socket);
+    assert_eq!(
+        got.busy_per_socket.len(),
+        want.busy_per_socket.len(),
+        "socket counts differ"
+    );
+    for (g, w) in got.busy_per_socket.iter().zip(want.busy_per_socket.iter()) {
+        assert_eq!(g.to_bits(), w.to_bits());
+    }
+    assert_eq!(got.stolen_tasks, want.stolen_tasks);
+    assert_eq!(got.deferred_bytes, want.deferred_bytes);
+    assert_eq!(got.trace, want.trace);
+}
+
+#[test]
+fn proc_cells_are_bit_identical_to_the_in_process_simulator() {
+    let pool = test_pool(2, &[]);
+    let spec = sample_spec();
+    let config = ExecutionConfig::new(Topology::bullion_s16());
+    for (label, seed) in [
+        ("las", 11u64),
+        ("dfifo", 12),
+        ("rgp+las", 13),
+        ("rgp+rr", 14),
+    ] {
+        let kind: PolicyKind = label.parse().expect("label parses");
+        let want = local_report(&spec, kind, seed, &config);
+        let (got, events) = pool
+            .run_cell(&spec, label, kind.base_label(), seed, &config, false, false)
+            .expect("cell executes");
+        assert!(events.is_empty(), "no events were requested");
+        assert_reports_identical(&got, &want);
+    }
+    let stats = pool.stats();
+    assert_eq!(stats.workers_spawned, 2);
+    assert_eq!(stats.workers_alive, 2);
+    assert_eq!(stats.cells_dispatched, 4);
+    assert_eq!(stats.redispatches, 0);
+    // Round-robin touched both workers, so config and spec each shipped
+    // once per worker, not once per cell.
+    assert_eq!(stats.config_broadcasts, 2);
+    assert_eq!(stats.spec_transfers, 2);
+}
+
+#[test]
+fn traces_and_events_travel_back_across_the_wire() {
+    let pool = test_pool(2, &[]);
+    let spec = sample_spec();
+    let kind: PolicyKind = "rgp+las".parse().unwrap();
+    let seed = 0xF1617E;
+
+    let sink = Arc::new(MemorySink::new());
+    let local_config = ExecutionConfig::new(Topology::two_socket(4))
+        .with_trace()
+        .with_trace_sink(sink.clone());
+    let want = local_report(&spec, kind, seed, &local_config);
+    let want_events = sink.take();
+    assert!(!want.trace.is_empty(), "placement trace was collected");
+    assert!(!want_events.is_empty(), "events were collected");
+
+    let wire_config = ExecutionConfig::new(Topology::two_socket(4));
+    let (got, events) = pool
+        .run_cell(
+            &spec,
+            "rgp+las",
+            kind.base_label(),
+            seed,
+            &wire_config.clone().with_trace(),
+            true,
+            true,
+        )
+        .expect("traced cell executes");
+    assert_reports_identical(&got, &want);
+    assert_eq!(events, want_events);
+}
+
+#[test]
+fn executor_trait_ships_cells_and_forwards_events() {
+    let pool = test_pool(2, &[]);
+    let spec = sample_spec();
+    let kind: PolicyKind = "las".parse().unwrap();
+    let seed = 21;
+
+    let sink = Arc::new(MemorySink::new());
+    let config = ExecutionConfig::new(Topology::four_socket(2))
+        .with_trace()
+        .with_trace_sink(sink.clone());
+    let executor = ProcExecutor::with_pool(config.clone(), pool);
+    assert_eq!(executor.backend_name(), "proc");
+
+    let mut policy = make_policy(kind, &spec, seed).unwrap();
+    let ctx = CellContext {
+        policy_label: "las",
+        seed,
+    };
+    let report = executor.execute_cell(&spec, policy.as_mut(), Some(&ctx));
+    let remote_events = sink.take();
+
+    let local_sink = Arc::new(MemorySink::new());
+    let local_config = config.with_trace_sink(local_sink.clone());
+    let want = local_report(&spec, kind, seed, &local_config);
+    assert_reports_identical(&report, &want);
+    assert_eq!(remote_events, local_sink.take());
+    assert_eq!(executor.stats().expect("pool attached").workers_spawned, 2);
+}
+
+#[test]
+fn a_crashing_worker_is_killed_and_its_cell_redispatched() {
+    // Worker 0 dies hard on its second assignment, mid-cell.
+    let pool = test_pool(2, &[(CRASH_AFTER_ENV, "1"), (CRASH_WORKER_ENV, "0")]);
+    let spec = sample_spec();
+    let config = ExecutionConfig::new(Topology::two_socket(2));
+    let kind: PolicyKind = "las".parse().unwrap();
+    let want = local_report(&spec, kind, 5, &config);
+    for _ in 0..6 {
+        let (got, _) = pool
+            .run_cell(&spec, "las", kind.base_label(), 5, &config, false, false)
+            .expect("cells survive the crash via redispatch");
+        assert_reports_identical(&got, &want);
+    }
+    let stats = pool.stats();
+    assert_eq!(stats.workers_alive, 1, "the crashed worker is gone");
+    assert!(stats.redispatches >= 1, "the lost cell was redispatched");
+    assert_eq!(stats.cells_dispatched, 6, "no cell was lost or duplicated");
+}
+
+#[test]
+fn garbage_frames_kill_the_worker_not_the_coordinator() {
+    // Worker 0 answers its second assignment with a line that is not JSON.
+    let pool = test_pool(2, &[(GARBAGE_AFTER_ENV, "1"), (CRASH_WORKER_ENV, "0")]);
+    let spec = sample_spec();
+    let config = ExecutionConfig::new(Topology::two_socket(2));
+    let kind: PolicyKind = "dfifo".parse().unwrap();
+    let want = local_report(&spec, kind, 6, &config);
+    for _ in 0..6 {
+        let (got, _) = pool
+            .run_cell(&spec, "dfifo", kind.base_label(), 6, &config, false, false)
+            .expect("cells survive the corruption via redispatch");
+        assert_reports_identical(&got, &want);
+    }
+    let stats = pool.stats();
+    assert_eq!(stats.workers_alive, 1, "the corrupting worker was killed");
+    assert!(stats.redispatches >= 1);
+}
+
+#[test]
+fn losing_every_worker_is_a_structured_error_not_a_hang() {
+    // The only worker crashes on its first assignment.
+    let pool = test_pool(1, &[(CRASH_AFTER_ENV, "0")]);
+    let spec = sample_spec();
+    let config = ExecutionConfig::new(Topology::two_socket(2));
+    let err = pool
+        .run_cell(&spec, "las", "LAS", 7, &config, false, false)
+        .expect_err("no worker can run the cell");
+    assert!(
+        matches!(err, ProcError::AllWorkersDead { .. }),
+        "unexpected error: {err}"
+    );
+    assert_eq!(pool.stats().workers_alive, 0);
+}
+
+#[test]
+fn a_worker_side_failure_propagates_as_a_deterministic_error() {
+    let pool = test_pool(2, &[]);
+    // EP needs an expert placement; this spec has none, so the worker
+    // answers with a structured `error` — which must NOT be retried (it
+    // would fail identically everywhere).
+    let spec = sample_spec();
+    let config = ExecutionConfig::new(Topology::two_socket(2));
+    let err = pool
+        .run_cell(&spec, "ep", "EP", 8, &config, false, false)
+        .expect_err("EP without a placement fails");
+    match &err {
+        ProcError::Worker { message, .. } => {
+            assert!(message.contains("unavailable"), "message: {message}");
+        }
+        other => panic!("expected a worker error, got {other}"),
+    }
+    let stats = pool.stats();
+    assert_eq!(
+        stats.workers_alive, 2,
+        "a deterministic failure kills nobody"
+    );
+    assert_eq!(
+        stats.redispatches, 0,
+        "deterministic failures are not retried"
+    );
+    // The pool is still healthy: the next cell runs fine.
+    let kind: PolicyKind = "las".parse().unwrap();
+    let want = local_report(&spec, kind, 9, &config);
+    let (got, _) = pool
+        .run_cell(&spec, "las", kind.base_label(), 9, &config, false, false)
+        .expect("pool still serves cells");
+    assert_reports_identical(&got, &want);
+}
+
+#[test]
+fn config_changes_resync_by_fingerprint() {
+    let pool = test_pool(1, &[]);
+    let spec = sample_spec();
+    let kind: PolicyKind = "las".parse().unwrap();
+    let first = ExecutionConfig::new(Topology::two_socket(2));
+    let second = ExecutionConfig::new(Topology::multi_node(2, 2, 2, 120));
+    for config in [&first, &second, &first] {
+        let want = local_report(&spec, kind, 3, config);
+        let (got, _) = pool
+            .run_cell(&spec, "las", kind.base_label(), 3, config, false, false)
+            .expect("cell executes");
+        assert_reports_identical(&got, &want);
+    }
+    // Three cells, but the config changed between each, so every dispatch
+    // re-broadcast it; the spec shipped only once.
+    let stats = pool.stats();
+    assert_eq!(stats.config_broadcasts, 3);
+    assert_eq!(stats.spec_transfers, 1);
+}

@@ -35,7 +35,7 @@ use numadag_trace::{MemorySink, Trace, TraceCollector};
 use serde::Serialize;
 
 use crate::config::ExecutionConfig;
-use crate::executor::Executor;
+use crate::executor::{CellContext, Executor};
 use crate::experiment::{aggregate, mean, Backend, SweepCell, SweepReport};
 
 /// One workload of a [`SweepPlan`]: a label, a scale label and the shared,
@@ -207,7 +207,7 @@ impl SweepPlan {
             self,
             outcomes,
             &machine,
-            self.backend.label(),
+            self.backend.report_label(),
             workers,
             total_wall,
         )
@@ -420,7 +420,7 @@ impl SweepDriver {
             plan,
             outcomes,
             &machine,
-            plan.backend.label(),
+            plan.backend.report_label(),
             workers,
             t0.elapsed(),
         )
@@ -552,6 +552,13 @@ fn run_job(
     let Some(mut policy) = make_policy(kind, &workload.spec, seed) else {
         return CellOutcome::Skipped;
     };
+    // The label/seed pair lets out-of-process backends rebuild the policy
+    // remotely; in-process backends ignore it (default execute_cell).
+    let policy_label = kind.label();
+    let ctx = CellContext {
+        policy_label: &policy_label,
+        seed,
+    };
     let report = match plan.trace.as_ref().filter(|_| allow_trace) {
         Some(collector) => {
             // Traced cells run on a dedicated executor whose config carries
@@ -562,7 +569,7 @@ fn run_job(
             let traced = plan
                 .backend
                 .executor(plan.config.clone().with_trace_sink(sink.clone()));
-            let report = traced.execute(&workload.spec, policy.as_mut());
+            let report = traced.execute_cell(&workload.spec, policy.as_mut(), Some(&ctx));
             collector.record(Trace {
                 workload: workload.label.clone(),
                 policy: kind.label(),
@@ -576,7 +583,7 @@ fn run_job(
             });
             report
         }
-        None => executor.execute(&workload.spec, policy.as_mut()),
+        None => executor.execute_cell(&workload.spec, policy.as_mut(), Some(&ctx)),
     };
     let partition_stats = policy.partition_stats().unwrap_or_default();
     CellOutcome::Measured(CellMeasurement {

@@ -7,11 +7,32 @@
 //! against `dyn Executor` (usually via [`crate::Experiment`]) and choose the
 //! backend at runtime.
 
+use std::sync::OnceLock;
+
 use numadag_core::SchedulingPolicy;
 use numadag_tdg::TaskGraphSpec;
 
 use crate::config::ExecutionConfig;
 use crate::report::ExecutionReport;
+
+/// Out-of-band description of the sweep cell an execution belongs to.
+///
+/// The sharded [`crate::SweepDriver`] knows which [`numadag_core::PolicyKind`]
+/// and seed produced the `&mut dyn SchedulingPolicy` it hands to an executor,
+/// but the trait object itself cannot be serialized. Backends that ship work
+/// to other processes (the `numadag-proc` coordinator) need that provenance to
+/// rebuild the policy remotely, so the driver passes it alongside the call via
+/// [`Executor::execute_cell`]. In-process backends ignore it — keeping the hot
+/// [`SchedulingPolicy::assign`] path free of any extra indirection.
+#[derive(Debug, Clone, Copy)]
+pub struct CellContext<'a> {
+    /// Canonical policy label, parseable by
+    /// `numadag_core::PolicyKind::from_str` (e.g. `"rgp-las"`,
+    /// `"rgp-las[win=64]"`).
+    pub policy_label: &'a str,
+    /// The seed the policy instance was built with.
+    pub seed: u64,
+}
 
 /// A backend that can execute a task-graph workload under a scheduling
 /// policy and measure the result.
@@ -23,8 +44,8 @@ use crate::report::ExecutionReport;
 /// `Send + Sync` are supertraits so executors can be constructed and owned
 /// per worker thread by the sharded [`crate::SweepDriver`].
 pub trait Executor: Send + Sync {
-    /// Short stable backend name (`"simulator"`, `"threaded"`), used in
-    /// sweep reports and CLI arguments.
+    /// Short stable backend name (`"simulator"`, `"threaded"`, `"proc"`),
+    /// used in sweep reports and CLI arguments.
     fn backend_name(&self) -> &'static str;
 
     /// The machine configuration this executor runs.
@@ -35,6 +56,42 @@ pub trait Executor: Send + Sync {
     /// # Panics
     /// Panics if the workload is invalid (see [`TaskGraphSpec::validate`]).
     fn execute(&self, spec: &TaskGraphSpec, policy: &mut dyn SchedulingPolicy) -> ExecutionReport;
+
+    /// Runs one sweep cell, with optional provenance ([`CellContext`]) for
+    /// backends that need to reconstruct the policy elsewhere.
+    ///
+    /// The default implementation ignores the context and delegates to
+    /// [`Executor::execute`]; in-process backends need not override it. The
+    /// sweep driver always calls this entry point with `Some(ctx)`.
+    fn execute_cell(
+        &self,
+        spec: &TaskGraphSpec,
+        policy: &mut dyn SchedulingPolicy,
+        ctx: Option<&CellContext<'_>>,
+    ) -> ExecutionReport {
+        let _ = ctx;
+        self.execute(spec, policy)
+    }
+}
+
+/// Constructor signature for the out-of-crate `proc` backend: takes the
+/// execution config and the worker-process count, returns the executor.
+pub type ProcFactory = Box<dyn Fn(ExecutionConfig, usize) -> Box<dyn Executor> + Send + Sync>;
+
+static PROC_FACTORY: OnceLock<ProcFactory> = OnceLock::new();
+
+/// Installs the factory behind `Backend::Proc`.
+///
+/// `numadag-proc` depends on this crate, so the runtime cannot name the
+/// multi-process executor directly; instead `numadag_proc::install()` calls
+/// this once at startup. Later registrations are ignored (first wins).
+pub fn register_proc_backend(factory: ProcFactory) {
+    let _ = PROC_FACTORY.set(factory);
+}
+
+/// Builds a proc-backend executor, or `None` if no factory was installed.
+pub(crate) fn proc_executor(config: ExecutionConfig, workers: usize) -> Option<Box<dyn Executor>> {
+    PROC_FACTORY.get().map(|f| f(config, workers))
 }
 
 #[cfg(test)]
@@ -74,5 +131,21 @@ mod tests {
             assert_eq!(report.tasks, 2);
             assert!(report.makespan_ns > 0.0);
         }
+    }
+
+    #[test]
+    fn execute_cell_defaults_to_execute_for_in_process_backends() {
+        let spec = toy_spec();
+        let sim = Simulator::new(ExecutionConfig::new(Topology::two_socket(2)));
+        let ctx = CellContext {
+            policy_label: "las",
+            seed: 7,
+        };
+        let mut p1 = LasPolicy::new(1);
+        let mut p2 = LasPolicy::new(1);
+        let with_ctx = sim.execute_cell(&spec, &mut p1, Some(&ctx));
+        let without = sim.execute_cell(&spec, &mut p2, None);
+        assert_eq!(with_ctx.makespan_ns, without.makespan_ns);
+        assert_eq!(with_ctx.tasks_per_socket, without.tasks_per_socket);
     }
 }

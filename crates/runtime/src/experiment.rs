@@ -64,22 +64,58 @@ pub enum Backend {
     /// The real work-stealing thread pool (placement and traffic statistics
     /// only; wall-clock makespans depend on the host machine).
     Threaded,
+    /// The multi-process message-passing coordinator (`numadag-proc`):
+    /// sweep cells are shipped over local-socket JSON IPC to worker
+    /// processes, each running the deterministic simulator. Requires
+    /// `numadag_proc::install()` to have been called.
+    Proc {
+        /// Number of worker processes to spawn.
+        workers: usize,
+    },
 }
 
 impl Backend {
-    /// Stable name, matching [`Executor::backend_name`].
+    /// The proc backend with its default worker count (2).
+    pub fn proc() -> Backend {
+        Backend::Proc { workers: 2 }
+    }
+
+    /// Stable name, matching [`Executor::backend_name`]. The proc backend's
+    /// label is `"proc"` for every worker count — the pool size is an
+    /// execution detail, not part of the sweep's identity.
     pub fn label(&self) -> &'static str {
         match self {
             Backend::Simulated => "simulator",
             Backend::Threaded => "threaded",
+            Backend::Proc { .. } => "proc",
+        }
+    }
+
+    /// Backend name to record in measurement reports.
+    ///
+    /// The proc backend distributes cells to worker processes that each run
+    /// the deterministic [`Simulator`], so its measurements *are* simulator
+    /// measurements — reports label them `"simulator"` and stay
+    /// byte-identical to in-process simulator baselines. The other backends
+    /// report their own [`Backend::label`].
+    pub fn report_label(&self) -> &'static str {
+        match self {
+            Backend::Proc { .. } => Backend::Simulated.label(),
+            other => other.label(),
         }
     }
 
     /// Builds the executor for this backend.
+    ///
+    /// # Panics
+    /// Panics for [`Backend::Proc`] if no proc factory was registered (call
+    /// `numadag_proc::install()` at startup).
     pub fn executor(&self, config: ExecutionConfig) -> Box<dyn Executor> {
         match self {
             Backend::Simulated => Box::new(Simulator::new(config)),
             Backend::Threaded => Box::new(ThreadedExecutor::new(config)),
+            Backend::Proc { workers } => crate::executor::proc_executor(config, *workers)
+                .expect("proc backend not installed: call numadag_proc::install() at startup"),
         }
     }
 }
@@ -88,11 +124,26 @@ impl std::str::FromStr for Backend {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.trim().to_ascii_lowercase().as_str() {
+        let text = s.trim().to_ascii_lowercase();
+        if let Some(count) = text
+            .strip_prefix("proc:w=")
+            .or_else(|| text.strip_prefix("proc:workers="))
+        {
+            let workers: usize = count
+                .parse()
+                .map_err(|_| format!("invalid proc worker count {count:?}"))?;
+            if workers == 0 {
+                return Err("proc backend needs at least 1 worker".to_string());
+            }
+            return Ok(Backend::Proc { workers });
+        }
+        match text.as_str() {
             "sim" | "simulated" | "simulator" => Ok(Backend::Simulated),
             "thread" | "threads" | "threaded" => Ok(Backend::Threaded),
+            "proc" | "process" | "processes" => Ok(Backend::proc()),
             other => Err(format!(
-                "unknown backend {other:?} (expected \"simulated\" or \"threaded\")"
+                "unknown backend {other:?} (expected \"simulated\", \"threaded\", \
+                 \"proc\" or \"proc:w=N\")"
             )),
         }
     }
@@ -812,9 +863,30 @@ mod tests {
 
     #[test]
     fn backend_labels_parse_back() {
-        for backend in [Backend::Simulated, Backend::Threaded] {
+        for backend in [Backend::Simulated, Backend::Threaded, Backend::proc()] {
             assert_eq!(backend.label().parse::<Backend>(), Ok(backend));
         }
         assert!("gpu".parse::<Backend>().is_err());
+    }
+
+    #[test]
+    fn proc_backend_parses_worker_counts_and_reports_as_simulator() {
+        assert_eq!("proc".parse::<Backend>(), Ok(Backend::Proc { workers: 2 }));
+        assert_eq!(
+            "proc:w=4".parse::<Backend>(),
+            Ok(Backend::Proc { workers: 4 })
+        );
+        assert_eq!(
+            "proc:workers=3".parse::<Backend>(),
+            Ok(Backend::Proc { workers: 3 })
+        );
+        assert!("proc:w=0".parse::<Backend>().is_err());
+        assert!("proc:w=x".parse::<Backend>().is_err());
+        // Proc workers run the deterministic simulator, so measurement
+        // reports carry the simulator label and stay baseline-compatible.
+        assert_eq!(Backend::proc().label(), "proc");
+        assert_eq!(Backend::proc().report_label(), "simulator");
+        assert_eq!(Backend::Threaded.report_label(), "threaded");
+        assert_eq!(Backend::Simulated.report_label(), "simulator");
     }
 }

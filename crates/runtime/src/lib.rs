@@ -66,6 +66,7 @@ pub mod driver;
 pub mod event_queue;
 pub mod executor;
 pub mod experiment;
+pub mod framing;
 pub mod report;
 pub mod simulator;
 pub mod threaded;
@@ -77,8 +78,9 @@ pub use driver::{
     SweepJob, SweepPlan, SweepTiming,
 };
 pub use event_queue::{Event, EventQueue};
-pub use executor::Executor;
+pub use executor::{register_proc_backend, CellContext, Executor, ProcFactory};
 pub use experiment::{Backend, Experiment, SweepAggregate, SweepCell, SweepReport};
+pub use framing::FrameError;
 pub use report::{ExecutionReport, TaskPlacement};
 pub use simulator::Simulator;
 pub use threaded::ThreadedExecutor;

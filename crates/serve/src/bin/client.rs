@@ -1,14 +1,20 @@
 //! `serve-client` — CLI client of the sweep service (used by CI).
 //!
 //! ```text
-//! serve-client --addr HOST:PORT submit [--apps LIST] [--scale S]
-//!              [--policies LIST] [--backend B] [--seed N] [--reps N]
-//!              [--stream] [--json PATH]
-//! serve-client --addr HOST:PORT status JOB
-//! serve-client --addr HOST:PORT stats
-//! serve-client --addr HOST:PORT cancel JOB
-//! serve-client --addr HOST:PORT shutdown
+//! serve-client --addr HOST:PORT [--timeout SECS] submit [--apps LIST]
+//!              [--scale S] [--policies LIST] [--backend B] [--seed N]
+//!              [--reps N] [--stream] [--json PATH]
+//! serve-client --addr HOST:PORT [--timeout SECS] status JOB
+//! serve-client --addr HOST:PORT [--timeout SECS] stats
+//! serve-client --addr HOST:PORT [--timeout SECS] cancel JOB
+//! serve-client --addr HOST:PORT [--timeout SECS] shutdown
 //! ```
+//!
+//! `--timeout SECS` bounds both the connect and every read: a server that
+//! accepts but never answers (or a firewalled address) produces a
+//! `timed out waiting for the server` error and exit code 1 instead of a
+//! hung client. Without the flag, the client waits indefinitely — the right
+//! default for long `submit` jobs.
 //!
 //! `submit` blocks until the report arrives, prints a one-line summary
 //! (`job=1 cache_hit=true executed_cells=0 hydrated_cells=0`) on stdout
@@ -24,7 +30,7 @@ use numadag_serve::protocol::{Response, SweepSpec};
 fn usage_error(message: String) -> ! {
     eprintln!("error: {message}");
     eprintln!(
-        "usage: serve-client --addr HOST:PORT \
+        "usage: serve-client --addr HOST:PORT [--timeout SECS] \
          submit [--apps LIST] [--scale S] [--policies LIST] [--backend B] \
          [--seed N] [--reps N] [--stream] [--json PATH] \
          | status JOB | stats | cancel JOB | shutdown"
@@ -39,8 +45,12 @@ fn flag_value(args: &[String], i: usize) -> &str {
     }
 }
 
-fn connect(addr: &str) -> ServeClient {
-    match ServeClient::connect(addr) {
+fn connect(addr: &str, timeout: Option<std::time::Duration>) -> ServeClient {
+    let connected = match timeout {
+        Some(timeout) => ServeClient::connect_with_timeout(addr, timeout),
+        None => ServeClient::connect(addr).map_err(Into::into),
+    };
+    match connected {
         Ok(client) => client,
         Err(e) => {
             eprintln!("error: could not connect to {addr}: {e}");
@@ -64,10 +74,18 @@ fn parse_job(value: &str) -> u64 {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr: Option<String> = None;
+    let mut timeout: Option<std::time::Duration> = None;
     let mut i = 0;
     while i < args.len() && args[i].starts_with("--") {
         match args[i].as_str() {
             "--addr" => addr = Some(flag_value(&args, i).to_string()),
+            "--timeout" => match flag_value(&args, i).parse::<u64>() {
+                Ok(secs) if secs > 0 => timeout = Some(std::time::Duration::from_secs(secs)),
+                _ => usage_error(format!(
+                    "--timeout needs a positive number of seconds, got {:?}",
+                    flag_value(&args, i)
+                )),
+            },
             other => usage_error(format!("unknown argument {other:?}")),
         }
         i += 2;
@@ -81,12 +99,12 @@ fn main() {
     let rest = &args[i + 1..];
 
     match command.as_str() {
-        "submit" => run_submit(&addr, rest),
+        "submit" => run_submit(&addr, timeout, rest),
         "status" => {
             let job = parse_job(rest.first().map(String::as_str).unwrap_or_else(|| {
                 usage_error("status needs a job id".to_string());
             }));
-            let mut client = connect(&addr);
+            let mut client = connect(&addr, timeout);
             match client.status(job) {
                 Ok(Response::JobStatus {
                     job,
@@ -99,7 +117,7 @@ fn main() {
             }
         }
         "stats" => {
-            let mut client = connect(&addr);
+            let mut client = connect(&addr, timeout);
             match client.stats() {
                 Ok(stats) => {
                     use serde::Serialize;
@@ -114,7 +132,7 @@ fn main() {
             let job = parse_job(rest.first().map(String::as_str).unwrap_or_else(|| {
                 usage_error("cancel needs a job id".to_string());
             }));
-            let mut client = connect(&addr);
+            let mut client = connect(&addr, timeout);
             match client.cancel(job) {
                 Ok(Response::Cancelled { job }) => println!("job={job} cancelled"),
                 Ok(other) => fail(format!("unexpected response {other:?}")),
@@ -122,7 +140,7 @@ fn main() {
             }
         }
         "shutdown" => {
-            let mut client = connect(&addr);
+            let mut client = connect(&addr, timeout);
             match client.shutdown() {
                 Ok(()) => println!("server shutting down"),
                 Err(e) => fail(e),
@@ -132,7 +150,7 @@ fn main() {
     }
 }
 
-fn run_submit(addr: &str, args: &[String]) {
+fn run_submit(addr: &str, timeout: Option<std::time::Duration>, args: &[String]) {
     let mut spec = SweepSpec::default();
     let mut stream = false;
     let mut json_path: Option<String> = None;
@@ -182,7 +200,7 @@ fn run_submit(addr: &str, args: &[String]) {
         usage_error(e);
     }
 
-    let mut client = connect(addr);
+    let mut client = connect(addr, timeout);
     let outcome = client.submit(spec, stream, |progress| {
         if let Response::Progress {
             completed,

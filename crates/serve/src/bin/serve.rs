@@ -4,7 +4,7 @@
 //! numadag-serve [--addr HOST:PORT] [--pool N] [--cache-capacity N]
 //!               [--cell-capacity N] [--batch-cells N]
 //!               [--max-queued-cells N] [--max-active-jobs N]
-//!               [--port-file PATH]
+//!               [--port-file PATH] [--cache-file PATH]
 //! ```
 //!
 //! Binds the listener (port 0 picks an ephemeral port), prints the actual
@@ -12,6 +12,11 @@
 //! serves until a client sends `Shutdown`. `--jobs N` is accepted as a
 //! deprecated alias of `--pool N`. Malformed arguments exit with code 2
 //! like the other bins; a bind failure exits with code 1.
+//!
+//! `--cache-file PATH` makes the report cache persistent: the daemon loads
+//! the snapshot at boot (a missing file is fine, a corrupt one is a warning)
+//! and rewrites it on clean shutdown, so a restarted daemon answers the
+//! previous run's sweeps with `cache_hit=true` without executing a cell.
 
 use numadag_serve::server::{serve, ServeConfig};
 
@@ -20,7 +25,8 @@ fn usage_error(message: String) -> ! {
     eprintln!(
         "usage: numadag-serve [--addr HOST:PORT] [--pool N] \
          [--cache-capacity N] [--cell-capacity N] [--batch-cells N] \
-         [--max-queued-cells N] [--max-active-jobs N] [--port-file PATH]"
+         [--max-queued-cells N] [--max-active-jobs N] [--port-file PATH] \
+         [--cache-file PATH]"
     );
     std::process::exit(2);
 }
@@ -44,6 +50,10 @@ fn positive(args: &[String], i: usize) -> usize {
 }
 
 fn main() {
+    // Become a proc-backend worker if the pool re-exec'd us, and register
+    // the proc factory so submitted sweeps may say `--backend proc`.
+    numadag_proc::maybe_run_worker();
+    numadag_proc::install();
     let mut config = ServeConfig::default();
     let mut port_file: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,6 +70,7 @@ fn main() {
             "--max-queued-cells" => config.max_queued_cells = positive(&args, i),
             "--max-active-jobs" => config.max_active_jobs = positive(&args, i),
             "--port-file" => port_file = Some(flag_value(&args, i).to_string()),
+            "--cache-file" => config.cache_file = Some(flag_value(&args, i).to_string()),
             other => usage_error(format!("unknown argument {other:?}")),
         }
         i += 2;

@@ -160,6 +160,19 @@ impl ReportCache {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// Every resident entry, least-recently-used first. Re-inserting them in
+    /// this order into an empty cache reproduces the same LRU recency
+    /// ranking — the contract the daemon's `--cache-file` persistence relies
+    /// on across restarts.
+    pub fn snapshot(&self) -> Vec<(u64, Arc<CachedReport>)> {
+        let mut entries: Vec<(&u64, &Entry)> = self.entries.iter().collect();
+        entries.sort_by_key(|(_, e)| e.last_used);
+        entries
+            .into_iter()
+            .map(|(&k, e)| (k, Arc::clone(&e.report)))
+            .collect()
+    }
 }
 
 #[derive(Debug)]
@@ -346,6 +359,26 @@ mod tests {
         assert_eq!(cache.hits(), 1, "present revalidation is a hit");
         cache.note_miss();
         assert_eq!(cache.misses(), 1, "misses are counted explicitly");
+    }
+
+    #[test]
+    fn snapshot_orders_least_recently_used_first() {
+        let mut cache = ReportCache::new(4);
+        cache.insert(1, report("a"));
+        cache.insert(2, report("b"));
+        cache.insert(3, report("c"));
+        // Touch 1 so the recency order becomes 2, 3, 1.
+        assert!(cache.lookup(1).is_some());
+        let keys: Vec<u64> = cache.snapshot().iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![2, 3, 1]);
+        // Re-inserting in snapshot order reproduces the same victim choice.
+        let mut reloaded = ReportCache::new(3);
+        for (k, r) in cache.snapshot() {
+            reloaded.insert(k, r);
+        }
+        reloaded.insert(4, report("d"));
+        assert!(reloaded.revalidate(2).is_none(), "old LRU entry evicted");
+        assert!(reloaded.revalidate(1).is_some(), "recent entry survives");
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! Blocking client for the sweep service, shared by the `serve-client` bin,
 //! the load-generator bench and the integration tests.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use numadag_runtime::framing::{read_frame, FrameError};
 
 use crate::protocol::{Request, Response, ServerStats, SweepSpec};
 
@@ -11,6 +14,9 @@ use crate::protocol::{Request, Response, ServerStats, SweepSpec};
 pub enum ClientError {
     /// Socket-level failure.
     Io(std::io::Error),
+    /// A connect or read deadline expired (see
+    /// [`ServeClient::connect_with_timeout`]).
+    Timeout,
     /// The server sent something the protocol decoder rejects.
     Protocol(String),
     /// The server answered with a structured `Error` response.
@@ -28,6 +34,7 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Timeout => write!(f, "timed out waiting for the server"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
             ClientError::Overloaded {
@@ -43,7 +50,14 @@ impl std::fmt::Display for ClientError {
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
-        ClientError::Io(e)
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+        ) {
+            ClientError::Timeout
+        } else {
+            ClientError::Io(e)
+        }
     }
 }
 
@@ -73,7 +87,26 @@ pub struct ServeClient {
 impl ServeClient {
     /// Connects to `addr` (`"127.0.0.1:PORT"`).
     pub fn connect(addr: &str) -> std::io::Result<ServeClient> {
-        let stream = TcpStream::connect(addr)?;
+        Self::wrap(TcpStream::connect(addr)?)
+    }
+
+    /// Connects with a deadline on both the connect itself and every later
+    /// read, so a dead (or wedged) daemon surfaces as
+    /// [`ClientError::Timeout`] instead of hanging the client forever.
+    pub fn connect_with_timeout(addr: &str, timeout: Duration) -> Result<ServeClient, ClientError> {
+        let target = addr
+            .to_socket_addrs()
+            .map_err(ClientError::from)?
+            .next()
+            .ok_or_else(|| ClientError::Protocol(format!("unresolvable address {addr:?}")))?;
+        let stream = TcpStream::connect_timeout(&target, timeout).map_err(ClientError::from)?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(ClientError::from)?;
+        Self::wrap(stream).map_err(ClientError::from)
+    }
+
+    fn wrap(stream: TcpStream) -> std::io::Result<ServeClient> {
         // One-line request/response turnarounds: Nagle + delayed ACK would
         // add ~40 ms to every exchange.
         stream.set_nodelay(true)?;
@@ -91,16 +124,21 @@ impl ServeClient {
         self.writer.write_all(line.as_bytes())
     }
 
-    /// Reads one response line.
+    /// Reads one response line. Read-deadline expiry (when connected via
+    /// [`ServeClient::connect_with_timeout`]) maps to
+    /// [`ClientError::Timeout`].
     pub fn recv(&mut self) -> Result<Response, ClientError> {
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(ClientError::Io(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            )));
-        }
+        let line = match read_frame(&mut self.reader) {
+            Ok(Some(line)) => line,
+            Ok(None) => {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )))
+            }
+            Err(FrameError::Io(e)) => return Err(ClientError::from(e)),
+            Err(e) => return Err(ClientError::Protocol(format!("bad frame: {e}"))),
+        };
         Response::from_line(line.trim_end()).map_err(ClientError::Protocol)
     }
 

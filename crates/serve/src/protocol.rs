@@ -1,12 +1,13 @@
 //! Wire protocol of the sweep service: newline-delimited JSON envelopes.
 //!
-//! Every message is one JSON value on one line — compact serialization never
-//! emits raw newlines (string contents are escaped), so a `BufRead::lines`
-//! loop is a complete framing layer. Envelopes use serde's externally-tagged
-//! enum encoding (`"Stats"`, `{"Status": {"job": 1}}`), produced by the
-//! vendored `#[derive(Serialize)]` and parsed back by the hand-written
-//! `from_value` decoders below (the vendored serde has no Deserialize
-//! framework).
+//! Every message is one JSON value on one line; the line layer itself
+//! (size-capped reads, truncation/UTF-8 error taxonomy) lives in the shared
+//! [`numadag_runtime::framing`] module, which this protocol and the
+//! multi-process executor's IPC both ride on. Envelopes use serde's
+//! externally-tagged enum encoding (`"Stats"`, `{"Status": {"job": 1}}`),
+//! produced by the vendored `#[derive(Serialize)]` and parsed back by the
+//! hand-written `from_value` decoders below (the vendored serde has no
+//! Deserialize framework).
 //!
 //! The sweep spec itself reuses the CLI grammar verbatim: applications,
 //! policies, scale and backend travel as the same comma-separated strings
@@ -85,7 +86,9 @@ pub struct SweepSpec {
     /// Comma-separated policy labels in registry grammar
     /// (`"dfifo,rgp-las:w=512,ep"`). The LAS baseline always runs.
     pub policies: String,
-    /// Execution backend: `simulated` or `threaded`.
+    /// Execution backend: `simulated`, `threaded`, `proc` or `proc:w=N`
+    /// (the multi-process backend; the daemon must have called
+    /// `numadag_proc::install()`).
     pub backend: String,
     /// Seed for all seeded components.
     pub seed: u64,
@@ -355,45 +358,12 @@ pub enum Response {
     ShuttingDown,
 }
 
-/// Serializes a message to its one-line wire form (no trailing newline).
-pub fn to_line(value: &impl Serialize) -> String {
-    serde_json::to_string(&value.to_value()).expect("message values are always encodable")
-}
-
-fn field<'v>(value: &'v Value, variant: &str, name: &str) -> Result<&'v Value, String> {
-    value
-        .get(name)
-        .ok_or_else(|| format!("{variant} is missing field {name:?}"))
-}
-
-fn str_field(value: &Value, variant: &str, name: &str) -> Result<String, String> {
-    field(value, variant, name)?
-        .as_str()
-        .map(str::to_string)
-        .ok_or_else(|| format!("{variant}.{name} must be a string"))
-}
-
-fn u64_field(value: &Value, variant: &str, name: &str) -> Result<u64, String> {
-    field(value, variant, name)?
-        .as_u64()
-        .ok_or_else(|| format!("{variant}.{name} must be an unsigned integer"))
-}
-
-fn bool_field(value: &Value, variant: &str, name: &str) -> Result<bool, String> {
-    field(value, variant, name)?
-        .as_bool()
-        .ok_or_else(|| format!("{variant}.{name} must be a boolean"))
-}
-
-/// Splits an externally-tagged envelope into `(variant, payload)`. Unit
-/// variants arrive as bare strings and yield `Value::Null` payloads.
-fn untag(value: &Value) -> Result<(String, &Value), String> {
-    match value {
-        Value::String(tag) => Ok((tag.clone(), &Value::Null)),
-        Value::Object(entries) if entries.len() == 1 => Ok((entries[0].0.clone(), &entries[0].1)),
-        _ => Err("expected a string tag or a single-key object envelope".to_string()),
-    }
-}
+// The framing layer (one-line serialization, envelope untagging, typed
+// field accessors) started here and moved to `numadag_runtime::framing` so
+// the multi-process executor's IPC shares it; re-exported for callers that
+// import it from the protocol module.
+pub use numadag_runtime::framing::to_line;
+use numadag_runtime::framing::{bool_field, field, str_field, u64_field, untag};
 
 impl SweepSpec {
     /// Decodes a spec object. Missing fields fall back to the defaults, so

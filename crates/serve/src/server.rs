@@ -34,7 +34,7 @@
 //!    bytes to every subscriber.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -43,6 +43,7 @@ use std::thread::JoinHandle;
 
 use numadag_kernels::SpecCache;
 use numadag_numa::Topology;
+use numadag_runtime::framing::read_frame;
 use numadag_runtime::{CellOutcome, Executor, SweepPlan};
 
 use crate::cache::{CachedReport, CellCache, ReportCache};
@@ -73,6 +74,12 @@ pub struct ServeConfig {
     /// Machine topology every sweep runs on (the paper's bullion S16 by
     /// default, matching the `figure1` harness).
     pub topology: Topology,
+    /// When set, the report cache is loaded from this file at boot and
+    /// snapshotted back on shutdown, so a restarted daemon answers previous
+    /// sweeps from cache (`cache_hit=true`, zero executed cells). Missing or
+    /// unreadable files are logged and ignored — persistence is an
+    /// optimization, never a boot failure.
+    pub cache_file: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +93,7 @@ impl Default for ServeConfig {
             max_queued_cells: 4096,
             max_active_jobs: 64,
             topology: Topology::bullion_s16(),
+            cache_file: None,
         }
     }
 }
@@ -207,13 +215,92 @@ impl ServeHandle {
         begin_shutdown(&self.shared);
     }
 
-    /// Blocks until the daemon has shut down.
+    /// Blocks until the daemon has shut down, then (when configured with a
+    /// cache file) snapshots the report cache so the next boot can answer
+    /// previous sweeps without executing anything.
     pub fn join(self) {
         self.accept.join().expect("accept thread panicked");
         for worker in self.workers {
             worker.join().expect("pool worker panicked");
         }
+        if let Some(path) = &self.shared.config.cache_file {
+            let snapshot = self.shared.state.lock().unwrap().cache.snapshot();
+            match save_cache_file(path, &snapshot) {
+                Ok(()) => eprintln!(
+                    "numadag-serve: saved {} cached report(s) to {path}",
+                    snapshot.len()
+                ),
+                Err(e) => eprintln!("numadag-serve: could not save cache file {path}: {e}"),
+            }
+        }
     }
+}
+
+/// Writes the report-cache snapshot as one JSON object:
+/// `{"version": 1, "entries": [{key, executed_cells, total_cells, report}]}`
+/// with entries least-recently-used first (so reloading in file order
+/// reproduces the LRU ranking) and keys in the hex wire form fingerprints
+/// use everywhere else (u64 does not survive the f64-backed JSON numbers).
+fn save_cache_file(path: &str, snapshot: &[(u64, Arc<CachedReport>)]) -> std::io::Result<()> {
+    use numadag_runtime::framing::hex_u64;
+    use serde::Value;
+    let entries: Vec<Value> = snapshot
+        .iter()
+        .map(|(key, report)| {
+            Value::Object(vec![
+                ("key".to_string(), Value::String(hex_u64(*key))),
+                (
+                    "executed_cells".to_string(),
+                    Value::Number(report.executed_cells as f64),
+                ),
+                (
+                    "total_cells".to_string(),
+                    Value::Number(report.total_cells as f64),
+                ),
+                ("report".to_string(), Value::String(report.bytes.clone())),
+            ])
+        })
+        .collect();
+    let root = Value::Object(vec![
+        ("version".to_string(), Value::Number(1.0)),
+        ("entries".to_string(), Value::Array(entries)),
+    ]);
+    let body = serde_json::to_string(&root).expect("snapshot values are always encodable");
+    // Write-then-rename so a crash mid-write never truncates a good file.
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Loads a [`save_cache_file`] snapshot into `cache`, returning how many
+/// entries were restored. Malformed files (or entries) are errors the boot
+/// path logs and ignores.
+fn load_cache_file(path: &str, cache: &mut ReportCache) -> Result<usize, String> {
+    use numadag_runtime::framing::{field, str_field, u64_field};
+    if !std::path::Path::new(path).exists() {
+        return Ok(0);
+    }
+    let body = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let root: serde::Value = serde_json::from_str(&body).map_err(|e| e.to_string())?;
+    let version = u64_field(&root, "cache file", "version")?;
+    if version != 1 {
+        return Err(format!("unsupported cache file version {version}"));
+    }
+    let entries = field(&root, "cache file", "entries")?
+        .as_array()
+        .ok_or("cache file entries must be an array")?;
+    let mut loaded = 0;
+    for entry in entries {
+        let key = numadag_runtime::framing::hex_u64_field(entry, "cache entry", "key")?;
+        let report = Arc::new(CachedReport {
+            bytes: str_field(entry, "cache entry", "report")?,
+            executed_cells: u64_field(entry, "cache entry", "executed_cells")? as usize,
+            total_cells: u64_field(entry, "cache entry", "total_cells")? as usize,
+        });
+        cache.insert(key, report);
+        loaded += 1;
+    }
+    Ok(loaded)
 }
 
 /// Binds the listener and spawns the accept + pool worker threads. Returns
@@ -235,6 +322,16 @@ pub fn serve_with_specs(
     let cache_capacity = config.cache_capacity;
     let cell_capacity = config.cell_capacity;
     let pool = config.pool;
+    let mut cache = ReportCache::new(cache_capacity);
+    if let Some(path) = &config.cache_file {
+        match load_cache_file(path, &mut cache) {
+            Ok(loaded) if loaded > 0 => {
+                eprintln!("numadag-serve: loaded {loaded} cached report(s) from {path}");
+            }
+            Ok(_) => {}
+            Err(e) => eprintln!("numadag-serve: ignoring cache file {path}: {e}"),
+        }
+    }
     let shared = Arc::new(Shared {
         config,
         addr,
@@ -245,7 +342,7 @@ pub fn serve_with_specs(
             queued_cells: 0,
             active_jobs: 0,
             jobs: HashMap::new(),
-            cache: ReportCache::new(cache_capacity),
+            cache,
             cells: CellCache::new(cell_capacity),
             counters: Counters::default(),
         }),
@@ -305,9 +402,26 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
         Ok(w) => w,
         Err(_) => return,
     };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_frame(&mut reader) {
+            Ok(Some(line)) => line,
+            // Clean EOF: the client is done.
+            Ok(None) => break,
+            Err(e) => {
+                // Oversized, truncated or non-UTF-8 frames poison the
+                // stream: answer with a structured error (best effort — the
+                // peer may already be gone) and close the connection.
+                shared.state.lock().unwrap().counters.malformed += 1;
+                let _ = write_line(
+                    &mut writer,
+                    &Response::Error {
+                        message: format!("bad frame: {e}"),
+                    },
+                );
+                break;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -974,6 +1088,7 @@ mod tests {
         assert_eq!(config.batch_cells, 4);
         assert_eq!(config.max_queued_cells, 4096);
         assert_eq!(config.max_active_jobs, 64);
+        assert_eq!(config.cache_file, None);
     }
 
     #[test]

@@ -529,3 +529,114 @@ fn submissions_bounce_with_overloaded_when_the_cell_quota_is_exceeded() {
     handle.shutdown();
     handle.join();
 }
+
+#[test]
+fn the_report_cache_survives_a_daemon_restart_through_the_cache_file() {
+    let dir = std::env::temp_dir().join(format!("numadag-serve-cache-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache_file = dir.join("reports.json").to_string_lossy().into_owned();
+    let config = ServeConfig {
+        cache_file: Some(cache_file.clone()),
+        ..ServeConfig::default()
+    };
+
+    // First daemon lifetime: execute one sweep, snapshot on shutdown.
+    let handle = serve(config.clone()).unwrap();
+    let mut client = ServeClient::connect(&handle.addr().to_string()).unwrap();
+    let first = client.submit(tiny_spec(), false, |_| ()).unwrap();
+    assert!(!first.cache_hit);
+    assert!(first.executed_cells > 0);
+    drop(client);
+    handle.shutdown();
+    handle.join();
+    assert!(
+        std::fs::metadata(&cache_file).is_ok(),
+        "join() must write the snapshot"
+    );
+
+    // Second lifetime, same cache file: the sweep answers from the reloaded
+    // cache, byte-identical, without executing a single cell.
+    let handle = serve(config).unwrap();
+    let mut client = ServeClient::connect(&handle.addr().to_string()).unwrap();
+    let again = client.submit(tiny_spec(), false, |_| ()).unwrap();
+    assert!(again.cache_hit, "restarted daemon must remember the report");
+    assert_eq!(again.executed_cells, 0);
+    assert_eq!(again.report_json, first.report_json);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.jobs_submitted, 0, "nothing may have executed");
+    assert_eq!(stats.report_cache_hits, 1);
+    drop(client);
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn poisoned_frames_close_the_connection_cleanly_and_the_server_survives() {
+    let handle = serve(ServeConfig::default()).unwrap();
+
+    // Invalid UTF-8: the frame layer rejects it before request parsing. The
+    // server answers with a structured error (best effort — the reset may
+    // beat it) and closes; it must never panic.
+    {
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"\xff\xfe{not utf8}\n").unwrap();
+        let mut line = String::new();
+        if reader.read_line(&mut line).is_ok() && !line.is_empty() {
+            match Response::from_line(line.trim_end()).unwrap() {
+                Response::Error { message } => assert!(message.contains("bad frame")),
+                other => panic!("expected Error, got {other:?}"),
+            }
+        }
+        // Either way the server hung up on us.
+        let mut rest = String::new();
+        assert_eq!(reader.read_line(&mut rest).unwrap_or(0), 0);
+    }
+
+    // A line past the 64 MiB frame limit: same story, and the server must
+    // not buffer it all first.
+    {
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let chunk = vec![b'a'; 1 << 20];
+        for _ in 0..65 {
+            if writer.write_all(&chunk).is_err() {
+                break; // server already gave up on us, as it should
+            }
+        }
+        let _ = writer.write_all(b"\n");
+        let mut line = String::new();
+        let _ = reader.read_line(&mut line); // error frame, or reset — both fine
+    }
+
+    // The daemon is still alive and serving.
+    let mut client = ServeClient::connect(&handle.addr().to_string()).unwrap();
+    let stats = client.stats().unwrap();
+    assert!(stats.requests_malformed >= 1);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn a_server_that_never_answers_times_out_instead_of_hanging() {
+    // A bound listener that never accepts: connects succeed (kernel
+    // backlog), but no byte ever comes back.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+
+    let mut client =
+        ServeClient::connect_with_timeout(&addr, std::time::Duration::from_millis(300)).unwrap();
+    let started = std::time::Instant::now();
+    match client.stats() {
+        Err(ClientError::Timeout) => {}
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(10),
+        "the deadline must actually bound the wait"
+    );
+    drop(listener);
+}

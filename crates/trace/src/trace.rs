@@ -23,7 +23,8 @@ pub struct Trace {
     pub workload: String,
     /// Canonical policy label.
     pub policy: String,
-    /// Backend that produced the trace (`"simulator"` or `"threaded"`).
+    /// Backend that produced the trace (`"simulator"`, `"threaded"` or
+    /// `"proc"`).
     pub backend: String,
     /// Problem-scale label (`"Tiny"`, `"Small"`, `"Full"` or `"custom"`).
     pub scale: String,
@@ -335,7 +336,11 @@ fn get_u64(value: &Value, key: &str) -> Result<u64, String> {
         .ok_or_else(|| format!("missing integer field {key:?}"))
 }
 
-fn parse_event(value: &Value) -> Result<TraceEvent, String> {
+/// Decodes one serialized [`TraceEvent`] (the `{"type": "assign", ...}`
+/// object shape its `Serialize` impl produces). Public so other transports —
+/// the multi-process executor's IPC — can ship event streams in the same
+/// wire form traces are persisted in.
+pub fn parse_event(value: &Value) -> Result<TraceEvent, String> {
     let tag = get_str(value, "type")?;
     let task = TaskId(get_u64(value, "task")? as usize);
     let time = get_f64(value, "time")?;

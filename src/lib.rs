@@ -82,6 +82,7 @@
 //! | [`kernels`] (`numadag-kernels`) | the eight applications of Figure 1 + dense linalg |
 //! | [`trace`] (`numadag-trace`) | execution traces: event model + sinks, critical-path/traffic/locality/queue analytics, two-policy divergence comparison |
 //! | [`serve`] (`numadag-serve`) | the sweep service: TCP daemon + client speaking newline-delimited JSON, content-addressed report cache, `numadag-serve`/`serve-client` bins |
+//! | [`proc`] (`numadag-proc`) | the multi-process backend: self-exec'd worker processes over newline-JSON IPC, oneCCL-style barriers, crash redispatch (`--backend proc`) |
 //! | `numadag-bench` (not re-exported) | benchmark harness: `figure1`/`ablation` bins (incl. `serve-load`) + criterion benches |
 //!
 //! ## Observability
@@ -151,6 +152,7 @@ pub use numadag_core as core;
 pub use numadag_graph as graph;
 pub use numadag_kernels as kernels;
 pub use numadag_numa as numa;
+pub use numadag_proc as proc;
 pub use numadag_runtime as runtime;
 pub use numadag_serve as serve;
 pub use numadag_tdg as tdg;
@@ -165,6 +167,7 @@ pub mod prelude {
     };
     pub use numadag_kernels::{Application, DenseStore, ProblemScale, SpecCache};
     pub use numadag_numa::{CostModel, MemoryMap, NodeId, SocketId, Topology};
+    pub use numadag_proc::{PoolConfig, PoolStats, ProcError, ProcExecutor, WorkerPool};
     pub use numadag_runtime::{
         Backend, CellProgress, ExecutionConfig, ExecutionReport, Executor, Experiment, Simulator,
         StealMode, SweepCell, SweepDiff, SweepDriver, SweepPlan, SweepReport, SweepTiming,

@@ -1,15 +1,48 @@
-//! Backend-parity tests: the simulator and the threaded executor implement
-//! the same `Executor` contract, consult the policies identically, and keep
-//! the same placement/traffic bookkeeping. Driven entirely through `dyn
-//! Executor` trait objects, as the harnesses use them.
+//! Backend-parity tests: the simulator, the threaded executor and the
+//! multi-process proc backend implement the same `Executor` contract,
+//! consult the policies identically, and keep the same placement/traffic
+//! bookkeeping. Driven entirely through `dyn Executor` trait objects, as
+//! the harnesses use them.
+
+use std::sync::{Arc, OnceLock};
 
 use numadag::prelude::*;
+use numadag::proc::CONNECT_ENV;
+use numadag::runtime::CellContext;
 
 fn backends(config: ExecutionConfig) -> Vec<Box<dyn Executor>> {
     vec![
         Backend::Simulated.executor(config.clone()),
         Backend::Threaded.executor(config),
     ]
+}
+
+/// Worker re-entry point for the proc-backend tests: the pool re-execs this
+/// test binary with `proc_worker_entry --exact` as the argv, turning this
+/// "test" into the worker loop. Without the rendezvous environment it is an
+/// instant pass.
+#[test]
+fn proc_worker_entry() {
+    if std::env::var(CONNECT_ENV).is_ok() {
+        numadag::proc::run_worker_from_env().expect("worker loop failed");
+    }
+}
+
+/// One worker pool shared by every proc test in this binary, and a
+/// `Backend::Proc` factory bound to it (the default factory's
+/// `--proc-worker` argv does not survive libtest's argument parsing).
+fn install_test_proc_backend() -> Arc<WorkerPool> {
+    static POOL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| {
+        let config = PoolConfig::new(2)
+            .with_worker_args(vec!["proc_worker_entry".to_string(), "--exact".to_string()]);
+        WorkerPool::spawn(config).expect("worker pool spawns")
+    });
+    let factory_pool = pool.clone();
+    numadag::runtime::register_proc_backend(Box::new(move |config, _workers| {
+        Box::new(ProcExecutor::with_pool(config, factory_pool.clone()))
+    }));
+    pool.clone()
 }
 
 #[test]
@@ -76,6 +109,66 @@ fn experiment_runs_the_same_sweep_on_both_backends() {
             assert!(cell.makespan_ns > 0.0);
         }
     }
+}
+
+#[test]
+fn proc_backend_agrees_with_simulator_and_threaded_on_placements() {
+    let pool = install_test_proc_backend();
+    let spec = Application::NStream.build(ProblemScale::Tiny, 4);
+    let config = ExecutionConfig::new(Topology::four_socket(2)).with_steal(StealMode::NoStealing);
+
+    // The same deterministic EP cell through all three backends.
+    let mut reports = Vec::new();
+    let mut executors = backends(config.clone());
+    executors.push(Box::new(ProcExecutor::with_pool(config, pool)));
+    for executor in executors {
+        let mut policy = make_policy(PolicyKind::Ep, &spec, 5).expect("EP placement ships");
+        let ctx = CellContext {
+            policy_label: "ep",
+            seed: 5,
+        };
+        let report = executor.execute_cell(&spec, policy.as_mut(), Some(&ctx));
+        assert_eq!(
+            report.tasks,
+            spec.num_tasks(),
+            "{}",
+            executor.backend_name()
+        );
+        reports.push(report);
+    }
+    let (sim, thr, proc) = (&reports[0], &reports[1], &reports[2]);
+    assert_eq!(sim.tasks_per_socket, thr.tasks_per_socket);
+    assert_eq!(sim.tasks_per_socket, proc.tasks_per_socket);
+    assert_eq!(sim.deferred_bytes, proc.deferred_bytes);
+    assert_eq!(
+        sim.traffic, proc.traffic,
+        "proc ships the simulator's exact ledger"
+    );
+    // The proc worker runs the simulator in-process, so even the simulated
+    // float timeline must survive the wire bit-for-bit.
+    assert_eq!(sim.makespan_ns.to_bits(), proc.makespan_ns.to_bits());
+}
+
+#[test]
+fn experiment_through_the_proc_backend_is_byte_identical_to_simulated() {
+    install_test_proc_backend();
+    let run = |backend: Backend| {
+        Experiment::new()
+            .topology(Topology::two_socket(2))
+            .app(Application::NStream)
+            .scale(ProblemScale::Tiny)
+            .policies([PolicyKind::Dfifo, PolicyKind::RgpLas])
+            .backend(backend)
+            .seed(11)
+            .run()
+    };
+    let sim = run(Backend::Simulated);
+    let proc = run(Backend::proc());
+    // Proc measurements ARE simulator measurements, so the proc sweep
+    // reports itself under the simulator label and the measurement JSON
+    // (timing excluded) must match byte for byte.
+    assert_eq!(proc.backend, "simulator");
+    assert_eq!(sim.to_json_string(), proc.to_json_string());
 }
 
 #[test]
